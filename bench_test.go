@@ -1,0 +1,263 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact; see DESIGN.md §4 for the
+// index), plus micro-benchmarks of the load-bearing primitives. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benchmarks run at a small reproduction scale so the full
+// suite completes in seconds; use cmd/experiments -scale to reproduce at
+// larger scales.
+package revmax_test
+
+import (
+	"testing"
+
+	revmax "repro"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/mf"
+	"repro/internal/model"
+	"repro/internal/poibin"
+	"repro/internal/revenue"
+)
+
+// benchCfg is the shared experiment scale for benchmarks.
+func benchCfg() experiments.Config {
+	return experiments.Config{Scale: 0.003, Seed: 42, Perms: 3}
+}
+
+func benchDataset(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	ds, err := dataset.AmazonLike(dataset.Config{Seed: 42, Scale: 0.01})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// --- One benchmark per paper table/figure -------------------------------
+
+func BenchmarkTable1DataStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Revenue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure1(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Saturation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3SaturationSingleton(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure4Growth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure4(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure5Repeats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Runtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure6Scalability(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Scale = 0.002
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure7IncompletePrices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure7(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomPricesTaylor(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RandomPrices(benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Algorithm micro-benchmarks on a fixed Amazon-like instance ---------
+
+func BenchmarkGGreedy(b *testing.B) {
+	ds := benchDataset(b)
+	b.ReportMetric(float64(ds.Instance.NumCandidates()), "candidates")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GGreedy(ds.Instance)
+	}
+}
+
+func BenchmarkSLGreedy(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SLGreedy(ds.Instance)
+	}
+}
+
+func BenchmarkRLGreedy(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RLGreedy(ds.Instance, 5, 1)
+	}
+}
+
+func BenchmarkTopRE(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.TopRE(ds.Instance)
+	}
+}
+
+func BenchmarkTopRA(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.TopRA(ds.Instance, core.RatingFn(ds.Rating))
+	}
+}
+
+// --- Primitive micro-benchmarks -----------------------------------------
+
+func BenchmarkEvaluatorMarginalGain(b *testing.B) {
+	ds := benchDataset(b)
+	in := ds.Instance
+	ev := revenue.NewEvaluator(in)
+	var cands []model.Candidate
+	for u := 0; u < in.NumUsers; u++ {
+		cands = append(cands, in.UserCandidates(model.UserID(u))...)
+	}
+	for i, c := range cands {
+		if i%7 == 0 {
+			ev.Add(c.Triple, c.Q)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cands[i%len(cands)]
+		ev.MarginalGain(c.Triple, c.Q)
+	}
+}
+
+func BenchmarkPoissonBinomialTail(b *testing.B) {
+	probs := make([]float64, 200)
+	for i := range probs {
+		probs[i] = float64(i%97) / 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poibin.TailAtMost(probs, 50)
+	}
+}
+
+func BenchmarkMFTrainEpoch(b *testing.B) {
+	ratings := make([]mf.Rating, 5000)
+	for i := range ratings {
+		ratings[i] = mf.Rating{U: i % 200, I: (i * 7) % 100, R: float64(1 + i%5)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mf.Train(ratings, 200, 100, mf.Config{Epochs: 1, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRevenueEvaluation(b *testing.B) {
+	ds := benchDataset(b)
+	res := core.GGreedy(ds.Instance)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		revenue.Revenue(ds.Instance, res.Strategy)
+	}
+}
+
+func BenchmarkSolveT1MaxDCS(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := revmax.SolveT1(ds.Instance, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md design-choice index) -----------------
+
+func BenchmarkAblationGGTwoLevelLazy(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GGreedy(ds.Instance)
+	}
+}
+
+func BenchmarkAblationGGSingleHeap(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GGreedySingleHeap(ds.Instance)
+	}
+}
+
+func BenchmarkAblationGGEager(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GGreedyEager(ds.Instance)
+	}
+}
+
+func BenchmarkAblationGGNaiveRescan(b *testing.B) {
+	ds := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.NaiveGreedy(ds.Instance)
+	}
+}

@@ -1,0 +1,80 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run all -scale 0.01 -seed 42 -perms 5
+//	experiments -run table1,fig1,fig6
+//
+// Valid -run targets: table1, table2, fig1..fig7, randprice, all.
+// -scale 1.0 reproduces at full paper scale (slow, memory hungry).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// renderer is implemented by every experiment result.
+type renderer interface{ Render() string }
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiments: table1,table2,fig1..fig7,randprice,ablation,all")
+	scale := flag.Float64("scale", 0.01, "dataset scale factor (1.0 = paper scale)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	perms := flag.Int("perms", 5, "RL-Greedy permutations (paper uses 20)")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Perms: *perms}
+	runners := map[string]func(experiments.Config) (renderer, error){
+		"table1":    wrap(experiments.Table1),
+		"table2":    wrap(experiments.Table2),
+		"fig1":      wrap(experiments.Figure1),
+		"fig2":      wrap(experiments.Figure2),
+		"fig3":      wrap(experiments.Figure3),
+		"fig4":      wrap(experiments.Figure4),
+		"fig5":      wrap(experiments.Figure5),
+		"fig6":      wrap(experiments.Figure6),
+		"fig7":      wrap(experiments.Figure7),
+		"randprice": wrap(experiments.RandomPrices),
+		"ablation":  wrap(experiments.Ablation),
+	}
+	order := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "table2", "fig6", "fig7", "randprice", "ablation"}
+
+	var targets []string
+	if *run == "all" {
+		targets = order
+	} else {
+		for _, t := range strings.Split(*run, ",") {
+			t = strings.TrimSpace(strings.ToLower(t))
+			if t == "" {
+				continue
+			}
+			if _, ok := runners[t]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s, all)\n", t, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			targets = append(targets, t)
+		}
+	}
+
+	for _, t := range targets {
+		res, err := runners[t](cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+	}
+}
+
+// wrap adapts a typed runner to the renderer interface.
+func wrap[T renderer](f func(experiments.Config) (T, error)) func(experiments.Config) (renderer, error) {
+	return func(cfg experiments.Config) (renderer, error) {
+		r, err := f(cfg)
+		return r, err
+	}
+}

@@ -1,0 +1,176 @@
+// Command revmax runs a RevMax recommendation algorithm on a generated
+// dataset and reports revenue, runtime, and strategy statistics.
+//
+// Usage:
+//
+//	revmax -dataset amazon -algo GG -scale 0.01
+//	revmax -dataset epinions -algo RLG -perms 20
+//	revmax -dataset synthetic -users 5000 -algo SLG
+//
+// Algorithms: GG, GG-No, SLG, RLG, TopRev, TopRat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func main() {
+	dsName := flag.String("dataset", "amazon", "dataset: amazon | epinions | synthetic")
+	algo := flag.String("algo", "GG", "algorithm: GG | GG-No | SLG | RLG | TopRev | TopRat")
+	scale := flag.Float64("scale", 0.01, "dataset scale (1.0 = paper scale)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	perms := flag.Int("perms", 5, "RL-Greedy permutations")
+	users := flag.Int("users", 2000, "user count (synthetic dataset only)")
+	beta := flag.Float64("beta", 0, "uniform saturation factor (0 = random U[0,1])")
+	capDist := flag.String("cap", "normal", "capacity distribution: normal | exponential | power | uniform")
+	singleton := flag.Bool("singleton", false, "put every item in its own class")
+	loadInstance := flag.String("load-instance", "", "load the instance from a JSON file instead of generating one")
+	saveInstance := flag.String("save-instance", "", "write the generated instance to a JSON file")
+	saveStrategy := flag.String("save-strategy", "", "write the chosen strategy to a JSON file")
+	flag.Parse()
+
+	cd, err := parseCap(*capDist)
+	if err != nil {
+		fail(err)
+	}
+	dc := dataset.Config{
+		Seed: *seed, Scale: *scale, UniformBeta: *beta,
+		CapacityDist: cd, SingletonClasses: *singleton,
+	}
+
+	var ds *dataset.Dataset
+	if *loadInstance != "" {
+		f, ferr := os.Open(*loadInstance)
+		if ferr != nil {
+			fail(ferr)
+		}
+		in, derr := codec.DecodeInstance(f)
+		f.Close()
+		if derr != nil {
+			fail(derr)
+		}
+		ds = &dataset.Dataset{
+			Name:     *loadInstance,
+			Instance: in,
+			Rating:   func(model.UserID, model.ItemID) float64 { return 0 },
+		}
+	}
+	switch {
+	case ds != nil:
+		// loaded from file
+	default:
+		switch *dsName {
+		case "amazon":
+			ds, err = dataset.AmazonLike(dc)
+		case "epinions":
+			ds, err = dataset.EpinionsLike(dc)
+		case "synthetic":
+			ds, err = dataset.Scalability(*users, dc)
+		default:
+			err = fmt.Errorf("unknown dataset %q", *dsName)
+		}
+		if err != nil {
+			fail(err)
+		}
+	}
+	in := ds.Instance
+	if *saveInstance != "" {
+		if werr := writeFileWith(*saveInstance, func(w *os.File) error {
+			return codec.EncodeInstance(w, in)
+		}); werr != nil {
+			fail(werr)
+		}
+		fmt.Printf("instance saved to %s\n", *saveInstance)
+	}
+	fmt.Printf("dataset %s: %d users, %d items, %d classes, %d candidate triples, T=%d, k=%d\n",
+		ds.Name, in.NumUsers, in.NumItems(), in.NumClasses(), in.NumCandidates(), in.T, in.K)
+
+	start := time.Now()
+	var res core.Result
+	switch *algo {
+	case "GG":
+		res = core.GGreedy(in)
+	case "GG-No":
+		res = core.GlobalNo(in)
+	case "SLG":
+		res = core.SLGreedy(in)
+	case "RLG":
+		res = core.RLGreedy(in, *perms, *seed+1)
+	case "TopRev":
+		res = core.TopRE(in)
+	case "TopRat":
+		res = core.TopRA(in, core.RatingFn(ds.Rating))
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("algorithm      : %s\n", *algo)
+	fmt.Printf("expected revenue: %.2f\n", res.Revenue)
+	fmt.Printf("selections     : %d triples\n", res.Strategy.Len())
+	fmt.Printf("runtime        : %v\n", elapsed.Round(time.Millisecond))
+	if res.Recomputations > 0 {
+		fmt.Printf("lazy recomputes: %d\n", res.Recomputations)
+	}
+	if err := in.CheckValid(res.Strategy); err != nil {
+		fail(fmt.Errorf("output strategy invalid: %w", err))
+	}
+	// Per-time-step breakdown.
+	perT := make(map[model.TimeStep]int)
+	for _, z := range res.Strategy.Triples() {
+		perT[z.T]++
+	}
+	fmt.Print("per time step  :")
+	for t := model.TimeStep(1); int(t) <= in.T; t++ {
+		fmt.Printf(" t%d=%d", t, perT[t])
+	}
+	fmt.Println()
+	if *saveStrategy != "" {
+		if werr := writeFileWith(*saveStrategy, func(w *os.File) error {
+			return codec.EncodeStrategy(w, res.Strategy)
+		}); werr != nil {
+			fail(werr)
+		}
+		fmt.Printf("strategy saved to %s\n", *saveStrategy)
+	}
+}
+
+// writeFileWith creates path and runs write against it.
+func writeFileWith(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func parseCap(s string) (dataset.CapacityDist, error) {
+	switch s {
+	case "normal":
+		return dataset.CapGaussian, nil
+	case "exponential":
+		return dataset.CapExponential, nil
+	case "power":
+		return dataset.CapPowerLaw, nil
+	case "uniform":
+		return dataset.CapUniform, nil
+	}
+	return 0, fmt.Errorf("unknown capacity distribution %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "revmax:", err)
+	os.Exit(1)
+}

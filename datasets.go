@@ -1,0 +1,63 @@
+package revmax
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+// Dataset generation facade — synthetic stand-ins for the paper's
+// Amazon and Epinions crawls plus the scalability series (§6.1, Table 1).
+type (
+	// Dataset couples a generated instance with the rating predictor that
+	// produced its adoption probabilities.
+	Dataset = dataset.Dataset
+	// DatasetConfig shapes generation (scale, capacities, saturation...).
+	DatasetConfig = dataset.Config
+	// DatasetStats is one row of Table 1.
+	DatasetStats = dataset.Stats
+	// CapacityDist selects the per-item capacity distribution.
+	CapacityDist = dataset.CapacityDist
+)
+
+// Capacity distributions tested in §6.1.
+const (
+	CapGaussian    = dataset.CapGaussian
+	CapExponential = dataset.CapExponential
+	CapPowerLaw    = dataset.CapPowerLaw
+	CapUniform     = dataset.CapUniform
+)
+
+// AmazonLike generates the Amazon-electronics stand-in (23.0K users,
+// 4.2K items, 681K ratings, 94 skewed classes at Scale = 1).
+func AmazonLike(cfg DatasetConfig) (*Dataset, error) { return dataset.AmazonLike(cfg) }
+
+// EpinionsLike generates the Epinions stand-in (21.3K users, 1.1K items,
+// 32.9K ratings, 43 classes; prices learned via KDE at Scale = 1).
+func EpinionsLike(cfg DatasetConfig) (*Dataset, error) { return dataset.EpinionsLike(cfg) }
+
+// Scalability generates the synthetic runtime-scaling series of §6.1.
+func Scalability(numUsers int, cfg DatasetConfig) (*Dataset, error) {
+	return dataset.Scalability(numUsers, cfg)
+}
+
+// Experiment harness facade — regenerates every table and figure.
+type (
+	// ExperimentConfig shapes experiment runs (scale, seed, permutations).
+	ExperimentConfig = experiments.Config
+)
+
+// Experiment runners (§6 evaluation + §7 extension). Each result has a
+// Render method printing the paper's rows/series.
+var (
+	Table1       = experiments.Table1
+	Table2       = experiments.Table2
+	Figure1      = experiments.Figure1
+	Figure2      = experiments.Figure2
+	Figure3      = experiments.Figure3
+	Figure4      = experiments.Figure4
+	Figure5      = experiments.Figure5
+	Figure6      = experiments.Figure6
+	Figure7      = experiments.Figure7
+	RandomPrices = experiments.RandomPrices
+	Ablation     = experiments.Ablation
+)

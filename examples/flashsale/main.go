@@ -1,0 +1,99 @@
+// Flash sale: the paper's motivating scenario (§1) at population scale.
+//
+// A product is scheduled to go on sale mid-horizon. A revenue-aware
+// recommender should suggest it to high-valuation users *before* the
+// price drop (extracting the full price) and postpone it for
+// low-valuation users until the sale (when they actually convert). This
+// example builds a population with a valuation spectrum, runs G-Greedy
+// against the myopic TopRev baseline, and reports both the revenue gap
+// and the timing split.
+package main
+
+import (
+	"fmt"
+
+	revmax "repro"
+	"repro/internal/dist"
+)
+
+func main() {
+	const (
+		users    = 400
+		T        = 6
+		saleDay  = 4
+		full     = 500.0
+		salePct  = 0.65 // sale price = 325
+		capacity = 400
+	)
+	rng := dist.NewRNG(2024)
+
+	in := revmax.NewInstance(users, 1, T, 1)
+	in.SetItem(0, 0, 0.6, capacity)
+	for t := revmax.TimeStep(1); t <= T; t++ {
+		price := full
+		if int(t) >= saleDay {
+			price = full * salePct
+		}
+		in.SetPrice(0, t, price)
+	}
+
+	// Valuations: half the population values the item near full price,
+	// half only near the sale price.
+	valuations := make([]float64, users)
+	for u := range valuations {
+		if u%2 == 0 {
+			valuations[u] = rng.Normal(550, 40) // high-valuation
+		} else {
+			valuations[u] = rng.Normal(380, 40) // low-valuation
+		}
+	}
+	for u := 0; u < users; u++ {
+		for t := revmax.TimeStep(1); t <= T; t++ {
+			// Sharp-but-noisy valuation response.
+			q := 0.03
+			if valuations[u] >= in.Price(0, t) {
+				q = 0.55 + 0.1*rng.Float64()
+			}
+			in.AddCandidate(revmax.UserID(u), 0, t, q)
+		}
+	}
+	in.FinishCandidates()
+
+	gg := revmax.GGreedy(in)
+	tre := revmax.TopRE(in)
+
+	fmt.Println("== Flash-sale strategic timing ==")
+	fmt.Printf("price: $%.0f on days 1-%d, $%.0f from day %d\n\n", full, saleDay-1, full*salePct, saleDay)
+	fmt.Printf("G-Greedy revenue: %10.2f\n", gg.Revenue)
+	fmt.Printf("TopRev revenue  : %10.2f\n", tre.Revenue)
+	fmt.Printf("lift            : %9.1f%%\n\n", 100*(gg.Revenue/tre.Revenue-1))
+
+	// Timing split: when does each valuation group get its first
+	// recommendation under G-Greedy?
+	first := make(map[revmax.UserID]revmax.TimeStep)
+	for _, z := range gg.Strategy.Triples() {
+		if cur, ok := first[z.U]; !ok || z.T < cur {
+			first[z.U] = z.T
+		}
+	}
+	var highBefore, highAfter, lowBefore, lowAfter int
+	for u, t := range first {
+		highVal := int(u)%2 == 0
+		before := int(t) < saleDay
+		switch {
+		case highVal && before:
+			highBefore++
+		case highVal:
+			highAfter++
+		case before:
+			lowBefore++
+		default:
+			lowAfter++
+		}
+	}
+	fmt.Println("first recommendation timing (G-Greedy):")
+	fmt.Printf("  high-valuation users: %3d before sale, %3d during sale\n", highBefore, highAfter)
+	fmt.Printf("  low-valuation users : %3d before sale, %3d during sale\n", lowBefore, lowAfter)
+	fmt.Println("\nExpected pattern: high-valuation users are approached before the")
+	fmt.Println("price drop; low-valuation users are deferred to the sale window.")
+}

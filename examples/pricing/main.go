@@ -1,0 +1,87 @@
+// Joint pricing + recommendation: the inverse problem the paper leaves
+// as future work (§8) — "to find optimal pricing in order to maximize
+// the expected revenue in the context of a given RS".
+//
+// The seller chooses a discount tier per item from a fixed menu; for
+// every candidate pricing, the recommender replans optimally (adoption
+// probabilities move with price through the valuation model), and
+// coordinate ascent keeps the tier that maximizes planned revenue. The
+// example shows the bilevel optimum beating both list prices and a
+// blanket-discount policy.
+package main
+
+import (
+	"fmt"
+
+	revmax "repro"
+	"repro/internal/dist"
+	"repro/internal/kde"
+)
+
+func main() {
+	const (
+		users = 60
+		items = 5
+		T     = 4
+	)
+	rng := dist.NewRNG(77)
+
+	base := make([]float64, items)
+	vals := make([]kde.GaussianProxy, items)
+	for i := range base {
+		base[i] = rng.Uniform(80, 300)
+		// Some items are over-priced relative to valuations, some under.
+		vals[i] = kde.GaussianProxy{Mu: base[i] * rng.Uniform(0.75, 1.35), Sigma: base[i] * 0.2}
+	}
+	interest := make([][]float64, users)
+	for u := range interest {
+		interest[u] = make([]float64, items)
+		for i := range interest[u] {
+			interest[u][i] = rng.Uniform(0.4, 1)
+		}
+	}
+
+	reprice := func(ms []float64) *revmax.Instance {
+		in := revmax.NewInstance(users, items, T, 1)
+		for i := 0; i < items; i++ {
+			in.SetItem(revmax.ItemID(i), revmax.ClassID(i%2), 0.7, users/2)
+			p := base[i] * ms[i]
+			for t := revmax.TimeStep(1); t <= T; t++ {
+				in.SetPrice(revmax.ItemID(i), t, p)
+				for u := 0; u < users; u++ {
+					q := vals[i].Survival(p) * interest[u][i]
+					in.AddCandidate(revmax.UserID(u), revmax.ItemID(i), t, q)
+				}
+			}
+		}
+		in.FinishCandidates()
+		return in
+	}
+	plan := func(in *revmax.Instance) float64 { return revmax.GGreedy(in).Revenue }
+	menu := []float64{0.7, 0.8, 0.9, 1.0, 1.1, 1.2}
+
+	ones := []float64{1, 1, 1, 1, 1}
+	discount := []float64{0.8, 0.8, 0.8, 0.8, 0.8}
+	listRev := plan(reprice(ones))
+	blanketRev := plan(reprice(discount))
+
+	res, err := revmax.PriceOptimize(items, reprice, plan, menu)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("== Joint pricing + recommendation (bilevel) ==")
+	fmt.Printf("list prices (x1.0)        : %9.2f planned revenue\n", listRev)
+	fmt.Printf("blanket 20%% discount      : %9.2f\n", blanketRev)
+	fmt.Printf("optimized per-item tiers  : %9.2f  (%d plan evaluations, %d sweeps)\n",
+		res.Revenue, res.Evaluations, res.Sweeps)
+	fmt.Printf("lift over list prices     : %+8.1f%%\n\n", 100*(res.Revenue/listRev-1))
+	fmt.Println("chosen multipliers (vs valuation/list ratio):")
+	for i := 0; i < items; i++ {
+		fmt.Printf("  item %d: x%.2f  (mean valuation / list price = %.2f)\n",
+			i, res.Multipliers[i], vals[i].Mu/base[i])
+	}
+	fmt.Println("\nItems priced above what buyers value get discounted; items with")
+	fmt.Println("valuation headroom get marked up — with the recommender replanning")
+	fmt.Println("around every pricing to monetize the shifted adoption probabilities.")
+}

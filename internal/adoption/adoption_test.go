@@ -1,0 +1,108 @@
+package adoption_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adoption"
+	"repro/internal/kde"
+)
+
+func estimator() adoption.Estimator {
+	return adoption.Estimator{
+		Valuation: kde.GaussianProxy{Mu: 100, Sigma: 20},
+		RMax:      5,
+	}
+}
+
+func TestProbabilityAntiMonotoneInPrice(t *testing.T) {
+	e := estimator()
+	prev := 2.0
+	for p := 0.0; p <= 250; p += 5 {
+		q := e.Probability(4, p)
+		if q > prev+1e-12 {
+			t.Fatalf("q increased with price at %v", p)
+		}
+		prev = q
+	}
+}
+
+func TestProbabilityMonotoneInRating(t *testing.T) {
+	e := estimator()
+	prev := -1.0
+	for r := 0.0; r <= 5; r += 0.25 {
+		q := e.Probability(r, 100)
+		if q < prev-1e-12 {
+			t.Fatalf("q decreased with rating at %v", r)
+		}
+		prev = q
+	}
+}
+
+func TestProbabilityBounds(t *testing.T) {
+	e := estimator()
+	prop := func(rRaw, pRaw uint16) bool {
+		rating := float64(rRaw%60) / 10   // 0..5.9 (may exceed RMax)
+		price := float64(pRaw % 500)      // 0..499
+		q := e.Probability(rating, price) // must stay in [0,1]
+		return q >= 0 && q <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilityKnownValue(t *testing.T) {
+	e := estimator()
+	// At price = μ, survival = 0.5; rating 5/5 ⇒ q = 0.5.
+	if got := e.Probability(5, 100); got != 0.5 {
+		t.Fatalf("q = %v, want 0.5", got)
+	}
+	// Rating 2.5/5 halves it.
+	if got := e.Probability(2.5, 100); got != 0.25 {
+		t.Fatalf("q = %v, want 0.25", got)
+	}
+}
+
+func TestProbabilityZeroCases(t *testing.T) {
+	e := estimator()
+	if e.Probability(0, 50) != 0 {
+		t.Fatal("zero rating should yield q = 0")
+	}
+	if e.Probability(-1, 50) != 0 {
+		t.Fatal("negative rating should yield q = 0")
+	}
+	bad := adoption.Estimator{Valuation: kde.GaussianProxy{Mu: 1, Sigma: 1}, RMax: 0}
+	if bad.Probability(5, 0) != 0 {
+		t.Fatal("RMax = 0 should yield q = 0")
+	}
+}
+
+func TestProbabilityRatingClamp(t *testing.T) {
+	e := estimator()
+	// Ratings above RMax are treated as RMax, never pushing q above the
+	// survival probability.
+	if got, lim := e.Probability(50, 100), 0.5; got != lim {
+		t.Fatalf("q = %v, want clamped %v", got, lim)
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	est, err := adoption.FromSamples([]float64{90, 100, 110, 95, 105}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheap price beats expensive price.
+	if est.Probability(4, 50) <= est.Probability(4, 150) {
+		t.Fatal("learned estimator not price-sensitive")
+	}
+	if est.RMax != 5 {
+		t.Fatalf("RMax = %v", est.RMax)
+	}
+}
+
+func TestFromSamplesEmpty(t *testing.T) {
+	if _, err := adoption.FromSamples(nil, 5); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/model"
+	"repro/internal/pqueue"
+)
+
+// This file holds ablation variants of Global Greedy that isolate the
+// two implementation-level optimizations of Algorithm 1 — the two-level
+// heap structure and the lazy-forward scheme — so benchmarks can
+// quantify what each buys (DESIGN.md's ablation index).
+
+// GGreedySingleHeap is Global Greedy with ONE giant max-heap over all
+// candidate triples instead of the two-level structure; lazy forward is
+// still used. The paper argues the giant heap suffers larger Decrease-Key
+// overhead because updated keys traverse a taller tree (§5.1).
+func GGreedySingleHeap(in *model.Instance) Result {
+	st := newState(in)
+	var heap pqueue.Max
+	// Track live entries per (user, class) so stale-root recomputation
+	// can refresh exactly the affected group, mirroring Algorithm 1's
+	// per-pair refresh at single-heap granularity.
+	type ucKey struct {
+		u model.UserID
+		c model.ClassID
+	}
+	groups := make(map[ucKey][]*pqueue.Entry)
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			e := &pqueue.Entry{
+				Triple: c.Triple,
+				Q:      c.Q,
+				Key:    in.Price(c.I, c.T) * c.Q,
+				Flag:   0,
+			}
+			heap.Push(e)
+			k := ucKey{c.U, in.Class(c.I)}
+			groups[k] = append(groups[k], e)
+		}
+	}
+
+	limit := maxSelections(in)
+	selections, recomputations := 0, 0
+	for st.s.Len() < limit && !heap.Empty() {
+		e := heap.Peek()
+		if e.Key <= Eps {
+			break
+		}
+		z := e.Triple
+		if st.check(z) != violationNone {
+			heap.Pop()
+			continue
+		}
+		k := ucKey{z.U, in.Class(z.I)}
+		fresh := st.ev.GroupSize(z.U, in.Class(z.I))
+		if e.Flag < fresh {
+			for _, sib := range groups[k] {
+				if st.s.Contains(sib.Triple) {
+					continue
+				}
+				sib.Key = st.ev.MarginalGain(sib.Triple, sib.Q)
+				sib.Flag = fresh
+				recomputations++
+				heap.Fix(sib)
+			}
+			continue
+		}
+		st.add(z, e.Q)
+		selections++
+		heap.Pop()
+	}
+	return st.result(selections, recomputations)
+}
+
+// GGreedyEager is Global Greedy without lazy forward: after every
+// selection, the marginal revenues of all triples sharing the selected
+// triple's (user, class) group are recomputed immediately. It produces
+// the same selection sequence as GGreedy whenever stale keys are true
+// upper bounds (the submodular direction), and serves as the baseline
+// for measuring lazy forward's savings.
+func GGreedyEager(in *model.Instance) Result {
+	st := newState(in)
+	heap := pqueue.NewTwoLevel()
+	type ucKey struct {
+		u model.UserID
+		c model.ClassID
+	}
+	groups := make(map[ucKey][]*pqueue.Entry)
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			e := &pqueue.Entry{
+				Triple: c.Triple,
+				Q:      c.Q,
+				Key:    in.Price(c.I, c.T) * c.Q,
+			}
+			heap.Add(e)
+			k := ucKey{c.U, in.Class(c.I)}
+			groups[k] = append(groups[k], e)
+		}
+	}
+	heap.Build()
+
+	limit := maxSelections(in)
+	selections, recomputations := 0, 0
+	for st.s.Len() < limit && !heap.Empty() {
+		e := heap.PeekMax()
+		if e == nil || e.Key <= Eps {
+			break
+		}
+		z := e.Triple
+		switch st.check(z) {
+		case violationDisplay:
+			heap.DeleteEntry(e)
+			continue
+		case violationCapacity:
+			heap.DeletePair(z.U, z.I)
+			continue
+		}
+		st.add(z, e.Q)
+		selections++
+		heap.DeleteMax()
+		// Eager refresh: immediately recompute every sibling of the
+		// selected triple's group, across all of the user's lower heaps.
+		k := ucKey{z.U, in.Class(z.I)}
+		touched := make(map[model.ItemID]bool)
+		for _, sib := range groups[k] {
+			if st.s.Contains(sib.Triple) {
+				continue
+			}
+			sib.Key = st.ev.MarginalGain(sib.Triple, sib.Q)
+			recomputations++
+			touched[sib.Triple.I] = true
+		}
+		for i := range touched {
+			heap.FixPair(z.U, i)
+		}
+	}
+	return st.result(selections, recomputations)
+}

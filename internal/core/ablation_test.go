@@ -1,0 +1,86 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+func TestSingleHeapValidAndCompetitive(t *testing.T) {
+	rng := dist.NewRNG(31)
+	var two, one float64
+	for trial := 0; trial < 20; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		a := core.GGreedy(in)
+		b := core.GGreedySingleHeap(in)
+		checkResult(t, in, "GG-SingleHeap", b)
+		two += a.Revenue
+		one += b.Revenue
+	}
+	// Same algorithm, different heap organization: aggregate revenue must
+	// be essentially identical (tie-breaking may differ slightly).
+	if one < 0.9*two || two < 0.9*one {
+		t.Fatalf("single-heap revenue %v diverges from two-level %v", one, two)
+	}
+}
+
+func TestEagerValidAndCompetitive(t *testing.T) {
+	rng := dist.NewRNG(32)
+	var lazy, eager float64
+	for trial := 0; trial < 20; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		a := core.GGreedy(in)
+		b := core.GGreedyEager(in)
+		checkResult(t, in, "GG-Eager", b)
+		lazy += a.Revenue
+		eager += b.Revenue
+	}
+	if lazy < 0.9*eager || eager < 0.9*lazy {
+		t.Fatalf("lazy %v diverges from eager %v", lazy, eager)
+	}
+}
+
+func TestLazyForwardSavesRecomputations(t *testing.T) {
+	// The point of lazy forward: strictly fewer marginal recomputations
+	// than the eager refresh policy, in aggregate.
+	rng := dist.NewRNG(33)
+	p := testgen.Default()
+	p.Users, p.Items, p.CandProb = 8, 8, 0.7
+	lazyRec, eagerRec := 0, 0
+	for trial := 0; trial < 10; trial++ {
+		in := testgen.Random(rng, p)
+		lazyRec += core.GGreedy(in).Recomputations
+		eagerRec += core.GGreedyEager(in).Recomputations
+	}
+	if lazyRec >= eagerRec {
+		t.Fatalf("lazy forward did not save work: %d vs eager %d", lazyRec, eagerRec)
+	}
+}
+
+func TestAblationsOnNegativeMarginalInstance(t *testing.T) {
+	// The Theorem-2 instance where the second triple has negative
+	// marginal: all variants must stop at revenue 0.57.
+	in := nonMonotoneInstanceForAblation()
+	for name, res := range map[string]core.Result{
+		"single": core.GGreedySingleHeap(in),
+		"eager":  core.GGreedyEager(in),
+	} {
+		if res.Strategy.Len() != 1 {
+			t.Fatalf("%s selected %d triples, want 1", name, res.Strategy.Len())
+		}
+	}
+}
+
+func nonMonotoneInstanceForAblation() *model.Instance {
+	in := model.NewInstance(1, 1, 2, 1)
+	in.SetItem(0, 0, 0.1, 2)
+	in.SetPrice(0, 1, 1)
+	in.SetPrice(0, 2, 0.95)
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.AddCandidate(0, 0, 2, 0.6)
+	in.FinishCandidates()
+	return in
+}

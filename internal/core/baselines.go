@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// RatingFn reports a predicted rating r̂(u,i); the TopRA baseline ranks by
+// it. Instances do not carry ratings (the revenue model consumes adoption
+// probabilities), so the rating predictor is passed in explicitly —
+// typically the matrix-factorization model that produced the adoption
+// probabilities in the first place.
+type RatingFn func(u model.UserID, i model.ItemID) float64
+
+// TopRA is the Top-Rating baseline (§6.1): for every user, the k items
+// with the highest predicted rating, repeated at every time step (the
+// baseline is inherently static, so the same items are pushed for all of
+// [T]). Capacity is enforced greedily in user order: an item whose
+// capacity is exhausted is replaced by the next-best-rated item.
+func TopRA(in *model.Instance, rating RatingFn) Result {
+	st := newState(in)
+	for u := 0; u < in.NumUsers; u++ {
+		uid := model.UserID(u)
+		items := candidateItems(in, uid)
+		sort.Slice(items, func(a, b int) bool {
+			ra, rb := rating(uid, items[a]), rating(uid, items[b])
+			if ra != rb {
+				return ra > rb
+			}
+			return items[a] < items[b]
+		})
+		picked := 0
+		for _, i := range items {
+			if picked >= in.K {
+				break
+			}
+			// Check capacity once per item: all T repetitions use a single
+			// capacity slot (distinct-user counting).
+			if st.check(model.Triple{U: uid, I: i, T: 1}) == violationCapacity {
+				continue
+			}
+			for t := model.TimeStep(1); int(t) <= in.T; t++ {
+				z := model.Triple{U: uid, I: i, T: t}
+				if st.check(z) == violationNone {
+					st.add(z, in.Q(uid, i, t))
+				}
+			}
+			picked++
+		}
+	}
+	return st.result(st.s.Len(), 0)
+}
+
+// TopRE is the Top-Revenue baseline (§6.1): at every time step, each user
+// receives the k items with the highest myopic expected revenue
+// p(i,t) · q(u,i,t), ignoring saturation, competition and timing.
+// Capacity is enforced greedily in user order.
+func TopRE(in *model.Instance) Result {
+	st := newState(in)
+	for t := model.TimeStep(1); int(t) <= in.T; t++ {
+		for u := 0; u < in.NumUsers; u++ {
+			uid := model.UserID(u)
+			type scored struct {
+				i model.ItemID
+				v float64
+			}
+			var xs []scored
+			for _, c := range in.UserCandidates(uid) {
+				if c.T != t {
+					continue
+				}
+				xs = append(xs, scored{c.I, in.Price(c.I, t) * c.Q})
+			}
+			sort.Slice(xs, func(a, b int) bool {
+				if xs[a].v != xs[b].v {
+					return xs[a].v > xs[b].v
+				}
+				return xs[a].i < xs[b].i
+			})
+			picked := 0
+			for _, x := range xs {
+				if picked >= in.K {
+					break
+				}
+				z := model.Triple{U: uid, I: x.i, T: t}
+				if st.check(z) != violationNone {
+					continue
+				}
+				st.add(z, in.Q(uid, x.i, t))
+				picked++
+			}
+		}
+	}
+	return st.result(st.s.Len(), 0)
+}
+
+// candidateItems returns the distinct items among u's candidates.
+func candidateItems(in *model.Instance, u model.UserID) []model.ItemID {
+	seen := make(map[model.ItemID]struct{})
+	var items []model.ItemID
+	for _, c := range in.UserCandidates(u) {
+		if _, ok := seen[c.I]; !ok {
+			seen[c.I] = struct{}{}
+			items = append(items, c.I)
+		}
+	}
+	return items
+}

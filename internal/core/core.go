@@ -1,0 +1,122 @@
+// Package core implements the RevMax recommendation algorithms of Lu et
+// al. (VLDB 2014): the Global Greedy with two-level heaps and lazy
+// forward (Algorithm 1), the Sequential and Randomized Local Greedy
+// algorithms (Algorithm 2 and §5.2), the baselines TopRA, TopRE and
+// GlobalNo used in the evaluation (§6.1), and an exhaustive optimal
+// solver for tiny instances used to validate the heuristics.
+package core
+
+import (
+	"repro/internal/model"
+	"repro/internal/revenue"
+)
+
+// Eps is the positivity threshold for marginal revenue: candidates whose
+// marginal gain does not exceed Eps are never selected (Eq. 6 requires a
+// strictly positive marginal; the epsilon absorbs float64 noise).
+const Eps = 1e-12
+
+// Result is the output of a RevMax algorithm run.
+type Result struct {
+	Strategy *model.Strategy
+	Revenue  float64 // Rev(Strategy) under the true model
+
+	// Selections counts triples added; Recomputations counts lazy-forward
+	// marginal-revenue recomputations (a measure of how much work lazy
+	// forward saved relative to eager updates).
+	Selections     int
+	Recomputations int
+
+	// Curve records Rev(S) after each selection, in selection order — the
+	// revenue-vs-|S| growth data behind Figure 4.
+	Curve []float64
+}
+
+// displayKey identifies a (user, time) display slot.
+type displayKey struct {
+	u model.UserID
+	t model.TimeStep
+}
+
+// state carries everything a greedy run mutates: the growing strategy,
+// the incremental revenue evaluator, and the constraint counters
+// (Algorithm 1's auxiliary variables).
+type state struct {
+	in        *model.Instance
+	ev        *revenue.Evaluator
+	s         *model.Strategy
+	display   map[displayKey]int
+	itemUsers []map[model.UserID]struct{}
+	curve     []float64
+}
+
+func newState(in *model.Instance) *state {
+	return &state{
+		in:        in,
+		ev:        revenue.NewEvaluator(in),
+		s:         model.NewStrategy(),
+		display:   make(map[displayKey]int),
+		itemUsers: make([]map[model.UserID]struct{}, in.NumItems()),
+	}
+}
+
+// violation classifies why adding a triple would be invalid.
+type violation int
+
+const (
+	violationNone violation = iota
+	violationDisplay
+	violationCapacity
+)
+
+// check reports whether z can be added to the current strategy. Both
+// violation kinds are permanent once they occur (strategies only grow),
+// which is what lets the heaps drop infeasible entries for good.
+func (st *state) check(z model.Triple) violation {
+	if st.s.Contains(z) {
+		return violationDisplay // already chosen; treat as unusable slot
+	}
+	if st.display[displayKey{z.U, z.T}] >= st.in.K {
+		return violationDisplay
+	}
+	users := st.itemUsers[z.I]
+	if users != nil {
+		if _, ok := users[z.U]; ok {
+			return violationNone // repeat to an existing recipient: no new capacity use
+		}
+	}
+	if len(users) >= st.in.Capacity(z.I) {
+		return violationCapacity
+	}
+	return violationNone
+}
+
+// add commits z to the strategy and returns the realized marginal gain.
+func (st *state) add(z model.Triple, q float64) float64 {
+	st.s.Add(z)
+	st.display[displayKey{z.U, z.T}]++
+	users := st.itemUsers[z.I]
+	if users == nil {
+		users = make(map[model.UserID]struct{})
+		st.itemUsers[z.I] = users
+	}
+	users[z.U] = struct{}{}
+	delta := st.ev.Add(z, q)
+	st.curve = append(st.curve, st.ev.Total())
+	return delta
+}
+
+func (st *state) result(selections, recomputations int) Result {
+	return Result{
+		Strategy:       st.s,
+		Revenue:        st.ev.Total(),
+		Selections:     selections,
+		Recomputations: recomputations,
+		Curve:          st.curve,
+	}
+}
+
+// maxSelections is the k·T·|U| bound of Algorithm 1, line 11.
+func maxSelections(in *model.Instance) int {
+	return in.K * in.T * in.NumUsers
+}

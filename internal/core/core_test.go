@@ -1,0 +1,370 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/revenue"
+	"repro/internal/testgen"
+)
+
+// checkResult validates the structural invariants every algorithm result
+// must satisfy: a valid strategy whose reported revenue matches the
+// reference evaluation.
+func checkResult(t *testing.T, in *model.Instance, name string, res core.Result) {
+	t.Helper()
+	if err := in.CheckValid(res.Strategy); err != nil {
+		t.Fatalf("%s produced invalid strategy: %v", name, err)
+	}
+	want := revenue.Revenue(in, res.Strategy)
+	if math.Abs(res.Revenue-want) > 1e-6 {
+		t.Fatalf("%s reported revenue %v, reference %v", name, res.Revenue, want)
+	}
+	if res.Revenue < -1e-9 {
+		t.Fatalf("%s negative revenue %v", name, res.Revenue)
+	}
+}
+
+func TestGGreedyValidAndConsistent(t *testing.T) {
+	rng := dist.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		checkResult(t, in, "G-Greedy", core.GGreedy(in))
+	}
+}
+
+func TestSLGreedyValidAndConsistent(t *testing.T) {
+	rng := dist.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		checkResult(t, in, "SL-Greedy", core.SLGreedy(in))
+	}
+}
+
+func TestRLGreedyValidAndConsistent(t *testing.T) {
+	rng := dist.NewRNG(3)
+	for trial := 0; trial < 10; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		checkResult(t, in, "RL-Greedy", core.RLGreedy(in, 5, 7))
+	}
+}
+
+func TestBaselinesValidAndConsistent(t *testing.T) {
+	rng := dist.NewRNG(4)
+	rating := func(u model.UserID, i model.ItemID) float64 {
+		return float64((int(u)*31+int(i)*17)%100) / 100
+	}
+	for trial := 0; trial < 10; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		checkResult(t, in, "TopRA", core.TopRA(in, rating))
+		checkResult(t, in, "TopRE", core.TopRE(in))
+		checkResult(t, in, "GlobalNo", core.GlobalNo(in))
+	}
+}
+
+// The lazy-forward two-level-heap G-Greedy should closely track the
+// naive (eager, full-rescan) greedy. Exact equality is not guaranteed —
+// the revenue function is not submodular in full generality (see
+// DESIGN.md §6), so stale keys can underestimate — but on random
+// instances the revenues should be near-identical.
+func TestGGreedyLazyCloseToNaive(t *testing.T) {
+	rng := dist.NewRNG(5)
+	var lazySum, naiveSum float64
+	for trial := 0; trial < 25; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		lazy := core.GGreedy(in)
+		naive := core.NaiveGreedy(in)
+		checkResult(t, in, "NaiveGreedy", naive)
+		lazySum += lazy.Revenue
+		naiveSum += naive.Revenue
+		if lazy.Revenue < 0.9*naive.Revenue-1e-9 {
+			t.Fatalf("trial %d: lazy %v far below naive %v", trial, lazy.Revenue, naive.Revenue)
+		}
+	}
+	if lazySum < 0.97*naiveSum {
+		t.Fatalf("aggregate lazy revenue %v below 97%% of naive %v", lazySum, naiveSum)
+	}
+}
+
+// On the Theorem 2 proof instance, SL-Greedy follows chronological order
+// and picks both triples (revenue 0.5285) while scanning time in reverse
+// would have kept only (u,i,2) (revenue 0.57). RL-Greedy with enough
+// permutations must discover the better ordering (Example 4).
+func TestExample4ChronologicalIsNotOptimal(t *testing.T) {
+	in := model.NewInstance(1, 1, 2, 1)
+	in.SetItem(0, 0, 0.1, 2)
+	in.SetPrice(0, 1, 1)
+	in.SetPrice(0, 2, 0.95)
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.AddCandidate(0, 0, 2, 0.6)
+	in.FinishCandidates()
+
+	sl := core.SLGreedy(in)
+	if math.Abs(sl.Revenue-0.5285) > 1e-9 {
+		t.Fatalf("SL-Greedy revenue = %v, want 0.5285", sl.Revenue)
+	}
+	rl := core.RLGreedy(in, 2, 1) // T=2 ⇒ both permutations sampled
+	if math.Abs(rl.Revenue-0.57) > 1e-9 {
+		t.Fatalf("RL-Greedy revenue = %v, want 0.57", rl.Revenue)
+	}
+	if rl.Revenue <= sl.Revenue {
+		t.Fatal("RL-Greedy should beat SL-Greedy on Example 4")
+	}
+}
+
+func TestGGreedyAvoidsNegativeMarginalTrap(t *testing.T) {
+	// Same instance: G-Greedy picks (u,i,2) first (marginal 0.57), then
+	// sees (u,i,1) with negative marginal and stops. Revenue 0.57.
+	in := model.NewInstance(1, 1, 2, 1)
+	in.SetItem(0, 0, 0.1, 2)
+	in.SetPrice(0, 1, 1)
+	in.SetPrice(0, 2, 0.95)
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.AddCandidate(0, 0, 2, 0.6)
+	in.FinishCandidates()
+
+	gg := core.GGreedy(in)
+	if math.Abs(gg.Revenue-0.57) > 1e-9 {
+		t.Fatalf("G-Greedy revenue = %v, want 0.57", gg.Revenue)
+	}
+	if gg.Strategy.Len() != 1 || !gg.Strategy.Contains(model.Triple{U: 0, I: 0, T: 2}) {
+		t.Fatalf("G-Greedy strategy = %v", gg.Strategy.Triples())
+	}
+}
+
+func TestGGreedyRespectsCapacityOne(t *testing.T) {
+	// Two users, one item with capacity 1: only one user may ever get it.
+	in := model.NewInstance(2, 1, 2, 1)
+	in.SetItem(0, 0, 1, 1)
+	for t1 := 1; t1 <= 2; t1++ {
+		in.SetPrice(0, model.TimeStep(t1), 10)
+	}
+	in.AddCandidate(0, 0, 1, 0.9)
+	in.AddCandidate(1, 0, 1, 0.8)
+	in.AddCandidate(1, 0, 2, 0.8)
+	in.FinishCandidates()
+
+	res := core.GGreedy(in)
+	users := make(map[model.UserID]bool)
+	for _, z := range res.Strategy.Triples() {
+		users[z.U] = true
+	}
+	if len(users) > 1 {
+		t.Fatalf("capacity 1 violated: users %v", users)
+	}
+	if err := in.CheckValid(res.Strategy); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGGreedyRespectsDisplayLimit(t *testing.T) {
+	// One user, many items, k=1: at most one recommendation per time step.
+	in := model.NewInstance(1, 5, 3, 1)
+	for i := 0; i < 5; i++ {
+		in.SetItem(model.ItemID(i), model.ClassID(i), 1, 5)
+		for tt := 1; tt <= 3; tt++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(tt), float64(10+i))
+			in.AddCandidate(0, model.ItemID(i), model.TimeStep(tt), 0.5)
+		}
+	}
+	in.FinishCandidates()
+	res := core.GGreedy(in)
+	perT := make(map[model.TimeStep]int)
+	for _, z := range res.Strategy.Triples() {
+		perT[z.T]++
+		if perT[z.T] > 1 {
+			t.Fatalf("display limit violated at t=%d", z.T)
+		}
+	}
+	// With independent classes and no saturation interaction, every slot
+	// should be filled.
+	if res.Strategy.Len() != 3 {
+		t.Fatalf("expected 3 selections, got %d", res.Strategy.Len())
+	}
+}
+
+func TestGreedyNearOptimalOnTinyInstances(t *testing.T) {
+	rng := dist.NewRNG(6)
+	p := testgen.Params{
+		Users: 2, Items: 3, Classes: 2, T: 2, K: 1,
+		MaxCap: 2, CandProb: 0.5, MinPrice: 1, MaxPrice: 50,
+	}
+	trials, ggWins := 0, 0.0
+	for trial := 0; trial < 15; trial++ {
+		in := testgen.Random(rng, p)
+		if in.NumCandidates() == 0 || in.NumCandidates() > 14 {
+			continue
+		}
+		opt, err := core.Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkResult(t, in, "Optimal", opt)
+		gg := core.GGreedy(in)
+		if gg.Revenue > opt.Revenue+1e-9 {
+			t.Fatalf("greedy %v exceeds optimum %v", gg.Revenue, opt.Revenue)
+		}
+		if opt.Revenue > 0 {
+			trials++
+			ggWins += gg.Revenue / opt.Revenue
+		}
+	}
+	if trials == 0 {
+		t.Skip("no usable tiny instances generated")
+	}
+	if avg := ggWins / float64(trials); avg < 0.85 {
+		t.Fatalf("G-Greedy averages %.3f of optimum, want ≥ 0.85", avg)
+	}
+}
+
+func TestOptimalRejectsLargeInputs(t *testing.T) {
+	rng := dist.NewRNG(7)
+	p := testgen.Default()
+	p.Users, p.Items, p.CandProb = 10, 10, 0.9
+	in := testgen.Random(rng, p)
+	if _, err := core.Optimal(in); err == nil {
+		t.Fatal("Optimal accepted an oversized instance")
+	}
+}
+
+func TestGGreedyBeatsBaselinesInAggregate(t *testing.T) {
+	rng := dist.NewRNG(8)
+	var gg, tre float64
+	for trial := 0; trial < 20; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		gg += core.GGreedy(in).Revenue
+		tre += core.TopRE(in).Revenue
+	}
+	if gg < tre {
+		t.Fatalf("G-Greedy aggregate %v below TopRE %v", gg, tre)
+	}
+}
+
+func TestGlobalNoNeverBeatsGGreedyByMuch(t *testing.T) {
+	// GlobalNo ignores saturation during selection; with strong
+	// saturation it should trail G-Greedy in aggregate.
+	rng := dist.NewRNG(9)
+	p := testgen.Default()
+	p.UniformBeta = 0.1
+	var gg, gno float64
+	for trial := 0; trial < 20; trial++ {
+		in := testgen.Random(rng, p)
+		gg += core.GGreedy(in).Revenue
+		gno += core.GlobalNo(in).Revenue
+	}
+	if gno > gg+1e-9 {
+		t.Fatalf("GlobalNo aggregate %v above G-Greedy %v under strong saturation", gno, gg)
+	}
+}
+
+func TestGGreedyStagedMatchesPlainWithNoCuts(t *testing.T) {
+	rng := dist.NewRNG(10)
+	for trial := 0; trial < 10; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		plain := core.GGreedy(in)
+		staged := core.GGreedyStaged(in)
+		if math.Abs(plain.Revenue-staged.Revenue) > 1e-9 {
+			t.Fatalf("staged (no cuts) %v != plain %v", staged.Revenue, plain.Revenue)
+		}
+	}
+}
+
+func TestGGreedyStagedValidAndAtMostPlain(t *testing.T) {
+	// §6.3: with prices revealed in batches the revenue should typically
+	// drop; at minimum the output stays valid and never beats plain by a
+	// meaningful margin in aggregate.
+	rng := dist.NewRNG(11)
+	p := testgen.Default()
+	p.T = 5
+	var plainSum, stagedSum float64
+	for trial := 0; trial < 15; trial++ {
+		in := testgen.Random(rng, p)
+		plain := core.GGreedy(in)
+		staged := core.GGreedyStaged(in, 2)
+		checkResult(t, in, "GGreedyStaged", staged)
+		plainSum += plain.Revenue
+		stagedSum += staged.Revenue
+	}
+	if stagedSum > plainSum*1.02 {
+		t.Fatalf("staged aggregate %v implausibly above plain %v", stagedSum, plainSum)
+	}
+}
+
+func TestRLGreedyStagedValid(t *testing.T) {
+	rng := dist.NewRNG(12)
+	p := testgen.Default()
+	p.T = 5
+	for trial := 0; trial < 5; trial++ {
+		in := testgen.Random(rng, p)
+		res := core.RLGreedyStaged(in, 4, 3, 2)
+		checkResult(t, in, "RLGreedyStaged", res)
+	}
+}
+
+func TestRLGreedyAtLeastSLGreedyWithManyPerms(t *testing.T) {
+	// With all permutations of a tiny horizon sampled, RL-Greedy's best
+	// run dominates the chronological-only SL-Greedy.
+	rng := dist.NewRNG(13)
+	p := testgen.Default()
+	p.T = 3
+	for trial := 0; trial < 10; trial++ {
+		in := testgen.Random(rng, p)
+		sl := core.SLGreedy(in)
+		rl := core.RLGreedy(in, 6, 99) // 3! = 6 permutations
+		if rl.Revenue < sl.Revenue-1e-9 {
+			t.Fatalf("trial %d: RL %v below SL %v despite exhaustive perms", trial, rl.Revenue, sl.Revenue)
+		}
+	}
+}
+
+func TestRLGreedyDeterministicForSeed(t *testing.T) {
+	rng := dist.NewRNG(14)
+	in := testgen.Random(rng, testgen.Default())
+	a := core.RLGreedy(in, 5, 42)
+	b := core.RLGreedy(in, 5, 42)
+	if a.Revenue != b.Revenue || a.Strategy.Len() != b.Strategy.Len() {
+		t.Fatal("RL-Greedy not deterministic for fixed seed")
+	}
+}
+
+func TestEmptyInstanceYieldsEmptyStrategy(t *testing.T) {
+	in := model.NewInstance(2, 2, 2, 1)
+	in.FinishCandidates() // no candidates at all
+	for name, res := range map[string]core.Result{
+		"GG":  core.GGreedy(in),
+		"SLG": core.SLGreedy(in),
+		"RLG": core.RLGreedy(in, 3, 1),
+		"TRE": core.TopRE(in),
+	} {
+		if res.Strategy.Len() != 0 || res.Revenue != 0 {
+			t.Fatalf("%s nonempty on empty instance: %d triples, rev %v", name, res.Strategy.Len(), res.Revenue)
+		}
+	}
+}
+
+func TestTopRARepeatsAcrossHorizon(t *testing.T) {
+	// TopRA is static: the chosen items repeat at every time step.
+	in := model.NewInstance(1, 3, 3, 1)
+	for i := 0; i < 3; i++ {
+		in.SetItem(model.ItemID(i), model.ClassID(i), 1, 5)
+		for tt := 1; tt <= 3; tt++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(tt), 5)
+			in.AddCandidate(0, model.ItemID(i), model.TimeStep(tt), 0.5)
+		}
+	}
+	in.FinishCandidates()
+	rating := func(u model.UserID, i model.ItemID) float64 { return float64(i) }
+	res := core.TopRA(in, rating)
+	// k=1 ⇒ the single top-rated item (item 2) at every one of 3 steps.
+	if res.Strategy.Len() != 3 {
+		t.Fatalf("TopRA picked %d triples, want 3", res.Strategy.Len())
+	}
+	for _, z := range res.Strategy.Triples() {
+		if z.I != 2 {
+			t.Fatalf("TopRA picked item %d, want top-rated 2", z.I)
+		}
+	}
+}

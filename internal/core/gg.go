@@ -1,0 +1,171 @@
+package core
+
+import (
+	"repro/internal/model"
+	"repro/internal/pqueue"
+)
+
+// GGreedy runs Global Greedy (Algorithm 1) over the whole horizon: it
+// repeatedly adds the candidate triple with the largest positive marginal
+// revenue that keeps the strategy valid, using the two-level heap
+// structure and the lazy-forward optimization.
+func GGreedy(in *model.Instance) Result {
+	st := newState(in)
+	sel, rec := gGreedyWindow(st, 1, model.TimeStep(in.T))
+	return st.result(sel, rec)
+}
+
+// GGreedyStaged runs Global Greedy with prices revealed in sub-horizons
+// (§6.3): cuts = [c₁, c₂, ...] splits [1,T] into windows [1,c₁],
+// [c₁+1,c₂], ..., [last+1, T]; the algorithm finalizes each window's
+// recommendations before seeing the next window. GGreedyStaged(in) with
+// no cuts is identical to GGreedy(in).
+func GGreedyStaged(in *model.Instance, cuts ...int) Result {
+	st := newState(in)
+	sel, rec := 0, 0
+	lo := model.TimeStep(1)
+	for _, c := range cuts {
+		hi := model.TimeStep(c)
+		if hi >= lo {
+			s, r := gGreedyWindow(st, lo, hi)
+			sel += s
+			rec += r
+			lo = hi + 1
+		}
+	}
+	if int(lo) <= in.T {
+		s, r := gGreedyWindow(st, lo, model.TimeStep(in.T))
+		sel += s
+		rec += r
+	}
+	return st.result(sel, rec)
+}
+
+// gGreedyWindow executes Algorithm 1 restricted to candidates whose time
+// step lies in [lo, hi], continuing from whatever st already contains.
+func gGreedyWindow(st *state, lo, hi model.TimeStep) (selections, recomputations int) {
+	in := st.in
+	heap := pqueue.NewTwoLevel()
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if c.T < lo || c.T > hi {
+				continue
+			}
+			// Initial keys use the marginal against the current state: for
+			// a fresh run this is p(i,t)·q(u,i,t), exactly line 8 of
+			// Algorithm 1; for staged runs it accounts for the frozen
+			// earlier windows.
+			heap.Add(&pqueue.Entry{
+				Triple: c.Triple,
+				Q:      c.Q,
+				Key:    st.ev.MarginalGain(c.Triple, c.Q),
+				Flag:   st.ev.GroupSize(c.U, in.Class(c.I)),
+			})
+		}
+	}
+	heap.Build()
+
+	limit := maxSelections(in)
+	for st.s.Len() < limit && !heap.Empty() {
+		e := heap.PeekMax()
+		if e == nil || e.Key <= Eps {
+			break // no remaining triple has positive marginal revenue
+		}
+		z := e.Triple
+		switch st.check(z) {
+		case violationDisplay:
+			heap.DeleteEntry(e)
+			continue
+		case violationCapacity:
+			// The whole (user, item) pair can never become feasible again:
+			// the item is at capacity and this user is not a recipient.
+			heap.DeletePair(z.U, z.I)
+			continue
+		}
+		fresh := st.ev.GroupSize(z.U, in.Class(z.I))
+		if e.Flag < fresh {
+			// Stale root: recompute every sibling in the lower heap
+			// (Algorithm 1, lines 15–19), stamp them fresh, re-heapify.
+			for _, sib := range heap.PairEntries(z.U, z.I) {
+				sib.Key = st.ev.MarginalGain(sib.Triple, sib.Q)
+				sib.Flag = fresh
+				recomputations++
+			}
+			heap.FixPair(z.U, z.I)
+			continue
+		}
+		// Fresh root: select it (lines 20–23).
+		st.add(z, e.Q)
+		selections++
+		heap.DeleteMax()
+	}
+	return selections, recomputations
+}
+
+// NaiveGreedy is the reference implementation of Global Greedy: every
+// iteration it scans all remaining feasible candidates and picks the one
+// with the largest marginal revenue. O(n²·marginal); used in tests to
+// certify that the lazy-forward two-level-heap implementation selects an
+// equally good strategy.
+func NaiveGreedy(in *model.Instance) Result {
+	st := newState(in)
+	type cand struct {
+		z    model.Triple
+		q    float64
+		dead bool
+	}
+	var cands []cand
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			cands = append(cands, cand{z: c.Triple, q: c.Q})
+		}
+	}
+	limit := maxSelections(in)
+	selections := 0
+	for st.s.Len() < limit {
+		best := -1
+		bestGain := Eps
+		for i := range cands {
+			c := &cands[i]
+			if c.dead {
+				continue
+			}
+			if st.check(c.z) != violationNone {
+				c.dead = true
+				continue
+			}
+			g := st.ev.MarginalGain(c.z, c.q)
+			if g > bestGain {
+				bestGain = g
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st.add(cands[best].z, cands[best].q)
+		cands[best].dead = true
+		selections++
+	}
+	return st.result(selections, 0)
+}
+
+// GlobalNo is the "degenerated" G-Greedy of §6.1: it selects triples as
+// though saturation did not exist (βᵢ = 1 during selection) and is then
+// scored under the true saturation factors. It quantifies the revenue
+// lost by ignoring saturation.
+func GlobalNo(in *model.Instance) Result {
+	blind := in.ShallowCloneWithBeta(1)
+	res := GGreedy(blind)
+	return scoreOn(in, res)
+}
+
+// scoreOn re-scores a result's strategy under instance in's true model.
+func scoreOn(in *model.Instance, res Result) Result {
+	st := newState(in)
+	for _, z := range res.Strategy.Triples() {
+		st.add(z, in.Q(z.U, z.I, z.T))
+	}
+	out := st.result(res.Selections, res.Recomputations)
+	return out
+}

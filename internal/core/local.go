@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/pqueue"
+)
+
+// SLGreedy runs Sequential Local Greedy (Algorithm 2): recommendations
+// are finalized one time step at a time in natural chronological order
+// 1, 2, ..., T; within each step a single-level max-heap with lazy
+// forward performs the greedy selection.
+func SLGreedy(in *model.Instance) Result {
+	st := newState(in)
+	sel, rec := 0, 0
+	for t := model.TimeStep(1); int(t) <= in.T; t++ {
+		s, r := localRound(st, t)
+		sel += s
+		rec += r
+	}
+	return st.result(sel, rec)
+}
+
+// RLGreedy runs Randomized Local Greedy (§5.2): it samples n distinct
+// permutations of [T], runs per-time-step greedy selection in each
+// permuted order, and returns the strategy with the largest revenue. The
+// run is deterministic for a fixed seed. n is capped at T! for tiny
+// horizons.
+func RLGreedy(in *model.Instance, n int, seed uint64) Result {
+	perms := samplePermutations(in.T, n, seed)
+	var best Result
+	for idx, perm := range perms {
+		st := newState(in)
+		sel, rec := 0, 0
+		for _, t := range perm {
+			s, r := localRound(st, model.TimeStep(t))
+			sel += s
+			rec += r
+		}
+		res := st.result(sel, rec)
+		if idx == 0 || res.Revenue > best.Revenue {
+			best = res
+		}
+	}
+	return best
+}
+
+// RLGreedyStaged is RL-Greedy under gradual price availability (§6.3):
+// permutations are sampled within each sub-horizon window independently,
+// since the algorithm cannot reorder time steps it has not seen yet.
+func RLGreedyStaged(in *model.Instance, n int, seed uint64, cuts ...int) Result {
+	windows := windowsOf(in.T, cuts)
+	var best Result
+	rng := dist.NewRNG(seed)
+	for trial := 0; trial < n; trial++ {
+		st := newState(in)
+		sel, rec := 0, 0
+		for _, w := range windows {
+			order := make([]int, len(w))
+			copy(order, w)
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			for _, t := range order {
+				s, r := localRound(st, model.TimeStep(t))
+				sel += s
+				rec += r
+			}
+		}
+		res := st.result(sel, rec)
+		if trial == 0 || res.Revenue > best.Revenue {
+			best = res
+		}
+	}
+	return best
+}
+
+// windowsOf splits [1..T] at the given cut points: cuts = [c₁, ...] gives
+// [1..c₁], [c₁+1..c₂], ..., [last+1..T].
+func windowsOf(T int, cuts []int) [][]int {
+	var windows [][]int
+	lo := 1
+	for _, c := range cuts {
+		if c >= lo && c <= T {
+			w := make([]int, 0, c-lo+1)
+			for t := lo; t <= c; t++ {
+				w = append(w, t)
+			}
+			windows = append(windows, w)
+			lo = c + 1
+		}
+	}
+	if lo <= T {
+		w := make([]int, 0, T-lo+1)
+		for t := lo; t <= T; t++ {
+			w = append(w, t)
+		}
+		windows = append(windows, w)
+	}
+	return windows
+}
+
+// localRound performs the greedy selection for one time step (Algorithm
+// 2, lines 5–15), continuing from st's current strategy.
+func localRound(st *state, t model.TimeStep) (selections, recomputations int) {
+	in := st.in
+	var heap pqueue.Max
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if c.T != t {
+				continue
+			}
+			heap.Push(&pqueue.Entry{
+				Triple: c.Triple,
+				Q:      c.Q,
+				Key:    st.ev.MarginalGain(c.Triple, c.Q),
+				Flag:   st.ev.GroupSize(c.U, in.Class(c.I)),
+			})
+		}
+	}
+	for !heap.Empty() {
+		e := heap.Peek()
+		if e.Key <= Eps {
+			break
+		}
+		z := e.Triple
+		if st.check(z) != violationNone {
+			heap.Pop()
+			continue
+		}
+		fresh := st.ev.GroupSize(z.U, in.Class(z.I))
+		if e.Flag < fresh {
+			e.Key = st.ev.MarginalGain(z, e.Q)
+			e.Flag = fresh
+			recomputations++
+			heap.Fix(e)
+			continue
+		}
+		st.add(z, e.Q)
+		selections++
+		heap.Pop()
+	}
+	return selections, recomputations
+}
+
+// samplePermutations returns up to n distinct uniform permutations of
+// {1..T}, deterministically for a fixed seed. When n ≥ T! it returns all
+// T! permutations.
+func samplePermutations(T, n int, seed uint64) [][]int {
+	total := 1
+	for i := 2; i <= T; i++ {
+		total *= i
+		if total >= 1<<20 { // avoid overflow for large T; n ≪ T! anyway
+			total = 1 << 20
+			break
+		}
+	}
+	if n > total {
+		n = total
+	}
+	rng := dist.NewRNG(seed)
+	seen := make(map[string]struct{}, n)
+	perms := make([][]int, 0, n)
+	for len(perms) < n {
+		p := rng.Perm(T)
+		for i := range p {
+			p[i]++ // time steps are 1-based
+		}
+		key := fmt.Sprint(p)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		perms = append(perms, p)
+	}
+	return perms
+}

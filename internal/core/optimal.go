@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/revenue"
+)
+
+// maxExhaustiveCandidates bounds the exhaustive solver's input size; with
+// n candidates the search explores up to 2ⁿ subsets.
+const maxExhaustiveCandidates = 22
+
+// Optimal exhaustively searches all valid strategies and returns one with
+// maximum expected revenue. It is exponential in the number of candidates
+// and refuses inputs with more than maxExhaustiveCandidates of them; it
+// exists to certify the heuristics on tiny instances (REVMAX is NP-hard,
+// Theorem 1, so no better exact general-purpose solver is expected).
+func Optimal(in *model.Instance) (Result, error) {
+	var cands []model.Candidate
+	for u := 0; u < in.NumUsers; u++ {
+		cands = append(cands, in.UserCandidates(model.UserID(u))...)
+	}
+	if len(cands) > maxExhaustiveCandidates {
+		return Result{}, fmt.Errorf("core: %d candidates exceed exhaustive limit %d", len(cands), maxExhaustiveCandidates)
+	}
+
+	st := newState(in)
+	best := model.NewStrategy()
+	bestRev := 0.0
+
+	var dfs func(idx int)
+	dfs = func(idx int) {
+		if idx == len(cands) {
+			if r := st.ev.Total(); r > bestRev {
+				bestRev = r
+				best = st.s.Clone()
+			}
+			return
+		}
+		c := cands[idx]
+		// Branch 1: skip.
+		dfs(idx + 1)
+		// Branch 2: take, if valid.
+		if st.check(c.Triple) == violationNone {
+			// Record whether this user already used a capacity slot so we
+			// can undo precisely.
+			users := st.itemUsers[c.I]
+			hadUser := false
+			if users != nil {
+				_, hadUser = users[c.U]
+			}
+			st.add(c.Triple, c.Q)
+			dfs(idx + 1)
+			st.s.Remove(c.Triple)
+			st.display[displayKey{c.U, c.T}]--
+			if !hadUser {
+				delete(st.itemUsers[c.I], c.U)
+			}
+			st.ev.Remove(c.Triple)
+		}
+	}
+	dfs(0)
+
+	return Result{Strategy: best, Revenue: revenue.Revenue(in, best), Selections: best.Len()}, nil
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// RLGreedyParallel is RL-Greedy with its permutation runs executed
+// concurrently across workers goroutines (0 means GOMAXPROCS). Each run
+// is independent — separate state, evaluator, and heaps — so the only
+// coordination is collecting results. The output is deterministic for a
+// fixed seed and identical to RLGreedy(in, n, seed): the same n
+// permutations are sampled up front and the best revenue wins, with
+// ties broken by permutation index so scheduling order cannot leak in.
+func RLGreedyParallel(in *model.Instance, n int, seed uint64, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perms := samplePermutations(in.T, n, seed)
+	if workers > len(perms) {
+		workers = len(perms)
+	}
+	results := make([]Result, len(perms))
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				st := newState(in)
+				sel, rec := 0, 0
+				for _, t := range perms[idx] {
+					s, r := localRound(st, model.TimeStep(t))
+					sel += s
+					rec += r
+				}
+				results[idx] = st.result(sel, rec)
+			}
+		}()
+	}
+	for idx := range perms {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+
+	best := results[0]
+	for _, res := range results[1:] {
+		if res.Revenue > best.Revenue {
+			best = res
+		}
+	}
+	return best
+}

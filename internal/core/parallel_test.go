@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/testgen"
+)
+
+func TestParallelMatchesSequentialRLGreedy(t *testing.T) {
+	rng := dist.NewRNG(41)
+	for trial := 0; trial < 8; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		seq := core.RLGreedy(in, 6, 99)
+		for _, workers := range []int{1, 2, 4, 0} {
+			par := core.RLGreedyParallel(in, 6, 99, workers)
+			if par.Revenue != seq.Revenue {
+				t.Fatalf("trial %d workers %d: parallel %v != sequential %v",
+					trial, workers, par.Revenue, seq.Revenue)
+			}
+			if err := in.CheckValid(par.Strategy); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestParallelDeterministicAcrossRuns(t *testing.T) {
+	rng := dist.NewRNG(42)
+	in := testgen.Random(rng, testgen.Default())
+	a := core.RLGreedyParallel(in, 8, 7, 4)
+	for i := 0; i < 5; i++ {
+		b := core.RLGreedyParallel(in, 8, 7, 4)
+		if a.Revenue != b.Revenue || a.Strategy.Len() != b.Strategy.Len() {
+			t.Fatal("parallel RL-Greedy not deterministic")
+		}
+	}
+}
+
+func TestParallelMoreWorkersThanPerms(t *testing.T) {
+	rng := dist.NewRNG(43)
+	p := testgen.Default()
+	p.T = 2 // only 2 permutations exist
+	in := testgen.Random(rng, p)
+	res := core.RLGreedyParallel(in, 10, 5, 16)
+	if err := in.CheckValid(res.Strategy); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelRaceSafety(t *testing.T) {
+	// Exercised under -race in CI: many trials with max workers.
+	rng := dist.NewRNG(44)
+	in := testgen.Random(rng, testgen.Default())
+	done := make(chan struct{})
+	go func() {
+		core.RLGreedyParallel(in, 12, 3, 8)
+		close(done)
+	}()
+	<-done
+}

@@ -1,0 +1,594 @@
+// Package dataset generates the synthetic stand-ins for the paper's
+// evaluation data (§6.1, Table 1). The original Amazon electronics crawl
+// (prices, August–November 2013) and the Epinions crawl are not
+// available, so this package reproduces their *published marginals* —
+// user/item/rating counts, class-size skew, price dynamics, valuation
+// learning — and runs the full pipeline the paper describes: matrix
+// factorization for predicted ratings, top-N candidate selection per
+// user, valuation-based adoption probabilities, and capacity sampling.
+// A Scale knob shrinks every count proportionally so tests and benches
+// stay fast while full-scale generation remains available.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/adoption"
+	"repro/internal/dist"
+	"repro/internal/kde"
+	"repro/internal/mf"
+	"repro/internal/model"
+	"repro/internal/prices"
+)
+
+// CapacityDist selects how per-item capacities qᵢ are sampled (§6.1
+// tests Gaussian, exponential, power-law, and uniform distributions).
+type CapacityDist int
+
+// Capacity distribution kinds.
+const (
+	CapGaussian CapacityDist = iota
+	CapExponential
+	CapPowerLaw
+	CapUniform
+)
+
+// String names the distribution as the paper's figures do.
+func (c CapacityDist) String() string {
+	switch c {
+	case CapGaussian:
+		return "normal"
+	case CapExponential:
+		return "exponential"
+	case CapPowerLaw:
+		return "power"
+	case CapUniform:
+		return "uniform"
+	}
+	return "unknown"
+}
+
+// Config shapes a generated dataset.
+type Config struct {
+	Seed  uint64
+	Scale float64 // 1.0 = paper scale; default 0.01
+
+	T    int // horizon; default 7 (Amazon/Epinions), 5 (scalability)
+	K    int // display limit; default 3
+	TopN int // candidate items per user; default 100·Scale, min 5
+
+	CapacityDist CapacityDist
+	// CapacityFrac is the mean capacity as a fraction of the user count;
+	// the paper's qᵢ ≈ N(5000, ·) against 23K users gives ≈ 0.22.
+	CapacityFrac float64
+
+	// UniformBeta, when positive, fixes every item's saturation factor;
+	// otherwise βᵢ ~ U[0,1] ("uniform random" setting of §6.1).
+	UniformBeta float64
+
+	// SingletonClasses puts every item in its own class (the paper's
+	// "class size = 1" ablation).
+	SingletonClasses bool
+
+	// MFEpochs overrides the MF training epochs (default 15).
+	MFEpochs int
+}
+
+func (c Config) withDefaults(defaultT int) Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.01
+	}
+	if c.T <= 0 {
+		c.T = defaultT
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.TopN <= 0 {
+		c.TopN = int(100*c.Scale + 0.5)
+		if c.TopN < 5 {
+			c.TopN = 5
+		}
+	}
+	if c.CapacityFrac <= 0 {
+		c.CapacityFrac = 0.22
+	}
+	if c.MFEpochs <= 0 {
+		c.MFEpochs = 15
+	}
+	return c
+}
+
+// Dataset couples a generated instance with the rating predictor that
+// produced its adoption probabilities (needed by the TopRA baseline) and
+// generation metadata.
+type Dataset struct {
+	Name     string
+	Instance *model.Instance
+	// Rating reports the predicted rating r̂(u,i) used during generation.
+	Rating func(u model.UserID, i model.ItemID) float64
+	// RMSE is the held-out RMSE of the MF model (0 for the scalability
+	// series, which skips MF by design).
+	RMSE float64
+	// NumRatings is the number of observed ratings generated.
+	NumRatings int
+}
+
+// Stats is one row of Table 1.
+type Stats struct {
+	Name          string
+	Users         int
+	Items         int
+	Ratings       int
+	PositiveQ     int
+	Classes       int
+	LargestClass  int
+	SmallestClass int
+	MedianClass   int
+}
+
+// Stats computes the Table 1 row for the dataset.
+func (d *Dataset) Stats() Stats {
+	in := d.Instance
+	largest, smallest, median := in.ClassSizeStats()
+	return Stats{
+		Name:          d.Name,
+		Users:         in.NumUsers,
+		Items:         in.NumItems(),
+		Ratings:       d.NumRatings,
+		PositiveQ:     in.NumCandidates(),
+		Classes:       in.NumClasses(),
+		LargestClass:  largest,
+		SmallestClass: smallest,
+		MedianClass:   median,
+	}
+}
+
+func scaled(base int, scale float64, minimum int) int {
+	n := int(float64(base)*scale + 0.5)
+	if n < minimum {
+		n = minimum
+	}
+	return n
+}
+
+// AmazonLike generates the Amazon-electronics stand-in: 23.0K users,
+// 4.2K items, 681K ratings and 94 heavily skewed classes at Scale = 1,
+// with daily price series over T = 7 including sale-like drops.
+func AmazonLike(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults(7)
+	rng := dist.NewRNG(cfg.Seed + 0xA3A2)
+
+	users := scaled(23000, cfg.Scale, 30)
+	items := scaled(4200, cfg.Scale, 20)
+	classes := scaled(94, math.Sqrt(cfg.Scale), 4)
+	ratingCount := scaled(681000, cfg.Scale, 60*30)
+
+	classOf := skewedClasses(rng, items, classes, 1.1)
+
+	// Price dynamics: base price per item, daily multiplicative noise,
+	// occasional scheduled sales (the strategic-postponement motif from
+	// the introduction).
+	base := make([]float64, items)
+	prices := make([][]float64, items)
+	for i := range base {
+		base[i] = rng.PowerLaw(1.5, 15, 800) // electronics-like price skew
+		prices[i] = priceSeries(rng, base[i], cfg.T)
+	}
+
+	ds, err := buildRated(ratedConfig{
+		name: "Amazon", rng: rng, cfg: cfg,
+		users: users, items: items, ratingCount: ratingCount,
+		classOf: classOf, prices: prices, base: base,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// EpinionsLike generates the Epinions stand-in: 21.3K users, 1.1K items,
+// 32.9K ratings (ultra sparse) and 43 mildly varied classes at Scale = 1.
+// Item prices are learned the way the paper learns them: per-item
+// reported-price samples → Gaussian KDE with Silverman bandwidth → T
+// pseudo-prices sampled from the estimate, and the KDE's moment-matched
+// Gaussian proxy as the item's valuation distribution.
+func EpinionsLike(cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults(7)
+	rng := dist.NewRNG(cfg.Seed + 0xE919)
+
+	users := scaled(21300, cfg.Scale, 30)
+	items := scaled(1100, cfg.Scale, 15)
+	classes := scaled(43, math.Sqrt(cfg.Scale), 3)
+	ratingCount := scaled(32900, cfg.Scale, 40*30)
+
+	classOf := evenClasses(rng, items, classes)
+
+	base := make([]float64, items)
+	prices := make([][]float64, items)
+	proxies := make([]kde.GaussianProxy, items)
+	for i := range base {
+		// Ground-truth price level and its user-reported samples (each
+		// item keeps ≥ 10 reports, the paper's filter).
+		base[i] = rng.PowerLaw(1.8, 8, 400)
+		n := 10 + rng.Intn(40)
+		reports := make([]float64, n)
+		for j := range reports {
+			reports[j] = base[i] * rng.Uniform(0.8, 1.2)
+		}
+		est, err := kde.New(reports)
+		if err != nil {
+			return nil, err
+		}
+		series := est.SampleN(rng, cfg.T)
+		for t := range series {
+			if series[t] < 0.5 {
+				series[t] = 0.5
+			}
+		}
+		prices[i] = series
+		proxies[i] = est.Proxy()
+	}
+
+	ds, err := buildRated(ratedConfig{
+		name: "Epinions", rng: rng, cfg: cfg,
+		users: users, items: items, ratingCount: ratingCount,
+		classOf: classOf, prices: prices, base: base,
+		valuations: proxies,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// Scalability generates the §6.1 synthetic scalability series: |I| items
+// in 500-ish classes, per-user TopN random interest items, prices
+// p(i,t) ~ U[xᵢ, 2xᵢ] with xᵢ ~ U[10, 500], adoption probabilities drawn
+// around a per-item level and matched anti-monotonically to prices. No
+// MF is involved — the series exists purely to measure runtime growth
+// against candidate-triple count.
+func Scalability(numUsers int, cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults(5)
+	if numUsers <= 0 {
+		return nil, fmt.Errorf("dataset: need positive user count, got %d", numUsers)
+	}
+	rng := dist.NewRNG(cfg.Seed + 0x5CA1)
+
+	// Paper ratios: 500K users / 20K items / 500 classes.
+	items := numUsers / 25
+	if items < 20 {
+		items = 20
+	}
+	classes := items / 40
+	if classes < 2 {
+		classes = 2
+	}
+
+	in := model.NewInstance(numUsers, items, cfg.T, cfg.K)
+	classOf := evenClasses(rng, items, classes)
+	for i := 0; i < items; i++ {
+		x := rng.Uniform(10, 500)
+		for t := 1; t <= cfg.T; t++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(t), rng.Uniform(x, 2*x))
+		}
+		beta := cfg.UniformBeta
+		if beta <= 0 {
+			beta = rng.Float64()
+		}
+		capQ := sampleCapacity(rng, cfg.CapacityDist, cfg.CapacityFrac*float64(numUsers))
+		class := classOf[i]
+		if cfg.SingletonClasses {
+			class = model.ClassID(i)
+		}
+		in.SetItem(model.ItemID(i), class, beta, capQ)
+	}
+
+	topN := cfg.TopN
+	if topN > items {
+		topN = items
+	}
+	qLevel := make([]float64, items)
+	for i := range qLevel {
+		qLevel[i] = rng.Float64()
+	}
+	probs := make([]float64, cfg.T)
+	idx := make([]int, cfg.T)
+	for u := 0; u < numUsers; u++ {
+		perm := rng.Perm(items)
+		for _, i := range perm[:topN] {
+			// Draw T probabilities around the item level, clamp into
+			// (0,1], then match anti-monotonically to the price series:
+			// highest probability ↔ lowest price.
+			for t := 0; t < cfg.T; t++ {
+				p := rng.Normal(qLevel[i], math.Sqrt(0.1))
+				if p < 0.01 {
+					p = 0.01
+				}
+				if p > 1 {
+					p = 1
+				}
+				probs[t] = p
+				idx[t] = t
+			}
+			sort.Slice(idx, func(a, b int) bool {
+				return in.Price(model.ItemID(i), model.TimeStep(idx[a]+1)) <
+					in.Price(model.ItemID(i), model.TimeStep(idx[b]+1))
+			})
+			sort.Sort(sort.Reverse(sort.Float64Slice(probs)))
+			for rank, t := range idx {
+				in.AddCandidate(model.UserID(u), model.ItemID(i), model.TimeStep(t+1), probs[rank])
+			}
+		}
+	}
+	in.FinishCandidates()
+
+	name := fmt.Sprintf("Synthetic-%dK", numUsers/1000)
+	if numUsers < 1000 {
+		name = fmt.Sprintf("Synthetic-%d", numUsers)
+	}
+	return &Dataset{
+		Name:     name,
+		Instance: in,
+		Rating: func(u model.UserID, i model.ItemID) float64 {
+			return qLevel[i] * 5
+		},
+	}, nil
+}
+
+// ratedConfig bundles inputs to the shared Amazon/Epinions pipeline.
+type ratedConfig struct {
+	name        string
+	rng         *dist.RNG
+	cfg         Config
+	users       int
+	items       int
+	ratingCount int
+	classOf     []model.ClassID
+	prices      [][]float64
+	base        []float64
+	// valuations, when nil, are synthesized from base prices.
+	valuations []kde.GaussianProxy
+}
+
+// buildRated runs the shared pipeline: synthesize observed ratings from
+// a latent-taste ground truth, train MF, select top-N items per user by
+// predicted rating, convert (rating, price, valuation) to adoption
+// probabilities, and sample capacities and saturation factors.
+func buildRated(rc ratedConfig) (*Dataset, error) {
+	rng, cfg := rc.rng, rc.cfg
+	const rmax = 5.0
+
+	ratings, truth := synthesizeRatings(rng, rc.users, rc.items, rc.ratingCount)
+	_ = truth
+
+	// Train on 90%, measure RMSE on the held-out 10% (stand-in for the
+	// paper's five-fold CV; the full CV lives in mf.CrossValidate).
+	split := len(ratings) * 9 / 10
+	mdl, err := mf.Train(ratings[:split], rc.users, rc.items, mf.Config{
+		Seed: cfg.Seed + 7, Epochs: cfg.MFEpochs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rmse := mdl.RMSE(ratings[split:])
+
+	valuations := rc.valuations
+	if valuations == nil {
+		valuations = make([]kde.GaussianProxy, rc.items)
+		for i := range valuations {
+			valuations[i] = kde.GaussianProxy{
+				Mu:    rc.base[i] * rng.Uniform(0.85, 1.15),
+				Sigma: rc.base[i] * rng.Uniform(0.15, 0.35),
+			}
+		}
+	}
+
+	in := model.NewInstance(rc.users, rc.items, cfg.T, cfg.K)
+	for i := 0; i < rc.items; i++ {
+		beta := cfg.UniformBeta
+		if beta <= 0 {
+			beta = rng.Float64()
+		}
+		class := rc.classOf[i]
+		if cfg.SingletonClasses {
+			class = model.ClassID(i)
+		}
+		in.SetItem(model.ItemID(i), class, beta, sampleCapacity(rng, cfg.CapacityDist, cfg.CapacityFrac*float64(rc.users)))
+		for t := 1; t <= cfg.T; t++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(t), rc.prices[i][t-1])
+		}
+	}
+
+	topN := cfg.TopN
+	if topN > rc.items {
+		topN = rc.items
+	}
+	type scored struct {
+		i model.ItemID
+		r float64
+	}
+	row := make([]scored, rc.items)
+	for u := 0; u < rc.users; u++ {
+		for i := 0; i < rc.items; i++ {
+			row[i] = scored{model.ItemID(i), mdl.Predict(u, i)}
+		}
+		sort.Slice(row, func(a, b int) bool {
+			if row[a].r != row[b].r {
+				return row[a].r > row[b].r
+			}
+			return row[a].i < row[b].i
+		})
+		for _, sc := range row[:topN] {
+			est := adoption.Estimator{Valuation: valuations[sc.i], RMax: rmax}
+			for t := 1; t <= cfg.T; t++ {
+				q := est.Probability(sc.r, in.Price(sc.i, model.TimeStep(t)))
+				in.AddCandidate(model.UserID(u), sc.i, model.TimeStep(t), q)
+			}
+		}
+	}
+	in.FinishCandidates()
+
+	return &Dataset{
+		Name:     rc.name,
+		Instance: in,
+		Rating: func(u model.UserID, i model.ItemID) float64 {
+			return mdl.Predict(int(u), int(i))
+		},
+		RMSE:       rmse,
+		NumRatings: len(ratings),
+	}, nil
+}
+
+// synthesizeRatings draws observed ratings from a latent-factor ground
+// truth with popularity skew and reporting noise, deduplicating (u,i).
+func synthesizeRatings(rng *dist.RNG, users, items, count int) ([]mf.Rating, func(u, i int) float64) {
+	const factors = 4
+	ub := make([]float64, users)
+	uv := make([][]float64, users)
+	for u := range uv {
+		ub[u] = rng.Normal(0, 0.4)
+		uv[u] = make([]float64, factors)
+		for f := range uv[u] {
+			uv[u][f] = rng.Normal(0, 0.5)
+		}
+	}
+	ib := make([]float64, items)
+	iv := make([][]float64, items)
+	pop := make([]float64, items)
+	for i := range iv {
+		ib[i] = rng.Normal(0, 0.4)
+		iv[i] = make([]float64, factors)
+		for f := range iv[i] {
+			iv[i][f] = rng.Normal(0, 0.5)
+		}
+		pop[i] = rng.PowerLaw(1.3, 1, 100)
+	}
+	cum := make([]float64, items)
+	total := 0.0
+	for i, p := range pop {
+		total += p
+		cum[i] = total
+	}
+	truth := func(u, i int) float64 {
+		s := 3.4 + ub[u] + ib[i]
+		for f := 0; f < factors; f++ {
+			s += uv[u][f] * iv[i][f]
+		}
+		if s < 1 {
+			s = 1
+		}
+		if s > 5 {
+			s = 5
+		}
+		return s
+	}
+	seen := make(map[[2]int32]struct{}, count)
+	ratings := make([]mf.Rating, 0, count)
+	for attempts := 0; len(ratings) < count && attempts < count*4; attempts++ {
+		u := rng.Intn(users)
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= items {
+			i = items - 1
+		}
+		key := [2]int32{int32(u), int32(i)}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		r := truth(u, i) + rng.Normal(0, 0.4)
+		// Round to half-star, clamp to scale.
+		r = math.Round(r*2) / 2
+		if r < 1 {
+			r = 1
+		}
+		if r > 5 {
+			r = 5
+		}
+		ratings = append(ratings, mf.Rating{U: u, I: i, R: r})
+	}
+	return ratings, truth
+}
+
+// priceSeries generates a T-day price path for an item: multiplicative
+// daily noise plus an occasional scheduled sale (30% off from a random
+// day onward), the dynamic the introduction's motivating example relies
+// on. Backed by the prices.Sale path model.
+func priceSeries(rng *dist.RNG, base float64, T int) []float64 {
+	m := prices.Sale{Base: base, Sigma: 0.04, Discount: 0.7}
+	if rng.Float64() < 0.3 {
+		m.SaleDay = 1 + rng.Intn(T)
+	}
+	return m.Series(rng, T)
+}
+
+// skewedClasses assigns items to classes with power-law sizes (Amazon's
+// largest class holds 1081 of 4200 items while the median class holds
+// 12).
+func skewedClasses(rng *dist.RNG, items, classes int, alpha float64) []model.ClassID {
+	weights := make([]float64, classes)
+	total := 0.0
+	for c := range weights {
+		weights[c] = 1 / math.Pow(float64(c+1), alpha)
+		total += weights[c]
+	}
+	cum := make([]float64, classes)
+	run := 0.0
+	for c, w := range weights {
+		run += w
+		cum[c] = run
+	}
+	out := make([]model.ClassID, items)
+	// Seed every class with one item so none is empty.
+	perm := rng.Perm(items)
+	for c := 0; c < classes && c < items; c++ {
+		out[perm[c]] = model.ClassID(c)
+	}
+	for k := classes; k < items; k++ {
+		x := rng.Float64() * total
+		c := sort.SearchFloat64s(cum, x)
+		if c >= classes {
+			c = classes - 1
+		}
+		out[perm[k]] = model.ClassID(c)
+	}
+	return out
+}
+
+// evenClasses assigns items round-robin (Epinions' class sizes vary only
+// mildly: 10–52, median 27).
+func evenClasses(rng *dist.RNG, items, classes int) []model.ClassID {
+	out := make([]model.ClassID, items)
+	perm := rng.Perm(items)
+	for k, i := range perm {
+		out[i] = model.ClassID(k % classes)
+	}
+	return out
+}
+
+// sampleCapacity draws qᵢ from the configured distribution with the
+// given mean, clamped to ≥ 1.
+func sampleCapacity(rng *dist.RNG, d CapacityDist, mean float64) int {
+	if mean < 1 {
+		mean = 1
+	}
+	var v float64
+	switch d {
+	case CapGaussian:
+		v = rng.Normal(mean, mean*0.06) // N(5000, 300) shape at paper scale
+	case CapExponential:
+		v = rng.Exponential(1 / mean)
+	case CapPowerLaw:
+		v = rng.PowerLaw(2, math.Max(1, mean/10), mean*4)
+	case CapUniform:
+		v = rng.Uniform(mean*0.5, mean*1.5)
+	}
+	c := int(v + 0.5)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

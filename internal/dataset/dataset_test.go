@@ -1,0 +1,244 @@
+package dataset_test
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+func TestAmazonLikeShape(t *testing.T) {
+	ds, err := dataset.AmazonLike(dataset.Config{Seed: 1, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.Instance
+	if err := in.Validate(); err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+	st := ds.Stats()
+	// Scaled Table 1 marginals: 23K·0.01 = 230 users, 4.2K·0.01 = 42 items.
+	if st.Users != 230 {
+		t.Fatalf("users = %d, want 230", st.Users)
+	}
+	if st.Items != 42 {
+		t.Fatalf("items = %d, want 42", st.Items)
+	}
+	if st.Ratings < 5000 || st.Ratings > 7000 {
+		t.Fatalf("ratings = %d, want ≈ 6810", st.Ratings)
+	}
+	if in.T != 7 || in.K != 3 {
+		t.Fatalf("horizon/display = %d/%d, want 7/3", in.T, in.K)
+	}
+	if st.Classes < 4 {
+		t.Fatalf("classes = %d, too few", st.Classes)
+	}
+	if st.PositiveQ == 0 {
+		t.Fatal("no positive-q candidates generated")
+	}
+	if ds.RMSE <= 0 || ds.RMSE > 2 {
+		t.Fatalf("MF RMSE = %v, implausible", ds.RMSE)
+	}
+}
+
+func TestAmazonLikeClassSkew(t *testing.T) {
+	ds, err := dataset.AmazonLike(dataset.Config{Seed: 2, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Stats()
+	// Amazon's classes are heavily skewed: largest ≫ median.
+	if st.LargestClass < 2*st.MedianClass {
+		t.Fatalf("class skew missing: largest %d vs median %d", st.LargestClass, st.MedianClass)
+	}
+	if st.SmallestClass < 1 {
+		t.Fatal("empty class generated")
+	}
+}
+
+func TestEpinionsLikeShape(t *testing.T) {
+	ds, err := dataset.EpinionsLike(dataset.Config{Seed: 3, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Instance.Validate(); err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+	st := ds.Stats()
+	if st.Users != 426 { // 21300 · 0.02
+		t.Fatalf("users = %d, want 426", st.Users)
+	}
+	if st.Items != 22 { // 1100 · 0.02
+		t.Fatalf("items = %d, want 22", st.Items)
+	}
+	if st.PositiveQ == 0 {
+		t.Fatal("no candidates")
+	}
+	// Epinions classes are near-even.
+	if st.LargestClass > 4*st.SmallestClass+4 {
+		t.Fatalf("Epinions classes too skewed: %d vs %d", st.LargestClass, st.SmallestClass)
+	}
+}
+
+func TestScalabilityShape(t *testing.T) {
+	ds, err := dataset.Scalability(1000, dataset.Config{Seed: 4, TopN: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.Instance
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.NumUsers != 1000 {
+		t.Fatalf("users = %d", in.NumUsers)
+	}
+	if in.T != 5 {
+		t.Fatalf("T = %d, want 5 (paper's scalability horizon)", in.T)
+	}
+	// Input size = TopN · T · users (paper: 100·T·|U|).
+	if want := 10 * 5 * 1000; in.NumCandidates() != want {
+		t.Fatalf("candidates = %d, want %d", in.NumCandidates(), want)
+	}
+}
+
+func TestScalabilityRejectsBadUsers(t *testing.T) {
+	if _, err := dataset.Scalability(0, dataset.Config{}); err == nil {
+		t.Fatal("0 users accepted")
+	}
+}
+
+func TestScalabilityAntiMonotonePricesVsProbs(t *testing.T) {
+	ds, err := dataset.Scalability(200, dataset.Config{Seed: 5, TopN: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.Instance
+	// Within each (user, item), a higher price must never get a higher
+	// adoption probability (the generator matches them anti-monotonically).
+	violations := 0
+	for u := 0; u < in.NumUsers; u++ {
+		cands := in.UserCandidates(model.UserID(u))
+		byItem := make(map[model.ItemID][]model.Candidate)
+		for _, c := range cands {
+			byItem[c.I] = append(byItem[c.I], c)
+		}
+		for i, cs := range byItem {
+			for a := 0; a < len(cs); a++ {
+				for b := a + 1; b < len(cs); b++ {
+					pa, pb := in.Price(i, cs[a].T), in.Price(i, cs[b].T)
+					if pa < pb && cs[a].Q < cs[b].Q-1e-12 {
+						violations++
+					}
+					if pb < pa && cs[b].Q < cs[a].Q-1e-12 {
+						violations++
+					}
+				}
+			}
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d anti-monotonicity violations", violations)
+	}
+}
+
+func TestSingletonClassesOption(t *testing.T) {
+	ds, err := dataset.AmazonLike(dataset.Config{Seed: 6, Scale: 0.01, SingletonClasses: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Stats()
+	if st.Classes != st.Items {
+		t.Fatalf("singleton classes: %d classes for %d items", st.Classes, st.Items)
+	}
+	if st.LargestClass != 1 {
+		t.Fatalf("largest class = %d, want 1", st.LargestClass)
+	}
+}
+
+func TestUniformBetaOption(t *testing.T) {
+	ds, err := dataset.EpinionsLike(dataset.Config{Seed: 7, Scale: 0.01, UniformBeta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.Instance
+	for i := 0; i < in.NumItems(); i++ {
+		if in.Beta(model.ItemID(i)) != 0.5 {
+			t.Fatalf("item %d beta = %v, want 0.5", i, in.Beta(model.ItemID(i)))
+		}
+	}
+}
+
+func TestCapacityDistributions(t *testing.T) {
+	for _, d := range []dataset.CapacityDist{
+		dataset.CapGaussian, dataset.CapExponential, dataset.CapPowerLaw, dataset.CapUniform,
+	} {
+		ds, err := dataset.AmazonLike(dataset.Config{Seed: 8, Scale: 0.01, CapacityDist: d})
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		in := ds.Instance
+		for i := 0; i < in.NumItems(); i++ {
+			if in.Capacity(model.ItemID(i)) < 1 {
+				t.Fatalf("%v: capacity < 1", d)
+			}
+		}
+		if d.String() == "unknown" {
+			t.Fatalf("distribution %d has no name", d)
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, err := dataset.AmazonLike(dataset.Config{Seed: 9, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dataset.AmazonLike(dataset.Config{Seed: 9, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instance.NumCandidates() != b.Instance.NumCandidates() {
+		t.Fatal("same seed, different candidate counts")
+	}
+	if a.Instance.Price(0, 1) != b.Instance.Price(0, 1) {
+		t.Fatal("same seed, different prices")
+	}
+	c, err := dataset.AmazonLike(dataset.Config{Seed: 10, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Instance.Price(0, 1) == c.Instance.Price(0, 1) {
+		t.Fatal("different seeds produced identical prices (suspicious)")
+	}
+}
+
+func TestRatingFunctionConsistentWithCandidates(t *testing.T) {
+	ds, err := dataset.AmazonLike(dataset.Config{Seed: 11, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.Instance
+	// The rating function must be defined (1..5) for every candidate.
+	for u := 0; u < in.NumUsers && u < 20; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			r := ds.Rating(c.U, c.I)
+			if r < 1 || r > 5 {
+				t.Fatalf("rating %v outside scale for %v", r, c.Triple)
+			}
+		}
+	}
+}
+
+func TestCandidateBudgetPerUser(t *testing.T) {
+	cfg := dataset.Config{Seed: 12, Scale: 0.01, TopN: 6}
+	ds, err := dataset.EpinionsLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := ds.Instance
+	for u := 0; u < in.NumUsers; u++ {
+		if got, max := len(in.UserCandidates(model.UserID(u))), 6*in.T; got > max {
+			t.Fatalf("user %d has %d candidates, budget %d", u, got, max)
+		}
+	}
+}

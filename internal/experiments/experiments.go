@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6) plus the §7 random-price extension. Each experiment
+// has a Run function returning a structured result with a Render method
+// that prints the same rows/series the paper reports.
+//
+// Absolute numbers differ from the paper — the datasets are synthetic
+// stand-ins (see internal/dataset and DESIGN.md §5) and the hardware is
+// not the authors' 256 GB Xeon server — but the qualitative shape (which
+// algorithm wins, by roughly what factor, how curves grow) is the
+// reproduction target, recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+)
+
+// Config shapes every experiment run.
+type Config struct {
+	// Scale is the dataset scale factor (1.0 = paper scale). Default 0.01.
+	Scale float64
+	// Seed drives all generation and randomized algorithms.
+	Seed uint64
+	// Perms is the RL-Greedy permutation count (paper: N = 20). Default 5.
+	Perms int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.01
+	}
+	if c.Perms <= 0 {
+		c.Perms = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Algorithm names, matching the paper's figure legends.
+const (
+	AlgoGG     = "GG"     // Global Greedy (Algorithm 1)
+	AlgoGGNo   = "GG-No"  // G-Greedy ignoring saturation during selection
+	AlgoRLG    = "RLG"    // Randomized Local Greedy
+	AlgoSLG    = "SLG"    // Sequential Local Greedy (Algorithm 2)
+	AlgoTopRev = "TopRev" // top-k by price × primitive probability
+	AlgoTopRat = "TopRat" // top-k by predicted rating, repeated over [T]
+)
+
+// AllAlgorithms lists the six algorithms of Figures 1–3 in legend order.
+var AllAlgorithms = []string{AlgoGG, AlgoGGNo, AlgoRLG, AlgoSLG, AlgoTopRev, AlgoTopRat}
+
+// AlgoRun is one algorithm execution: achieved revenue and wall-clock
+// duration.
+type AlgoRun struct {
+	Name       string
+	Revenue    float64
+	Duration   time.Duration
+	Selections int
+	Result     core.Result
+}
+
+// runAlgo executes the named algorithm on a dataset.
+func runAlgo(name string, ds *dataset.Dataset, cfg Config) AlgoRun {
+	start := time.Now()
+	var res core.Result
+	switch name {
+	case AlgoGG:
+		res = core.GGreedy(ds.Instance)
+	case AlgoGGNo:
+		res = core.GlobalNo(ds.Instance)
+	case AlgoRLG:
+		res = core.RLGreedy(ds.Instance, cfg.Perms, cfg.Seed+1)
+	case AlgoSLG:
+		res = core.SLGreedy(ds.Instance)
+	case AlgoTopRev:
+		res = core.TopRE(ds.Instance)
+	case AlgoTopRat:
+		res = core.TopRA(ds.Instance, core.RatingFn(ds.Rating))
+	default:
+		panic(fmt.Sprintf("experiments: unknown algorithm %q", name))
+	}
+	return AlgoRun{
+		Name:       name,
+		Revenue:    res.Revenue,
+		Duration:   time.Since(start),
+		Selections: res.Selections,
+		Result:     res,
+	}
+}
+
+// datasetKind selects the generator used in a panel.
+type datasetKind int
+
+const (
+	amazonKind datasetKind = iota
+	epinionsKind
+)
+
+func (k datasetKind) String() string {
+	if k == amazonKind {
+		return "Amazon"
+	}
+	return "Epinions"
+}
+
+// makeDataset builds the requested dataset stand-in.
+func makeDataset(kind datasetKind, dc dataset.Config) (*dataset.Dataset, error) {
+	if kind == amazonKind {
+		return dataset.AmazonLike(dc)
+	}
+	return dataset.EpinionsLike(dc)
+}
+
+// repeatsPerPair counts, for every (user, item) pair in the strategy,
+// how many times the pair was recommended — the Figure 5 statistic.
+func repeatsPerPair(s *model.Strategy) map[[2]int32]int {
+	counts := make(map[[2]int32]int)
+	for _, z := range s.Triples() {
+		counts[[2]int32{int32(z.U), int32(z.I)}]++
+	}
+	return counts
+}

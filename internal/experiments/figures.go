@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/textplot"
+)
+
+// Panel is one sub-figure: revenue per algorithm for one configuration.
+type Panel struct {
+	Dataset  string
+	Label    string // e.g. capacity distribution or β value
+	Revenues map[string]float64
+}
+
+// renderPanels draws bar groups per panel.
+func renderPanels(title string, algos []string, panels []Panel) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, p := range panels {
+		labels := make([]string, len(algos))
+		values := make([]float64, len(algos))
+		for i, a := range algos {
+			labels[i] = a
+			values[i] = p.Revenues[a]
+		}
+		b.WriteString(textplot.Bars(fmt.Sprintf("-- %s / %s", p.Dataset, p.Label), labels, values, 40))
+	}
+	return b.String()
+}
+
+// Figure1Result holds expected total revenue per capacity distribution
+// for the four panels of Figure 1 (Amazon, Epinions, and their
+// singleton-class variants), with βᵢ ~ U[0,1].
+type Figure1Result struct {
+	Panels []Panel
+}
+
+// Figure1 runs the six algorithms across capacity distributions
+// normal / power / uniform.
+func Figure1(cfg Config) (*Figure1Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Figure1Result{}
+	caps := []dataset.CapacityDist{dataset.CapGaussian, dataset.CapPowerLaw, dataset.CapUniform}
+	for _, singleton := range []bool{false, true} {
+		for _, kind := range []datasetKind{amazonKind, epinionsKind} {
+			for _, cd := range caps {
+				ds, err := makeDataset(kind, dataset.Config{
+					Seed: cfg.Seed, Scale: cfg.Scale,
+					CapacityDist: cd, SingletonClasses: singleton,
+				})
+				if err != nil {
+					return nil, err
+				}
+				name := kind.String()
+				if singleton {
+					name += " (class size 1)"
+				}
+				p := Panel{Dataset: name, Label: cd.String(), Revenues: map[string]float64{}}
+				for _, a := range AllAlgorithms {
+					p.Revenues[a] = runAlgo(a, ds, cfg).Revenue
+				}
+				res.Panels = append(res.Panels, p)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints Figure 1 as grouped bars.
+func (r *Figure1Result) Render() string {
+	return renderPanels("Figure 1: Expected total revenue, beta ~ U[0,1], by capacity distribution", AllAlgorithms, r.Panels)
+}
+
+// SaturationResult holds Figures 2 and 3: revenue versus uniform βᵢ ∈
+// {0.1, 0.5, 0.9} under Gaussian and exponential capacities.
+type SaturationResult struct {
+	Figure  string // "Figure 2" or "Figure 3"
+	Panels  []Panel
+	Betas   []float64
+	CapDist []dataset.CapacityDist
+}
+
+// figureSaturation is the shared engine for Figures 2 (class size > 1)
+// and 3 (class size = 1).
+func figureSaturation(cfg Config, singleton bool, figName string) (*SaturationResult, error) {
+	cfg = cfg.withDefaults()
+	res := &SaturationResult{
+		Figure:  figName,
+		Betas:   []float64{0.1, 0.5, 0.9},
+		CapDist: []dataset.CapacityDist{dataset.CapGaussian, dataset.CapExponential},
+	}
+	for _, kind := range []datasetKind{amazonKind, epinionsKind} {
+		for _, cd := range res.CapDist {
+			for _, beta := range res.Betas {
+				ds, err := makeDataset(kind, dataset.Config{
+					Seed: cfg.Seed, Scale: cfg.Scale,
+					CapacityDist: cd, UniformBeta: beta, SingletonClasses: singleton,
+				})
+				if err != nil {
+					return nil, err
+				}
+				p := Panel{
+					Dataset:  fmt.Sprintf("%s (%s)", kind, cd),
+					Label:    fmt.Sprintf("beta=%.1f", beta),
+					Revenues: map[string]float64{},
+				}
+				for _, a := range AllAlgorithms {
+					p.Revenues[a] = runAlgo(a, ds, cfg).Revenue
+				}
+				res.Panels = append(res.Panels, p)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Figure2 is revenue vs saturation strength with real classes.
+func Figure2(cfg Config) (*SaturationResult, error) {
+	return figureSaturation(cfg, false, "Figure 2")
+}
+
+// Figure3 is the class-size-1 ablation of Figure 2.
+func Figure3(cfg Config) (*SaturationResult, error) {
+	return figureSaturation(cfg, true, "Figure 3")
+}
+
+// Render prints the saturation panels.
+func (r *SaturationResult) Render() string {
+	suffix := "item class size > 1"
+	if r.Figure == "Figure 3" {
+		suffix = "item class size = 1"
+	}
+	return renderPanels(fmt.Sprintf("%s: revenue vs saturation strength, %s", r.Figure, suffix), AllAlgorithms, r.Panels)
+}
+
+// Figure4Result holds the revenue-growth curves of GG / RLG / SLG.
+type Figure4Result struct {
+	// Curves[dataset][algorithm] is cumulative revenue per selection.
+	Curves map[string]map[string][]float64
+}
+
+// Figure4Algorithms are the curve subjects.
+var Figure4Algorithms = []string{AlgoGG, AlgoRLG, AlgoSLG}
+
+// Figure4 records revenue as a function of strategy size (Gaussian
+// capacities, β ~ U[0,1]); G-Greedy's curve exhibits diminishing
+// marginal returns while SLG/RLG show per-time-step segments.
+func Figure4(cfg Config) (*Figure4Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Figure4Result{Curves: make(map[string]map[string][]float64)}
+	for _, kind := range []datasetKind{amazonKind, epinionsKind} {
+		ds, err := makeDataset(kind, dataset.Config{
+			Seed: cfg.Seed, Scale: cfg.Scale, CapacityDist: dataset.CapGaussian,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Curves[kind.String()] = make(map[string][]float64)
+		for _, a := range Figure4Algorithms {
+			run := runAlgo(a, ds, cfg)
+			res.Curves[kind.String()][a] = run.Result.Curve
+		}
+	}
+	return res, nil
+}
+
+// Render plots each curve.
+func (r *Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: expected total revenue vs solution size |S|\n")
+	for _, ds := range []string{"Amazon", "Epinions"} {
+		for _, a := range Figure4Algorithms {
+			curve := r.Curves[ds][a]
+			xs := make([]float64, len(curve))
+			for i := range xs {
+				xs[i] = float64(i + 1)
+			}
+			b.WriteString(textplot.Series(fmt.Sprintf("-- %s / %s (%d selections)", ds, a, len(curve)), xs, curve, 10, 50))
+		}
+	}
+	return b.String()
+}
+
+// Figure5Result holds the repeat-recommendation histograms of G-Greedy.
+type Figure5Result struct {
+	// Hist[dataset][beta] maps repeat count (1..T) to the number of
+	// (user, item) pairs with that many repeats.
+	Hist map[string]map[float64][]int
+	T    int
+}
+
+// Figure5 runs G-Greedy with uniform β ∈ {0.1, 0.5, 0.9} (class size >
+// 1) and histograms repeats per user-item pair.
+func Figure5(cfg Config) (*Figure5Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Figure5Result{Hist: make(map[string]map[float64][]int)}
+	for _, kind := range []datasetKind{amazonKind, epinionsKind} {
+		res.Hist[kind.String()] = make(map[float64][]int)
+		for _, beta := range []float64{0.1, 0.5, 0.9} {
+			ds, err := makeDataset(kind, dataset.Config{
+				Seed: cfg.Seed, Scale: cfg.Scale,
+				CapacityDist: dataset.CapGaussian, UniformBeta: beta,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res.T = ds.Instance.T
+			run := runAlgo(AlgoGG, ds, cfg)
+			hist := make([]int, ds.Instance.T)
+			for _, c := range repeatsPerPair(run.Result.Strategy) {
+				if c >= 1 && c <= ds.Instance.T {
+					hist[c-1]++
+				}
+			}
+			res.Hist[kind.String()][beta] = hist
+		}
+	}
+	return res, nil
+}
+
+// Render prints one histogram per (dataset, β).
+func (r *Figure5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 5: repeated recommendations per user-item pair (G-Greedy)\n")
+	for _, ds := range []string{"Amazon", "Epinions"} {
+		for _, beta := range []float64{0.1, 0.5, 0.9} {
+			hist := r.Hist[ds][beta]
+			buckets := make([]string, len(hist))
+			for i := range buckets {
+				buckets[i] = fmt.Sprintf("%d repeats", i+1)
+			}
+			b.WriteString(textplot.Histogram(fmt.Sprintf("-- %s, beta=%.1f", ds, beta), buckets, hist, 40))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kde"
+	"repro/internal/model"
+	"repro/internal/randprice"
+	"repro/internal/textplot"
+)
+
+// Figure6Point is one scalability measurement.
+type Figure6Point struct {
+	Users      int
+	Candidates int
+	Duration   time.Duration
+}
+
+// Figure6Result holds the G-Greedy runtime-vs-input-size series.
+type Figure6Result struct {
+	Points []Figure6Point
+}
+
+// Figure6 measures G-Greedy's runtime on the synthetic scalability
+// series (paper: 100K–500K users, 50M–250M candidate triples; here the
+// same 1×..5× progression at reproduction scale — the target is the
+// near-linear growth shape).
+func Figure6(cfg Config) (*Figure6Result, error) {
+	cfg = cfg.withDefaults()
+	base := scaledUsers(100_000, cfg.Scale)
+	res := &Figure6Result{}
+	for mult := 1; mult <= 5; mult++ {
+		ds, err := dataset.Scalability(base*mult, dataset.Config{
+			Seed: cfg.Seed, Scale: cfg.Scale,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		core.GGreedy(ds.Instance)
+		res.Points = append(res.Points, Figure6Point{
+			Users:      base * mult,
+			Candidates: ds.Instance.NumCandidates(),
+			Duration:   time.Since(start),
+		})
+	}
+	return res, nil
+}
+
+// Render plots runtime vs candidate count.
+func (r *Figure6Result) Render() string {
+	xs := make([]float64, len(r.Points))
+	ys := make([]float64, len(r.Points))
+	var b strings.Builder
+	b.WriteString("Figure 6: G-Greedy runtime vs number of candidate triples\n")
+	for i, p := range r.Points {
+		xs[i] = float64(p.Candidates)
+		ys[i] = p.Duration.Seconds()
+		fmt.Fprintf(&b, "users=%-8d candidates=%-10d time=%v\n", p.Users, p.Candidates, p.Duration.Round(time.Millisecond))
+	}
+	b.WriteString(textplot.Series("", xs, ys, 10, 50))
+	return b.String()
+}
+
+// Figure7Result holds the incomplete-price-information comparison.
+type Figure7Result struct {
+	Panels []Panel
+}
+
+// Figure7Algorithms lists the legend of Figure 7: plain GG/RLG, their
+// staged variants with cut-offs 2/4/5, and SLG (which is unaffected by
+// gradual price availability).
+var Figure7Algorithms = []string{
+	AlgoGG, "GG_2", "GG_4", "GG_5", AlgoSLG, AlgoRLG, "RLG_2", "RLG_4", "RLG_5",
+}
+
+// Figure7 runs the §6.3 setting: T = 7 split into two sub-horizons at
+// cut-off 2, 4, or 5, β = 0.5, Gaussian and power-law capacities.
+func Figure7(cfg Config) (*Figure7Result, error) {
+	cfg = cfg.withDefaults()
+	res := &Figure7Result{}
+	for _, kind := range []datasetKind{amazonKind, epinionsKind} {
+		for _, cd := range []dataset.CapacityDist{dataset.CapGaussian, dataset.CapPowerLaw} {
+			ds, err := makeDataset(kind, dataset.Config{
+				Seed: cfg.Seed, Scale: cfg.Scale,
+				CapacityDist: cd, UniformBeta: 0.5,
+			})
+			if err != nil {
+				return nil, err
+			}
+			p := Panel{
+				Dataset:  fmt.Sprintf("%s (%s)", kind, cd),
+				Label:    "beta=0.5",
+				Revenues: map[string]float64{},
+			}
+			p.Revenues[AlgoGG] = core.GGreedy(ds.Instance).Revenue
+			p.Revenues[AlgoSLG] = core.SLGreedy(ds.Instance).Revenue
+			p.Revenues[AlgoRLG] = core.RLGreedy(ds.Instance, cfg.Perms, cfg.Seed+1).Revenue
+			for _, cut := range []int{2, 4, 5} {
+				p.Revenues[fmt.Sprintf("GG_%d", cut)] = core.GGreedyStaged(ds.Instance, cut).Revenue
+				p.Revenues[fmt.Sprintf("RLG_%d", cut)] = core.RLGreedyStaged(ds.Instance, cfg.Perms, cfg.Seed+1, cut).Revenue
+			}
+			res.Panels = append(res.Panels, p)
+		}
+	}
+	return res, nil
+}
+
+// Render prints the Figure 7 bars.
+func (r *Figure7Result) Render() string {
+	return renderPanels("Figure 7: revenue with prices revealed in two sub-horizons (cut at 2/4/5)", Figure7Algorithms, r.Panels)
+}
+
+// RandomPricesResult holds the §7 extension experiment: how well the
+// Taylor approximation tracks the true expected revenue under random
+// prices, versus the naive mean-price proxy.
+type RandomPricesResult struct {
+	MonteCarlo float64
+	Taylor     float64
+	MeanProxy  float64
+	TaylorErr  float64
+	ProxyErr   float64
+}
+
+// RandomPrices builds a random-price model over a small synthetic
+// instance (price sd = 15% of mean, valuation-driven adoption), selects
+// a strategy with G-Greedy, and compares estimators against a
+// Monte-Carlo ground truth.
+func RandomPrices(cfg Config) (*RandomPricesResult, error) {
+	cfg = cfg.withDefaults()
+	ds, err := dataset.Scalability(scaledUsers(20_000, cfg.Scale), dataset.Config{
+		Seed: cfg.Seed, Scale: cfg.Scale, TopN: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	in := ds.Instance
+	strategy := core.GGreedy(in).Strategy
+
+	proxies := make([]kde.GaussianProxy, in.NumItems())
+	for i := range proxies {
+		mean := in.Price(model.ItemID(i), 1)
+		proxies[i] = kde.GaussianProxy{Mu: mean * 1.15, Sigma: mean * 0.3}
+	}
+	m := &randprice.Model{
+		In: in,
+		Adopt: func(u model.UserID, i model.ItemID, t model.TimeStep, price float64) float64 {
+			v := proxies[i].Survival(price) * 0.8
+			if v < 0 {
+				return 0
+			}
+			if v > 1 {
+				return 1
+			}
+			return v
+		},
+		Var: func(i model.ItemID, t model.TimeStep) float64 {
+			sd := 0.15 * in.Price(i, t)
+			return sd * sd
+		},
+	}
+	mc := m.MonteCarloRevenue(strategy, 20_000, cfg.Seed+5)
+	taylor := m.TaylorRevenue(strategy)
+	proxy := m.MeanProxyRevenue(strategy)
+	return &RandomPricesResult{
+		MonteCarlo: mc,
+		Taylor:     taylor,
+		MeanProxy:  proxy,
+		TaylorErr:  relErr(taylor, mc),
+		ProxyErr:   relErr(proxy, mc),
+	}, nil
+}
+
+func relErr(est, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	d := est - truth
+	if d < 0 {
+		d = -d
+	}
+	return d / truth
+}
+
+// Render prints the estimator comparison.
+func (r *RandomPricesResult) Render() string {
+	t := &textplot.Table{
+		Title:   "Random prices (§7): expected revenue estimators vs Monte-Carlo truth",
+		Headers: []string{"Estimator", "Value", "RelErr"},
+	}
+	t.AddRow("Monte-Carlo (truth)", textplot.Num(r.MonteCarlo), "-")
+	t.AddRow("Taylor 2nd order", textplot.Num(r.Taylor), fmt.Sprintf("%.4f", r.TaylorErr))
+	t.AddRow("Mean-price proxy", textplot.Num(r.MeanProxy), fmt.Sprintf("%.4f", r.ProxyErr))
+	return t.Render()
+}

@@ -1,0 +1,205 @@
+// Package flow implements min-cost max-flow on directed graphs with
+// float64 edge costs, using successive shortest augmenting paths with
+// Johnson potentials (Bellman–Ford for the initial potential so negative
+// costs are allowed, Dijkstra afterwards).
+//
+// It is the substrate for the Max-DCS solver in internal/matching, which
+// realizes the paper's PTIME special case of REVMAX for T = 1 (§3.2):
+// maximum-weight degree-constrained subgraphs reduce to min-cost flow
+// with negated weights, augmenting only while the shortest path has
+// negative reduced cost.
+package flow
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// costEps absorbs float64 noise when deciding whether an augmenting path
+// still improves the objective.
+const costEps = 1e-9
+
+// edge is one directed arc in the residual graph. Arcs are stored in
+// pairs: edge 2k is the forward arc, edge 2k+1 its residual twin.
+type edge struct {
+	to   int
+	cap  int
+	cost float64
+}
+
+// Graph is a directed flow network. Nodes are added with AddNode, edges
+// with AddEdge. The zero value is an empty graph ready to use.
+type Graph struct {
+	edges []edge
+	adj   [][]int // adj[v] lists indices into edges
+}
+
+// AddNode creates a node and returns its id.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// NumNodes reports the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// AddEdge adds a directed edge from → to with the given capacity and
+// per-unit cost, returning an edge id usable with Flow.
+func (g *Graph) AddEdge(from, to, capacity int, cost float64) int {
+	id := len(g.edges)
+	g.edges = append(g.edges, edge{to: to, cap: capacity, cost: cost})
+	g.edges = append(g.edges, edge{to: from, cap: 0, cost: -cost})
+	g.adj[from] = append(g.adj[from], id)
+	g.adj[to] = append(g.adj[to], id+1)
+	return id
+}
+
+// Flow returns the units of flow pushed through the edge with the given
+// id (the residual twin's capacity).
+func (g *Graph) Flow(id int) int { return g.edges[id^1].cap }
+
+// MinCostFlow pushes flow from s to t along successive shortest paths.
+// If negOnly is true it stops as soon as the cheapest augmenting path has
+// non-negative cost — exactly what a maximum-weight (not maximum-flow)
+// objective needs. It returns total flow and total cost.
+func (g *Graph) MinCostFlow(s, t int, negOnly bool) (flowTotal int, costTotal float64, err error) {
+	n := len(g.adj)
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return 0, 0, errors.New("flow: source or sink out of range")
+	}
+	pot := make([]float64, n)
+	if err := g.bellmanFord(s, pot); err != nil {
+		return 0, 0, err
+	}
+	distance := make([]float64, n)
+	prevEdge := make([]int, n)
+	for {
+		if !g.dijkstra(s, t, pot, distance, prevEdge) {
+			break // t unreachable
+		}
+		realCost := distance[t] + pot[t] - pot[s]
+		if negOnly && realCost >= -costEps {
+			break
+		}
+		// Bottleneck along the path.
+		bottleneck := math.MaxInt32
+		for v := t; v != s; {
+			e := prevEdge[v]
+			if g.edges[e].cap < bottleneck {
+				bottleneck = g.edges[e].cap
+			}
+			v = g.edges[e^1].to
+		}
+		for v := t; v != s; {
+			e := prevEdge[v]
+			g.edges[e].cap -= bottleneck
+			g.edges[e^1].cap += bottleneck
+			v = g.edges[e^1].to
+		}
+		flowTotal += bottleneck
+		costTotal += realCost * float64(bottleneck)
+		for v := 0; v < n; v++ {
+			if distance[v] < math.Inf(1) {
+				pot[v] += distance[v]
+			}
+		}
+	}
+	return flowTotal, costTotal, nil
+}
+
+// bellmanFord computes initial potentials from s, detecting negative
+// cycles (which would make min-cost flow ill-defined).
+func (g *Graph) bellmanFord(s int, pot []float64) error {
+	n := len(g.adj)
+	for v := range pot {
+		pot[v] = math.Inf(1)
+	}
+	pot[s] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for from := 0; from < n; from++ {
+			if math.IsInf(pot[from], 1) {
+				continue
+			}
+			for _, id := range g.adj[from] {
+				e := g.edges[id]
+				if e.cap <= 0 {
+					continue
+				}
+				if nd := pot[from] + e.cost; nd < pot[e.to]-costEps {
+					pot[e.to] = nd
+					changed = true
+					if iter == n-1 {
+						return errors.New("flow: negative cycle detected")
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Unreachable nodes get potential 0 so Dijkstra's reduced costs stay
+	// finite if they become reachable later.
+	for v := range pot {
+		if math.IsInf(pot[v], 1) {
+			pot[v] = 0
+		}
+	}
+	return nil
+}
+
+// pqItem is a Dijkstra frontier element.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// dijkstra runs reduced-cost Dijkstra from s; returns false when t is
+// unreachable in the residual graph.
+func (g *Graph) dijkstra(s, t int, pot, distance []float64, prevEdge []int) bool {
+	n := len(g.adj)
+	for v := 0; v < n; v++ {
+		distance[v] = math.Inf(1)
+		prevEdge[v] = -1
+	}
+	distance[s] = 0
+	frontier := &pq{{s, 0}}
+	for frontier.Len() > 0 {
+		it := heap.Pop(frontier).(pqItem)
+		if it.dist > distance[it.node]+costEps {
+			continue
+		}
+		for _, id := range g.adj[it.node] {
+			e := g.edges[id]
+			if e.cap <= 0 {
+				continue
+			}
+			rc := e.cost + pot[it.node] - pot[e.to]
+			if rc < -1e-6 {
+				rc = 0 // clamp tiny negative reduced costs from float noise
+			}
+			if nd := distance[it.node] + rc; nd < distance[e.to]-costEps {
+				distance[e.to] = nd
+				prevEdge[e.to] = id
+				heap.Push(frontier, pqItem{e.to, nd})
+			}
+		}
+	}
+	return !math.IsInf(distance[t], 1)
+}

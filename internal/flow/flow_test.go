@@ -1,0 +1,209 @@
+package flow_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/flow"
+)
+
+func TestSimplePath(t *testing.T) {
+	var g flow.Graph
+	s := g.AddNode()
+	a := g.AddNode()
+	tk := g.AddNode()
+	e1 := g.AddEdge(s, a, 3, 1)
+	e2 := g.AddEdge(a, tk, 2, 1)
+	f, c, err := g.MinCostFlow(s, tk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 2 || math.Abs(c-4) > 1e-9 {
+		t.Fatalf("flow=%d cost=%v, want 2/4", f, c)
+	}
+	if g.Flow(e1) != 2 || g.Flow(e2) != 2 {
+		t.Fatal("edge flows wrong")
+	}
+}
+
+func TestChoosesCheaperPath(t *testing.T) {
+	var g flow.Graph
+	s, a, b, tk := g.AddNode(), g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(s, a, 1, 10)
+	g.AddEdge(a, tk, 1, 10)
+	cheap1 := g.AddEdge(s, b, 1, 1)
+	cheap2 := g.AddEdge(b, tk, 1, 1)
+	f, c, err := g.MinCostFlow(s, tk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 2 {
+		t.Fatalf("flow = %d, want 2", f)
+	}
+	if math.Abs(c-22) > 1e-9 {
+		t.Fatalf("cost = %v, want 22", c)
+	}
+	if g.Flow(cheap1) != 1 || g.Flow(cheap2) != 1 {
+		t.Fatal("cheap path not used")
+	}
+}
+
+func TestNegOnlyStopsAtNonNegative(t *testing.T) {
+	// Two disjoint unit paths: one profitable (cost −5), one costly (+3).
+	// With negOnly, only the profitable path is used.
+	var g flow.Graph
+	s, a, b, tk := g.AddNode(), g.AddNode(), g.AddNode(), g.AddNode()
+	good := g.AddEdge(s, a, 1, -5)
+	g.AddEdge(a, tk, 1, 0)
+	bad := g.AddEdge(s, b, 1, 3)
+	g.AddEdge(b, tk, 1, 0)
+	f, c, err := g.MinCostFlow(s, tk, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 1 || math.Abs(c-(-5)) > 1e-9 {
+		t.Fatalf("flow=%d cost=%v, want 1/−5", f, c)
+	}
+	if g.Flow(good) != 1 || g.Flow(bad) != 0 {
+		t.Fatal("wrong path selected")
+	}
+}
+
+func TestNegativeCostsViaBellmanFord(t *testing.T) {
+	// A graph whose only path mixes negative and positive costs; the
+	// initial Bellman–Ford must produce valid potentials.
+	var g flow.Graph
+	s, a, b, tk := g.AddNode(), g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddEdge(s, a, 2, -4)
+	g.AddEdge(a, b, 2, 1)
+	g.AddEdge(b, tk, 2, -2)
+	f, c, err := g.MinCostFlow(s, tk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 2 || math.Abs(c-(-10)) > 1e-9 {
+		t.Fatalf("flow=%d cost=%v, want 2/−10", f, c)
+	}
+}
+
+func TestDisconnectedSink(t *testing.T) {
+	var g flow.Graph
+	s := g.AddNode()
+	tk := g.AddNode()
+	f, c, err := g.MinCostFlow(s, tk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0 || c != 0 {
+		t.Fatalf("flow=%d cost=%v on disconnected graph", f, c)
+	}
+}
+
+func TestBadEndpoints(t *testing.T) {
+	var g flow.Graph
+	g.AddNode()
+	if _, _, err := g.MinCostFlow(0, 5, false); err == nil {
+		t.Fatal("out-of-range sink accepted")
+	}
+}
+
+// bruteMaxWeightAssignment enumerates subsets of edges in a tiny
+// bipartite graph subject to degree bounds, maximizing total weight.
+func bruteMaxWeightAssignment(nu, ni int, du, di []int, edges [][3]float64) float64 {
+	best := 0.0
+	n := len(edges)
+	for mask := 0; mask < 1<<n; mask++ {
+		degU := make([]int, nu)
+		degI := make([]int, ni)
+		w := 0.0
+		ok := true
+		for e := 0; e < n; e++ {
+			if mask&(1<<e) == 0 {
+				continue
+			}
+			u, i := int(edges[e][0]), int(edges[e][1])
+			degU[u]++
+			degI[i]++
+			if degU[u] > du[u] || degI[i] > di[i] {
+				ok = false
+				break
+			}
+			w += edges[e][2]
+		}
+		if ok && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestMaxWeightDCSAgainstBruteForce(t *testing.T) {
+	rng := dist.NewRNG(77)
+	for trial := 0; trial < 40; trial++ {
+		nu := 1 + rng.Intn(3)
+		ni := 1 + rng.Intn(3)
+		du := make([]int, nu)
+		di := make([]int, ni)
+		for u := range du {
+			du[u] = 1 + rng.Intn(2)
+		}
+		for i := range di {
+			di[i] = 1 + rng.Intn(2)
+		}
+		var edges [][3]float64
+		for u := 0; u < nu; u++ {
+			for i := 0; i < ni; i++ {
+				if rng.Float64() < 0.7 {
+					edges = append(edges, [3]float64{float64(u), float64(i), rng.Uniform(0.1, 10)})
+				}
+			}
+		}
+		want := bruteMaxWeightAssignment(nu, ni, du, di, edges)
+
+		var g flow.Graph
+		s := g.AddNode()
+		tk := g.AddNode()
+		un := make([]int, nu)
+		inn := make([]int, ni)
+		for u := range un {
+			un[u] = g.AddNode()
+			g.AddEdge(s, un[u], du[u], 0)
+		}
+		for i := range inn {
+			inn[i] = g.AddNode()
+			g.AddEdge(inn[i], tk, di[i], 0)
+		}
+		ids := make([]int, len(edges))
+		for e, ed := range edges {
+			ids[e] = g.AddEdge(un[int(ed[0])], inn[int(ed[1])], 1, -ed[2])
+		}
+		_, cost, err := g.MinCostFlow(s, tk, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := -cost
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d: flow weight %v != brute %v", trial, got, want)
+		}
+		// Selected edges must respect the degree bounds.
+		degU := make([]int, nu)
+		degI := make([]int, ni)
+		for e, id := range ids {
+			if g.Flow(id) > 0 {
+				degU[int(edges[e][0])]++
+				degI[int(edges[e][1])]++
+			}
+		}
+		for u := range degU {
+			if degU[u] > du[u] {
+				t.Fatal("user degree bound violated")
+			}
+		}
+		for i := range degI {
+			if degI[i] > di[i] {
+				t.Fatal("item degree bound violated")
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package inventory sets per-item capacity limits qᵢ from demand
+// forecasts, the step the paper delegates to stochastic inventory
+// theory (§3.1, citing Porteus 1990): "qᵢ is a number determined based
+// on current inventory level and demand forecasting ... In general, qᵢ
+// can be somewhat higher than the actual inventory level, due to
+// uncertainty in product adoption."
+//
+// Two policies are provided:
+//
+//   - Newsvendor: given a Poisson-binomial demand forecast (the adoption
+//     probabilities of the users a recommender would target) and a
+//     service level, the smallest q with Pr[demand ≤ q] ≥ level.
+//   - Overbook: scale physical stock up by the expected conversion rate,
+//     the "somewhat higher than inventory" heuristic quantified.
+package inventory
+
+import (
+	"errors"
+
+	"repro/internal/poibin"
+)
+
+// Newsvendor returns the smallest capacity q such that the probability
+// that realized demand (one Bernoulli trial per targeted user with the
+// given adoption probability) does not exceed q is at least level.
+// level must lie in (0, 1); probs must be non-empty.
+func Newsvendor(probs []float64, level float64) (int, error) {
+	if len(probs) == 0 {
+		return 0, errors.New("inventory: no demand forecast")
+	}
+	if level <= 0 || level >= 1 {
+		return 0, errors.New("inventory: service level must be in (0,1)")
+	}
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			return 0, errors.New("inventory: adoption probability outside [0,1]")
+		}
+	}
+	pmf := poibin.PMF(probs)
+	cum := 0.0
+	for q, mass := range pmf {
+		cum += mass
+		if cum >= level {
+			return q, nil
+		}
+	}
+	return len(probs), nil
+}
+
+// Overbook converts physical stock into a recommendation capacity by
+// dividing by the mean adoption probability of the targeted users,
+// clamped to at most the audience size: if only a fraction of
+// recommended users convert, the recommender can safely target more
+// users than there are units.
+func Overbook(stock int, probs []float64) (int, error) {
+	if stock < 0 {
+		return 0, errors.New("inventory: negative stock")
+	}
+	if len(probs) == 0 {
+		return stock, nil
+	}
+	mean := 0.0
+	for _, p := range probs {
+		if p < 0 || p > 1 {
+			return 0, errors.New("inventory: adoption probability outside [0,1]")
+		}
+		mean += p
+	}
+	mean /= float64(len(probs))
+	if mean <= 0 {
+		return len(probs), nil // nobody converts: any audience is safe
+	}
+	q := int(float64(stock)/mean + 0.5)
+	if q < stock {
+		q = stock
+	}
+	if q > len(probs) {
+		q = len(probs)
+	}
+	return q, nil
+}
+
+// StockoutProbability returns Pr[demand > capacity] for the forecast —
+// the risk metric a seller trades off against lost recommendations.
+func StockoutProbability(probs []float64, capacity int) float64 {
+	return 1 - poibin.TailAtMost(probs, capacity)
+}

@@ -1,0 +1,147 @@
+package inventory_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/inventory"
+	"repro/internal/poibin"
+)
+
+func TestNewsvendorErrors(t *testing.T) {
+	if _, err := inventory.Newsvendor(nil, 0.9); err == nil {
+		t.Fatal("empty forecast accepted")
+	}
+	if _, err := inventory.Newsvendor([]float64{0.5}, 0); err == nil {
+		t.Fatal("level 0 accepted")
+	}
+	if _, err := inventory.Newsvendor([]float64{0.5}, 1); err == nil {
+		t.Fatal("level 1 accepted")
+	}
+	if _, err := inventory.Newsvendor([]float64{1.5}, 0.9); err == nil {
+		t.Fatal("bad probability accepted")
+	}
+}
+
+func TestNewsvendorQuantile(t *testing.T) {
+	// 10 users at p = 0.5: median demand 5; the 50% quantile is 5, the
+	// 99% quantile larger.
+	probs := make([]float64, 10)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	q50, err := inventory.Newsvendor(probs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q50 != 5 {
+		t.Fatalf("50%% quantile = %d, want 5", q50)
+	}
+	q99, err := inventory.Newsvendor(probs, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q99 <= q50 || q99 > 10 {
+		t.Fatalf("99%% quantile = %d", q99)
+	}
+	// The chosen q must actually achieve the level, and q−1 must not.
+	if poibin.TailAtMost(probs, q99) < 0.99 {
+		t.Fatal("service level not met")
+	}
+	if poibin.TailAtMost(probs, q99-1) >= 0.99 {
+		t.Fatal("q not minimal")
+	}
+}
+
+func TestNewsvendorMonotoneInLevel(t *testing.T) {
+	rng := dist.NewRNG(1)
+	probs := make([]float64, 30)
+	for i := range probs {
+		probs[i] = rng.Float64()
+	}
+	prev := -1
+	for _, level := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		q, err := inventory.Newsvendor(probs, level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q < prev {
+			t.Fatalf("quantile not monotone in level at %v", level)
+		}
+		prev = q
+	}
+}
+
+func TestOverbook(t *testing.T) {
+	// 5 units, audience of 20 with mean conversion 0.5 ⇒ target ≈ 10.
+	probs := make([]float64, 20)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	q, err := inventory.Overbook(5, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 10 {
+		t.Fatalf("Overbook = %d, want 10", q)
+	}
+	// Clamped to the audience size when stock/conversion exceeds it.
+	q, _ = inventory.Overbook(18, probs)
+	if q != 20 {
+		t.Fatalf("Overbook = %d, want audience cap 20", q)
+	}
+	q, _ = inventory.Overbook(50, probs)
+	if q != 20 {
+		t.Fatalf("Overbook above audience: %d", q)
+	}
+	// Never below physical stock.
+	q, _ = inventory.Overbook(3, []float64{0.9, 0.95, 1, 0.99})
+	if q < 3 {
+		t.Fatalf("Overbook %d below stock", q)
+	}
+}
+
+func TestOverbookEdgeCases(t *testing.T) {
+	if _, err := inventory.Overbook(-1, nil); err == nil {
+		t.Fatal("negative stock accepted")
+	}
+	if q, _ := inventory.Overbook(7, nil); q != 7 {
+		t.Fatal("empty audience should return stock")
+	}
+	q, err := inventory.Overbook(3, []float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 3 {
+		t.Fatalf("zero-conversion audience: q = %d, want audience size 3", q)
+	}
+	if _, err := inventory.Overbook(3, []float64{2}); err == nil {
+		t.Fatal("bad probability accepted")
+	}
+}
+
+func TestStockoutProbability(t *testing.T) {
+	probs := []float64{0.5, 0.5}
+	// Pr[demand > 1] = Pr[both adopt] = 0.25.
+	if got := inventory.StockoutProbability(probs, 1); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("stockout prob = %v, want 0.25", got)
+	}
+	if got := inventory.StockoutProbability(probs, 2); got != 0 {
+		t.Fatalf("capacity ≥ audience should be risk-free, got %v", got)
+	}
+	// Consistency with Newsvendor: capacity at level 0.95 has stockout
+	// probability ≤ 0.05.
+	rng := dist.NewRNG(2)
+	forecast := make([]float64, 40)
+	for i := range forecast {
+		forecast[i] = rng.Float64()
+	}
+	q, err := inventory.Newsvendor(forecast, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risk := inventory.StockoutProbability(forecast, q); risk > 0.05+1e-12 {
+		t.Fatalf("newsvendor capacity leaves %v risk", risk)
+	}
+}

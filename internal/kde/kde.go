@@ -1,0 +1,128 @@
+// Package kde implements Gaussian kernel density estimation with
+// Silverman's rule-of-thumb bandwidth, the technique the paper uses to
+// learn price and valuation distributions from Epinions' user-reported
+// prices (§6.1): f̂(x) = (1/nh) Σ φ((x−pⱼ)/h), h* = (4σ̂⁵/3n)^(1/5).
+//
+// Documented substitution: the paper then claims "the distribution fᵢ
+// remains Gaussian with mean μᵢ = Σpⱼ/(nᵢh) and variance σ² = h", which
+// is mathematically garbled (a KDE mixture is not Gaussian, and the 1/h
+// in the mean formula has the wrong units). We expose the correct KDE
+// mixture (PDF/CDF/Survival/Sample) plus a single-Gaussian proxy whose
+// moments match the mixture exactly: mean = sample mean, variance =
+// sample variance + h². The proxy preserves the paper's intent — an
+// erf-evaluable Pr[val ≥ p] — while being internally consistent.
+package kde
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// KDE is a Gaussian kernel density estimate over a sample.
+type KDE struct {
+	samples   []float64
+	bandwidth float64
+}
+
+// New builds a KDE over samples with Silverman's bandwidth. It requires
+// at least one sample; with a single sample (or zero variance) a small
+// floor bandwidth keeps the estimate proper.
+func New(samples []float64) (*KDE, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("kde: no samples")
+	}
+	cp := make([]float64, len(samples))
+	copy(cp, samples)
+	h := Silverman(cp)
+	return &KDE{samples: cp, bandwidth: h}, nil
+}
+
+// Silverman computes the rule-of-thumb bandwidth h* = (4σ̂⁵ / 3n)^(1/5),
+// with a small floor so degenerate samples stay usable.
+func Silverman(samples []float64) float64 {
+	n := float64(len(samples))
+	sigma := dist.StdDev(samples)
+	h := math.Pow(4*math.Pow(sigma, 5)/(3*n), 0.2)
+	if h < 1e-9 {
+		h = 1e-9
+	}
+	return h
+}
+
+// Bandwidth returns the bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// PDF evaluates the density estimate at x.
+func (k *KDE) PDF(x float64) float64 {
+	n := float64(len(k.samples))
+	h := k.bandwidth
+	s := 0.0
+	for _, p := range k.samples {
+		z := (x - p) / h
+		s += math.Exp(-z * z / 2)
+	}
+	return s / (n * h * math.Sqrt(2*math.Pi))
+}
+
+// CDF evaluates Pr[X ≤ x] under the mixture (average of Gaussian CDFs).
+func (k *KDE) CDF(x float64) float64 {
+	s := 0.0
+	for _, p := range k.samples {
+		s += dist.NormalCDF(x, p, k.bandwidth)
+	}
+	return s / float64(len(k.samples))
+}
+
+// Survival evaluates Pr[X ≥ x] = 1 − CDF(x); this is the paper's
+// Pr[val ≥ price] used to build adoption probabilities.
+func (k *KDE) Survival(x float64) float64 { return 1 - k.CDF(x) }
+
+// Sample draws one value from the mixture: pick a kernel uniformly, then
+// a Gaussian perturbation — exactly how the paper generates T = 7
+// pseudo-prices per Epinions item.
+func (k *KDE) Sample(rng *dist.RNG) float64 {
+	p := k.samples[rng.Intn(len(k.samples))]
+	return rng.Normal(p, k.bandwidth)
+}
+
+// SampleN draws n values.
+func (k *KDE) SampleN(rng *dist.RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = k.Sample(rng)
+	}
+	return out
+}
+
+// Mean returns the mixture mean (= sample mean).
+func (k *KDE) Mean() float64 { return dist.Mean(k.samples) }
+
+// Variance returns the mixture variance (= sample variance + h²).
+func (k *KDE) Variance() float64 {
+	return dist.Variance(k.samples) + k.bandwidth*k.bandwidth
+}
+
+// GaussianProxy is the single-Gaussian surrogate for a KDE mixture, used
+// as an item's valuation distribution: moments match the mixture, and
+// the survival function is a single erf evaluation.
+type GaussianProxy struct {
+	Mu    float64
+	Sigma float64
+}
+
+// Proxy returns the moment-matched Gaussian surrogate.
+func (k *KDE) Proxy() GaussianProxy {
+	return GaussianProxy{Mu: k.Mean(), Sigma: math.Sqrt(k.Variance())}
+}
+
+// Survival returns Pr[val ≥ x] = ½(1 − erf((x−μ)/(√2 σ))) — Eq. in §6.1.
+func (g GaussianProxy) Survival(x float64) float64 {
+	return dist.NormalSurvival(x, g.Mu, g.Sigma)
+}
+
+// CDF returns Pr[val ≤ x].
+func (g GaussianProxy) CDF(x float64) float64 {
+	return dist.NormalCDF(x, g.Mu, g.Sigma)
+}

@@ -1,0 +1,170 @@
+package kde_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/kde"
+)
+
+func TestNewRejectsEmpty(t *testing.T) {
+	if _, err := kde.New(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestSilvermanPositive(t *testing.T) {
+	if h := kde.Silverman([]float64{1, 2, 3, 4, 5}); h <= 0 {
+		t.Fatalf("bandwidth %v not positive", h)
+	}
+	// Degenerate sample still gets the floor bandwidth.
+	if h := kde.Silverman([]float64{7, 7, 7}); h <= 0 {
+		t.Fatalf("degenerate bandwidth %v not positive", h)
+	}
+}
+
+func TestSilvermanFormula(t *testing.T) {
+	samples := []float64{10, 20, 30, 40, 50}
+	sigma := dist.StdDev(samples)
+	want := math.Pow(4*math.Pow(sigma, 5)/(3*5), 0.2)
+	if got := kde.Silverman(samples); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Silverman = %v, want %v", got, want)
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	k, err := kde.New([]float64{5, 10, 12, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid integration over a generous range.
+	total := 0.0
+	lo, hi, steps := -100.0, 150.0, 20000
+	dx := (hi - lo) / float64(steps)
+	for s := 0; s < steps; s++ {
+		x := lo + (float64(s)+0.5)*dx
+		total += k.PDF(x) * dx
+	}
+	if math.Abs(total-1) > 1e-3 {
+		t.Fatalf("PDF integrates to %v", total)
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	k, err := kde.New([]float64{3, 7, 7, 15, 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := -50.0; x <= 80; x += 0.5 {
+		v := k.CDF(x)
+		if v < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v", x)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("CDF out of bounds at %v: %v", x, v)
+		}
+		prev = v
+	}
+	if k.CDF(-1e6) > 1e-9 || k.CDF(1e6) < 1-1e-9 {
+		t.Fatal("CDF tails wrong")
+	}
+}
+
+func TestSurvivalComplement(t *testing.T) {
+	k, _ := kde.New([]float64{1, 2, 3})
+	for x := -5.0; x < 10; x += 0.7 {
+		if math.Abs(k.CDF(x)+k.Survival(x)-1) > 1e-12 {
+			t.Fatalf("CDF + Survival != 1 at %v", x)
+		}
+	}
+}
+
+func TestCDFMatchesEmpiricalMass(t *testing.T) {
+	// KDE CDF at the sample median should be near 0.5 for symmetric data.
+	k, _ := kde.New([]float64{10, 20, 30, 40, 50})
+	if got := k.CDF(30); math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("CDF at median = %v, want ≈ 0.5", got)
+	}
+}
+
+func TestMixtureMoments(t *testing.T) {
+	samples := []float64{5, 15, 25, 40}
+	k, _ := kde.New(samples)
+	if got, want := k.Mean(), dist.Mean(samples); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	h := k.Bandwidth()
+	if got, want := k.Variance(), dist.Variance(samples)+h*h; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestSampleDistributionMatchesMoments(t *testing.T) {
+	samples := []float64{100, 110, 120, 130, 140, 150}
+	k, _ := kde.New(samples)
+	rng := dist.NewRNG(1)
+	n := 100000
+	draws := k.SampleN(rng, n)
+	mean := dist.Mean(draws)
+	if math.Abs(mean-k.Mean()) > 1.0 {
+		t.Fatalf("sample mean %v vs mixture mean %v", mean, k.Mean())
+	}
+	variance := dist.Variance(draws)
+	if math.Abs(variance-k.Variance()) > 0.1*k.Variance()+1 {
+		t.Fatalf("sample variance %v vs mixture variance %v", variance, k.Variance())
+	}
+}
+
+func TestProxyMatchesMixtureMoments(t *testing.T) {
+	samples := []float64{9, 12, 20, 31}
+	k, _ := kde.New(samples)
+	p := k.Proxy()
+	if math.Abs(p.Mu-k.Mean()) > 1e-12 {
+		t.Fatalf("proxy mean %v != mixture mean %v", p.Mu, k.Mean())
+	}
+	if math.Abs(p.Sigma*p.Sigma-k.Variance()) > 1e-9 {
+		t.Fatalf("proxy variance %v != mixture variance %v", p.Sigma*p.Sigma, k.Variance())
+	}
+}
+
+func TestProxySurvivalAntiMonotoneInPrice(t *testing.T) {
+	p := kde.GaussianProxy{Mu: 50, Sigma: 10}
+	prev := 2.0
+	for x := 0.0; x <= 100; x += 5 {
+		v := p.Survival(x)
+		if v > prev+1e-12 {
+			t.Fatalf("survival increased at price %v", x)
+		}
+		if v < 0 || v > 1 {
+			t.Fatalf("survival out of bounds: %v", v)
+		}
+		prev = v
+	}
+	if got := p.Survival(50); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("survival at mean = %v, want 0.5", got)
+	}
+}
+
+func TestProxyCDFComplement(t *testing.T) {
+	p := kde.GaussianProxy{Mu: 5, Sigma: 2}
+	for x := -5.0; x < 15; x += 0.9 {
+		if math.Abs(p.CDF(x)+p.Survival(x)-1) > 1e-12 {
+			t.Fatalf("proxy CDF/Survival mismatch at %v", x)
+		}
+	}
+}
+
+func TestProxyApproximatesMixtureSurvival(t *testing.T) {
+	// For unimodal-ish samples, the Gaussian proxy should track the
+	// mixture's survival within a coarse tolerance across the bulk.
+	samples := []float64{95, 100, 102, 105, 110, 98, 103}
+	k, _ := kde.New(samples)
+	p := k.Proxy()
+	for x := 90.0; x <= 115; x += 1 {
+		if diff := math.Abs(p.Survival(x) - k.Survival(x)); diff > 0.15 {
+			t.Fatalf("proxy far from mixture at %v: |%v − %v| = %v", x, p.Survival(x), k.Survival(x), diff)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package localsearch implements the approximation algorithm of §4.2:
+// maximizing a non-negative, non-monotone set function under a matroid
+// constraint via local search, in the style of Lee, Mirrokni, Nagarajan
+// and Sviridenko (SIAM J. Discrete Math. 2010), which yields a 1/(4+ε)
+// approximation for one matroid.
+//
+// The procedure: run an approximate local search (delete / add / swap
+// moves that improve the value by at least a (1 + ε/n⁴) factor) on the
+// ground set to obtain S₁, then run it again on the ground set minus S₁
+// to obtain S₂, and return the better of the two — the second pass is
+// what handles non-monotonicity. The complexity is O(ε⁻¹ n⁴ log n) value
+// oracle calls, which the paper deems impractical at scale; this
+// implementation exists to validate the theory on small instances and to
+// serve as a quality yardstick for the greedy heuristics.
+package localsearch
+
+import (
+	"repro/internal/matroid"
+	"repro/internal/model"
+)
+
+// Value is the set-function oracle f: 2^X → R≥0.
+type Value func(s *model.Strategy) float64
+
+// Options tunes the search.
+type Options struct {
+	// Epsilon controls the improvement threshold (1 + Epsilon/n⁴); the
+	// guarantee becomes 1/(4+ε'). Zero means 0.25.
+	Epsilon float64
+	// MaxIterations caps local moves per pass as a safety valve; zero
+	// means 10·n².
+	MaxIterations int
+}
+
+// Result reports the chosen set and its value, plus search statistics.
+type Result struct {
+	Strategy    *model.Strategy
+	Value       float64
+	OracleCalls int
+	Moves       int
+}
+
+// Maximize runs the two-pass approximate local search over the ground
+// set subject to the independence system (a matroid for the guarantee to
+// hold; the display-constraint partition matroid in the RevMax use).
+func Maximize(ground []model.Triple, sys matroid.IndependenceSystem, f Value, opts Options) Result {
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 0.25
+	}
+	n := len(ground)
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 10*n*n + 100
+	}
+
+	calls := 0
+	eval := func(s *model.Strategy) float64 {
+		calls++
+		return f(s)
+	}
+
+	s1, moves1 := localSearch(ground, sys, eval, opts)
+	v1 := eval(s1)
+
+	// Second pass on the residual ground set (non-monotone handling).
+	var residual []model.Triple
+	for _, z := range ground {
+		if !s1.Contains(z) {
+			residual = append(residual, z)
+		}
+	}
+	s2, moves2 := localSearch(residual, sys, eval, opts)
+	v2 := eval(s2)
+
+	res := Result{Strategy: s1, Value: v1, OracleCalls: calls, Moves: moves1 + moves2}
+	if v2 > v1 {
+		res.Strategy = s2
+		res.Value = v2
+	}
+	return res
+}
+
+// localSearch runs one pass: seed with the best singleton, then apply
+// improving delete / add / swap moves until none exceeds the threshold.
+func localSearch(ground []model.Triple, sys matroid.IndependenceSystem, eval func(*model.Strategy) float64, opts Options) (*model.Strategy, int) {
+	s := model.NewStrategy()
+	if len(ground) == 0 {
+		return s, 0
+	}
+	n := float64(len(ground))
+	threshold := 1 + opts.Epsilon/(n*n*n*n)
+
+	// Seed: best feasible singleton with positive value.
+	bestVal := 0.0
+	bestIdx := -1
+	for idx, z := range ground {
+		single := model.StrategyOf(z)
+		if !sys.Independent(single) {
+			continue
+		}
+		if v := eval(single); v > bestVal {
+			bestVal = v
+			bestIdx = idx
+		}
+	}
+	if bestIdx < 0 {
+		return s, 0
+	}
+	s.Add(ground[bestIdx])
+	cur := bestVal
+
+	moves := 0
+	for moves < opts.MaxIterations {
+		improved := false
+
+		// Delete moves.
+		for _, z := range s.Triples() {
+			s.Remove(z)
+			if v := eval(s); v > cur*threshold {
+				cur = v
+				improved = true
+				break
+			}
+			s.Add(z)
+		}
+		if improved {
+			moves++
+			continue
+		}
+
+		// Add moves.
+		for _, z := range ground {
+			if s.Contains(z) {
+				continue
+			}
+			s.Add(z)
+			if sys.Independent(s) {
+				if v := eval(s); v > cur*threshold {
+					cur = v
+					improved = true
+					break
+				}
+			}
+			s.Remove(z)
+		}
+		if improved {
+			moves++
+			continue
+		}
+
+		// Swap moves (one out, one in).
+		for _, out := range s.Triples() {
+			s.Remove(out)
+			for _, inz := range ground {
+				if s.Contains(inz) || inz == out {
+					continue
+				}
+				s.Add(inz)
+				if sys.Independent(s) {
+					if v := eval(s); v > cur*threshold {
+						cur = v
+						improved = true
+						break
+					}
+				}
+				s.Remove(inz)
+			}
+			if improved {
+				break
+			}
+			s.Add(out)
+		}
+		if !improved {
+			break
+		}
+		moves++
+	}
+	return s, moves
+}

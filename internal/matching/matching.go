@@ -1,0 +1,109 @@
+// Package matching solves the maximum-weight degree-constrained subgraph
+// problem (Max-DCS) on bipartite graphs and applies it to the T = 1
+// special case of REVMAX, which the paper shows is PTIME solvable (§3.2):
+// users on one side with degree bound k, items on the other with degree
+// bound qᵢ, edge weight p(i,1)·q(u,i,1).
+//
+// Caveat (documented divergence from the paper): with display limit
+// k > 1 a user may receive two same-class items at the same time step, in
+// which case Definition 1's same-time competition product makes Rev
+// non-edge-separable and the Max-DCS cast is only an upper-bounding
+// relaxation. The cast is exact when k = 1 or when all classes are
+// singletons; tests pin both facts.
+package matching
+
+import (
+	"errors"
+
+	"repro/internal/flow"
+	"repro/internal/model"
+)
+
+// MaxDCSResult is the output of the T=1 exact solver.
+type MaxDCSResult struct {
+	Strategy *model.Strategy
+	// Weight is the total edge weight Σ p·q of the selected subgraph (the
+	// separable objective the solver optimizes).
+	Weight float64
+}
+
+// SolveT1 solves the Max-DCS relaxation of REVMAX restricted to time
+// step t of the instance. Every candidate (u,i,t) becomes an edge with
+// weight p(i,t)·q(u,i,t); user degrees are bounded by k and item degrees
+// by qᵢ. It returns an error if the instance has no time step t.
+func SolveT1(in *model.Instance, t model.TimeStep) (MaxDCSResult, error) {
+	if t < 1 || int(t) > in.T {
+		return MaxDCSResult{}, errors.New("matching: time step outside horizon")
+	}
+	var g flow.Graph
+	src := g.AddNode()
+	sink := g.AddNode()
+	userNode := make([]int, in.NumUsers)
+	for u := range userNode {
+		userNode[u] = g.AddNode()
+		g.AddEdge(src, userNode[u], in.K, 0)
+	}
+	itemNode := make([]int, in.NumItems())
+	for i := range itemNode {
+		itemNode[i] = g.AddNode()
+		g.AddEdge(itemNode[i], sink, in.Capacity(model.ItemID(i)), 0)
+	}
+	type edgeRef struct {
+		id int
+		z  model.Triple
+		w  float64
+	}
+	var refs []edgeRef
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if c.T != t {
+				continue
+			}
+			w := in.Price(c.I, t) * c.Q
+			id := g.AddEdge(userNode[u], itemNode[c.I], 1, -w)
+			refs = append(refs, edgeRef{id, c.Triple, w})
+		}
+	}
+	if _, _, err := g.MinCostFlow(src, sink, true); err != nil {
+		return MaxDCSResult{}, err
+	}
+	s := model.NewStrategy()
+	weight := 0.0
+	for _, r := range refs {
+		if g.Flow(r.id) > 0 {
+			s.Add(r.z)
+			weight += r.w
+		}
+	}
+	return MaxDCSResult{Strategy: s, Weight: weight}, nil
+}
+
+// SolveMyopic runs SolveT1 independently for every time step and unions
+// the results. This is the "static approach rolled out myopically over a
+// horizon" that the paper's introduction describes as the best a
+// snapshot method can do; note it shares item capacity across steps by
+// resolving each step against the remaining capacity, in user-time
+// order, so the union stays valid.
+func SolveMyopic(in *model.Instance) (*model.Strategy, error) {
+	s := model.NewStrategy()
+	used := make([]map[model.UserID]struct{}, in.NumItems())
+	for t := model.TimeStep(1); int(t) <= in.T; t++ {
+		res, err := SolveT1(in, t)
+		if err != nil {
+			return nil, err
+		}
+		for _, z := range res.Strategy.Triples() {
+			m := used[z.I]
+			if m == nil {
+				m = make(map[model.UserID]struct{})
+				used[z.I] = m
+			}
+			if _, ok := m[z.U]; !ok && len(m) >= in.Capacity(z.I) {
+				continue // capacity consumed by earlier steps
+			}
+			m[z.U] = struct{}{}
+			s.Add(z)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,155 @@
+package matching_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/matching"
+	"repro/internal/model"
+	"repro/internal/revenue"
+	"repro/internal/testgen"
+)
+
+// tinyT1 builds a random T=1 instance small enough for Optimal.
+func tinyT1(rng *dist.RNG, k int, singletonClasses bool) *model.Instance {
+	p := testgen.Params{
+		Users: 2, Items: 3, Classes: 3, T: 1, K: k,
+		MaxCap: 2, CandProb: 0.8, MinPrice: 1, MaxPrice: 20,
+	}
+	if !singletonClasses {
+		p.Classes = 2
+	}
+	return testgen.Random(rng, p)
+}
+
+func TestSolveT1MatchesOptimalWithK1(t *testing.T) {
+	// With k = 1 no user can get two same-class items at one step, so the
+	// Max-DCS cast is exact (§3.2).
+	rng := dist.NewRNG(1)
+	for trial := 0; trial < 20; trial++ {
+		in := tinyT1(rng, 1, false)
+		if in.NumCandidates() == 0 || in.NumCandidates() > 14 {
+			continue
+		}
+		res, err := matching.SolveT1(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.CheckValid(res.Strategy); err != nil {
+			t.Fatalf("Max-DCS output invalid: %v", err)
+		}
+		opt, err := core.Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := revenue.Revenue(in, res.Strategy)
+		if math.Abs(got-opt.Revenue) > 1e-6 {
+			t.Fatalf("trial %d: Max-DCS revenue %v != optimal %v", trial, got, opt.Revenue)
+		}
+	}
+}
+
+func TestSolveT1MatchesOptimalWithSingletonClasses(t *testing.T) {
+	// Singleton classes make Rev edge-separable even for k > 1.
+	rng := dist.NewRNG(2)
+	for trial := 0; trial < 20; trial++ {
+		in := tinyT1(rng, 2, true)
+		if in.NumCandidates() == 0 || in.NumCandidates() > 14 {
+			continue
+		}
+		res, err := matching.SolveT1(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := core.Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := revenue.Revenue(in, res.Strategy)
+		if math.Abs(got-opt.Revenue) > 1e-6 {
+			t.Fatalf("trial %d: Max-DCS revenue %v != optimal %v", trial, got, opt.Revenue)
+		}
+	}
+}
+
+func TestSolveT1WeightIsUpperBoundOnSeparableRevenue(t *testing.T) {
+	// The separable weight Σ p·q always upper-bounds the realized revenue
+	// of the selected strategy (competition only subtracts).
+	rng := dist.NewRNG(3)
+	for trial := 0; trial < 20; trial++ {
+		in := tinyT1(rng, 2, false)
+		res, err := matching.SolveT1(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev := revenue.Revenue(in, res.Strategy)
+		if rev > res.Weight+1e-9 {
+			t.Fatalf("revenue %v exceeds separable weight %v", rev, res.Weight)
+		}
+	}
+}
+
+func TestSolveT1RejectsBadTimeStep(t *testing.T) {
+	rng := dist.NewRNG(4)
+	in := tinyT1(rng, 1, false)
+	if _, err := matching.SolveT1(in, 0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := matching.SolveT1(in, model.TimeStep(in.T+1)); err == nil {
+		t.Fatal("t beyond horizon accepted")
+	}
+}
+
+func TestSolveT1GreedyNeverBeatsIt(t *testing.T) {
+	// On T=1 instances with k=1, G-Greedy cannot beat the exact solver.
+	rng := dist.NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		in := tinyT1(rng, 1, false)
+		res, err := matching.SolveT1(in, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := revenue.Revenue(in, res.Strategy)
+		gg := core.GGreedy(in)
+		if gg.Revenue > exact+1e-6 {
+			t.Fatalf("greedy %v beats exact %v on T=1 k=1", gg.Revenue, exact)
+		}
+	}
+}
+
+func TestSolveMyopicValid(t *testing.T) {
+	rng := dist.NewRNG(6)
+	for trial := 0; trial < 10; trial++ {
+		p := testgen.Default()
+		p.K = 1
+		in := testgen.Random(rng, p)
+		s, err := matching.SolveMyopic(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.CheckValid(s); err != nil {
+			t.Fatalf("myopic union invalid: %v", err)
+		}
+	}
+}
+
+func TestSolveMyopicSingleStepEqualsSolveT1(t *testing.T) {
+	rng := dist.NewRNG(7)
+	p := testgen.Default()
+	p.T = 1
+	p.K = 1
+	in := testgen.Random(rng, p)
+	s, err := matching.SolveMyopic(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := matching.SolveT1(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != res.Strategy.Len() {
+		t.Fatalf("myopic %d triples != direct %d", s.Len(), res.Strategy.Len())
+	}
+}

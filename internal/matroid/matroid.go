@@ -1,0 +1,175 @@
+// Package matroid provides the independence-system abstractions behind
+// §4.2 of Lu et al. (VLDB 2014): a generic matroid interface, the
+// partition matroid that the display constraint induces (Lemma 2), the
+// capacity independence system (which is *not* a matroid — Example 2),
+// and axiom checkers used by the property tests.
+package matroid
+
+import (
+	"repro/internal/model"
+)
+
+// IndependenceSystem decides membership of a set of triples in a
+// downward-closed family. Implementations must be pure: Independent may
+// be called with arbitrary sets in any order.
+type IndependenceSystem interface {
+	// Independent reports whether the set is in the family.
+	Independent(s *model.Strategy) bool
+}
+
+// Partition is the partition matroid of Lemma 2: the ground set
+// U × I × [T] is partitioned by (user, time) projections X(u,t), and a
+// set is independent iff it contains at most K elements of each block —
+// exactly the display constraint.
+type Partition struct {
+	K int
+}
+
+// NewPartition returns the display-constraint matroid with bound k.
+func NewPartition(k int) *Partition { return &Partition{K: k} }
+
+// Independent implements IndependenceSystem.
+func (p *Partition) Independent(s *model.Strategy) bool {
+	counts := make(map[[2]int32]int)
+	for _, z := range s.Triples() {
+		key := [2]int32{int32(z.U), int32(z.T)}
+		counts[key]++
+		if counts[key] > p.K {
+			return false
+		}
+	}
+	return true
+}
+
+// Capacity is the independence system induced by the capacity
+// constraint: at most qᵢ distinct users per item over the horizon. It is
+// downward closed and contains the empty set but fails the augmentation
+// axiom (Example 2 of the paper), so it is not a matroid — the reason
+// R-REVMAX pushes capacity into the objective instead.
+type Capacity struct {
+	Caps func(model.ItemID) int
+}
+
+// NewCapacity returns the capacity system with per-item bounds given by
+// caps.
+func NewCapacity(caps func(model.ItemID) int) *Capacity {
+	return &Capacity{Caps: caps}
+}
+
+// Independent implements IndependenceSystem.
+func (c *Capacity) Independent(s *model.Strategy) bool {
+	users := make(map[model.ItemID]map[model.UserID]struct{})
+	for _, z := range s.Triples() {
+		m := users[z.I]
+		if m == nil {
+			m = make(map[model.UserID]struct{})
+			users[z.I] = m
+		}
+		m[z.U] = struct{}{}
+		if len(m) > c.Caps(z.I) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersection is the system whose independent sets are independent in
+// every member system. The intersection of the display matroid and the
+// capacity system characterizes the paper's "valid" strategies.
+type Intersection struct {
+	Systems []IndependenceSystem
+}
+
+// NewIntersection combines systems.
+func NewIntersection(systems ...IndependenceSystem) *Intersection {
+	return &Intersection{Systems: systems}
+}
+
+// Independent implements IndependenceSystem.
+func (x *Intersection) Independent(s *model.Strategy) bool {
+	for _, sys := range x.Systems {
+		if !sys.Independent(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// AxiomReport records which matroid axioms hold for a system over a
+// finite ground set.
+type AxiomReport struct {
+	EmptySetIndependent bool
+	DownwardClosed      bool
+	Augmentation        bool
+}
+
+// IsMatroid reports whether all three axioms hold.
+func (r AxiomReport) IsMatroid() bool {
+	return r.EmptySetIndependent && r.DownwardClosed && r.Augmentation
+}
+
+// CheckAxioms exhaustively verifies the matroid axioms for sys over the
+// given ground set (≤ ~18 elements; 2ⁿ subsets are enumerated). Used by
+// tests to certify Lemma 2 and to machine-check Example 2.
+func CheckAxioms(sys IndependenceSystem, ground []model.Triple) AxiomReport {
+	n := len(ground)
+	indep := make([]bool, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		s := model.NewStrategy()
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				s.Add(ground[b])
+			}
+		}
+		indep[mask] = sys.Independent(s)
+	}
+	report := AxiomReport{
+		EmptySetIndependent: indep[0],
+		DownwardClosed:      true,
+		Augmentation:        true,
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		if !indep[mask] {
+			continue
+		}
+		// Downward closure: removing any element keeps independence.
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 && !indep[mask&^(1<<b)] {
+				report.DownwardClosed = false
+			}
+		}
+	}
+	for a := 0; a < 1<<n && report.Augmentation; a++ {
+		if !indep[a] {
+			continue
+		}
+		for b := 0; b < 1<<n; b++ {
+			if !indep[b] || popcount(b) <= popcount(a) {
+				continue
+			}
+			// Some element of b \ a must extend a.
+			extended := false
+			for e := 0; e < n; e++ {
+				bit := 1 << e
+				if b&bit != 0 && a&bit == 0 && indep[a|bit] {
+					extended = true
+					break
+				}
+			}
+			if !extended {
+				report.Augmentation = false
+				break
+			}
+		}
+	}
+	return report
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

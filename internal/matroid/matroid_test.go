@@ -1,0 +1,139 @@
+package matroid_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/matroid"
+	"repro/internal/model"
+)
+
+func smallGround() []model.Triple {
+	var g []model.Triple
+	for u := 0; u < 2; u++ {
+		for i := 0; i < 2; i++ {
+			for t := 1; t <= 2; t++ {
+				g = append(g, model.Triple{U: model.UserID(u), I: model.ItemID(i), T: model.TimeStep(t)})
+			}
+		}
+	}
+	return g
+}
+
+// Lemma 2: the display constraint is a partition matroid, so all three
+// axioms must hold over any ground set.
+func TestLemma2PartitionIsMatroid(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		report := matroid.CheckAxioms(matroid.NewPartition(k), smallGround())
+		if !report.IsMatroid() {
+			t.Fatalf("k=%d: partition matroid axioms violated: %+v", k, report)
+		}
+	}
+}
+
+// Example 2: the capacity constraint satisfies the empty set and
+// downward closure but fails augmentation, so it is not a matroid.
+func TestExample2CapacityIsNotMatroid(t *testing.T) {
+	// Paper's exact witness: S' = {(u1,i2,t1),(u1,i2,t2),(u2,i1,t1),
+	// (u2,i1,t2)}, S = {(u1,i1,t1),(u2,i2,t2)}, q_i1 = q_i2 = 1.
+	ground := []model.Triple{
+		{U: 1, I: 2, T: 1}, {U: 1, I: 2, T: 2},
+		{U: 2, I: 1, T: 1}, {U: 2, I: 1, T: 2},
+		{U: 1, I: 1, T: 1}, {U: 2, I: 2, T: 2},
+	}
+	caps := matroid.NewCapacity(func(model.ItemID) int { return 1 })
+	report := matroid.CheckAxioms(caps, ground)
+	if !report.EmptySetIndependent || !report.DownwardClosed {
+		t.Fatalf("capacity system should be downward closed: %+v", report)
+	}
+	if report.Augmentation {
+		t.Fatal("capacity system unexpectedly satisfies augmentation (Example 2 should break it)")
+	}
+
+	// Machine-check the paper's witness pair directly.
+	sPrime := model.StrategyOf(ground[0], ground[1], ground[2], ground[3])
+	s := model.StrategyOf(ground[4], ground[5])
+	if !caps.Independent(sPrime) || !caps.Independent(s) {
+		t.Fatal("witness sets should both be independent")
+	}
+	for _, z := range sPrime.Triples() {
+		if s.Contains(z) {
+			continue
+		}
+		aug := s.Clone()
+		aug.Add(z)
+		if caps.Independent(aug) {
+			t.Fatalf("augmentation unexpectedly possible with %v", z)
+		}
+	}
+}
+
+func TestPartitionIndependentCounts(t *testing.T) {
+	p := matroid.NewPartition(1)
+	ok := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 1, T: 2},
+		model.Triple{U: 1, I: 0, T: 1},
+	)
+	if !p.Independent(ok) {
+		t.Fatal("valid display set rejected")
+	}
+	bad := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 1, T: 1},
+	)
+	if p.Independent(bad) {
+		t.Fatal("display violation accepted")
+	}
+}
+
+func TestIntersectionSystem(t *testing.T) {
+	display := matroid.NewPartition(1)
+	caps := matroid.NewCapacity(func(model.ItemID) int { return 1 })
+	both := matroid.NewIntersection(display, caps)
+
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 1, I: 0, T: 1}, // second distinct user on capacity-1 item
+	)
+	if display.Independent(s) != true {
+		t.Fatal("display should accept")
+	}
+	if caps.Independent(s) {
+		t.Fatal("capacity should reject")
+	}
+	if both.Independent(s) {
+		t.Fatal("intersection should reject when any member rejects")
+	}
+	if !both.Independent(model.NewStrategy()) {
+		t.Fatal("intersection should accept empty set")
+	}
+}
+
+// Randomized: intersection of display and capacity accepts exactly the
+// strategies that Instance.CheckValid accepts.
+func TestIntersectionMatchesCheckValid(t *testing.T) {
+	rng := dist.NewRNG(5)
+	in := model.NewInstance(3, 3, 3, 1)
+	for i := 0; i < 3; i++ {
+		in.SetItem(model.ItemID(i), model.ClassID(i), 1, 1+i%2)
+	}
+	sys := matroid.NewIntersection(
+		matroid.NewPartition(in.K),
+		matroid.NewCapacity(func(i model.ItemID) int { return in.Capacity(i) }),
+	)
+	for trial := 0; trial < 200; trial++ {
+		s := model.NewStrategy()
+		for n := rng.Intn(6); n > 0; n-- {
+			s.Add(model.Triple{
+				U: model.UserID(rng.Intn(3)),
+				I: model.ItemID(rng.Intn(3)),
+				T: model.TimeStep(1 + rng.Intn(3)),
+			})
+		}
+		want := in.CheckValid(s) == nil
+		if got := sys.Independent(s); got != want {
+			t.Fatalf("trial %d: intersection=%v CheckValid=%v for %v", trial, got, want, s.Triples())
+		}
+	}
+}

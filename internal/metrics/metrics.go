@@ -1,0 +1,106 @@
+// Package metrics computes descriptive statistics of recommendation
+// strategies: the quantities the paper reports alongside revenue
+// (repeat-recommendation histograms, Figure 5) plus operational measures
+// a deployed system monitors — display-slot utilization, capacity
+// utilization, catalog coverage, and per-user diversity.
+package metrics
+
+import (
+	"repro/internal/model"
+	"repro/internal/revenue"
+)
+
+// Report is a full strategy profile.
+type Report struct {
+	// Size is |S|.
+	Size int
+	// Revenue is Rev(S) under the instance's model.
+	Revenue float64
+	// RevenuePerRec is Revenue / Size (0 for empty strategies).
+	RevenuePerRec float64
+
+	// RepeatHistogram[r-1] counts (user, item) pairs recommended exactly
+	// r times (Figure 5's statistic), r = 1..T.
+	RepeatHistogram []int
+
+	// DisplayUtilization is the fraction of the k·T·|U| display slots
+	// used.
+	DisplayUtilization float64
+	// CapacityUtilization is, averaged over items that appear in S, the
+	// fraction of capacity consumed (distinct users / qᵢ).
+	CapacityUtilization float64
+
+	// ItemCoverage is the fraction of catalog items recommended at least
+	// once; UserCoverage the fraction of users receiving at least one
+	// recommendation.
+	ItemCoverage float64
+	UserCoverage float64
+
+	// MeanItemsPerUser is the average number of distinct items shown to
+	// users who received anything (intra-user diversity).
+	MeanItemsPerUser float64
+	// MeanClassesPerUser is the same over competition classes.
+	MeanClassesPerUser float64
+}
+
+// Profile computes the report for strategy s on instance in.
+func Profile(in *model.Instance, s *model.Strategy) Report {
+	r := Report{
+		Size:            s.Len(),
+		Revenue:         revenue.Revenue(in, s),
+		RepeatHistogram: make([]int, in.T),
+	}
+	if r.Size > 0 {
+		r.RevenuePerRec = r.Revenue / float64(r.Size)
+	}
+
+	pairCounts := make(map[[2]int32]int)
+	itemUsers := make(map[model.ItemID]map[model.UserID]bool)
+	userItems := make(map[model.UserID]map[model.ItemID]bool)
+	userClasses := make(map[model.UserID]map[model.ClassID]bool)
+	for _, z := range s.Triples() {
+		pairCounts[[2]int32{int32(z.U), int32(z.I)}]++
+		if itemUsers[z.I] == nil {
+			itemUsers[z.I] = make(map[model.UserID]bool)
+		}
+		itemUsers[z.I][z.U] = true
+		if userItems[z.U] == nil {
+			userItems[z.U] = make(map[model.ItemID]bool)
+			userClasses[z.U] = make(map[model.ClassID]bool)
+		}
+		userItems[z.U][z.I] = true
+		userClasses[z.U][in.Class(z.I)] = true
+	}
+	for _, c := range pairCounts {
+		if c >= 1 && c <= in.T {
+			r.RepeatHistogram[c-1]++
+		}
+	}
+
+	slots := in.K * in.T * in.NumUsers
+	if slots > 0 {
+		r.DisplayUtilization = float64(r.Size) / float64(slots)
+	}
+
+	if len(itemUsers) > 0 {
+		sum := 0.0
+		for i, users := range itemUsers {
+			if capQ := in.Capacity(i); capQ > 0 {
+				sum += float64(len(users)) / float64(capQ)
+			}
+		}
+		r.CapacityUtilization = sum / float64(len(itemUsers))
+		r.ItemCoverage = float64(len(itemUsers)) / float64(in.NumItems())
+	}
+	if len(userItems) > 0 {
+		r.UserCoverage = float64(len(userItems)) / float64(in.NumUsers)
+		items, classes := 0, 0
+		for u := range userItems {
+			items += len(userItems[u])
+			classes += len(userClasses[u])
+		}
+		r.MeanItemsPerUser = float64(items) / float64(len(userItems))
+		r.MeanClassesPerUser = float64(classes) / float64(len(userItems))
+	}
+	return r
+}

@@ -1,0 +1,103 @@
+package metrics_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/revenue"
+	"repro/internal/testgen"
+)
+
+func TestProfileEmptyStrategy(t *testing.T) {
+	rng := dist.NewRNG(1)
+	in := testgen.Random(rng, testgen.Default())
+	r := metrics.Profile(in, model.NewStrategy())
+	if r.Size != 0 || r.Revenue != 0 || r.RevenuePerRec != 0 ||
+		r.UserCoverage != 0 || r.ItemCoverage != 0 {
+		t.Fatalf("non-zero profile for empty strategy: %+v", r)
+	}
+}
+
+func TestProfileHandComputed(t *testing.T) {
+	// 2 users, 2 items (distinct classes), T=2, k=1.
+	in := model.NewInstance(2, 2, 2, 1)
+	in.SetItem(0, 0, 1, 2)
+	in.SetItem(1, 1, 1, 4)
+	for i := 0; i < 2; i++ {
+		for tt := 1; tt <= 2; tt++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(tt), 10)
+			in.AddCandidate(0, model.ItemID(i), model.TimeStep(tt), 0.5)
+			in.AddCandidate(1, model.ItemID(i), model.TimeStep(tt), 0.5)
+		}
+	}
+	in.FinishCandidates()
+	// user0: item0 at t1 and t2 (repeat=2); user1: item1 at t1.
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 0, T: 2},
+		model.Triple{U: 1, I: 1, T: 1},
+	)
+	r := metrics.Profile(in, s)
+	if r.Size != 3 {
+		t.Fatalf("Size = %d", r.Size)
+	}
+	if r.RepeatHistogram[0] != 1 || r.RepeatHistogram[1] != 1 {
+		t.Fatalf("repeat histogram = %v", r.RepeatHistogram)
+	}
+	// Slots = 1·2·2 = 4, used 3.
+	if math.Abs(r.DisplayUtilization-0.75) > 1e-12 {
+		t.Fatalf("display utilization = %v", r.DisplayUtilization)
+	}
+	// item0: 1 distinct user / cap 2 = 0.5; item1: 1/4 = 0.25; mean 0.375.
+	if math.Abs(r.CapacityUtilization-0.375) > 1e-12 {
+		t.Fatalf("capacity utilization = %v", r.CapacityUtilization)
+	}
+	if r.ItemCoverage != 1 || r.UserCoverage != 1 {
+		t.Fatalf("coverage = %v/%v", r.ItemCoverage, r.UserCoverage)
+	}
+	if r.MeanItemsPerUser != 1 || r.MeanClassesPerUser != 1 {
+		t.Fatalf("diversity = %v/%v", r.MeanItemsPerUser, r.MeanClassesPerUser)
+	}
+	if want := revenue.Revenue(in, s); r.Revenue != want {
+		t.Fatalf("revenue %v != %v", r.Revenue, want)
+	}
+	if math.Abs(r.RevenuePerRec-r.Revenue/3) > 1e-12 {
+		t.Fatalf("revenue per rec = %v", r.RevenuePerRec)
+	}
+}
+
+func TestProfileOfGreedyOutput(t *testing.T) {
+	rng := dist.NewRNG(2)
+	for trial := 0; trial < 10; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		res := core.GGreedy(in)
+		r := metrics.Profile(in, res.Strategy)
+		if r.Size != res.Strategy.Len() {
+			t.Fatal("size mismatch")
+		}
+		if math.Abs(r.Revenue-res.Revenue) > 1e-9 {
+			t.Fatal("revenue mismatch")
+		}
+		if r.DisplayUtilization < 0 || r.DisplayUtilization > 1 {
+			t.Fatalf("display utilization %v", r.DisplayUtilization)
+		}
+		if r.UserCoverage < 0 || r.UserCoverage > 1 || r.ItemCoverage < 0 || r.ItemCoverage > 1 {
+			t.Fatal("coverage out of [0,1]")
+		}
+		// Greedy respects capacity, so per-item utilization ≤ 1.
+		if r.CapacityUtilization > 1+1e-12 {
+			t.Fatalf("capacity utilization %v > 1 for a valid strategy", r.CapacityUtilization)
+		}
+		total := 0
+		for _, c := range r.RepeatHistogram {
+			total += c
+		}
+		if total == 0 && r.Size > 0 {
+			t.Fatal("repeat histogram empty for non-empty strategy")
+		}
+	}
+}

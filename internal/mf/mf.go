@@ -1,0 +1,205 @@
+// Package mf implements biased matrix factorization trained by
+// stochastic gradient descent — the "vanilla MF model" the paper uses to
+// produce predicted ratings (§6, citing Koren et al. 2009):
+//
+//	r̂(u,i) = μ + b_u + b_i + p_uᵀ q_i
+//
+// with L2 regularization, RMSE evaluation, and k-fold cross-validation
+// matching the paper's experimental protocol (five-fold CV; RMSE 0.91 on
+// Amazon, 1.04 on Epinions).
+package mf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Rating is one observed (user, item, rating) triple.
+type Rating struct {
+	U int
+	I int
+	R float64
+}
+
+// Config controls training.
+type Config struct {
+	Factors   int     // latent dimension f; default 8
+	Epochs    int     // SGD sweeps; default 20
+	LearnRate float64 // default 0.01
+	Reg       float64 // L2 regularization; default 0.05
+	InitScale float64 // initial factor magnitude; default 0.1
+	Seed      uint64  // RNG seed for init and shuffling
+	MinRating float64 // rating clamp lower bound; default 1
+	MaxRating float64 // rating clamp upper bound; default 5
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Factors <= 0 {
+		c.Factors = 8
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 20
+	}
+	if c.LearnRate <= 0 {
+		c.LearnRate = 0.01
+	}
+	if c.Reg <= 0 {
+		c.Reg = 0.05
+	}
+	if c.InitScale <= 0 {
+		c.InitScale = 0.1
+	}
+	if c.MaxRating <= c.MinRating {
+		c.MinRating, c.MaxRating = 1, 5
+	}
+	return c
+}
+
+// Model is a trained factorization.
+type Model struct {
+	mu         float64
+	userBias   []float64
+	itemBias   []float64
+	userVec    [][]float64
+	itemVec    [][]float64
+	factors    int
+	minR, maxR float64
+}
+
+// Train fits a model on ratings for the given numbers of users and
+// items. Ratings referencing ids outside [0, numUsers) × [0, numItems)
+// are rejected.
+func Train(ratings []Rating, numUsers, numItems int, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if len(ratings) == 0 {
+		return nil, errors.New("mf: no training ratings")
+	}
+	mu := 0.0
+	for _, r := range ratings {
+		if r.U < 0 || r.U >= numUsers || r.I < 0 || r.I >= numItems {
+			return nil, fmt.Errorf("mf: rating (%d,%d) out of range", r.U, r.I)
+		}
+		mu += r.R
+	}
+	mu /= float64(len(ratings))
+
+	rng := dist.NewRNG(cfg.Seed + 1)
+	m := &Model{
+		mu:       mu,
+		userBias: make([]float64, numUsers),
+		itemBias: make([]float64, numItems),
+		userVec:  randMat(rng, numUsers, cfg.Factors, cfg.InitScale),
+		itemVec:  randMat(rng, numItems, cfg.Factors, cfg.InitScale),
+		factors:  cfg.Factors,
+		minR:     cfg.MinRating,
+		maxR:     cfg.MaxRating,
+	}
+
+	order := make([]int, len(ratings))
+	for i := range order {
+		order[i] = i
+	}
+	lr, reg := cfg.LearnRate, cfg.Reg
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			r := ratings[idx]
+			pu, qi := m.userVec[r.U], m.itemVec[r.I]
+			pred := m.raw(r.U, r.I)
+			e := r.R - pred
+			m.userBias[r.U] += lr * (e - reg*m.userBias[r.U])
+			m.itemBias[r.I] += lr * (e - reg*m.itemBias[r.I])
+			for f := 0; f < cfg.Factors; f++ {
+				puf, qif := pu[f], qi[f]
+				pu[f] += lr * (e*qif - reg*puf)
+				qi[f] += lr * (e*puf - reg*qif)
+			}
+		}
+	}
+	return m, nil
+}
+
+func randMat(rng *dist.RNG, n, f int, scale float64) [][]float64 {
+	m := make([][]float64, n)
+	backing := make([]float64, n*f)
+	for i := range backing {
+		backing[i] = (rng.Float64() - 0.5) * 2 * scale
+	}
+	for i := range m {
+		m[i], backing = backing[:f], backing[f:]
+	}
+	return m
+}
+
+// raw computes the unclamped prediction.
+func (m *Model) raw(u, i int) float64 {
+	s := m.mu + m.userBias[u] + m.itemBias[i]
+	pu, qi := m.userVec[u], m.itemVec[i]
+	for f := 0; f < m.factors; f++ {
+		s += pu[f] * qi[f]
+	}
+	return s
+}
+
+// Predict returns r̂(u,i) clamped to the rating scale.
+func (m *Model) Predict(u, i int) float64 {
+	v := m.raw(u, i)
+	if v < m.minR {
+		return m.minR
+	}
+	if v > m.maxR {
+		return m.maxR
+	}
+	return v
+}
+
+// RMSE evaluates root-mean-square error on a test set.
+func (m *Model) RMSE(test []Rating) float64 {
+	if len(test) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range test {
+		d := r.R - m.Predict(r.U, r.I)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(test)))
+}
+
+// CrossValidate performs k-fold cross-validation (the paper's protocol
+// uses five folds) and returns the mean held-out RMSE across folds.
+func CrossValidate(ratings []Rating, numUsers, numItems, folds int, cfg Config) (float64, error) {
+	if folds < 2 {
+		return 0, errors.New("mf: need at least 2 folds")
+	}
+	if len(ratings) < folds {
+		return 0, errors.New("mf: fewer ratings than folds")
+	}
+	rng := dist.NewRNG(cfg.Seed + 99)
+	shuffled := make([]Rating, len(ratings))
+	copy(shuffled, ratings)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	total := 0.0
+	for k := 0; k < folds; k++ {
+		lo := k * len(shuffled) / folds
+		hi := (k + 1) * len(shuffled) / folds
+		test := shuffled[lo:hi]
+		train := make([]Rating, 0, len(shuffled)-len(test))
+		train = append(train, shuffled[:lo]...)
+		train = append(train, shuffled[hi:]...)
+		m, err := Train(train, numUsers, numItems, cfg)
+		if err != nil {
+			return 0, err
+		}
+		total += m.RMSE(test)
+	}
+	return total / float64(folds), nil
+}
+
+// GlobalMean returns μ, the training mean rating.
+func (m *Model) GlobalMean() float64 { return m.mu }

@@ -1,0 +1,23 @@
+package model
+
+// ShallowCloneWithBeta returns a copy of the instance that shares price
+// and candidate storage with the original but overrides every item's
+// saturation factor with beta. It exists for the GlobalNo baseline of
+// §6.1, which selects triples as though βᵢ = 1 (no saturation) and is
+// then scored under the true saturation factors.
+func (in *Instance) ShallowCloneWithBeta(beta float64) *Instance {
+	items := make([]Item, len(in.Items))
+	copy(items, in.Items)
+	for i := range items {
+		items[i].Beta = beta
+	}
+	return &Instance{
+		NumUsers:   in.NumUsers,
+		T:          in.T,
+		K:          in.K,
+		Items:      items,
+		prices:     in.prices,
+		cands:      in.cands,
+		classItems: in.classItems,
+	}
+}

@@ -1,0 +1,284 @@
+package model_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+func TestTripleLessIsStrictWeakOrder(t *testing.T) {
+	a := model.Triple{U: 1, I: 2, T: 3}
+	b := model.Triple{U: 1, I: 2, T: 4}
+	c := model.Triple{U: 2, I: 0, T: 1}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatalf("time ordering broken: %v vs %v", a, b)
+	}
+	if !a.Less(c) || c.Less(a) {
+		t.Fatalf("user ordering broken: %v vs %v", a, c)
+	}
+	if a.Less(a) {
+		t.Fatal("Less must be irreflexive")
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	z := model.Triple{U: 3, I: 7, T: 2}
+	if got, want := z.String(), "(u3,i7,t2)"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestInstancePriceRoundTrip(t *testing.T) {
+	in := model.NewInstance(2, 3, 4, 1)
+	in.SetPrice(1, 2, 9.5)
+	if got := in.Price(1, 2); got != 9.5 {
+		t.Fatalf("Price(1,2) = %v, want 9.5", got)
+	}
+	if got := in.Price(1, 1); got != 0 {
+		t.Fatalf("unset price = %v, want 0", got)
+	}
+}
+
+func TestAddCandidateIgnoresNonPositiveQ(t *testing.T) {
+	in := model.NewInstance(1, 1, 2, 1)
+	in.AddCandidate(0, 0, 1, 0)
+	in.AddCandidate(0, 0, 1, -0.5)
+	in.AddCandidate(0, 0, 2, 0.7)
+	in.FinishCandidates()
+	if got := in.NumCandidates(); got != 1 {
+		t.Fatalf("NumCandidates = %d, want 1", got)
+	}
+}
+
+func TestAddCandidateClampsQAboveOne(t *testing.T) {
+	in := model.NewInstance(1, 1, 1, 1)
+	in.AddCandidate(0, 0, 1, 1.7)
+	in.FinishCandidates()
+	if got := in.Q(0, 0, 1); got != 1 {
+		t.Fatalf("Q = %v, want clamped 1", got)
+	}
+}
+
+func TestQLookupSparse(t *testing.T) {
+	in := model.NewInstance(2, 3, 3, 1)
+	in.AddCandidate(0, 2, 3, 0.25)
+	in.AddCandidate(0, 1, 1, 0.5)
+	in.AddCandidate(1, 0, 2, 0.75)
+	in.FinishCandidates()
+	cases := []struct {
+		u model.UserID
+		i model.ItemID
+		t model.TimeStep
+		q float64
+	}{
+		{0, 2, 3, 0.25},
+		{0, 1, 1, 0.5},
+		{1, 0, 2, 0.75},
+		{0, 1, 2, 0},
+		{1, 2, 3, 0},
+		{0, 0, 1, 0},
+	}
+	for _, c := range cases {
+		if got := in.Q(c.u, c.i, c.t); got != c.q {
+			t.Errorf("Q(%d,%d,%d) = %v, want %v", c.u, c.i, c.t, got, c.q)
+		}
+	}
+}
+
+func TestQAgainstLinearScan(t *testing.T) {
+	rng := dist.NewRNG(11)
+	in := testgen.Random(rng, testgen.Default())
+	for u := 0; u < in.NumUsers; u++ {
+		want := make(map[model.Triple]float64)
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			want[c.Triple] = c.Q
+		}
+		for i := 0; i < in.NumItems(); i++ {
+			for tt := 1; tt <= in.T; tt++ {
+				z := model.Triple{U: model.UserID(u), I: model.ItemID(i), T: model.TimeStep(tt)}
+				if got := in.Q(z.U, z.I, z.T); got != want[z] {
+					t.Fatalf("Q(%v) = %v, want %v", z, got, want[z])
+				}
+			}
+		}
+	}
+}
+
+func TestClassIndexAndStats(t *testing.T) {
+	in := model.NewInstance(1, 5, 1, 1)
+	classes := []model.ClassID{0, 0, 0, 1, 2}
+	for i, c := range classes {
+		in.SetItem(model.ItemID(i), c, 1, 1)
+	}
+	in.FinishCandidates()
+	if got := in.NumClasses(); got != 3 {
+		t.Fatalf("NumClasses = %d, want 3", got)
+	}
+	if got := len(in.ClassItems(0)); got != 3 {
+		t.Fatalf("class 0 size = %d, want 3", got)
+	}
+	largest, smallest, median := in.ClassSizeStats()
+	if largest != 3 || smallest != 1 || median != 1 {
+		t.Fatalf("stats = (%d,%d,%d), want (3,1,1)", largest, smallest, median)
+	}
+}
+
+func TestStrategySetSemantics(t *testing.T) {
+	s := model.NewStrategy()
+	z := model.Triple{U: 0, I: 1, T: 2}
+	s.Add(z)
+	s.Add(z)
+	if s.Len() != 1 {
+		t.Fatalf("duplicate Add changed Len: %d", s.Len())
+	}
+	if !s.Contains(z) {
+		t.Fatal("Contains after Add = false")
+	}
+	s.Remove(z)
+	if s.Contains(z) || s.Len() != 0 {
+		t.Fatal("Remove did not delete")
+	}
+	s.Remove(z) // no-op on absent
+}
+
+func TestStrategyTriplesSorted(t *testing.T) {
+	s := model.StrategyOf(
+		model.Triple{U: 1, I: 0, T: 1},
+		model.Triple{U: 0, I: 2, T: 2},
+		model.Triple{U: 0, I: 2, T: 1},
+	)
+	ts := s.Triples()
+	for i := 1; i < len(ts); i++ {
+		if !ts[i-1].Less(ts[i]) {
+			t.Fatalf("Triples not sorted: %v before %v", ts[i-1], ts[i])
+		}
+	}
+}
+
+func TestStrategyCloneIsDeep(t *testing.T) {
+	s := model.StrategyOf(model.Triple{U: 0, I: 0, T: 1})
+	c := s.Clone()
+	c.Add(model.Triple{U: 1, I: 1, T: 1})
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone aliases original: s=%d c=%d", s.Len(), c.Len())
+	}
+}
+
+func TestCheckValidDisplay(t *testing.T) {
+	in := model.NewInstance(1, 3, 2, 1) // k = 1
+	for i := 0; i < 3; i++ {
+		in.SetItem(model.ItemID(i), model.ClassID(i), 1, 5)
+	}
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 1, T: 1}, // second item at same (u, t)
+	)
+	if err := in.CheckValid(s); err == nil {
+		t.Fatal("display violation not detected")
+	}
+	ok := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 1, T: 2},
+	)
+	if err := in.CheckValid(ok); err != nil {
+		t.Fatalf("valid strategy rejected: %v", err)
+	}
+}
+
+func TestCheckValidCapacity(t *testing.T) {
+	in := model.NewInstance(3, 1, 1, 1)
+	in.SetItem(0, 0, 1, 2) // capacity 2
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 1, I: 0, T: 1},
+		model.Triple{U: 2, I: 0, T: 1},
+	)
+	if err := in.CheckValid(s); err == nil {
+		t.Fatal("capacity violation not detected")
+	}
+}
+
+func TestCheckValidCapacityCountsDistinctUsers(t *testing.T) {
+	in := model.NewInstance(2, 1, 3, 1)
+	in.SetItem(0, 0, 1, 1) // capacity 1
+	// Same user three times: one distinct user, still valid.
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 0, T: 2},
+		model.Triple{U: 0, I: 0, T: 3},
+	)
+	if err := in.CheckValid(s); err != nil {
+		t.Fatalf("repeat recommendations to one user wrongly rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesBadBeta(t *testing.T) {
+	in := model.NewInstance(1, 1, 1, 1)
+	in.SetItem(0, 0, 1.5, 1)
+	if err := in.Validate(); err == nil {
+		t.Fatal("beta > 1 not rejected")
+	}
+}
+
+func TestValidateCatchesBadShape(t *testing.T) {
+	if err := model.NewInstance(0, 1, 1, 1).Validate(); err == nil {
+		t.Fatal("zero users accepted")
+	}
+	if err := model.NewInstance(1, 1, 0, 1).Validate(); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if err := model.NewInstance(1, 1, 1, 0).Validate(); err == nil {
+		t.Fatal("zero display accepted")
+	}
+}
+
+func TestValidateAcceptsGeneratedInstances(t *testing.T) {
+	rng := dist.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: generated instance invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestShallowCloneWithBeta(t *testing.T) {
+	rng := dist.NewRNG(3)
+	in := testgen.Random(rng, testgen.Default())
+	clone := in.ShallowCloneWithBeta(1)
+	for i := 0; i < clone.NumItems(); i++ {
+		if clone.Beta(model.ItemID(i)) != 1 {
+			t.Fatalf("item %d beta = %v, want 1", i, clone.Beta(model.ItemID(i)))
+		}
+		if clone.Capacity(model.ItemID(i)) != in.Capacity(model.ItemID(i)) {
+			t.Fatal("capacity not preserved")
+		}
+	}
+	// Original betas untouched; prices and candidates shared.
+	if clone.NumCandidates() != in.NumCandidates() {
+		t.Fatal("candidates not shared")
+	}
+	if clone.Price(0, 1) != in.Price(0, 1) {
+		t.Fatal("prices not shared")
+	}
+}
+
+// Property: CheckValid accepts exactly the strategies RandomValidStrategy
+// constructs, and random unconstrained strategies that violate counting
+// are caught.
+func TestCheckValidProperty(t *testing.T) {
+	rng := dist.NewRNG(99)
+	cfg := &quick.Config{MaxCount: 30}
+	prop := func(seed uint16) bool {
+		r2 := dist.NewRNG(uint64(seed) + 1)
+		in := testgen.Random(r2, testgen.Default())
+		s := testgen.RandomValidStrategy(rng, in, 0.5)
+		return in.CheckValid(s) == nil
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

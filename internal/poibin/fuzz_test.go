@@ -1,0 +1,52 @@
+package poibin_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/poibin"
+)
+
+// FuzzTailAtMost checks structural invariants of the DP against
+// arbitrary probability vectors derived from fuzz bytes.
+func FuzzTailAtMost(f *testing.F) {
+	f.Add([]byte{10, 200, 30}, 1)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{255, 255, 255, 255, 0, 0}, 3)
+	f.Fuzz(func(t *testing.T, raw []byte, k int) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		probs := make([]float64, len(raw))
+		for i, b := range raw {
+			probs[i] = float64(b) / 255
+		}
+		if k < -2 {
+			k = -2
+		}
+		if k > len(probs)+2 {
+			k = len(probs) + 2
+		}
+		v := poibin.TailAtMost(probs, k)
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("tail out of [0,1]: %v", v)
+		}
+		// Monotone in k.
+		if k >= 0 {
+			if w := poibin.TailAtMost(probs, k+1); w < v-1e-12 {
+				t.Fatalf("tail not monotone: k=%d %v > k+1 %v", k, v, w)
+			}
+		}
+		// Consistent with the full PMF.
+		if k >= 0 && k < len(probs) {
+			pmf := poibin.PMF(probs)
+			cum := 0.0
+			for j := 0; j <= k; j++ {
+				cum += pmf[j]
+			}
+			if math.Abs(cum-v) > 1e-9 {
+				t.Fatalf("tail %v != pmf cumulative %v", v, cum)
+			}
+		}
+	})
+}

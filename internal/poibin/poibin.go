@@ -1,0 +1,129 @@
+// Package poibin computes Poisson-binomial tail probabilities, the
+// capacity oracle B_S(i,t) of Definition 4 in Lu et al. (VLDB 2014):
+// given independent Bernoulli trials with heterogeneous success
+// probabilities, the probability that at most k of them succeed.
+//
+// The paper notes the probability "can be hard ... in worst-case
+// exponential time" and suggests Monte-Carlo estimation. In fact the
+// standard dynamic program computes it exactly in O(n·k) time and O(k)
+// space; we provide both the exact DP (ExactOracle) and the paper's
+// Monte-Carlo estimator (MonteCarloOracle), cross-validated in tests.
+package poibin
+
+import (
+	"repro/internal/dist"
+)
+
+// TailAtMost returns Pr[X ≤ k] where X = Σ Bernoulli(probs[i]), computed
+// exactly by dynamic programming over the count of successes, truncated
+// at k+1 states. k < 0 yields 0; k ≥ len(probs) yields 1.
+func TailAtMost(probs []float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= len(probs) {
+		return 1
+	}
+	// dp[j] = Pr[j successes among trials processed so far], j ≤ k;
+	// overflow[≥k+1] accumulated implicitly as 1 − Σ dp.
+	dp := make([]float64, k+1)
+	dp[0] = 1
+	for _, p := range probs {
+		// Walk downward so dp[j-1] is the pre-update value.
+		for j := k; j >= 1; j-- {
+			dp[j] = dp[j]*(1-p) + dp[j-1]*p
+		}
+		dp[0] *= 1 - p
+	}
+	s := 0.0
+	for _, v := range dp {
+		s += v
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// ExactOracle is a revenue.CapacityOracle backed by the exact DP.
+type ExactOracle struct{}
+
+// TailAtMost implements the oracle interface.
+func (ExactOracle) TailAtMost(probs []float64, k int) float64 {
+	return TailAtMost(probs, k)
+}
+
+// MonteCarloOracle estimates the tail by simulation, as suggested in the
+// paper (§4.2). It is deterministic given its seed.
+type MonteCarloOracle struct {
+	Samples int
+	rng     *dist.RNG
+}
+
+// NewMonteCarloOracle returns an estimator drawing the given number of
+// samples per query.
+func NewMonteCarloOracle(samples int, seed uint64) *MonteCarloOracle {
+	if samples <= 0 {
+		samples = 1000
+	}
+	return &MonteCarloOracle{Samples: samples, rng: dist.NewRNG(seed)}
+}
+
+// TailAtMost estimates Pr[X ≤ k] by simulating the trials.
+func (m *MonteCarloOracle) TailAtMost(probs []float64, k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= len(probs) {
+		return 1
+	}
+	hits := 0
+	for s := 0; s < m.Samples; s++ {
+		count := 0
+		for _, p := range probs {
+			if m.rng.Float64() < p {
+				count++
+				if count > k {
+					break
+				}
+			}
+		}
+		if count <= k {
+			hits++
+		}
+	}
+	return float64(hits) / float64(m.Samples)
+}
+
+// PMF returns the full probability mass function Pr[X = j] for
+// j = 0..len(probs), computed by the untruncated DP. Useful for tests
+// and for exact expectation computations.
+func PMF(probs []float64) []float64 {
+	dp := make([]float64, len(probs)+1)
+	dp[0] = 1
+	for _, p := range probs {
+		for j := len(dp) - 1; j >= 1; j-- {
+			dp[j] = dp[j]*(1-p) + dp[j-1]*p
+		}
+		dp[0] *= 1 - p
+	}
+	return dp
+}
+
+// Mean returns E[X] = Σ probs[i].
+func Mean(probs []float64) float64 {
+	s := 0.0
+	for _, p := range probs {
+		s += p
+	}
+	return s
+}
+
+// Variance returns Var[X] = Σ p(1−p).
+func Variance(probs []float64) float64 {
+	s := 0.0
+	for _, p := range probs {
+		s += p * (1 - p)
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+package poibin_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/poibin"
+)
+
+// bruteTail enumerates all 2ⁿ outcomes. Reference implementation.
+func bruteTail(probs []float64, k int) float64 {
+	n := len(probs)
+	total := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		p := 1.0
+		count := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				p *= probs[i]
+				count++
+			} else {
+				p *= 1 - probs[i]
+			}
+		}
+		if count <= k {
+			total += p
+		}
+	}
+	return total
+}
+
+func TestTailAtMostAgainstEnumeration(t *testing.T) {
+	rng := dist.NewRNG(1)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		for k := -1; k <= n+1; k++ {
+			got := poibin.TailAtMost(probs, k)
+			want := 0.0
+			switch {
+			case k < 0:
+				want = 0
+			case k >= n:
+				want = 1
+			default:
+				want = bruteTail(probs, k)
+			}
+			if math.Abs(got-want) > 1e-10 {
+				t.Fatalf("trial %d n=%d k=%d: got %v want %v", trial, n, k, got, want)
+			}
+		}
+	}
+}
+
+func TestTailEdgeCases(t *testing.T) {
+	if got := poibin.TailAtMost(nil, 0); got != 1 {
+		t.Fatalf("empty trials: %v, want 1", got)
+	}
+	if got := poibin.TailAtMost([]float64{0.5}, -1); got != 0 {
+		t.Fatalf("k=-1: %v, want 0", got)
+	}
+	// All-certain trials: Pr[≤ n−1 successes] = 0.
+	probs := []float64{1, 1, 1}
+	if got := poibin.TailAtMost(probs, 2); math.Abs(got) > 1e-12 {
+		t.Fatalf("certain trials tail: %v, want 0", got)
+	}
+	// All-impossible trials: Pr[≤ 0] = 1.
+	probs = []float64{0, 0, 0}
+	if got := poibin.TailAtMost(probs, 0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("impossible trials tail: %v, want 1", got)
+	}
+}
+
+func TestTailMonotoneInK(t *testing.T) {
+	prop := func(seed uint16) bool {
+		rng := dist.NewRNG(uint64(seed) + 3)
+		n := 1 + rng.Intn(12)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		prev := 0.0
+		for k := 0; k <= n; k++ {
+			v := poibin.TailAtMost(probs, k)
+			if v < prev-1e-12 || v < 0 || v > 1 {
+				return false
+			}
+			prev = v
+		}
+		return math.Abs(prev-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPMFSumsToOne(t *testing.T) {
+	rng := dist.NewRNG(5)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(15)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = rng.Float64()
+		}
+		pmf := poibin.PMF(probs)
+		sum := 0.0
+		for _, v := range pmf {
+			if v < -1e-12 {
+				t.Fatalf("negative pmf entry %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("pmf sums to %v", sum)
+		}
+	}
+}
+
+func TestPMFConsistentWithTail(t *testing.T) {
+	probs := []float64{0.2, 0.5, 0.9, 0.3}
+	pmf := poibin.PMF(probs)
+	cum := 0.0
+	for k := 0; k < len(pmf); k++ {
+		cum += pmf[k]
+		if got := poibin.TailAtMost(probs, k); math.Abs(got-cum) > 1e-10 {
+			t.Fatalf("k=%d: tail %v != cumulative pmf %v", k, got, cum)
+		}
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	probs := []float64{0.25, 0.75}
+	if got := poibin.Mean(probs); got != 1 {
+		t.Fatalf("Mean = %v", got)
+	}
+	want := 0.25*0.75 + 0.75*0.25
+	if got := poibin.Variance(probs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestMonteCarloConvergesToExact(t *testing.T) {
+	probs := []float64{0.1, 0.4, 0.7, 0.2, 0.55}
+	exact := poibin.TailAtMost(probs, 2)
+	mc := poibin.NewMonteCarloOracle(200000, 42)
+	got := mc.TailAtMost(probs, 2)
+	if math.Abs(got-exact) > 0.01 {
+		t.Fatalf("MC estimate %v too far from exact %v", got, exact)
+	}
+}
+
+func TestMonteCarloEdgeCases(t *testing.T) {
+	mc := poibin.NewMonteCarloOracle(100, 1)
+	if mc.TailAtMost([]float64{0.5}, -1) != 0 {
+		t.Fatal("k<0 should be 0")
+	}
+	if mc.TailAtMost([]float64{0.5}, 1) != 1 {
+		t.Fatal("k>=n should be 1")
+	}
+}
+
+func TestMonteCarloDefaultSamples(t *testing.T) {
+	mc := poibin.NewMonteCarloOracle(0, 1)
+	if mc.Samples <= 0 {
+		t.Fatal("non-positive sample count not defaulted")
+	}
+}
+
+func TestExactOracleImplementsInterfaceBehaviour(t *testing.T) {
+	var o poibin.ExactOracle
+	if got := o.TailAtMost([]float64{0.5, 0.5}, 1); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("ExactOracle tail = %v, want 0.75", got)
+	}
+}

@@ -1,0 +1,346 @@
+// Package pqueue provides the priority-queue machinery behind the RevMax
+// greedy algorithms: a single-level max-heap keyed by float64 (used by
+// SL-Greedy / RL-Greedy, Algorithm 2) and the two-level heap structure of
+// Algorithm 1 (G-Greedy), where a lower max-heap per (user, item) pair
+// holds that pair's time steps and an upper max-heap ranks the lower
+// roots.
+//
+// The two-level split is the paper's optimization: each lower heap has at
+// most T elements (T = 7 in the experiments), so Decrease-Key traffic
+// stays inside tiny heaps, while the upper heap has at most |U|·|I|
+// elements — a factor T smaller than one giant heap.
+package pqueue
+
+import (
+	"repro/internal/model"
+)
+
+// Entry is one candidate triple tracked by a heap, with its cached
+// (possibly stale) marginal revenue and the lazy-forward flag of
+// Algorithm 1 (line 9).
+type Entry struct {
+	Triple model.Triple
+	Q      float64 // primitive adoption probability, cached
+	Key    float64 // cached marginal revenue (may be stale)
+	Flag   int     // lazy-forward freshness stamp
+
+	pos int // index within its heap
+}
+
+// Max is a binary max-heap of entries keyed by Key. The zero value is an
+// empty, ready-to-use heap.
+type Max struct {
+	es []*Entry
+}
+
+// Len reports the number of entries.
+func (h *Max) Len() int { return len(h.es) }
+
+// Empty reports whether the heap has no entries.
+func (h *Max) Empty() bool { return len(h.es) == 0 }
+
+// Push inserts e.
+func (h *Max) Push(e *Entry) {
+	e.pos = len(h.es)
+	h.es = append(h.es, e)
+	h.siftUp(e.pos)
+}
+
+// Peek returns the maximum entry without removing it, or nil when empty.
+func (h *Max) Peek() *Entry {
+	if len(h.es) == 0 {
+		return nil
+	}
+	return h.es[0]
+}
+
+// Pop removes and returns the maximum entry, or nil when empty.
+func (h *Max) Pop() *Entry {
+	if len(h.es) == 0 {
+		return nil
+	}
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.swap(0, last)
+	h.es = h.es[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	top.pos = -1
+	return top
+}
+
+// Fix restores heap order after e.Key changed in place.
+func (h *Max) Fix(e *Entry) {
+	if e.pos < 0 || e.pos >= len(h.es) || h.es[e.pos] != e {
+		return
+	}
+	if !h.siftUp(e.pos) {
+		h.siftDown(e.pos)
+	}
+}
+
+// Entries exposes the raw entry slice (heap order, not sorted). Callers
+// must not mutate the slice itself; mutating Key requires a Fix.
+func (h *Max) Entries() []*Entry { return h.es }
+
+func (h *Max) swap(a, b int) {
+	h.es[a], h.es[b] = h.es[b], h.es[a]
+	h.es[a].pos = a
+	h.es[b].pos = b
+}
+
+func (h *Max) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.es[parent].Key >= h.es[i].Key {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *Max) siftDown(i int) {
+	n := len(h.es)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && h.es[l].Key > h.es[best].Key {
+			best = l
+		}
+		if r < n && h.es[r].Key > h.es[best].Key {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+// PairKey identifies one (user, item) lower heap.
+type PairKey struct {
+	U model.UserID
+	I model.ItemID
+}
+
+// lower is one per-(user,item) heap plus its position in the upper heap.
+type lower struct {
+	key  PairKey
+	heap Max
+	pos  int // index within the upper heap
+}
+
+func (lo *lower) rootKey() float64 {
+	if lo.heap.Empty() {
+		return negInf
+	}
+	return lo.heap.Peek().Key
+}
+
+const negInf = -1e308
+
+// TwoLevel is the two-level heap of Algorithm 1. Populate with Add, then
+// call Build once; afterwards PeekMax / DeleteMax / FixPair / DeletePair
+// maintain the invariant that the upper root's lower root is the global
+// maximum.
+type TwoLevel struct {
+	lowers map[PairKey]*lower
+	upper  []*lower
+	count  int
+}
+
+// NewTwoLevel returns an empty two-level heap.
+func NewTwoLevel() *TwoLevel {
+	return &TwoLevel{lowers: make(map[PairKey]*lower)}
+}
+
+// Add inserts an entry into its (user, item) lower heap. Add may be used
+// both before and after Build; before Build the upper heap is not yet
+// ordered.
+func (t *TwoLevel) Add(e *Entry) {
+	key := PairKey{e.Triple.U, e.Triple.I}
+	lo := t.lowers[key]
+	if lo == nil {
+		lo = &lower{key: key, pos: len(t.upper)}
+		t.lowers[key] = lo
+		t.upper = append(t.upper, lo)
+	}
+	lo.heap.Push(e)
+	t.count++
+}
+
+// Build heapifies the upper heap over all lower roots (Algorithm 1,
+// line 10).
+func (t *TwoLevel) Build() {
+	for i := len(t.upper)/2 - 1; i >= 0; i-- {
+		t.siftDown(i)
+	}
+}
+
+// Len reports the total number of entries across all lower heaps.
+func (t *TwoLevel) Len() int { return t.count }
+
+// Empty reports whether no entries remain.
+func (t *TwoLevel) Empty() bool { return t.count == 0 }
+
+// PeekMax returns the globally maximum entry (the root of the upper
+// root's lower heap), or nil when empty.
+func (t *TwoLevel) PeekMax() *Entry {
+	for len(t.upper) > 0 {
+		top := t.upper[0]
+		if top.heap.Empty() {
+			t.removeUpper(0)
+			continue
+		}
+		return top.heap.Peek()
+	}
+	return nil
+}
+
+// DeleteMax removes and returns the globally maximum entry.
+func (t *TwoLevel) DeleteMax() *Entry {
+	e := t.PeekMax()
+	if e == nil {
+		return nil
+	}
+	top := t.upper[0]
+	top.heap.Pop()
+	t.count--
+	if top.heap.Empty() {
+		t.removeUpper(0)
+	} else {
+		t.siftDown(0)
+	}
+	return e
+}
+
+// PairEntries returns the entries of the (u, i) lower heap so the caller
+// can recompute their keys (Algorithm 1, lines 16–18). Returns nil when
+// the pair has been deleted. After mutating keys call FixPair.
+func (t *TwoLevel) PairEntries(u model.UserID, i model.ItemID) []*Entry {
+	lo := t.lowers[PairKey{u, i}]
+	if lo == nil {
+		return nil
+	}
+	return lo.heap.Entries()
+}
+
+// FixPair re-heapifies the (u, i) lower heap after its keys changed and
+// repositions it in the upper heap (the Decrease-Key of line 19).
+func (t *TwoLevel) FixPair(u model.UserID, i model.ItemID) {
+	lo := t.lowers[PairKey{u, i}]
+	if lo == nil {
+		return
+	}
+	es := lo.heap.Entries()
+	for j := len(es)/2 - 1; j >= 0; j-- {
+		lo.heap.siftDown(j)
+	}
+	t.fixUpper(lo.pos)
+}
+
+// DeleteEntry removes a single entry from its lower heap (used when a
+// specific triple becomes permanently infeasible).
+func (t *TwoLevel) DeleteEntry(e *Entry) {
+	lo := t.lowers[PairKey{e.Triple.U, e.Triple.I}]
+	if lo == nil || e.pos < 0 {
+		return
+	}
+	h := &lo.heap
+	last := len(h.es) - 1
+	i := e.pos
+	if i > last || h.es[i] != e {
+		return
+	}
+	h.swap(i, last)
+	h.es = h.es[:last]
+	if i < last {
+		if !h.siftUp(i) {
+			h.siftDown(i)
+		}
+	}
+	e.pos = -1
+	t.count--
+	if h.Empty() {
+		t.removeUpper(lo.pos)
+	} else {
+		t.fixUpper(lo.pos)
+	}
+}
+
+// DeletePair removes the whole (u, i) lower heap from consideration
+// (Algorithm 1, line 26: an infeasible pair is dropped wholesale).
+func (t *TwoLevel) DeletePair(u model.UserID, i model.ItemID) {
+	lo := t.lowers[PairKey{u, i}]
+	if lo == nil {
+		return
+	}
+	t.count -= lo.heap.Len()
+	t.removeUpper(lo.pos)
+}
+
+func (t *TwoLevel) removeUpper(i int) {
+	lo := t.upper[i]
+	last := len(t.upper) - 1
+	t.swapUpper(i, last)
+	t.upper = t.upper[:last]
+	delete(t.lowers, lo.key)
+	lo.pos = -1
+	if i < last {
+		t.fixUpper(i)
+	}
+}
+
+func (t *TwoLevel) fixUpper(i int) {
+	if i < 0 || i >= len(t.upper) {
+		return
+	}
+	if !t.siftUp(i) {
+		t.siftDown(i)
+	}
+}
+
+func (t *TwoLevel) swapUpper(a, b int) {
+	t.upper[a], t.upper[b] = t.upper[b], t.upper[a]
+	t.upper[a].pos = a
+	t.upper[b].pos = b
+}
+
+func (t *TwoLevel) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.upper[parent].rootKey() >= t.upper[i].rootKey() {
+			break
+		}
+		t.swapUpper(parent, i)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (t *TwoLevel) siftDown(i int) {
+	n := len(t.upper)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && t.upper[l].rootKey() > t.upper[best].rootKey() {
+			best = l
+		}
+		if r < n && t.upper[r].rootKey() > t.upper[best].rootKey() {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		t.swapUpper(i, best)
+		i = best
+	}
+}

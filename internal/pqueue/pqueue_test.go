@@ -1,0 +1,276 @@
+package pqueue_test
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/pqueue"
+)
+
+func entry(u, i, t int, key float64) *pqueue.Entry {
+	return &pqueue.Entry{
+		Triple: model.Triple{U: model.UserID(u), I: model.ItemID(i), T: model.TimeStep(t)},
+		Key:    key,
+	}
+}
+
+func TestMaxHeapOrdering(t *testing.T) {
+	var h pqueue.Max
+	keys := []float64{3, 1, 4, 1.5, 9, 2.6, 5}
+	for i, k := range keys {
+		h.Push(entry(0, i, 1, k))
+	}
+	sorted := append([]float64(nil), keys...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	for _, want := range sorted {
+		e := h.Pop()
+		if e == nil || e.Key != want {
+			t.Fatalf("Pop order wrong: got %v, want %v", e, want)
+		}
+	}
+	if !h.Empty() || h.Pop() != nil {
+		t.Fatal("heap not empty at end")
+	}
+}
+
+func TestMaxHeapPeekDoesNotRemove(t *testing.T) {
+	var h pqueue.Max
+	h.Push(entry(0, 0, 1, 5))
+	if h.Peek() == nil || h.Len() != 1 {
+		t.Fatal("Peek removed the entry")
+	}
+}
+
+func TestMaxHeapFixAfterKeyChange(t *testing.T) {
+	var h pqueue.Max
+	a := entry(0, 0, 1, 10)
+	b := entry(0, 1, 1, 5)
+	c := entry(0, 2, 1, 1)
+	h.Push(a)
+	h.Push(b)
+	h.Push(c)
+	// Decrease the max below everything; Fix must re-order.
+	a.Key = 0
+	h.Fix(a)
+	if got := h.Pop(); got != b {
+		t.Fatalf("after decrease, max = %v, want b", got.Triple)
+	}
+	// Increase the min above everything.
+	c.Key = 100
+	h.Fix(c)
+	if got := h.Pop(); got != c {
+		t.Fatalf("after increase, max = %v, want c", got.Triple)
+	}
+}
+
+func TestMaxHeapRandomizedAgainstSort(t *testing.T) {
+	rng := dist.NewRNG(9)
+	for trial := 0; trial < 30; trial++ {
+		var h pqueue.Max
+		n := 1 + rng.Intn(200)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.Float64() * 1000
+			h.Push(entry(0, i, 1, keys[i]))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(keys)))
+		for _, want := range keys {
+			if got := h.Pop().Key; got != want {
+				t.Fatalf("trial %d: pop %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestTwoLevelBasicOrdering(t *testing.T) {
+	tl := pqueue.NewTwoLevel()
+	// Pairs (u, i) with several times each.
+	tl.Add(entry(0, 0, 1, 5))
+	tl.Add(entry(0, 0, 2, 9))
+	tl.Add(entry(0, 1, 1, 7))
+	tl.Add(entry(1, 0, 1, 3))
+	tl.Build()
+	want := []float64{9, 7, 5, 3}
+	for _, w := range want {
+		e := tl.DeleteMax()
+		if e == nil || e.Key != w {
+			t.Fatalf("DeleteMax = %v, want key %v", e, w)
+		}
+	}
+	if !tl.Empty() {
+		t.Fatal("two-level heap not drained")
+	}
+}
+
+func TestTwoLevelRandomizedAgainstSort(t *testing.T) {
+	rng := dist.NewRNG(10)
+	for trial := 0; trial < 20; trial++ {
+		tl := pqueue.NewTwoLevel()
+		var keys []float64
+		users := 1 + rng.Intn(5)
+		items := 1 + rng.Intn(5)
+		for u := 0; u < users; u++ {
+			for i := 0; i < items; i++ {
+				for tt := 1; tt <= 1+rng.Intn(7); tt++ {
+					k := rng.Float64() * 100
+					keys = append(keys, k)
+					tl.Add(entry(u, i, tt, k))
+				}
+			}
+		}
+		tl.Build()
+		if tl.Len() != len(keys) {
+			t.Fatalf("Len = %d, want %d", tl.Len(), len(keys))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(keys)))
+		for _, w := range keys {
+			if got := tl.DeleteMax().Key; got != w {
+				t.Fatalf("trial %d: got %v want %v", trial, got, w)
+			}
+		}
+	}
+}
+
+func TestTwoLevelDeletePair(t *testing.T) {
+	tl := pqueue.NewTwoLevel()
+	tl.Add(entry(0, 0, 1, 100))
+	tl.Add(entry(0, 0, 2, 90))
+	tl.Add(entry(0, 1, 1, 50))
+	tl.Build()
+	tl.DeletePair(0, 0)
+	if tl.Len() != 1 {
+		t.Fatalf("Len after DeletePair = %d, want 1", tl.Len())
+	}
+	if got := tl.DeleteMax().Key; got != 50 {
+		t.Fatalf("remaining max = %v, want 50", got)
+	}
+	// Deleting a missing pair is a no-op.
+	tl.DeletePair(9, 9)
+}
+
+func TestTwoLevelDeleteEntry(t *testing.T) {
+	tl := pqueue.NewTwoLevel()
+	a := entry(0, 0, 1, 100)
+	b := entry(0, 0, 2, 90)
+	c := entry(0, 1, 1, 95)
+	tl.Add(a)
+	tl.Add(b)
+	tl.Add(c)
+	tl.Build()
+	tl.DeleteEntry(a)
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tl.Len())
+	}
+	if got := tl.PeekMax(); got != c {
+		t.Fatalf("PeekMax = %v, want c", got.Triple)
+	}
+	// Double-delete is a no-op.
+	tl.DeleteEntry(a)
+	if tl.Len() != 2 {
+		t.Fatal("double DeleteEntry changed Len")
+	}
+}
+
+func TestTwoLevelFixPairAfterKeyUpdates(t *testing.T) {
+	tl := pqueue.NewTwoLevel()
+	a := entry(0, 0, 1, 100)
+	b := entry(0, 0, 2, 90)
+	c := entry(0, 1, 1, 95)
+	tl.Add(a)
+	tl.Add(b)
+	tl.Add(c)
+	tl.Build()
+	// Stale-root scenario: (0,0)'s keys collapse; after FixPair, (0,1)
+	// must surface.
+	for _, e := range tl.PairEntries(0, 0) {
+		e.Key = 1
+	}
+	tl.FixPair(0, 0)
+	if got := tl.PeekMax(); got != c {
+		t.Fatalf("PeekMax after FixPair = %v, want c", got.Triple)
+	}
+	order := []float64{95, 1, 1}
+	for _, w := range order {
+		if got := tl.DeleteMax().Key; got != w {
+			t.Fatalf("got %v want %v", got, w)
+		}
+	}
+}
+
+func TestTwoLevelPairEntriesUnknownPair(t *testing.T) {
+	tl := pqueue.NewTwoLevel()
+	if tl.PairEntries(1, 1) != nil {
+		t.Fatal("unknown pair should return nil")
+	}
+	tl.FixPair(1, 1) // no-op, no panic
+}
+
+func TestTwoLevelEmptyPeek(t *testing.T) {
+	tl := pqueue.NewTwoLevel()
+	tl.Build()
+	if tl.PeekMax() != nil || tl.DeleteMax() != nil {
+		t.Fatal("empty heap returned an entry")
+	}
+}
+
+func TestTwoLevelInterleavedOperations(t *testing.T) {
+	// Stress: random interleaving of Add (pre-Build only), DeleteMax,
+	// FixPair with random key rewrites; compare against a model "bag".
+	rng := dist.NewRNG(11)
+	for trial := 0; trial < 10; trial++ {
+		tl := pqueue.NewTwoLevel()
+		type slot struct{ e *pqueue.Entry }
+		var live []*pqueue.Entry
+		for u := 0; u < 3; u++ {
+			for i := 0; i < 3; i++ {
+				for tt := 1; tt <= 4; tt++ {
+					e := entry(u, i, tt, rng.Float64()*100)
+					tl.Add(e)
+					live = append(live, e)
+				}
+			}
+		}
+		tl.Build()
+		_ = slot{}
+		for step := 0; step < 60 && !tl.Empty(); step++ {
+			switch rng.Intn(3) {
+			case 0: // DeleteMax and verify it is the true maximum
+				var maxKey float64 = -1
+				for _, e := range live {
+					if e.Key > maxKey {
+						maxKey = e.Key
+					}
+				}
+				got := tl.DeleteMax()
+				if got.Key != maxKey {
+					t.Fatalf("trial %d step %d: DeleteMax %v, want %v", trial, step, got.Key, maxKey)
+				}
+				for idx, e := range live {
+					if e == got {
+						live = append(live[:idx], live[idx+1:]...)
+						break
+					}
+				}
+			case 1: // rewrite a random pair's keys
+				u := model.UserID(rng.Intn(3))
+				i := model.ItemID(rng.Intn(3))
+				for _, e := range tl.PairEntries(u, i) {
+					e.Key = rng.Float64() * 100
+				}
+				tl.FixPair(u, i)
+			case 2: // delete a random live entry
+				if len(live) == 0 {
+					continue
+				}
+				idx := rng.Intn(len(live))
+				tl.DeleteEntry(live[idx])
+				live = append(live[:idx], live[idx+1:]...)
+			}
+			if tl.Len() != len(live) {
+				t.Fatalf("trial %d: Len %d != model %d", trial, tl.Len(), len(live))
+			}
+		}
+	}
+}

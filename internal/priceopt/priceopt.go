@@ -1,0 +1,108 @@
+// Package priceopt implements the inverse problem the paper poses as
+// future work (§8): "to find optimal pricing in order to maximize the
+// expected revenue in the context of a given RS". REVMAX treats prices
+// as exogenous; here the seller instead *chooses* per-item price levels
+// from a discrete menu (e.g. discount tiers), anticipating that the
+// recommender will replan optimally for whatever prices are posted.
+//
+// The coupling runs through the valuation model: changing p(i,·) changes
+// every q(u,i,t) = Pr[val ≥ p]·r̂/r_max, which changes the strategy the
+// recommender picks, which changes revenue. The optimizer is coordinate
+// ascent over items: for each item in turn, try every multiplier in the
+// menu, rebuild the induced instance, replan with the configured
+// algorithm, and keep the best; sweep until a full pass yields no
+// improvement (a local optimum of the bilevel objective). Deterministic
+// and anytime; MaxSweeps bounds the work.
+package priceopt
+
+import (
+	"errors"
+
+	"repro/internal/model"
+)
+
+// Reprice builds the instance induced by per-item price multipliers:
+// given multipliers m, item i's price at t becomes m[i]·basePrice(i,t)
+// and adoption probabilities are re-derived. Implementations typically
+// close over base prices, predicted ratings, and valuation
+// distributions.
+type Reprice func(multipliers []float64) *model.Instance
+
+// Plan returns a recommendation strategy's expected revenue for an
+// instance (the inner optimization, e.g. core.GGreedy(...).Revenue).
+type Plan func(in *model.Instance) float64
+
+// Options tune the search.
+type Options struct {
+	// Menu lists the allowed price multipliers, e.g. {0.8, 0.9, 1.0, 1.1}.
+	Menu []float64
+	// MaxSweeps bounds coordinate-ascent passes (default 5).
+	MaxSweeps int
+}
+
+// Result reports the chosen multipliers and achieved revenue.
+type Result struct {
+	Multipliers []float64
+	Revenue     float64
+	Sweeps      int
+	Evaluations int
+}
+
+// Optimize runs coordinate ascent over numItems items.
+func Optimize(numItems int, reprice Reprice, plan Plan, opts Options) (Result, error) {
+	if numItems <= 0 {
+		return Result{}, errors.New("priceopt: need at least one item")
+	}
+	if len(opts.Menu) == 0 {
+		return Result{}, errors.New("priceopt: empty price menu")
+	}
+	for _, m := range opts.Menu {
+		if m <= 0 {
+			return Result{}, errors.New("priceopt: multipliers must be positive")
+		}
+	}
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = 5
+	}
+
+	cur := make([]float64, numItems)
+	for i := range cur {
+		cur[i] = 1
+	}
+	res := Result{Multipliers: cur}
+	res.Revenue = plan(reprice(cur))
+	res.Evaluations = 1
+
+	for sweep := 0; sweep < opts.MaxSweeps; sweep++ {
+		improved := false
+		for i := 0; i < numItems; i++ {
+			bestM := cur[i]
+			bestRev := res.Revenue
+			for _, m := range opts.Menu {
+				if m == cur[i] {
+					continue
+				}
+				old := cur[i]
+				cur[i] = m
+				rev := plan(reprice(cur))
+				res.Evaluations++
+				if rev > bestRev+1e-12 {
+					bestRev = rev
+					bestM = m
+				}
+				cur[i] = old
+			}
+			if bestM != cur[i] {
+				cur[i] = bestM
+				res.Revenue = bestRev
+				improved = true
+			}
+		}
+		res.Sweeps = sweep + 1
+		if !improved {
+			break
+		}
+	}
+	res.Multipliers = cur
+	return res, nil
+}

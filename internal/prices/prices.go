@@ -1,0 +1,126 @@
+// Package prices generates exogenous price time series for the exact
+// price model of §3.1. The paper justifies known future prices by (a)
+// retailers planning promotions ahead of time (Black Friday, Boxing
+// Day) and (b) market-equilibrium forecasts from demand/supply theory;
+// this package provides path models for both flavors plus the noisy
+// daily fluctuation documented for Amazon (items repricing daily or
+// several times a day).
+package prices
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// PathModel generates a price series of length T for one item.
+type PathModel interface {
+	// Series returns T prices, index t-1 ↔ time step t. Prices are
+	// strictly positive.
+	Series(rng *dist.RNG, T int) []float64
+}
+
+// Constant holds the price fixed.
+type Constant struct {
+	Price float64
+}
+
+// Series implements PathModel.
+func (c Constant) Series(rng *dist.RNG, T int) []float64 {
+	out := make([]float64, T)
+	for i := range out {
+		out[i] = floorPrice(c.Price)
+	}
+	return out
+}
+
+// Noisy multiplies a base price by i.i.d. lognormal-ish daily noise —
+// the Amazon "prices always change" pattern.
+type Noisy struct {
+	Base  float64
+	Sigma float64 // relative sd of the daily multiplier (e.g. 0.04)
+}
+
+// Series implements PathModel.
+func (n Noisy) Series(rng *dist.RNG, T int) []float64 {
+	out := make([]float64, T)
+	for i := range out {
+		out[i] = floorPrice(n.Base * (1 + rng.Normal(0, n.Sigma)))
+	}
+	return out
+}
+
+// Sale schedules a promotional discount from SaleDay (1-based) onward —
+// the strategic-postponement motif of the introduction. Before the sale
+// the price follows Noisy fluctuations around Base.
+type Sale struct {
+	Base     float64
+	Sigma    float64
+	SaleDay  int     // first discounted day; ≤ 0 disables the sale
+	Discount float64 // fraction of Base paid during the sale, e.g. 0.7
+}
+
+// Series implements PathModel.
+func (s Sale) Series(rng *dist.RNG, T int) []float64 {
+	out := make([]float64, T)
+	for i := range out {
+		p := s.Base * (1 + rng.Normal(0, s.Sigma))
+		if s.SaleDay > 0 && i+1 >= s.SaleDay {
+			p *= s.Discount
+		}
+		out[i] = floorPrice(p)
+	}
+	return out
+}
+
+// AR1 is a mean-reverting AR(1) process in log-price:
+// log p_t − log μ = φ·(log p_{t−1} − log μ) + ε, ε ~ N(0, σ²).
+type AR1 struct {
+	Mean  float64 // long-run price level μ
+	Phi   float64 // persistence in (−1, 1)
+	Sigma float64 // innovation sd in log space
+}
+
+// Series implements PathModel.
+func (a AR1) Series(rng *dist.RNG, T int) []float64 {
+	out := make([]float64, T)
+	logMu := math.Log(a.Mean)
+	dev := 0.0
+	for i := range out {
+		dev = a.Phi*dev + rng.Normal(0, a.Sigma)
+		out[i] = floorPrice(math.Exp(logMu + dev))
+	}
+	return out
+}
+
+// Equilibrium derives prices from a linear demand/supply market-clearing
+// model (§3.1's microeconomics justification): demand D(p) = α − β·p
+// shifts by a forecast seasonality term s_t, supply S(p) = γ·p, and the
+// clearing price solves D(p) + s_t = S(p) ⇒ p_t = (α + s_t)/(β + γ).
+type Equilibrium struct {
+	Alpha float64   // demand intercept (> 0)
+	Beta  float64   // demand slope (> 0)
+	Gamma float64   // supply slope (> 0)
+	Shift []float64 // forecast demand shifts per day (cycled if short)
+}
+
+// Series implements PathModel.
+func (e Equilibrium) Series(rng *dist.RNG, T int) []float64 {
+	out := make([]float64, T)
+	for i := range out {
+		s := 0.0
+		if len(e.Shift) > 0 {
+			s = e.Shift[i%len(e.Shift)]
+		}
+		out[i] = floorPrice((e.Alpha + s) / (e.Beta + e.Gamma))
+	}
+	return out
+}
+
+// floorPrice keeps prices strictly positive.
+func floorPrice(p float64) float64 {
+	if p < 0.01 {
+		return 0.01
+	}
+	return p
+}

@@ -1,0 +1,133 @@
+package prices_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/prices"
+)
+
+func positive(t *testing.T, series []float64) {
+	t.Helper()
+	for i, p := range series {
+		if p <= 0 {
+			t.Fatalf("price[%d] = %v not positive", i, p)
+		}
+	}
+}
+
+func TestConstant(t *testing.T) {
+	rng := dist.NewRNG(1)
+	s := prices.Constant{Price: 42}.Series(rng, 5)
+	if len(s) != 5 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, p := range s {
+		if p != 42 {
+			t.Fatalf("constant series varied: %v", s)
+		}
+	}
+}
+
+func TestConstantFloorsNonPositive(t *testing.T) {
+	rng := dist.NewRNG(1)
+	s := prices.Constant{Price: -5}.Series(rng, 2)
+	positive(t, s)
+}
+
+func TestNoisyStatistics(t *testing.T) {
+	rng := dist.NewRNG(2)
+	n := prices.Noisy{Base: 100, Sigma: 0.05}
+	var all []float64
+	for trial := 0; trial < 500; trial++ {
+		all = append(all, n.Series(rng, 7)...)
+	}
+	positive(t, all)
+	mean := dist.Mean(all)
+	if math.Abs(mean-100) > 1 {
+		t.Fatalf("noisy mean = %v, want ≈ 100", mean)
+	}
+	sd := dist.StdDev(all)
+	if math.Abs(sd-5) > 0.5 {
+		t.Fatalf("noisy sd = %v, want ≈ 5", sd)
+	}
+}
+
+func TestSaleDropsFromSaleDay(t *testing.T) {
+	rng := dist.NewRNG(3)
+	m := prices.Sale{Base: 200, Sigma: 0, SaleDay: 4, Discount: 0.7}
+	s := m.Series(rng, 7)
+	for i := 0; i < 3; i++ {
+		if s[i] != 200 {
+			t.Fatalf("pre-sale price %v at day %d", s[i], i+1)
+		}
+	}
+	for i := 3; i < 7; i++ {
+		if math.Abs(s[i]-140) > 1e-9 {
+			t.Fatalf("sale price %v at day %d, want 140", s[i], i+1)
+		}
+	}
+}
+
+func TestSaleDisabled(t *testing.T) {
+	rng := dist.NewRNG(4)
+	s := prices.Sale{Base: 50, Sigma: 0, SaleDay: 0, Discount: 0.5}.Series(rng, 4)
+	for _, p := range s {
+		if p != 50 {
+			t.Fatalf("disabled sale changed price: %v", s)
+		}
+	}
+}
+
+func TestAR1MeanReversion(t *testing.T) {
+	rng := dist.NewRNG(5)
+	m := prices.AR1{Mean: 100, Phi: 0.6, Sigma: 0.05}
+	var all []float64
+	for trial := 0; trial < 300; trial++ {
+		all = append(all, m.Series(rng, 20)...)
+	}
+	positive(t, all)
+	mean := dist.Mean(all)
+	if math.Abs(mean-100) > 5 {
+		t.Fatalf("AR1 mean = %v, want ≈ 100", mean)
+	}
+}
+
+func TestAR1Autocorrelation(t *testing.T) {
+	rng := dist.NewRNG(6)
+	m := prices.AR1{Mean: 100, Phi: 0.8, Sigma: 0.05}
+	s := m.Series(rng, 5000)
+	// Lag-1 autocorrelation of log prices should be near phi.
+	logs := make([]float64, len(s))
+	for i, p := range s {
+		logs[i] = math.Log(p)
+	}
+	cov := dist.Covariance(logs[:len(logs)-1], logs[1:])
+	v := dist.Variance(logs)
+	if rho := cov / v; math.Abs(rho-0.8) > 0.1 {
+		t.Fatalf("AR1 lag-1 autocorrelation = %v, want ≈ 0.8", rho)
+	}
+}
+
+func TestEquilibriumClearing(t *testing.T) {
+	rng := dist.NewRNG(7)
+	m := prices.Equilibrium{Alpha: 1000, Beta: 4, Gamma: 6, Shift: []float64{0, 100, -100}}
+	s := m.Series(rng, 6)
+	want := []float64{100, 110, 90, 100, 110, 90}
+	for i := range s {
+		if math.Abs(s[i]-want[i]) > 1e-9 {
+			t.Fatalf("equilibrium price[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestEquilibriumNoShift(t *testing.T) {
+	rng := dist.NewRNG(8)
+	s := prices.Equilibrium{Alpha: 500, Beta: 2, Gamma: 3}.Series(rng, 3)
+	for _, p := range s {
+		if p != 100 {
+			t.Fatalf("no-shift equilibrium = %v, want 100", p)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package randprice implements the random-price extension of §7: when a
+// price prediction model yields distributions rather than exact values,
+// the expected revenue of a strategy is approximated by a second-order
+// Taylor expansion of each (user, class) group's revenue around the mean
+// price vector (Eq. 7–8), which is distribution independent.
+//
+// Documented substitution: the paper's Eq. 8 drops the second-derivative
+// factors from the final line ("g(z̄) + ½Σ var(zₐ) + Σ cov"), which is a
+// typo — the correct second-order term is ½ ΣΣ ∂²g/∂zₐ∂z_b · cov(zₐ,z_b),
+// and that is what this package computes (via central finite
+// differences). Prices enter the revenue non-linearly both directly
+// (the p(i,t) factor) and through the price-dependent adoption
+// probability q(u,i,t) = q̃(p), so the Hessian is generally non-zero.
+package randprice
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+)
+
+// AdoptFn reports the primitive adoption probability of triple (u,i,t)
+// when the item's price at t is price. It must be deterministic and is
+// expected to be anti-monotone in price (valuation semantics), though
+// nothing here requires that.
+type AdoptFn func(u model.UserID, i model.ItemID, t model.TimeStep, price float64) float64
+
+// Model couples an instance (whose stored prices are the *means* of the
+// price distributions) with variances, optional covariances, and the
+// price-dependent adoption function.
+type Model struct {
+	In *model.Instance
+	// Adopt maps price to adoption probability per triple.
+	Adopt AdoptFn
+	// Var returns the variance of p(i,t).
+	Var func(i model.ItemID, t model.TimeStep) float64
+	// Cov returns the covariance between two distinct price coordinates;
+	// nil means independent prices. (Within-item temporal correlation is
+	// the typical non-zero case.)
+	Cov func(iA model.ItemID, tA model.TimeStep, iB model.ItemID, tB model.TimeStep) float64
+}
+
+// coordinate identifies one price variable appearing in a group.
+type coordinate struct {
+	i model.ItemID
+	t model.TimeStep
+}
+
+// group is one (user, class) block of the strategy with its triples
+// sorted by time; the block's revenue depends only on the prices of its
+// own triples.
+type group struct {
+	u       model.UserID
+	triples []model.Triple
+	coords  []coordinate
+}
+
+// groupsOf splits the strategy into (user, class) groups.
+func (m *Model) groupsOf(s *model.Strategy) []group {
+	byKey := make(map[[2]int32]*group)
+	var order [][2]int32
+	for _, z := range s.Triples() {
+		key := [2]int32{int32(z.U), int32(m.In.Class(z.I))}
+		g := byKey[key]
+		if g == nil {
+			g = &group{u: z.U}
+			byKey[key] = g
+			order = append(order, key)
+		}
+		g.triples = append(g.triples, z)
+	}
+	out := make([]group, 0, len(byKey))
+	for _, key := range order {
+		g := byKey[key]
+		sort.Slice(g.triples, func(a, b int) bool {
+			if g.triples[a].T != g.triples[b].T {
+				return g.triples[a].T < g.triples[b].T
+			}
+			return g.triples[a].I < g.triples[b].I
+		})
+		seen := make(map[coordinate]bool)
+		for _, z := range g.triples {
+			c := coordinate{z.I, z.T}
+			if !seen[c] {
+				seen[c] = true
+				g.coords = append(g.coords, c)
+			}
+		}
+		out = append(out, *g)
+	}
+	return out
+}
+
+// value computes the group's revenue contribution when its price
+// coordinates take the given values (same order as g.coords).
+func (m *Model) value(g *group, prices []float64) float64 {
+	priceOf := func(i model.ItemID, t model.TimeStep) float64 {
+		for k, c := range g.coords {
+			if c.i == i && c.t == t {
+				return prices[k]
+			}
+		}
+		return m.In.Price(i, t)
+	}
+	qs := make([]float64, len(g.triples))
+	for k, z := range g.triples {
+		qs[k] = m.Adopt(z.U, z.I, z.T, priceOf(z.I, z.T))
+	}
+	total := 0.0
+	for k, z := range g.triples {
+		prob := qs[k]
+		// Saturation memory (price independent).
+		mem := 0.0
+		for _, w := range g.triples {
+			if w.T < z.T {
+				mem += 1 / float64(z.T-w.T)
+			}
+		}
+		if mem > 0 {
+			prob *= math.Pow(m.In.Beta(z.I), mem)
+		}
+		// Competition: earlier triples and same-time other items.
+		for j, w := range g.triples {
+			if w == z {
+				continue
+			}
+			if w.T < z.T || (w.T == z.T && w.I != z.I) {
+				prob *= 1 - qs[j]
+			}
+		}
+		total += priceOf(z.I, z.T) * prob
+	}
+	return total
+}
+
+// MeanProxyRevenue evaluates the revenue with every price fixed at its
+// mean — the "obvious way" heuristic §7 mentions before introducing the
+// Taylor method.
+func (m *Model) MeanProxyRevenue(s *model.Strategy) float64 {
+	total := 0.0
+	for _, g := range m.groupsOf(s) {
+		means := m.meansOf(&g)
+		total += m.value(&g, means)
+	}
+	return total
+}
+
+// TaylorRevenue evaluates the second-order Taylor approximation of the
+// expected revenue: per group, g(z̄) + ½ ΣΣ H_ab·cov(a,b), with the
+// Hessian computed by central finite differences.
+func (m *Model) TaylorRevenue(s *model.Strategy) float64 {
+	total := 0.0
+	for _, g := range m.groupsOf(s) {
+		means := m.meansOf(&g)
+		total += m.value(&g, means)
+		n := len(g.coords)
+		for a := 0; a < n; a++ {
+			for b := a; b < n; b++ {
+				cov := m.covOf(g.coords[a], g.coords[b])
+				if cov == 0 {
+					continue
+				}
+				h := m.hessian(&g, means, a, b)
+				if a == b {
+					total += 0.5 * h * cov
+				} else {
+					total += h * cov // symmetric pair counted once ⇒ full weight
+				}
+			}
+		}
+	}
+	return total
+}
+
+func (m *Model) meansOf(g *group) []float64 {
+	means := make([]float64, len(g.coords))
+	for k, c := range g.coords {
+		means[k] = m.In.Price(c.i, c.t)
+	}
+	return means
+}
+
+func (m *Model) covOf(a, b coordinate) float64 {
+	if a == b {
+		return m.Var(a.i, a.t)
+	}
+	if m.Cov == nil {
+		return 0
+	}
+	return m.Cov(a.i, a.t, b.i, b.t)
+}
+
+// hessian computes ∂²value/∂pₐ∂p_b at the mean via central differences.
+func (m *Model) hessian(g *group, means []float64, a, b int) float64 {
+	step := func(k int) float64 {
+		h := 1e-4 * math.Abs(means[k])
+		if h < 1e-5 {
+			h = 1e-5
+		}
+		return h
+	}
+	ha, hb := step(a), step(b)
+	p := make([]float64, len(means))
+	eval := func(da, db float64) float64 {
+		copy(p, means)
+		p[a] += da
+		p[b] += db
+		return m.value(g, p)
+	}
+	if a == b {
+		return (eval(ha, 0) - 2*eval(0, 0) + eval(-ha, 0)) / (ha * ha)
+	}
+	return (eval(ha, hb) - eval(ha, -hb) - eval(-ha, hb) + eval(-ha, -hb)) / (4 * ha * hb)
+}
+
+// MonteCarloRevenue estimates the true expected revenue by sampling
+// price vectors. Prices are drawn as independent Gaussians (mean from
+// the instance, variance from Var); covariances, if configured, are
+// ignored here — the estimator exists as ground truth for the
+// independent case used in the experiments. Negative samples are clamped
+// at zero.
+func (m *Model) MonteCarloRevenue(s *model.Strategy, samples int, seed uint64) float64 {
+	if samples <= 0 {
+		samples = 1000
+	}
+	rng := dist.NewRNG(seed)
+	groups := m.groupsOf(s)
+	total := 0.0
+	for _, g := range groups {
+		means := m.meansOf(&g)
+		sds := make([]float64, len(g.coords))
+		for k, c := range g.coords {
+			sds[k] = math.Sqrt(m.Var(c.i, c.t))
+		}
+		p := make([]float64, len(means))
+		sum := 0.0
+		for sIdx := 0; sIdx < samples; sIdx++ {
+			for k := range p {
+				v := rng.Normal(means[k], sds[k])
+				if v < 0 {
+					v = 0
+				}
+				p[k] = v
+			}
+			sum += m.value(&g, p)
+		}
+		total += sum / float64(samples)
+	}
+	return total
+}

@@ -1,0 +1,173 @@
+package randprice_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/kde"
+	"repro/internal/model"
+	"repro/internal/randprice"
+	"repro/internal/revenue"
+	"repro/internal/testgen"
+)
+
+// valuationAdopt builds an AdoptFn from per-item Gaussian valuations,
+// scaled so it agrees with the instance's stored q at the mean price.
+func valuationModel(in *model.Instance) (randprice.AdoptFn, []kde.GaussianProxy) {
+	proxies := make([]kde.GaussianProxy, in.NumItems())
+	for i := range proxies {
+		proxies[i] = kde.GaussianProxy{Mu: in.Price(model.ItemID(i), 1) * 1.1, Sigma: 10}
+	}
+	fn := func(u model.UserID, i model.ItemID, t model.TimeStep, price float64) float64 {
+		return dist.Clamp01(proxies[i].Survival(price) * 0.8)
+	}
+	return fn, proxies
+}
+
+func TestZeroVarianceMatchesDeterministicRevenue(t *testing.T) {
+	// With Var ≡ 0 and an AdoptFn that reproduces the instance's stored q
+	// at the mean prices, Taylor == mean proxy == Rev(S).
+	rng := dist.NewRNG(1)
+	in := testgen.Random(rng, testgen.Default())
+	s := testgen.RandomStrategy(rng, in, 0.4)
+
+	m := &randprice.Model{
+		In: in,
+		Adopt: func(u model.UserID, i model.ItemID, tt model.TimeStep, price float64) float64 {
+			return in.Q(u, i, tt) // ignore the price: exact-price regime
+		},
+		Var: func(model.ItemID, model.TimeStep) float64 { return 0 },
+	}
+	want := revenue.Revenue(in, s)
+	if got := m.MeanProxyRevenue(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean proxy %v != deterministic %v", got, want)
+	}
+	if got := m.TaylorRevenue(s); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Taylor %v != deterministic %v", got, want)
+	}
+}
+
+func TestTaylorExactForQuadraticContribution(t *testing.T) {
+	// Single triple, adoption linear in price: contribution p·q(p) is
+	// quadratic, so the second-order Taylor expectation is *exact*:
+	// E[p(a−bp)] = p̄(a−bp̄) − b·var.
+	in := model.NewInstance(1, 1, 1, 1)
+	in.SetItem(0, 0, 1, 1)
+	in.SetPrice(0, 1, 10)
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.FinishCandidates()
+	s := model.StrategyOf(model.Triple{U: 0, I: 0, T: 1})
+
+	a, b := 0.9, 0.02
+	variance := 4.0
+	m := &randprice.Model{
+		In: in,
+		Adopt: func(_ model.UserID, _ model.ItemID, _ model.TimeStep, price float64) float64 {
+			return a - b*price
+		},
+		Var: func(model.ItemID, model.TimeStep) float64 { return variance },
+	}
+	want := 10*(a-b*10) - b*variance
+	got := m.TaylorRevenue(s)
+	if math.Abs(got-want) > 1e-4 {
+		t.Fatalf("Taylor = %v, want exact %v", got, want)
+	}
+	// The mean proxy misses the variance correction.
+	proxy := m.MeanProxyRevenue(s)
+	if math.Abs(proxy-10*(a-b*10)) > 1e-9 {
+		t.Fatalf("mean proxy = %v, want %v", proxy, 10*(a-b*10))
+	}
+}
+
+func TestTaylorBeatsMeanProxyAgainstMonteCarlo(t *testing.T) {
+	rng := dist.NewRNG(2)
+	p := testgen.Default()
+	p.MinPrice, p.MaxPrice = 50, 150
+	in := testgen.Random(rng, p)
+	s := testgen.RandomValidStrategy(rng, in, 0.4)
+	if s.Len() == 0 {
+		t.Skip("empty strategy sampled")
+	}
+	adopt, _ := valuationModel(in)
+	m := &randprice.Model{
+		In:    in,
+		Adopt: adopt,
+		Var:   func(model.ItemID, model.TimeStep) float64 { return 64 }, // sd 8
+	}
+	mc := m.MonteCarloRevenue(s, 60000, 7)
+	taylor := m.TaylorRevenue(s)
+	proxy := m.MeanProxyRevenue(s)
+	errT := math.Abs(taylor - mc)
+	errP := math.Abs(proxy - mc)
+	// Taylor must not be materially worse than the mean proxy, and should
+	// usually be better (it captures curvature).
+	if errT > errP+0.02*math.Abs(mc) {
+		t.Fatalf("Taylor error %v worse than proxy error %v (mc %v)", errT, errP, mc)
+	}
+}
+
+func TestMonteCarloDeterministicForSeed(t *testing.T) {
+	rng := dist.NewRNG(3)
+	in := testgen.Random(rng, testgen.Default())
+	s := testgen.RandomStrategy(rng, in, 0.3)
+	adopt, _ := valuationModel(in)
+	m := &randprice.Model{
+		In:    in,
+		Adopt: adopt,
+		Var:   func(model.ItemID, model.TimeStep) float64 { return 25 },
+	}
+	a := m.MonteCarloRevenue(s, 500, 11)
+	b := m.MonteCarloRevenue(s, 500, 11)
+	if a != b {
+		t.Fatal("Monte Carlo not deterministic for fixed seed")
+	}
+}
+
+func TestCovarianceTermContributes(t *testing.T) {
+	// Two triples of the same item at different times, positively
+	// correlated prices. The covariance term must change the Taylor value
+	// relative to the independent case.
+	in := model.NewInstance(1, 1, 2, 1)
+	in.SetItem(0, 0, 0.9, 2)
+	in.SetPrice(0, 1, 100)
+	in.SetPrice(0, 2, 100)
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.AddCandidate(0, 0, 2, 0.5)
+	in.FinishCandidates()
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 0, T: 2},
+	)
+	proxy := kde.GaussianProxy{Mu: 110, Sigma: 15}
+	m := &randprice.Model{
+		In: in,
+		Adopt: func(_ model.UserID, _ model.ItemID, _ model.TimeStep, price float64) float64 {
+			return dist.Clamp01(proxy.Survival(price))
+		},
+		Var: func(model.ItemID, model.TimeStep) float64 { return 36 },
+	}
+	indep := m.TaylorRevenue(s)
+	m.Cov = func(_ model.ItemID, _ model.TimeStep, _ model.ItemID, _ model.TimeStep) float64 {
+		return 30
+	}
+	corr := m.TaylorRevenue(s)
+	if indep == corr {
+		t.Fatal("covariance term had no effect")
+	}
+}
+
+func TestEmptyStrategyIsZero(t *testing.T) {
+	rng := dist.NewRNG(4)
+	in := testgen.Random(rng, testgen.Default())
+	adopt, _ := valuationModel(in)
+	m := &randprice.Model{
+		In:    in,
+		Adopt: adopt,
+		Var:   func(model.ItemID, model.TimeStep) float64 { return 1 },
+	}
+	empty := model.NewStrategy()
+	if m.TaylorRevenue(empty) != 0 || m.MeanProxyRevenue(empty) != 0 || m.MonteCarloRevenue(empty, 10, 1) != 0 {
+		t.Fatal("empty strategy should yield zero everywhere")
+	}
+}

@@ -1,0 +1,216 @@
+// Package reduction implements the NP-hardness construction of Theorem 1
+// in Lu et al. (VLDB 2014): a polynomial-time reduction from the
+// Restricted Timetable Design problem (RTD, Even–Itai–Shamir 1975) to the
+// decision version of REVMAX. The reduction is machine-checked in tests:
+// an RTD instance admits a feasible timetable iff the reduced REVMAX
+// instance admits a valid strategy with expected revenue ≥ N + ΥE.
+package reduction
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Hours is |H| in RTD — fixed at 3 by the problem definition.
+const Hours = 3
+
+// RTD is a Restricted Timetable Design instance: craftsmen with
+// availability over three hours, jobs, and a 0/1 requirement matrix.
+// Every craftsman must be tight: available for τ ∈ {2,3} hours and
+// required on exactly τ jobs.
+type RTD struct {
+	// Available[c][h] reports whether craftsman c works at hour h (0..2).
+	Available [][Hours]bool
+	// Requires[c][b] ∈ {0,1}: craftsman c must spend Requires[c][b] hours
+	// on job b.
+	Requires [][]int
+}
+
+// NumCraftsmen returns |C|.
+func (r *RTD) NumCraftsmen() int { return len(r.Available) }
+
+// NumJobs returns |B|.
+func (r *RTD) NumJobs() int {
+	if len(r.Requires) == 0 {
+		return 0
+	}
+	return len(r.Requires[0])
+}
+
+// Validate checks the tightness and shape constraints of RTD.
+func (r *RTD) Validate() error {
+	if len(r.Available) != len(r.Requires) {
+		return errors.New("reduction: availability/requirement shape mismatch")
+	}
+	jobs := r.NumJobs()
+	for c := range r.Available {
+		if len(r.Requires[c]) != jobs {
+			return fmt.Errorf("reduction: craftsman %d has ragged requirement row", c)
+		}
+		avail := 0
+		for h := 0; h < Hours; h++ {
+			if r.Available[c][h] {
+				avail++
+			}
+		}
+		req := 0
+		for _, v := range r.Requires[c] {
+			if v != 0 && v != 1 {
+				return fmt.Errorf("reduction: requirement must be 0/1, got %d", v)
+			}
+			req += v
+		}
+		if avail < 2 || avail > 3 {
+			return fmt.Errorf("reduction: craftsman %d available %d hours, want 2 or 3", c, avail)
+		}
+		if req != avail {
+			return fmt.Errorf("reduction: craftsman %d not tight (%d jobs, %d hours)", c, req, avail)
+		}
+	}
+	return nil
+}
+
+// N returns Σ R(c,b), the number of required assignments.
+func (r *RTD) N() int {
+	n := 0
+	for c := range r.Requires {
+		for _, v := range r.Requires[c] {
+			n += v
+		}
+	}
+	return n
+}
+
+// Upsilon returns Υ = Σ_c |H \ A(c)|, the total unavailable hours.
+func (r *RTD) Upsilon() int {
+	u := 0
+	for c := range r.Available {
+		for h := 0; h < Hours; h++ {
+			if !r.Available[c][h] {
+				u++
+			}
+		}
+	}
+	return u
+}
+
+// Reduction is the output of Reduce: the REVMAX instance and the
+// decision threshold.
+type Reduction struct {
+	Instance  *model.Instance
+	Threshold float64 // N + ΥE
+	E         float64 // expensive-item price (N + 1)
+}
+
+// Reduce builds the D-REVMAX instance of Theorem 1. Craftsmen become
+// users, hours become time steps; each job b yields three items i_{b,τ}
+// of class b with capacity 1, price 1 at t = τ and 0 otherwise; each
+// craftsman also gets a unique expensive item priced E = N+1 that they
+// adopt with probability 1 exactly at their unavailable hours.
+//
+// One economy relative to the paper's prose: candidate triples whose
+// price is 0 at their time step contribute no revenue and can only
+// suppress other triples (competition), so no optimal strategy uses
+// them; Reduce omits them, which leaves the optimum — and hence the
+// decision answer — unchanged while keeping instances small enough for
+// the exhaustive verifier.
+func Reduce(r *RTD) (*Reduction, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	craftsmen := r.NumCraftsmen()
+	jobs := r.NumJobs()
+	n := r.N()
+	e := float64(n + 1)
+
+	// Items: jobs*Hours job items then one expensive item per craftsman.
+	numItems := jobs*Hours + craftsmen
+	in := model.NewInstance(craftsmen, numItems, Hours, 1)
+
+	jobItem := func(b, tau int) model.ItemID { return model.ItemID(b*Hours + tau) }
+	expItem := func(c int) model.ItemID { return model.ItemID(jobs*Hours + c) }
+
+	for b := 0; b < jobs; b++ {
+		for tau := 0; tau < Hours; tau++ {
+			id := jobItem(b, tau)
+			in.SetItem(id, model.ClassID(b), 1, 1) // β=1: the proof needs no saturation
+			in.SetPrice(id, model.TimeStep(tau+1), 1)
+		}
+	}
+	for c := 0; c < craftsmen; c++ {
+		id := expItem(c)
+		// Each expensive item sits in its own class, after the job classes.
+		in.SetItem(id, model.ClassID(jobs+c), 1, 1)
+		for t := 1; t <= Hours; t++ {
+			in.SetPrice(id, model.TimeStep(t), e)
+		}
+	}
+
+	for c := 0; c < craftsmen; c++ {
+		for b := 0; b < jobs; b++ {
+			if r.Requires[c][b] == 0 {
+				continue
+			}
+			// q(c, i_{b,τ}, t) = 1 for every t; only t = τ has price > 0.
+			for tau := 0; tau < Hours; tau++ {
+				in.AddCandidate(model.UserID(c), jobItem(b, tau), model.TimeStep(tau+1), 1)
+			}
+		}
+		for h := 0; h < Hours; h++ {
+			if !r.Available[c][h] {
+				in.AddCandidate(model.UserID(c), expItem(c), model.TimeStep(h+1), 1)
+			}
+		}
+	}
+	in.FinishCandidates()
+
+	return &Reduction{
+		Instance:  in,
+		Threshold: float64(n) + float64(r.Upsilon())*e,
+		E:         e,
+	}, nil
+}
+
+// FeasibleTimetable decides RTD by backtracking: assign each required
+// (craftsman, job) pair an hour in the craftsman's availability such
+// that no craftsman works two jobs in one hour and no job is staffed by
+// two craftsmen in one hour.
+func FeasibleTimetable(r *RTD) bool {
+	type pair struct{ c, b int }
+	var pairs []pair
+	for c := range r.Requires {
+		for b, v := range r.Requires[c] {
+			if v == 1 {
+				pairs = append(pairs, pair{c, b})
+			}
+		}
+	}
+	craftsmen := r.NumCraftsmen()
+	jobs := r.NumJobs()
+	busyC := make([][Hours]bool, craftsmen)
+	busyB := make([][Hours]bool, jobs)
+
+	var dfs func(k int) bool
+	dfs = func(k int) bool {
+		if k == len(pairs) {
+			return true
+		}
+		p := pairs[k]
+		for h := 0; h < Hours; h++ {
+			if !r.Available[p.c][h] || busyC[p.c][h] || busyB[p.b][h] {
+				continue
+			}
+			busyC[p.c][h] = true
+			busyB[p.b][h] = true
+			if dfs(k + 1) {
+				return true
+			}
+			busyC[p.c][h] = false
+			busyB[p.b][h] = false
+		}
+		return false
+	}
+	return dfs(0)
+}

@@ -1,0 +1,194 @@
+package reduction_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/reduction"
+)
+
+// feasibleRTD: two craftsmen, two jobs each requiring both craftsmen at
+// different hours — schedulable.
+func feasibleRTD() *reduction.RTD {
+	return &reduction.RTD{
+		Available: [][reduction.Hours]bool{
+			{true, true, false}, // c0: hours 0,1
+			{false, true, true}, // c1: hours 1,2
+		},
+		Requires: [][]int{
+			{1, 1}, // c0 on jobs 0,1
+			{1, 1}, // c1 on jobs 0,1
+		},
+	}
+}
+
+// infeasibleRTD: three craftsmen, all available only at hours {0,1} and
+// all required on both jobs. Six assignments must land in the four
+// (job, hour) cells with at most one craftsman per cell — impossible.
+func infeasibleRTD() *reduction.RTD {
+	return &reduction.RTD{
+		Available: [][reduction.Hours]bool{
+			{true, true, false},
+			{true, true, false},
+			{true, true, false},
+		},
+		Requires: [][]int{
+			{1, 1},
+			{1, 1},
+			{1, 1},
+		},
+	}
+}
+
+func TestValidateTightness(t *testing.T) {
+	bad := &reduction.RTD{
+		Available: [][reduction.Hours]bool{{true, true, false}},
+		Requires:  [][]int{{1, 0}}, // available 2 hours, requires 1 job
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-tight craftsman accepted")
+	}
+	if err := feasibleRTD().Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+}
+
+func TestCountsNUpsilon(t *testing.T) {
+	r := feasibleRTD()
+	if r.N() != 4 {
+		t.Fatalf("N = %d, want 4", r.N())
+	}
+	if r.Upsilon() != 2 {
+		t.Fatalf("Υ = %d, want 2", r.Upsilon())
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	if !reduction.FeasibleTimetable(feasibleRTD()) {
+		t.Fatal("feasible instance reported infeasible")
+	}
+	if reduction.FeasibleTimetable(infeasibleRTD()) {
+		t.Fatal("infeasible instance reported feasible")
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	r := feasibleRTD()
+	red, err := reduction.Reduce(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := red.Instance
+	if in.NumUsers != 2 || in.T != 3 || in.K != 1 {
+		t.Fatalf("shape = (%d users, T=%d, k=%d)", in.NumUsers, in.T, in.K)
+	}
+	// 2 jobs × 3 hour-items + 2 expensive items.
+	if in.NumItems() != 8 {
+		t.Fatalf("items = %d, want 8", in.NumItems())
+	}
+	if red.E != float64(r.N()+1) {
+		t.Fatalf("E = %v, want N+1", red.E)
+	}
+	if want := float64(r.N()) + float64(r.Upsilon())*red.E; red.Threshold != want {
+		t.Fatalf("threshold = %v, want %v", red.Threshold, want)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The heart of Theorem 1: optimal revenue reaches the threshold iff the
+// timetable is feasible, machine-checked by exhaustive search.
+func TestTheorem1Equivalence(t *testing.T) {
+	check := func(name string, r *reduction.RTD) {
+		red, err := reduction.Reduce(r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		opt, err := core.Optimal(red.Instance)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		feasible := reduction.FeasibleTimetable(r)
+		reaches := opt.Revenue >= red.Threshold-1e-9
+		if feasible != reaches {
+			t.Fatalf("%s: feasible=%v but optimal %v vs threshold %v",
+				name, feasible, opt.Revenue, red.Threshold)
+		}
+		if feasible && opt.Revenue > red.Threshold+1e-9 {
+			t.Fatalf("%s: revenue %v exceeds threshold %v (every rec is worth ≤ its price)",
+				name, opt.Revenue, red.Threshold)
+		}
+	}
+	check("feasible", feasibleRTD())
+	check("infeasible", infeasibleRTD())
+}
+
+// randomTightRTD generates a random valid RTD instance (each craftsman
+// tight over 2 or 3 available hours).
+func randomTightRTD(rng *dist.RNG, craftsmen, jobs int) *reduction.RTD {
+	r := &reduction.RTD{
+		Available: make([][reduction.Hours]bool, craftsmen),
+		Requires:  make([][]int, craftsmen),
+	}
+	for c := 0; c < craftsmen; c++ {
+		tau := 2 + rng.Intn(2)
+		perm := rng.Perm(reduction.Hours)
+		for _, h := range perm[:tau] {
+			r.Available[c][h] = true
+		}
+		r.Requires[c] = make([]int, jobs)
+		jp := rng.Perm(jobs)
+		for _, b := range jp[:tau] {
+			r.Requires[c][b] = 1
+		}
+	}
+	return r
+}
+
+func TestTheorem1EquivalenceRandomized(t *testing.T) {
+	rng := dist.NewRNG(42)
+	feasibleSeen, infeasibleSeen := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		r := randomTightRTD(rng, 2, 3)
+		if r.Validate() != nil {
+			continue
+		}
+		red, err := reduction.Reduce(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.Instance.NumCandidates() > 20 {
+			continue
+		}
+		opt, err := core.Optimal(red.Instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feasible := reduction.FeasibleTimetable(r)
+		reaches := opt.Revenue >= red.Threshold-1e-9
+		if feasible != reaches {
+			t.Fatalf("trial %d: feasible=%v, revenue %v, threshold %v",
+				trial, feasible, opt.Revenue, red.Threshold)
+		}
+		if feasible {
+			feasibleSeen++
+		} else {
+			infeasibleSeen++
+		}
+	}
+	if feasibleSeen == 0 || infeasibleSeen == 0 {
+		t.Skipf("coverage: %d feasible / %d infeasible instances", feasibleSeen, infeasibleSeen)
+	}
+}
+
+func TestReduceRejectsInvalid(t *testing.T) {
+	bad := &reduction.RTD{
+		Available: [][reduction.Hours]bool{{true, false, false}}, // 1 hour: not a 2/3-craftsman
+		Requires:  [][]int{{1}},
+	}
+	if _, err := reduction.Reduce(bad); err == nil {
+		t.Fatal("invalid RTD accepted")
+	}
+}

@@ -1,0 +1,345 @@
+// Package revenue implements the RevMax revenue model of Lu et al.
+// (VLDB 2014): memory and saturation (Eq. 1), the dynamic adoption
+// probability (Definition 1), the expected-revenue objective (Definition
+// 2), marginal revenue (Definition 3), and the effective dynamic adoption
+// probability with the capacity factor B_S(i,t) (Definition 4).
+//
+// The central structural fact exploited here is that q_S(u,i,t) depends
+// only on triples of S with the same user and the same item class at time
+// ≤ t. Rev(S) therefore decomposes into independent (user, class) groups,
+// and the marginal revenue of a triple touches exactly one group. The
+// Evaluator maintains this decomposition incrementally, which is what the
+// greedy algorithms in internal/core build on.
+package revenue
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// groupKey identifies one (user, class) group.
+type groupKey struct {
+	u model.UserID
+	c model.ClassID
+}
+
+// entry is one chosen triple inside a group, with its primitive
+// probability cached.
+type entry struct {
+	z model.Triple
+	q float64
+}
+
+// group holds the chosen triples of one (user, class) pair, sorted by
+// time (ties broken by item for determinism), plus the group's cached
+// revenue contribution.
+type group struct {
+	entries []entry
+	revenue float64
+}
+
+func (g *group) insert(e entry) {
+	i := sort.Search(len(g.entries), func(k int) bool {
+		ek := g.entries[k]
+		if ek.z.T != e.z.T {
+			return ek.z.T > e.z.T
+		}
+		return ek.z.I >= e.z.I
+	})
+	g.entries = append(g.entries, entry{})
+	copy(g.entries[i+1:], g.entries[i:])
+	g.entries[i] = e
+}
+
+func (g *group) remove(z model.Triple) bool {
+	for i, e := range g.entries {
+		if e.z == z {
+			g.entries = append(g.entries[:i], g.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Memory computes M_S(u,i,t) (Eq. 1) for a time-sorted list of same-class
+// triples of one user: the sum of 1/(t−τ) over all class-mate
+// recommendations at times τ < t. The item argument is not needed because
+// memory is class-wide.
+func memoryOf(entries []entry, t model.TimeStep) float64 {
+	m := 0.0
+	for _, e := range entries {
+		if e.z.T < t {
+			m += 1 / float64(t-e.z.T)
+		}
+	}
+	return m
+}
+
+// dynamicProb computes q_S(u,i,t) per Definition 1 for the triple at
+// index idx of a group's entry list, given the instance's saturation
+// factor beta for that item. The entries must contain the triple itself.
+func dynamicProb(in *model.Instance, entries []entry, idx int) float64 {
+	e := entries[idx]
+	t := e.z.T
+	beta := in.Beta(e.z.I)
+	mem := memoryOf(entries, t)
+	p := e.q
+	if mem > 0 {
+		p *= math.Pow(beta, mem)
+	}
+	for _, o := range entries {
+		if o.z == e.z {
+			continue
+		}
+		switch {
+		case o.z.T < t:
+			p *= 1 - o.q
+		case o.z.T == t && o.z.I != e.z.I:
+			p *= 1 - o.q
+		}
+	}
+	return p
+}
+
+// groupRevenue computes the revenue contribution Σ p(i,t)·q_S(u,i,t) of
+// one (user, class) group.
+func groupRevenue(in *model.Instance, entries []entry) float64 {
+	rev := 0.0
+	for idx, e := range entries {
+		rev += in.Price(e.z.I, e.z.T) * dynamicProb(in, entries, idx)
+	}
+	return rev
+}
+
+// Evaluator incrementally maintains Rev(S) as triples are added to and
+// removed from a strategy. The zero value is not usable; construct with
+// NewEvaluator.
+type Evaluator struct {
+	in     *model.Instance
+	groups map[groupKey]*group
+	total  float64
+	size   int
+}
+
+// NewEvaluator returns an evaluator for the empty strategy on instance in.
+func NewEvaluator(in *model.Instance) *Evaluator {
+	return &Evaluator{in: in, groups: make(map[groupKey]*group)}
+}
+
+// Instance returns the underlying instance.
+func (ev *Evaluator) Instance() *model.Instance { return ev.in }
+
+// Total returns Rev(S) for the current strategy S.
+func (ev *Evaluator) Total() float64 { return ev.total }
+
+// Len returns |S|.
+func (ev *Evaluator) Len() int { return ev.size }
+
+// GroupSize returns the number of chosen triples in the (user, class)
+// group of triple z. This is the |set(u, C(i))| used by lazy forward.
+func (ev *Evaluator) GroupSize(u model.UserID, c model.ClassID) int {
+	g := ev.groups[groupKey{u, c}]
+	if g == nil {
+		return 0
+	}
+	return len(g.entries)
+}
+
+// MarginalGain returns Rev(S ∪ {z}) − Rev(S) (Definition 3) without
+// mutating the evaluator. q is the primitive adoption probability of z.
+func (ev *Evaluator) MarginalGain(z model.Triple, q float64) float64 {
+	key := groupKey{z.U, ev.in.Class(z.I)}
+	g := ev.groups[key]
+	if g == nil {
+		// Singleton group: gain is just p·q (no saturation, no competition).
+		return ev.in.Price(z.I, z.T) * q
+	}
+	tmp := make([]entry, len(g.entries), len(g.entries)+1)
+	copy(tmp, g.entries)
+	tmp = append(tmp, entry{z, q})
+	return groupRevenue(ev.in, tmp) - g.revenue
+}
+
+// Add inserts z into the strategy and returns the realized marginal gain.
+// Adding a triple that is already present is a programming error and
+// corrupts the total; callers guard with their own membership tracking.
+func (ev *Evaluator) Add(z model.Triple, q float64) float64 {
+	key := groupKey{z.U, ev.in.Class(z.I)}
+	g := ev.groups[key]
+	if g == nil {
+		g = &group{}
+		ev.groups[key] = g
+	}
+	old := g.revenue
+	g.insert(entry{z, q})
+	g.revenue = groupRevenue(ev.in, g.entries)
+	delta := g.revenue - old
+	ev.total += delta
+	ev.size++
+	return delta
+}
+
+// Remove deletes z from the strategy and returns the revenue change
+// (usually negative of some earlier gain). It returns 0 and does nothing
+// if z is not present.
+func (ev *Evaluator) Remove(z model.Triple) float64 {
+	key := groupKey{z.U, ev.in.Class(z.I)}
+	g := ev.groups[key]
+	if g == nil || !g.remove(z) {
+		return 0
+	}
+	old := g.revenue
+	g.revenue = groupRevenue(ev.in, g.entries)
+	delta := g.revenue - old
+	ev.total += delta
+	ev.size--
+	return delta
+}
+
+// Revenue computes Rev(S) (Definition 2) for an explicit strategy from
+// scratch. It is the reference implementation used to validate the
+// incremental evaluator and to score algorithm outputs.
+func Revenue(in *model.Instance, s *model.Strategy) float64 {
+	groups := collectGroups(in, s)
+	total := 0.0
+	for _, g := range groups {
+		total += groupRevenue(in, g)
+	}
+	return total
+}
+
+// DynamicProb computes q_S(u,i,t) (Definition 1) for triple z under
+// strategy s. Per the definition, it returns 0 when z ∉ S.
+func DynamicProb(in *model.Instance, s *model.Strategy, z model.Triple) float64 {
+	if !s.Contains(z) {
+		return 0
+	}
+	groups := collectGroups(in, s)
+	g := groups[groupKey{z.U, in.Class(z.I)}]
+	for idx, e := range g {
+		if e.z == z {
+			return dynamicProb(in, g, idx)
+		}
+	}
+	return 0
+}
+
+// MemoryOf computes M_S(u,i,t) (Eq. 1) for triple (u,i,t) under s.
+func MemoryOf(in *model.Instance, s *model.Strategy, u model.UserID, i model.ItemID, t model.TimeStep) float64 {
+	c := in.Class(i)
+	m := 0.0
+	for _, z := range s.Triples() {
+		if z.U == u && in.Class(z.I) == c && z.T < t {
+			m += 1 / float64(t-z.T)
+		}
+	}
+	return m
+}
+
+// MarginalRevenue computes Rev(S ∪ {z}) − Rev(S) from scratch (Definition
+// 3). Reference implementation for tests; algorithms use Evaluator.
+func MarginalRevenue(in *model.Instance, s *model.Strategy, z model.Triple) float64 {
+	s2 := s.Clone()
+	s2.Add(z)
+	return Revenue(in, s2) - Revenue(in, s)
+}
+
+func collectGroups(in *model.Instance, s *model.Strategy) map[groupKey][]entry {
+	groups := make(map[groupKey][]entry)
+	for _, z := range s.Triples() {
+		key := groupKey{z.U, in.Class(z.I)}
+		groups[key] = append(groups[key], entry{z, in.Q(z.U, z.I, z.T)})
+	}
+	for key, g := range groups {
+		sort.Slice(g, func(a, b int) bool {
+			if g[a].z.T != g[b].z.T {
+				return g[a].z.T < g[b].z.T
+			}
+			return g[a].z.I < g[b].z.I
+		})
+		groups[key] = g
+	}
+	return groups
+}
+
+// CapacityOracle estimates B_S(i,t) = Pr[at most qᵢ−1 of the users other
+// than u who were recommended i up to time t adopt it] (Definition 4).
+// Implementations live in internal/poibin; the indirection keeps this
+// package free of the estimation choice (exact DP vs Monte Carlo), exactly
+// as the paper treats the oracle as pluggable.
+type CapacityOracle interface {
+	// TailAtMost returns Pr[at most k of independent Bernoulli trials with
+	// the given success probabilities succeed].
+	TailAtMost(probs []float64, k int) float64
+}
+
+// EffectiveRevenue computes the R-REVMAX objective: Definition 2 with
+// q_S replaced by the effective dynamic adoption probability E_S of
+// Definition 4. Each other user v contributes an adoption probability
+// 1 − Π_{(v,i,τ)∈S, τ≤t}(1−q(v,i,τ)) to the Poisson-binomial tail; when a
+// user was recommended the item only once this reduces to the primitive
+// probability used in Example 3 of the paper.
+func EffectiveRevenue(in *model.Instance, s *model.Strategy, oracle CapacityOracle) float64 {
+	groups := collectGroups(in, s)
+	// For every (item, user), the probability that the user adopts the
+	// item when recommended at times τ ≤ t. We need per-time prefix data;
+	// gather all recommendations of each item sorted by time.
+	byItem := make(map[model.ItemID][]itemRec)
+	for _, z := range s.Triples() {
+		byItem[z.I] = append(byItem[z.I], itemRec{z.U, z.T, in.Q(z.U, z.I, z.T)})
+	}
+	for i := range byItem {
+		rs := byItem[i]
+		sort.Slice(rs, func(a, b int) bool { return rs[a].t < rs[b].t })
+	}
+
+	total := 0.0
+	for key, g := range groups {
+		for idx, e := range g {
+			qs := dynamicProb(in, g, idx)
+			if qs == 0 {
+				continue
+			}
+			b := capacityFactor(in, byItem[e.z.I], key.u, e.z, oracle)
+			total += in.Price(e.z.I, e.z.T) * qs * b
+		}
+	}
+	return total
+}
+
+// itemRec is one recommendation of a fixed item: to whom, when, and with
+// what primitive adoption probability.
+type itemRec struct {
+	u model.UserID
+	t model.TimeStep
+	q float64
+}
+
+// capacityFactor computes B_S(i,t) for the triple z=(u,i,t): the
+// probability that at most qᵢ−1 of the *other* users recommended i up to
+// time t adopt it. When fewer than qᵢ other users are involved the factor
+// is exactly 1 (Definition 4 discussion).
+func capacityFactor(in *model.Instance, recs []itemRec, u model.UserID, z model.Triple, oracle CapacityOracle) float64 {
+	// Per other user: adoption probability 1 − Π(1−q) over recs at τ ≤ t.
+	surv := make(map[model.UserID]float64)
+	for _, r := range recs {
+		if r.u == u || r.t > z.T {
+			continue
+		}
+		if _, ok := surv[r.u]; !ok {
+			surv[r.u] = 1
+		}
+		surv[r.u] *= 1 - r.q
+	}
+	capQ := in.Capacity(z.I)
+	if len(surv) < capQ {
+		return 1
+	}
+	probs := make([]float64, 0, len(surv))
+	for _, sv := range surv {
+		probs = append(probs, 1-sv)
+	}
+	return oracle.TailAtMost(probs, capQ-1)
+}

@@ -1,0 +1,472 @@
+package revenue_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/poibin"
+	"repro/internal/revenue"
+	"repro/internal/testgen"
+)
+
+const tol = 1e-12
+
+// paperExample1 builds the instance behind Example 1 of the paper: one
+// user, two items i and j in the same class, adoption probability a for
+// every triple, saturation factor beta on both items.
+func paperExample1(a, beta float64) *model.Instance {
+	in := model.NewInstance(1, 2, 3, 1)
+	in.SetItem(0, 0, beta, 5) // item i
+	in.SetItem(1, 0, beta, 5) // item j, same class
+	for i := 0; i < 2; i++ {
+		for t := 1; t <= 3; t++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(t), 1)
+			in.AddCandidate(0, model.ItemID(i), model.TimeStep(t), a)
+		}
+	}
+	in.FinishCandidates()
+	return in
+}
+
+func TestDynamicProbExample1(t *testing.T) {
+	a, beta := 0.4, 0.6
+	in := paperExample1(a, beta)
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1}, // (u, i, 1)
+		model.Triple{U: 0, I: 1, T: 2}, // (u, j, 2)
+		model.Triple{U: 0, I: 0, T: 3}, // (u, i, 3)
+	)
+	// qS(u,i,1) = a
+	if got := revenue.DynamicProb(in, s, model.Triple{U: 0, I: 0, T: 1}); math.Abs(got-a) > tol {
+		t.Fatalf("qS(u,i,1) = %v, want %v", got, a)
+	}
+	// qS(u,j,2) = (1−a)·a·β^(1/1)
+	want2 := (1 - a) * a * math.Pow(beta, 1)
+	if got := revenue.DynamicProb(in, s, model.Triple{U: 0, I: 1, T: 2}); math.Abs(got-want2) > tol {
+		t.Fatalf("qS(u,j,2) = %v, want %v", got, want2)
+	}
+	// qS(u,i,3) = (1−a)²·a·β^(1/1 + 1/2)
+	want3 := (1 - a) * (1 - a) * a * math.Pow(beta, 1.5)
+	if got := revenue.DynamicProb(in, s, model.Triple{U: 0, I: 0, T: 3}); math.Abs(got-want3) > tol {
+		t.Fatalf("qS(u,i,3) = %v, want %v", got, want3)
+	}
+}
+
+func TestDynamicProbZeroOutsideStrategy(t *testing.T) {
+	in := paperExample1(0.5, 0.5)
+	s := model.StrategyOf(model.Triple{U: 0, I: 0, T: 1})
+	if got := revenue.DynamicProb(in, s, model.Triple{U: 0, I: 0, T: 2}); got != 0 {
+		t.Fatalf("qS of triple not in S = %v, want 0", got)
+	}
+}
+
+// nonMonotoneInstance reproduces the instance from the proof of Theorem 2:
+// U={u}, I={i}, T=2, k=1, qᵢ=2, q(u,i,1)=0.5, q(u,i,2)=0.6, p(i,1)=1,
+// p(i,2)=0.95, βᵢ=0.1.
+func nonMonotoneInstance() *model.Instance {
+	in := model.NewInstance(1, 1, 2, 1)
+	in.SetItem(0, 0, 0.1, 2)
+	in.SetPrice(0, 1, 1)
+	in.SetPrice(0, 2, 0.95)
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.AddCandidate(0, 0, 2, 0.6)
+	in.FinishCandidates()
+	return in
+}
+
+func TestRevenueNonMonotoneExample(t *testing.T) {
+	in := nonMonotoneInstance()
+	s := model.StrategyOf(model.Triple{U: 0, I: 0, T: 2})
+	s2 := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 0, T: 2},
+	)
+	rev1 := revenue.Revenue(in, s)
+	rev2 := revenue.Revenue(in, s2)
+	if math.Abs(rev1-0.57) > 1e-9 {
+		t.Fatalf("Rev({(u,i,2)}) = %v, want 0.57", rev1)
+	}
+	if math.Abs(rev2-0.5285) > 1e-9 {
+		t.Fatalf("Rev(S') = %v, want 0.5285", rev2)
+	}
+	if rev2 >= rev1 {
+		t.Fatal("expected non-monotonicity: superset should have lower revenue")
+	}
+}
+
+func TestRevenueEmptyStrategy(t *testing.T) {
+	in := paperExample1(0.5, 0.5)
+	if got := revenue.Revenue(in, model.NewStrategy()); got != 0 {
+		t.Fatalf("Rev(∅) = %v", got)
+	}
+}
+
+func TestMemoryOfMatchesEq1(t *testing.T) {
+	in := paperExample1(0.5, 0.5)
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 0, I: 1, T: 2},
+	)
+	// M_S(u, i, 3) = 1/(3−1) + 1/(3−2) = 1.5 (class-wide memory).
+	if got := revenue.MemoryOf(in, s, 0, 0, 3); math.Abs(got-1.5) > tol {
+		t.Fatalf("memory = %v, want 1.5", got)
+	}
+	// Memory at t=1 is always 0.
+	if got := revenue.MemoryOf(in, s, 0, 0, 1); got != 0 {
+		t.Fatalf("memory at t=1 = %v, want 0", got)
+	}
+}
+
+func TestEvaluatorMatchesReference(t *testing.T) {
+	rng := dist.NewRNG(21)
+	for trial := 0; trial < 25; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		ev := revenue.NewEvaluator(in)
+		s := model.NewStrategy()
+		for u := 0; u < in.NumUsers; u++ {
+			for _, c := range in.UserCandidates(model.UserID(u)) {
+				if rng.Float64() < 0.4 {
+					ev.Add(c.Triple, c.Q)
+					s.Add(c.Triple)
+				}
+			}
+		}
+		want := revenue.Revenue(in, s)
+		if math.Abs(ev.Total()-want) > 1e-9 {
+			t.Fatalf("trial %d: evaluator total %v != reference %v", trial, ev.Total(), want)
+		}
+	}
+}
+
+func TestEvaluatorAddRemoveRoundTrip(t *testing.T) {
+	rng := dist.NewRNG(22)
+	in := testgen.Random(rng, testgen.Default())
+	ev := revenue.NewEvaluator(in)
+	var added []model.Candidate
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if rng.Float64() < 0.5 {
+				ev.Add(c.Triple, c.Q)
+				added = append(added, c)
+			}
+		}
+	}
+	for _, c := range added {
+		ev.Remove(c.Triple)
+	}
+	if math.Abs(ev.Total()) > 1e-9 {
+		t.Fatalf("total after removing everything = %v, want 0", ev.Total())
+	}
+	if ev.Len() != 0 {
+		t.Fatalf("Len after removals = %d", ev.Len())
+	}
+}
+
+func TestEvaluatorRemoveAbsentIsNoop(t *testing.T) {
+	in := paperExample1(0.5, 0.5)
+	ev := revenue.NewEvaluator(in)
+	if d := ev.Remove(model.Triple{U: 0, I: 0, T: 1}); d != 0 {
+		t.Fatalf("removing absent triple changed revenue by %v", d)
+	}
+}
+
+func TestMarginalGainMatchesAdd(t *testing.T) {
+	rng := dist.NewRNG(23)
+	for trial := 0; trial < 25; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		ev := revenue.NewEvaluator(in)
+		for u := 0; u < in.NumUsers; u++ {
+			for _, c := range in.UserCandidates(model.UserID(u)) {
+				if rng.Float64() < 0.4 {
+					predicted := ev.MarginalGain(c.Triple, c.Q)
+					realized := ev.Add(c.Triple, c.Q)
+					if math.Abs(predicted-realized) > 1e-9 {
+						t.Fatalf("MarginalGain %v != realized %v for %v", predicted, realized, c.Triple)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMarginalRevenueReferenceAgreement(t *testing.T) {
+	rng := dist.NewRNG(24)
+	in := testgen.Random(rng, testgen.Default())
+	s := testgen.RandomStrategy(rng, in, 0.3)
+	ev := revenue.NewEvaluator(in)
+	for _, z := range s.Triples() {
+		ev.Add(z, in.Q(z.U, z.I, z.T))
+	}
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if s.Contains(c.Triple) {
+				continue
+			}
+			fast := ev.MarginalGain(c.Triple, c.Q)
+			slow := revenue.MarginalRevenue(in, s, c.Triple)
+			if math.Abs(fast-slow) > 1e-9 {
+				t.Fatalf("marginal mismatch for %v: fast %v slow %v", c.Triple, fast, slow)
+			}
+		}
+	}
+}
+
+// Lemma 1: q_S(u,i,t) is non-increasing in S.
+func TestLemma1DynamicProbNonIncreasing(t *testing.T) {
+	rng := dist.NewRNG(25)
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed uint16) bool {
+		r := dist.NewRNG(uint64(seed)*7 + 1)
+		in := testgen.Random(r, testgen.Default())
+		small := testgen.RandomStrategy(rng, in, 0.25)
+		big := small.Clone()
+		// Grow big by extra random candidates.
+		for u := 0; u < in.NumUsers; u++ {
+			for _, c := range in.UserCandidates(model.UserID(u)) {
+				if rng.Float64() < 0.25 {
+					big.Add(c.Triple)
+				}
+			}
+		}
+		for _, z := range small.Triples() {
+			qs := revenue.DynamicProb(in, small, z)
+			qb := revenue.DynamicProb(in, big, z)
+			if qb > qs+tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Theorem 2, Case 1 of the paper's proof: when z succeeds every
+// same-(user, class) triple of S′, the marginal of z w.r.t. S ⊆ S′ is at
+// least the marginal w.r.t. S′. This restricted direction of
+// submodularity is correct and holds exactly (no loss terms arise; the
+// gain shrinks by Lemma 1).
+func TestTheorem2SubmodularityWhenSucceedingAll(t *testing.T) {
+	rng := dist.NewRNG(26)
+	cfg := &quick.Config{MaxCount: 40}
+	prop := func(seed uint16) bool {
+		r := dist.NewRNG(uint64(seed)*13 + 5)
+		in := testgen.Random(r, testgen.Default())
+		small := testgen.RandomStrategy(rng, in, 0.2)
+		big := small.Clone()
+		for u := 0; u < in.NumUsers; u++ {
+			for _, c := range in.UserCandidates(model.UserID(u)) {
+				if rng.Float64() < 0.2 {
+					big.Add(c.Triple)
+				}
+			}
+		}
+		for u := 0; u < in.NumUsers; u++ {
+			for _, c := range in.UserCandidates(model.UserID(u)) {
+				if big.Contains(c.Triple) {
+					continue
+				}
+				if !succeedsAllClassmates(in, big, c.Triple) {
+					continue
+				}
+				mS := revenue.MarginalRevenue(in, small, c.Triple)
+				mS2 := revenue.MarginalRevenue(in, big, c.Triple)
+				if mS2 > mS+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// succeedsAllClassmates reports whether z's time step strictly exceeds
+// that of every same-user same-class triple of s.
+func succeedsAllClassmates(in *model.Instance, s *model.Strategy, z model.Triple) bool {
+	c := in.Class(z.I)
+	for _, w := range s.Triples() {
+		if w.U == z.U && in.Class(w.I) == c && w.T >= z.T {
+			return false
+		}
+	}
+	return true
+}
+
+// Theorem 2 of the paper claims Rev is submodular in full generality.
+// That claim is FALSE: the proof's Case 2 assumes the revenue loss caused
+// by z grows with the strategy, but Lemma 1 shrinks each affected
+// triple's dynamic probability — and with it the loss — on a superset.
+// This test machine-checks the counterexample documented in DESIGN.md §6
+// so the discrepancy with the paper stays visible.
+func TestTheorem2SubmodularityCounterexample(t *testing.T) {
+	// One user; items a, b, c in one class; β = 0.5; T = 3.
+	in := model.NewInstance(1, 3, 3, 1)
+	for i := 0; i < 3; i++ {
+		in.SetItem(model.ItemID(i), 0, 0.5, 5)
+	}
+	in.SetPrice(0, 1, 1)           // p(a,1)
+	in.SetPrice(1, 2, 0.001)       // p(b,2)
+	in.SetPrice(2, 3, 100)         // p(c,3)
+	in.AddCandidate(0, 0, 1, 0.5)  // z = (u,a,1)
+	in.AddCandidate(0, 1, 2, 0.99) // w2 = (u,b,2)
+	in.AddCandidate(0, 2, 3, 0.9)  // w1 = (u,c,3)
+	in.FinishCandidates()
+
+	z := model.Triple{U: 0, I: 0, T: 1}
+	w1 := model.Triple{U: 0, I: 2, T: 3}
+	w2 := model.Triple{U: 0, I: 1, T: 2}
+	small := model.StrategyOf(w1)
+	big := model.StrategyOf(w1, w2)
+
+	mS := revenue.MarginalRevenue(in, small, z)
+	mS2 := revenue.MarginalRevenue(in, big, z)
+	if mS2 <= mS {
+		t.Fatalf("expected submodularity violation, got mS=%v mS'=%v", mS, mS2)
+	}
+	// Pin the hand-computed magnitudes so the example stays honest.
+	if math.Abs(mS-(-57.68)) > 0.05 {
+		t.Fatalf("mS = %v, expected ≈ −57.68", mS)
+	}
+	if math.Abs(mS2-0.209) > 0.01 {
+		t.Fatalf("mS' = %v, expected ≈ 0.209", mS2)
+	}
+}
+
+// Dynamic probability never exceeds the primitive probability and stays
+// in [0, 1].
+func TestDynamicProbBounds(t *testing.T) {
+	rng := dist.NewRNG(27)
+	for trial := 0; trial < 30; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		s := testgen.RandomStrategy(rng, in, 0.5)
+		for _, z := range s.Triples() {
+			qs := revenue.DynamicProb(in, s, z)
+			q := in.Q(z.U, z.I, z.T)
+			if qs < -tol || qs > q+tol {
+				t.Fatalf("qS(%v) = %v outside [0, q=%v]", z, qs, q)
+			}
+		}
+	}
+}
+
+// Revenue is invariant to insertion order in the evaluator.
+func TestEvaluatorOrderInvariance(t *testing.T) {
+	rng := dist.NewRNG(28)
+	in := testgen.Random(rng, testgen.Default())
+	s := testgen.RandomStrategy(rng, in, 0.5)
+	triples := s.Triples()
+
+	forward := revenue.NewEvaluator(in)
+	for _, z := range triples {
+		forward.Add(z, in.Q(z.U, z.I, z.T))
+	}
+	backward := revenue.NewEvaluator(in)
+	for i := len(triples) - 1; i >= 0; i-- {
+		z := triples[i]
+		backward.Add(z, in.Q(z.U, z.I, z.T))
+	}
+	if math.Abs(forward.Total()-backward.Total()) > 1e-9 {
+		t.Fatalf("order dependence: %v vs %v", forward.Total(), backward.Total())
+	}
+}
+
+// Example 3 of the paper: effective dynamic adoption probability with
+// capacity pushed into the objective.
+func TestEffectiveRevenueExample3(t *testing.T) {
+	// One item i, three users u, v, w; k = 1; qᵢ = 1; βᵢ = 0.5.
+	in := model.NewInstance(3, 1, 2, 1)
+	in.SetItem(0, 0, 0.5, 1)
+	qu, qv, qw1, qw2 := 0.3, 0.4, 0.2, 0.6
+	in.SetPrice(0, 1, 1)
+	in.SetPrice(0, 2, 1)
+	in.AddCandidate(0, 0, 1, qu) // (u, i, 1)
+	in.AddCandidate(1, 0, 2, qv) // (v, i, 2)
+	in.AddCandidate(2, 0, 1, qw1)
+	in.AddCandidate(2, 0, 2, qw2)
+	in.FinishCandidates()
+
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 1, I: 0, T: 2},
+		model.Triple{U: 2, I: 0, T: 1},
+		model.Triple{U: 2, I: 0, T: 2},
+	)
+	oracle := poibin.ExactOracle{}
+	got := revenue.EffectiveRevenue(in, s, oracle)
+
+	// Hand-computed per Definition 4 with the exact Poisson-binomial tail.
+	// E(u,i,1): others up to t=1: {w}. B = Pr[0 of {qw1} adopt] = 1−qw1.
+	eu := qu * (1 - qw1)
+	// E(w,i,1): others up to t=1: {u}. B = 1−qu.
+	ew1 := qw1 * (1 - qu)
+	// E(v,i,2): others up to t=2: {u}, {w with both recs}. w's adoption
+	// prob = 1−(1−qw1)(1−qw2). B = (1−qu)·(1−qw)
+	wAdopt := 1 - (1-qw1)*(1-qw2)
+	evv := qv * (1 - qu) * (1 - wAdopt)
+	// E(w,i,2) = qw2·(1−qw1)·β^(1/1)·B, B = (1−qu)(1−qv) — Example 3.
+	ew2 := qw2 * (1 - qw1) * math.Pow(0.5, 1) * (1 - qu) * (1 - qv)
+
+	want := eu + ew1 + evv + ew2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EffectiveRevenue = %v, want %v", got, want)
+	}
+}
+
+func TestEffectiveRevenueReducesToRevenueUnderSlackCapacity(t *testing.T) {
+	// With capacities larger than the user count, B_S ≡ 1 and the
+	// effective revenue equals the plain revenue.
+	rng := dist.NewRNG(29)
+	p := testgen.Default()
+	p.MaxCap = 50
+	for trial := 0; trial < 10; trial++ {
+		in := testgen.Random(rng, p)
+		relaxed := true
+		for i := 0; i < in.NumItems(); i++ {
+			if in.Capacity(model.ItemID(i)) <= in.NumUsers {
+				relaxed = false
+			}
+		}
+		if !relaxed {
+			continue
+		}
+		s := testgen.RandomStrategy(rng, in, 0.4)
+		plain := revenue.Revenue(in, s)
+		eff := revenue.EffectiveRevenue(in, s, poibin.ExactOracle{})
+		if math.Abs(plain-eff) > 1e-9 {
+			t.Fatalf("trial %d: effective %v != plain %v with slack capacity", trial, eff, plain)
+		}
+	}
+}
+
+func TestEffectiveRevenueAtMostPlainRevenue(t *testing.T) {
+	rng := dist.NewRNG(30)
+	for trial := 0; trial < 20; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		s := testgen.RandomStrategy(rng, in, 0.5)
+		plain := revenue.Revenue(in, s)
+		eff := revenue.EffectiveRevenue(in, s, poibin.ExactOracle{})
+		if eff > plain+1e-9 {
+			t.Fatalf("effective revenue %v exceeds plain %v", eff, plain)
+		}
+	}
+}
+
+func TestGroupSize(t *testing.T) {
+	in := paperExample1(0.5, 0.5)
+	ev := revenue.NewEvaluator(in)
+	if ev.GroupSize(0, 0) != 0 {
+		t.Fatal("empty group size != 0")
+	}
+	ev.Add(model.Triple{U: 0, I: 0, T: 1}, 0.5)
+	ev.Add(model.Triple{U: 0, I: 1, T: 2}, 0.5) // same class
+	if got := ev.GroupSize(0, 0); got != 2 {
+		t.Fatalf("group size = %d, want 2", got)
+	}
+}

@@ -1,0 +1,115 @@
+// Package satlearn estimates per-item saturation factors βᵢ from
+// historical recommendation logs, realizing the paper's remark (§3.1)
+// that "in principle, βᵢ's can be learned from historical
+// recommendation logs (cf. Das-Sarma et al. 2012)".
+//
+// The model: a recommendation of item i to user u at time t converts
+// with probability q(u,i,t)·βᵢ^M, where M is the class-wide memory
+// (Eq. 1) accumulated from the user's earlier exposures. Given a log of
+// (exposure, memory, outcome) records, the per-item log-likelihood
+//
+//	L(β) = Σ_adopted log(q·β^M) + Σ_rejected log(1 − q·β^M)
+//
+// is unimodal in β ∈ (0, 1]; we maximize it by golden-section search.
+// A closed loop with internal/sim is tested: simulate logs with a known
+// β, recover it within tolerance.
+package satlearn
+
+import (
+	"errors"
+	"math"
+)
+
+// Record is one logged recommendation outcome.
+type Record struct {
+	// Q is the primitive adoption probability the recommender assigned.
+	Q float64
+	// Memory is the class-wide memory M (Eq. 1) at exposure time.
+	Memory float64
+	// Adopted reports whether the user purchased.
+	Adopted bool
+}
+
+// Estimate returns the maximum-likelihood β for one item's records. At
+// least one record with positive memory is required — memory-free
+// exposures carry no information about β.
+func Estimate(records []Record) (float64, error) {
+	informative := 0
+	for _, r := range records {
+		if r.Q <= 0 || r.Q > 1 {
+			return 0, errors.New("satlearn: record with q outside (0,1]")
+		}
+		if r.Memory < 0 {
+			return 0, errors.New("satlearn: negative memory")
+		}
+		if r.Memory > 0 {
+			informative++
+		}
+	}
+	if informative == 0 {
+		return 0, errors.New("satlearn: no records with positive memory")
+	}
+	ll := func(beta float64) float64 {
+		s := 0.0
+		for _, r := range records {
+			p := r.Q * math.Pow(beta, r.Memory)
+			// Clamp away from 0/1 for numerical safety.
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			if p > 1-1e-12 {
+				p = 1 - 1e-12
+			}
+			if r.Adopted {
+				s += math.Log(p)
+			} else {
+				s += math.Log(1 - p)
+			}
+		}
+		return s
+	}
+	return goldenMax(ll, 1e-6, 1), nil
+}
+
+// goldenMax maximizes a unimodal function on [lo, hi] by golden-section
+// search to ~1e-6 precision.
+func goldenMax(f func(float64) float64, lo, hi float64) float64 {
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for b-a > 1e-7 {
+		if fc >= fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	return (a + b) / 2
+}
+
+// LogLikelihood evaluates the saturation log-likelihood of records at a
+// given β (exported for diagnostics and tests).
+func LogLikelihood(records []Record, beta float64) float64 {
+	s := 0.0
+	for _, r := range records {
+		p := r.Q * math.Pow(beta, r.Memory)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		if p > 1-1e-12 {
+			p = 1 - 1e-12
+		}
+		if r.Adopted {
+			s += math.Log(p)
+		} else {
+			s += math.Log(1 - p)
+		}
+	}
+	return s
+}

@@ -1,0 +1,119 @@
+package satlearn_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/satlearn"
+)
+
+// generate simulates exposure logs under a known β.
+func generate(rng *dist.RNG, beta float64, n int) []satlearn.Record {
+	records := make([]satlearn.Record, n)
+	for i := range records {
+		q := rng.Uniform(0.2, 0.9)
+		mem := 0.0
+		if rng.Float64() < 0.8 {
+			mem = rng.Uniform(0.2, 2.5) // memory from prior exposures
+		}
+		p := q * math.Pow(beta, mem)
+		records[i] = satlearn.Record{Q: q, Memory: mem, Adopted: rng.Float64() < p}
+	}
+	return records
+}
+
+func TestRecoversKnownBeta(t *testing.T) {
+	rng := dist.NewRNG(1)
+	for _, truth := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		records := generate(rng, truth, 20000)
+		got, err := satlearn.Estimate(records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-truth) > 0.05 {
+			t.Fatalf("β = %v recovered as %v", truth, got)
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := satlearn.Estimate(nil); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	if _, err := satlearn.Estimate([]satlearn.Record{{Q: 0.5, Memory: 0}}); err == nil {
+		t.Fatal("memory-free log accepted (carries no β information)")
+	}
+	if _, err := satlearn.Estimate([]satlearn.Record{{Q: 1.5, Memory: 1}}); err == nil {
+		t.Fatal("q > 1 accepted")
+	}
+	if _, err := satlearn.Estimate([]satlearn.Record{{Q: 0.5, Memory: -1}}); err == nil {
+		t.Fatal("negative memory accepted")
+	}
+}
+
+func TestLikelihoodPeaksNearTruth(t *testing.T) {
+	rng := dist.NewRNG(2)
+	truth := 0.4
+	records := generate(rng, truth, 30000)
+	atTruth := satlearn.LogLikelihood(records, truth)
+	for _, far := range []float64{0.05, 0.95} {
+		if satlearn.LogLikelihood(records, far) >= atTruth {
+			t.Fatalf("likelihood at β=%v not below truth", far)
+		}
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	rng := dist.NewRNG(3)
+	records := generate(rng, 0.6, 5000)
+	a, _ := satlearn.Estimate(records)
+	b, _ := satlearn.Estimate(records)
+	if a != b {
+		t.Fatal("estimate not deterministic")
+	}
+}
+
+func TestSmallSampleStillBounded(t *testing.T) {
+	rng := dist.NewRNG(4)
+	records := generate(rng, 0.5, 20)
+	got, err := satlearn.Estimate(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got <= 0 || got > 1 {
+		t.Fatalf("estimate %v outside (0,1]", got)
+	}
+}
+
+// End-to-end closed loop: recommend the same item repeatedly (memory
+// grows as Eq. 1), simulate adoptions, learn β back.
+func TestClosedLoopWithMemorySchedule(t *testing.T) {
+	rng := dist.NewRNG(5)
+	truth := 0.35
+	q := 0.5
+	// A user exposed at t = 1..5: memory at step t is Σ_{τ<t} 1/(t−τ).
+	memories := []float64{0, 1, 1.5, 1.8333333333, 2.0833333333}
+	var records []satlearn.Record
+	for trial := 0; trial < 8000; trial++ {
+		adoptedBefore := false
+		for _, m := range memories {
+			if adoptedBefore {
+				break
+			}
+			p := q * math.Pow(truth, m)
+			adopted := rng.Float64() < p
+			records = append(records, satlearn.Record{Q: q, Memory: m, Adopted: adopted})
+			if adopted {
+				adoptedBefore = true
+			}
+		}
+	}
+	got, err := satlearn.Estimate(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 0.05 {
+		t.Fatalf("closed loop: β = %v recovered as %v", truth, got)
+	}
+}

@@ -1,0 +1,129 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/poibin"
+	"repro/internal/revenue"
+	"repro/internal/sim"
+	"repro/internal/testgen"
+)
+
+// The simulator's mean revenue must converge to Rev(S) (Definition 2)
+// when stock is ignored: the simulation is a direct unrolling of the
+// same product form.
+func TestSimulationConvergesToRevenue(t *testing.T) {
+	rng := dist.NewRNG(1)
+	for trial := 0; trial < 5; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		s := testgen.RandomValidStrategy(rng, in, 0.5)
+		want := revenue.Revenue(in, s)
+		out := sim.Simulate(in, s, sim.Options{Runs: 60000, Seed: uint64(trial)})
+		tolerance := 4*out.StdDev/math.Sqrt(float64(out.Runs)) + 1e-9
+		if math.Abs(out.MeanRevenue-want) > tolerance {
+			t.Fatalf("trial %d: simulated %v vs Rev(S) %v (tol %v)", trial, out.MeanRevenue, want, tolerance)
+		}
+	}
+}
+
+func TestSimulationEmptyStrategy(t *testing.T) {
+	rng := dist.NewRNG(2)
+	in := testgen.Random(rng, testgen.Default())
+	out := sim.Simulate(in, model.NewStrategy(), sim.Options{Runs: 10})
+	if out.MeanRevenue != 0 || out.MeanAdoptions != 0 {
+		t.Fatal("empty strategy produced revenue")
+	}
+}
+
+func TestSimulationDeterministicForSeed(t *testing.T) {
+	rng := dist.NewRNG(3)
+	in := testgen.Random(rng, testgen.Default())
+	s := testgen.RandomValidStrategy(rng, in, 0.5)
+	a := sim.Simulate(in, s, sim.Options{Runs: 500, Seed: 9})
+	b := sim.Simulate(in, s, sim.Options{Runs: 500, Seed: 9})
+	if a.MeanRevenue != b.MeanRevenue || a.StockOuts != b.StockOuts {
+		t.Fatal("simulation not deterministic for fixed seed")
+	}
+}
+
+func TestSingleTripleMatchesClosedForm(t *testing.T) {
+	in := model.NewInstance(1, 1, 1, 1)
+	in.SetItem(0, 0, 1, 1)
+	in.SetPrice(0, 1, 100)
+	in.AddCandidate(0, 0, 1, 0.3)
+	in.FinishCandidates()
+	s := model.StrategyOf(model.Triple{U: 0, I: 0, T: 1})
+	out := sim.Simulate(in, s, sim.Options{Runs: 200000, Seed: 4})
+	if math.Abs(out.MeanRevenue-30) > 0.5 {
+		t.Fatalf("mean revenue %v, want ≈ 30", out.MeanRevenue)
+	}
+	if math.Abs(out.MeanAdoptions-0.3) > 0.01 {
+		t.Fatalf("mean adoptions %v, want ≈ 0.3", out.MeanAdoptions)
+	}
+}
+
+// With stock enforcement and each user recommended an item at most once,
+// the simulation's mean matches the effective revenue of Definition 4
+// (the per-user adoption probability is exactly the primitive q, which
+// is the Poisson-binomial the oracle computes).
+func TestStockSimulationMatchesEffectiveRevenue(t *testing.T) {
+	// Three users, one item of capacity 1, one recommendation each at
+	// staggered times.
+	in := model.NewInstance(3, 1, 3, 1)
+	in.SetItem(0, 0, 1, 1)
+	for tt := 1; tt <= 3; tt++ {
+		in.SetPrice(0, model.TimeStep(tt), 50)
+	}
+	in.AddCandidate(0, 0, 1, 0.4)
+	in.AddCandidate(1, 0, 2, 0.5)
+	in.AddCandidate(2, 0, 3, 0.6)
+	in.FinishCandidates()
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 1, I: 0, T: 2},
+		model.Triple{U: 2, I: 0, T: 3},
+	)
+	want := revenue.EffectiveRevenue(in, s, poibin.ExactOracle{})
+	out := sim.Simulate(in, s, sim.Options{Runs: 300000, Seed: 5, EnforceStock: true})
+	if math.Abs(out.MeanRevenue-want) > 0.25 {
+		t.Fatalf("stock simulation %v vs effective revenue %v", out.MeanRevenue, want)
+	}
+	if out.StockOuts == 0 {
+		t.Fatal("expected some stock-outs with capacity 1 and three prospects")
+	}
+}
+
+func TestStockEnforcementOnlyReducesRevenue(t *testing.T) {
+	rng := dist.NewRNG(6)
+	p := testgen.Default()
+	p.MaxCap = 1 // tight capacities
+	for trial := 0; trial < 5; trial++ {
+		in := testgen.Random(rng, p)
+		s := testgen.RandomStrategy(rng, in, 0.6) // may exceed capacity
+		free := sim.Simulate(in, s, sim.Options{Runs: 20000, Seed: 7})
+		gated := sim.Simulate(in, s, sim.Options{Runs: 20000, Seed: 7, EnforceStock: true})
+		if gated.MeanRevenue > free.MeanRevenue+3*free.StdDev/math.Sqrt(20000)+1e-9 {
+			t.Fatalf("trial %d: stock enforcement increased revenue %v → %v", trial, free.MeanRevenue, gated.MeanRevenue)
+		}
+	}
+}
+
+// End-to-end: simulate G-Greedy's planned strategy and confirm the plan's
+// promised revenue is realized in expectation.
+func TestGreedyPlanRealizesPromisedRevenue(t *testing.T) {
+	rng := dist.NewRNG(8)
+	in := testgen.Random(rng, testgen.Default())
+	res := core.GGreedy(in)
+	if res.Strategy.Len() == 0 {
+		t.Skip("empty greedy output")
+	}
+	out := sim.Simulate(in, res.Strategy, sim.Options{Runs: 60000, Seed: 9})
+	tolerance := 4*out.StdDev/math.Sqrt(float64(out.Runs)) + 1e-9
+	if math.Abs(out.MeanRevenue-res.Revenue) > tolerance {
+		t.Fatalf("simulated %v vs planned %v (tol %v)", out.MeanRevenue, res.Revenue, tolerance)
+	}
+}

@@ -1,0 +1,95 @@
+// Package testgen builds small random REVMAX instances for tests and
+// property checks across the repository. It is test infrastructure, not
+// part of the library surface.
+package testgen
+
+import (
+	"repro/internal/dist"
+	"repro/internal/model"
+)
+
+// Params shapes a random instance.
+type Params struct {
+	Users       int
+	Items       int
+	Classes     int // ≤ Items; 0 means Items (each item its own class)
+	T           int
+	K           int
+	MaxCap      int     // capacities drawn uniformly from [1, MaxCap]
+	CandProb    float64 // probability a (u,i,t) triple becomes a candidate
+	MinPrice    float64
+	MaxPrice    float64
+	UniformBeta float64 // if > 0, all items use this beta; else beta ~ U[0,1]
+}
+
+// Default returns parameters for a small, well-conditioned instance.
+func Default() Params {
+	return Params{
+		Users: 4, Items: 5, Classes: 2, T: 3, K: 2,
+		MaxCap: 3, CandProb: 0.6, MinPrice: 1, MaxPrice: 100,
+	}
+}
+
+// Random builds an instance from params using the given RNG.
+func Random(rng *dist.RNG, p Params) *model.Instance {
+	if p.Classes <= 0 || p.Classes > p.Items {
+		p.Classes = p.Items
+	}
+	in := model.NewInstance(p.Users, p.Items, p.T, p.K)
+	for i := 0; i < p.Items; i++ {
+		beta := p.UniformBeta
+		if beta <= 0 {
+			beta = rng.Float64()
+		}
+		capQ := 1 + rng.Intn(p.MaxCap)
+		in.SetItem(model.ItemID(i), model.ClassID(i%p.Classes), beta, capQ)
+		for t := 1; t <= p.T; t++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(t), rng.Uniform(p.MinPrice, p.MaxPrice))
+		}
+	}
+	for u := 0; u < p.Users; u++ {
+		for i := 0; i < p.Items; i++ {
+			for t := 1; t <= p.T; t++ {
+				if rng.Float64() < p.CandProb {
+					q := rng.Uniform(0.05, 0.95)
+					in.AddCandidate(model.UserID(u), model.ItemID(i), model.TimeStep(t), q)
+				}
+			}
+		}
+	}
+	in.FinishCandidates()
+	return in
+}
+
+// RandomStrategy picks each candidate of in independently with
+// probability p, ignoring validity (useful for objective-level property
+// tests where constraint feasibility is irrelevant).
+func RandomStrategy(rng *dist.RNG, in *model.Instance, p float64) *model.Strategy {
+	s := model.NewStrategy()
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if rng.Float64() < p {
+				s.Add(c.Triple)
+			}
+		}
+	}
+	return s
+}
+
+// RandomValidStrategy greedily picks random candidates while keeping the
+// strategy valid under in's display and capacity constraints.
+func RandomValidStrategy(rng *dist.RNG, in *model.Instance, p float64) *model.Strategy {
+	s := model.NewStrategy()
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if rng.Float64() >= p {
+				continue
+			}
+			s.Add(c.Triple)
+			if in.CheckValid(s) != nil {
+				s.Remove(c.Triple)
+			}
+		}
+	}
+	return s
+}

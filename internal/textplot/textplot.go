@@ -1,0 +1,178 @@
+// Package textplot renders experiment output as plain-text tables, bar
+// charts, and line series — the repository's stand-in for the paper's
+// matplotlib figures. Everything renders deterministically to strings so
+// experiment output can be golden-tested.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are used as-is.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the aligned table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart: one labeled bar per value, scaled
+// to width characters at the maximum.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s | %s %s\n", maxL, labels[i], strings.Repeat("#", n), Num(v))
+	}
+	return b.String()
+}
+
+// Series renders a y-vs-x line as a sparse ASCII plot plus the raw
+// points, good enough to eyeball growth shapes (Figures 4 and 6).
+func Series(title string, xs, ys []float64, rows, cols int) string {
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	if len(xs) == 0 || len(xs) != len(ys) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if rows <= 0 {
+		rows = 12
+	}
+	if cols <= 0 {
+		cols = 60
+	}
+	minX, maxX := xs[0], xs[0]
+	minY, maxY := ys[0], ys[0]
+	for i := range xs {
+		minX = math.Min(minX, xs[i])
+		maxX = math.Max(maxX, xs[i])
+		minY = math.Min(minY, ys[i])
+		maxY = math.Max(maxY, ys[i])
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for i := range xs {
+		cx := 0
+		if maxX > minX {
+			cx = int((xs[i] - minX) / (maxX - minX) * float64(cols-1))
+		}
+		cy := 0
+		if maxY > minY {
+			cy = int((ys[i] - minY) / (maxY - minY) * float64(rows-1))
+		}
+		grid[rows-1-cy][cx] = '*'
+	}
+	for r := range grid {
+		yTop := maxY
+		if rows > 1 {
+			yTop = maxY - (maxY-minY)*float64(r)/float64(rows-1)
+		}
+		fmt.Fprintf(&b, "%12s |%s\n", Num(yTop), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%12s  %s -> %s\n", "", Num(minX), Num(maxX))
+	return b.String()
+}
+
+// Num formats a float compactly (K/M suffixes for large magnitudes).
+func Num(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.2fB", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case a >= 1:
+		return fmt.Sprintf("%.2f", v)
+	case a == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Histogram renders labeled counts (Figure 5's repeat histograms).
+func Histogram(title string, buckets []string, counts []int, width int) string {
+	values := make([]float64, len(counts))
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	for i, c := range counts {
+		values[i] = float64(c)
+	}
+	s := Bars(title, buckets, values, width)
+	return s + fmt.Sprintf("total: %d\n", total)
+}

@@ -1,0 +1,115 @@
+package textplot_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/textplot"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &textplot.Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4+0 { // title, header, separator, 2 rows → 5
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "a-much-longer-name") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	// Header row padded at least as wide as the longest cell.
+	header := lines[1]
+	if len(header) < len("a-much-longer-name") {
+		t.Fatalf("header not padded: %q", header)
+	}
+}
+
+func TestBarsScaling(t *testing.T) {
+	out := textplot.Bars("title", []string{"a", "b"}, []float64{10, 5}, 10)
+	if !strings.Contains(out, "title") {
+		t.Fatal("missing title")
+	}
+	aLine, bLine := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "a") {
+			aLine = l
+		}
+		if strings.HasPrefix(l, "b") {
+			bLine = l
+		}
+	}
+	if strings.Count(aLine, "#") != 10 {
+		t.Fatalf("max bar should be full width: %q", aLine)
+	}
+	if strings.Count(bLine, "#") != 5 {
+		t.Fatalf("half bar should be half width: %q", bLine)
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := textplot.Bars("", []string{"x"}, []float64{0}, 10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("zero value drew a bar: %q", out)
+	}
+}
+
+func TestSeriesHandlesEmptyAndMismatch(t *testing.T) {
+	if out := textplot.Series("t", nil, nil, 5, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty series: %q", out)
+	}
+	if out := textplot.Series("t", []float64{1}, []float64{1, 2}, 5, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("mismatched series: %q", out)
+	}
+}
+
+func TestSeriesPlotsPoints(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{1, 2, 3, 4}
+	out := textplot.Series("linear", xs, ys, 4, 20)
+	if strings.Count(out, "*") < 3 {
+		t.Fatalf("too few plotted points:\n%s", out)
+	}
+	if !strings.Contains(out, "linear") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestSeriesConstantY(t *testing.T) {
+	out := textplot.Series("flat", []float64{1, 2, 3}, []float64{5, 5, 5}, 4, 20)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series lost its points:\n%s", out)
+	}
+}
+
+func TestNumFormats(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{2.5, "2.50"},
+		{12345, "12.3K"},
+		{2_500_000, "2.50M"},
+		{3_000_000_000, "3.00B"},
+		{0.1234, "0.1234"},
+	}
+	for _, c := range cases {
+		if got := textplot.Num(c.v); got != c.want {
+			t.Errorf("Num(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestHistogramTotals(t *testing.T) {
+	out := textplot.Histogram("h", []string{"1", "2"}, []int{3, 7}, 10)
+	if !strings.Contains(out, "total: 10") {
+		t.Fatalf("missing total:\n%s", out)
+	}
+}

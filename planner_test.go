@@ -1,0 +1,145 @@
+package revmax_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	revmax "repro"
+	"repro/internal/dist"
+)
+
+func TestFacadePlannerRollout(t *testing.T) {
+	in := buildIntro()
+	p := revmax.NewPlanner(in, revmax.GGreedyPlanner)
+	out, err := p.Rollout(dist.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Issued == 0 {
+		t.Fatal("planner issued nothing on a profitable instance")
+	}
+	if out.Revenue < 0 || out.Adoptions > out.Issued {
+		t.Fatalf("implausible rollout: %+v", out)
+	}
+	if !p.Done() {
+		t.Fatal("rollout did not exhaust the horizon")
+	}
+}
+
+func TestFacadePlannerStepwise(t *testing.T) {
+	in := buildIntro()
+	p := revmax.NewPlanner(in, revmax.GGreedyPlanner)
+	recs, err := p.PlanStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(recs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Now() != 2 {
+		t.Fatalf("Now = %d after one step", p.Now())
+	}
+}
+
+func TestFacadeMetricsProfile(t *testing.T) {
+	in := buildIntro()
+	res := revmax.GGreedy(in)
+	r := revmax.ProfileStrategy(in, res.Strategy)
+	if r.Size != res.Strategy.Len() {
+		t.Fatal("profile size mismatch")
+	}
+	if math.Abs(r.Revenue-res.Revenue) > 1e-9 {
+		t.Fatal("profile revenue mismatch")
+	}
+	if len(r.RepeatHistogram) != in.T {
+		t.Fatal("repeat histogram length != T")
+	}
+}
+
+func TestFacadeInventoryHelpers(t *testing.T) {
+	probs := []float64{0.5, 0.5, 0.5, 0.5}
+	q, err := revmax.NewsvendorCapacity(probs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 2 || q > 4 {
+		t.Fatalf("newsvendor q = %d", q)
+	}
+	ob, err := revmax.OverbookCapacity(2, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob != 4 {
+		t.Fatalf("overbook = %d, want 4", ob)
+	}
+	if risk := revmax.StockoutProbability(probs, 4); risk != 0 {
+		t.Fatalf("risk %v with capacity = audience", risk)
+	}
+}
+
+func TestFacadeCodecRoundTrip(t *testing.T) {
+	in := buildIntro()
+	var buf bytes.Buffer
+	if err := revmax.EncodeInstance(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := revmax.DecodeInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if revmax.GGreedy(back).Revenue != revmax.GGreedy(in).Revenue {
+		t.Fatal("round-tripped instance behaves differently")
+	}
+	s := revmax.GGreedy(in).Strategy
+	buf.Reset()
+	if err := revmax.EncodeStrategy(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := revmax.DecodeStrategy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatal("strategy round trip lost triples")
+	}
+}
+
+func TestFacadeSimulateMatchesRevenue(t *testing.T) {
+	in := buildIntro()
+	s := revmax.GGreedy(in).Strategy
+	out := revmax.Simulate(in, s, revmax.SimOptions{Runs: 60000, Seed: 3})
+	want := revmax.Revenue(in, s)
+	tol := 4*out.StdDev/math.Sqrt(float64(out.Runs)) + 1e-9
+	if math.Abs(out.MeanRevenue-want) > tol {
+		t.Fatalf("simulated %v vs Rev(S) %v", out.MeanRevenue, want)
+	}
+}
+
+func TestFacadeEstimateSaturation(t *testing.T) {
+	rng := dist.NewRNG(9)
+	truth := 0.45
+	var records []revmax.SaturationRecord
+	for i := 0; i < 20000; i++ {
+		q := rng.Uniform(0.3, 0.8)
+		mem := rng.Uniform(0.1, 2)
+		p := q * math.Pow(truth, mem)
+		records = append(records, revmax.SaturationRecord{Q: q, Memory: mem, Adopted: rng.Float64() < p})
+	}
+	got, err := revmax.EstimateSaturation(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-truth) > 0.05 {
+		t.Fatalf("learned β %v, truth %v", got, truth)
+	}
+}
+
+func TestFacadeParallelRLGreedy(t *testing.T) {
+	in := buildIntro()
+	seq := revmax.RLGreedy(in, 6, 5)
+	par := revmax.RLGreedyParallel(in, 6, 5, 3)
+	if seq.Revenue != par.Revenue {
+		t.Fatalf("parallel %v != sequential %v", par.Revenue, seq.Revenue)
+	}
+}

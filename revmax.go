@@ -1,0 +1,189 @@
+// Package revmax is a Go implementation of "Show Me the Money: Dynamic
+// Recommendations for Revenue Maximization" (Lu, Chen, Li, Lakshmanan —
+// PVLDB 7(14), 2014). It provides the REVMAX revenue model (prices,
+// valuations, saturation, competition over a finite horizon), the
+// greedy recommendation algorithms of §5 (Global Greedy with two-level
+// heaps and lazy forward, Sequential and Randomized Local Greedy), the
+// baselines and approximation machinery of §4/§6, dataset generators
+// replicating the paper's evaluation data, and an experiment harness
+// regenerating every table and figure.
+//
+// Quick start:
+//
+//	in := revmax.NewInstance(numUsers, numItems, horizon, k)
+//	in.SetItem(item, class, beta, capacity)
+//	in.SetPrice(item, t, price)
+//	in.AddCandidate(user, item, t, q)
+//	in.FinishCandidates()
+//	res := revmax.GGreedy(in)
+//	fmt.Println(res.Revenue, res.Strategy.Triples())
+//
+// The package is a thin facade over the internal subsystem packages; all
+// types are aliases, so values flow freely between the facade and any
+// internal API an advanced user might reach for.
+package revmax
+
+import (
+	"repro/internal/core"
+	"repro/internal/localsearch"
+	"repro/internal/matching"
+	"repro/internal/matroid"
+	"repro/internal/model"
+	"repro/internal/poibin"
+	"repro/internal/randprice"
+	"repro/internal/revenue"
+)
+
+// Core model types.
+type (
+	// Instance is a complete REVMAX problem instance (§3.1).
+	Instance = model.Instance
+	// Strategy is a set of (user, item, time) recommendation triples.
+	Strategy = model.Strategy
+	// Triple is a single recommendation.
+	Triple = model.Triple
+	// Candidate couples a triple with its primitive adoption probability.
+	Candidate = model.Candidate
+	// UserID identifies a user.
+	UserID = model.UserID
+	// ItemID identifies an item.
+	ItemID = model.ItemID
+	// ClassID identifies a competition class.
+	ClassID = model.ClassID
+	// TimeStep is a 1-based time step in the horizon.
+	TimeStep = model.TimeStep
+	// Result is the output of a recommendation algorithm.
+	Result = core.Result
+	// RatingFn supplies predicted ratings to the TopRA baseline.
+	RatingFn = core.RatingFn
+)
+
+// NewInstance allocates an instance with numUsers users, numItems items,
+// horizon [1, horizon], and per-(user, time) display limit k.
+func NewInstance(numUsers, numItems, horizon, k int) *Instance {
+	return model.NewInstance(numUsers, numItems, horizon, k)
+}
+
+// NewStrategy returns an empty strategy.
+func NewStrategy() *Strategy { return model.NewStrategy() }
+
+// StrategyOf builds a strategy from explicit triples.
+func StrategyOf(ts ...Triple) *Strategy { return model.StrategyOf(ts...) }
+
+// GGreedy runs Global Greedy (Algorithm 1): two-level heaps plus lazy
+// forward, selecting the highest-marginal-revenue triple each step.
+func GGreedy(in *Instance) Result { return core.GGreedy(in) }
+
+// GGreedyStaged runs Global Greedy with prices revealed in sub-horizons
+// split at the given cut-offs (§6.3).
+func GGreedyStaged(in *Instance, cuts ...int) Result { return core.GGreedyStaged(in, cuts...) }
+
+// SLGreedy runs Sequential Local Greedy (Algorithm 2): per-time-step
+// greedy in chronological order.
+func SLGreedy(in *Instance) Result { return core.SLGreedy(in) }
+
+// RLGreedy runs Randomized Local Greedy: n sampled permutations of the
+// horizon, best strategy kept (§5.2).
+func RLGreedy(in *Instance, n int, seed uint64) Result { return core.RLGreedy(in, n, seed) }
+
+// RLGreedyParallel is RLGreedy with permutation runs executed
+// concurrently (workers ≤ 0 means GOMAXPROCS); output is identical to
+// the sequential version for the same seed.
+func RLGreedyParallel(in *Instance, n int, seed uint64, workers int) Result {
+	return core.RLGreedyParallel(in, n, seed, workers)
+}
+
+// RLGreedyStaged is RLGreedy under gradual price availability (§6.3).
+func RLGreedyStaged(in *Instance, n int, seed uint64, cuts ...int) Result {
+	return core.RLGreedyStaged(in, n, seed, cuts...)
+}
+
+// TopRA is the top-rating baseline: k highest-predicted-rating items per
+// user, repeated across the horizon.
+func TopRA(in *Instance, rating RatingFn) Result { return core.TopRA(in, rating) }
+
+// TopRE is the top-expected-revenue baseline: k items maximizing
+// p(i,t)·q(u,i,t) per user per step.
+func TopRE(in *Instance) Result { return core.TopRE(in) }
+
+// GlobalNo is G-Greedy with saturation ignored during selection and
+// restored during evaluation (the GG-No baseline of §6.1).
+func GlobalNo(in *Instance) Result { return core.GlobalNo(in) }
+
+// Optimal exhaustively solves tiny instances (≤ ~22 candidates); REVMAX
+// is NP-hard (Theorem 1), so this exists for validation only.
+func Optimal(in *Instance) (Result, error) { return core.Optimal(in) }
+
+// Revenue computes the expected revenue Rev(S) of Definition 2.
+func Revenue(in *Instance, s *Strategy) float64 { return revenue.Revenue(in, s) }
+
+// DynamicProb computes the dynamic adoption probability q_S(u,i,t) of
+// Definition 1 (0 when the triple is not in S).
+func DynamicProb(in *Instance, s *Strategy, z Triple) float64 {
+	return revenue.DynamicProb(in, s, z)
+}
+
+// MarginalRevenue computes Rev(S ∪ {z}) − Rev(S) (Definition 3).
+func MarginalRevenue(in *Instance, s *Strategy, z Triple) float64 {
+	return revenue.MarginalRevenue(in, s, z)
+}
+
+// CapacityOracle estimates the Poisson-binomial capacity factor B_S(i,t)
+// of Definition 4.
+type CapacityOracle = revenue.CapacityOracle
+
+// ExactOracle computes B_S exactly by dynamic programming.
+type ExactOracle = poibin.ExactOracle
+
+// NewMonteCarloOracle returns the paper's sampling estimator for B_S.
+func NewMonteCarloOracle(samples int, seed uint64) CapacityOracle {
+	return poibin.NewMonteCarloOracle(samples, seed)
+}
+
+// EffectiveRevenue computes the R-REVMAX objective: Definition 2 with
+// the effective dynamic adoption probability of Definition 4.
+func EffectiveRevenue(in *Instance, s *Strategy, oracle CapacityOracle) float64 {
+	return revenue.EffectiveRevenue(in, s, oracle)
+}
+
+// LocalSearchRRevMax runs the 1/(4+ε)-approximation of §4.2 for
+// R-REVMAX: local search over the display partition matroid with the
+// capacity constraint pushed into the effective-revenue objective. It is
+// exponential-ish in practice (O(ε⁻¹ n⁴ log n) oracle calls) and meant
+// for small instances.
+func LocalSearchRRevMax(in *Instance, oracle CapacityOracle, epsilon float64) Result {
+	var ground []Triple
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(UserID(u)) {
+			ground = append(ground, c.Triple)
+		}
+	}
+	sys := matroid.NewPartition(in.K)
+	res := localsearch.Maximize(ground, sys, func(s *Strategy) float64 {
+		return revenue.EffectiveRevenue(in, s, oracle)
+	}, localsearch.Options{Epsilon: epsilon})
+	return Result{
+		Strategy:   res.Strategy,
+		Revenue:    res.Value,
+		Selections: res.Strategy.Len(),
+	}
+}
+
+// SolveT1 solves the PTIME T = 1 special case exactly via maximum-weight
+// degree-constrained subgraphs (§3.2). See internal/matching for the
+// documented caveat about same-time competition when k > 1.
+func SolveT1(in *Instance, t TimeStep) (*Strategy, float64, error) {
+	res, err := matching.SolveT1(in, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Strategy, res.Weight, nil
+}
+
+// RandomPriceModel is the §7 extension: expected revenue under random
+// prices via second-order Taylor approximation.
+type RandomPriceModel = randprice.Model
+
+// AdoptFn maps a triple and a realized price to a primitive adoption
+// probability (the price-dependent q̃ of the random-price model).
+type AdoptFn = randprice.AdoptFn
