@@ -228,6 +228,80 @@ func BenchmarkSolveT1MaxDCS(b *testing.B) {
 	}
 }
 
+// --- Serving hot path (internal/serve / cmd/revmaxd) ---------------------
+
+func benchEngine(b *testing.B) *revmax.ServeEngine {
+	b.Helper()
+	ds := benchDataset(b)
+	e, err := revmax.NewServeEngine(ds.Instance, revmax.ServeConfig{Algorithm: revmax.GGreedyPlanner})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	return e
+}
+
+// BenchmarkServeRecommend measures the single-lookup hot path under
+// parallel load: one atomic plan load, one shard RLock, O(k) fill.
+func BenchmarkServeRecommend(b *testing.B) {
+	e := benchEngine(b)
+	in := e.Instance()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		u := 0
+		for pb.Next() {
+			if _, err := e.Recommend(model.UserID(u%in.NumUsers), model.TimeStep(1+u%in.T)); err != nil {
+				b.Fatal(err)
+			}
+			u++
+		}
+	})
+}
+
+// BenchmarkServeRecommendBatch measures the batch endpoint's
+// lock-amortized path at 256 users per call.
+func BenchmarkServeRecommendBatch(b *testing.B) {
+	e := benchEngine(b)
+	in := e.Instance()
+	users := make([]model.UserID, 256)
+	for i := range users {
+		users[i] = model.UserID((i * 37) % in.NumUsers)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RecommendBatch(users, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeFeed measures feedback ingestion (enqueue + apply),
+// with replanning effectively disabled so the queue cost is isolated.
+func BenchmarkServeFeed(b *testing.B) {
+	ds := benchDataset(b)
+	e, err := revmax.NewServeEngine(ds.Instance, revmax.ServeConfig{
+		Algorithm:   revmax.GGreedyPlanner,
+		ReplanEvery: 1 << 30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	in := ds.Instance
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := revmax.ServeEvent{
+			User: model.UserID(i % in.NumUsers),
+			Item: model.ItemID(i % in.NumItems()),
+			T:    model.TimeStep(1 + i%in.T),
+		}
+		if err := e.Feed(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	e.Flush()
+}
+
 // --- Ablation benchmarks (DESIGN.md design-choice index) -----------------
 
 func BenchmarkAblationGGTwoLevelLazy(b *testing.B) {

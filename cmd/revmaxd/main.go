@@ -1,0 +1,201 @@
+// Command revmaxd is the online recommendation-serving daemon: it plans
+// a REVMAX strategy for a dataset and serves per-user recommendation
+// lookups over HTTP/JSON while folding adoption feedback back into
+// asynchronous receding-horizon replans.
+//
+// Usage:
+//
+//	revmaxd -dataset amazon -scale 0.01 -addr :8372
+//	revmaxd -load-instance catalog.json -algo SLG
+//	revmaxd -dataset synthetic -users 5000 -snapshot /var/lib/revmaxd.snap
+//
+// Endpoints: /v1/recommend, /v1/recommend/batch, /v1/adopt, /v1/advance,
+// /v1/stats, /healthz, /metrics.
+//
+//	curl 'localhost:8372/v1/recommend?user=7&t=1'
+//	curl -d '{"user":7,"item":3,"t":1,"adopted":true}' localhost:8372/v1/adopt
+//
+// With -snapshot, the daemon restores warm from the file when it exists
+// and writes a fresh snapshot on graceful shutdown (SIGINT/SIGTERM), so
+// a restart serves byte-identical recommendations.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	dsName := flag.String("dataset", "amazon", "dataset: amazon | epinions | synthetic")
+	scale := flag.Float64("scale", 0.01, "dataset scale (1.0 = paper scale)")
+	seed := flag.Uint64("seed", 42, "random seed")
+	users := flag.Int("users", 2000, "user count (synthetic dataset only)")
+	algoName := flag.String("algo", "GG", "planning algorithm: GG | GG-No | SLG | RLG | TopRev")
+	perms := flag.Int("perms", 5, "RL-Greedy permutations")
+	loadInstance := flag.String("load-instance", "", "load the instance from a JSON file instead of generating one")
+	snapshot := flag.String("snapshot", "", "snapshot file: restore from it at boot if present, write it on shutdown")
+	replanEvery := flag.Int("replan-every", 32, "adoptions per background replan")
+	shards := flag.Int("shards", 0, "user-store shard count (0 = next pow2 ≥ GOMAXPROCS)")
+	flag.Parse()
+
+	algo, err := algoByName(*algoName, *perms, *seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg := serve.Config{Algorithm: algo, Shards: *shards, ReplanEvery: *replanEvery}
+
+	engine, err := bootEngine(cfg, *snapshot, *loadInstance, *dsName, *scale, *seed, *users)
+	if err != nil {
+		fail(err)
+	}
+	defer engine.Close()
+
+	st := engine.Stats()
+	fmt.Printf("revmaxd: %d users, %d items, T=%d, k=%d; plan rev %d with %d triples (expected revenue %.2f), %d shards\n",
+		st.Users, st.Items, st.Horizon, st.K, st.PlanRevision, st.PlannedTriples, st.PlanRevenue, st.Shards)
+
+	server := &http.Server{
+		Addr:         *addr,
+		Handler:      serve.Handler(engine),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 30 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	fmt.Printf("revmaxd: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	exitCode := 0
+	select {
+	case sig := <-sigc:
+		fmt.Printf("revmaxd: %v — shutting down\n", sig)
+	case err := <-errc:
+		// Listener died, but the engine is healthy: still run the full
+		// shutdown sequence so accumulated feedback reaches the snapshot.
+		fmt.Fprintf(os.Stderr, "revmaxd: server error: %v — shutting down\n", err)
+		exitCode = 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := server.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "revmaxd: shutdown: %v\n", err)
+	}
+	engine.Flush()
+	if *snapshot != "" {
+		if err := writeSnapshot(engine, *snapshot); err != nil {
+			fail(err)
+		}
+		fmt.Printf("revmaxd: snapshot written to %s\n", *snapshot)
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// bootEngine restores from the snapshot when one exists, otherwise
+// builds the instance (from file or generator) and plans cold.
+func bootEngine(cfg serve.Config, snapshot, loadInstance, dsName string, scale float64, seed uint64, users int) (*serve.Engine, error) {
+	if snapshot != "" {
+		if f, err := os.Open(snapshot); err == nil {
+			defer f.Close()
+			engine, rerr := serve.Restore(f, cfg)
+			if rerr != nil {
+				return nil, fmt.Errorf("restore %s: %w", snapshot, rerr)
+			}
+			fmt.Printf("revmaxd: restored warm from %s\n", snapshot)
+			return engine, nil
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+	}
+	in, err := buildInstance(loadInstance, dsName, scale, seed, users)
+	if err != nil {
+		return nil, err
+	}
+	return serve.NewEngine(in, cfg)
+}
+
+func buildInstance(loadInstance, dsName string, scale float64, seed uint64, users int) (*model.Instance, error) {
+	if loadInstance != "" {
+		f, err := os.Open(loadInstance)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return codec.DecodeInstance(f)
+	}
+	dc := dataset.Config{Seed: seed, Scale: scale}
+	var ds *dataset.Dataset
+	var err error
+	switch dsName {
+	case "amazon":
+		ds, err = dataset.AmazonLike(dc)
+	case "epinions":
+		ds, err = dataset.EpinionsLike(dc)
+	case "synthetic":
+		ds, err = dataset.Scalability(users, dc)
+	default:
+		err = fmt.Errorf("unknown dataset %q", dsName)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ds.Instance, nil
+}
+
+func algoByName(name string, perms int, seed uint64) (planner.Algorithm, error) {
+	switch name {
+	case "GG":
+		return func(in *model.Instance) *model.Strategy { return core.GGreedy(in).Strategy }, nil
+	case "GG-No":
+		return func(in *model.Instance) *model.Strategy { return core.GlobalNo(in).Strategy }, nil
+	case "SLG":
+		return func(in *model.Instance) *model.Strategy { return core.SLGreedy(in).Strategy }, nil
+	case "RLG":
+		return func(in *model.Instance) *model.Strategy { return core.RLGreedy(in, perms, seed+1).Strategy }, nil
+	case "TopRev":
+		return func(in *model.Instance) *model.Strategy { return core.TopRE(in).Strategy }, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func writeSnapshot(engine *serve.Engine, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := engine.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "revmaxd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,187 @@
+// Online serving end to end: boot the revmaxd engine in-process, mount
+// its HTTP API on a loopback listener, and drive it the way a fleet of
+// client services would — concurrent single lookups, batch lookups that
+// amortize lock acquisition, adoption feedback that triggers background
+// replans, and a snapshot/restore cycle proving a warm restart serves
+// the same answers.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	revmax "repro"
+	"repro/internal/dist"
+)
+
+func main() {
+	const (
+		users = 400
+		items = 12
+		T     = 4
+	)
+	rng := dist.NewRNG(7)
+	in := revmax.NewInstance(users, items, T, 2)
+	for i := 0; i < items; i++ {
+		in.SetItem(revmax.ItemID(i), revmax.ClassID(i%4), 0.7, users/3)
+		for t := revmax.TimeStep(1); t <= T; t++ {
+			in.SetPrice(revmax.ItemID(i), t, 50+20*float64(i))
+		}
+	}
+	for u := 0; u < users; u++ {
+		for i := 0; i < items; i++ {
+			if q := rng.Uniform(-0.2, 0.6); q > 0 {
+				for t := revmax.TimeStep(1); t <= T; t++ {
+					in.AddCandidate(revmax.UserID(u), revmax.ItemID(i), t, q)
+				}
+			}
+		}
+	}
+	in.FinishCandidates()
+
+	engine, err := revmax.NewServeEngine(in, revmax.ServeConfig{
+		Algorithm:   revmax.GGreedyPlanner,
+		ReplanEvery: 25,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer engine.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	server := &http.Server{Handler: revmax.ServeHandler(engine)}
+	go server.Serve(ln)
+	defer server.Close()
+	base := "http://" + ln.Addr().String()
+
+	fmt.Println("== revmaxd serving demo ==")
+	st := engine.Stats()
+	fmt.Printf("engine: %d users, %d items, T=%d; initial plan has %d triples, expected revenue %.2f\n\n",
+		st.Users, st.Items, st.Horizon, st.PlannedTriples, st.PlanRevenue)
+
+	// A fleet of concurrent clients: lookups plus adoption feedback.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := w; u < users; u += 8 {
+				var resp struct {
+					Items []revmax.ServeRecommendation `json:"items"`
+				}
+				getJSON(base+fmt.Sprintf("/v1/recommend?user=%d&t=1", u), &resp)
+				// Adopt the first still-probable recommendation (a crude
+				// client policy: deterministic, good enough for a demo).
+				for _, rec := range resp.Items {
+					if rec.Prob > 0.35 {
+						postJSON(base+"/v1/adopt", revmax.ServeEvent{
+							User: revmax.UserID(u), Item: rec.Item, T: 1, Adopted: true,
+						}, nil)
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	engine.Flush() // barrier: all feedback applied, replan done
+
+	// Batch lookup for the next step: one POST serves 100 users.
+	ids := make([]revmax.UserID, 100)
+	for i := range ids {
+		ids[i] = revmax.UserID(i)
+	}
+	body, _ := json.Marshal(map[string]any{"users": ids, "t": 2})
+	resp, err := http.Post(base+"/v1/recommend/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Printf("batch lookup for 100 users at t=2: %d bytes of JSON\n", len(raw))
+
+	st = engine.Stats()
+	fmt.Printf("after feedback: %d adoptions applied, %d replans, plan revision %d, residual revenue %.2f\n",
+		st.Adoptions, st.Replans, st.PlanRevision, st.PlanRevenue)
+
+	// Snapshot, restore, and compare: the restarted engine must answer
+	// identically.
+	var snap bytes.Buffer
+	if err := engine.Snapshot(&snap); err != nil {
+		panic(err)
+	}
+	restored, err := revmax.RestoreServeEngine(bytes.NewReader(snap.Bytes()), revmax.ServeConfig{Algorithm: revmax.GGreedyPlanner})
+	if err != nil {
+		panic(err)
+	}
+	defer restored.Close()
+	same := true
+	for u := 0; u < users && same; u++ {
+		for t := revmax.TimeStep(1); t <= T; t++ {
+			a, _ := engine.Recommend(revmax.UserID(u), t)
+			b, _ := restored.Recommend(revmax.UserID(u), t)
+			ab, _ := json.Marshal(a)
+			bb, _ := json.Marshal(b)
+			if !bytes.Equal(ab, bb) {
+				same = false
+				break
+			}
+		}
+	}
+	fmt.Printf("snapshot is %d bytes; restored engine serves identical recommendations: %v\n", snap.Len(), same)
+
+	var metrics bytes.Buffer
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(&metrics, mresp.Body)
+	mresp.Body.Close()
+	fmt.Printf("\n/metrics excerpt:\n")
+	for _, line := range bytes.Split(metrics.Bytes(), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("revmaxd_qps_avg")) ||
+			bytes.HasPrefix(line, []byte("revmaxd_latency")) ||
+			bytes.HasPrefix(line, []byte("revmaxd_replans_total")) ||
+			bytes.HasPrefix(line, []byte("revmaxd_plan_revenue")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func postJSON(url string, in, out any) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package dist supplies the deterministic random-number generator and
+// the small statistics helpers shared by the dataset generators, the
+// randomized algorithms, and the tests. Every randomized component in
+// the repository draws through *RNG so that a fixed seed reproduces a
+// run bit-for-bit on any platform.
+package dist
+
+import (
+	"math"
+	"math/bits"
+)
+
+// RNG is a deterministic pseudo-random generator (splitmix64-seeded
+// xoshiro256**). It is not safe for concurrent use; give each goroutine
+// its own RNG (see core.RLGreedyParallel for the idiom).
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, so nearby
+// seeds still yield uncorrelated streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n); it panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and branch-light.
+	bound := uint64(n)
+	for {
+		hi, lo := bits.Mul64(r.Uint64(), bound)
+		if lo >= bound || lo >= -bound%bound {
+			return int(hi)
+		}
+	}
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation (Box–Muller; one fresh pair of uniforms per call so the
+// stream position is input-independent).
+func (r *RNG) Normal(mean, sd float64) float64 {
+	u1 := 1 - r.Float64() // (0, 1]: keeps the log finite
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + sd*z
+}
+
+// Exponential returns an exponential sample with rate lambda (mean
+// 1/lambda).
+func (r *RNG) Exponential(lambda float64) float64 {
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// PowerLaw returns a sample from the truncated power-law density
+// p(x) ∝ x^(−alpha) on [min, max] via inverse-CDF sampling.
+func (r *RNG) PowerLaw(alpha, min, max float64) float64 {
+	u := r.Float64()
+	if alpha == 1 {
+		return min * math.Pow(max/min, u)
+	}
+	oma := 1 - alpha
+	lo := math.Pow(min, oma)
+	hi := math.Pow(max, oma)
+	return math.Pow(lo+u*(hi-lo), 1/oma)
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle applies a Fisher–Yates shuffle over n elements through swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Clamp01 clamps x into [0, 1].
+func Clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Covariance returns the population covariance of the paired samples
+// (xs[i], ys[i]); the slices must have equal length.
+func Covariance(xs, ys []float64) float64 {
+	if len(xs) != len(ys) {
+		panic("dist: Covariance over slices of different length")
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	s := 0.0
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs))
+}
+
+// NormalCDF returns P[X ≤ x] for X ~ N(mu, sigma²).
+func NormalCDF(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+}
+
+// NormalSurvival returns P[X > x] for X ~ N(mu, sigma²).
+func NormalSurvival(x, mu, sigma float64) float64 {
+	return 0.5 * math.Erfc((x-mu)/(sigma*math.Sqrt2))
+}

@@ -14,7 +14,6 @@ package planner
 
 import (
 	"errors"
-	"math"
 	"sort"
 
 	"repro/internal/dist"
@@ -149,66 +148,48 @@ func (p *Planner) conditionalProb(z model.Triple) float64 {
 		return 0
 	}
 	q := p.in.Q(z.U, z.I, z.T)
-	mem := 0.0
-	for _, tau := range p.exposures[z.U][c] {
-		if tau < z.T {
-			mem += 1 / float64(z.T-tau)
-		}
-	}
-	if mem > 0 {
-		q *= math.Pow(p.in.Beta(z.I), mem)
-	}
-	return q
+	return Discount(q, p.in.Beta(z.I), SaturationMemory(p.exposures[z.U][c], z.T))
 }
 
-// residualInstance builds the remaining-horizon instance: candidates at
-// t ≥ now, users who adopted from a class lose that class's candidates,
-// depleted items lose all candidates, capacities shrink to remaining
-// stock, and primitive probabilities carry the saturation memory of
-// realized exposures (folded in so the planning model stays Definition-1
-// consistent for the residual horizon).
+// Feedback returns a deep copy of the planner's accumulated
+// observations in the shape Residual consumes, frozen at the current
+// step: later Observe calls do not leak into the returned value.
+func (p *Planner) Feedback() Feedback {
+	fb := Feedback{
+		AdoptedClass: make(map[model.UserID]map[model.ClassID]bool, len(p.adoptedClass)),
+		Exposures:    make(map[model.UserID]map[model.ClassID][]model.TimeStep, len(p.exposures)),
+		Stock:        make([]int, len(p.stock)),
+		Now:          p.now,
+	}
+	copy(fb.Stock, p.stock)
+	for u, ac := range p.adoptedClass {
+		m := make(map[model.ClassID]bool, len(ac))
+		for c := range ac {
+			m[c] = true
+		}
+		fb.AdoptedClass[u] = m
+	}
+	for u, ex := range p.exposures {
+		m := make(map[model.ClassID][]model.TimeStep, len(ex))
+		for c, ts := range ex {
+			m[c] = append([]model.TimeStep(nil), ts...)
+		}
+		fb.Exposures[u] = m
+	}
+	return fb
+}
+
+// residualInstance builds the remaining-horizon instance conditioned on
+// everything observed so far; see Residual for the construction. It
+// hands Residual the live maps directly (no copy): Residual only reads,
+// and the planner is single-threaded.
 func (p *Planner) residualInstance() *model.Instance {
-	in := p.in
-	res := model.NewInstance(in.NumUsers, in.NumItems(), in.T, in.K)
-	for i := 0; i < in.NumItems(); i++ {
-		id := model.ItemID(i)
-		res.SetItem(id, in.Class(id), in.Beta(id), maxInt(p.stock[i], 0))
-		for t := 1; t <= in.T; t++ {
-			res.SetPrice(id, model.TimeStep(t), in.Price(id, model.TimeStep(t)))
-		}
-	}
-	for u := 0; u < in.NumUsers; u++ {
-		uid := model.UserID(u)
-		for _, cand := range in.UserCandidates(uid) {
-			if cand.T < p.now {
-				continue
-			}
-			c := in.Class(cand.I)
-			if p.adoptedClass[uid][c] {
-				continue
-			}
-			if p.stock[cand.I] <= 0 {
-				continue
-			}
-			q := cand.Q
-			// Fold realized-exposure memory into the primitive q so the
-			// residual plan's saturation starts from observed history.
-			mem := 0.0
-			for _, tau := range p.exposures[uid][c] {
-				if tau < cand.T {
-					mem += 1 / float64(cand.T-tau)
-				}
-			}
-			if mem > 0 {
-				q *= math.Pow(in.Beta(cand.I), mem)
-			}
-			if q > 0 {
-				res.AddCandidate(uid, cand.I, cand.T, q)
-			}
-		}
-	}
-	res.FinishCandidates()
-	return res
+	return Residual(p.in, Feedback{
+		AdoptedClass: p.adoptedClass,
+		Exposures:    p.exposures,
+		Stock:        p.stock,
+		Now:          p.now,
+	})
 }
 
 func maxInt(a, b int) int {

@@ -1,0 +1,588 @@
+// Package serve is the online recommendation-serving subsystem: it
+// wraps a REVMAX instance and a planned strategy in a sharded,
+// lock-striped user store and answers per-user Recommend lookups under
+// heavy concurrency, while an adoption-feedback queue folds realized
+// purchases back into the model and triggers asynchronous
+// receding-horizon replanning through internal/planner.
+//
+// Concurrency architecture:
+//
+//   - The planned strategy lives in an immutable plan snapshot behind an
+//     atomic.Pointer. Lookups load the pointer once and never block on a
+//     replan; a replan builds a fresh plan off to the side and swaps the
+//     pointer (double buffering).
+//   - Mutable per-user feedback state (adopted classes, exposure times)
+//     is sharded by user-ID hash across next-pow2(GOMAXPROCS) shards,
+//     each guarded by its own RWMutex. Lookups take one shard RLock;
+//     batch lookups group users by shard and amortize one RLock per
+//     shard over the whole group.
+//   - Item stock is a slice of atomics: decremented by the single
+//     feedback goroutine, read lock-free by every lookup.
+//   - Feedback events flow through a buffered channel into one
+//     background goroutine, which applies them to the shards and replans
+//     every ReplanEvery adoptions. Flush provides a synchronous barrier
+//     for tests and snapshots.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/revenue"
+)
+
+// Config tunes an Engine. The zero value of every field selects a sane
+// default; Algorithm is the only required field.
+type Config struct {
+	// Algorithm plans a strategy for a (residual) instance. Required.
+	// revmax.GGreedyPlanner is the usual choice.
+	Algorithm planner.Algorithm
+	// Shards overrides the shard count (rounded up to a power of two).
+	// 0 means next pow2 ≥ GOMAXPROCS.
+	Shards int
+	// ReplanEvery replans after this many adoptions (≤ 0 means 32).
+	ReplanEvery int
+	// QueueDepth is the feedback channel's buffer (≤ 0 means 4096).
+	QueueDepth int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ReplanEvery <= 0 {
+		out.ReplanEvery = 32
+	}
+	if out.QueueDepth <= 0 {
+		out.QueueDepth = 4096
+	}
+	return out
+}
+
+// Event is one piece of adoption feedback: user U was shown item I at
+// time T and either adopted it or not. Non-adoption events still matter
+// — they accrue saturation memory, exactly like Planner.Observe's
+// issued-but-not-adopted recommendations.
+type Event struct {
+	User    model.UserID   `json:"user"`
+	Item    model.ItemID   `json:"item"`
+	T       model.TimeStep `json:"t"`
+	Adopted bool           `json:"adopted"`
+}
+
+// Recommendation is one served recommendation with its conditional
+// adoption probability given every observation applied so far.
+type Recommendation struct {
+	Item  model.ItemID `json:"item"`
+	Price float64      `json:"price"`
+	Prob  float64      `json:"prob"`
+}
+
+// feedbackMsg is one message on the engine's feedback queue: an event
+// to apply, a flush barrier, a bare replan request, or a snapshot
+// capture request (served by the loop so the captured state is
+// consistent — no event is half-applied across stock and shards).
+type feedbackMsg struct {
+	ev     Event
+	flush  chan struct{}  // non-nil: barrier; closed once covered by a replan
+	replan bool           // bare replan request (clock advanced)
+	snap   chan snapState // non-nil: capture store state between applies
+}
+
+// Engine is the online serving engine. All exported methods are safe for
+// concurrent use.
+type Engine struct {
+	in  *model.Instance
+	cfg Config
+
+	shards []shard
+	mask   uint32
+
+	stock []atomic.Int64
+
+	plan atomic.Pointer[plan]
+	now  atomic.Int64
+
+	feedback chan feedbackMsg
+	wg       sync.WaitGroup
+	// closeMu serializes producers against Close: senders hold the read
+	// side, Close takes the write side before closing the channel.
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+
+	adoptions atomic.Int64
+	exposures atomic.Int64
+	replans   atomic.Int64
+	revision  atomic.Int64
+
+	met *meter
+}
+
+// NewEngine plans an initial strategy for in with cfg.Algorithm and
+// starts the feedback loop. The instance must be finished
+// (FinishCandidates) and valid; the engine takes ownership of it and of
+// all strategies the algorithm returns.
+func NewEngine(in *model.Instance, cfg Config) (*Engine, error) {
+	if cfg.Algorithm == nil {
+		return nil, errors.New("serve: Config.Algorithm is required")
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	e := newEngineShell(in, cfg)
+	s := cfg.Algorithm(in)
+	e.installPlan(s, 1, revenue.Revenue(in, s))
+	e.start()
+	return e, nil
+}
+
+// newEngineShell allocates an engine with store state but no plan and no
+// running feedback loop; NewEngine and Restore finish the setup.
+func newEngineShell(in *model.Instance, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	n := shardCount(cfg.Shards)
+	e := &Engine{
+		in:       in,
+		cfg:      cfg,
+		shards:   make([]shard, n),
+		mask:     uint32(n - 1),
+		stock:    make([]atomic.Int64, in.NumItems()),
+		feedback: make(chan feedbackMsg, cfg.QueueDepth),
+		met:      newMeter(),
+	}
+	for i := range e.shards {
+		e.shards[i].users = make(map[model.UserID]*userState)
+	}
+	for i := 0; i < in.NumItems(); i++ {
+		e.stock[i].Store(int64(in.Capacity(model.ItemID(i))))
+	}
+	e.now.Store(1)
+	return e
+}
+
+// installPlan indexes s and publishes it as the live plan.
+func (e *Engine) installPlan(s *model.Strategy, from model.TimeStep, rev float64) {
+	n := e.revision.Add(1)
+	e.plan.Store(buildPlan(e.in, s, n, from, rev))
+}
+
+// start launches the feedback loop.
+func (e *Engine) start() {
+	e.wg.Add(1)
+	go e.loop()
+}
+
+// Instance returns the engine's (full-horizon) instance. Read-only.
+func (e *Engine) Instance() *model.Instance { return e.in }
+
+// Now returns the engine's current time step.
+func (e *Engine) Now() model.TimeStep { return model.TimeStep(e.now.Load()) }
+
+// SetNow advances the engine clock to t (monotonically, within [1, T])
+// and requests an asynchronous replan, since the residual horizon
+// changed. Past feedback is unaffected.
+func (e *Engine) SetNow(t model.TimeStep) error {
+	if t < 1 || int(t) > e.in.T {
+		return fmt.Errorf("serve: time step %d outside horizon [1,%d]", t, e.in.T)
+	}
+	for {
+		cur := e.now.Load()
+		if int64(t) < cur {
+			return fmt.Errorf("serve: clock may not move backwards (%d < %d)", t, cur)
+		}
+		if e.now.CompareAndSwap(cur, int64(t)) {
+			break
+		}
+	}
+	e.requestReplan()
+	return nil
+}
+
+// Recommend returns the planned recommendations for user u at time t,
+// each with its conditional adoption probability given all applied
+// feedback: zero if the user already adopted from the item's class or
+// the item is out of stock, and saturation-discounted by the user's
+// realized exposures. The slice is freshly allocated; order is by item
+// ID. The lookup is O(log |plan_u| + k).
+func (e *Engine) Recommend(u model.UserID, t model.TimeStep) ([]Recommendation, error) {
+	start := time.Now()
+	out, err := e.recommendOne(e.plan.Load(), u, t)
+	if err == nil {
+		e.met.recommends.Add(1)
+		e.met.observe(time.Since(start))
+	}
+	return out, err
+}
+
+func (e *Engine) validate(u model.UserID, t model.TimeStep) error {
+	if int(u) < 0 || int(u) >= e.in.NumUsers {
+		return fmt.Errorf("serve: unknown user %d", u)
+	}
+	if t < 1 || int(t) > e.in.T {
+		return fmt.Errorf("serve: time step %d outside horizon [1,%d]", t, e.in.T)
+	}
+	return nil
+}
+
+func (e *Engine) recommendOne(p *plan, u model.UserID, t model.TimeStep) ([]Recommendation, error) {
+	if err := e.validate(u, t); err != nil {
+		return nil, err
+	}
+	entries := p.entriesAt(u, t)
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	sh := &e.shards[shardIndex(u, e.mask)]
+	sh.mu.RLock()
+	out := e.fill(sh, u, t, entries)
+	sh.mu.RUnlock()
+	return out, nil
+}
+
+// fill computes the conditional probabilities for entries under sh's
+// read lock (already held by the caller).
+func (e *Engine) fill(sh *shard, u model.UserID, t model.TimeStep, entries []planEntry) []Recommendation {
+	us := sh.users[u]
+	out := make([]Recommendation, 0, len(entries))
+	for _, pe := range entries {
+		rec := Recommendation{Item: pe.item, Price: pe.price, Prob: pe.q}
+		switch {
+		case us != nil && us.adopted[pe.class]:
+			rec.Prob = 0
+		case e.stock[pe.item].Load() <= 0:
+			rec.Prob = 0
+		case us != nil:
+			rec.Prob = planner.Discount(rec.Prob, pe.beta,
+				planner.SaturationMemory(us.exposures[pe.class], t))
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// RecommendBatch serves many users at one time step, amortizing lock
+// acquisition: users are grouped by shard and each shard's RLock is
+// taken exactly once for its whole group. Results align with the input
+// order; a nil slice means the user has no planned recommendations at t.
+func (e *Engine) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]Recommendation, error) {
+	start := time.Now()
+	if t < 1 || int(t) > e.in.T {
+		return nil, fmt.Errorf("serve: time step %d outside horizon [1,%d]", t, e.in.T)
+	}
+	p := e.plan.Load()
+	out := make([][]Recommendation, len(users))
+	// Group input positions by shard; small fixed-size bucket slices keep
+	// this allocation-light for the common batch sizes.
+	groups := make([][]int, len(e.shards))
+	for pos, u := range users {
+		if int(u) < 0 || int(u) >= e.in.NumUsers {
+			return nil, fmt.Errorf("serve: unknown user %d", u)
+		}
+		si := shardIndex(u, e.mask)
+		groups[si] = append(groups[si], pos)
+	}
+	for si, gs := range groups {
+		if len(gs) == 0 {
+			continue
+		}
+		sh := &e.shards[si]
+		sh.mu.RLock()
+		for _, pos := range gs {
+			u := users[pos]
+			if entries := p.entriesAt(u, t); len(entries) > 0 {
+				out[pos] = e.fill(sh, u, t, entries)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	e.met.batchUsers.Add(int64(len(users)))
+	e.met.observeBatch(time.Since(start))
+	return out, nil
+}
+
+// Feed enqueues one feedback event. It blocks only when the queue is
+// full; it returns an error if the engine is closed or the event is out
+// of range.
+func (e *Engine) Feed(ev Event) error {
+	if err := e.validate(ev.User, ev.T); err != nil {
+		return err
+	}
+	if int(ev.Item) < 0 || int(ev.Item) >= e.in.NumItems() {
+		return fmt.Errorf("serve: unknown item %d", ev.Item)
+	}
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return errors.New("serve: engine closed")
+	}
+	e.feedback <- feedbackMsg{ev: ev}
+	e.met.feeds.Add(1)
+	return nil
+}
+
+// Flush blocks until every event enqueued before the call has been
+// applied and — if any of them were adoptions not yet covered by a
+// replan — a replan reflecting them has completed. It is the
+// synchronization point for deterministic tests and consistent
+// snapshots.
+func (e *Engine) Flush() {
+	e.closeMu.RLock()
+	if e.closed.Load() {
+		e.closeMu.RUnlock()
+		// Close is draining the queue; wait for the loop to finish so the
+		// "everything enqueued before Flush is applied" contract holds.
+		e.wg.Wait()
+		return
+	}
+	done := make(chan struct{})
+	e.feedback <- feedbackMsg{flush: done}
+	e.closeMu.RUnlock()
+	<-done
+}
+
+// requestReplan asks the feedback loop for a replan. The send blocks
+// only while the queue is full — and the loop drains continuously even
+// during a replan, so the wait is bounded by apply time, not plan time.
+func (e *Engine) requestReplan() {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return
+	}
+	e.feedback <- feedbackMsg{replan: true}
+}
+
+// Close flushes outstanding feedback and stops the background loop. The
+// engine still serves lookups afterwards, but Feed returns an error.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if !e.closed.CompareAndSwap(false, true) {
+		e.closeMu.Unlock()
+		return
+	}
+	close(e.feedback)
+	e.closeMu.Unlock()
+	e.wg.Wait()
+}
+
+// loop is the single consumer of the feedback queue. It applies events
+// inline — cheap map/atomic updates — and offloads replanning to a side
+// goroutine so ingestion never stalls behind the planner (a replan is
+// seconds at scale, an apply is microseconds). At most one replan runs
+// at a time; triggers arriving mid-replan coalesce into the next run,
+// which collects fresh state when it starts, so no trigger is ever
+// lost. A Flush barrier completes once every event enqueued before it
+// has been applied and a replan covering them has finished.
+func (e *Engine) loop() {
+	defer e.wg.Done()
+	var (
+		dirty    int             // adoptions not yet covered by a started replan
+		force    bool            // explicit replan requested (clock advance)
+		inFlight chan struct{}   // closed when the running replan finishes
+		waiters  []chan struct{} // Flush barriers awaiting coverage
+	)
+	start := func() {
+		dirty, force = 0, false
+		// Collect the feedback view here, on the loop goroutine, so no
+		// apply can interleave between the stock reads and the shard walk
+		// — the replan really does work on a frozen, consistent view.
+		// The copy is cheap next to planning, which runs off-loop.
+		fb := e.collectFeedback()
+		done := make(chan struct{})
+		inFlight = done
+		go func() {
+			e.replanWith(fb)
+			close(done)
+		}()
+	}
+	progress := func() {
+		if inFlight == nil && (force || dirty >= e.cfg.ReplanEvery || (dirty > 0 && len(waiters) > 0)) {
+			start()
+		}
+		if inFlight == nil && dirty == 0 && len(waiters) > 0 {
+			for _, w := range waiters {
+				close(w)
+			}
+			waiters = nil
+		}
+	}
+	for {
+		select {
+		case msg, ok := <-e.feedback:
+			if !ok {
+				// Closed: finish the running replan, fold in any uncovered
+				// tail synchronously, and release remaining barriers.
+				if inFlight != nil {
+					<-inFlight
+				}
+				if dirty > 0 || force {
+					e.replanWith(e.collectFeedback())
+				}
+				for _, w := range waiters {
+					close(w)
+				}
+				return
+			}
+			switch {
+			case msg.flush != nil:
+				waiters = append(waiters, msg.flush)
+			case msg.snap != nil:
+				msg.snap <- e.captureState()
+			case msg.replan:
+				force = true
+			default:
+				if e.apply(msg.ev) {
+					dirty++
+				}
+			}
+			progress()
+		case <-inFlight:
+			inFlight = nil
+			progress()
+		}
+	}
+}
+
+// maxExposuresPerClass bounds each (user, class) exposure list: the
+// oldest exposure is evicted once the cap is reached. Old exposures
+// contribute only 1/(t−τ) memory each, so the eviction error is tiny,
+// while the bound keeps Recommend, replans, and snapshots O(1) per
+// user-class in a long-running daemon under unbounded feedback.
+const maxExposuresPerClass = 64
+
+// apply folds one event into the store; it reports whether the event
+// was an adoption (the trigger currency for replanning).
+func (e *Engine) apply(ev Event) bool {
+	c := e.in.Class(ev.Item)
+	sh := &e.shards[shardIndex(ev.User, e.mask)]
+	sh.mu.Lock()
+	us := sh.state(ev.User)
+	if ts := us.exposures[c]; len(ts) >= maxExposuresPerClass {
+		copy(ts, ts[1:])
+		ts[len(ts)-1] = ev.T
+	} else {
+		us.exposures[c] = append(ts, ev.T)
+	}
+	adopted := false
+	if ev.Adopted && !us.adopted[c] {
+		us.adopted[c] = true
+		adopted = true
+	}
+	sh.mu.Unlock()
+	e.exposures.Add(1)
+	if adopted {
+		// Floor at zero: oversell reports beyond capacity don't go negative.
+		for {
+			cur := e.stock[ev.Item].Load()
+			if cur <= 0 {
+				break
+			}
+			if e.stock[ev.Item].CompareAndSwap(cur, cur-1) {
+				break
+			}
+		}
+		e.adoptions.Add(1)
+	}
+	return adopted
+}
+
+// collectFeedback snapshots the sharded store into the planner's
+// Feedback shape. It must run on the feedback-loop goroutine (the only
+// writer), so stock and shard state can't tear apart mid-copy; the copy
+// is deep, so the replan then works on the frozen view from any
+// goroutine.
+func (e *Engine) collectFeedback() planner.Feedback {
+	fb := planner.Feedback{
+		AdoptedClass: make(map[model.UserID]map[model.ClassID]bool),
+		Exposures:    make(map[model.UserID]map[model.ClassID][]model.TimeStep),
+		Stock:        make([]int, e.in.NumItems()),
+		Now:          e.Now(),
+	}
+	for i := range e.stock {
+		fb.Stock[i] = int(e.stock[i].Load())
+	}
+	for si := range e.shards {
+		sh := &e.shards[si]
+		sh.mu.RLock()
+		for u, us := range sh.users {
+			if len(us.adopted) > 0 {
+				ac := make(map[model.ClassID]bool, len(us.adopted))
+				for c := range us.adopted {
+					ac[c] = true
+				}
+				fb.AdoptedClass[u] = ac
+			}
+			if len(us.exposures) > 0 {
+				ex := make(map[model.ClassID][]model.TimeStep, len(us.exposures))
+				for c, ts := range us.exposures {
+					ex[c] = append([]model.TimeStep(nil), ts...)
+				}
+				fb.Exposures[u] = ex
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return fb
+}
+
+// replanWith recomputes the strategy on the residual instance induced
+// by fb and swaps the live plan. Lookups keep hitting the old plan
+// until the single atomic store below.
+func (e *Engine) replanWith(fb planner.Feedback) {
+	residual := planner.Residual(e.in, fb)
+	s := e.cfg.Algorithm(residual)
+	rev := revenue.Revenue(residual, s)
+	e.installPlan(s, fb.Now, rev)
+	e.replans.Add(1)
+}
+
+// Strategy returns the live plan's strategy (do not mutate).
+func (e *Engine) Strategy() *model.Strategy { return e.plan.Load().strategy }
+
+// Stats is a point-in-time summary of the engine, served over /v1/stats.
+type Stats struct {
+	Users          int     `json:"users"`
+	Items          int     `json:"items"`
+	Horizon        int     `json:"horizon"`
+	K              int     `json:"k"`
+	Shards         int     `json:"shards"`
+	Now            int     `json:"now"`
+	PlanRevision   int64   `json:"plan_revision"`
+	PlanRevenue    float64 `json:"plan_revenue"`
+	PlannedTriples int     `json:"planned_triples"`
+	Replans        int64   `json:"replans"`
+	Adoptions      int64   `json:"adoptions"`
+	Exposures      int64   `json:"exposures"`
+	Recommends     int64   `json:"recommends"`
+	BatchUsers     int64   `json:"batch_users"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	P50Micros      int64   `json:"p50_micros"`
+	P99Micros      int64   `json:"p99_micros"`
+}
+
+// Stats returns the current summary.
+func (e *Engine) Stats() Stats {
+	p := e.plan.Load()
+	return Stats{
+		Users:          e.in.NumUsers,
+		Items:          e.in.NumItems(),
+		Horizon:        e.in.T,
+		K:              e.in.K,
+		Shards:         len(e.shards),
+		Now:            int(e.Now()),
+		PlanRevision:   p.revision,
+		PlanRevenue:    p.revenue,
+		PlannedTriples: p.strategy.Len(),
+		Replans:        e.replans.Load(),
+		Adoptions:      e.adoptions.Load(),
+		Exposures:      e.exposures.Load(),
+		Recommends:     e.met.recommends.Load(),
+		BatchUsers:     e.met.batchUsers.Load(),
+		UptimeSeconds:  time.Since(e.met.start).Seconds(),
+		P50Micros:      e.met.percentile(0.50).Microseconds(),
+		P99Micros:      e.met.percentile(0.99).Microseconds(),
+	}
+}

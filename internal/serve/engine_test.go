@@ -1,0 +1,564 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+)
+
+// testInstance builds a moderately dense instance: users×items
+// candidates across the horizon, a handful of competition classes,
+// capacities tight enough that feedback actually changes replans.
+func testInstance(t testing.TB, users, items, horizon, k int, seed uint64) *model.Instance {
+	t.Helper()
+	rng := dist.NewRNG(seed)
+	in := model.NewInstance(users, items, horizon, k)
+	for i := 0; i < items; i++ {
+		in.SetItem(model.ItemID(i), model.ClassID(i%4), 0.6, users/3+1)
+		for ts := 1; ts <= horizon; ts++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(ts), 10+5*float64(i)+float64(ts))
+		}
+	}
+	for u := 0; u < users; u++ {
+		for i := 0; i < items; i++ {
+			if q := rng.Uniform(-0.3, 0.7); q > 0 {
+				for ts := 1; ts <= horizon; ts++ {
+					in.AddCandidate(model.UserID(u), model.ItemID(i), model.TimeStep(ts), q)
+				}
+			}
+		}
+	}
+	in.FinishCandidates()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func ggAlgo(in *model.Instance) *model.Strategy { return core.GGreedy(in).Strategy }
+
+func newTestEngine(t testing.TB, in *model.Instance, cfg Config) *Engine {
+	t.Helper()
+	if cfg.Algorithm == nil {
+		cfg.Algorithm = ggAlgo
+	}
+	e, err := NewEngine(in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func TestRecommendMatchesPlan(t *testing.T) {
+	in := testInstance(t, 60, 8, 3, 2, 1)
+	e := newTestEngine(t, in, Config{})
+	s := e.Strategy()
+	for u := 0; u < in.NumUsers; u++ {
+		for ts := 1; ts <= in.T; ts++ {
+			recs, err := e.Recommend(model.UserID(u), model.TimeStep(ts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every served item must be in the strategy for (u, t), with the
+			// primitive q (no feedback yet) and the catalog price.
+			for _, rec := range recs {
+				z := model.Triple{U: model.UserID(u), I: rec.Item, T: model.TimeStep(ts)}
+				if !s.Contains(z) {
+					t.Fatalf("served %v not in strategy", z)
+				}
+				if want := in.Q(z.U, z.I, z.T); rec.Prob != want {
+					t.Fatalf("%v: prob %v, want primitive q %v", z, rec.Prob, want)
+				}
+				if want := in.Price(z.I, z.T); rec.Price != want {
+					t.Fatalf("%v: price %v, want %v", z, rec.Price, want)
+				}
+			}
+			if len(recs) > in.K {
+				t.Fatalf("user %d at t=%d got %d recs, display limit %d", u, ts, len(recs), in.K)
+			}
+		}
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	in := testInstance(t, 10, 4, 2, 1, 2)
+	e := newTestEngine(t, in, Config{})
+	if _, err := e.Recommend(-1, 1); err == nil {
+		t.Fatal("negative user accepted")
+	}
+	if _, err := e.Recommend(model.UserID(in.NumUsers), 1); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+	if _, err := e.Recommend(0, 0); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	if _, err := e.Recommend(0, model.TimeStep(in.T+1)); err == nil {
+		t.Fatal("t>T accepted")
+	}
+	if err := e.Feed(Event{User: 0, Item: model.ItemID(in.NumItems()), T: 1}); err == nil {
+		t.Fatal("unknown item accepted")
+	}
+	if err := e.SetNow(0); err == nil {
+		t.Fatal("SetNow(0) accepted")
+	}
+	if err := e.SetNow(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetNow(1); err == nil {
+		t.Fatal("clock moved backwards")
+	}
+}
+
+func TestAdoptionSuppressesClassAndStock(t *testing.T) {
+	in := testInstance(t, 40, 8, 3, 2, 3)
+	e := newTestEngine(t, in, Config{ReplanEvery: 1 << 30}) // no auto replans: isolate store effects
+	var victim model.UserID
+	var recs []Recommendation
+	for u := 0; u < in.NumUsers; u++ {
+		rs, err := e.Recommend(model.UserID(u), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) > 0 {
+			victim, recs = model.UserID(u), rs
+			break
+		}
+	}
+	if recs == nil {
+		t.Fatal("no user has recommendations at t=1")
+	}
+	item := recs[0].Item
+	if err := e.Feed(Event{User: victim, Item: item, T: 1, Adopted: true}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	class := in.Class(item)
+	for ts := 1; ts <= in.T; ts++ {
+		rs, err := e.Recommend(victim, model.TimeStep(ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range rs {
+			if in.Class(rec.Item) == class && rec.Prob != 0 {
+				t.Fatalf("t=%d: item %d in adopted class still has prob %v", ts, rec.Item, rec.Prob)
+			}
+		}
+	}
+	if got := e.Stats().Adoptions; got != 1 {
+		t.Fatalf("adoptions = %d, want 1", got)
+	}
+}
+
+func TestExposureDiscountsProb(t *testing.T) {
+	in := testInstance(t, 40, 8, 4, 2, 4)
+	e := newTestEngine(t, in, Config{ReplanEvery: 1 << 30})
+	var victim model.UserID
+	var item model.ItemID
+	found := false
+	for u := 0; u < in.NumUsers && !found; u++ {
+		rs, _ := e.Recommend(model.UserID(u), 2)
+		if len(rs) > 0 {
+			victim, item, found = model.UserID(u), rs[0].Item, true
+		}
+	}
+	if !found {
+		t.Fatal("no user has recommendations at t=2")
+	}
+	before, _ := e.Recommend(victim, 2)
+	// Expose (no adoption) at t=1: saturation memory 1/(2-1) = 1 should
+	// multiply q by beta.
+	if err := e.Feed(Event{User: victim, Item: item, T: 1, Adopted: false}); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	after, _ := e.Recommend(victim, 2)
+	class := in.Class(item)
+	for i := range before {
+		if in.Class(before[i].Item) != class {
+			continue
+		}
+		want := before[i].Prob * in.Beta(before[i].Item)
+		if diff := after[i].Prob - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("item %d: prob after exposure %v, want %v", before[i].Item, after[i].Prob, want)
+		}
+	}
+}
+
+func TestBatchMatchesSingle(t *testing.T) {
+	in := testInstance(t, 120, 10, 3, 2, 5)
+	e := newTestEngine(t, in, Config{ReplanEvery: 5})
+	// Mix in some feedback so batch and single run against non-trivial state.
+	for u := 0; u < 30; u++ {
+		rs, _ := e.Recommend(model.UserID(u), 1)
+		if len(rs) > 0 {
+			if err := e.Feed(Event{User: model.UserID(u), Item: rs[0].Item, T: 1, Adopted: u%2 == 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	e.Flush()
+	users := make([]model.UserID, in.NumUsers)
+	for u := range users {
+		users[u] = model.UserID(u)
+	}
+	for ts := 1; ts <= in.T; ts++ {
+		batch, err := e.RecommendBatch(users, model.TimeStep(ts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u, got := range batch {
+			want, err := e.Recommend(model.UserID(u), model.TimeStep(ts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gj, _ := json.Marshal(got)
+			wj, _ := json.Marshal(want)
+			if !bytes.Equal(gj, wj) {
+				t.Fatalf("u=%d t=%d: batch %s != single %s", u, ts, gj, wj)
+			}
+		}
+	}
+	if _, err := e.RecommendBatch([]model.UserID{0, model.UserID(in.NumUsers)}, 1); err == nil {
+		t.Fatal("batch with out-of-range user accepted")
+	}
+}
+
+// TestConcurrentMixedTraffic is the acceptance-criteria test: ≥ 32
+// concurrent clients, ≥ 10k Recommend lookups, mixed with adoption
+// feedback, batch lookups, snapshots, stats, and clock advances, all
+// under -race.
+func TestConcurrentMixedTraffic(t *testing.T) {
+	in := testInstance(t, 300, 12, 4, 2, 6)
+	e := newTestEngine(t, in, Config{ReplanEvery: 16})
+
+	const (
+		clients    = 32
+		perClient  = 400 // 32 × 400 = 12800 single lookups ≥ 10k
+		feedEvery  = 9
+		batchEvery = 50
+		snapEvery  = 150
+	)
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := dist.NewRNG(uint64(1000 + c))
+			for i := 0; i < perClient; i++ {
+				u := model.UserID(rng.Intn(in.NumUsers))
+				ts := model.TimeStep(1 + rng.Intn(in.T))
+				recs, err := e.Recommend(u, ts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				served.Add(1)
+				if i%feedEvery == 0 && len(recs) > 0 {
+					ev := Event{User: u, Item: recs[0].Item, T: ts, Adopted: rng.Float64() < 0.5}
+					if err := e.Feed(ev); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%batchEvery == 0 {
+					users := make([]model.UserID, 32)
+					for j := range users {
+						users[j] = model.UserID(rng.Intn(in.NumUsers))
+					}
+					if _, err := e.RecommendBatch(users, ts); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%snapEvery == 0 {
+					var buf bytes.Buffer
+					if err := e.Snapshot(&buf); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%100 == 0 {
+					_ = e.Stats()
+				}
+			}
+		}(c)
+	}
+	// One client advances the clock partway through.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = e.SetNow(2)
+	}()
+	wg.Wait()
+	e.Flush()
+
+	if got := served.Load(); got < 10000 {
+		t.Fatalf("served %d single lookups, want ≥ 10000", got)
+	}
+	st := e.Stats()
+	if st.Replans == 0 {
+		t.Fatal("no replans happened under adoption traffic")
+	}
+	if st.Adoptions == 0 {
+		t.Fatal("no adoptions applied")
+	}
+	// The engine must still serve coherently after the storm.
+	if _, err := e.Recommend(0, model.TimeStep(in.T)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplanDeterminism: same instance seed + same feedback sequence ⇒
+// identical strategy after replan, regardless of shard count.
+func TestReplanDeterminism(t *testing.T) {
+	events := func(in *model.Instance) []Event {
+		rng := dist.NewRNG(99)
+		var evs []Event
+		for n := 0; n < 120; n++ {
+			evs = append(evs, Event{
+				User:    model.UserID(rng.Intn(in.NumUsers)),
+				Item:    model.ItemID(rng.Intn(in.NumItems())),
+				T:       model.TimeStep(1 + rng.Intn(in.T)),
+				Adopted: rng.Float64() < 0.4,
+			})
+		}
+		return evs
+	}
+	run := func(shards int) []model.Triple {
+		in := testInstance(t, 150, 10, 3, 2, 42)
+		e := newTestEngine(t, in, Config{ReplanEvery: 1 << 30, Shards: shards})
+		for _, ev := range events(in) {
+			if err := e.Feed(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Flush() // applies everything, then replans exactly once
+		return e.Strategy().Triples()
+	}
+	a := run(1)
+	b := run(8)
+	c := run(8)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	cj, _ := json.Marshal(c)
+	if !bytes.Equal(aj, bj) || !bytes.Equal(bj, cj) {
+		t.Fatalf("replan not deterministic across runs/shard counts:\n a=%s\n b=%s\n c=%s", aj, bj, cj)
+	}
+}
+
+// TestSnapshotRestoreByteIdentical is the acceptance-criteria
+// kill/restart test: a restored engine answers every (user, t) query
+// with byte-identical JSON.
+func TestSnapshotRestoreByteIdentical(t *testing.T) {
+	in := testInstance(t, 200, 10, 4, 2, 7)
+	e := newTestEngine(t, in, Config{ReplanEvery: 10})
+	rng := dist.NewRNG(5)
+	for n := 0; n < 150; n++ {
+		u := model.UserID(rng.Intn(in.NumUsers))
+		ts := model.TimeStep(1 + rng.Intn(in.T))
+		recs, err := e.Recommend(u, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) > 0 {
+			if err := e.Feed(Event{User: u, Item: recs[0].Item, T: ts, Adopted: rng.Float64() < 0.6}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.SetNow(2); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+
+	var snap bytes.Buffer
+	if err := e.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(bytes.NewReader(snap.Bytes()), Config{Algorithm: ggAlgo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+
+	if got, want := r.Now(), e.Now(); got != want {
+		t.Fatalf("restored clock %d, want %d", got, want)
+	}
+	if got, want := r.Stats().PlanRevision, e.Stats().PlanRevision; got != want {
+		t.Fatalf("restored plan revision %d, want %d", got, want)
+	}
+	for u := 0; u < in.NumUsers; u++ {
+		for ts := 1; ts <= in.T; ts++ {
+			a, err := e.Recommend(model.UserID(u), model.TimeStep(ts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := r.Recommend(model.UserID(u), model.TimeStep(ts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			aj, _ := json.Marshal(a)
+			bj, _ := json.Marshal(b)
+			if !bytes.Equal(aj, bj) {
+				t.Fatalf("u=%d t=%d: original %s, restored %s", u, ts, aj, bj)
+			}
+		}
+	}
+
+	// A second snapshot from the restored engine must round-trip too.
+	var snap2 bytes.Buffer
+	if err := r.Snapshot(&snap2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), snap2.Bytes()) {
+		t.Fatal("snapshot → restore → snapshot is not a fixed point")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	if _, err := Restore(bytes.NewReader([]byte("{}")), Config{Algorithm: ggAlgo}); err == nil {
+		t.Fatal("empty snapshot accepted")
+	}
+	if _, err := Restore(bytes.NewReader([]byte("not json")), Config{Algorithm: ggAlgo}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	in := testInstance(t, 10, 4, 2, 1, 8)
+	e := newTestEngine(t, in, Config{})
+	var snap bytes.Buffer
+	if err := e.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(snap.Bytes()), Config{}); err == nil {
+		t.Fatal("restore without algorithm accepted")
+	}
+	// A corrupted strategy (out-of-range triple) must be rejected with an
+	// error, not a panic in buildPlan.
+	var wire map[string]json.RawMessage
+	if err := json.Unmarshal(snap.Bytes(), &wire); err != nil {
+		t.Fatal(err)
+	}
+	wire["strategy"] = json.RawMessage(`{"version":1,"triples":[[0,999999,1]]}`)
+	tampered, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(tampered), Config{Algorithm: ggAlgo}); err == nil {
+		t.Fatal("snapshot with out-of-range strategy triple accepted")
+	}
+}
+
+func TestFeedAfterCloseFails(t *testing.T) {
+	in := testInstance(t, 10, 4, 2, 1, 9)
+	e, err := NewEngine(in, Config{Algorithm: ggAlgo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close() // idempotent
+	if err := e.Feed(Event{User: 0, Item: 0, T: 1}); err == nil {
+		t.Fatal("Feed accepted after Close")
+	}
+	e.Flush() // must not hang or panic
+	// Lookups still work on the last plan.
+	if _, err := e.Recommend(0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardCount(t *testing.T) {
+	for _, tc := range []struct{ req, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := shardCount(tc.req); got != tc.want {
+			t.Fatalf("shardCount(%d) = %d, want %d", tc.req, got, tc.want)
+		}
+	}
+	if got := shardCount(0); got&(got-1) != 0 || got < 1 {
+		t.Fatalf("shardCount(0) = %d, not a power of two", got)
+	}
+}
+
+func TestStatsAndMetricsRender(t *testing.T) {
+	in := testInstance(t, 30, 6, 2, 1, 10)
+	e := newTestEngine(t, in, Config{})
+	for u := 0; u < 30; u++ {
+		if _, err := e.Recommend(model.UserID(u), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.Recommends != 30 {
+		t.Fatalf("Recommends = %d, want 30", st.Recommends)
+	}
+	if st.Users != 30 || st.Horizon != 2 {
+		t.Fatalf("bad shape in stats: %+v", st)
+	}
+	var buf bytes.Buffer
+	e.writeMetrics(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"revmaxd_recommend_total 30",
+		"revmaxd_plan_revision",
+		"revmaxd_latency_seconds{quantile=\"0.99\"}",
+		"revmaxd_qps_avg",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func BenchmarkEngineRecommend(b *testing.B) {
+	in := testInstance(b, 1000, 16, 4, 2, 11)
+	e := newTestEngine(b, in, Config{})
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		u := 0
+		for pb.Next() {
+			if _, err := e.Recommend(model.UserID(u%in.NumUsers), model.TimeStep(1+u%in.T)); err != nil {
+				b.Fatal(err)
+			}
+			u++
+		}
+	})
+}
+
+func BenchmarkEngineRecommendBatch(b *testing.B) {
+	in := testInstance(b, 1000, 16, 4, 2, 12)
+	e := newTestEngine(b, in, Config{})
+	users := make([]model.UserID, 256)
+	for i := range users {
+		users[i] = model.UserID(i * 3 % in.NumUsers)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RecommendBatch(users, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleEngine() {
+	in := model.NewInstance(2, 2, 1, 1)
+	in.SetItem(0, 0, 1, 2)
+	in.SetItem(1, 1, 1, 2)
+	in.SetPrice(0, 1, 10)
+	in.SetPrice(1, 1, 20)
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.AddCandidate(1, 1, 1, 0.25)
+	in.FinishCandidates()
+	e, _ := NewEngine(in, Config{Algorithm: ggAlgo})
+	defer e.Close()
+	recs, _ := e.Recommend(0, 1)
+	fmt.Printf("user 0 at t=1: item %d, price %.0f, prob %.2f\n", recs[0].Item, recs[0].Price, recs[0].Prob)
+	// Output: user 0 at t=1: item 0, price 10, prob 0.50
+}

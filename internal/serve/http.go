@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/model"
+)
+
+// Handler returns the HTTP/JSON API over e:
+//
+//	GET  /healthz                  liveness probe
+//	GET  /v1/recommend?user=U&t=T  one user's recommendations at T
+//	POST /v1/recommend/batch       {"users":[...],"t":T}
+//	POST /v1/adopt                 {"user":U,"item":I,"t":T,"adopted":B}
+//	POST /v1/advance               {"now":T} — move the serving clock
+//	GET  /v1/stats                 engine summary (JSON)
+//	GET  /metrics                  plaintext telemetry
+//
+// Handler is stateless glue; all synchronization lives in the Engine,
+// so the handler is safe under any number of server goroutines.
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		user, err1 := strconv.Atoi(r.URL.Query().Get("user"))
+		t, err2 := strconv.Atoi(r.URL.Query().Get("t"))
+		if err1 != nil || err2 != nil {
+			httpError(w, http.StatusBadRequest, "user and t must be integers")
+			return
+		}
+		recs, err := e.Recommend(model.UserID(user), model.TimeStep(t))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, recommendResponse{User: model.UserID(user), T: model.TimeStep(t), Items: recs})
+	})
+	mux.HandleFunc("POST /v1/recommend/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
+			return
+		}
+		results, err := e.RecommendBatch(req.Users, req.T)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp := batchResponse{T: req.T, Results: make([]recommendResponse, len(req.Users))}
+		for i, u := range req.Users {
+			resp.Results[i] = recommendResponse{User: u, T: req.T, Items: results[i]}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/adopt", func(w http.ResponseWriter, r *http.Request) {
+		var ev Event
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			httpError(w, http.StatusBadRequest, "bad adoption event: "+err.Error())
+			return
+		}
+		if err := e.Feed(ev); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, map[string]bool{"queued": true})
+	})
+	mux.HandleFunc("POST /v1/advance", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Now model.TimeStep `json:"now"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad advance request: "+err.Error())
+			return
+		}
+		if err := e.SetNow(req.Now); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, map[string]int{"now": int(e.Now())})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.writeMetrics(w)
+	})
+	return mux
+}
+
+type recommendResponse struct {
+	User  model.UserID     `json:"user"`
+	T     model.TimeStep   `json:"t"`
+	Items []Recommendation `json:"items"`
+}
+
+type batchRequest struct {
+	Users []model.UserID `json:"users"`
+	T     model.TimeStep `json:"t"`
+}
+
+type batchResponse struct {
+	T       model.TimeStep      `json:"t"`
+	Results []recommendResponse `json:"results"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (in nanoseconds) of the meter's
+// geometric latency histogram: 250ns · 1.5^i, spanning ~250ns to ~10s in
+// 43 buckets. Percentiles are read as the upper bound of the bucket the
+// rank falls into, which bounds the error at the bucket's 1.5× width —
+// plenty for p50/p99 served over /metrics.
+var latencyBuckets = func() []int64 {
+	var bs []int64
+	for b := float64(250); b < 1e10; b *= 1.5 {
+		bs = append(bs, int64(b))
+	}
+	return bs
+}()
+
+// meter aggregates serving telemetry with lock-free counters on the hot
+// path; only /metrics scrapes take its mutex (to compute deltas between
+// scrapes for windowed QPS).
+type meter struct {
+	start time.Time
+
+	recommends atomic.Int64 // single-user lookups served
+	batchUsers atomic.Int64 // users served through batch lookups
+	feeds      atomic.Int64 // feedback events accepted
+
+	hist  [64]atomic.Int64 // single-lookup latency histogram (latencyBuckets)
+	bhist [64]atomic.Int64 // whole-batch-call latency histogram, kept separate
+	// so batch calls don't skew the per-lookup percentiles
+
+	mu          sync.Mutex // guards the scrape-delta state below
+	lastScrape  time.Time
+	lastServed  int64
+	lastScraped bool
+}
+
+func newMeter() *meter { return &meter{start: time.Now()} }
+
+// observe records one served single lookup's latency.
+func (m *meter) observe(d time.Duration) { record(&m.hist, d) }
+
+// observeBatch records one whole batch call's latency.
+func (m *meter) observeBatch(d time.Duration) { record(&m.bhist, d) }
+
+func record(hist *[64]atomic.Int64, d time.Duration) {
+	n := d.Nanoseconds()
+	for i, b := range latencyBuckets {
+		if n <= b {
+			hist[i].Add(1)
+			return
+		}
+	}
+	hist[len(latencyBuckets)-1].Add(1)
+}
+
+// served is the total number of user lookups (single + batch).
+func (m *meter) served() int64 { return m.recommends.Load() + m.batchUsers.Load() }
+
+// percentile returns the single-lookup latency at quantile p ∈ (0, 1].
+func (m *meter) percentile(p float64) time.Duration { return quantile(&m.hist, p) }
+
+// batchPercentile returns the batch-call latency at quantile p.
+func (m *meter) batchPercentile(p float64) time.Duration { return quantile(&m.bhist, p) }
+
+// quantile reads a histogram's value at quantile p (upper bucket bound).
+func quantile(hist *[64]atomic.Int64, p float64) time.Duration {
+	var counts [64]int64
+	var total int64
+	for i := range latencyBuckets {
+		counts[i] = hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts[:len(latencyBuckets)] {
+		seen += c
+		if seen >= rank {
+			return time.Duration(latencyBuckets[i])
+		}
+	}
+	return time.Duration(latencyBuckets[len(latencyBuckets)-1])
+}
+
+// qps returns (average QPS since start, QPS since the previous scrape).
+// The windowed figure is 0 on the first scrape.
+func (m *meter) qps() (avg, window float64) {
+	// now/served are captured inside the mutex so concurrent scrapes
+	// can't interleave and produce a negative window or a stale baseline.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	served := m.served()
+	up := now.Sub(m.start).Seconds()
+	if up > 0 {
+		avg = float64(served) / up
+	}
+	if m.lastScraped {
+		if dt := now.Sub(m.lastScrape).Seconds(); dt > 0 {
+			window = float64(served-m.lastServed) / dt
+		}
+	}
+	m.lastScrape, m.lastServed, m.lastScraped = now, served, true
+	return avg, window
+}
+
+// writeMetrics renders the engine's telemetry in Prometheus-style
+// plaintext exposition format.
+func (e *Engine) writeMetrics(w io.Writer) {
+	m := e.met
+	avg, window := m.qps()
+	p := e.plan.Load()
+	fmt.Fprintf(w, "# HELP revmaxd_uptime_seconds Seconds since the engine started.\n")
+	fmt.Fprintf(w, "revmaxd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	fmt.Fprintf(w, "# HELP revmaxd_recommend_total Single-user recommendation lookups served.\n")
+	fmt.Fprintf(w, "revmaxd_recommend_total %d\n", m.recommends.Load())
+	fmt.Fprintf(w, "# HELP revmaxd_recommend_batch_users_total Users served through batch lookups.\n")
+	fmt.Fprintf(w, "revmaxd_recommend_batch_users_total %d\n", m.batchUsers.Load())
+	fmt.Fprintf(w, "# HELP revmaxd_qps_avg Average lookups per second since start.\n")
+	fmt.Fprintf(w, "revmaxd_qps_avg %.3f\n", avg)
+	fmt.Fprintf(w, "# HELP revmaxd_qps_window Lookups per second since the previous scrape.\n")
+	fmt.Fprintf(w, "revmaxd_qps_window %.3f\n", window)
+	fmt.Fprintf(w, "# HELP revmaxd_latency_seconds Single-lookup latency quantiles (histogram upper bounds).\n")
+	fmt.Fprintf(w, "revmaxd_latency_seconds{quantile=\"0.5\"} %.9f\n", m.percentile(0.50).Seconds())
+	fmt.Fprintf(w, "revmaxd_latency_seconds{quantile=\"0.99\"} %.9f\n", m.percentile(0.99).Seconds())
+	fmt.Fprintf(w, "# HELP revmaxd_batch_latency_seconds Whole-batch-call latency quantiles.\n")
+	fmt.Fprintf(w, "revmaxd_batch_latency_seconds{quantile=\"0.5\"} %.9f\n", m.batchPercentile(0.50).Seconds())
+	fmt.Fprintf(w, "revmaxd_batch_latency_seconds{quantile=\"0.99\"} %.9f\n", m.batchPercentile(0.99).Seconds())
+	fmt.Fprintf(w, "# HELP revmaxd_feedback_total Feedback events accepted.\n")
+	fmt.Fprintf(w, "revmaxd_feedback_total %d\n", m.feeds.Load())
+	fmt.Fprintf(w, "# HELP revmaxd_adoptions_total Adoptions applied to the store.\n")
+	fmt.Fprintf(w, "revmaxd_adoptions_total %d\n", e.adoptions.Load())
+	fmt.Fprintf(w, "# HELP revmaxd_replans_total Background receding-horizon replans completed.\n")
+	fmt.Fprintf(w, "revmaxd_replans_total %d\n", e.replans.Load())
+	fmt.Fprintf(w, "# HELP revmaxd_plan_revision Revision of the live plan.\n")
+	fmt.Fprintf(w, "revmaxd_plan_revision %d\n", p.revision)
+	fmt.Fprintf(w, "# HELP revmaxd_plan_revenue Expected residual revenue of the live plan.\n")
+	fmt.Fprintf(w, "revmaxd_plan_revenue %.6f\n", p.revenue)
+	fmt.Fprintf(w, "# HELP revmaxd_plan_triples Recommendation triples in the live plan.\n")
+	fmt.Fprintf(w, "revmaxd_plan_triples %d\n", p.strategy.Len())
+	fmt.Fprintf(w, "# HELP revmaxd_clock Current engine time step.\n")
+	fmt.Fprintf(w, "revmaxd_clock %d\n", e.Now())
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// planEntry is one planned recommendation for a user, with the primitive
+// adoption probability and price cached so the serving hot path never
+// touches the instance's binary-searched candidate lists.
+type planEntry struct {
+	t     model.TimeStep
+	item  model.ItemID
+	class model.ClassID
+	beta  float64
+	q     float64
+	price float64
+}
+
+// plan is an immutable snapshot of a planned strategy, indexed for O(k)
+// per-(user, t) lookup. Readers load it through an atomic.Pointer; a
+// replan builds a fresh plan and swaps the pointer, so lookups never
+// block on planning (double buffering).
+type plan struct {
+	revision int64
+	strategy *model.Strategy
+	// perUser[u] holds u's planned entries sorted by (t, item); k and T
+	// are small, so binary search on t plus a short scan is O(log + k).
+	perUser [][]planEntry
+	// revenue is the expected residual revenue of the strategy at plan
+	// time (Definition 2 on the residual instance).
+	revenue float64
+	// plannedFrom is the first time step the plan conditions on (the
+	// engine clock when the plan was computed).
+	plannedFrom model.TimeStep
+}
+
+// buildPlan indexes s for serving. Primitive probabilities are read from
+// the *original* instance, not the residual one, because the serving
+// path re-applies the observed saturation memory per request; storing
+// residual q's would double-count it.
+func buildPlan(in *model.Instance, s *model.Strategy, revision int64, from model.TimeStep, revenue float64) *plan {
+	p := &plan{
+		revision:    revision,
+		strategy:    s,
+		perUser:     make([][]planEntry, in.NumUsers),
+		revenue:     revenue,
+		plannedFrom: from,
+	}
+	for _, z := range s.Triples() {
+		if int(z.U) < 0 || int(z.U) >= in.NumUsers {
+			continue
+		}
+		p.perUser[z.U] = append(p.perUser[z.U], planEntry{
+			t:     z.T,
+			item:  z.I,
+			class: in.Class(z.I),
+			beta:  in.Beta(z.I),
+			q:     in.Q(z.U, z.I, z.T),
+			price: in.Price(z.I, z.T),
+		})
+	}
+	for u := range p.perUser {
+		es := p.perUser[u]
+		sort.Slice(es, func(a, b int) bool {
+			if es[a].t != es[b].t {
+				return es[a].t < es[b].t
+			}
+			return es[a].item < es[b].item
+		})
+	}
+	return p
+}
+
+// entriesAt returns the planned entries for (u, t): a sub-slice of the
+// immutable per-user index, found by binary search on t.
+func (p *plan) entriesAt(u model.UserID, t model.TimeStep) []planEntry {
+	if int(u) < 0 || int(u) >= len(p.perUser) {
+		return nil
+	}
+	es := p.perUser[u]
+	lo := sort.Search(len(es), func(i int) bool { return es[i].t >= t })
+	hi := lo
+	for hi < len(es) && es[hi].t == t {
+		hi++
+	}
+	return es[lo:hi]
+}

@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// userState is the mutable per-user feedback record: which competition
+// classes the user already bought from, and when the user was exposed to
+// each class (the saturation memory of Eq. 1). It lives inside exactly
+// one shard and is only touched under that shard's lock.
+type userState struct {
+	adopted   map[model.ClassID]bool
+	exposures map[model.ClassID][]model.TimeStep
+}
+
+// shard is one lock domain of the user store. Reads (Recommend) take
+// RLock; feedback application takes Lock. Users hash to shards by ID, so
+// unrelated users never contend on the same mutex.
+type shard struct {
+	mu    sync.RWMutex
+	users map[model.UserID]*userState
+	_     [24]byte // pad toward a cache line to curb false sharing between shards
+}
+
+// shardCount returns the engine's shard count: the next power of two at
+// or above GOMAXPROCS, so the hash mask is a single AND and every P can
+// in principle own a shard.
+func shardCount(requested int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shardIndex hashes a user ID onto a shard. IDs are dense small
+// integers, so a multiplicative hash (Fibonacci hashing) spreads
+// consecutive IDs across shards instead of clustering them.
+func shardIndex(u model.UserID, mask uint32) uint32 {
+	h := uint32(u) * 2654435769 // 2^32 / φ
+	return (h >> 16) & mask
+}
+
+// state returns the user's record, allocating it on first touch. Callers
+// must hold the shard's write lock.
+func (s *shard) state(u model.UserID) *userState {
+	us := s.users[u]
+	if us == nil {
+		us = &userState{
+			adopted:   make(map[model.ClassID]bool),
+			exposures: make(map[model.ClassID][]model.TimeStep),
+		}
+		s.users[u] = us
+	}
+	return us
+}

@@ -1,0 +1,52 @@
+package revmax
+
+import (
+	"io"
+	"net/http"
+
+	"repro/internal/planner"
+	"repro/internal/serve"
+)
+
+// Online serving facade — the revmaxd subsystem: a sharded in-memory
+// store answering per-user recommendation lookups under concurrency,
+// with adoption feedback folded back into asynchronous receding-horizon
+// replans. See internal/serve for the concurrency architecture and
+// cmd/revmaxd for the daemon.
+type (
+	// ServeEngine is the online serving engine.
+	ServeEngine = serve.Engine
+	// ServeConfig tunes a ServeEngine (algorithm, shards, replan cadence).
+	ServeConfig = serve.Config
+	// ServeEvent is one adoption-feedback event.
+	ServeEvent = serve.Event
+	// ServeRecommendation is one served recommendation with its
+	// conditional adoption probability.
+	ServeRecommendation = serve.Recommendation
+	// ServeStats is the engine's point-in-time summary.
+	ServeStats = serve.Stats
+	// PlannerFeedback is the observation bundle a replan conditions on.
+	PlannerFeedback = planner.Feedback
+)
+
+// NewServeEngine plans an initial strategy for in and starts serving.
+func NewServeEngine(in *Instance, cfg ServeConfig) (*ServeEngine, error) {
+	return serve.NewEngine(in, cfg)
+}
+
+// RestoreServeEngine rebuilds an engine from a Snapshot image, serving
+// the snapshotted plan warm (no replan at boot).
+func RestoreServeEngine(r io.Reader, cfg ServeConfig) (*ServeEngine, error) {
+	return serve.Restore(r, cfg)
+}
+
+// ServeHandler returns the HTTP/JSON API over e (the routes revmaxd
+// mounts: /v1/recommend, /v1/recommend/batch, /v1/adopt, /v1/advance,
+// /v1/stats, /healthz, /metrics).
+func ServeHandler(e *ServeEngine) http.Handler { return serve.Handler(e) }
+
+// ResidualInstance builds the remaining-horizon instance induced by fb
+// on in — the replanning hook shared by Planner and ServeEngine.
+func ResidualInstance(in *Instance, fb PlannerFeedback) *Instance {
+	return planner.Residual(in, fb)
+}
