@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/poibin"
 	"repro/internal/revenue"
+	"repro/internal/scenario"
 )
 
 // benchCfg is the shared experiment scale for benchmarks.
@@ -300,6 +301,40 @@ func BenchmarkServeFeed(b *testing.B) {
 		}
 	}
 	e.Flush()
+}
+
+// --- Scenario suite benchmarks (internal/scenario) -----------------------
+
+// BenchmarkScenarioSuite times one full dual-path run (open-loop
+// Monte-Carlo + closed-loop serving rollouts) per workload archetype,
+// at reduced replication counts so the whole suite fits a bench smoke.
+// CI publishes the full-scale structured reports separately as
+// BENCH_scenarios.json via cmd/simulate.
+func BenchmarkScenarioSuite(b *testing.B) {
+	for _, sc := range scenario.Catalog() {
+		sc := sc
+		sc.Runs = 200
+		sc.Trajectories = 2
+		b.Run(sc.Name, func(b *testing.B) {
+			var r scenario.Runner
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Run(sc, uint64(i)+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioBuild isolates instance generation (testgen base +
+// hot-item overlay) from execution.
+func BenchmarkScenarioBuild(b *testing.B) {
+	sc := scenario.FlashSale()
+	for i := 0; i < b.N; i++ {
+		if _, err := scenario.Build(sc, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Ablation benchmarks (DESIGN.md design-choice index) -----------------

@@ -1,16 +1,32 @@
-// Command simulate replays a saved strategy against a saved instance
-// with the Monte-Carlo adoption simulator, reporting the realized
-// revenue distribution and comparing it to the analytic expectation.
+// Command simulate has two modes.
 //
-// Usage:
+// Replay mode (the original): replay a saved strategy against a saved
+// instance with the Monte-Carlo adoption simulator, reporting the
+// realized revenue distribution and comparing it to the analytic
+// expectation:
 //
 //	revmax -dataset amazon -save-instance inst.json -save-strategy strat.json
 //	simulate -instance inst.json -strategy strat.json -runs 20000 -stock
+//
+// Scenario mode: run one or all of the built-in workload archetypes
+// (internal/scenario) through both the open-loop and closed-loop
+// paths and report structured, deterministic Outcome JSON:
+//
+//	simulate -list-scenarios
+//	simulate -scenario flash-sale -seed 7 -json
+//	simulate -scenario all -seed 1 -json -out BENCH_scenarios.json
+//
+// With -canonical the non-deterministic timing section is zeroed, so
+// the bytes written for a fixed (scenario, seed) never change — the
+// form golden tests compare.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -18,48 +34,149 @@ import (
 	"repro/internal/model"
 	"repro/internal/poibin"
 	"repro/internal/revenue"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
 func main() {
-	instPath := flag.String("instance", "", "instance JSON file (required)")
-	stratPath := flag.String("strategy", "", "strategy JSON file (required)")
-	runs := flag.Int("runs", 10000, "Monte-Carlo replications")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	stock := flag.Bool("stock", false, "simulate inventory depletion (Definition 4 semantics)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/--help: usage already printed, exit 0
+		}
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
 
-	if *instPath == "" || *stratPath == "" {
-		fmt.Fprintln(os.Stderr, "simulate: -instance and -strategy are required")
-		os.Exit(2)
+// run is the testable entry point: it parses args and writes all
+// regular output to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	instPath := fs.String("instance", "", "instance JSON file (replay mode)")
+	stratPath := fs.String("strategy", "", "strategy JSON file (replay mode)")
+	runs := fs.Int("runs", 10000, "Monte-Carlo replications (replay mode)")
+	seed := fs.Uint64("seed", 1, "simulation / scenario seed")
+	stock := fs.Bool("stock", false, "simulate inventory depletion (Definition 4 semantics)")
+	scen := fs.String("scenario", "", "scenario name or 'all' (scenario mode)")
+	list := fs.Bool("list-scenarios", false, "list built-in scenarios and exit")
+	asJSON := fs.Bool("json", false, "scenario mode: emit JSON reports instead of text")
+	canonical := fs.Bool("canonical", false, "scenario mode: zero the timing section (deterministic bytes)")
+	outPath := fs.String("out", "", "scenario mode: write the report to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	in, err := loadInstance(*instPath)
-	if err != nil {
-		fail(err)
+
+	switch {
+	case *list:
+		for _, sc := range scenario.Catalog() {
+			fmt.Fprintf(stdout, "%-24s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	case *scen != "":
+		return runScenarios(*scen, *seed, *asJSON, *canonical, *outPath, stdout)
+	case *instPath != "" && *stratPath != "":
+		return runReplay(*instPath, *stratPath, *runs, *seed, *stock, stdout)
+	default:
+		return fmt.Errorf("either -scenario (scenario mode) or -instance and -strategy (replay mode) are required")
 	}
-	s, err := loadStrategy(*stratPath)
+}
+
+// runScenarios executes the named scenario ("all" for the whole
+// catalog) and renders the reports.
+func runScenarios(name string, seed uint64, asJSON, canonical bool, outPath string, stdout io.Writer) error {
+	var scs []scenario.Scenario
+	if name == "all" {
+		scs = scenario.Catalog()
+	} else {
+		sc, err := scenario.ByName(name)
+		if err != nil {
+			return err
+		}
+		scs = []scenario.Scenario{sc}
+	}
+	var r scenario.Runner
+	outcomes := make([]scenario.Outcome, 0, len(scs))
+	for _, sc := range scs {
+		out, err := r.Run(sc, seed)
+		if err != nil {
+			return err
+		}
+		if canonical {
+			out = out.Canonical()
+		}
+		outcomes = append(outcomes, out)
+	}
+
+	w := stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if len(outcomes) == 1 {
+			return enc.Encode(outcomes[0])
+		}
+		return enc.Encode(outcomes)
+	}
+	for _, out := range outcomes {
+		fmt.Fprintf(w, "scenario             : %s (%s)\n", out.Scenario, out.Description)
+		fmt.Fprintf(w, "instance             : %d users, %d items, T=%d, K=%d, %d candidates, %d mutations\n",
+			out.Users, out.Items, out.Horizon, out.K, out.Candidates, out.Mutations)
+		fmt.Fprintf(w, "open-loop revenue    : %.2f realized (planned %.2f, sd %.2f, %d runs)\n",
+			out.OpenLoop.MeanRevenue, out.OpenLoop.PlannedRevenue, out.OpenLoop.StdDev, out.OpenLoop.Replications)
+		fmt.Fprintf(w, "closed-loop revenue  : %.2f realized (sd %.2f, %d trajectories)\n",
+			out.ClosedLoop.MeanRevenue, out.ClosedLoop.StdDev, out.ClosedLoop.Replications)
+		fmt.Fprintf(w, "closed-loop gain     : %+.1f%% (regret vs open loop %.2f)\n",
+			out.ClosedLoopGainPct, out.RegretVsOpenLoop)
+		fmt.Fprintf(w, "stock utilization    : open %.1f%%, closed %.1f%%\n",
+			100*out.OpenLoop.StockUtilization, 100*out.ClosedLoop.StockUtilization)
+		fmt.Fprintf(w, "invariants           : valid=%v capacity=%d display=%d adopted-class=%d closed>=open=%v\n",
+			out.Invariants.OpenLoopStrategyValid, out.Invariants.CapacityViolations,
+			out.Invariants.DisplayViolations, out.Invariants.AdoptedClassRecs, out.Invariants.ClosedBeatsOpen)
+		fmt.Fprintf(w, "timing               : open %.1fms, closed %.1fms, batch p99 %dus, %d replans\n\n",
+			out.Timing.OpenLoopMillis, out.Timing.ClosedLoopMillis,
+			out.Timing.P99BatchMicros, out.Timing.Replans)
+	}
+	return nil
+}
+
+// runReplay is the original instance+strategy replay mode.
+func runReplay(instPath, stratPath string, runs int, seed uint64, stock bool, stdout io.Writer) error {
+	in, err := loadInstance(instPath)
 	if err != nil {
-		fail(err)
+		return err
+	}
+	s, err := loadStrategy(stratPath)
+	if err != nil {
+		return err
 	}
 	if err := in.CheckValid(s); err != nil {
-		fmt.Printf("note: strategy violates hard constraints (%v); simulating anyway\n", err)
+		fmt.Fprintf(stdout, "note: strategy violates hard constraints (%v); simulating anyway\n", err)
 	}
 
-	out := sim.Simulate(in, s, sim.Options{Runs: *runs, Seed: *seed, EnforceStock: *stock})
+	out := sim.Simulate(in, s, sim.Options{Runs: runs, Seed: seed, EnforceStock: stock})
 	expect := revenue.Revenue(in, s)
-	fmt.Printf("strategy size        : %d triples\n", s.Len())
-	fmt.Printf("analytic Rev(S)      : %.2f\n", expect)
-	if *stock {
+	fmt.Fprintf(stdout, "strategy size        : %d triples\n", s.Len())
+	fmt.Fprintf(stdout, "analytic Rev(S)      : %.2f\n", expect)
+	if stock {
 		eff := revenue.EffectiveRevenue(in, s, poibin.ExactOracle{})
-		fmt.Printf("effective revenue    : %.2f (Definition 4)\n", eff)
+		fmt.Fprintf(stdout, "effective revenue    : %.2f (Definition 4)\n", eff)
 	}
-	fmt.Printf("simulated mean       : %.2f (+/- %.2f at 95%%)\n",
+	fmt.Fprintf(stdout, "simulated mean       : %.2f (+/- %.2f at 95%%)\n",
 		out.MeanRevenue, 1.96*out.StdDev/math.Sqrt(float64(out.Runs)))
-	fmt.Printf("per-run sd           : %.2f\n", out.StdDev)
-	fmt.Printf("mean adoptions       : %.2f\n", out.MeanAdoptions)
-	if *stock {
-		fmt.Printf("stock-out losses     : %d attempts across %d runs\n", out.StockOuts, out.Runs)
+	fmt.Fprintf(stdout, "per-run sd           : %.2f\n", out.StdDev)
+	fmt.Fprintf(stdout, "mean adoptions       : %.2f\n", out.MeanAdoptions)
+	if stock {
+		fmt.Fprintf(stdout, "stock-out losses     : %d attempts across %d runs\n", out.StockOuts, out.Runs)
 	}
+	return nil
 }
 
 func loadInstance(path string) (*model.Instance, error) {
@@ -78,9 +195,4 @@ func loadStrategy(path string) (*model.Strategy, error) {
 	}
 	defer f.Close()
 	return codec.DecodeStrategy(f)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "simulate:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestListScenarios: the catalog renders one line per archetype.
+func TestListScenarios(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list-scenarios"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"flash-sale", "inventory-shock", "seasonal-drift",
+		"cold-start-burst", "price-war", "adversarial-saturation"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("scenario listing missing %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestRunRequiresMode: no mode flags is a usage error.
+func TestRunRequiresMode(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected a usage error with no flags")
+	}
+	if err := run([]string{"-scenario", "no-such"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("expected an error for an unknown scenario")
+	}
+}
+
+// TestScenarioGolden runs one scenario end to end through the CLI and
+// byte-compares the canonical JSON report against a golden file: the
+// determinism contract, enforced at the binary's boundary. The golden
+// bytes are platform-pinned (generated on amd64; FMA contraction can
+// flip last bits on arm64/ppc64). Regenerate with:
+// go test ./cmd/simulate -run TestScenarioGolden -update
+func TestScenarioGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs are not short")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "flash-sale", "-seed", "7", "-json", "-canonical"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "flash-sale.seed7.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("canonical scenario report drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestScenarioAllJSON: -scenario all emits a well-formed JSON array
+// with one outcome per catalog entry and zeroed timing under
+// -canonical.
+func TestScenarioAllJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs are not short")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-scenario", "all", "-seed", "3", "-json", "-canonical"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var outcomes []struct {
+		Scenario string `json:"scenario"`
+		Timing   struct {
+			OpenLoopMillis float64 `json:"open_loop_millis"`
+			Replans        int64   `json:"replans"`
+		} `json:"timing"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &outcomes); err != nil {
+		t.Fatalf("report is not a JSON array: %v", err)
+	}
+	if len(outcomes) < 6 {
+		t.Fatalf("report has %d outcomes, want >= 6", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.Timing.OpenLoopMillis != 0 || o.Timing.Replans != 0 {
+			t.Errorf("%s: -canonical left timing data in the report", o.Scenario)
+		}
+	}
+}
+
+// TestOutFileWriting: -out writes the report to the named file.
+func TestOutFileWriting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs are not short")
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := run([]string{"-scenario", "inventory-shock", "-seed", "2", "-json", "-out", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcome struct {
+		Scenario string `json:"scenario"`
+	}
+	if err := json.Unmarshal(data, &outcome); err != nil {
+		t.Fatal(err)
+	}
+	if outcome.Scenario != "inventory-shock" {
+		t.Fatalf("report names scenario %q", outcome.Scenario)
+	}
+}

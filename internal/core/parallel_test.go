@@ -1,6 +1,8 @@
 package core_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -34,6 +36,36 @@ func TestParallelDeterministicAcrossRuns(t *testing.T) {
 		b := core.RLGreedyParallel(in, 8, 7, 4)
 		if a.Revenue != b.Revenue || a.Strategy.Len() != b.Strategy.Len() {
 			t.Fatal("parallel RL-Greedy not deterministic")
+		}
+	}
+}
+
+// TestParallelByteIdenticalAcrossWorkers is the determinism regression
+// for the parallel path: for several seeds, RLGreedyParallel must
+// return the exact same strategy — triple for triple, not just equal
+// revenue — as sequential RLGreedy, for every worker count including
+// the GOMAXPROCS default. A scheduler-dependent reduction order would
+// show up here immediately.
+func TestParallelByteIdenticalAcrossWorkers(t *testing.T) {
+	rng := dist.NewRNG(45)
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, seed := range []uint64{1, 7, 1234, 99999} {
+		p := testgen.Default()
+		p.Users = 6
+		p.T = 4
+		in := testgen.Random(rng, p)
+		seq := core.RLGreedy(in, 8, seed)
+		want := fmt.Sprint(seq.Strategy.Triples())
+		for _, workers := range workerCounts {
+			par := core.RLGreedyParallel(in, 8, seed, workers)
+			if got := fmt.Sprint(par.Strategy.Triples()); got != want {
+				t.Errorf("seed %d workers %d: strategy diverged from sequential:\n got %s\nwant %s",
+					seed, workers, got, want)
+			}
+			if par.Revenue != seq.Revenue {
+				t.Errorf("seed %d workers %d: revenue %v != sequential %v",
+					seed, workers, par.Revenue, seq.Revenue)
+			}
 		}
 	}
 }

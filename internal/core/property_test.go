@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/matroid"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// propertyParams draws a varied instance shape for one property trial:
+// sizes, densities, display bounds, and saturation regimes all move, so
+// the constraint checks below are exercised across the input space
+// rather than at one comfortable operating point.
+func propertyParams(rng *dist.RNG) testgen.Params {
+	p := testgen.Params{
+		Users:    2 + rng.Intn(8),
+		Items:    2 + rng.Intn(8),
+		T:        1 + rng.Intn(5),
+		K:        1 + rng.Intn(3),
+		MaxCap:   1 + rng.Intn(4),
+		CandProb: rng.Uniform(0.2, 0.9),
+		MinPrice: 1,
+		MaxPrice: 100,
+	}
+	p.Classes = 1 + rng.Intn(p.Items)
+	if rng.Float64() < 0.3 {
+		p.UniformBeta = rng.Uniform(0.1, 1)
+	}
+	return p
+}
+
+// checkStrategy asserts s is valid on in through both implementations
+// of validity: the instance-level checker and the matroid-theoretic
+// view (display partition matroid ∩ capacity independence system).
+func checkStrategy(t *testing.T, trial int, algo string, in *model.Instance, s *model.Strategy) {
+	t.Helper()
+	if err := in.CheckValid(s); err != nil {
+		t.Errorf("trial %d: %s produced invalid strategy: %v", trial, algo, err)
+	}
+	display := matroid.NewPartition(in.K)
+	capacity := matroid.NewCapacity(func(i model.ItemID) int { return in.Capacity(i) })
+	if !matroid.NewIntersection(display, capacity).Independent(s) {
+		t.Errorf("trial %d: %s strategy not independent in display∩capacity system", trial, algo)
+	}
+	// Every selected triple must be a real candidate: algorithms may
+	// never invent (u,i,t) triples with q=0.
+	for _, z := range s.Triples() {
+		if in.Q(z.U, z.I, z.T) <= 0 {
+			t.Errorf("trial %d: %s selected non-candidate %v", trial, algo, z)
+		}
+	}
+}
+
+// TestPropertyAlgorithmsRespectConstraints is the property suite over
+// random testgen instances: every strategy any core algorithm returns
+// satisfies matroid independence (display), per-item capacity, and the
+// per-(user,t) display constraint.
+func TestPropertyAlgorithmsRespectConstraints(t *testing.T) {
+	rng := dist.NewRNG(2024)
+	for trial := 0; trial < 40; trial++ {
+		in := testgen.Random(rng, propertyParams(rng))
+		checkStrategy(t, trial, "GGreedy", in, core.GGreedy(in).Strategy)
+		checkStrategy(t, trial, "SLGreedy", in, core.SLGreedy(in).Strategy)
+		checkStrategy(t, trial, "RLGreedy", in, core.RLGreedy(in, 4, uint64(trial)).Strategy)
+		checkStrategy(t, trial, "RLGreedyParallel", in,
+			core.RLGreedyParallel(in, 4, uint64(trial), 3).Strategy)
+		checkStrategy(t, trial, "TopRE", in, core.TopRE(in).Strategy)
+		checkStrategy(t, trial, "GlobalNo", in, core.GlobalNo(in).Strategy)
+	}
+}
+
+// TestPropertyDriftedInstancesStayValid covers the generator's new
+// drift knobs: trended and cold-start instances remain well-formed and
+// algorithms stay constraint-correct on them.
+func TestPropertyDriftedInstancesStayValid(t *testing.T) {
+	rng := dist.NewRNG(77)
+	for trial := 0; trial < 20; trial++ {
+		p := propertyParams(rng)
+		p.QTrend = rng.Uniform(-0.8, 2)
+		p.PriceTrend = rng.Uniform(-0.5, 1)
+		p.ColdStartFrac = rng.Uniform(0, 0.8)
+		p.ColdStartStep = 1 + rng.Intn(p.T)
+		in := testgen.Random(rng, p)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: drifted instance invalid: %v", trial, err)
+		}
+		checkStrategy(t, trial, "GGreedy", in, core.GGreedy(in).Strategy)
+		// Late arrivals really have no candidates before their start step.
+		coldFrom := p.Users - int(p.ColdStartFrac*float64(p.Users))
+		for u := coldFrom; u < p.Users; u++ {
+			for _, c := range in.UserCandidates(model.UserID(u)) {
+				if int(c.T) < p.ColdStartStep {
+					t.Fatalf("trial %d: cold-start user %d has candidate %v before step %d",
+						trial, u, c.Triple, p.ColdStartStep)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package matching_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/matching"
+	"repro/internal/matroid"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// TestPropertyMyopicRespectsConstraints: the myopic matching baseline,
+// like every planner, must return strategies that are valid on the
+// instance — display partition matroid, per-item capacity, and only
+// real candidates — across random testgen instances.
+func TestPropertyMyopicRespectsConstraints(t *testing.T) {
+	rng := dist.NewRNG(909)
+	for trial := 0; trial < 25; trial++ {
+		p := testgen.Params{
+			Users:    2 + rng.Intn(7),
+			Items:    2 + rng.Intn(7),
+			T:        1 + rng.Intn(4),
+			K:        1 + rng.Intn(3),
+			MaxCap:   1 + rng.Intn(4),
+			CandProb: rng.Uniform(0.25, 0.9),
+			MinPrice: 1,
+			MaxPrice: 50,
+		}
+		p.Classes = 1 + rng.Intn(p.Items)
+		in := testgen.Random(rng, p)
+		s, err := matching.SolveMyopic(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := in.CheckValid(s); err != nil {
+			t.Errorf("trial %d: myopic strategy invalid: %v", trial, err)
+		}
+		display := matroid.NewPartition(in.K)
+		capacity := matroid.NewCapacity(func(i model.ItemID) int { return in.Capacity(i) })
+		if !matroid.NewIntersection(display, capacity).Independent(s) {
+			t.Errorf("trial %d: myopic strategy not independent in display∩capacity", trial)
+		}
+		for _, z := range s.Triples() {
+			if in.Q(z.U, z.I, z.T) <= 0 {
+				t.Errorf("trial %d: myopic selected non-candidate %v", trial, z)
+			}
+		}
+	}
+}
+
+// TestPropertySingleStepSolutions: per-step MaxDCS solutions respect
+// the same constraints restricted to their step, for every step of
+// random instances.
+func TestPropertySingleStepSolutions(t *testing.T) {
+	rng := dist.NewRNG(910)
+	for trial := 0; trial < 15; trial++ {
+		p := testgen.Default()
+		p.Users = 3 + rng.Intn(5)
+		p.T = 1 + rng.Intn(4)
+		p.CandProb = rng.Uniform(0.3, 0.9)
+		in := testgen.Random(rng, p)
+		for ts := model.TimeStep(1); int(ts) <= in.T; ts++ {
+			res, err := matching.SolveT1(in, ts)
+			if err != nil {
+				t.Fatalf("trial %d t=%d: %v", trial, ts, err)
+			}
+			if err := in.CheckValid(res.Strategy); err != nil {
+				t.Errorf("trial %d t=%d: invalid single-step strategy: %v", trial, ts, err)
+			}
+			for _, z := range res.Strategy.Triples() {
+				if z.T != ts {
+					t.Errorf("trial %d: SolveT1(%d) returned triple at t=%d", trial, ts, z.T)
+				}
+			}
+		}
+	}
+}

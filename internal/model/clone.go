@@ -1,5 +1,32 @@
 package model
 
+// Clone returns a deep copy of the instance: item parameters, prices,
+// and candidate lists are all freshly allocated, so mutating the clone
+// (mid-horizon price cuts, capacity shocks) never leaks into the
+// original. Scenario engines rely on this to hand each closed-loop
+// trajectory its own mutable world.
+func (in *Instance) Clone() *Instance {
+	c := &Instance{
+		NumUsers:   in.NumUsers,
+		T:          in.T,
+		K:          in.K,
+		Items:      append([]Item(nil), in.Items...),
+		prices:     make([][]float64, len(in.prices)),
+		cands:      make([][]Candidate, len(in.cands)),
+		classItems: make(map[ClassID][]ItemID, len(in.classItems)),
+	}
+	for i, ps := range in.prices {
+		c.prices[i] = append([]float64(nil), ps...)
+	}
+	for u, cs := range in.cands {
+		c.cands[u] = append([]Candidate(nil), cs...)
+	}
+	for cl, items := range in.classItems {
+		c.classItems[cl] = append([]ItemID(nil), items...)
+	}
+	return c
+}
+
 // ShallowCloneWithBeta returns a copy of the instance that shares price
 // and candidate storage with the original but overrides every item's
 // saturation factor with beta. It exists for the GlobalNo baseline of

@@ -282,3 +282,36 @@ func TestCheckValidProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Clone must be deep: mutating the clone's items, prices, or candidate
+// lists leaves the original untouched.
+func TestCloneIsDeep(t *testing.T) {
+	rng := dist.NewRNG(123)
+	in := testgen.Random(rng, testgen.Default())
+	c := in.Clone()
+
+	if c.NumUsers != in.NumUsers || c.NumItems() != in.NumItems() ||
+		c.T != in.T || c.K != in.K || c.NumCandidates() != in.NumCandidates() {
+		t.Fatal("clone shape differs from original")
+	}
+	origPrice := in.Price(0, 1)
+	origCap := in.Capacity(0)
+	origQ := in.UserCandidates(0)[0].Q
+
+	c.SetPrice(0, 1, origPrice+999)
+	c.SetItem(0, c.Class(0), c.Beta(0), origCap+7)
+	c.UserCandidates(0)[0].Q = 0.123456
+
+	if in.Price(0, 1) != origPrice {
+		t.Fatal("price mutation leaked into the original")
+	}
+	if in.Capacity(0) != origCap {
+		t.Fatal("item mutation leaked into the original")
+	}
+	if in.UserCandidates(0)[0].Q != origQ {
+		t.Fatal("candidate mutation leaked into the original")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+}

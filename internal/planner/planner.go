@@ -136,6 +136,17 @@ func (p *Planner) Observe(issued []Recommendation, adopted []model.Triple) error
 	return nil
 }
 
+// SetStock overrides item i's remaining stock — an exogenous inventory
+// event (mid-horizon shock, restock) observed between steps, as opposed
+// to adoption-driven depletion which Observe applies itself. The next
+// PlanStep replans against the new stock. Negative n clamps to zero.
+func (p *Planner) SetStock(i model.ItemID, n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.stock[i] = n
+}
+
 // conditionalProb is the adoption probability of z given observations:
 // primitive q, discounted by saturation from *realized* exposures, and 0
 // if the user already bought from the class or stock is gone.

@@ -121,6 +121,37 @@ func TestStockDepletionRemovesItem(t *testing.T) {
 	}
 }
 
+func TestSetStockShockRemovesItem(t *testing.T) {
+	// Same shape as the depletion test, but stock vanishes through an
+	// exogenous shock between steps instead of an adoption: user 1's
+	// t=2 recommendation must disappear from the replanned step.
+	in := model.NewInstance(2, 1, 2, 1)
+	in.SetItem(0, 0, 1, 2)
+	for tt := 1; tt <= 2; tt++ {
+		in.SetPrice(0, model.TimeStep(tt), 10)
+	}
+	in.AddCandidate(0, 0, 1, 0.9)
+	in.AddCandidate(1, 0, 2, 0.9)
+	in.FinishCandidates()
+
+	p := planner.New(in, ggAlgo)
+	recs, err := p.PlanStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Observe(recs, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.SetStock(0, -4) // clamps to zero
+	recs, err = p.PlanStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("t=2: shocked-out item still recommended: %v", recs)
+	}
+}
+
 func TestSaturationMemoryCarriesAcrossSteps(t *testing.T) {
 	// One user, one item, strong saturation: after a rejected exposure at
 	// t=1, the conditional probability at t=2 must be q·β^1.

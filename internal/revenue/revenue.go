@@ -203,9 +203,22 @@ func (ev *Evaluator) Remove(z model.Triple) float64 {
 // incremental evaluator and to score algorithm outputs.
 func Revenue(in *model.Instance, s *model.Strategy) float64 {
 	groups := collectGroups(in, s)
+	// Sum in sorted group order: float addition is not associative, so
+	// map-order iteration would make the last bits of Rev(S) vary run to
+	// run — enough to break byte-identical scenario reports.
+	keys := make([]groupKey, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].u != keys[b].u {
+			return keys[a].u < keys[b].u
+		}
+		return keys[a].c < keys[b].c
+	})
 	total := 0.0
-	for _, g := range groups {
-		total += groupRevenue(in, g)
+	for _, key := range keys {
+		total += groupRevenue(in, groups[key])
 	}
 	return total
 }

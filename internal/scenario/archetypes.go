@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/testgen"
+)
+
+// base returns the shared generator defaults the archetypes specialize.
+func base() testgen.Params {
+	return testgen.Params{
+		Users: 40, Items: 8, Classes: 4, T: 6, K: 2,
+		MaxCap: 5, CandProb: 0.35, MinPrice: 5, MaxPrice: 60,
+	}
+}
+
+// FlashSale is a capacity crunch: two items become one scarce, hot
+// class with prices boosted 8× during a two-step sale window. The open
+// loop burns its few units on whoever comes first; the closed loop
+// replans around depleted stock mid-sale.
+func FlashSale() Scenario {
+	g := Gen{Params: base()}
+	g.Users = 48
+	g.Items = 10
+	g.Classes = 5
+	g.MaxCap = 6
+	g.HotItems = 2
+	g.HotCapacity = 3
+	g.HotPriceFactor = 8
+	g.HotFrom, g.HotTo = 2, 3
+	return Scenario{
+		Name:         "flash-sale",
+		Description:  "two hot items, 8x prices in a 2-step window, capacity pinched to 3 units each",
+		Gen:          g,
+		Adoption:     Adoption{Kind: AdoptTruthful},
+		Runs:         1200,
+		Trajectories: 8,
+	}
+}
+
+// InventoryShock wipes out most of the stock of three items at the
+// horizon midpoint — a supplier failure the open-loop plan keeps
+// recommending into.
+func InventoryShock() Scenario {
+	g := Gen{Params: base()}
+	g.CandProb = 0.4
+	return Scenario{
+		Name:        "inventory-shock",
+		Description: "items 0-2 lose nearly all remaining stock at t=3; open loop keeps selling ghosts",
+		Gen:         g,
+		Timeline: []Mutation{
+			{Kind: MutStockShock, At: 3, Item: 0, Stock: 0},
+			{Kind: MutStockShock, At: 3, Item: 1, Stock: 1},
+			{Kind: MutStockShock, At: 3, Item: 2, Stock: 0},
+		},
+		Adoption:     Adoption{Kind: AdoptTruthful},
+		Runs:         1200,
+		Trajectories: 8,
+	}
+}
+
+// SeasonalDrift ramps demand and prices across a long horizon: adoption
+// probabilities more than double by the final step and prices rise 50%,
+// so late slots are worth far more than early ones.
+func SeasonalDrift() Scenario {
+	g := Gen{Params: base()}
+	g.T = 8
+	g.CandProb = 0.3
+	g.QTrend = 1.2
+	g.PriceTrend = 0.5
+	return Scenario{
+		Name:         "seasonal-drift",
+		Description:  "demand ramps 2.2x and prices 1.5x across an 8-step horizon",
+		Gen:          g,
+		Adoption:     Adoption{Kind: AdoptTruthful},
+		Runs:         1200,
+		Trajectories: 8,
+	}
+}
+
+// ColdStartBurst floods the market with late arrivals: half the user
+// base has no candidates before step 4, under capacities tight enough
+// that stock reserved for them is stock denied to early users.
+func ColdStartBurst() Scenario {
+	g := Gen{Params: base()}
+	g.Users = 60
+	g.MaxCap = 3
+	g.ColdStartFrac = 0.5
+	g.ColdStartStep = 4
+	return Scenario{
+		Name:         "cold-start-burst",
+		Description:  "half the users arrive at t=4 under tight capacity (max 3 units/item)",
+		Gen:          g,
+		Adoption:     Adoption{Kind: AdoptTruthful},
+		Runs:         1200,
+		Trajectories: 8,
+	}
+}
+
+// PriceWar undercuts one competition class 65% at the horizon
+// midpoint: revenue booked on the open-loop plan's class-1 picks
+// evaporates, while the closed loop shifts spend to unaffected classes.
+func PriceWar() Scenario {
+	g := Gen{Params: base()}
+	g.CandProb = 0.4
+	return Scenario{
+		Name:        "price-war",
+		Description: "class 1 prices cut to 35% from t=4 onward",
+		Gen:         g,
+		Timeline: []Mutation{
+			{Kind: MutPriceCut, At: 4, Class: 1, Factor: 0.35},
+		},
+		Adoption:     Adoption{Kind: AdoptTruthful},
+		Runs:         1200,
+		Trajectories: 8,
+	}
+}
+
+// AdversarialSaturation is a repeat-exposure stress: four items in a
+// single competition class, dense candidates at every step, and a
+// brutal saturation factor (β = 0.25), under users who adopt 20% less
+// than the model predicts. Strategies that hammer users with repeats
+// are punished twice — by saturation and by mis-calibration.
+func AdversarialSaturation() Scenario {
+	g := Gen{Params: base()}
+	g.Users = 36
+	g.Items = 4
+	g.Classes = 1
+	g.T = 8
+	g.K = 1
+	g.MaxCap = 8
+	g.CandProb = 0.9
+	g.UniformBeta = 0.25
+	return Scenario{
+		Name:         "adversarial-saturation",
+		Description:  "one class, candidates every step, beta 0.25, users adopt 20% under model",
+		Gen:          g,
+		Adoption:     Adoption{Kind: AdoptReluctant, Factor: 0.8},
+		Runs:         1200,
+		Trajectories: 8,
+	}
+}
+
+// Catalog returns every built-in archetype in stable name order.
+func Catalog() []Scenario {
+	all := []Scenario{
+		FlashSale(),
+		InventoryShock(),
+		SeasonalDrift(),
+		ColdStartBurst(),
+		PriceWar(),
+		AdversarialSaturation(),
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].Name < all[b].Name })
+	return all
+}
+
+// ByName looks up a built-in archetype.
+func ByName(name string) (Scenario, error) {
+	for _, sc := range Catalog() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q", name)
+}
+
+// Names returns the catalog's scenario names in order.
+func Names() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, sc := range cat {
+		out[i] = sc.Name
+	}
+	return out
+}

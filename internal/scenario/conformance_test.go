@@ -1,0 +1,101 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestConformance runs every archetype through both paths and asserts
+// the cross-path invariants the runner verifies while executing:
+//
+//   - the open-loop plan is valid (display + capacity constraints),
+//   - closed-loop adoptions never exceed remaining stock, and the
+//     engine's lock-free stock agrees with the harness ledger at every
+//     step boundary,
+//   - no user is served more than K recommendations at one step,
+//   - no recommendation is served with positive probability for a
+//     class the user adopted from at an earlier step,
+//   - under truthful adoption, closed-loop revenue is at least
+//     open-loop revenue (up to the Monte-Carlo tolerance),
+//   - report plausibility: utilizations in [0,1], non-negative
+//     revenue, replication counts as configured.
+//
+// The suite runs at full configured scale under -race in CI.
+func TestConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs are not short")
+	}
+	var r scenario.Runner
+	for _, sc := range scenario.Catalog() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			out, err := r.Run(sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inv := out.Invariants
+			if !inv.OpenLoopStrategyValid {
+				t.Error("open-loop strategy violates display/capacity constraints")
+			}
+			if inv.CapacityViolations != 0 {
+				t.Errorf("%d capacity violations (ledger/engine stock divergence)", inv.CapacityViolations)
+			}
+			if inv.DisplayViolations != 0 {
+				t.Errorf("%d display-constraint violations", inv.DisplayViolations)
+			}
+			if inv.AdoptedClassRecs != 0 {
+				t.Errorf("%d recommendations served after class adoption", inv.AdoptedClassRecs)
+			}
+			if inv.TruthfulAdoption && !inv.ClosedBeatsOpen {
+				t.Errorf("closed loop (%.2f) fell behind open loop (%.2f) under truthful adoption",
+					out.ClosedLoop.MeanRevenue, out.OpenLoop.MeanRevenue)
+			}
+			for _, p := range []scenario.PathReport{out.OpenLoop, out.ClosedLoop} {
+				if p.MeanRevenue < 0 || p.StdDev < 0 || p.MeanAdoptions < 0 || p.MeanStockOuts < 0 {
+					t.Errorf("negative path statistic: %+v", p)
+				}
+				if p.StockUtilization < 0 || p.StockUtilization > 1 {
+					t.Errorf("stock utilization %v outside [0,1]", p.StockUtilization)
+				}
+			}
+			if out.OpenLoop.Replications != sc.Runs || out.ClosedLoop.Replications != sc.Trajectories {
+				t.Errorf("replication counts %d/%d, want %d/%d",
+					out.OpenLoop.Replications, out.ClosedLoop.Replications, sc.Runs, sc.Trajectories)
+			}
+			if out.Mutations != len(sc.Timeline) {
+				t.Errorf("report says %d mutations, scenario has %d", out.Mutations, len(sc.Timeline))
+			}
+		})
+	}
+}
+
+// TestConformanceAcrossSeeds re-asserts the hard invariants (validity,
+// capacity, display, adopted-class) over several seeds at reduced
+// scale: they must hold for *every* world, not just the default one.
+func TestConformanceAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs are not short")
+	}
+	var r scenario.Runner
+	for _, sc := range scenario.Catalog() {
+		sc := sc
+		sc.Runs = 100
+		sc.Trajectories = 2
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(2); seed <= 4; seed++ {
+				out, err := r.Run(sc, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				inv := out.Invariants
+				if !inv.OpenLoopStrategyValid || inv.CapacityViolations != 0 ||
+					inv.DisplayViolations != 0 || inv.AdoptedClassRecs != 0 {
+					t.Errorf("seed %d: hard invariant violated: %+v", seed, inv)
+				}
+			}
+		})
+	}
+}

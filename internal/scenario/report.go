@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// PathReport summarizes one execution path of a scenario.
+type PathReport struct {
+	// PlannedRevenue is the analytic Rev(S) (Definition 2) of the
+	// initial full-horizon plan on the pristine instance — what the
+	// planner believed it would earn before the world moved.
+	PlannedRevenue float64 `json:"planned_revenue"`
+	// MeanRevenue is the realized revenue, averaged over Runs
+	// (open loop) or Trajectories (closed loop), accounted at
+	// post-mutation prices.
+	MeanRevenue float64 `json:"mean_revenue"`
+	// StdDev is the per-replication standard deviation of revenue.
+	StdDev float64 `json:"std_dev"`
+	// MeanAdoptions is the average number of successful purchases.
+	MeanAdoptions float64 `json:"mean_adoptions"`
+	// MeanStockOuts is the average number of adoption attempts lost to
+	// empty stock per replication.
+	MeanStockOuts float64 `json:"mean_stock_outs"`
+	// StockUtilization is MeanAdoptions over the total initial
+	// capacity: how much of the sellable inventory the path converted.
+	StockUtilization float64 `json:"stock_utilization"`
+	// Replications is Runs (open loop) or Trajectories (closed loop).
+	Replications int `json:"replications"`
+}
+
+// Invariants records the cross-path conformance checks the runner
+// verifies while executing; the conformance suite asserts them.
+type Invariants struct {
+	// OpenLoopStrategyValid: the open-loop plan satisfies the display
+	// and capacity constraints (model.CheckValid).
+	OpenLoopStrategyValid bool `json:"open_loop_strategy_valid"`
+	// CapacityViolations counts (item, step) pairs at which the serving
+	// engine's lock-free stock diverged from the harness's independent
+	// ledger at a step boundary (must be 0). The ledger itself gates
+	// every adoption at remaining stock, so a nonzero count means the
+	// engine and the ground-truth inventory disagree — the closed
+	// loop's capacity accounting is broken, not merely oversold.
+	CapacityViolations int `json:"capacity_violations"`
+	// DisplayViolations counts (user, step) pairs served more than K
+	// recommendations in the closed loop (must be 0).
+	DisplayViolations int `json:"display_violations"`
+	// AdoptedClassRecs counts recommendations served with positive
+	// probability for a class the user had already adopted from in an
+	// earlier step (must be 0: the engine zeroes them).
+	AdoptedClassRecs int `json:"adopted_class_recs"`
+	// TruthfulAdoption marks whether the scenario's adoption model is
+	// truthful — the precondition of the closed≥open guarantee.
+	TruthfulAdoption bool `json:"truthful_adoption"`
+	// ClosedBeatsOpen: closed-loop mean revenue ≥ open-loop mean
+	// revenue, up to the Monte-Carlo noise floor of the finite
+	// replication counts (ClosedOpenTolerance). Guaranteed only under
+	// truthful adoption.
+	ClosedBeatsOpen bool `json:"closed_beats_open"`
+}
+
+// ClosedOpenTolerance is the relative slack the ClosedBeatsOpen
+// invariant grants the closed loop: both sides are finite-sample Monte
+// Carlo estimates of their expectations, so when the two policies are
+// nearly identical (e.g. a scenario where replanning has little to
+// exploit), the sampled means can straddle each other by a hair even
+// though the closed loop dominates in expectation.
+const ClosedOpenTolerance = 0.02
+
+// Timing holds the wall-clock measurements of a run. It is the one
+// non-deterministic section of an Outcome and is zeroed by Canonical.
+type Timing struct {
+	OpenLoopMillis   float64 `json:"open_loop_millis"`
+	ClosedLoopMillis float64 `json:"closed_loop_millis"`
+	// P50/P99BatchMicros are the serving engine's whole-batch-call
+	// latency percentiles observed during the last closed-loop
+	// trajectory (the closed loop serves through RecommendBatch).
+	P50BatchMicros int64 `json:"p50_batch_micros"`
+	P99BatchMicros int64 `json:"p99_batch_micros"`
+	// Replans is the total replan count across all closed-loop
+	// trajectories. It lives here rather than in PathReport because
+	// back-to-back replan triggers (a stock shock immediately followed
+	// by a clock advance) coalesce or not depending on scheduler
+	// timing; the *plan served at each step* is deterministic, the
+	// number of intermediate recomputations is not.
+	Replans int64 `json:"replans"`
+}
+
+// Outcome is the structured report of one scenario run. Every field
+// except Timing is a pure function of (Scenario, seed).
+type Outcome struct {
+	Scenario    string `json:"scenario"`
+	Description string `json:"description"`
+	Seed        uint64 `json:"seed"`
+
+	// Instance shape, for report self-containment.
+	Users         int `json:"users"`
+	Items         int `json:"items"`
+	Horizon       int `json:"horizon"`
+	K             int `json:"k"`
+	Candidates    int `json:"candidates"`
+	TotalCapacity int `json:"total_capacity"`
+	Mutations     int `json:"mutations"`
+
+	OpenLoop   PathReport `json:"open_loop"`
+	ClosedLoop PathReport `json:"closed_loop"`
+
+	// RegretVsOpenLoop is OpenLoop.MeanRevenue − ClosedLoop.MeanRevenue:
+	// the revenue the closed loop left on the table relative to the
+	// open-loop baseline. Negative means replanning beat the baseline.
+	RegretVsOpenLoop float64 `json:"regret_vs_open_loop"`
+	// ClosedLoopGainPct is the closed-loop revenue gain over the open
+	// loop in percent.
+	ClosedLoopGainPct float64 `json:"closed_loop_gain_pct"`
+
+	Invariants Invariants `json:"invariants"`
+	Timing     Timing     `json:"timing"`
+}
+
+// Canonical returns the outcome with its non-deterministic Timing
+// section zeroed: the part of the report that is byte-identical for a
+// fixed (Scenario, seed) — the determinism contract of the suite.
+func (o Outcome) Canonical() Outcome {
+	o.Timing = Timing{}
+	return o
+}
+
+// CanonicalJSON marshals the canonical outcome with stable, indented
+// formatting. Two runs of the same (Scenario, seed) produce identical
+// bytes; determinism tests and golden files compare exactly this.
+func (o Outcome) CanonicalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o.Canonical()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,320 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/revenue"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Runner executes scenarios. The zero value plans with G-Greedy.
+type Runner struct {
+	// Algorithm plans full-horizon and residual strategies for both
+	// paths. nil means G-Greedy (Algorithm 1).
+	Algorithm planner.Algorithm
+}
+
+func (r Runner) algorithm() planner.Algorithm {
+	if r.Algorithm != nil {
+		return r.Algorithm
+	}
+	return func(in *model.Instance) *model.Strategy { return core.GGreedy(in).Strategy }
+}
+
+// Run executes sc through both paths at the given seed and reports the
+// outcome. Everything except Outcome.Timing is deterministic in
+// (sc, seed).
+func (r Runner) Run(sc Scenario, seed uint64) (Outcome, error) {
+	if sc.Runs <= 0 {
+		sc.Runs = 1000
+	}
+	if sc.Trajectories <= 0 {
+		sc.Trajectories = 8
+	}
+	in, err := Build(sc, seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	totalCap := 0
+	for i := 0; i < in.NumItems(); i++ {
+		totalCap += in.Capacity(model.ItemID(i))
+	}
+	out := Outcome{
+		Scenario:      sc.Name,
+		Description:   sc.Description,
+		Seed:          seed,
+		Users:         in.NumUsers,
+		Items:         in.NumItems(),
+		Horizon:       in.T,
+		K:             in.K,
+		Candidates:    in.NumCandidates(),
+		TotalCapacity: totalCap,
+		Mutations:     len(sc.Timeline),
+	}
+	out.Invariants.TruthfulAdoption = sc.Adoption.Kind != AdoptReluctant
+
+	prices := priceTable(in, sc.Timeline)
+	shocks := stockShocksAt(sc.Timeline)
+
+	openStart := time.Now()
+	r.openLoop(sc, seed, in, prices, shocks, totalCap, &out)
+	out.Timing.OpenLoopMillis = float64(time.Since(openStart).Microseconds()) / 1000
+
+	closedStart := time.Now()
+	if err := r.closedLoop(sc, seed, in, prices, shocks, totalCap, &out); err != nil {
+		return Outcome{}, err
+	}
+	out.Timing.ClosedLoopMillis = float64(time.Since(closedStart).Microseconds()) / 1000
+
+	out.RegretVsOpenLoop = out.OpenLoop.MeanRevenue - out.ClosedLoop.MeanRevenue
+	if out.OpenLoop.MeanRevenue > 0 {
+		out.ClosedLoopGainPct = 100 * (out.ClosedLoop.MeanRevenue/out.OpenLoop.MeanRevenue - 1)
+	}
+	out.Invariants.ClosedBeatsOpen = out.ClosedLoop.MeanRevenue >= out.OpenLoop.MeanRevenue*(1-ClosedOpenTolerance)
+	return out, nil
+}
+
+// openLoop plans once on the pristine instance and Monte-Carlo
+// simulates the plan against the mutated world: the planner never
+// learns about mid-horizon shocks or price cuts — that blindness is
+// exactly what the regret metric prices.
+func (r Runner) openLoop(sc Scenario, seed uint64, in *model.Instance,
+	prices [][]float64, shocks map[model.TimeStep][]Mutation, totalCap int, out *Outcome) {
+	strat := r.algorithm()(in)
+	out.OpenLoop.PlannedRevenue = revenue.Revenue(in, strat)
+	out.Invariants.OpenLoopStrategyValid = in.CheckValid(strat) == nil
+
+	res := sim.Simulate(in, strat, sim.Options{
+		Runs:         sc.Runs,
+		Seed:         instanceSeed(sc.Name, seed) ^ 0xA5A5,
+		EnforceStock: true,
+		OnStep: func(t model.TimeStep, stock []int) {
+			for _, m := range shocks[t] {
+				if stock[m.Item] > m.Stock {
+					stock[m.Item] = m.Stock
+				}
+			}
+		},
+		PriceAt: func(i model.ItemID, t model.TimeStep) float64 {
+			return prices[i][t-1]
+		},
+	})
+	out.OpenLoop.MeanRevenue = res.MeanRevenue
+	out.OpenLoop.StdDev = res.StdDev
+	out.OpenLoop.MeanAdoptions = res.MeanAdoptions
+	out.OpenLoop.MeanStockOuts = float64(res.StockOuts) / float64(res.Runs)
+	out.OpenLoop.StockUtilization = res.MeanAdoptions / float64(totalCap)
+	out.OpenLoop.Replications = res.Runs
+}
+
+// closedLoop rolls the serving engine through the horizon
+// Trajectories times: each step it serves RecommendBatch, draws
+// adoptions from the engine's quoted conditional probabilities, feeds
+// the outcomes back, applies due timeline mutations, and advances the
+// clock with a forced replan — the Recommend/Adopt/Advance cycle of a
+// deployed system, made deterministic by flushing at step boundaries.
+func (r Runner) closedLoop(sc Scenario, seed uint64, pristine *model.Instance,
+	prices [][]float64, shocks map[model.TimeStep][]Mutation, totalCap int, out *Outcome) error {
+	algo := r.algorithm()
+	users := make([]model.UserID, pristine.NumUsers)
+	for u := range users {
+		users[u] = model.UserID(u)
+	}
+	revs := make([]float64, sc.Trajectories)
+	adoptions, stockOuts := 0, 0
+	for k := 0; k < sc.Trajectories; k++ {
+		// Each trajectory owns a mutable clone of the world: price cuts
+		// applied mid-run must not leak into the pristine instance or
+		// sibling trajectories.
+		world := pristine.Clone()
+		eng, err := serve.NewEngine(world, serve.Config{
+			Algorithm: algo,
+			Shards:    4,
+			// Replans happen only at step boundaries (SetNow forces one;
+			// Flush covers pending adoptions), keeping trajectories
+			// independent of feedback-queue timing.
+			ReplanEvery: 1 << 30,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		if k == 0 {
+			out.ClosedLoop.PlannedRevenue = revenue.Revenue(world, eng.Strategy())
+		}
+		tr, err := r.trajectory(sc, seed, k, eng, world, users, prices, shocks, out)
+		if err != nil {
+			eng.Close()
+			return fmt.Errorf("scenario %q trajectory %d: %w", sc.Name, k, err)
+		}
+		revs[k] = tr.revenue
+		adoptions += tr.adoptions
+		stockOuts += tr.stockOuts
+		eng.Close()
+		st := eng.Stats()
+		out.Timing.Replans += st.Replans
+		if k == sc.Trajectories-1 {
+			out.Timing.P50BatchMicros = st.BatchP50Micros
+			out.Timing.P99BatchMicros = st.BatchP99Micros
+		}
+	}
+	out.ClosedLoop.MeanRevenue = dist.Mean(revs)
+	out.ClosedLoop.StdDev = dist.StdDev(revs)
+	out.ClosedLoop.MeanAdoptions = float64(adoptions) / float64(sc.Trajectories)
+	out.ClosedLoop.MeanStockOuts = float64(stockOuts) / float64(sc.Trajectories)
+	out.ClosedLoop.StockUtilization = out.ClosedLoop.MeanAdoptions / float64(totalCap)
+	out.ClosedLoop.Replications = sc.Trajectories
+	return nil
+}
+
+// trajResult is one closed-loop rollout's tally.
+type trajResult struct {
+	revenue   float64
+	adoptions int
+	stockOuts int
+}
+
+// trajectory drives one full closed-loop rollout. The harness keeps
+// its own stock ledger and per-user adoption record so it can verify
+// the engine's answers (capacity, display, adopted-class invariants)
+// rather than trusting them.
+//
+// Determinism: the engine is only observed at step boundaries, after
+// Flush guarantees all enqueued feedback is applied and the last replan
+// covering it has been installed. The interleaving of intermediate
+// replans varies run to run — only their count (reported under Timing)
+// is affected, never the plan the next step is served from.
+func (r Runner) trajectory(sc Scenario, seed uint64, k int, eng *serve.Engine,
+	world *model.Instance, users []model.UserID,
+	prices [][]float64, shocks map[model.TimeStep][]Mutation, out *Outcome) (trajResult, error) {
+	rng := dist.NewRNG(instanceSeed(sc.Name, seed)*0x2545F4914F6CDD1D + uint64(k) + 1)
+	stock := make([]int, world.NumItems())
+	for i := range stock {
+		stock[i] = world.Capacity(model.ItemID(i))
+	}
+	// adoptedAt[u][c] is the step at which u adopted from class c.
+	adoptedAt := make(map[model.UserID]map[model.ClassID]model.TimeStep)
+	var res trajResult
+
+	// cuts are the price mutations in timeline order; a cut touches the
+	// world only once the clock reaches its activation step — the
+	// closed loop must not get clairvoyant foresight of future prices.
+	var cuts []Mutation
+	for _, m := range sc.Timeline {
+		if m.Kind == MutPriceCut {
+			cuts = append(cuts, m)
+		}
+	}
+
+	// applyWorld installs the mutations active at step t: prices
+	// directly on the world instance (safe: the feedback loop is idle
+	// after a Flush), stock shocks through the engine so its
+	// serving-path atomics and the harness ledger stay in lockstep.
+	// Residual rows tt ≥ t carry exactly the cuts with At ≤ t; future
+	// cuts stay invisible until their step arrives.
+	applyWorld := func(t model.TimeStep) error {
+		for _, m := range cuts {
+			if m.At != t {
+				continue // not activating right now (earlier cuts already applied)
+			}
+			for _, i := range world.ClassItems(m.Class) {
+				for tt := int(m.At); tt <= world.T; tt++ {
+					world.SetPrice(i, model.TimeStep(tt), world.Price(i, model.TimeStep(tt))*m.Factor)
+				}
+			}
+		}
+		for _, m := range shocks[t] {
+			if stock[m.Item] > m.Stock {
+				stock[m.Item] = m.Stock
+				if err := eng.SetStock(m.Item, m.Stock); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := applyWorld(1); err != nil {
+		return res, err
+	}
+	if err := eng.SetNow(1); err != nil { // forces a replan over t=1 mutations
+		return res, err
+	}
+	eng.Flush()
+
+	for t := model.TimeStep(1); int(t) <= world.T; t++ {
+		// Cross-path consistency: after a flush the engine's lock-free
+		// stock must agree with the harness ledger exactly.
+		for i := range stock {
+			if got, err := eng.Stock(model.ItemID(i)); err != nil || got != stock[i] {
+				out.Invariants.CapacityViolations++
+			}
+		}
+		batch, err := eng.RecommendBatch(users, t)
+		if err != nil {
+			return res, err
+		}
+		for ui, recs := range batch {
+			u := users[ui]
+			shown := 0
+			for _, rec := range recs {
+				if rec.Prob <= 0 {
+					continue // engine suppressed it (adopted class / no stock)
+				}
+				c := world.Class(rec.Item)
+				if at, ok := adoptedAt[u][c]; ok && at < t {
+					// The engine must zero recommendations for classes the
+					// user adopted from in an *earlier* step; same-step
+					// duplicates were planned before the adoption was known
+					// and are handled below, not counted as violations.
+					out.Invariants.AdoptedClassRecs++
+					continue
+				}
+				shown++
+				coin := rng.Float64() < sc.Adoption.prob(rec.Prob)
+				ev := serve.Event{User: u, Item: rec.Item, T: t}
+				_, sameStep := adoptedAt[u][c]
+				switch {
+				case coin && !sameStep && stock[rec.Item] > 0:
+					ev.Adopted = true
+					stock[rec.Item]--
+					ac := adoptedAt[u]
+					if ac == nil {
+						ac = make(map[model.ClassID]model.TimeStep)
+						adoptedAt[u] = ac
+					}
+					ac[c] = t
+					res.revenue += prices[rec.Item][t-1]
+					res.adoptions++
+				case coin && !sameStep:
+					res.stockOuts++ // wanted it; shelf was empty
+				}
+				if err := eng.Feed(ev); err != nil {
+					return res, err
+				}
+			}
+			if shown > world.K {
+				out.Invariants.DisplayViolations++
+			}
+		}
+		// Barrier: every event of this step is applied (and, if any
+		// adoption happened, replanned over) before the world moves.
+		eng.Flush()
+		if int(t) < world.T {
+			next := t + 1
+			if err := applyWorld(next); err != nil {
+				return res, err
+			}
+			if err := eng.SetNow(next); err != nil {
+				return res, err
+			}
+			eng.Flush()
+		}
+	}
+	return res, nil
+}

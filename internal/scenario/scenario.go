@@ -1,0 +1,225 @@
+// Package scenario is a deterministic, seedable workload engine for the
+// REVMAX system: it composes stress archetypes — flash sales, inventory
+// shocks, seasonal demand drift, cold-start user bursts, price wars,
+// adversarial saturation — out of three declarative ingredients:
+//
+//  1. instance generator parameters (Gen: a testgen base plus hot-item
+//     overlays),
+//  2. a timeline of mid-horizon world mutations (stock shocks, price
+//     cuts) that the open-loop planner cannot see, and
+//  3. an adoption model describing how simulated users respond to
+//     recommendations.
+//
+// A Runner executes a Scenario through both system paths — open loop
+// (core algorithm → internal/sim Monte-Carlo) and closed loop (the
+// internal/serve engine with receding-horizon replanning through
+// internal/planner) — and reports a structured Outcome. Everything
+// downstream of a (Scenario, seed) pair is deterministic: the same pair
+// yields byte-identical canonical reports, which is what makes the
+// scenario suite usable as a regression oracle.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// MutationKind discriminates timeline mutations.
+type MutationKind string
+
+const (
+	// MutStockShock caps an item's remaining stock at Mutation.Stock
+	// units at the start of step Mutation.At (a supplier shortfall or
+	// warehouse write-off; it never adds stock mid-run).
+	MutStockShock MutationKind = "stock_shock"
+	// MutPriceCut multiplies the price of every item in Mutation.Class
+	// by Mutation.Factor from step Mutation.At onward (a competitor
+	// undercut forcing a price war).
+	MutPriceCut MutationKind = "price_cut"
+)
+
+// Mutation is one scheduled mid-horizon change to the world. Mutations
+// take effect at the start of step At, before any recommendation at At
+// is served or simulated.
+type Mutation struct {
+	Kind   MutationKind   `json:"kind"`
+	At     model.TimeStep `json:"at"`
+	Item   model.ItemID   `json:"item,omitempty"`   // MutStockShock
+	Stock  int            `json:"stock,omitempty"`  // MutStockShock: new cap
+	Class  model.ClassID  `json:"class,omitempty"`  // MutPriceCut
+	Factor float64        `json:"factor,omitempty"` // MutPriceCut: price multiplier
+}
+
+// AdoptionKind discriminates adoption models.
+type AdoptionKind string
+
+const (
+	// AdoptTruthful draws an adoption coin with exactly the conditional
+	// probability the engine quotes. Under truthful adoption the
+	// closed-loop path is guaranteed (in expectation) to earn at least
+	// the open-loop revenue — the core conformance invariant.
+	AdoptTruthful AdoptionKind = "truthful"
+	// AdoptReluctant scales every quoted probability by Factor < 1:
+	// users systematically adopt less than the model believes
+	// (mis-calibration stress).
+	AdoptReluctant AdoptionKind = "reluctant"
+)
+
+// Adoption is the declarative adoption model of a scenario.
+type Adoption struct {
+	Kind   AdoptionKind `json:"kind"`
+	Factor float64      `json:"factor,omitempty"` // AdoptReluctant scale
+}
+
+// prob maps a quoted conditional adoption probability to the one the
+// simulated user actually acts with.
+func (a Adoption) prob(quoted float64) float64 {
+	if a.Kind == AdoptReluctant {
+		return quoted * a.Factor
+	}
+	return quoted
+}
+
+// Gen declaratively shapes a scenario's instance: a testgen base plus a
+// hot-item overlay for capacity-crunch archetypes.
+type Gen struct {
+	testgen.Params
+
+	// HotItems, when > 0, reshapes the first HotItems items into a
+	// single scarce, expensive competition class (class 0): capacity is
+	// pinched to HotCapacity and prices inside [HotFrom, HotTo] are
+	// multiplied by HotPriceFactor. 0 disables the overlay.
+	HotItems       int
+	HotCapacity    int
+	HotPriceFactor float64
+	HotFrom, HotTo model.TimeStep // 0 values default to the full horizon
+}
+
+// Scenario is one declarative workload: generator parameters, a
+// timeline of mid-horizon mutations, and an adoption model.
+type Scenario struct {
+	Name        string
+	Description string
+	Gen         Gen
+	Timeline    []Mutation
+	Adoption    Adoption
+	// Runs is the number of open-loop Monte-Carlo replications.
+	Runs int
+	// Trajectories is the number of independent closed-loop rollouts.
+	Trajectories int
+}
+
+// instanceSeed mixes the run seed with the scenario name so different
+// scenarios at the same seed explore different instances, while the
+// mix stays a pure function of (name, seed).
+func instanceSeed(name string, seed uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed*0x9E3779B97F4A7C15 + h.Sum64()
+}
+
+// Build materializes the scenario's instance for the given seed. Equal
+// (scenario, seed) pairs always yield equal instances.
+func Build(sc Scenario, seed uint64) (*model.Instance, error) {
+	rng := dist.NewRNG(instanceSeed(sc.Name, seed))
+	in := testgen.Random(rng, sc.Gen.Params)
+	if g := sc.Gen; g.HotItems > 0 {
+		from, to := g.HotFrom, g.HotTo
+		if from < 1 {
+			from = 1
+		}
+		if to < 1 || int(to) > in.T {
+			to = model.TimeStep(in.T)
+		}
+		for i := 0; i < g.HotItems && i < in.NumItems(); i++ {
+			id := model.ItemID(i)
+			in.SetItem(id, 0, in.Beta(id), g.HotCapacity)
+			for t := from; t <= to; t++ {
+				in.SetPrice(id, t, in.Price(id, t)*g.HotPriceFactor)
+			}
+		}
+		// Re-index classes after the overlay moved items into class 0.
+		in.FinishCandidates()
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %q: generated invalid instance: %w", sc.Name, err)
+	}
+	if err := validateTimeline(sc, in); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// validateTimeline rejects mutations that reference entities outside
+// the generated instance, so a misdeclared scenario fails loudly at
+// build time instead of silently mutating nothing.
+func validateTimeline(sc Scenario, in *model.Instance) error {
+	for _, m := range sc.Timeline {
+		if m.At < 1 || int(m.At) > in.T {
+			return fmt.Errorf("scenario %q: mutation at step %d outside horizon [1,%d]", sc.Name, m.At, in.T)
+		}
+		switch m.Kind {
+		case MutStockShock:
+			if int(m.Item) < 0 || int(m.Item) >= in.NumItems() {
+				return fmt.Errorf("scenario %q: stock shock references unknown item %d", sc.Name, m.Item)
+			}
+			if m.Stock < 0 {
+				return fmt.Errorf("scenario %q: stock shock to negative stock %d", sc.Name, m.Stock)
+			}
+		case MutPriceCut:
+			if len(in.ClassItems(m.Class)) == 0 {
+				return fmt.Errorf("scenario %q: price cut references empty class %d", sc.Name, m.Class)
+			}
+			if m.Factor <= 0 {
+				return fmt.Errorf("scenario %q: price cut with non-positive factor %v", sc.Name, m.Factor)
+			}
+		default:
+			return fmt.Errorf("scenario %q: unknown mutation kind %q", sc.Name, m.Kind)
+		}
+	}
+	return nil
+}
+
+// priceTable precomputes the post-mutation price of every (item, step):
+// the single source of truth both paths account revenue with.
+func priceTable(in *model.Instance, timeline []Mutation) [][]float64 {
+	tab := make([][]float64, in.NumItems())
+	for i := range tab {
+		tab[i] = make([]float64, in.T)
+		for t := 1; t <= in.T; t++ {
+			tab[i][t-1] = in.Price(model.ItemID(i), model.TimeStep(t))
+		}
+	}
+	for _, m := range timeline {
+		if m.Kind != MutPriceCut {
+			continue
+		}
+		for _, i := range in.ClassItems(m.Class) {
+			for t := int(m.At); t <= in.T; t++ {
+				tab[i][t-1] *= m.Factor
+			}
+		}
+	}
+	return tab
+}
+
+// stockShocksAt groups stock shocks by their activation step.
+func stockShocksAt(timeline []Mutation) map[model.TimeStep][]Mutation {
+	out := make(map[model.TimeStep][]Mutation)
+	for _, m := range timeline {
+		if m.Kind == MutStockShock {
+			out[m.At] = append(out[m.At], m)
+		}
+	}
+	// Deterministic application order within a step.
+	for t := range out {
+		ms := out[t]
+		sort.Slice(ms, func(a, b int) bool { return ms[a].Item < ms[b].Item })
+	}
+	return out
+}

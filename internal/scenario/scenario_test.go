@@ -1,0 +1,140 @@
+package scenario_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/scenario"
+)
+
+// TestCatalogShape pins the suite's contract: at least 6 archetypes,
+// unique names, resolvable by name.
+func TestCatalogShape(t *testing.T) {
+	cat := scenario.Catalog()
+	if len(cat) < 6 {
+		t.Fatalf("catalog has %d scenarios, want >= 6", len(cat))
+	}
+	seen := make(map[string]bool)
+	for _, sc := range cat {
+		if sc.Name == "" || sc.Description == "" {
+			t.Fatalf("scenario %+v missing name or description", sc)
+		}
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		got, err := scenario.ByName(sc.Name)
+		if err != nil || got.Name != sc.Name {
+			t.Fatalf("ByName(%q) = %v, %v", sc.Name, got.Name, err)
+		}
+	}
+	if _, err := scenario.ByName("no-such-scenario"); err == nil {
+		t.Fatal("ByName accepted an unknown name")
+	}
+}
+
+// TestBuildDeterministicAndValid: equal (scenario, seed) pairs yield
+// equal instances; different seeds yield different ones.
+func TestBuildDeterministicAndValid(t *testing.T) {
+	for _, sc := range scenario.Catalog() {
+		a, err := scenario.Build(sc, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		b, err := scenario.Build(sc, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if a.NumCandidates() != b.NumCandidates() || a.NumUsers != b.NumUsers {
+			t.Fatalf("%s: same seed built different instances", sc.Name)
+		}
+		for u := 0; u < a.NumUsers; u++ {
+			ca, cb := a.UserCandidates(model.UserID(u)), b.UserCandidates(model.UserID(u))
+			if len(ca) != len(cb) {
+				t.Fatalf("%s: user %d candidate count differs", sc.Name, u)
+			}
+			for i := range ca {
+				if ca[i] != cb[i] {
+					t.Fatalf("%s: user %d candidate %d differs: %v vs %v", sc.Name, u, i, ca[i], cb[i])
+				}
+			}
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: invalid instance: %v", sc.Name, err)
+		}
+	}
+}
+
+// TestBuildRejectsBadTimeline: misdeclared mutations fail at build time.
+func TestBuildRejectsBadTimeline(t *testing.T) {
+	sc := scenario.InventoryShock()
+	sc.Timeline = []scenario.Mutation{{Kind: scenario.MutStockShock, At: 99, Item: 0}}
+	if _, err := scenario.Build(sc, 1); err == nil {
+		t.Fatal("accepted mutation outside the horizon")
+	}
+	sc.Timeline = []scenario.Mutation{{Kind: scenario.MutStockShock, At: 2, Item: 999}}
+	if _, err := scenario.Build(sc, 1); err == nil {
+		t.Fatal("accepted stock shock for unknown item")
+	}
+	sc.Timeline = []scenario.Mutation{{Kind: scenario.MutPriceCut, At: 2, Class: 0, Factor: 0}}
+	if _, err := scenario.Build(sc, 1); err == nil {
+		t.Fatal("accepted price cut with zero factor")
+	}
+	sc.Timeline = []scenario.Mutation{{Kind: "meteor-strike", At: 2}}
+	if _, err := scenario.Build(sc, 1); err == nil {
+		t.Fatal("accepted unknown mutation kind")
+	}
+}
+
+// TestOutcomeByteIdentical is the determinism contract: for a fixed
+// (scenario, seed), the canonical Outcome report — everything but the
+// timing section — is byte-for-byte identical across runs, including
+// runs from distinct Runner values.
+func TestOutcomeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs are not short")
+	}
+	for _, sc := range scenario.Catalog() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			// Trimmed replication counts keep the suite fast; determinism
+			// does not depend on scale.
+			sc.Runs = 300
+			sc.Trajectories = 3
+			var r1, r2 scenario.Runner
+			a, err := r1.Run(sc, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := r2.Run(sc, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ja, err := a.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jb, err := b.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ja, jb) {
+				t.Fatalf("canonical outcomes differ for seed 42:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", ja, jb)
+			}
+			// A different seed must explore a different world.
+			c, err := r1.Run(sc, 43)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jc, err := c.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Equal(ja, jc) {
+				t.Fatal("seeds 42 and 43 produced identical outcomes")
+			}
+		})
+	}
+}

@@ -82,14 +82,23 @@ type Recommendation struct {
 }
 
 // feedbackMsg is one message on the engine's feedback queue: an event
-// to apply, a flush barrier, a bare replan request, or a snapshot
-// capture request (served by the loop so the captured state is
-// consistent — no event is half-applied across stock and shards).
+// to apply, a flush barrier, a bare replan request, a stock override,
+// or a snapshot capture request (served by the loop so the captured
+// state is consistent — no event is half-applied across stock and
+// shards).
 type feedbackMsg struct {
 	ev     Event
 	flush  chan struct{}  // non-nil: barrier; closed once covered by a replan
 	replan bool           // bare replan request (clock advanced)
 	snap   chan snapState // non-nil: capture store state between applies
+	stock  *stockSet      // non-nil: exogenous inventory override
+}
+
+// stockSet is an exogenous stock override (supplier shortfall, warehouse
+// write-off, restock) applied by the feedback loop between events.
+type stockSet struct {
+	item model.ItemID
+	n    int64
 }
 
 // Engine is the online serving engine. All exported methods are safe for
@@ -355,6 +364,36 @@ func (e *Engine) requestReplan() {
 	e.feedback <- feedbackMsg{replan: true}
 }
 
+// Stock returns item i's remaining stock as last applied by the
+// feedback loop (lock-free read of the serving-path atomic).
+func (e *Engine) Stock(i model.ItemID) (int, error) {
+	if int(i) < 0 || int(i) >= e.in.NumItems() {
+		return 0, fmt.Errorf("serve: unknown item %d", i)
+	}
+	return int(e.stock[i].Load()), nil
+}
+
+// SetStock overrides item i's remaining stock to n — an exogenous
+// inventory event (mid-horizon shock, restock) rather than adoption
+// feedback. The override is applied by the feedback loop in order with
+// queued events and forces a replan, since the residual problem
+// changed; call Flush to wait for both. Negative n clamps to zero.
+func (e *Engine) SetStock(i model.ItemID, n int) error {
+	if int(i) < 0 || int(i) >= e.in.NumItems() {
+		return fmt.Errorf("serve: unknown item %d", i)
+	}
+	if n < 0 {
+		n = 0
+	}
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return errors.New("serve: engine closed")
+	}
+	e.feedback <- feedbackMsg{stock: &stockSet{item: i, n: int64(n)}}
+	return nil
+}
+
 // Close flushes outstanding feedback and stops the background loop. The
 // engine still serves lookups afterwards, but Feed returns an error.
 func (e *Engine) Close() {
@@ -432,6 +471,9 @@ func (e *Engine) loop() {
 			case msg.snap != nil:
 				msg.snap <- e.captureState()
 			case msg.replan:
+				force = true
+			case msg.stock != nil:
+				e.stock[msg.stock.item].Store(msg.stock.n)
 				force = true
 			default:
 				if e.apply(msg.ev) {
@@ -561,6 +603,8 @@ type Stats struct {
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	P50Micros      int64   `json:"p50_micros"`
 	P99Micros      int64   `json:"p99_micros"`
+	BatchP50Micros int64   `json:"batch_p50_micros"`
+	BatchP99Micros int64   `json:"batch_p99_micros"`
 }
 
 // Stats returns the current summary.
@@ -584,5 +628,7 @@ func (e *Engine) Stats() Stats {
 		UptimeSeconds:  time.Since(e.met.start).Seconds(),
 		P50Micros:      e.met.percentile(0.50).Microseconds(),
 		P99Micros:      e.met.percentile(0.99).Microseconds(),
+		BatchP50Micros: e.met.batchPercentile(0.50).Microseconds(),
+		BatchP99Micros: e.met.batchPercentile(0.99).Microseconds(),
 	}
 }

@@ -547,6 +547,56 @@ func BenchmarkEngineRecommendBatch(b *testing.B) {
 	}
 }
 
+// TestSetStockOverridesInventory: an exogenous stock override is
+// applied in order with queued feedback, zeroes recommendations for
+// the depleted item after a flush, and is visible through Stock.
+func TestSetStockOverridesInventory(t *testing.T) {
+	in := testInstance(t, 12, 4, 3, 2, 21)
+	e := newTestEngine(t, in, Config{ReplanEvery: 1 << 30})
+	if err := e.SetStock(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if got, err := e.Stock(0); err != nil || got != 0 {
+		t.Fatalf("Stock(0) = %d, %v; want 0", got, err)
+	}
+	for u := 0; u < in.NumUsers; u++ {
+		for ts := model.TimeStep(1); int(ts) <= in.T; ts++ {
+			recs, err := e.Recommend(model.UserID(u), ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range recs {
+				if rec.Item == 0 && rec.Prob != 0 {
+					t.Fatalf("user %d t=%d: item 0 served with prob %v after stock-out", u, ts, rec.Prob)
+				}
+			}
+		}
+	}
+	// Restock: the item becomes recommendable again on the next replan.
+	if err := e.SetStock(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if got, _ := e.Stock(0); got != 5 {
+		t.Fatalf("Stock(0) = %d after restock, want 5", got)
+	}
+	// Negative values clamp, out-of-range items error.
+	if err := e.SetStock(0, -3); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	if got, _ := e.Stock(0); got != 0 {
+		t.Fatalf("Stock(0) = %d after negative override, want 0", got)
+	}
+	if err := e.SetStock(99, 1); err == nil {
+		t.Fatal("SetStock accepted an unknown item")
+	}
+	if _, err := e.Stock(99); err == nil {
+		t.Fatal("Stock accepted an unknown item")
+	}
+}
+
 func ExampleEngine() {
 	in := model.NewInstance(2, 2, 1, 1)
 	in.SetItem(0, 0, 1, 2)

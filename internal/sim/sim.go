@@ -32,6 +32,18 @@ type Options struct {
 	// EnforceStock gates adoptions on remaining item stock (capacity qᵢ);
 	// when false, capacity is ignored and the run estimates Rev(S).
 	EnforceStock bool
+	// OnStep, when non-nil and EnforceStock is set, is called once per
+	// time step of every replication — before that step's events — with
+	// the live remaining-stock slice, which it may mutate in place. It is
+	// the hook scenario engines use to inject mid-horizon inventory
+	// shocks into an open-loop world. It must be deterministic: it is
+	// called with the same arguments in every replication and must not
+	// draw randomness of its own.
+	OnStep func(t model.TimeStep, stock []int)
+	// PriceAt, when non-nil, overrides the instance's price table for
+	// revenue accounting (e.g. a mid-horizon price cut the open-loop
+	// planner did not see). It must be deterministic.
+	PriceAt func(i model.ItemID, t model.TimeStep) float64
 }
 
 // Outcome summarizes the replications.
@@ -69,6 +81,10 @@ func Simulate(in *model.Instance, s *model.Strategy, opts Options) Outcome {
 	totalAdoptions := 0
 	stockOuts := 0
 
+	price := in.Price
+	if opts.PriceAt != nil {
+		price = opts.PriceAt
+	}
 	stock := make([]int, in.NumItems())
 	for r := 0; r < opts.Runs; r++ {
 		if opts.EnforceStock {
@@ -77,35 +93,47 @@ func Simulate(in *model.Instance, s *model.Strategy, opts Options) Outcome {
 			}
 		}
 		rev := 0.0
-		for _, e := range events {
-			// Competition gates: every earlier/same-time class-mate gets
-			// an independent chance to have pre-empted this adoption.
-			blocked := false
-			for _, g := range e.gates {
-				if rng.Float64() < g {
-					blocked = true
-					break
+		next := 0 // index of the first event not yet simulated
+		for t := model.TimeStep(1); int(t) <= in.T; t++ {
+			if opts.EnforceStock && opts.OnStep != nil {
+				opts.OnStep(t, stock)
+			}
+			hi := next
+			for hi < len(events) && events[hi].z.T == t {
+				hi++
+			}
+			stepEvents := events[next:hi]
+			next = hi
+			for _, e := range stepEvents {
+				// Competition gates: every earlier/same-time class-mate gets
+				// an independent chance to have pre-empted this adoption.
+				blocked := false
+				for _, g := range e.gates {
+					if rng.Float64() < g {
+						blocked = true
+						break
+					}
 				}
-			}
-			if blocked {
-				continue
-			}
-			p := e.q
-			if e.satExp > 0 {
-				p *= math.Pow(in.Beta(e.z.I), e.satExp)
-			}
-			if rng.Float64() >= p {
-				continue
-			}
-			if opts.EnforceStock {
-				if stock[e.z.I] <= 0 {
-					stockOuts++
+				if blocked {
 					continue
 				}
-				stock[e.z.I]--
+				p := e.q
+				if e.satExp > 0 {
+					p *= math.Pow(in.Beta(e.z.I), e.satExp)
+				}
+				if rng.Float64() >= p {
+					continue
+				}
+				if opts.EnforceStock {
+					if stock[e.z.I] <= 0 {
+						stockOuts++
+						continue
+					}
+					stock[e.z.I]--
+				}
+				rev += price(e.z.I, e.z.T)
+				totalAdoptions++
 			}
-			rev += in.Price(e.z.I, e.z.T)
-			totalAdoptions++
 		}
 		revs[r] = rev
 	}
@@ -121,8 +149,20 @@ func Simulate(in *model.Instance, s *model.Strategy, opts Options) Outcome {
 // compile orders the strategy chronologically and precomputes each
 // event's gates and saturation exponent. The gate coins use primitive
 // probabilities, exactly as the products in Eq. (2) do.
+//
+// Triples outside the horizon [1, T] are dropped: they cannot be
+// simulated (they have no price row), and a leading out-of-range event
+// would desynchronize the per-step scan in Simulate. Callers feeding
+// unvalidated strategies (e.g. cmd/simulate replay mode) rely on this.
 func compile(in *model.Instance, s *model.Strategy) []event {
 	triples := s.Triples()
+	valid := triples[:0:0]
+	for _, z := range triples {
+		if z.T >= 1 && int(z.T) <= in.T {
+			valid = append(valid, z)
+		}
+	}
+	triples = valid
 	sort.Slice(triples, func(a, b int) bool {
 		if triples[a].T != triples[b].T {
 			return triples[a].T < triples[b].T

@@ -127,3 +127,88 @@ func TestGreedyPlanRealizesPromisedRevenue(t *testing.T) {
 		t.Fatalf("simulated %v vs planned %v (tol %v)", out.MeanRevenue, res.Revenue, tolerance)
 	}
 }
+
+// The OnStep hook injects mid-horizon stock shocks: zeroing all stock
+// at a step boundary must forfeit exactly the revenue of later steps,
+// and the hook must see every step once per replication.
+func TestOnStepStockShock(t *testing.T) {
+	in := model.NewInstance(2, 1, 3, 1)
+	in.SetItem(0, 0, 1, 6)
+	for tt := 1; tt <= 3; tt++ {
+		in.SetPrice(0, model.TimeStep(tt), 10)
+	}
+	// Distinct users so no competition or saturation couples the steps.
+	in.AddCandidate(0, 0, 1, 1)
+	in.AddCandidate(1, 0, 3, 1)
+	in.FinishCandidates()
+	s := model.StrategyOf(
+		model.Triple{U: 0, I: 0, T: 1},
+		model.Triple{U: 1, I: 0, T: 3},
+	)
+	const runs = 50
+	steps := 0
+	out := sim.Simulate(in, s, sim.Options{
+		Runs: runs, Seed: 5, EnforceStock: true,
+		OnStep: func(tt model.TimeStep, stock []int) {
+			steps++
+			if tt >= 2 {
+				stock[0] = 0
+			}
+		},
+	})
+	if steps != 3*runs {
+		t.Fatalf("OnStep fired %d times, want %d", steps, 3*runs)
+	}
+	// q=1 everywhere: t=1 always converts (10), t=3 always lost to the shock.
+	if out.MeanRevenue != 10 {
+		t.Fatalf("mean revenue %v, want exactly 10", out.MeanRevenue)
+	}
+	if out.StockOuts != runs {
+		t.Fatalf("stock-outs %d, want %d", out.StockOuts, runs)
+	}
+}
+
+// The PriceAt hook reroutes revenue accounting without touching
+// adoption dynamics: halving all prices must exactly halve revenue.
+func TestPriceAtOverridesAccounting(t *testing.T) {
+	rng := dist.NewRNG(31)
+	in := testgen.Random(rng, testgen.Default())
+	s := core.GGreedy(in).Strategy
+	if s.Len() == 0 {
+		t.Skip("empty greedy output")
+	}
+	base := sim.Simulate(in, s, sim.Options{Runs: 500, Seed: 77})
+	half := sim.Simulate(in, s, sim.Options{
+		Runs: 500, Seed: 77,
+		PriceAt: func(i model.ItemID, tt model.TimeStep) float64 {
+			return in.Price(i, tt) / 2
+		},
+	})
+	if math.Abs(half.MeanRevenue-base.MeanRevenue/2) > 1e-9 {
+		t.Fatalf("halved prices gave %v, want %v", half.MeanRevenue, base.MeanRevenue/2)
+	}
+	if half.MeanAdoptions != base.MeanAdoptions {
+		t.Fatalf("PriceAt changed adoption dynamics: %v vs %v", half.MeanAdoptions, base.MeanAdoptions)
+	}
+}
+
+// Out-of-horizon triples (possible in unvalidated saved strategies)
+// must be dropped, not allowed to desynchronize the per-step scan or
+// panic on a missing price row: the valid remainder simulates exactly
+// as if the stray triples were absent.
+func TestOutOfHorizonTriplesDropped(t *testing.T) {
+	rng := dist.NewRNG(61)
+	in := testgen.Random(rng, testgen.Default())
+	s := core.GGreedy(in).Strategy
+	if s.Len() == 0 {
+		t.Skip("empty greedy output")
+	}
+	clean := sim.Simulate(in, s, sim.Options{Runs: 200, Seed: 3})
+	dirty := s.Clone()
+	dirty.Add(model.Triple{U: 0, I: 0, T: 0})                        // before the horizon
+	dirty.Add(model.Triple{U: 1, I: 0, T: model.TimeStep(in.T + 5)}) // past the horizon
+	got := sim.Simulate(in, dirty, sim.Options{Runs: 200, Seed: 3})
+	if got.MeanRevenue != clean.MeanRevenue || got.MeanAdoptions != clean.MeanAdoptions {
+		t.Fatalf("stray triples changed the simulation: %+v vs %+v", got, clean)
+	}
+}

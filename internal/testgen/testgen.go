@@ -20,6 +20,23 @@ type Params struct {
 	MinPrice    float64
 	MaxPrice    float64
 	UniformBeta float64 // if > 0, all items use this beta; else beta ~ U[0,1]
+
+	// QTrend linearly drifts primitive adoption probabilities across the
+	// horizon: q at step t is scaled by 1 + QTrend·(t−1)/(T−1), clamped
+	// to (0, 0.97] so adoption always stays stochastic. Positive values
+	// model demand ramping up toward the end of the horizon (seasonal
+	// build-up), negative values a cooling market. 0 means no drift.
+	QTrend float64
+	// PriceTrend drifts prices across the horizon the same way.
+	PriceTrend float64
+
+	// ColdStartFrac, when > 0, marks the last ⌊frac·Users⌋ user IDs as
+	// late arrivals: they have no candidates before ColdStartStep. It
+	// models a burst of brand-new users appearing mid-horizon. (Note
+	// the floor: a fraction too small to cover one user marks nobody.)
+	ColdStartFrac float64
+	// ColdStartStep is the first step late arrivals are active (≥ 1).
+	ColdStartStep int
 }
 
 // Default returns parameters for a small, well-conditioned instance.
@@ -30,10 +47,31 @@ func Default() Params {
 	}
 }
 
+// trend returns the drift multiplier 1 + amp·(t−1)/(T−1), floored at a
+// small positive value so drifting never annihilates a quantity.
+func trend(amp float64, t, T int) float64 {
+	if amp == 0 || T <= 1 {
+		return 1
+	}
+	m := 1 + amp*float64(t-1)/float64(T-1)
+	if m < 0.01 {
+		m = 0.01
+	}
+	return m
+}
+
 // Random builds an instance from params using the given RNG.
 func Random(rng *dist.RNG, p Params) *model.Instance {
 	if p.Classes <= 0 || p.Classes > p.Items {
 		p.Classes = p.Items
+	}
+	coldFrom := p.Users // first late-arrival user ID; p.Users = none
+	if p.ColdStartFrac > 0 {
+		n := int(p.ColdStartFrac * float64(p.Users))
+		if n > p.Users {
+			n = p.Users
+		}
+		coldFrom = p.Users - n
 	}
 	in := model.NewInstance(p.Users, p.Items, p.T, p.K)
 	for i := 0; i < p.Items; i++ {
@@ -44,14 +82,26 @@ func Random(rng *dist.RNG, p Params) *model.Instance {
 		capQ := 1 + rng.Intn(p.MaxCap)
 		in.SetItem(model.ItemID(i), model.ClassID(i%p.Classes), beta, capQ)
 		for t := 1; t <= p.T; t++ {
-			in.SetPrice(model.ItemID(i), model.TimeStep(t), rng.Uniform(p.MinPrice, p.MaxPrice))
+			base := rng.Uniform(p.MinPrice, p.MaxPrice)
+			in.SetPrice(model.ItemID(i), model.TimeStep(t), base*trend(p.PriceTrend, t, p.T))
 		}
 	}
 	for u := 0; u < p.Users; u++ {
 		for i := 0; i < p.Items; i++ {
 			for t := 1; t <= p.T; t++ {
 				if rng.Float64() < p.CandProb {
+					// q is drawn before the cold-start check so a skipped
+					// candidate consumes the same draws as a kept one; the
+					// stream (and instances with drift off) matches the
+					// historical generator exactly.
 					q := rng.Uniform(0.05, 0.95)
+					if u >= coldFrom && t < p.ColdStartStep {
+						continue
+					}
+					q *= trend(p.QTrend, t, p.T)
+					if q > 0.97 {
+						q = 0.97
+					}
 					in.AddCandidate(model.UserID(u), model.ItemID(i), model.TimeStep(t), q)
 				}
 			}
