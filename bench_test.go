@@ -234,7 +234,7 @@ func BenchmarkSolveT1MaxDCS(b *testing.B) {
 func benchEngine(b *testing.B) *revmax.ServeEngine {
 	b.Helper()
 	ds := benchDataset(b)
-	e, err := revmax.NewServeEngine(ds.Instance, revmax.ServeConfig{Algorithm: revmax.GGreedyPlanner})
+	e, err := revmax.NewServeEngine(ds.Instance, revmax.ServeConfig{Algorithm: "g-greedy"})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func BenchmarkServeRecommendBatch(b *testing.B) {
 func BenchmarkServeFeed(b *testing.B) {
 	ds := benchDataset(b)
 	e, err := revmax.NewServeEngine(ds.Instance, revmax.ServeConfig{
-		Algorithm:   revmax.GGreedyPlanner,
+		Algorithm:   "g-greedy",
 		ReplanEvery: 1 << 30,
 	})
 	if err != nil {

@@ -8,39 +8,49 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/textplot"
 )
 
 func main() {
-	dsName := flag.String("dataset", "amazon", "dataset: amazon | epinions | synthetic")
-	scale := flag.Float64("scale", 0.01, "dataset scale (1.0 = paper scale)")
-	seed := flag.Uint64("seed", 42, "random seed")
-	users := flag.Int("users", 2000, "user count (synthetic only)")
-	flag.Parse()
-
-	dc := dataset.Config{Seed: *seed, Scale: *scale}
-	var (
-		ds  *dataset.Dataset
-		err error
-	)
-	switch *dsName {
-	case "amazon":
-		ds, err = dataset.AmazonLike(dc)
-	case "epinions":
-		ds, err = dataset.EpinionsLike(dc)
-	case "synthetic":
-		ds, err = dataset.Scalability(*users, dc)
-	default:
-		err = fmt.Errorf("unknown dataset %q", *dsName)
-	}
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/--help: usage already printed, exit 0
+		}
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	// Buffer the flag package's output: -h/--help usage is copied to
+	// stdout (exit 0), while parse errors are reported exactly once —
+	// by main, on stderr — instead of also spamming usage onto stdout.
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
+	dsName := fs.String("dataset", "amazon", "dataset: "+strings.Join(dataset.Names(), " | "))
+	scale := fs.Float64("scale", 0.01, "dataset scale (1.0 = paper scale)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	users := fs.Int("users", 2000, "user count (synthetic only)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprint(stdout, usage.String())
+		}
+		return err
+	}
+
+	ds, err := dataset.Build(*dsName, dataset.Config{Seed: *seed, Scale: *scale, Users: *users})
+	if err != nil {
+		return err
 	}
 
 	s := ds.Stats()
@@ -59,5 +69,6 @@ func main() {
 	if ds.RMSE > 0 {
 		t.AddRow("MF held-out RMSE", fmt.Sprintf("%.3f", ds.RMSE))
 	}
-	fmt.Print(t.Render())
+	fmt.Fprint(stdout, t.Render())
+	return nil
 }

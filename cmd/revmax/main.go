@@ -3,144 +3,216 @@
 //
 // Usage:
 //
-//	revmax -dataset amazon -algo GG -scale 0.01
-//	revmax -dataset epinions -algo RLG -perms 20
-//	revmax -dataset synthetic -users 5000 -algo SLG
+//	revmax -dataset amazon -algo g-greedy -scale 0.01
+//	revmax -dataset epinions -algo rl-greedy -perms 20 -timeout 30s
+//	revmax -dataset synthetic -users 5000 -algo sl-greedy
+//	revmax -algo rl-greedy-parallel -workers 8 -progress
+//	revmax -list-algos
 //
-// Algorithms: GG, GG-No, SLG, RLG, TopRev, TopRat.
+// Algorithms are resolved through the solver registry (revmax.List());
+// the paper's legend spellings (GG, GG-No, SLG, RLG, TopRev, TopRat)
+// keep working as aliases. -timeout bounds the run with a context
+// deadline; a run cut short exits with an error instead of printing a
+// partial strategy.
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/codec"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
+	"repro/internal/solver"
 )
 
 func main() {
-	dsName := flag.String("dataset", "amazon", "dataset: amazon | epinions | synthetic")
-	algo := flag.String("algo", "GG", "algorithm: GG | GG-No | SLG | RLG | TopRev | TopRat")
-	scale := flag.Float64("scale", 0.01, "dataset scale (1.0 = paper scale)")
-	seed := flag.Uint64("seed", 42, "random seed")
-	perms := flag.Int("perms", 5, "RL-Greedy permutations")
-	users := flag.Int("users", 2000, "user count (synthetic dataset only)")
-	beta := flag.Float64("beta", 0, "uniform saturation factor (0 = random U[0,1])")
-	capDist := flag.String("cap", "normal", "capacity distribution: normal | exponential | power | uniform")
-	singleton := flag.Bool("singleton", false, "put every item in its own class")
-	loadInstance := flag.String("load-instance", "", "load the instance from a JSON file instead of generating one")
-	saveInstance := flag.String("save-instance", "", "write the generated instance to a JSON file")
-	saveStrategy := flag.String("save-strategy", "", "write the chosen strategy to a JSON file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/--help: usage already printed, exit 0
+		}
+		fmt.Fprintln(os.Stderr, "revmax:", err)
+		os.Exit(1)
+	}
+}
 
-	cd, err := parseCap(*capDist)
+// run is the testable entry point: it parses args and writes all
+// regular output to stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("revmax", flag.ContinueOnError)
+	// Buffer the flag package's output: -h/--help usage is copied to
+	// stdout (exit 0), while parse errors are reported exactly once —
+	// by main, on stderr — instead of also spamming usage onto stdout.
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
+	dsName := fs.String("dataset", "amazon", "dataset: "+strings.Join(dataset.Names(), " | "))
+	algo := fs.String("algo", "GG", "algorithm name or alias (see -list-algos)")
+	listAlgos := fs.Bool("list-algos", false, "list registered algorithms and exit")
+	scale := fs.Float64("scale", 0.01, "dataset scale (1.0 = paper scale)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	perms := fs.Int("perms", 5, "RL-Greedy permutations")
+	workers := fs.Int("workers", 0, "rl-greedy-parallel workers (0 = GOMAXPROCS)")
+	cuts := fs.String("cuts", "", "staged variants: comma-separated sub-horizon cut-offs, e.g. 2,4")
+	timeout := fs.Duration("timeout", 0, "abort the solve after this long (0 = no deadline)")
+	progress := fs.Bool("progress", false, "report solve progress on stderr")
+	users := fs.Int("users", 2000, "user count (synthetic dataset only)")
+	beta := fs.Float64("beta", 0, "uniform saturation factor (0 = random U[0,1])")
+	capDist := fs.String("cap", "normal", "capacity distribution: normal | exponential | power | uniform")
+	singleton := fs.Bool("singleton", false, "put every item in its own class")
+	loadInstance := fs.String("load-instance", "", "load the instance from a JSON file instead of generating one")
+	saveInstance := fs.String("save-instance", "", "write the generated instance to a JSON file")
+	saveStrategy := fs.String("save-strategy", "", "write the chosen strategy to a JSON file")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprint(stdout, usage.String())
+		}
+		return err
+	}
+
+	if *listAlgos {
+		for _, name := range solver.List() {
+			fmt.Fprintln(stdout, name)
+		}
+		return nil
+	}
+
+	// Resolve the algorithm before any expensive generation so a typo
+	// fails in milliseconds with the registry's name list.
+	if _, err := solver.Lookup(*algo); err != nil {
+		return err
+	}
+	cutList, err := parseCuts(*cuts)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	dc := dataset.Config{
-		Seed: *seed, Scale: *scale, UniformBeta: *beta,
-		CapacityDist: cd, SingletonClasses: *singleton,
+	cd, err := dataset.ParseCapacityDist(*capDist)
+	if err != nil {
+		return err
 	}
 
-	var ds *dataset.Dataset
-	if *loadInstance != "" {
-		f, ferr := os.Open(*loadInstance)
-		if ferr != nil {
-			fail(ferr)
-		}
-		in, derr := codec.DecodeInstance(f)
-		f.Close()
-		if derr != nil {
-			fail(derr)
-		}
-		ds = &dataset.Dataset{
-			Name:     *loadInstance,
-			Instance: in,
-			Rating:   func(model.UserID, model.ItemID) float64 { return 0 },
-		}
-	}
-	switch {
-	case ds != nil:
-		// loaded from file
-	default:
-		switch *dsName {
-		case "amazon":
-			ds, err = dataset.AmazonLike(dc)
-		case "epinions":
-			ds, err = dataset.EpinionsLike(dc)
-		case "synthetic":
-			ds, err = dataset.Scalability(*users, dc)
-		default:
-			err = fmt.Errorf("unknown dataset %q", *dsName)
-		}
-		if err != nil {
-			fail(err)
-		}
+	ds, err := loadOrBuild(*loadInstance, *dsName, dataset.Config{
+		Seed: *seed, Scale: *scale, Users: *users, UniformBeta: *beta,
+		CapacityDist: cd, SingletonClasses: *singleton,
+	})
+	if err != nil {
+		return err
 	}
 	in := ds.Instance
 	if *saveInstance != "" {
-		if werr := writeFileWith(*saveInstance, func(w *os.File) error {
+		if err := writeFileWith(*saveInstance, func(w *os.File) error {
 			return codec.EncodeInstance(w, in)
-		}); werr != nil {
-			fail(werr)
+		}); err != nil {
+			return err
 		}
-		fmt.Printf("instance saved to %s\n", *saveInstance)
+		fmt.Fprintf(stdout, "instance saved to %s\n", *saveInstance)
 	}
-	fmt.Printf("dataset %s: %d users, %d items, %d classes, %d candidate triples, T=%d, k=%d\n",
+	fmt.Fprintf(stdout, "dataset %s: %d users, %d items, %d classes, %d candidate triples, T=%d, k=%d\n",
 		ds.Name, in.NumUsers, in.NumItems(), in.NumClasses(), in.NumCandidates(), in.T, in.K)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opts := solver.Options{
+		Algorithm: *algo,
+		Perms:     *perms,
+		Seed:      *seed + 1,
+		Workers:   *workers,
+		Cuts:      cutList,
+		Rating:    ds.Rating,
+	}
+	if *progress {
+		opts.Progress = func(p solver.Progress) {
+			if p.Total > 0 && (p.Done == p.Total || p.Done%100 == 0 || p.Total <= 100) {
+				fmt.Fprintf(os.Stderr, "revmax: %s %d/%d best=%.2f\n", p.Algorithm, p.Done, p.Total, p.Best)
+			}
+		}
+	}
+
 	start := time.Now()
-	var res core.Result
-	switch *algo {
-	case "GG":
-		res = core.GGreedy(in)
-	case "GG-No":
-		res = core.GlobalNo(in)
-	case "SLG":
-		res = core.SLGreedy(in)
-	case "RLG":
-		res = core.RLGreedy(in, *perms, *seed+1)
-	case "TopRev":
-		res = core.TopRE(in)
-	case "TopRat":
-		res = core.TopRA(in, core.RatingFn(ds.Rating))
-	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	res, err := solver.Solve(ctx, in, opts)
+	if err != nil {
+		return fmt.Errorf("solve %s: %w", *algo, err)
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("algorithm      : %s\n", *algo)
-	fmt.Printf("expected revenue: %.2f\n", res.Revenue)
-	fmt.Printf("selections     : %d triples\n", res.Strategy.Len())
-	fmt.Printf("runtime        : %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "algorithm      : %s\n", *algo)
+	fmt.Fprintf(stdout, "expected revenue: %.2f\n", res.Revenue)
+	fmt.Fprintf(stdout, "selections     : %d triples\n", res.Strategy.Len())
+	fmt.Fprintf(stdout, "runtime        : %v\n", elapsed.Round(time.Millisecond))
 	if res.Recomputations > 0 {
-		fmt.Printf("lazy recomputes: %d\n", res.Recomputations)
+		fmt.Fprintf(stdout, "lazy recomputes: %d\n", res.Recomputations)
 	}
 	if err := in.CheckValid(res.Strategy); err != nil {
-		fail(fmt.Errorf("output strategy invalid: %w", err))
+		return fmt.Errorf("output strategy invalid: %w", err)
 	}
 	// Per-time-step breakdown.
 	perT := make(map[model.TimeStep]int)
 	for _, z := range res.Strategy.Triples() {
 		perT[z.T]++
 	}
-	fmt.Print("per time step  :")
+	fmt.Fprint(stdout, "per time step  :")
 	for t := model.TimeStep(1); int(t) <= in.T; t++ {
-		fmt.Printf(" t%d=%d", t, perT[t])
+		fmt.Fprintf(stdout, " t%d=%d", t, perT[t])
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	if *saveStrategy != "" {
-		if werr := writeFileWith(*saveStrategy, func(w *os.File) error {
+		if err := writeFileWith(*saveStrategy, func(w *os.File) error {
 			return codec.EncodeStrategy(w, res.Strategy)
-		}); werr != nil {
-			fail(werr)
+		}); err != nil {
+			return err
 		}
-		fmt.Printf("strategy saved to %s\n", *saveStrategy)
+		fmt.Fprintf(stdout, "strategy saved to %s\n", *saveStrategy)
 	}
+	return nil
+}
+
+// loadOrBuild reads the instance from a file when a path is given,
+// otherwise generates the named dataset.
+func loadOrBuild(loadInstance, dsName string, cfg dataset.Config) (*dataset.Dataset, error) {
+	if loadInstance == "" {
+		return dataset.Build(dsName, cfg)
+	}
+	f, err := os.Open(loadInstance)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	in, err := codec.DecodeInstance(f)
+	if err != nil {
+		return nil, err
+	}
+	return &dataset.Dataset{
+		Name:     loadInstance,
+		Instance: in,
+		Rating:   func(model.UserID, model.ItemID) float64 { return 0 },
+	}, nil
+}
+
+// parseCuts parses "2,4" into []int{2, 4}.
+func parseCuts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("invalid -cuts entry %q (want positive integers, e.g. 2,4)", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // writeFileWith creates path and runs write against it.
@@ -154,23 +226,4 @@ func writeFileWith(path string, write func(*os.File) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func parseCap(s string) (dataset.CapacityDist, error) {
-	switch s {
-	case "normal":
-		return dataset.CapGaussian, nil
-	case "exponential":
-		return dataset.CapExponential, nil
-	case "power":
-		return dataset.CapPowerLaw, nil
-	case "uniform":
-		return dataset.CapUniform, nil
-	}
-	return 0, fmt.Errorf("unknown capacity distribution %q", s)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "revmax:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestHelpExitsZero: -h prints usage and returns flag.ErrHelp, which
+// main maps to exit code 0 (the cmd/simulate convention, now shared by
+// every cmd).
+func TestHelpExitsZero(t *testing.T) {
+	for _, arg := range []string{"-h", "--help"} {
+		var buf bytes.Buffer
+		err := run([]string{arg}, &buf)
+		if !errors.Is(err, flag.ErrHelp) {
+			t.Fatalf("run(%s) = %v, want flag.ErrHelp", arg, err)
+		}
+		if !strings.Contains(buf.String(), "-algo") {
+			t.Fatalf("usage output missing flags:\n%s", buf.String())
+		}
+	}
+}
+
+// TestUnknownAlgorithmFailsFast: a bad -algo fails before dataset
+// generation, with the registry's known-name list in the error.
+func TestUnknownAlgorithmFailsFast(t *testing.T) {
+	err := run([]string{"-algo", "definitely-not-real"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if !strings.Contains(err.Error(), "g-greedy") {
+		t.Fatalf("error does not list known algorithms: %v", err)
+	}
+}
+
+// TestListAlgos: -list-algos prints the registry, one name per line.
+func TestListAlgos(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list-algos"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"g-greedy", "rl-greedy", "sl-greedy", "top-revenue"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("-list-algos missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestBadFlags: invalid -cuts and -cap fail with usage errors.
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-cuts", "2,x"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("invalid -cuts accepted")
+	}
+	if err := run([]string{"-cap", "zipf"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("invalid -cap accepted")
+	}
+}
+
+// TestEndToEndSynthetic: a tiny synthetic run through the registry
+// produces the report.
+func TestEndToEndSynthetic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a dataset")
+	}
+	var buf bytes.Buffer
+	err := run([]string{"-dataset", "synthetic", "-users", "60", "-scale", "0.002", "-algo", "rl-greedy", "-perms", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"expected revenue", "selections", "per time step"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

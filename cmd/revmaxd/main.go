@@ -6,8 +6,12 @@
 // Usage:
 //
 //	revmaxd -dataset amazon -scale 0.01 -addr :8372
-//	revmaxd -load-instance catalog.json -algo SLG
-//	revmaxd -dataset synthetic -users 5000 -snapshot /var/lib/revmaxd.snap
+//	revmaxd -load-instance catalog.json -algo sl-greedy
+//	revmaxd -algo rl-greedy -perms 20 -snapshot /var/lib/revmaxd.snap
+//
+// The planning algorithm is any name in the solver registry (legacy
+// aliases like GG/SLG/RLG included); the daemon's whole planning
+// behavior is declared by flags, no code changes needed.
 //
 // Endpoints: /v1/recommend, /v1/recommend/batch, /v1/adopt, /v1/advance,
 // /v1/stats, /healthz, /metrics.
@@ -21,53 +25,86 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/codec"
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
-	"repro/internal/planner"
 	"repro/internal/serve"
+	"repro/internal/solver"
 )
 
 func main() {
-	addr := flag.String("addr", ":8372", "listen address")
-	dsName := flag.String("dataset", "amazon", "dataset: amazon | epinions | synthetic")
-	scale := flag.Float64("scale", 0.01, "dataset scale (1.0 = paper scale)")
-	seed := flag.Uint64("seed", 42, "random seed")
-	users := flag.Int("users", 2000, "user count (synthetic dataset only)")
-	algoName := flag.String("algo", "GG", "planning algorithm: GG | GG-No | SLG | RLG | TopRev")
-	perms := flag.Int("perms", 5, "RL-Greedy permutations")
-	loadInstance := flag.String("load-instance", "", "load the instance from a JSON file instead of generating one")
-	snapshot := flag.String("snapshot", "", "snapshot file: restore from it at boot if present, write it on shutdown")
-	replanEvery := flag.Int("replan-every", 32, "adoptions per background replan")
-	shards := flag.Int("shards", 0, "user-store shard count (0 = next pow2 ≥ GOMAXPROCS)")
-	flag.Parse()
-
-	algo, err := algoByName(*algoName, *perms, *seed)
-	if err != nil {
-		fail(err)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/--help: usage already printed, exit 0
+		}
+		fmt.Fprintf(os.Stderr, "revmaxd: %v\n", err)
+		os.Exit(1)
 	}
-	cfg := serve.Config{Algorithm: algo, Shards: *shards, ReplanEvery: *replanEvery}
+}
 
-	engine, err := bootEngine(cfg, *snapshot, *loadInstance, *dsName, *scale, *seed, *users)
+// run parses args, boots the engine, and serves until a signal or a
+// fatal server error. It is the testable entry point: flag errors and
+// invalid configurations return before anything binds a port.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("revmaxd", flag.ContinueOnError)
+	// Buffer the flag package's output: -h/--help usage is copied to
+	// stdout (exit 0), while parse errors are reported exactly once —
+	// by main, on stderr — instead of also spamming usage onto stdout.
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
+	addr := fs.String("addr", ":8372", "listen address")
+	dsName := fs.String("dataset", "amazon", "dataset: "+strings.Join(dataset.Names(), " | "))
+	scale := fs.Float64("scale", 0.01, "dataset scale (1.0 = paper scale)")
+	seed := fs.Uint64("seed", 42, "random seed")
+	users := fs.Int("users", 2000, "user count (synthetic dataset only)")
+	algoName := fs.String("algo", "GG", "planning algorithm: any solver-registry name or alias")
+	perms := fs.Int("perms", 5, "RL-Greedy permutations")
+	loadInstance := fs.String("load-instance", "", "load the instance from a JSON file instead of generating one")
+	snapshot := fs.String("snapshot", "", "snapshot file: restore from it at boot if present, write it on shutdown")
+	replanEvery := fs.Int("replan-every", 32, "adoptions per background replan")
+	shards := fs.Int("shards", 0, "user-store shard count (0 = next pow2 ≥ GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprint(stdout, usage.String())
+		}
+		return err
+	}
+
+	// Resolve the algorithm up front: a typo in -algo must fail in
+	// milliseconds with the registry's name list, not after dataset
+	// generation.
+	if _, err := solver.Lookup(*algoName); err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Algorithm:   *algoName,
+		Solver:      solver.Options{Perms: *perms, Seed: *seed + 1},
+		Shards:      *shards,
+		ReplanEvery: *replanEvery,
+	}
+
+	engine, err := bootEngine(cfg, *snapshot, *loadInstance, *dsName, *scale, *seed, *users, stdout)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	defer engine.Close()
 
 	st := engine.Stats()
-	fmt.Printf("revmaxd: %d users, %d items, T=%d, k=%d; plan rev %d with %d triples (expected revenue %.2f), %d shards\n",
-		st.Users, st.Items, st.Horizon, st.K, st.PlanRevision, st.PlannedTriples, st.PlanRevenue, st.Shards)
+	fmt.Fprintf(stdout, "revmaxd: %d users, %d items, T=%d, k=%d; plan rev %d with %d triples (expected revenue %.2f), %d shards, algo %s\n",
+		st.Users, st.Items, st.Horizon, st.K, st.PlanRevision, st.PlannedTriples, st.PlanRevenue, st.Shards, *algoName)
 
 	server := &http.Server{
 		Addr:         *addr,
@@ -77,19 +114,19 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- server.ListenAndServe() }()
-	fmt.Printf("revmaxd: listening on %s\n", *addr)
+	fmt.Fprintf(stdout, "revmaxd: listening on %s\n", *addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-	exitCode := 0
+	var serveErr error
 	select {
 	case sig := <-sigc:
-		fmt.Printf("revmaxd: %v — shutting down\n", sig)
+		fmt.Fprintf(stdout, "revmaxd: %v — shutting down\n", sig)
 	case err := <-errc:
 		// Listener died, but the engine is healthy: still run the full
 		// shutdown sequence so accumulated feedback reaches the snapshot.
 		fmt.Fprintf(os.Stderr, "revmaxd: server error: %v — shutting down\n", err)
-		exitCode = 1
+		serveErr = err
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -100,18 +137,16 @@ func main() {
 	engine.Flush()
 	if *snapshot != "" {
 		if err := writeSnapshot(engine, *snapshot); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("revmaxd: snapshot written to %s\n", *snapshot)
+		fmt.Fprintf(stdout, "revmaxd: snapshot written to %s\n", *snapshot)
 	}
-	if exitCode != 0 {
-		os.Exit(exitCode)
-	}
+	return serveErr
 }
 
 // bootEngine restores from the snapshot when one exists, otherwise
 // builds the instance (from file or generator) and plans cold.
-func bootEngine(cfg serve.Config, snapshot, loadInstance, dsName string, scale float64, seed uint64, users int) (*serve.Engine, error) {
+func bootEngine(cfg serve.Config, snapshot, loadInstance, dsName string, scale float64, seed uint64, users int, stdout io.Writer) (*serve.Engine, error) {
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			defer f.Close()
@@ -119,7 +154,7 @@ func bootEngine(cfg serve.Config, snapshot, loadInstance, dsName string, scale f
 			if rerr != nil {
 				return nil, fmt.Errorf("restore %s: %w", snapshot, rerr)
 			}
-			fmt.Printf("revmaxd: restored warm from %s\n", snapshot)
+			fmt.Fprintf(stdout, "revmaxd: restored warm from %s\n", snapshot)
 			return engine, nil
 		} else if !errors.Is(err, os.ErrNotExist) {
 			return nil, err
@@ -141,40 +176,11 @@ func buildInstance(loadInstance, dsName string, scale float64, seed uint64, user
 		defer f.Close()
 		return codec.DecodeInstance(f)
 	}
-	dc := dataset.Config{Seed: seed, Scale: scale}
-	var ds *dataset.Dataset
-	var err error
-	switch dsName {
-	case "amazon":
-		ds, err = dataset.AmazonLike(dc)
-	case "epinions":
-		ds, err = dataset.EpinionsLike(dc)
-	case "synthetic":
-		ds, err = dataset.Scalability(users, dc)
-	default:
-		err = fmt.Errorf("unknown dataset %q", dsName)
-	}
+	ds, err := dataset.Build(dsName, dataset.Config{Seed: seed, Scale: scale, Users: users})
 	if err != nil {
 		return nil, err
 	}
 	return ds.Instance, nil
-}
-
-func algoByName(name string, perms int, seed uint64) (planner.Algorithm, error) {
-	switch name {
-	case "GG":
-		return func(in *model.Instance) *model.Strategy { return core.GGreedy(in).Strategy }, nil
-	case "GG-No":
-		return func(in *model.Instance) *model.Strategy { return core.GlobalNo(in).Strategy }, nil
-	case "SLG":
-		return func(in *model.Instance) *model.Strategy { return core.SLGreedy(in).Strategy }, nil
-	case "RLG":
-		return func(in *model.Instance) *model.Strategy { return core.RLGreedy(in, perms, seed+1).Strategy }, nil
-	case "TopRev":
-		return func(in *model.Instance) *model.Strategy { return core.TopRE(in).Strategy }, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
 }
 
 func writeSnapshot(engine *serve.Engine, path string) error {
@@ -193,9 +199,4 @@ func writeSnapshot(engine *serve.Engine, path string) error {
 		return err
 	}
 	return os.Rename(tmp, path)
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "revmaxd: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestHelpExitsZero: -h prints usage and returns flag.ErrHelp, which
+// main maps to exit code 0 — the cmd/simulate fix, applied here.
+func TestHelpExitsZero(t *testing.T) {
+	for _, arg := range []string{"-h", "--help"} {
+		var buf bytes.Buffer
+		err := run([]string{arg}, &buf)
+		if !errors.Is(err, flag.ErrHelp) {
+			t.Fatalf("run(%s) = %v, want flag.ErrHelp", arg, err)
+		}
+		if !strings.Contains(buf.String(), "-algo") {
+			t.Fatalf("usage output missing flags:\n%s", buf.String())
+		}
+	}
+}
+
+// TestUnknownAlgorithmFailsFast: a bad -algo fails before dataset
+// generation or port binding.
+func TestUnknownAlgorithmFailsFast(t *testing.T) {
+	err := run([]string{"-algo", "definitely-not-real"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if !strings.Contains(err.Error(), "g-greedy") {
+		t.Fatalf("error does not list known algorithms: %v", err)
+	}
+}
+
+// TestUnknownDatasetFails: the dataset registry rejects unknown names.
+func TestUnknownDatasetFails(t *testing.T) {
+	err := run([]string{"-dataset", "netflix"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if !strings.Contains(err.Error(), "amazon") {
+		t.Fatalf("error does not list known datasets: %v", err)
+	}
+}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/revenue"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/solver"
 )
 
 func main() {
@@ -52,18 +54,26 @@ func main() {
 // regular output to stdout.
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
-	fs.SetOutput(stdout)
+	// Buffer the flag package's output: -h/--help usage is copied to
+	// stdout (exit 0), while parse errors are reported exactly once —
+	// by main, on stderr — instead of also spamming usage onto stdout.
+	var usage bytes.Buffer
+	fs.SetOutput(&usage)
 	instPath := fs.String("instance", "", "instance JSON file (replay mode)")
 	stratPath := fs.String("strategy", "", "strategy JSON file (replay mode)")
 	runs := fs.Int("runs", 10000, "Monte-Carlo replications (replay mode)")
 	seed := fs.Uint64("seed", 1, "simulation / scenario seed")
 	stock := fs.Bool("stock", false, "simulate inventory depletion (Definition 4 semantics)")
 	scen := fs.String("scenario", "", "scenario name or 'all' (scenario mode)")
+	algo := fs.String("algo", "", "scenario mode: override the planning algorithm (any solver-registry name; empty keeps each scenario's own)")
 	list := fs.Bool("list-scenarios", false, "list built-in scenarios and exit")
 	asJSON := fs.Bool("json", false, "scenario mode: emit JSON reports instead of text")
 	canonical := fs.Bool("canonical", false, "scenario mode: zero the timing section (deterministic bytes)")
 	outPath := fs.String("out", "", "scenario mode: write the report to this file instead of stdout")
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprint(stdout, usage.String())
+		}
 		return err
 	}
 
@@ -74,7 +84,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	case *scen != "":
-		return runScenarios(*scen, *seed, *asJSON, *canonical, *outPath, stdout)
+		return runScenarios(*scen, *algo, *seed, *asJSON, *canonical, *outPath, stdout)
 	case *instPath != "" && *stratPath != "":
 		return runReplay(*instPath, *stratPath, *runs, *seed, *stock, stdout)
 	default:
@@ -83,8 +93,15 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runScenarios executes the named scenario ("all" for the whole
-// catalog) and renders the reports.
-func runScenarios(name string, seed uint64, asJSON, canonical bool, outPath string, stdout io.Writer) error {
+// catalog), optionally overriding the planning algorithm, and renders
+// the reports.
+func runScenarios(name, algo string, seed uint64, asJSON, canonical bool, outPath string, stdout io.Writer) error {
+	if algo != "" {
+		// Fail fast on a typo, before any scenario work.
+		if _, err := solver.Lookup(algo); err != nil {
+			return err
+		}
+	}
 	var scs []scenario.Scenario
 	if name == "all" {
 		scs = scenario.Catalog()
@@ -94,6 +111,11 @@ func runScenarios(name string, seed uint64, asJSON, canonical bool, outPath stri
 			return err
 		}
 		scs = []scenario.Scenario{sc}
+	}
+	if algo != "" {
+		for i := range scs {
+			scs[i].Algorithm = algo
+		}
 	}
 	var r scenario.Runner
 	outcomes := make([]scenario.Outcome, 0, len(scs))

@@ -45,7 +45,7 @@ func main() {
 	in.FinishCandidates()
 
 	engine, err := revmax.NewServeEngine(in, revmax.ServeConfig{
-		Algorithm:   revmax.GGreedyPlanner,
+		Algorithm:   "g-greedy",
 		ReplanEvery: 25,
 	})
 	if err != nil {
@@ -118,7 +118,7 @@ func main() {
 	if err := engine.Snapshot(&snap); err != nil {
 		panic(err)
 	}
-	restored, err := revmax.RestoreServeEngine(bytes.NewReader(snap.Bytes()), revmax.ServeConfig{Algorithm: revmax.GGreedyPlanner})
+	restored, err := revmax.RestoreServeEngine(bytes.NewReader(snap.Bytes()), revmax.ServeConfig{Algorithm: "g-greedy"})
 	if err != nil {
 		panic(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/model"
@@ -19,8 +20,17 @@ type RatingFn func(u model.UserID, i model.ItemID) float64
 // [T]). Capacity is enforced greedily in user order: an item whose
 // capacity is exhausted is replaced by the next-best-rated item.
 func TopRA(in *model.Instance, rating RatingFn) Result {
+	res, _ := TopRACtx(context.Background(), in, rating)
+	return res
+}
+
+// TopRACtx is TopRA with cancellation, checked once per user.
+func TopRACtx(ctx context.Context, in *model.Instance, rating RatingFn) (Result, error) {
 	st := newState(in)
 	for u := 0; u < in.NumUsers; u++ {
+		if err := ctx.Err(); err != nil {
+			return st.result(st.s.Len(), 0), err
+		}
 		uid := model.UserID(u)
 		items := candidateItems(in, uid)
 		sort.Slice(items, func(a, b int) bool {
@@ -49,7 +59,7 @@ func TopRA(in *model.Instance, rating RatingFn) Result {
 			picked++
 		}
 	}
-	return st.result(st.s.Len(), 0)
+	return st.result(st.s.Len(), 0), nil
 }
 
 // TopRE is the Top-Revenue baseline (§6.1): at every time step, each user
@@ -57,9 +67,18 @@ func TopRA(in *model.Instance, rating RatingFn) Result {
 // p(i,t) · q(u,i,t), ignoring saturation, competition and timing.
 // Capacity is enforced greedily in user order.
 func TopRE(in *model.Instance) Result {
+	res, _ := TopRECtx(context.Background(), in)
+	return res
+}
+
+// TopRECtx is TopRE with cancellation, checked once per (step, user).
+func TopRECtx(ctx context.Context, in *model.Instance) (Result, error) {
 	st := newState(in)
 	for t := model.TimeStep(1); int(t) <= in.T; t++ {
 		for u := 0; u < in.NumUsers; u++ {
+			if err := ctx.Err(); err != nil {
+				return st.result(st.s.Len(), 0), err
+			}
 			uid := model.UserID(u)
 			type scored struct {
 				i model.ItemID
@@ -92,7 +111,7 @@ func TopRE(in *model.Instance) Result {
 			}
 		}
 	}
-	return st.result(st.s.Len(), 0)
+	return st.result(st.s.Len(), 0), nil
 }
 
 // candidateItems returns the distinct items among u's candidates.

@@ -16,6 +16,26 @@ import (
 // strictly positive marginal; the epsilon absorbs float64 noise).
 const Eps = 1e-12
 
+// Progress is one in-flight progress report from a Ctx algorithm
+// variant: Done of Total units finished (permutations for the RL-Greedy
+// family, selections for the greedy scans) and the best revenue found so
+// far. Total is 0 when the unit count is not known up front; Best is 0
+// until a first full candidate strategy exists.
+type Progress struct {
+	// Algorithm is the registry name of the running algorithm; filled by
+	// the solver dispatch layer, empty when a core Ctx function is called
+	// directly.
+	Algorithm string
+	Done      int
+	Total     int
+	Best      float64
+}
+
+// ProgressFn receives progress reports. It is called synchronously from
+// the solving goroutine (RLGreedyParallelCtx serializes calls), so it
+// must be fast; nil disables reporting.
+type ProgressFn func(Progress)
+
 // Result is the output of a RevMax algorithm run.
 type Result struct {
 	Strategy *model.Strategy

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/revenue"
+	"repro/internal/testgen"
+)
+
+func ctxTestInstance(t *testing.T, seed uint64) *model.Instance {
+	t.Helper()
+	in := testgen.Random(dist.NewRNG(seed), testgen.Params{
+		Users: 25, Items: 10, Classes: 3, T: 5, K: 2,
+		MaxCap: 5, CandProb: 0.5, MinPrice: 2, MaxPrice: 90,
+	})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// sameResult asserts two results carry identical strategies and revenue.
+func sameResult(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Revenue != want.Revenue {
+		t.Fatalf("%s: revenue %v != %v", label, got.Revenue, want.Revenue)
+	}
+	g, w := got.Strategy.Triples(), want.Strategy.Triples()
+	if len(g) != len(w) {
+		t.Fatalf("%s: %d triples != %d", label, len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: triple %d: %v != %v", label, i, g[i], w[i])
+		}
+	}
+}
+
+// TestCtxVariantsMatchPlain: with a background context the Ctx variants
+// are byte-identical to the plain functions (the wrappers delegate, so
+// this is the determinism contract of the whole refactor).
+func TestCtxVariantsMatchPlain(t *testing.T) {
+	in := ctxTestInstance(t, 31)
+	ctx := context.Background()
+
+	gg, err := GGreedyCtx(ctx, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "GGreedy", gg, GGreedy(in))
+
+	slg, err := SLGreedyCtx(ctx, in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "SLGreedy", slg, SLGreedy(in))
+
+	rlg, err := RLGreedyCtx(ctx, in, 4, 17, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "RLGreedy", rlg, RLGreedy(in, 4, 17))
+
+	rlgp, err := RLGreedyParallelCtx(ctx, in, 4, 17, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "RLGreedyParallel", rlgp, RLGreedy(in, 4, 17))
+}
+
+// TestRLGreedyCtxCancelMidRun: cancel fired from the progress callback
+// after permutation 1 stops the run within one more permutation, under
+// -race, with ctx.Err() surfaced.
+func TestRLGreedyCtxCancelMidRun(t *testing.T) {
+	in := ctxTestInstance(t, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	_, err := RLGreedyCtx(ctx, in, 100, 3, func(p Progress) {
+		done = p.Done
+		if p.Done == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done > 1 {
+		t.Errorf("completed %d permutations; cancellation after 1 must stop within one iteration", done)
+	}
+}
+
+// TestRLGreedyParallelCtxCancel: a parallel run cancels cleanly — the
+// workers drain, no goroutine leaks past the call, and the error is the
+// context's.
+func TestRLGreedyParallelCtxCancel(t *testing.T) {
+	in := ctxTestInstance(t, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	_, err := RLGreedyParallelCtx(ctx, in, 200, 3, 4, func(p Progress) {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCanceledCtxReturnsImmediately: an already-canceled context aborts
+// every Ctx variant before (or within) its first selection; the partial
+// Result is always accompanied by the error.
+func TestCanceledCtxReturnsImmediately(t *testing.T) {
+	in := ctxTestInstance(t, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := GGreedyCtx(ctx, in, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("GGreedyCtx: %v", err)
+	}
+	if _, err := GGreedyStagedCtx(ctx, in, nil, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("GGreedyStagedCtx: %v", err)
+	}
+	if _, err := SLGreedyCtx(ctx, in, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("SLGreedyCtx: %v", err)
+	}
+	if _, err := RLGreedyCtx(ctx, in, 3, 1, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("RLGreedyCtx: %v", err)
+	}
+	if _, err := RLGreedyStagedCtx(ctx, in, 3, 1, nil, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("RLGreedyStagedCtx: %v", err)
+	}
+	if _, err := RLGreedyParallelCtx(ctx, in, 3, 1, 2, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("RLGreedyParallelCtx: %v", err)
+	}
+	if _, err := NaiveGreedyCtx(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Errorf("NaiveGreedyCtx: %v", err)
+	}
+	if _, err := GlobalNoCtx(ctx, in, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("GlobalNoCtx: %v", err)
+	}
+	if _, err := TopRACtx(ctx, in, func(model.UserID, model.ItemID) float64 { return 0 }); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopRACtx: %v", err)
+	}
+	if _, err := TopRECtx(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopRECtx: %v", err)
+	}
+	if _, err := OptimalCtx(ctx, in); err == nil {
+		// Tiny search spaces can finish between the 4096-node ctx checks;
+		// a full-size instance here exceeds the exhaustive limit instead.
+		t.Log("OptimalCtx finished before a ctx check (acceptable for tiny instances)")
+	}
+}
+
+// TestDeadlineExpiry: a deadline in the past behaves like cancellation
+// (DeadlineExceeded, not a hang).
+func TestDeadlineExpiry(t *testing.T) {
+	in := ctxTestInstance(t, 14)
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	if _, err := RLGreedyCtx(ctx, in, 10, 2, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestGlobalNoCtxPartialScoredOnTrueInstance: the partial result a
+// canceled GlobalNoCtx hands back must be scored under the true
+// saturation model, not the blind beta=1 clone the selection ran on.
+func TestGlobalNoCtxPartialScoredOnTrueInstance(t *testing.T) {
+	in := ctxTestInstance(t, 44)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fired := false
+	res, err := GlobalNoCtx(ctx, in, func(p Progress) {
+		if p.Done >= 3 && !fired {
+			fired = true
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if want := revenue.Revenue(in, res.Strategy); math.Abs(res.Revenue-want) > 1e-9*(1+math.Abs(want)) {
+		t.Fatalf("partial Revenue %v != true Rev(S) %v (scored on the blind clone?)", res.Revenue, want)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/model"
 	"repro/internal/pqueue"
 )
@@ -10,9 +12,19 @@ import (
 // revenue that keeps the strategy valid, using the two-level heap
 // structure and the lazy-forward optimization.
 func GGreedy(in *model.Instance) Result {
+	res, _ := GGreedyCtx(context.Background(), in, nil)
+	return res
+}
+
+// GGreedyCtx is GGreedy with cancellation and progress reporting: the
+// lazy-forward scan checks ctx once per loop iteration and aborts with
+// ctx.Err(), returning the partial strategy selected so far alongside
+// the error. With a background context the output is identical to
+// GGreedy.
+func GGreedyCtx(ctx context.Context, in *model.Instance, progress ProgressFn) (Result, error) {
 	st := newState(in)
-	sel, rec := gGreedyWindow(st, 1, model.TimeStep(in.T))
-	return st.result(sel, rec)
+	sel, rec, err := gGreedyWindow(ctx, st, 1, model.TimeStep(in.T), progress)
+	return st.result(sel, rec), err
 }
 
 // GGreedyStaged runs Global Greedy with prices revealed in sub-horizons
@@ -21,29 +33,45 @@ func GGreedy(in *model.Instance) Result {
 // recommendations before seeing the next window. GGreedyStaged(in) with
 // no cuts is identical to GGreedy(in).
 func GGreedyStaged(in *model.Instance, cuts ...int) Result {
+	res, _ := GGreedyStagedCtx(context.Background(), in, nil, cuts...)
+	return res
+}
+
+// GGreedyStagedCtx is GGreedyStaged with cancellation and progress
+// reporting; see GGreedyCtx for the contract.
+func GGreedyStagedCtx(ctx context.Context, in *model.Instance, progress ProgressFn, cuts ...int) (Result, error) {
 	st := newState(in)
 	sel, rec := 0, 0
 	lo := model.TimeStep(1)
 	for _, c := range cuts {
 		hi := model.TimeStep(c)
 		if hi >= lo {
-			s, r := gGreedyWindow(st, lo, hi)
+			s, r, err := gGreedyWindow(ctx, st, lo, hi, progress)
 			sel += s
 			rec += r
+			if err != nil {
+				return st.result(sel, rec), err
+			}
 			lo = hi + 1
 		}
 	}
 	if int(lo) <= in.T {
-		s, r := gGreedyWindow(st, lo, model.TimeStep(in.T))
+		s, r, err := gGreedyWindow(ctx, st, lo, model.TimeStep(in.T), progress)
 		sel += s
 		rec += r
+		if err != nil {
+			return st.result(sel, rec), err
+		}
 	}
-	return st.result(sel, rec)
+	return st.result(sel, rec), nil
 }
 
 // gGreedyWindow executes Algorithm 1 restricted to candidates whose time
 // step lies in [lo, hi], continuing from whatever st already contains.
-func gGreedyWindow(st *state, lo, hi model.TimeStep) (selections, recomputations int) {
+// ctx is checked once per main-loop iteration — each iteration performs
+// at least one heap operation, so cancellation is seen within one
+// selection attempt.
+func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progress ProgressFn) (selections, recomputations int, err error) {
 	in := st.in
 	heap := pqueue.NewTwoLevel()
 	for u := 0; u < in.NumUsers; u++ {
@@ -67,6 +95,9 @@ func gGreedyWindow(st *state, lo, hi model.TimeStep) (selections, recomputations
 
 	limit := maxSelections(in)
 	for st.s.Len() < limit && !heap.Empty() {
+		if err := ctx.Err(); err != nil {
+			return selections, recomputations, err
+		}
 		e := heap.PeekMax()
 		if e == nil || e.Key <= Eps {
 			break // no remaining triple has positive marginal revenue
@@ -98,8 +129,11 @@ func gGreedyWindow(st *state, lo, hi model.TimeStep) (selections, recomputations
 		st.add(z, e.Q)
 		selections++
 		heap.DeleteMax()
+		if progress != nil {
+			progress(Progress{Done: st.s.Len(), Total: limit, Best: st.ev.Total()})
+		}
 	}
-	return selections, recomputations
+	return selections, recomputations, nil
 }
 
 // NaiveGreedy is the reference implementation of Global Greedy: every
@@ -108,6 +142,13 @@ func gGreedyWindow(st *state, lo, hi model.TimeStep) (selections, recomputations
 // certify that the lazy-forward two-level-heap implementation selects an
 // equally good strategy.
 func NaiveGreedy(in *model.Instance) Result {
+	res, _ := NaiveGreedyCtx(context.Background(), in)
+	return res
+}
+
+// NaiveGreedyCtx is NaiveGreedy with cancellation, checked once per
+// selection scan.
+func NaiveGreedyCtx(ctx context.Context, in *model.Instance) (Result, error) {
 	st := newState(in)
 	type cand struct {
 		z    model.Triple
@@ -123,6 +164,9 @@ func NaiveGreedy(in *model.Instance) Result {
 	limit := maxSelections(in)
 	selections := 0
 	for st.s.Len() < limit {
+		if err := ctx.Err(); err != nil {
+			return st.result(selections, 0), err
+		}
 		best := -1
 		bestGain := Eps
 		for i := range cands {
@@ -147,7 +191,7 @@ func NaiveGreedy(in *model.Instance) Result {
 		cands[best].dead = true
 		selections++
 	}
-	return st.result(selections, 0)
+	return st.result(selections, 0), nil
 }
 
 // GlobalNo is the "degenerated" G-Greedy of §6.1: it selects triples as
@@ -155,9 +199,20 @@ func NaiveGreedy(in *model.Instance) Result {
 // scored under the true saturation factors. It quantifies the revenue
 // lost by ignoring saturation.
 func GlobalNo(in *model.Instance) Result {
+	res, _ := GlobalNoCtx(context.Background(), in, nil)
+	return res
+}
+
+// GlobalNoCtx is GlobalNo with cancellation and progress reporting.
+// The partial result accompanying a cancellation error is re-scored on
+// the true instance like a completed run — its Revenue is always the
+// real Rev(S), never the inflated saturation-free value the blind
+// selection ran on. (Progress reports, which stream mid-selection, do
+// carry the blind objective.)
+func GlobalNoCtx(ctx context.Context, in *model.Instance, progress ProgressFn) (Result, error) {
 	blind := in.ShallowCloneWithBeta(1)
-	res := GGreedy(blind)
-	return scoreOn(in, res)
+	res, err := GGreedyCtx(ctx, blind, progress)
+	return scoreOn(in, res), err
 }
 
 // scoreOn re-scores a result's strategy under instance in's true model.

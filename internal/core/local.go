@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dist"
@@ -13,14 +14,29 @@ import (
 // 1, 2, ..., T; within each step a single-level max-heap with lazy
 // forward performs the greedy selection.
 func SLGreedy(in *model.Instance) Result {
+	res, _ := SLGreedyCtx(context.Background(), in, nil)
+	return res
+}
+
+// SLGreedyCtx is SLGreedy with cancellation and progress reporting (one
+// report per finalized time step). Cancellation is checked once per
+// selection attempt inside each step and aborts with ctx.Err(),
+// returning the partial strategy alongside the error.
+func SLGreedyCtx(ctx context.Context, in *model.Instance, progress ProgressFn) (Result, error) {
 	st := newState(in)
 	sel, rec := 0, 0
 	for t := model.TimeStep(1); int(t) <= in.T; t++ {
-		s, r := localRound(st, t)
+		s, r, err := localRound(ctx, st, t)
 		sel += s
 		rec += r
+		if err != nil {
+			return st.result(sel, rec), err
+		}
+		if progress != nil {
+			progress(Progress{Done: int(t), Total: in.T, Best: st.ev.Total()})
+		}
 	}
-	return st.result(sel, rec)
+	return st.result(sel, rec), nil
 }
 
 // RLGreedy runs Randomized Local Greedy (§5.2): it samples n distinct
@@ -29,32 +45,61 @@ func SLGreedy(in *model.Instance) Result {
 // run is deterministic for a fixed seed. n is capped at T! for tiny
 // horizons.
 func RLGreedy(in *model.Instance, n int, seed uint64) Result {
+	res, _ := RLGreedyCtx(context.Background(), in, n, seed, nil)
+	return res
+}
+
+// RLGreedyCtx is RLGreedy with cancellation and progress reporting (one
+// report per completed permutation). Cancellation is checked before
+// every permutation and once per selection attempt within one, so a
+// canceled run returns within a single permutation round with ctx.Err()
+// and the best complete strategy found so far.
+func RLGreedyCtx(ctx context.Context, in *model.Instance, n int, seed uint64, progress ProgressFn) (Result, error) {
 	perms := samplePermutations(in.T, n, seed)
 	var best Result
 	for idx, perm := range perms {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
 		st := newState(in)
 		sel, rec := 0, 0
 		for _, t := range perm {
-			s, r := localRound(st, model.TimeStep(t))
+			s, r, err := localRound(ctx, st, model.TimeStep(t))
 			sel += s
 			rec += r
+			if err != nil {
+				return best, err
+			}
 		}
 		res := st.result(sel, rec)
 		if idx == 0 || res.Revenue > best.Revenue {
 			best = res
 		}
+		if progress != nil {
+			progress(Progress{Done: idx + 1, Total: len(perms), Best: best.Revenue})
+		}
 	}
-	return best
+	return best, nil
 }
 
 // RLGreedyStaged is RL-Greedy under gradual price availability (§6.3):
 // permutations are sampled within each sub-horizon window independently,
 // since the algorithm cannot reorder time steps it has not seen yet.
 func RLGreedyStaged(in *model.Instance, n int, seed uint64, cuts ...int) Result {
+	res, _ := RLGreedyStagedCtx(context.Background(), in, n, seed, nil, cuts...)
+	return res
+}
+
+// RLGreedyStagedCtx is RLGreedyStaged with cancellation and progress
+// reporting; see RLGreedyCtx for the contract (one report per trial).
+func RLGreedyStagedCtx(ctx context.Context, in *model.Instance, n int, seed uint64, progress ProgressFn, cuts ...int) (Result, error) {
 	windows := windowsOf(in.T, cuts)
 	var best Result
 	rng := dist.NewRNG(seed)
 	for trial := 0; trial < n; trial++ {
+		if err := ctx.Err(); err != nil {
+			return best, err
+		}
 		st := newState(in)
 		sel, rec := 0, 0
 		for _, w := range windows {
@@ -62,17 +107,23 @@ func RLGreedyStaged(in *model.Instance, n int, seed uint64, cuts ...int) Result 
 			copy(order, w)
 			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 			for _, t := range order {
-				s, r := localRound(st, model.TimeStep(t))
+				s, r, err := localRound(ctx, st, model.TimeStep(t))
 				sel += s
 				rec += r
+				if err != nil {
+					return best, err
+				}
 			}
 		}
 		res := st.result(sel, rec)
 		if trial == 0 || res.Revenue > best.Revenue {
 			best = res
 		}
+		if progress != nil {
+			progress(Progress{Done: trial + 1, Total: n, Best: best.Revenue})
+		}
 	}
-	return best
+	return best, nil
 }
 
 // windowsOf splits [1..T] at the given cut points: cuts = [c₁, ...] gives
@@ -101,8 +152,10 @@ func windowsOf(T int, cuts []int) [][]int {
 }
 
 // localRound performs the greedy selection for one time step (Algorithm
-// 2, lines 5–15), continuing from st's current strategy.
-func localRound(st *state, t model.TimeStep) (selections, recomputations int) {
+// 2, lines 5–15), continuing from st's current strategy. ctx is checked
+// once per heap iteration, so a canceled round aborts within one
+// selection attempt.
+func localRound(ctx context.Context, st *state, t model.TimeStep) (selections, recomputations int, err error) {
 	in := st.in
 	var heap pqueue.Max
 	for u := 0; u < in.NumUsers; u++ {
@@ -119,6 +172,9 @@ func localRound(st *state, t model.TimeStep) (selections, recomputations int) {
 		}
 	}
 	for !heap.Empty() {
+		if err := ctx.Err(); err != nil {
+			return selections, recomputations, err
+		}
 		e := heap.Peek()
 		if e.Key <= Eps {
 			break
@@ -140,7 +196,7 @@ func localRound(st *state, t model.TimeStep) (selections, recomputations int) {
 		selections++
 		heap.Pop()
 	}
-	return selections, recomputations
+	return selections, recomputations, nil
 }
 
 // samplePermutations returns up to n distinct uniform permutations of

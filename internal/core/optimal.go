@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -17,6 +18,13 @@ const maxExhaustiveCandidates = 22
 // exists to certify the heuristics on tiny instances (REVMAX is NP-hard,
 // Theorem 1, so no better exact general-purpose solver is expected).
 func Optimal(in *model.Instance) (Result, error) {
+	return OptimalCtx(context.Background(), in)
+}
+
+// OptimalCtx is Optimal with cancellation: the exhaustive search checks
+// ctx every few thousand explored subsets and aborts with ctx.Err()
+// (the exponential search is exactly where a deadline matters most).
+func OptimalCtx(ctx context.Context, in *model.Instance) (Result, error) {
 	var cands []model.Candidate
 	for u := 0; u < in.NumUsers; u++ {
 		cands = append(cands, in.UserCandidates(model.UserID(u))...)
@@ -28,9 +36,18 @@ func Optimal(in *model.Instance) (Result, error) {
 	st := newState(in)
 	best := model.NewStrategy()
 	bestRev := 0.0
+	nodes := 0
+	canceled := false
 
 	var dfs func(idx int)
 	dfs = func(idx int) {
+		if canceled {
+			return
+		}
+		if nodes++; nodes&0xFFF == 0 && ctx.Err() != nil {
+			canceled = true
+			return
+		}
 		if idx == len(cands) {
 			if r := st.ev.Total(); r > bestRev {
 				bestRev = r
@@ -61,6 +78,9 @@ func Optimal(in *model.Instance) (Result, error) {
 		}
 	}
 	dfs(0)
+	if canceled {
+		return Result{}, ctx.Err()
+	}
 
 	return Result{Strategy: best, Revenue: revenue.Revenue(in, best), Selections: best.Len()}, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -15,6 +16,18 @@ import (
 // permutations are sampled up front and the best revenue wins, with
 // ties broken by permutation index so scheduling order cannot leak in.
 func RLGreedyParallel(in *model.Instance, n int, seed uint64, workers int) Result {
+	res, _ := RLGreedyParallelCtx(context.Background(), in, n, seed, workers, nil)
+	return res
+}
+
+// RLGreedyParallelCtx is RLGreedyParallel with cancellation and progress
+// reporting. Cancellation is checked before each permutation is
+// dispatched and once per selection attempt inside the workers, so a
+// canceled run drains within one permutation round per worker and
+// returns ctx.Err() with the best fully-completed strategy. Progress
+// calls (one per completed permutation; Best tracks completed runs only)
+// are serialized — the callback never runs concurrently with itself.
+func RLGreedyParallelCtx(ctx context.Context, in *model.Instance, n int, seed uint64, workers int, progress ProgressFn) (Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -23,36 +36,76 @@ func RLGreedyParallel(in *model.Instance, n int, seed uint64, workers int) Resul
 		workers = len(perms)
 	}
 	results := make([]Result, len(perms))
+	completed := make([]bool, len(perms))
 
-	var wg sync.WaitGroup
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // serializes progress reports across workers
+		done int
+		best float64
+	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range next {
+				if ctx.Err() != nil {
+					return
+				}
 				st := newState(in)
 				sel, rec := 0, 0
+				aborted := false
 				for _, t := range perms[idx] {
-					s, r := localRound(st, model.TimeStep(t))
+					s, r, err := localRound(ctx, st, model.TimeStep(t))
 					sel += s
 					rec += r
+					if err != nil {
+						aborted = true
+						break
+					}
+				}
+				if aborted {
+					return
 				}
 				results[idx] = st.result(sel, rec)
+				completed[idx] = true
+				if progress != nil {
+					mu.Lock()
+					done++
+					if results[idx].Revenue > best {
+						best = results[idx].Revenue
+					}
+					progress(Progress{Done: done, Total: len(perms), Best: best})
+					mu.Unlock()
+				}
 			}
 		}()
 	}
+dispatch:
 	for idx := range perms {
-		next <- idx
+		select {
+		case next <- idx:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 
-	best := results[0]
-	for _, res := range results[1:] {
-		if res.Revenue > best.Revenue {
-			best = res
+	var out Result
+	got := false
+	for idx := range results {
+		if !completed[idx] {
+			continue
+		}
+		if !got || results[idx].Revenue > out.Revenue {
+			out = results[idx]
+			got = true
 		}
 	}
-	return best
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
 }

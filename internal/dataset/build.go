@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Builder generates a named dataset from a Config. It mirrors the
+// solver registry's shape: cmds and configs name datasets as strings
+// and resolve them here instead of each maintaining its own switch.
+type Builder func(cfg Config) (*Dataset, error)
+
+var builders = struct {
+	sync.RWMutex
+	m map[string]Builder
+}{m: make(map[string]Builder)}
+
+func init() {
+	RegisterBuilder("amazon", AmazonLike)
+	RegisterBuilder("epinions", EpinionsLike)
+	RegisterBuilder("synthetic", func(cfg Config) (*Dataset, error) {
+		users := cfg.Users
+		if users <= 0 {
+			users = 2000
+		}
+		return Scalability(users, cfg)
+	})
+}
+
+// RegisterBuilder adds a named generator to the registry; it panics on
+// empty or duplicate names (registration runs in init functions).
+func RegisterBuilder(name string, b Builder) {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		panic("dataset: RegisterBuilder with empty name")
+	}
+	builders.Lock()
+	defer builders.Unlock()
+	if _, dup := builders.m[name]; dup {
+		panic(fmt.Sprintf("dataset: builder %q registered twice", name))
+	}
+	builders.m[name] = b
+}
+
+// Build generates the named dataset ("amazon", "epinions",
+// "synthetic"; Names enumerates). The error for an unknown name lists
+// the registered ones.
+func Build(name string, cfg Config) (*Dataset, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	builders.RLock()
+	b, ok := builders.m[key]
+	builders.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown dataset %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	return b(cfg)
+}
+
+// Names returns the registered dataset names, sorted.
+func Names() []string {
+	builders.RLock()
+	defer builders.RUnlock()
+	out := make([]string, 0, len(builders.m))
+	for n := range builders.m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseCapacityDist inverts CapacityDist.String: it resolves the CLI
+// spellings ("normal", "exponential", "power", "uniform") shared by
+// every cmd that exposes a -cap flag.
+func ParseCapacityDist(s string) (CapacityDist, error) {
+	for _, cd := range []CapacityDist{CapGaussian, CapExponential, CapPowerLaw, CapUniform} {
+		if cd.String() == s {
+			return cd, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown capacity distribution %q (normal | exponential | power | uniform)", s)
+}

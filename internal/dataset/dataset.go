@@ -55,6 +55,12 @@ type Config struct {
 	Seed  uint64
 	Scale float64 // 1.0 = paper scale; default 0.01
 
+	// Users is the synthetic scalability series' user count (default
+	// 2000); the named crawls derive their counts from Scale and ignore
+	// it. Only Build consults this field — the direct Scalability call
+	// takes the count as a parameter.
+	Users int
+
 	T    int // horizon; default 7 (Amazon/Epinions), 5 (scalability)
 	K    int // display limit; default 3
 	TopN int // candidate items per user; default 100·Scale, min 5

@@ -242,3 +242,51 @@ func TestCandidateBudgetPerUser(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildRegistry: dataset.Build resolves the named generators identically
+// to calling them directly, dataset.Names round-trips, and the -cap spellings
+// invert String().
+func TestBuildRegistry(t *testing.T) {
+	cfg := dataset.Config{Seed: 5, Scale: 0.002}
+	direct, err := dataset.AmazonLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := dataset.Build("amazon", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Instance.NumCandidates() != direct.Instance.NumCandidates() ||
+		built.Instance.NumUsers != direct.Instance.NumUsers {
+		t.Fatalf("dataset.Build(amazon) shape (%d users, %d cands) != direct (%d, %d)",
+			built.Instance.NumUsers, built.Instance.NumCandidates(),
+			direct.Instance.NumUsers, direct.Instance.NumCandidates())
+	}
+
+	syn, err := dataset.Build("synthetic", dataset.Config{Seed: 5, Scale: 0.002, Users: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syn.Instance.NumUsers != 120 {
+		t.Fatalf("synthetic Users=120 produced %d users", syn.Instance.NumUsers)
+	}
+
+	if _, err := dataset.Build("no-such-dataset", cfg); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	for _, name := range dataset.Names() {
+		if _, err := dataset.Build(name, dataset.Config{Seed: 1, Scale: 0.002, Users: 40}); err != nil {
+			t.Fatalf("dataset.Build(%q): %v", name, err)
+		}
+	}
+
+	for _, cd := range []dataset.CapacityDist{dataset.CapGaussian, dataset.CapExponential, dataset.CapPowerLaw, dataset.CapUniform} {
+		got, err := dataset.ParseCapacityDist(cd.String())
+		if err != nil || got != cd {
+			t.Fatalf("dataset.ParseCapacityDist(%q) = (%v, %v), want %v", cd.String(), got, err, cd)
+		}
+	}
+	if _, err := dataset.ParseCapacityDist("zipf"); err == nil {
+		t.Fatal("unknown capacity distribution accepted")
+	}
+}

@@ -11,12 +11,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/model"
+	"repro/internal/solver"
 )
 
 // Config shapes every experiment run.
@@ -65,25 +69,25 @@ type AlgoRun struct {
 	Result     core.Result
 }
 
-// runAlgo executes the named algorithm on a dataset.
+// runAlgo executes the named algorithm on a dataset through the solver
+// registry. Legend names ("GG", "RLG", ...) resolve as aliases; staged
+// spellings like "GG_2" and "RLG_4" (Figure 7's legend) map onto the
+// staged variants with the suffix as the sub-horizon cut-off.
 func runAlgo(name string, ds *dataset.Dataset, cfg Config) AlgoRun {
+	opts := solver.Options{
+		Algorithm: name,
+		Perms:     cfg.Perms,
+		Seed:      cfg.Seed + 1,
+		Rating:    core.RatingFn(ds.Rating),
+	}
+	if base, cut, ok := splitStagedName(name); ok {
+		opts.Algorithm = base
+		opts.Cuts = []int{cut}
+	}
 	start := time.Now()
-	var res core.Result
-	switch name {
-	case AlgoGG:
-		res = core.GGreedy(ds.Instance)
-	case AlgoGGNo:
-		res = core.GlobalNo(ds.Instance)
-	case AlgoRLG:
-		res = core.RLGreedy(ds.Instance, cfg.Perms, cfg.Seed+1)
-	case AlgoSLG:
-		res = core.SLGreedy(ds.Instance)
-	case AlgoTopRev:
-		res = core.TopRE(ds.Instance)
-	case AlgoTopRat:
-		res = core.TopRA(ds.Instance, core.RatingFn(ds.Rating))
-	default:
-		panic(fmt.Sprintf("experiments: unknown algorithm %q", name))
+	res, err := solver.Solve(context.Background(), ds.Instance, opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: algorithm %q: %v", name, err))
 	}
 	return AlgoRun{
 		Name:       name,
@@ -92,6 +96,26 @@ func runAlgo(name string, ds *dataset.Dataset, cfg Config) AlgoRun {
 		Selections: res.Selections,
 		Result:     res,
 	}
+}
+
+// splitStagedName parses Figure 7's "GG_<cut>"/"RLG_<cut>" legend names
+// into the staged registry algorithms plus the cut-off.
+func splitStagedName(name string) (base string, cut int, ok bool) {
+	i := strings.LastIndexByte(name, '_')
+	if i < 0 {
+		return "", 0, false
+	}
+	cut, err := strconv.Atoi(name[i+1:])
+	if err != nil || cut < 1 {
+		return "", 0, false
+	}
+	switch name[:i] {
+	case AlgoGG:
+		return solver.NameGGreedyStaged, cut, true
+	case AlgoRLG:
+		return solver.NameRLGreedyStaged, cut, true
+	}
+	return "", 0, false
 }
 
 // datasetKind selects the generator used in a panel.

@@ -97,12 +97,11 @@ func Figure7(cfg Config) (*Figure7Result, error) {
 				Label:    "beta=0.5",
 				Revenues: map[string]float64{},
 			}
-			p.Revenues[AlgoGG] = core.GGreedy(ds.Instance).Revenue
-			p.Revenues[AlgoSLG] = core.SLGreedy(ds.Instance).Revenue
-			p.Revenues[AlgoRLG] = core.RLGreedy(ds.Instance, cfg.Perms, cfg.Seed+1).Revenue
-			for _, cut := range []int{2, 4, 5} {
-				p.Revenues[fmt.Sprintf("GG_%d", cut)] = core.GGreedyStaged(ds.Instance, cut).Revenue
-				p.Revenues[fmt.Sprintf("RLG_%d", cut)] = core.RLGreedyStaged(ds.Instance, cfg.Perms, cfg.Seed+1, cut).Revenue
+			// Figure7Algorithms covers both the plain algorithms and the
+			// staged "GG_<cut>"/"RLG_<cut>" spellings; runAlgo resolves them
+			// all through the solver registry.
+			for _, a := range Figure7Algorithms {
+				p.Revenues[a] = runAlgo(a, ds, cfg).Revenue
 			}
 			res.Panels = append(res.Panels, p)
 		}

@@ -1,0 +1,98 @@
+package localsearch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/matroid"
+	"repro/internal/model"
+)
+
+// lsGround builds a small ground set over 3 users × 2 steps.
+func lsGround() []model.Triple {
+	var ground []model.Triple
+	for u := 0; u < 3; u++ {
+		for i := 0; i < 3; i++ {
+			for t := 1; t <= 2; t++ {
+				ground = append(ground, model.Triple{
+					U: model.UserID(u), I: model.ItemID(i), T: model.TimeStep(t),
+				})
+			}
+		}
+	}
+	return ground
+}
+
+// additive is a simple modular objective: each triple contributes a
+// fixed positive weight.
+func additive(s *model.Strategy) float64 {
+	total := 0.0
+	for _, z := range s.Triples() {
+		total += float64(int(z.I)+1) * float64(z.T)
+	}
+	return total
+}
+
+// TestMaximizeCtxBackgroundMatches: MaximizeCtx under a background
+// context returns exactly what Maximize does.
+func TestMaximizeCtxBackgroundMatches(t *testing.T) {
+	ground := lsGround()
+	sys := matroid.NewPartition(1)
+	plain := Maximize(ground, sys, additive, Options{})
+	withCtx, err := MaximizeCtx(context.Background(), ground, sys, additive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCtx.Value != plain.Value || withCtx.Strategy.Len() != plain.Strategy.Len() {
+		t.Fatalf("ctx variant (%v, %d) != plain (%v, %d)",
+			withCtx.Value, withCtx.Strategy.Len(), plain.Value, plain.Strategy.Len())
+	}
+}
+
+// TestMaximizeCtxCanceledUpfront: a pre-canceled context aborts before
+// any oracle call.
+func TestMaximizeCtxCanceledUpfront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	_, err := MaximizeCtx(ctx, lsGround(), matroid.NewPartition(1), func(s *model.Strategy) float64 {
+		calls++
+		return additive(s)
+	}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls > 1 {
+		t.Fatalf("%d oracle calls after upfront cancellation", calls)
+	}
+}
+
+// TestMaximizeCtxCancelMidSearch: canceling from inside the value
+// oracle stops the search within one further oracle call, returns the
+// consistent partial set, and surfaces ctx.Err() — the "within one
+// iteration" contract of the PR checklist, exercised under -race in CI.
+func TestMaximizeCtxCancelMidSearch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	const cancelAt = 7
+	res, err := MaximizeCtx(ctx, lsGround(), matroid.NewPartition(1), func(s *model.Strategy) float64 {
+		calls++
+		if calls == cancelAt {
+			cancel()
+		}
+		return additive(s)
+	}, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One call may already be in flight when cancel fires, plus the
+	// final-value evaluation on the abort path.
+	if calls > cancelAt+2 {
+		t.Errorf("%d oracle calls; cancellation at %d must stop within one call", calls, cancelAt)
+	}
+	if res.Strategy == nil {
+		t.Fatal("aborted search must still return the partial strategy")
+	}
+}

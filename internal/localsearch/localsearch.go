@@ -15,6 +15,8 @@
 package localsearch
 
 import (
+	"context"
+
 	"repro/internal/matroid"
 	"repro/internal/model"
 )
@@ -44,6 +46,15 @@ type Result struct {
 // set subject to the independence system (a matroid for the guarantee to
 // hold; the display-constraint partition matroid in the RevMax use).
 func Maximize(ground []model.Triple, sys matroid.IndependenceSystem, f Value, opts Options) Result {
+	res, _ := MaximizeCtx(context.Background(), ground, sys, f, opts)
+	return res
+}
+
+// MaximizeCtx is Maximize with cancellation: ctx is checked before
+// every value-oracle call — the unit the O(ε⁻¹ n⁴ log n) complexity is
+// counted in — so a canceled search aborts within one oracle call and
+// returns the best set found so far alongside ctx.Err().
+func MaximizeCtx(ctx context.Context, ground []model.Triple, sys matroid.IndependenceSystem, f Value, opts Options) (Result, error) {
 	if opts.Epsilon <= 0 {
 		opts.Epsilon = 0.25
 	}
@@ -58,7 +69,10 @@ func Maximize(ground []model.Triple, sys matroid.IndependenceSystem, f Value, op
 		return f(s)
 	}
 
-	s1, moves1 := localSearch(ground, sys, eval, opts)
+	s1, moves1, err := localSearch(ctx, ground, sys, eval, opts)
+	if err != nil {
+		return Result{Strategy: s1, Value: f(s1), OracleCalls: calls, Moves: moves1}, err
+	}
 	v1 := eval(s1)
 
 	// Second pass on the residual ground set (non-monotone handling).
@@ -68,7 +82,10 @@ func Maximize(ground []model.Triple, sys matroid.IndependenceSystem, f Value, op
 			residual = append(residual, z)
 		}
 	}
-	s2, moves2 := localSearch(residual, sys, eval, opts)
+	s2, moves2, err := localSearch(ctx, residual, sys, eval, opts)
+	if err != nil {
+		return Result{Strategy: s1, Value: v1, OracleCalls: calls, Moves: moves1 + moves2}, err
+	}
 	v2 := eval(s2)
 
 	res := Result{Strategy: s1, Value: v1, OracleCalls: calls, Moves: moves1 + moves2}
@@ -76,15 +93,18 @@ func Maximize(ground []model.Triple, sys matroid.IndependenceSystem, f Value, op
 		res.Strategy = s2
 		res.Value = v2
 	}
-	return res
+	return res, nil
 }
 
 // localSearch runs one pass: seed with the best singleton, then apply
 // improving delete / add / swap moves until none exceeds the threshold.
-func localSearch(ground []model.Triple, sys matroid.IndependenceSystem, eval func(*model.Strategy) float64, opts Options) (*model.Strategy, int) {
+// The returned strategy is always internally consistent (moves are
+// rolled back before an abort), so a canceled pass still hands back a
+// valid — if unconverged — set.
+func localSearch(ctx context.Context, ground []model.Triple, sys matroid.IndependenceSystem, eval func(*model.Strategy) float64, opts Options) (*model.Strategy, int, error) {
 	s := model.NewStrategy()
 	if len(ground) == 0 {
-		return s, 0
+		return s, 0, nil
 	}
 	n := float64(len(ground))
 	threshold := 1 + opts.Epsilon/(n*n*n*n)
@@ -93,6 +113,9 @@ func localSearch(ground []model.Triple, sys matroid.IndependenceSystem, eval fun
 	bestVal := 0.0
 	bestIdx := -1
 	for idx, z := range ground {
+		if err := ctx.Err(); err != nil {
+			return s, 0, err
+		}
 		single := model.StrategyOf(z)
 		if !sys.Independent(single) {
 			continue
@@ -103,7 +126,7 @@ func localSearch(ground []model.Triple, sys matroid.IndependenceSystem, eval fun
 		}
 	}
 	if bestIdx < 0 {
-		return s, 0
+		return s, 0, nil
 	}
 	s.Add(ground[bestIdx])
 	cur := bestVal
@@ -114,6 +137,9 @@ func localSearch(ground []model.Triple, sys matroid.IndependenceSystem, eval fun
 
 		// Delete moves.
 		for _, z := range s.Triples() {
+			if err := ctx.Err(); err != nil {
+				return s, moves, err
+			}
 			s.Remove(z)
 			if v := eval(s); v > cur*threshold {
 				cur = v
@@ -132,6 +158,9 @@ func localSearch(ground []model.Triple, sys matroid.IndependenceSystem, eval fun
 			if s.Contains(z) {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return s, moves, err
+			}
 			s.Add(z)
 			if sys.Independent(s) {
 				if v := eval(s); v > cur*threshold {
@@ -148,11 +177,16 @@ func localSearch(ground []model.Triple, sys matroid.IndependenceSystem, eval fun
 		}
 
 		// Swap moves (one out, one in).
+		var abort error
 		for _, out := range s.Triples() {
 			s.Remove(out)
 			for _, inz := range ground {
 				if s.Contains(inz) || inz == out {
 					continue
+				}
+				if err := ctx.Err(); err != nil {
+					abort = err
+					break
 				}
 				s.Add(inz)
 				if sys.Independent(s) {
@@ -168,11 +202,14 @@ func localSearch(ground []model.Triple, sys matroid.IndependenceSystem, eval fun
 				break
 			}
 			s.Add(out)
+			if abort != nil {
+				return s, moves, abort
+			}
 		}
 		if !improved {
 			break
 		}
 		moves++
 	}
-	return s, moves
+	return s, moves, nil
 }

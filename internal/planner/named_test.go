@@ -1,0 +1,128 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// namedTestInstance builds a small deterministic instance.
+func namedTestInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	in := model.NewInstance(4, 3, 3, 1)
+	for i := 0; i < 3; i++ {
+		in.SetItem(model.ItemID(i), model.ClassID(i%2), 0.7, 3)
+		for ts := 1; ts <= 3; ts++ {
+			in.SetPrice(model.ItemID(i), model.TimeStep(ts), float64(10*(i+1)+ts))
+		}
+	}
+	for u := 0; u < 4; u++ {
+		for i := 0; i < 3; i++ {
+			for ts := 1; ts <= 3; ts++ {
+				if (u+i+ts)%2 == 0 {
+					in.AddCandidate(model.UserID(u), model.ItemID(i), model.TimeStep(ts), 0.4)
+				}
+			}
+		}
+	}
+	in.FinishCandidates()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestNamedMatchesFunc: a registry-resolved planner plans exactly what
+// the equivalent hand-written Algorithm func plans, step by step.
+func TestNamedMatchesFunc(t *testing.T) {
+	in := namedTestInstance(t)
+	named, err := NewNamed(in, solver.Options{Algorithm: "sl-greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := New(in, func(in *model.Instance) *model.Strategy { return core.SLGreedy(in).Strategy })
+
+	for !named.Done() {
+		nr, err := named.PlanStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dr, err := direct.PlanStep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nr) != len(dr) {
+			t.Fatalf("step %d: named issued %d recs, direct %d", named.Now(), len(nr), len(dr))
+		}
+		for i := range nr {
+			if nr[i] != dr[i] {
+				t.Fatalf("step %d rec %d: named %+v != direct %+v", named.Now(), i, nr[i], dr[i])
+			}
+		}
+		if err := named.Observe(nr, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := direct.Observe(dr, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestNamedUnknownAlgorithm: resolution fails at construction.
+func TestNamedUnknownAlgorithm(t *testing.T) {
+	if _, err := NewNamed(namedTestInstance(t), solver.Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := Named(solver.Options{Algorithm: "nope"}); err == nil {
+		t.Fatal("Named accepted an unknown algorithm")
+	}
+}
+
+// TestNamedDefault: the empty name resolves to the default algorithm.
+func TestNamedDefault(t *testing.T) {
+	in := namedTestInstance(t)
+	p, err := NewNamed(in, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := p.PlanStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := New(in, func(in *model.Instance) *model.Strategy { return core.GGreedy(in).Strategy })
+	wrecs, err := want.PlanStep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(wrecs) {
+		t.Fatalf("default Named issued %d recs, G-Greedy %d", len(recs), len(wrecs))
+	}
+}
+
+// TestNamedRLGreedyDefaults: a Named rl-greedy planner with zero
+// options must actually plan (regression for the Perms=0 empty-plan
+// hole).
+func TestNamedRLGreedyDefaults(t *testing.T) {
+	in := namedTestInstance(t)
+	algo, err := Named(solver.Options{Algorithm: "rl-greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := algo(in); s.Len() == 0 {
+		t.Fatal("Named rl-greedy with default options planned an empty strategy")
+	}
+}
+
+// TestNamedRejectsFallibleOptions: top-rating without a Rating
+// predictor must fail at construction — previously it built fine and
+// every plan silently came back empty (verified against revmaxd).
+func TestNamedRejectsFallibleOptions(t *testing.T) {
+	if _, err := Named(solver.Options{Algorithm: "top-rating"}); err == nil {
+		t.Fatal("Named accepted top-rating without Options.Rating")
+	}
+	if _, err := Named(solver.Options{Algorithm: "top-rating", Rating: func(model.UserID, model.ItemID) float64 { return 1 }}); err != nil {
+		t.Fatalf("Named rejected top-rating with a Rating: %v", err)
+	}
+}

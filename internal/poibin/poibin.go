@@ -11,6 +11,8 @@
 package poibin
 
 import (
+	"context"
+
 	"repro/internal/dist"
 )
 
@@ -58,6 +60,7 @@ func (ExactOracle) TailAtMost(probs []float64, k int) float64 {
 type MonteCarloOracle struct {
 	Samples int
 	rng     *dist.RNG
+	ctx     context.Context
 }
 
 // NewMonteCarloOracle returns an estimator drawing the given number of
@@ -67,6 +70,24 @@ func NewMonteCarloOracle(samples int, seed uint64) *MonteCarloOracle {
 		samples = 1000
 	}
 	return &MonteCarloOracle{Samples: samples, rng: dist.NewRNG(seed)}
+}
+
+// WithContext returns a view of the oracle bound to ctx: TailAtMost on
+// the returned oracle checks the context every few samples and, once it
+// is done, stops sampling and returns the partial estimate so far. The
+// oracle cannot surface an error through the CapacityOracle interface —
+// the enclosing algorithm (e.g. the local search driving R-REVMAX)
+// observes the same context and reports ctx.Err(); the binding just
+// makes each in-flight oracle call abort promptly too.
+//
+// The receiver is not mutated — a caller-owned oracle keeps working
+// unbounded after the Solve that borrowed it returns — but the view
+// shares the receiver's RNG stream, so (like the oracle itself) the two
+// must not be used concurrently.
+func (m *MonteCarloOracle) WithContext(ctx context.Context) *MonteCarloOracle {
+	bound := *m
+	bound.ctx = ctx
+	return &bound
 }
 
 // TailAtMost estimates Pr[X ≤ k] by simulating the trials.
@@ -79,6 +100,9 @@ func (m *MonteCarloOracle) TailAtMost(probs []float64, k int) float64 {
 	}
 	hits := 0
 	for s := 0; s < m.Samples; s++ {
+		if m.ctx != nil && s&0x1F == 0x1F && m.ctx.Err() != nil {
+			return float64(hits) / float64(s)
+		}
 		count := 0
 		for _, p := range probs {
 			if m.rng.Float64() < p {

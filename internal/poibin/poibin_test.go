@@ -1,6 +1,7 @@
 package poibin_test
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -175,5 +176,36 @@ func TestExactOracleImplementsInterfaceBehaviour(t *testing.T) {
 	var o poibin.ExactOracle
 	if got := o.TailAtMost([]float64{0.5, 0.5}, 1); math.Abs(got-0.75) > 1e-12 {
 		t.Fatalf("ExactOracle tail = %v, want 0.75", got)
+	}
+}
+
+// TestWithContextDoesNotMutateReceiver: binding a context returns a
+// view; the caller-owned oracle keeps sampling fully after the bound
+// view's context is canceled (regression: WithContext used to write
+// the ctx into the shared oracle).
+func TestWithContextDoesNotMutateReceiver(t *testing.T) {
+	probs := make([]float64, 64)
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	exact := poibin.TailAtMost(probs, 32)
+
+	m := poibin.NewMonteCarloOracle(4000, 9)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	bound := m.WithContext(ctx)
+	// The bound view must abort at the first ctx check (sample index
+	// 31), making its partial estimate a fraction over exactly 31
+	// draws — any value that is not a multiple of 1/31 proves it kept
+	// sampling past the canceled context.
+	partial := bound.TailAtMost(probs, 32)
+	if r := partial * 31; math.Abs(r-math.Round(r)) > 1e-9 {
+		t.Fatalf("bound view returned %v, not a k/31 partial estimate — it did not stop at the first ctx check", partial)
+	}
+	// The original oracle must be unaffected: full sample budget, an
+	// estimate near the exact value.
+	got := m.TailAtMost(probs, 32)
+	if math.Abs(got-exact) > 0.05 {
+		t.Fatalf("original oracle estimate %v too far from exact %v after a canceled bound view", got, exact)
 	}
 }

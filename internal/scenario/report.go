@@ -91,7 +91,11 @@ type Timing struct {
 type Outcome struct {
 	Scenario    string `json:"scenario"`
 	Description string `json:"description"`
-	Seed        uint64 `json:"seed"`
+	// Algorithm is the scenario's declared solver-registry name; empty
+	// means the default (G-Greedy) and is omitted, keeping pre-registry
+	// golden reports byte-identical.
+	Algorithm string `json:"algorithm,omitempty"`
+	Seed      uint64 `json:"seed"`
 
 	// Instance shape, for report self-containment.
 	Users         int `json:"users"`

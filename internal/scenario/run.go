@@ -4,27 +4,45 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/revenue"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/solver"
 )
 
-// Runner executes scenarios. The zero value plans with G-Greedy.
+// Runner executes scenarios. The zero value plans with each scenario's
+// declared Algorithm (default G-Greedy), resolved through the solver
+// registry.
 type Runner struct {
-	// Algorithm plans full-horizon and residual strategies for both
-	// paths. nil means G-Greedy (Algorithm 1).
+	// Algorithm, when non-nil, plans full-horizon and residual
+	// strategies for both paths of every scenario, overriding the
+	// per-scenario Scenario.Algorithm name.
+	//
+	// Deprecated: declare Scenario.Algorithm (a solver-registry name)
+	// instead, which keeps scenarios serializable and self-describing.
 	Algorithm planner.Algorithm
 }
 
-func (r Runner) algorithm() planner.Algorithm {
+// algorithmFor resolves the planning function for sc at the given run
+// seed: the Runner-level override if set, otherwise sc.Algorithm
+// through the solver registry. Randomized algorithms draw their seed
+// from the same (name, seed) mix as the instance, so the whole outcome
+// stays a pure function of the pair.
+func (r Runner) algorithmFor(sc Scenario, seed uint64) (planner.Algorithm, error) {
 	if r.Algorithm != nil {
-		return r.Algorithm
+		return r.Algorithm, nil
 	}
-	return func(in *model.Instance) *model.Strategy { return core.GGreedy(in).Strategy }
+	algo, err := planner.Named(solver.Options{
+		Algorithm: sc.Algorithm,
+		Seed:      instanceSeed(sc.Name, seed) ^ 0x5F5E,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+	}
+	return algo, nil
 }
 
 // Run executes sc through both paths at the given seed and reports the
@@ -37,6 +55,16 @@ func (r Runner) Run(sc Scenario, seed uint64) (Outcome, error) {
 	if sc.Trajectories <= 0 {
 		sc.Trajectories = 8
 	}
+	algo, err := r.algorithmFor(sc, seed)
+	if err != nil {
+		return Outcome{}, err
+	}
+	algoName := sc.Algorithm
+	if r.Algorithm != nil {
+		// The deprecated func override planned this run; reporting the
+		// scenario's declared name would misdescribe the numbers.
+		algoName = "custom"
+	}
 	in, err := Build(sc, seed)
 	if err != nil {
 		return Outcome{}, err
@@ -48,6 +76,7 @@ func (r Runner) Run(sc Scenario, seed uint64) (Outcome, error) {
 	out := Outcome{
 		Scenario:      sc.Name,
 		Description:   sc.Description,
+		Algorithm:     algoName,
 		Seed:          seed,
 		Users:         in.NumUsers,
 		Items:         in.NumItems(),
@@ -63,11 +92,11 @@ func (r Runner) Run(sc Scenario, seed uint64) (Outcome, error) {
 	shocks := stockShocksAt(sc.Timeline)
 
 	openStart := time.Now()
-	r.openLoop(sc, seed, in, prices, shocks, totalCap, &out)
+	r.openLoop(sc, seed, algo, in, prices, shocks, totalCap, &out)
 	out.Timing.OpenLoopMillis = float64(time.Since(openStart).Microseconds()) / 1000
 
 	closedStart := time.Now()
-	if err := r.closedLoop(sc, seed, in, prices, shocks, totalCap, &out); err != nil {
+	if err := r.closedLoop(sc, seed, algo, in, prices, shocks, totalCap, &out); err != nil {
 		return Outcome{}, err
 	}
 	out.Timing.ClosedLoopMillis = float64(time.Since(closedStart).Microseconds()) / 1000
@@ -84,9 +113,9 @@ func (r Runner) Run(sc Scenario, seed uint64) (Outcome, error) {
 // simulates the plan against the mutated world: the planner never
 // learns about mid-horizon shocks or price cuts — that blindness is
 // exactly what the regret metric prices.
-func (r Runner) openLoop(sc Scenario, seed uint64, in *model.Instance,
+func (r Runner) openLoop(sc Scenario, seed uint64, algo planner.Algorithm, in *model.Instance,
 	prices [][]float64, shocks map[model.TimeStep][]Mutation, totalCap int, out *Outcome) {
-	strat := r.algorithm()(in)
+	strat := algo(in)
 	out.OpenLoop.PlannedRevenue = revenue.Revenue(in, strat)
 	out.Invariants.OpenLoopStrategyValid = in.CheckValid(strat) == nil
 
@@ -119,9 +148,8 @@ func (r Runner) openLoop(sc Scenario, seed uint64, in *model.Instance,
 // the outcomes back, applies due timeline mutations, and advances the
 // clock with a forced replan — the Recommend/Adopt/Advance cycle of a
 // deployed system, made deterministic by flushing at step boundaries.
-func (r Runner) closedLoop(sc Scenario, seed uint64, pristine *model.Instance,
+func (r Runner) closedLoop(sc Scenario, seed uint64, algo planner.Algorithm, pristine *model.Instance,
 	prices [][]float64, shocks map[model.TimeStep][]Mutation, totalCap int, out *Outcome) error {
-	algo := r.algorithm()
 	users := make([]model.UserID, pristine.NumUsers)
 	for u := range users {
 		users[u] = model.UserID(u)
@@ -134,8 +162,8 @@ func (r Runner) closedLoop(sc Scenario, seed uint64, pristine *model.Instance,
 		// sibling trajectories.
 		world := pristine.Clone()
 		eng, err := serve.NewEngine(world, serve.Config{
-			Algorithm: algo,
-			Shards:    4,
+			Planner: algo,
+			Shards:  4,
 			// Replans happen only at step boundaries (SetNow forces one;
 			// Flush covers pending adoptions), keeping trajectories
 			// independent of feedback-queue timing.

@@ -101,13 +101,19 @@ type Gen struct {
 }
 
 // Scenario is one declarative workload: generator parameters, a
-// timeline of mid-horizon mutations, and an adoption model.
+// timeline of mid-horizon mutations, an adoption model, and the name
+// of the solver both execution paths plan with.
 type Scenario struct {
 	Name        string
 	Description string
 	Gen         Gen
 	Timeline    []Mutation
 	Adoption    Adoption
+	// Algorithm is the solver-registry name both paths plan and replan
+	// with ("g-greedy", "rl-greedy", ...; aliases resolve). Empty means
+	// solver.DefaultAlgorithm — which keeps pre-registry scenario
+	// reports byte-identical. Resolution errors surface from Runner.Run.
+	Algorithm string
 	// Runs is the number of open-loop Monte-Carlo replications.
 	Runs int
 	// Trajectories is the number of independent closed-loop rollouts.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/scenario"
+	"repro/internal/testgen"
 )
 
 // TestCatalogShape pins the suite's contract: at least 6 archetypes,
@@ -136,5 +137,51 @@ func TestOutcomeByteIdentical(t *testing.T) {
 				t.Fatal("seeds 42 and 43 produced identical outcomes")
 			}
 		})
+	}
+}
+
+// TestScenarioNamedAlgorithm: a scenario can declare any registry
+// algorithm by name; the run is deterministic, the outcome records the
+// name, and an unknown name fails Run with an actionable error.
+func TestScenarioNamedAlgorithm(t *testing.T) {
+	sc := scenario.Scenario{
+		Name:        "named-algo-test",
+		Description: "tiny scenario planned with SL-Greedy",
+		Gen: scenario.Gen{Params: testgen.Params{
+			Users: 12, Items: 5, Classes: 2, T: 3, K: 1,
+			MaxCap: 3, CandProb: 0.5, MinPrice: 5, MaxPrice: 60,
+		}},
+		Adoption:     scenario.Adoption{Kind: scenario.AdoptTruthful},
+		Algorithm:    "sl-greedy",
+		Runs:         50,
+		Trajectories: 2,
+	}
+	var r scenario.Runner
+	a, err := r.Run(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Algorithm != "sl-greedy" {
+		t.Fatalf("outcome records algorithm %q, want sl-greedy", a.Algorithm)
+	}
+	b, err := r.Run(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aj) != string(bj) {
+		t.Fatal("named-algorithm scenario is not deterministic across runs")
+	}
+
+	sc.Algorithm = "no-such-algorithm"
+	if _, err := r.Run(sc, 3); err == nil {
+		t.Fatal("unknown scenario algorithm accepted")
 	}
 }

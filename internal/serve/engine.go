@@ -34,14 +34,30 @@ import (
 	"repro/internal/model"
 	"repro/internal/planner"
 	"repro/internal/revenue"
+	"repro/internal/solver"
 )
 
 // Config tunes an Engine. The zero value of every field selects a sane
-// default; Algorithm is the only required field.
+// default: an empty Algorithm plans with solver.DefaultAlgorithm
+// (G-Greedy), so serving configs are fully declarative — a daemon can
+// be pointed at any registered algorithm by name alone.
 type Config struct {
-	// Algorithm plans a strategy for a (residual) instance. Required.
-	// revmax.GGreedyPlanner is the usual choice.
-	Algorithm planner.Algorithm
+	// Algorithm names the registered solver used for planning and
+	// replanning ("g-greedy", "rl-greedy", ...; solver.List()
+	// enumerates, legacy aliases like "GG" resolve). Empty falls back
+	// to Solver.Algorithm, then to solver.DefaultAlgorithm. Ignored
+	// when Planner is set.
+	Algorithm string
+	// Solver carries the named algorithm's options (permutations, seed,
+	// workers, cuts). When both name fields are set, Algorithm wins
+	// over Solver.Algorithm.
+	Solver solver.Options
+	// Planner, when non-nil, bypasses the registry with a custom
+	// planning function.
+	//
+	// Deprecated: solver.Register a named Algorithm and set Algorithm
+	// instead, which keeps the config serializable.
+	Planner planner.Algorithm
 	// Shards overrides the shard count (rounded up to a power of two).
 	// 0 means next pow2 ≥ GOMAXPROCS.
 	Shards int
@@ -60,6 +76,25 @@ func (c *Config) withDefaults() Config {
 		out.QueueDepth = 4096
 	}
 	return out
+}
+
+// planFunc resolves the configured planning algorithm: the deprecated
+// Planner override verbatim, otherwise the named registry algorithm
+// (resolved once here, so an unknown name fails engine construction
+// with solver.Lookup's actionable error instead of failing a replan).
+func (c Config) planFunc() (planner.Algorithm, error) {
+	if c.Planner != nil {
+		return c.Planner, nil
+	}
+	opts := c.Solver
+	if c.Algorithm != "" {
+		opts.Algorithm = c.Algorithm
+	}
+	algo, err := planner.Named(opts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return algo, nil
 }
 
 // Event is one piece of adoption feedback: user U was shown item I at
@@ -104,8 +139,9 @@ type stockSet struct {
 // Engine is the online serving engine. All exported methods are safe for
 // concurrent use.
 type Engine struct {
-	in  *model.Instance
-	cfg Config
+	in   *model.Instance
+	cfg  Config
+	algo planner.Algorithm // resolved once from cfg by planFunc
 
 	shards []shard
 	mask   uint32
@@ -130,19 +166,21 @@ type Engine struct {
 	met *meter
 }
 
-// NewEngine plans an initial strategy for in with cfg.Algorithm and
-// starts the feedback loop. The instance must be finished
+// NewEngine plans an initial strategy for in with the configured
+// algorithm and starts the feedback loop. The instance must be finished
 // (FinishCandidates) and valid; the engine takes ownership of it and of
 // all strategies the algorithm returns.
 func NewEngine(in *model.Instance, cfg Config) (*Engine, error) {
-	if cfg.Algorithm == nil {
-		return nil, errors.New("serve: Config.Algorithm is required")
+	algo, err := cfg.planFunc()
+	if err != nil {
+		return nil, err
 	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	e := newEngineShell(in, cfg)
-	s := cfg.Algorithm(in)
+	e.algo = algo
+	s := algo(in)
 	e.installPlan(s, 1, revenue.Revenue(in, s))
 	e.start()
 	return e, nil
@@ -575,7 +613,7 @@ func (e *Engine) collectFeedback() planner.Feedback {
 // until the single atomic store below.
 func (e *Engine) replanWith(fb planner.Feedback) {
 	residual := planner.Residual(e.in, fb)
-	s := e.cfg.Algorithm(residual)
+	s := e.algo(residual)
 	rev := revenue.Revenue(residual, s)
 	e.installPlan(s, fb.Now, rev)
 	e.replans.Add(1)

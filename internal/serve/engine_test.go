@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/model"
+	"repro/internal/solver"
 )
 
 // testInstance builds a moderately dense instance: users×items
@@ -46,9 +47,8 @@ func ggAlgo(in *model.Instance) *model.Strategy { return core.GGreedy(in).Strate
 
 func newTestEngine(t testing.TB, in *model.Instance, cfg Config) *Engine {
 	t.Helper()
-	if cfg.Algorithm == nil {
-		cfg.Algorithm = ggAlgo
-	}
+	// The zero Config resolves to solver.DefaultAlgorithm (G-Greedy)
+	// through the registry; tests exercise exactly that path.
 	e, err := NewEngine(in, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -384,7 +384,7 @@ func TestSnapshotRestoreByteIdentical(t *testing.T) {
 	if err := e.Snapshot(&snap); err != nil {
 		t.Fatal(err)
 	}
-	r, err := Restore(bytes.NewReader(snap.Bytes()), Config{Algorithm: ggAlgo})
+	r, err := Restore(bytes.NewReader(snap.Bytes()), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,10 +425,10 @@ func TestSnapshotRestoreByteIdentical(t *testing.T) {
 }
 
 func TestRestoreRejectsGarbage(t *testing.T) {
-	if _, err := Restore(bytes.NewReader([]byte("{}")), Config{Algorithm: ggAlgo}); err == nil {
+	if _, err := Restore(bytes.NewReader([]byte("{}")), Config{}); err == nil {
 		t.Fatal("empty snapshot accepted")
 	}
-	if _, err := Restore(bytes.NewReader([]byte("not json")), Config{Algorithm: ggAlgo}); err == nil {
+	if _, err := Restore(bytes.NewReader([]byte("not json")), Config{}); err == nil {
 		t.Fatal("garbage accepted")
 	}
 	in := testInstance(t, 10, 4, 2, 1, 8)
@@ -437,8 +437,8 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 	if err := e.Snapshot(&snap); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Restore(bytes.NewReader(snap.Bytes()), Config{}); err == nil {
-		t.Fatal("restore without algorithm accepted")
+	if _, err := Restore(bytes.NewReader(snap.Bytes()), Config{Algorithm: "no-such-algorithm"}); err == nil {
+		t.Fatal("restore with an unknown algorithm name accepted")
 	}
 	// A corrupted strategy (out-of-range triple) must be rejected with an
 	// error, not a panic in buildPlan.
@@ -451,14 +451,14 @@ func TestRestoreRejectsGarbage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Restore(bytes.NewReader(tampered), Config{Algorithm: ggAlgo}); err == nil {
+	if _, err := Restore(bytes.NewReader(tampered), Config{}); err == nil {
 		t.Fatal("snapshot with out-of-range strategy triple accepted")
 	}
 }
 
 func TestFeedAfterCloseFails(t *testing.T) {
 	in := testInstance(t, 10, 4, 2, 1, 9)
-	e, err := NewEngine(in, Config{Algorithm: ggAlgo})
+	e, err := NewEngine(in, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -606,9 +606,61 @@ func ExampleEngine() {
 	in.AddCandidate(0, 0, 1, 0.5)
 	in.AddCandidate(1, 1, 1, 0.25)
 	in.FinishCandidates()
-	e, _ := NewEngine(in, Config{Algorithm: ggAlgo})
+	e, _ := NewEngine(in, Config{})
 	defer e.Close()
 	recs, _ := e.Recommend(0, 1)
 	fmt.Printf("user 0 at t=1: item %d, price %.0f, prob %.2f\n", recs[0].Item, recs[0].Price, recs[0].Prob)
 	// Output: user 0 at t=1: item 0, price 10, prob 0.50
+}
+
+// TestConfigAlgorithmResolution: a named algorithm (alias spelling
+// included) resolves through the solver registry and plans exactly
+// what the deprecated Planner-func override plans; an unknown name
+// fails engine construction with an actionable error.
+func TestConfigAlgorithmResolution(t *testing.T) {
+	in := testInstance(t, 24, 6, 3, 1, 4)
+	named, err := NewEngine(in, Config{Algorithm: "GG", ReplanEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer named.Close()
+	override, err := NewEngine(in, Config{Planner: ggAlgo, ReplanEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer override.Close()
+	a, b := named.Strategy().Triples(), override.Strategy().Triples()
+	if len(a) != len(b) {
+		t.Fatalf("named plan has %d triples, Planner override %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans diverge at triple %d: %v != %v", i, a[i], b[i])
+		}
+	}
+	if _, err := NewEngine(in, Config{Algorithm: "no-such-algorithm"}); err == nil {
+		t.Fatal("unknown algorithm name accepted")
+	}
+}
+
+// TestConfigSolverAlgorithmFallback: with Config.Algorithm empty, the
+// name inside Config.Solver wins over the default (regression:
+// planFunc used to clobber it with the empty string).
+func TestConfigSolverAlgorithmFallback(t *testing.T) {
+	in := testInstance(t, 24, 6, 3, 1, 4)
+	viaSolver, err := NewEngine(in, Config{Solver: solver.Options{Algorithm: "sl-greedy"}, ReplanEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viaSolver.Close()
+	want := core.SLGreedy(in).Strategy.Triples()
+	got := viaSolver.Strategy().Triples()
+	if len(got) != len(want) {
+		t.Fatalf("Solver.Algorithm fallback planned %d triples, SL-Greedy plans %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("triple %d: %v != %v", i, got[i], want[i])
+		}
+	}
 }

@@ -28,7 +28,7 @@ func restoreSeedCorpus(f *testing.F) []byte {
 		}
 	}
 	in.FinishCandidates()
-	e, err := NewEngine(in, Config{Algorithm: ggAlgo})
+	e, err := NewEngine(in, Config{})
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func FuzzRestore(f *testing.F) {
 	f.Add([]byte(`not json`))
 	f.Add([]byte(`{"version":1,"now":1,"stock":[],"instance":{},"strategy":{}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		e, err := Restore(bytes.NewReader(data), Config{Algorithm: ggAlgo})
+		e, err := Restore(bytes.NewReader(data), Config{})
 		if err != nil {
 			return // rejection is the expected failure mode
 		}

@@ -139,11 +139,12 @@ func (e *Engine) Snapshot(w io.Writer) error {
 // restored engine serves the snapshotted plan immediately — no replan
 // happens at boot, so recommendations are byte-identical to the
 // pre-snapshot engine's — and the feedback loop resumes with the
-// restored state as its baseline. cfg.Algorithm is still required for
-// future replans.
+// restored state as its baseline. cfg still selects the algorithm used
+// for future replans (the snapshot does not record one).
 func Restore(r io.Reader, cfg Config) (*Engine, error) {
-	if cfg.Algorithm == nil {
-		return nil, fmt.Errorf("serve: Config.Algorithm is required")
+	algo, err := cfg.planFunc()
+	if err != nil {
+		return nil, err
 	}
 	var wire snapshotWire
 	if err := json.NewDecoder(r).Decode(&wire); err != nil {
@@ -177,6 +178,7 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 	}
 
 	e := newEngineShell(in, cfg)
+	e.algo = algo
 	e.now.Store(int64(wire.Now))
 	e.adoptions.Store(wire.Adoptions)
 	e.exposures.Store(wire.Exposures)

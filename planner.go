@@ -29,7 +29,19 @@ func NewPlanner(in *Instance, algo PlannerAlgorithm) *Planner {
 	return planner.New(in, algo)
 }
 
+// NewNamedPlanner returns a receding-horizon planner over in whose
+// replanning algorithm is resolved from the solver registry:
+// opts.Algorithm names it, the remaining options tune it. An unknown
+// name fails here, not mid-replan.
+func NewNamedPlanner(in *Instance, opts Options) (*Planner, error) {
+	return planner.NewNamed(in, opts)
+}
+
 // GGreedyPlanner adapts GGreedy to the planner's Algorithm signature.
+//
+// Deprecated: name the algorithm instead — NewNamedPlanner(in,
+// Options{Algorithm: "g-greedy"}) or ServeConfig{Algorithm:
+// "g-greedy"} — which keeps configurations declarative.
 func GGreedyPlanner(in *Instance) *Strategy { return GGreedy(in).Strategy }
 
 // Metrics facade — descriptive statistics of a strategy.

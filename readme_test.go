@@ -1,0 +1,60 @@
+package revmax_test
+
+import (
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	revmax "repro"
+)
+
+// TestReadmeAlgorithmList: the "Registered algorithms" table in
+// README.md names exactly the algorithms revmax.List() returns, and
+// every documented alias resolves to the row's canonical name. CI runs
+// this test by name, so the docs cannot drift from the registry.
+func TestReadmeAlgorithmList(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	start := strings.Index(text, "### Registered algorithms")
+	if start < 0 {
+		t.Fatal("README.md is missing the \"### Registered algorithms\" section")
+	}
+	section := text[start:]
+	if end := strings.Index(section[1:], "\n#"); end >= 0 {
+		section = section[:end+1]
+	}
+
+	// Table rows look like: | `name` | `Alias` | description |
+	rowRE := regexp.MustCompile("(?m)^\\| `([a-z0-9-]+)` \\| ([^|]+) \\|")
+	var documented []string
+	aliases := make(map[string]string)
+	for _, m := range rowRE.FindAllStringSubmatch(section, -1) {
+		name := m[1]
+		documented = append(documented, name)
+		if a := strings.Trim(strings.TrimSpace(m[2]), "`"); a != "" && a != "—" {
+			aliases[a] = name
+		}
+	}
+	sort.Strings(documented)
+
+	registered := revmax.List()
+	if strings.Join(documented, ",") != strings.Join(registered, ",") {
+		t.Fatalf("README algorithm table does not match revmax.List():\n  documented: %v\n  registered: %v",
+			documented, registered)
+	}
+	for alias, canonical := range aliases {
+		a, err := revmax.Lookup(alias)
+		if err != nil {
+			t.Errorf("README documents alias %q, which does not resolve: %v", alias, err)
+			continue
+		}
+		if a.Name() != canonical {
+			t.Errorf("README alias %q resolves to %q, table says %q", alias, a.Name(), canonical)
+		}
+	}
+}

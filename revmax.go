@@ -15,8 +15,16 @@
 //	in.SetPrice(item, t, price)
 //	in.AddCandidate(user, item, t, q)
 //	in.FinishCandidates()
-//	res := revmax.GGreedy(in)
+//	res, err := revmax.Solve(ctx, in, revmax.Options{Algorithm: "g-greedy"})
 //	fmt.Println(res.Revenue, res.Strategy.Triples())
+//
+// Solve is the unified entry point: every algorithm — the §5 greedies,
+// the staged §6.3 variants, the §6.1 baselines, the §4.2 local-search
+// approximation — is registered under a name (List enumerates them),
+// runs under a context (cancellation and deadlines abort the inner
+// loops promptly), and reports progress through Options.Progress. The
+// per-algorithm free functions (GGreedy, RLGreedy, ...) remain as thin
+// deprecated wrappers with byte-identical output.
 //
 // The package is a thin facade over the internal subsystem packages; all
 // types are aliases, so values flow freely between the facade and any
@@ -24,14 +32,15 @@
 package revmax
 
 import (
+	"context"
+
 	"repro/internal/core"
-	"repro/internal/localsearch"
 	"repro/internal/matching"
-	"repro/internal/matroid"
 	"repro/internal/model"
 	"repro/internal/poibin"
 	"repro/internal/randprice"
 	"repro/internal/revenue"
+	"repro/internal/solver"
 )
 
 // Core model types.
@@ -70,48 +79,118 @@ func NewStrategy() *Strategy { return model.NewStrategy() }
 // StrategyOf builds a strategy from explicit triples.
 func StrategyOf(ts ...Triple) *Strategy { return model.StrategyOf(ts...) }
 
+// Unified solver API — one entry point over the whole algorithm suite,
+// backed by the internal/solver registry.
+type (
+	// Options configures a Solve call: the algorithm name plus every
+	// tunable the suite understands (permutations, seed, workers,
+	// staged cut-offs, local-search epsilon/oracle, rating predictor,
+	// progress callback). The zero value runs G-Greedy with defaults.
+	Options = solver.Options
+	// Algorithm is one registered solving strategy; implement it (and
+	// RegisterAlgorithm it) to make a custom planner nameable from
+	// configs, scenarios, and the serving daemon.
+	Algorithm = solver.Algorithm
+	// Progress is one in-flight progress report from a running solve.
+	Progress = core.Progress
+	// ProgressFn receives Progress reports via Options.Progress.
+	ProgressFn = core.ProgressFn
+)
+
+// DefaultAlgorithm is the name an empty Options.Algorithm resolves to.
+const DefaultAlgorithm = solver.DefaultAlgorithm
+
+// Solve runs the named algorithm on in under ctx. Cancellation and
+// deadlines propagate into the algorithms' inner loops, which abort
+// promptly with ctx.Err(); a canceled Solve never returns a Result
+// without a non-nil error. See List for the registered names.
+func Solve(ctx context.Context, in *Instance, opts Options) (Result, error) {
+	return solver.Solve(ctx, in, opts)
+}
+
+// List returns the canonical names of every registered algorithm,
+// sorted (aliases like "GG" resolve through Lookup but are not listed).
+func List() []string { return solver.List() }
+
+// Lookup resolves an algorithm name or alias, case-insensitively.
+func Lookup(name string) (Algorithm, error) { return solver.Lookup(name) }
+
+// RegisterAlgorithm adds a custom algorithm to the global registry; it
+// panics on duplicate names (call it from an init function).
+func RegisterAlgorithm(a Algorithm) { solver.Register(a) }
+
 // GGreedy runs Global Greedy (Algorithm 1): two-level heaps plus lazy
 // forward, selecting the highest-marginal-revenue triple each step.
+//
+// Deprecated: use Solve(ctx, in, Options{Algorithm: "g-greedy"}), which
+// adds cancellation and progress reporting. Output is byte-identical.
 func GGreedy(in *Instance) Result { return core.GGreedy(in) }
 
 // GGreedyStaged runs Global Greedy with prices revealed in sub-horizons
 // split at the given cut-offs (§6.3).
+//
+// Deprecated: use Solve with Options{Algorithm: "g-greedy-staged",
+// Cuts: cuts}. Output is byte-identical.
 func GGreedyStaged(in *Instance, cuts ...int) Result { return core.GGreedyStaged(in, cuts...) }
 
 // SLGreedy runs Sequential Local Greedy (Algorithm 2): per-time-step
 // greedy in chronological order.
+//
+// Deprecated: use Solve with Options{Algorithm: "sl-greedy"}. Output is
+// byte-identical.
 func SLGreedy(in *Instance) Result { return core.SLGreedy(in) }
 
 // RLGreedy runs Randomized Local Greedy: n sampled permutations of the
 // horizon, best strategy kept (§5.2).
+//
+// Deprecated: use Solve with Options{Algorithm: "rl-greedy", Perms: n,
+// Seed: seed}. Output is byte-identical.
 func RLGreedy(in *Instance, n int, seed uint64) Result { return core.RLGreedy(in, n, seed) }
 
 // RLGreedyParallel is RLGreedy with permutation runs executed
 // concurrently (workers ≤ 0 means GOMAXPROCS); output is identical to
 // the sequential version for the same seed.
+//
+// Deprecated: use Solve with Options{Algorithm: "rl-greedy-parallel",
+// Perms: n, Seed: seed, Workers: workers}. Output is byte-identical.
 func RLGreedyParallel(in *Instance, n int, seed uint64, workers int) Result {
 	return core.RLGreedyParallel(in, n, seed, workers)
 }
 
 // RLGreedyStaged is RLGreedy under gradual price availability (§6.3).
+//
+// Deprecated: use Solve with Options{Algorithm: "rl-greedy-staged",
+// Perms: n, Seed: seed, Cuts: cuts}. Output is byte-identical.
 func RLGreedyStaged(in *Instance, n int, seed uint64, cuts ...int) Result {
 	return core.RLGreedyStaged(in, n, seed, cuts...)
 }
 
 // TopRA is the top-rating baseline: k highest-predicted-rating items per
 // user, repeated across the horizon.
+//
+// Deprecated: use Solve with Options{Algorithm: "top-rating", Rating:
+// rating}. Output is byte-identical.
 func TopRA(in *Instance, rating RatingFn) Result { return core.TopRA(in, rating) }
 
 // TopRE is the top-expected-revenue baseline: k items maximizing
 // p(i,t)·q(u,i,t) per user per step.
+//
+// Deprecated: use Solve with Options{Algorithm: "top-revenue"}. Output
+// is byte-identical.
 func TopRE(in *Instance) Result { return core.TopRE(in) }
 
 // GlobalNo is G-Greedy with saturation ignored during selection and
 // restored during evaluation (the GG-No baseline of §6.1).
+//
+// Deprecated: use Solve with Options{Algorithm: "g-greedy-no"}. Output
+// is byte-identical.
 func GlobalNo(in *Instance) Result { return core.GlobalNo(in) }
 
 // Optimal exhaustively solves tiny instances (≤ ~22 candidates); REVMAX
 // is NP-hard (Theorem 1), so this exists for validation only.
+//
+// Deprecated: use Solve with Options{Algorithm: "optimal"}, which also
+// honors deadlines inside the exponential search.
 func Optimal(in *Instance) (Result, error) { return core.Optimal(in) }
 
 // Revenue computes the expected revenue Rev(S) of Definition 2.
@@ -151,22 +230,17 @@ func EffectiveRevenue(in *Instance, s *Strategy, oracle CapacityOracle) float64 
 // capacity constraint pushed into the effective-revenue objective. It is
 // exponential-ish in practice (O(ε⁻¹ n⁴ log n) oracle calls) and meant
 // for small instances.
+//
+// Deprecated: use Solve with Options{Algorithm: "local-search",
+// Oracle: oracle, Epsilon: epsilon}, which adds cancellation (the
+// context reaches into the oracle calls). Output is byte-identical.
 func LocalSearchRRevMax(in *Instance, oracle CapacityOracle, epsilon float64) Result {
-	var ground []Triple
-	for u := 0; u < in.NumUsers; u++ {
-		for _, c := range in.UserCandidates(UserID(u)) {
-			ground = append(ground, c.Triple)
-		}
-	}
-	sys := matroid.NewPartition(in.K)
-	res := localsearch.Maximize(ground, sys, func(s *Strategy) float64 {
-		return revenue.EffectiveRevenue(in, s, oracle)
-	}, localsearch.Options{Epsilon: epsilon})
-	return Result{
-		Strategy:   res.Strategy,
-		Revenue:    res.Value,
-		Selections: res.Strategy.Len(),
-	}
+	res, _ := solver.Solve(context.Background(), in, Options{
+		Algorithm: "local-search",
+		Oracle:    oracle,
+		Epsilon:   epsilon,
+	})
+	return res
 }
 
 // SolveT1 solves the PTIME T = 1 special case exactly via maximum-weight

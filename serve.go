@@ -16,7 +16,9 @@ import (
 type (
 	// ServeEngine is the online serving engine.
 	ServeEngine = serve.Engine
-	// ServeConfig tunes a ServeEngine (algorithm, shards, replan cadence).
+	// ServeConfig tunes a ServeEngine: the planning algorithm by
+	// solver-registry name (Algorithm + Solver options; the zero value
+	// plans with G-Greedy), shard count, and replan cadence.
 	ServeConfig = serve.Config
 	// ServeEvent is one adoption-feedback event.
 	ServeEvent = serve.Event

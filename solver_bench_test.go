@@ -1,0 +1,105 @@
+package revmax_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	revmax "repro"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// dispatchInstance is a small, fixed instance: the solve itself is a
+// few microseconds, so any registry-dispatch overhead (lookup, options
+// defaulting, progress wrapping) would show up clearly.
+func dispatchInstance(tb testing.TB) *model.Instance {
+	tb.Helper()
+	in := testgen.Random(dist.NewRNG(42), testgen.Params{
+		Users: 20, Items: 8, Classes: 3, T: 4, K: 2,
+		MaxCap: 4, CandProb: 0.4, MinPrice: 5, MaxPrice: 80,
+	})
+	if err := in.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkSolveDispatch compares registry dispatch against the direct
+// core call for the same algorithm — the overhead budget of the
+// unified API. CI runs both and publishes BENCH_solver.json; the
+// difference must be within noise.
+func BenchmarkSolveDispatch(b *testing.B) {
+	in := dispatchInstance(b)
+	ctx := context.Background()
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := core.GGreedy(in)
+			if res.Strategy.Len() == 0 {
+				b.Fatal("empty strategy")
+			}
+		}
+	})
+	b.Run("registry", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := revmax.Solve(ctx, in, revmax.Options{Algorithm: "g-greedy"})
+			if err != nil || res.Strategy.Len() == 0 {
+				b.Fatalf("err=%v len=%d", err, res.Strategy.Len())
+			}
+		}
+	})
+}
+
+// TestSolveDispatchReport, gated on BENCH_SOLVER_OUT, measures both
+// paths with testing.Benchmark and writes the comparison as JSON — the
+// BENCH_solver.json CI artifact proving registry overhead stays within
+// noise of a direct call.
+func TestSolveDispatchReport(t *testing.T) {
+	out := os.Getenv("BENCH_SOLVER_OUT")
+	if out == "" {
+		t.Skip("set BENCH_SOLVER_OUT=<path> to write the dispatch-overhead report")
+	}
+	in := dispatchInstance(t)
+	ctx := context.Background()
+
+	direct := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.GGreedy(in)
+		}
+	})
+	registry := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := revmax.Solve(ctx, in, revmax.Options{Algorithm: "g-greedy"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	directNs := float64(direct.NsPerOp())
+	registryNs := float64(registry.NsPerOp())
+	report := map[string]any{
+		"benchmark":        "SolveDispatch",
+		"algorithm":        "g-greedy",
+		"direct_ns_op":     directNs,
+		"registry_ns_op":   registryNs,
+		"overhead_pct":     100 * (registryNs - directNs) / directNs,
+		"direct_iters":     direct.N,
+		"registry_iters":   registry.N,
+		"registered_algos": revmax.List(),
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("direct %.0f ns/op, registry %.0f ns/op (%.2f%% overhead) → %s",
+		directNs, registryNs, 100*(registryNs-directNs)/directNs, out)
+}
