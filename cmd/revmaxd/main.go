@@ -8,6 +8,7 @@
 //	revmaxd -dataset amazon -scale 0.01 -addr :8372
 //	revmaxd -load-instance catalog.json -algo sl-greedy
 //	revmaxd -algo rl-greedy -perms 20 -snapshot /var/lib/revmaxd.snap
+//	revmaxd -data-dir /var/lib/revmaxd -wal-sync batch -snapshot-interval 5m
 //
 // The planning algorithm is any name in the solver registry (legacy
 // aliases like GG/SLG/RLG included); the daemon's whole planning
@@ -19,9 +20,18 @@
 //	curl 'localhost:8372/v1/recommend?user=7&t=1'
 //	curl -d '{"user":7,"item":3,"t":1,"adopted":true}' localhost:8372/v1/adopt
 //
-// With -snapshot, the daemon restores warm from the file when it exists
-// and writes a fresh snapshot on graceful shutdown (SIGINT/SIGTERM), so
-// a restart serves byte-identical recommendations.
+// Durability. With -data-dir, every state mutation is appended to a
+// CRC-checksummed write-ahead log before it is applied, background
+// snapshots compact the log (-snapshot-interval), and on boot the
+// daemon recovers from the newest valid snapshot plus the WAL tail —
+// tolerating a torn final record, so even kill -9 loses at most the
+// events after the last fsync (-wal-sync policy; see the README's
+// fsync table). Graceful shutdown (SIGINT/SIGTERM) drains the
+// adoption-feedback queue, fsyncs the log, and seals a final snapshot.
+//
+// The legacy -snapshot flag is the in-memory warm-restart path (write
+// one image on shutdown, restore it on boot); it is mutually exclusive
+// with -data-dir, which strictly supersedes it.
 package main
 
 import (
@@ -43,6 +53,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/solver"
+	"repro/internal/store"
 )
 
 func main() {
@@ -73,9 +84,12 @@ func run(args []string, stdout io.Writer) error {
 	algoName := fs.String("algo", "GG", "planning algorithm: any solver-registry name or alias")
 	perms := fs.Int("perms", 5, "RL-Greedy permutations")
 	loadInstance := fs.String("load-instance", "", "load the instance from a JSON file instead of generating one")
-	snapshot := fs.String("snapshot", "", "snapshot file: restore from it at boot if present, write it on shutdown")
+	snapshot := fs.String("snapshot", "", "legacy snapshot file: restore from it at boot if present, write it on shutdown (mutually exclusive with -data-dir)")
 	replanEvery := fs.Int("replan-every", 32, "adoptions per background replan")
 	shards := fs.Int("shards", 0, "user-store shard count (0 = next pow2 ≥ GOMAXPROCS)")
+	dataDir := fs.String("data-dir", "", "durable state directory (write-ahead log + snapshots); recovery happens from here on boot")
+	walSync := fs.String("wal-sync", "batch", "WAL fsync policy: always | batch | none")
+	snapInterval := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot + log compaction period with -data-dir (0 disables; a final snapshot is still written on shutdown)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fmt.Fprint(stdout, usage.String())
@@ -89,11 +103,31 @@ func run(args []string, stdout io.Writer) error {
 	if _, err := solver.Lookup(*algoName); err != nil {
 		return err
 	}
+	if *dataDir != "" && *snapshot != "" {
+		return errors.New("-snapshot and -data-dir are mutually exclusive (the data dir already snapshots on shutdown)")
+	}
+	policy, err := store.ParseSyncPolicy(*walSync)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
 		Algorithm:   *algoName,
 		Solver:      solver.Options{Perms: *perms, Seed: *seed + 1},
 		Shards:      *shards,
 		ReplanEvery: *replanEvery,
+	}
+	if *dataDir != "" {
+		cfg.Durability = &serve.Durability{
+			Dir:  *dataDir,
+			Sync: policy,
+			// HTTP clients have no flush verb, so nothing would ever drive
+			// the batch policy's group commit between checkpoints; the
+			// ticker bounds the window in which acknowledged events are
+			// not yet on disk (fsync under batch, flush-to-kernel under
+			// none so even kill -9 cannot shed user-space buffers).
+			SyncInterval:     200 * time.Millisecond,
+			SnapshotInterval: *snapInterval,
+		}
 	}
 
 	engine, err := bootEngine(cfg, *snapshot, *loadInstance, *dsName, *scale, *seed, *users, stdout)
@@ -134,19 +168,70 @@ func run(args []string, stdout io.Writer) error {
 	if err := server.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "revmaxd: shutdown: %v\n", err)
 	}
-	engine.Flush()
-	if *snapshot != "" {
-		if err := writeSnapshot(engine, *snapshot); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "revmaxd: snapshot written to %s\n", *snapshot)
+	if err := drainAndStop(engine, *snapshot, stdout); err != nil {
+		return err
 	}
 	return serveErr
 }
 
-// bootEngine restores from the snapshot when one exists, otherwise
-// builds the instance (from file or generator) and plans cold.
+// drainAndStop is the graceful-shutdown tail, run after the HTTP
+// listener stops accepting: it drains the adoption-feedback queue
+// (every accepted event applied and replanned over), forces the WAL to
+// stable storage, writes the legacy snapshot file if requested, and
+// closes the engine — which, for durable engines, seals a final
+// snapshot and compacts the log so the next boot recovers warm. It
+// returns the first durability error, so a daemon that silently lost
+// its log exits non-zero instead of pretending the state is safe.
+func drainAndStop(engine *serve.Engine, snapshotPath string, stdout io.Writer) error {
+	syncErr := engine.Sync()
+	if snapshotPath != "" {
+		if err := writeSnapshot(engine, snapshotPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "revmaxd: snapshot written to %s\n", snapshotPath)
+	}
+	engine.Close()
+	if syncErr != nil {
+		return fmt.Errorf("draining state on shutdown: %w", syncErr)
+	}
+	if err := engine.Err(); err != nil {
+		return fmt.Errorf("sealing durable state on shutdown: %w", err)
+	}
+	if st := engine.Stats(); st.Durable {
+		fmt.Fprintf(stdout, "revmaxd: durable state sealed at wal lsn %d\n", st.WALNextLSN)
+	}
+	return nil
+}
+
+// bootEngine picks the boot path: durable recovery when the data dir
+// holds state, a legacy snapshot-file restore when one exists, and
+// otherwise a cold boot — building the instance (from file or
+// generator) and planning fresh.
 func bootEngine(cfg serve.Config, snapshot, loadInstance, dsName string, scale float64, seed uint64, users int, stdout io.Writer) (*serve.Engine, error) {
+	if d := cfg.Durability; d != nil && d.Dir != "" {
+		if store.DirHasState(d.Dir) {
+			// Recovery: the instance lives in the durable snapshot — the
+			// dataset flags are ignored rather than re-generating a world
+			// that would not match the logged events.
+			engine, err := serve.Open(nil, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("recover %s: %w", d.Dir, err)
+			}
+			fmt.Fprintf(stdout, "revmaxd: recovered durable state from %s (wal lsn %d)\n",
+				d.Dir, engine.Stats().WALNextLSN)
+			return engine, nil
+		}
+		in, err := buildInstance(loadInstance, dsName, scale, seed, users)
+		if err != nil {
+			return nil, err
+		}
+		engine, err := serve.Open(in, cfg)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "revmaxd: durable state initialized in %s\n", d.Dir)
+		return engine, nil
+	}
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			defer f.Close()

@@ -6,6 +6,11 @@ import (
 	"flag"
 	"strings"
 	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/testgen"
 )
 
 // TestHelpExitsZero: -h prints usage and returns flag.ErrHelp, which
@@ -43,5 +48,128 @@ func TestUnknownDatasetFails(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "amazon") {
 		t.Fatalf("error does not list known datasets: %v", err)
+	}
+}
+
+// TestBadWALSyncPolicyFailsFast: a bad -wal-sync fails before dataset
+// generation or port binding.
+func TestBadWALSyncPolicyFailsFast(t *testing.T) {
+	err := run([]string{"-data-dir", t.TempDir(), "-wal-sync", "sometimes"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("bad -wal-sync accepted")
+	}
+	if !strings.Contains(err.Error(), "always") {
+		t.Fatalf("error does not list valid policies: %v", err)
+	}
+}
+
+// TestSnapshotAndDataDirConflict: the legacy warm-restart file and the
+// durable data dir cannot be combined.
+func TestSnapshotAndDataDirConflict(t *testing.T) {
+	err := run([]string{"-data-dir", t.TempDir(), "-snapshot", "x.snap"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("conflicting flags not rejected: %v", err)
+	}
+}
+
+func daemonInstance(t *testing.T) *model.Instance {
+	t.Helper()
+	in := testgen.Random(dist.NewRNG(3), testgen.Params{
+		Users: 40, Items: 8, Classes: 4, T: 5, K: 2,
+		MaxCap: 5, CandProb: 0.4, MinPrice: 5, MaxPrice: 50,
+	})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestDrainAndStopPersistsUnflushedEvents is the graceful-shutdown
+// drain contract: events accepted but never flushed by any client must
+// still be applied, fsynced, and sealed into the final snapshot before
+// the process exits — a restart must see every one of them.
+func TestDrainAndStopPersistsUnflushedEvents(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serve.Config{Durability: &serve.Durability{Dir: dir}}
+	var out bytes.Buffer
+	engine, err := bootEngine(cfg, "", "", "", 0, 0, 0, &out)
+	if err == nil {
+		t.Fatal("boot without state or instance source must fail")
+	}
+	engine, err = serve.Open(daemonInstance(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := engine.Instance()
+	const n = 40
+	for k := 0; k < n; k++ {
+		ev := serve.Event{
+			User:    model.UserID(k % in.NumUsers),
+			Item:    model.ItemID(k % in.NumItems()),
+			T:       1,
+			Adopted: k%4 == 0,
+		}
+		if err := engine.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Flush, no Sync: drainAndStop owns making these durable.
+	if err := drainAndStop(engine, "", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "durable state sealed") {
+		t.Fatalf("shutdown did not report sealing: %q", out.String())
+	}
+
+	restarted, err := bootEngine(cfg, "", "", "", 0, 0, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if !strings.Contains(out.String(), "recovered durable state") {
+		t.Fatalf("restart did not recover: %q", out.String())
+	}
+	st := restarted.Stats()
+	if st.Exposures != n {
+		t.Fatalf("restart sees %d exposures, want %d — shutdown drain lost events", st.Exposures, n)
+	}
+	if st.Adoptions != n/4 {
+		t.Fatalf("restart sees %d adoptions, want %d", st.Adoptions, n/4)
+	}
+}
+
+// TestBootRecoversAfterKill: the kill-9 path end to end through the
+// daemon's boot logic — crash without any shutdown handling, reboot,
+// and serve the synced state.
+func TestBootRecoversAfterKill(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serve.Config{Durability: &serve.Durability{Dir: dir}}
+	engine, err := serve.Open(daemonInstance(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := engine.Instance()
+	for k := 0; k < 25; k++ {
+		ev := serve.Event{User: model.UserID(k % in.NumUsers), Item: model.ItemID(k % in.NumItems()), T: 1, Adopted: true}
+		if err := engine.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engine.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	engine.Kill()
+
+	var out bytes.Buffer
+	restarted, err := bootEngine(cfg, "", "", "", 0, 0, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if got := restarted.Stats().Exposures; got != 25 {
+		t.Fatalf("recovered %d exposures after kill, want 25", got)
+	}
+	if _, err := restarted.Recommend(0, restarted.Now()); err != nil {
+		t.Fatal(err)
 	}
 }

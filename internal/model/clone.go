@@ -27,6 +27,29 @@ func (in *Instance) Clone() *Instance {
 	return c
 }
 
+// ClonePrices returns a copy of the instance that shares the immutable
+// item, candidate, and class storage with the original but deep-copies
+// the price table. It exists for the serving engine's snapshot capture:
+// prices are the only instance state the engine ever mutates
+// (ScalePrice), so a price-deep copy is a consistent image at a
+// fraction of a full Clone — the capture runs inside the feedback loop,
+// where a full candidate-set copy would stall event application.
+func (in *Instance) ClonePrices() *Instance {
+	prices := make([][]float64, len(in.prices))
+	for i, ps := range in.prices {
+		prices[i] = append([]float64(nil), ps...)
+	}
+	return &Instance{
+		NumUsers:   in.NumUsers,
+		T:          in.T,
+		K:          in.K,
+		Items:      in.Items,
+		prices:     prices,
+		cands:      in.cands,
+		classItems: in.classItems,
+	}
+}
+
 // ShallowCloneWithBeta returns a copy of the instance that shares price
 // and candidate storage with the original but overrides every item's
 // saturation factor with beta. It exists for the GlobalNo baseline of

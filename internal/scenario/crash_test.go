@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// crashSuiteScenario shrinks a catalog archetype for the crash matrix:
+// the open loop is identical code in both runs, so a small replication
+// count keeps the 6-archetype × 3-seed matrix fast without weakening
+// the comparison (the full canonical Outcome is still compared byte
+// for byte, open loop included).
+func crashSuiteScenario(sc Scenario) Scenario {
+	sc.Runs = 40
+	sc.Trajectories = 3
+	return sc
+}
+
+// TestCrashRecoveryDeterminism is the acceptance gate of the durable
+// state subsystem: for every scenario archetype and several seeds, a
+// closed-loop run whose serving engine is kill -9'd at a pseudo-random
+// step and recovered from its WAL + snapshots must produce canonical
+// Outcome JSON byte-identical to an entirely undisturbed run. Any
+// recovery infidelity — a lost adoption, a mis-replayed stock
+// decrement, a price cut dropped from the recovered instance, a clock
+// off by one — cascades into different replans, different served
+// recommendations, different revenue, and a byte diff.
+func TestCrashRecoveryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is not short")
+	}
+	for _, sc := range Catalog() {
+		sc := crashSuiteScenario(sc)
+		for seed := uint64(1); seed <= 3; seed++ {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed%d", sc.Name, seed), func(t *testing.T) {
+				t.Parallel()
+				base, err := Runner{}.Run(sc, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseJSON, err := base.CanonicalJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				crashed, err := Runner{DataDir: t.TempDir(), CrashRecover: true}.Run(sc, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				crashedJSON, err := crashed.CanonicalJSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(baseJSON, crashedJSON) {
+					t.Fatalf("crash-recovered outcome diverged from uninterrupted run\nuninterrupted:\n%s\ncrash-recovered:\n%s",
+						baseJSON, crashedJSON)
+				}
+			})
+		}
+	}
+}
+
+// TestRunnerDataDirReusable: running twice over the same DataDir must
+// not resurrect the first run's sealed engines — each Run starts its
+// trajectories from clean directories and reaches the same outcome.
+func TestRunnerDataDirReusable(t *testing.T) {
+	sc := crashSuiteScenario(InventoryShock())
+	r := Runner{DataDir: t.TempDir(), CrashRecover: true}
+	first, err := r.Run(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := first.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := second.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fj, sj) {
+		t.Fatalf("second run over a reused DataDir diverged\nfirst:\n%s\nsecond:\n%s", fj, sj)
+	}
+}
+
+// TestDurableWithoutCrashIsByteIdentical isolates the durability layer
+// itself: merely running trajectories on durable engines (WAL appends,
+// rotation, barrier fsyncs, final snapshots — but no crash) must not
+// perturb outcomes either.
+func TestDurableWithoutCrashIsByteIdentical(t *testing.T) {
+	sc := crashSuiteScenario(FlashSale())
+	base, err := Runner{}.Run(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := Runner{DataDir: t.TempDir()}.Run(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := base.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := durable.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bj, dj) {
+		t.Fatalf("durable (no-crash) outcome diverged from pure in-memory run\npure:\n%s\ndurable:\n%s", bj, dj)
+	}
+}

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/dist"
@@ -15,7 +17,15 @@ import (
 
 // Runner executes scenarios. The zero value plans with each scenario's
 // declared Algorithm (default G-Greedy), resolved through the solver
-// registry.
+// registry, and runs closed-loop trajectories on pure in-memory
+// engines. Setting DataDir moves the trajectories onto durable engines
+// (WAL + snapshots, see internal/store); adding CrashRecover turns the
+// runner into the crash-injection harness: every trajectory's engine is
+// killed (kill -9 semantics) at a deterministic pseudo-random step and
+// recovered from disk mid-flight. Because recovery rebuilds serving
+// state bit-identically, a crashed-and-recovered run produces the same
+// canonical Outcome as an undisturbed one — the determinism contract
+// the durability subsystem is tested against.
 type Runner struct {
 	// Algorithm, when non-nil, plans full-horizon and residual
 	// strategies for both paths of every scenario, overriding the
@@ -24,6 +34,52 @@ type Runner struct {
 	// Deprecated: declare Scenario.Algorithm (a solver-registry name)
 	// instead, which keeps scenarios serializable and self-describing.
 	Algorithm planner.Algorithm
+	// DataDir, when non-empty, backs every closed-loop trajectory with a
+	// durable engine rooted at DataDir/<scenario>-seed<seed>-traj<k>.
+	// Small WAL segments are used so even short runs exercise rotation
+	// and compaction.
+	DataDir string
+	// CrashRecover, with DataDir set, kills each trajectory's engine at
+	// a deterministic pseudo-random step boundary — after checkpointing
+	// roughly halfway there — and recovers it from disk before
+	// continuing the trajectory.
+	CrashRecover bool
+}
+
+// engineConfig builds the serving config for one closed-loop
+// trajectory; with DataDir set the engine is durable.
+func (r Runner) engineConfig(sc Scenario, algo planner.Algorithm, seed uint64, k int) serve.Config {
+	cfg := serve.Config{
+		Planner: algo,
+		Shards:  4,
+		// Replans happen only at step boundaries (SetNow forces one;
+		// Flush covers pending adoptions), keeping trajectories
+		// independent of feedback-queue timing.
+		ReplanEvery: 1 << 30,
+	}
+	if r.DataDir != "" {
+		cfg.Durability = &serve.Durability{
+			Dir:          filepath.Join(r.DataDir, fmt.Sprintf("%s-seed%d-traj%d", sc.Name, seed, k)),
+			SegmentBytes: 4096,
+		}
+	}
+	return cfg
+}
+
+// crashPlan returns the step after whose barrier trajectory k is killed
+// and the earlier step at which it checkpoints (0, 0 when crash
+// injection is off). Both are pure functions of (scenario, seed, k).
+func (r Runner) crashPlan(sc Scenario, seed uint64, k int, horizon int) (crashAt, checkpointAt model.TimeStep) {
+	if !r.CrashRecover || r.DataDir == "" || horizon < 2 {
+		return 0, 0
+	}
+	h := instanceSeed(sc.Name+"#crash", seed) + uint64(k)*0x9E3779B97F4A7C15
+	crashAt = model.TimeStep(1 + h%uint64(horizon-1)) // in [1, horizon-1]
+	checkpointAt = (crashAt + 1) / 2
+	if checkpointAt < 1 {
+		checkpointAt = 1
+	}
+	return crashAt, checkpointAt
 }
 
 // algorithmFor resolves the planning function for sc at the given run
@@ -161,21 +217,23 @@ func (r Runner) closedLoop(sc Scenario, seed uint64, algo planner.Algorithm, pri
 		// applied mid-run must not leak into the pristine instance or
 		// sibling trajectories.
 		world := pristine.Clone()
-		eng, err := serve.NewEngine(world, serve.Config{
-			Planner: algo,
-			Shards:  4,
-			// Replans happen only at step boundaries (SetNow forces one;
-			// Flush covers pending adoptions), keeping trajectories
-			// independent of feedback-queue timing.
-			ReplanEvery: 1 << 30,
-		})
+		cfg := r.engineConfig(sc, algo, seed, k)
+		if d := cfg.Durability; d != nil {
+			// A reused DataDir must not resurrect a previous run's sealed
+			// state: serve.Open prefers recovery over the fresh clone, so a
+			// leftover directory would silently replay a finished world.
+			if err := os.RemoveAll(d.Dir); err != nil {
+				return fmt.Errorf("scenario %q: clearing trajectory dir: %w", sc.Name, err)
+			}
+		}
+		eng, err := serve.Open(world, cfg)
 		if err != nil {
 			return fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
 		if k == 0 {
 			out.ClosedLoop.PlannedRevenue = revenue.Revenue(world, eng.Strategy())
 		}
-		tr, err := r.trajectory(sc, seed, k, eng, world, users, prices, shocks, out)
+		tr, eng, err := r.trajectory(sc, seed, k, cfg, eng, world, users, prices, shocks, out)
 		if err != nil {
 			eng.Close()
 			return fmt.Errorf("scenario %q trajectory %d: %w", sc.Name, k, err)
@@ -217,9 +275,15 @@ type trajResult struct {
 // covering it has been installed. The interleaving of intermediate
 // replans varies run to run — only their count (reported under Timing)
 // is affected, never the plan the next step is served from.
-func (r Runner) trajectory(sc Scenario, seed uint64, k int, eng *serve.Engine,
+//
+// Under crash injection the engine is killed at the crashPlan step's
+// barrier and recovered from disk; the harness (RNG, ledger, adoption
+// record) plays the surviving world, so any divergence in the returned
+// tally is recovery infidelity. The possibly-replaced engine is
+// returned so the caller reads stats from the one that finished.
+func (r Runner) trajectory(sc Scenario, seed uint64, k int, cfg serve.Config, eng *serve.Engine,
 	world *model.Instance, users []model.UserID,
-	prices [][]float64, shocks map[model.TimeStep][]Mutation, out *Outcome) (trajResult, error) {
+	prices [][]float64, shocks map[model.TimeStep][]Mutation, out *Outcome) (trajResult, *serve.Engine, error) {
 	rng := dist.NewRNG(instanceSeed(sc.Name, seed)*0x2545F4914F6CDD1D + uint64(k) + 1)
 	stock := make([]int, world.NumItems())
 	for i := range stock {
@@ -239,20 +303,23 @@ func (r Runner) trajectory(sc Scenario, seed uint64, k int, eng *serve.Engine,
 		}
 	}
 
-	// applyWorld installs the mutations active at step t: prices
-	// directly on the world instance (safe: the feedback loop is idle
-	// after a Flush), stock shocks through the engine so its
-	// serving-path atomics and the harness ledger stay in lockstep.
-	// Residual rows tt ≥ t carry exactly the cuts with At ≤ t; future
-	// cuts stay invisible until their step arrives.
+	// applyWorld installs the mutations active at step t, all through
+	// the engine so its serving-path state, durable log, and the harness
+	// ledger stay in lockstep: price cuts via ScalePrice (the engine
+	// rescales its instance — `world` for an unbroken trajectory, the
+	// recovered instance after a crash — and logs the rescale for
+	// replay), stock shocks via SetStock. Residual rows tt ≥ t carry
+	// exactly the cuts with At ≤ t; future cuts stay invisible until
+	// their step arrives. `eng` is the enclosing variable, so after a
+	// crash-recovery swap the mutations reach the recovered engine.
 	applyWorld := func(t model.TimeStep) error {
 		for _, m := range cuts {
 			if m.At != t {
 				continue // not activating right now (earlier cuts already applied)
 			}
 			for _, i := range world.ClassItems(m.Class) {
-				for tt := int(m.At); tt <= world.T; tt++ {
-					world.SetPrice(i, model.TimeStep(tt), world.Price(i, model.TimeStep(tt))*m.Factor)
+				if err := eng.ScalePrice(i, m.At, m.Factor); err != nil {
+					return err
 				}
 			}
 		}
@@ -266,12 +333,13 @@ func (r Runner) trajectory(sc Scenario, seed uint64, k int, eng *serve.Engine,
 		}
 		return nil
 	}
+	crashAt, checkpointAt := r.crashPlan(sc, seed, k, world.T)
 
 	if err := applyWorld(1); err != nil {
-		return res, err
+		return res, eng, err
 	}
 	if err := eng.SetNow(1); err != nil { // forces a replan over t=1 mutations
-		return res, err
+		return res, eng, err
 	}
 	eng.Flush()
 
@@ -285,7 +353,7 @@ func (r Runner) trajectory(sc Scenario, seed uint64, k int, eng *serve.Engine,
 		}
 		batch, err := eng.RecommendBatch(users, t)
 		if err != nil {
-			return res, err
+			return res, eng, err
 		}
 		for ui, recs := range batch {
 			u := users[ui]
@@ -323,7 +391,7 @@ func (r Runner) trajectory(sc Scenario, seed uint64, k int, eng *serve.Engine,
 					res.stockOuts++ // wanted it; shelf was empty
 				}
 				if err := eng.Feed(ev); err != nil {
-					return res, err
+					return res, eng, err
 				}
 			}
 			if shown > world.K {
@@ -332,17 +400,34 @@ func (r Runner) trajectory(sc Scenario, seed uint64, k int, eng *serve.Engine,
 		}
 		// Barrier: every event of this step is applied (and, if any
 		// adoption happened, replanned over) before the world moves.
+		// Under the batch fsync policy it is also a group commit: the
+		// step is durable, which is what makes the kill below lossless.
 		eng.Flush()
+		if t == checkpointAt && crashAt > 0 {
+			if err := eng.Checkpoint(); err != nil {
+				return res, eng, err
+			}
+		}
+		if t == crashAt {
+			// kill -9 and rise from disk: the recovered engine must carry
+			// this trajectory to the same outcome the unbroken one reaches.
+			eng.Kill()
+			recovered, err := serve.Open(nil, cfg)
+			if err != nil {
+				return res, eng, fmt.Errorf("crash recovery at step %d: %w", t, err)
+			}
+			eng = recovered
+		}
 		if int(t) < world.T {
 			next := t + 1
 			if err := applyWorld(next); err != nil {
-				return res, err
+				return res, eng, err
 			}
 			if err := eng.SetNow(next); err != nil {
-				return res, err
+				return res, eng, err
 			}
 			eng.Flush()
 		}
 	}
-	return res, nil
+	return res, eng, nil
 }

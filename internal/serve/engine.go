@@ -27,6 +27,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/revenue"
 	"repro/internal/solver"
+	"repro/internal/store"
 )
 
 // Config tunes an Engine. The zero value of every field selects a sane
@@ -65,6 +67,12 @@ type Config struct {
 	ReplanEvery int
 	// QueueDepth is the feedback channel's buffer (≤ 0 means 4096).
 	QueueDepth int
+	// Durability, when non-nil with a Dir, gives the engine a durable
+	// write-ahead log and snapshot store (see internal/store). Durable
+	// engines are created with Open, which recovers existing state from
+	// the directory; NewEngine rejects a durable config. nil keeps the
+	// engine purely in-memory with byte-identical behavior.
+	Durability *Durability
 }
 
 func (c *Config) withDefaults() Config {
@@ -117,16 +125,17 @@ type Recommendation struct {
 }
 
 // feedbackMsg is one message on the engine's feedback queue: an event
-// to apply, a flush barrier, a bare replan request, a stock override,
-// or a snapshot capture request (served by the loop so the captured
-// state is consistent — no event is half-applied across stock and
-// shards).
+// to apply, a flush barrier, a clock advance, a stock override, a price
+// rescale, or a snapshot capture request (served by the loop so the
+// captured state is consistent — no event is half-applied across stock
+// and shards).
 type feedbackMsg struct {
-	ev     Event
-	flush  chan struct{}  // non-nil: barrier; closed once covered by a replan
-	replan bool           // bare replan request (clock advanced)
-	snap   chan snapState // non-nil: capture store state between applies
-	stock  *stockSet      // non-nil: exogenous inventory override
+	ev      Event
+	flush   chan struct{}  // non-nil: barrier; closed once covered by a replan
+	advance model.TimeStep // > 0: clock advanced to this step; replan forced
+	snap    chan snapState // non-nil: capture store state between applies
+	stock   *stockSet      // non-nil: exogenous inventory override
+	price   *priceOp       // non-nil: exogenous price rescale
 }
 
 // stockSet is an exogenous stock override (supplier shortfall, warehouse
@@ -134,6 +143,16 @@ type feedbackMsg struct {
 type stockSet struct {
 	item model.ItemID
 	n    int64
+}
+
+// priceOp is an exogenous price rescale (competitor undercut,
+// promotion): item's price is multiplied by factor from step `from`
+// through the end of the horizon. It mutates the engine's instance, so
+// the loop defers it while a replan is reading prices off-thread.
+type priceOp struct {
+	item   model.ItemID
+	from   model.TimeStep
+	factor float64
 }
 
 // Engine is the online serving engine. All exported methods are safe for
@@ -157,6 +176,20 @@ type Engine struct {
 	// side, Close takes the write side before closing the channel.
 	closeMu sync.RWMutex
 	closed  atomic.Bool
+	// killed marks a simulated crash (Kill): the loop discards queued
+	// messages instead of draining them, like a process that died with
+	// events still in flight.
+	killed atomic.Bool
+
+	// st, when non-nil, is the durable store: the loop appends every
+	// state mutation to the write-ahead log before applying it.
+	st     *store.Store
+	walMu  sync.Mutex
+	walErr error // first WAL failure; surfaced by Err and Sync
+
+	snapStop chan struct{} // background snapshotter lifecycle
+	snapWG   sync.WaitGroup
+	snapOnce sync.Once
 
 	adoptions atomic.Int64
 	exposures atomic.Int64
@@ -171,6 +204,24 @@ type Engine struct {
 // (FinishCandidates) and valid; the engine takes ownership of it and of
 // all strategies the algorithm returns.
 func NewEngine(in *model.Instance, cfg Config) (*Engine, error) {
+	if cfg.Durability != nil && cfg.Durability.Dir != "" {
+		return nil, errors.New("serve: durable engines must be created with Open (NewEngine never recovers existing state)")
+	}
+	e, err := newUnstartedEngine(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.start()
+	return e, nil
+}
+
+// newUnstartedEngine is the shared cold-boot construction — resolve
+// the algorithm, validate the instance, allocate the shell, plan and
+// install the initial strategy — without starting the feedback loop,
+// so the durable path can attach its store and write the base snapshot
+// first. Both NewEngine and Open build on it; boot invariants live in
+// exactly one place.
+func newUnstartedEngine(in *model.Instance, cfg Config) (*Engine, error) {
 	algo, err := cfg.planFunc()
 	if err != nil {
 		return nil, err
@@ -182,7 +233,6 @@ func NewEngine(in *model.Instance, cfg Config) (*Engine, error) {
 	e.algo = algo
 	s := algo(in)
 	e.installPlan(s, 1, revenue.Revenue(in, s))
-	e.start()
 	return e, nil
 }
 
@@ -244,7 +294,7 @@ func (e *Engine) SetNow(t model.TimeStep) error {
 			break
 		}
 	}
-	e.requestReplan()
+	e.requestAdvance(t)
 	return nil
 }
 
@@ -390,16 +440,17 @@ func (e *Engine) Flush() {
 	<-done
 }
 
-// requestReplan asks the feedback loop for a replan. The send blocks
-// only while the queue is full — and the loop drains continuously even
-// during a replan, so the wait is bounded by apply time, not plan time.
-func (e *Engine) requestReplan() {
+// requestAdvance tells the feedback loop the clock moved to t, so it
+// can log the advance and force a replan. The send blocks only while
+// the queue is full — and the loop drains continuously even during a
+// replan, so the wait is bounded by apply time, not plan time.
+func (e *Engine) requestAdvance(t model.TimeStep) {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.closed.Load() {
 		return
 	}
-	e.feedback <- feedbackMsg{replan: true}
+	e.feedback <- feedbackMsg{advance: t}
 }
 
 // Stock returns item i's remaining stock as last applied by the
@@ -432,9 +483,110 @@ func (e *Engine) SetStock(i model.ItemID, n int) error {
 	return nil
 }
 
-// Close flushes outstanding feedback and stops the background loop. The
+// ScalePrice multiplies item i's price by factor for every step in
+// [from, T] — an exogenous repricing event (competitor undercut,
+// promotion, price war). Like SetStock it is applied by the feedback
+// loop in order with queued events and forces a replan; call Flush to
+// wait for both. Already-served recommendations are unaffected (their
+// prices were captured in the plan); the next installed plan quotes the
+// new prices. from < 1 is treated as 1.
+func (e *Engine) ScalePrice(i model.ItemID, from model.TimeStep, factor float64) error {
+	if int(i) < 0 || int(i) >= e.in.NumItems() {
+		return fmt.Errorf("serve: unknown item %d", i)
+	}
+	if from < 1 {
+		from = 1
+	}
+	if int(from) > e.in.T {
+		return fmt.Errorf("serve: time step %d outside horizon [1,%d]", from, e.in.T)
+	}
+	if factor <= 0 || math.IsInf(factor, 0) || math.IsNaN(factor) {
+		return fmt.Errorf("serve: price factor %v out of range (want finite > 0)", factor)
+	}
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed.Load() {
+		return errors.New("serve: engine closed")
+	}
+	e.feedback <- feedbackMsg{price: &priceOp{item: i, from: from, factor: factor}}
+	return nil
+}
+
+// scalePrices applies a price rescale to the engine's instance. Called
+// only from the feedback loop (with no replan in flight) or from
+// single-threaded recovery replay.
+func (e *Engine) scalePrices(i model.ItemID, from model.TimeStep, factor float64) {
+	for t := from; int(t) <= e.in.T; t++ {
+		e.in.SetPrice(i, t, e.in.Price(i, t)*factor)
+	}
+}
+
+// Sync blocks until every previously enqueued event is applied and —
+// for durable engines — the write-ahead log is forced to stable
+// storage, then reports the first durability error the engine has hit.
+// It is the "everything acknowledged so far survives kill -9" barrier.
+func (e *Engine) Sync() error {
+	e.Flush()
+	if e.st != nil {
+		if err := e.st.Sync(); err != nil && !errors.Is(err, store.ErrClosed) {
+			e.setWALErr(err)
+		}
+	}
+	return e.Err()
+}
+
+// Err returns the first write-ahead-log or snapshot failure the engine
+// has encountered (nil if none), including failures of the store's
+// background sync ticker that no engine call was around to observe. A
+// durable engine keeps serving after a WAL failure — availability over
+// durability — but Sync and Err make the degradation observable so
+// operators can alarm on it.
+func (e *Engine) Err() error {
+	e.walMu.Lock()
+	err := e.walErr
+	e.walMu.Unlock()
+	if err == nil && e.st != nil {
+		err = e.st.Err()
+	}
+	return err
+}
+
+func (e *Engine) setWALErr(err error) {
+	e.walMu.Lock()
+	if e.walErr == nil {
+		e.walErr = err
+	}
+	e.walMu.Unlock()
+}
+
+// walAppend logs one record ahead of its application. Store errors are
+// sticky (Err) rather than fatal: the engine keeps serving in-memory.
+func (e *Engine) walAppend(rec store.Record) {
+	if e.st == nil {
+		return
+	}
+	if _, err := e.st.Append(rec); err != nil && !errors.Is(err, store.ErrClosed) {
+		e.setWALErr(err)
+	}
+}
+
+// walSync is the group-commit point: the loop calls it before releasing
+// flush barriers, so Flush ⇒ durable under the batch fsync policy.
+func (e *Engine) walSync() {
+	if e.st == nil {
+		return
+	}
+	if err := e.st.Sync(); err != nil && !errors.Is(err, store.ErrClosed) {
+		e.setWALErr(err)
+	}
+}
+
+// Close flushes outstanding feedback, stops the background loop, and —
+// for durable engines — writes a final snapshot, compacts the log, and
+// seals the store, so the next Open recovers warm without replay. The
 // engine still serves lookups afterwards, but Feed returns an error.
 func (e *Engine) Close() {
+	e.stopSnapshotter()
 	e.closeMu.Lock()
 	if !e.closed.CompareAndSwap(false, true) {
 		e.closeMu.Unlock()
@@ -443,6 +595,44 @@ func (e *Engine) Close() {
 	close(e.feedback)
 	e.closeMu.Unlock()
 	e.wg.Wait()
+	if e.st != nil && !e.killed.Load() {
+		if err := e.writeStoreSnapshot(e.captureState()); err != nil && !errors.Is(err, store.ErrClosed) {
+			e.setWALErr(err)
+		}
+		if err := e.st.Close(); err != nil {
+			e.setWALErr(err)
+		}
+	}
+}
+
+// Kill simulates dying by kill -9, for crash testing: queued-but-
+// unapplied events are discarded, no final replan or snapshot happens,
+// and the store drops its user-space buffers exactly like a real
+// SIGKILL would — records WAL-synced before the kill survive, everything
+// later is lost. The engine is unusable afterwards; recover with Open.
+func (e *Engine) Kill() {
+	e.stopSnapshotter()
+	e.killed.Store(true)
+	e.closeMu.Lock()
+	if !e.closed.CompareAndSwap(false, true) {
+		e.closeMu.Unlock()
+		return
+	}
+	close(e.feedback)
+	e.closeMu.Unlock()
+	e.wg.Wait()
+	if e.st != nil {
+		e.st.Kill()
+	}
+}
+
+func (e *Engine) stopSnapshotter() {
+	e.snapOnce.Do(func() {
+		if e.snapStop != nil {
+			close(e.snapStop)
+			e.snapWG.Wait()
+		}
+	})
 }
 
 // loop is the single consumer of the feedback queue. It applies events
@@ -460,7 +650,22 @@ func (e *Engine) loop() {
 		force    bool            // explicit replan requested (clock advance)
 		inFlight chan struct{}   // closed when the running replan finishes
 		waiters  []chan struct{} // Flush barriers awaiting coverage
+		// pendingPrice holds price rescales that arrived while a replan
+		// was reading the instance off-thread: applying them immediately
+		// would race the replan's price reads. They commute with events
+		// (events never read prices), so deferring them — and their WAL
+		// records, which must mirror application order — preserves both
+		// in-memory state and replay determinism.
+		pendingPrice []priceOp
 	)
+	applyPrices := func() {
+		for _, op := range pendingPrice {
+			e.walAppend(store.Record{Type: store.RecScalePrice, Item: int32(op.item), T: int32(op.from), Factor: op.factor})
+			e.scalePrices(op.item, op.from, op.factor)
+			force = true
+		}
+		pendingPrice = nil
+	}
 	start := func() {
 		dirty, force = 0, false
 		// Collect the feedback view here, on the loop goroutine, so no
@@ -480,6 +685,9 @@ func (e *Engine) loop() {
 			start()
 		}
 		if inFlight == nil && dirty == 0 && len(waiters) > 0 {
+			// Everything enqueued before these barriers is applied and
+			// covered; make it durable before letting the callers proceed.
+			e.walSync()
 			for _, w := range waiters {
 				close(w)
 			}
@@ -490,30 +698,59 @@ func (e *Engine) loop() {
 		select {
 		case msg, ok := <-e.feedback:
 			if !ok {
+				if e.killed.Load() {
+					// Crash: drop state on the floor, only unblock callers.
+					for _, w := range waiters {
+						close(w)
+					}
+					return
+				}
 				// Closed: finish the running replan, fold in any uncovered
 				// tail synchronously, and release remaining barriers.
 				if inFlight != nil {
 					<-inFlight
 				}
+				applyPrices()
 				if dirty > 0 || force {
 					e.replanWith(e.collectFeedback())
 				}
+				e.walSync()
 				for _, w := range waiters {
 					close(w)
 				}
 				return
+			}
+			if e.killed.Load() {
+				// Crash mode: discard the message like a dead process would,
+				// but never strand a caller blocked on a reply.
+				if msg.flush != nil {
+					close(msg.flush)
+				}
+				if msg.snap != nil {
+					msg.snap <- snapState{}
+				}
+				continue
 			}
 			switch {
 			case msg.flush != nil:
 				waiters = append(waiters, msg.flush)
 			case msg.snap != nil:
 				msg.snap <- e.captureState()
-			case msg.replan:
+			case msg.advance > 0:
+				e.walAppend(store.Record{Type: store.RecAdvance, T: int32(msg.advance)})
 				force = true
 			case msg.stock != nil:
+				e.walAppend(store.Record{Type: store.RecSetStock, Item: int32(msg.stock.item), Stock: msg.stock.n})
 				e.stock[msg.stock.item].Store(msg.stock.n)
 				force = true
+			case msg.price != nil:
+				pendingPrice = append(pendingPrice, *msg.price)
+				if inFlight == nil {
+					applyPrices()
+				}
 			default:
+				e.walAppend(store.Record{Type: store.RecEvent, User: int32(msg.ev.User),
+					Item: int32(msg.ev.Item), T: int32(msg.ev.T), Adopted: msg.ev.Adopted})
 				if e.apply(msg.ev) {
 					dirty++
 				}
@@ -521,6 +758,7 @@ func (e *Engine) loop() {
 			progress()
 		case <-inFlight:
 			inFlight = nil
+			applyPrices()
 			progress()
 		}
 	}
@@ -616,6 +854,10 @@ func (e *Engine) replanWith(fb planner.Feedback) {
 	s := e.algo(residual)
 	rev := revenue.Revenue(residual, s)
 	e.installPlan(s, fb.Now, rev)
+	// Plan-swap marker: recovery replans from recovered state rather
+	// than trusting logged plans, but the marker lets offline tooling
+	// correlate log positions with plan generations.
+	e.walAppend(store.Record{Type: store.RecPlanSwap, Revision: e.revision.Load()})
 	e.replans.Add(1)
 }
 
@@ -643,12 +885,25 @@ type Stats struct {
 	P99Micros      int64   `json:"p99_micros"`
 	BatchP50Micros int64   `json:"batch_p50_micros"`
 	BatchP99Micros int64   `json:"batch_p99_micros"`
+	// Durable marks an engine backed by a write-ahead log; WALNextLSN is
+	// the next log sequence number (i.e. the record count ever logged).
+	// Both are omitted for pure in-memory engines.
+	Durable    bool   `json:"durable,omitempty"`
+	WALNextLSN uint64 `json:"wal_next_lsn,omitempty"`
 }
 
 // Stats returns the current summary.
 func (e *Engine) Stats() Stats {
 	p := e.plan.Load()
+	var durable bool
+	var walNext uint64
+	if e.st != nil {
+		durable = true
+		walNext = uint64(e.st.NextLSN())
+	}
 	return Stats{
+		Durable:        durable,
+		WALNextLSN:     walNext,
 		Users:          e.in.NumUsers,
 		Items:          e.in.NumItems(),
 		Horizon:        e.in.T,

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestSnapshotRestoreUnderConcurrentTraffic hammers a live engine with
+// readers, feeders, stock overrides, and price rescales while
+// repeatedly snapshotting it and restoring fresh engines from the
+// images — which are themselves served from and fed concurrently. Run
+// under -race (CI does), this is the restore-while-serving race check:
+// in particular it exercises the snapshot path while ScalePrice mutates
+// the instance, which is only safe because the capture deep-copies a
+// price-dirty instance inside the feedback loop.
+func TestSnapshotRestoreUnderConcurrentTraffic(t *testing.T) {
+	in := testInstance(t, 80, 8, 4, 2, 33)
+	e := newTestEngine(t, in, Config{Shards: 4, ReplanEvery: 4})
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	worker := func(fn func(k int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; !stop.Load(); k++ {
+				fn(k)
+			}
+		}()
+	}
+	// Feeders: adoption traffic across users and items.
+	for w := 0; w < 3; w++ {
+		w := w
+		worker(func(k int) {
+			ev := Event{
+				User:    model.UserID((k*7 + w*13) % in.NumUsers),
+				Item:    model.ItemID((k + w) % in.NumItems()),
+				T:       model.TimeStep(1 + k%in.T),
+				Adopted: k%5 == 0,
+			}
+			if err := e.Feed(ev); err != nil {
+				t.Error(err)
+				stop.Store(true)
+			}
+		})
+	}
+	// Readers: single and batch lookups.
+	users := make([]model.UserID, in.NumUsers)
+	for u := range users {
+		users[u] = model.UserID(u)
+	}
+	worker(func(k int) {
+		if _, err := e.Recommend(model.UserID(k%in.NumUsers), model.TimeStep(1+k%in.T)); err != nil {
+			t.Error(err)
+			stop.Store(true)
+		}
+	})
+	worker(func(k int) {
+		if _, err := e.RecommendBatch(users, model.TimeStep(1+k%in.T)); err != nil {
+			t.Error(err)
+			stop.Store(true)
+		}
+	})
+	// Mutators: exogenous stock and price events.
+	worker(func(k int) {
+		if err := e.SetStock(model.ItemID(k%in.NumItems()), 1+k%5); err != nil {
+			t.Error(err)
+			stop.Store(true)
+		}
+	})
+	worker(func(k int) {
+		factor := 0.9
+		if k%2 == 0 {
+			factor = 1.0 / 0.9
+		}
+		if err := e.ScalePrice(model.ItemID(k%in.NumItems()), model.TimeStep(1+k%in.T), factor); err != nil {
+			t.Error(err)
+			stop.Store(true)
+		}
+	})
+
+	// Main thread: snapshot the storm, restore from every image, and
+	// serve from the restored engine while the original keeps running.
+	for round := 0; round < 8; round++ {
+		var buf bytes.Buffer
+		if err := e.Snapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Restore(&buf, Config{Shards: 2})
+		if err != nil {
+			t.Fatalf("round %d: restore: %v", round, err)
+		}
+		for u := 0; u < in.NumUsers; u += 7 {
+			if _, err := r.Recommend(model.UserID(u), r.Now()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.Feed(Event{User: 1, Item: 1, T: r.Now(), Adopted: true}); err != nil {
+			t.Fatal(err)
+		}
+		r.Flush()
+		// Restored counters must be internally consistent: adoptions can
+		// never exceed exposures, stock never below zero.
+		st := r.Stats()
+		if st.Adoptions > st.Exposures {
+			t.Fatalf("round %d: restored %d adoptions > %d exposures", round, st.Adoptions, st.Exposures)
+		}
+		for i := 0; i < in.NumItems(); i++ {
+			if n, err := r.Stock(model.ItemID(i)); err != nil || n < 0 {
+				t.Fatalf("round %d: restored stock[%d] = %d, err=%v", round, i, n, err)
+			}
+		}
+		r.Close()
+	}
+	stop.Store(true)
+	wg.Wait()
+	e.Flush()
+}

@@ -3,12 +3,14 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 
 	"repro/internal/codec"
 	"repro/internal/model"
+	"repro/internal/store"
 )
 
 // SnapshotVersion is bumped on breaking changes to the snapshot format.
@@ -44,11 +46,14 @@ type exposureWire struct {
 }
 
 // snapState is one consistent capture of the engine's mutable state:
-// the wire envelope (sans instance/strategy blobs) plus the strategy
-// that was live at capture time.
+// the wire envelope (sans instance/strategy blobs), the strategy and
+// instance that were live at capture time, and — for durable engines —
+// the WAL position the capture is consistent with.
 type snapState struct {
 	wire  *snapshotWire
 	strat *model.Strategy
+	in    *model.Instance
+	lsn   store.LSN
 }
 
 // captureState builds a snapState. It is normally executed *by the
@@ -93,7 +98,19 @@ func (e *Engine) captureState() snapState {
 		sh.mu.RUnlock()
 	}
 	sort.Slice(wire.Users, func(a, b int) bool { return wire.Users[a].User < wire.Users[b].User })
-	return snapState{wire: wire, strat: p.strategy}
+	// The price table must be copied, not shared: ScalePrice mutates it
+	// from the loop, and the (slow) JSON encoding runs on the caller's
+	// goroutine after this capture returns — encoding the live pointer
+	// would race with any rescale arriving mid-encode and could tear a
+	// half-applied repricing into the image. Everything else on the
+	// instance is immutable, so the price-deep copy (taken here,
+	// between applies) is a consistent image without stalling the loop
+	// on a full candidate-set clone.
+	st := snapState{wire: wire, strat: p.strategy, in: e.in.ClonePrices()}
+	if e.st != nil {
+		st.lsn = e.st.NextLSN()
+	}
+	return st
 }
 
 // Snapshot writes a restartable image of the engine to w. The mutable
@@ -104,26 +121,45 @@ func (e *Engine) captureState() snapState {
 // included. Serving continues throughout; only feedback application
 // pauses for the capture.
 func (e *Engine) Snapshot(w io.Writer) error {
-	var st snapState
+	st, err := e.capture()
+	if err != nil {
+		return err
+	}
+	return e.encodeSnapshot(w, st)
+}
+
+// capture obtains one consistent snapState: through the feedback loop
+// while it runs, directly once the engine is closed (no writers left).
+func (e *Engine) capture() (snapState, error) {
 	e.closeMu.RLock()
 	if e.closed.Load() {
 		e.closeMu.RUnlock()
 		// The loop may still be draining buffered events after Close;
 		// wait for it to exit so no apply is in flight mid-capture.
 		e.wg.Wait()
-		st = e.captureState()
-	} else {
-		ch := make(chan snapState, 1)
-		e.feedback <- feedbackMsg{snap: ch}
-		e.closeMu.RUnlock()
-		st = <-ch
+		if e.killed.Load() {
+			return snapState{}, errors.New("serve: engine killed")
+		}
+		return e.captureState(), nil
 	}
+	ch := make(chan snapState, 1)
+	e.feedback <- feedbackMsg{snap: ch}
+	e.closeMu.RUnlock()
+	st := <-ch
+	if st.wire == nil {
+		// The loop answered in crash-discard mode.
+		return snapState{}, errors.New("serve: engine killed")
+	}
+	return st, nil
+}
+
+// encodeSnapshot serializes a captured state. The captured instance and
+// strategy are immutable (or deep copies), so the (comparatively slow)
+// JSON encoding happens outside the feedback loop.
+func (e *Engine) encodeSnapshot(w io.Writer, st snapState) error {
 	wire := st.wire
-	// The instance is immutable and the captured strategy is an immutable
-	// snapshot, so the (comparatively slow) JSON encoding happens outside
-	// the feedback loop.
 	var buf bytes.Buffer
-	if err := codec.EncodeInstance(&buf, e.in); err != nil {
+	if err := codec.EncodeInstance(&buf, st.in); err != nil {
 		return fmt.Errorf("serve: snapshot instance: %w", err)
 	}
 	wire.Instance = append(json.RawMessage(nil), bytes.TrimSpace(buf.Bytes())...)
@@ -142,6 +178,23 @@ func (e *Engine) Snapshot(w io.Writer) error {
 // restored state as its baseline. cfg still selects the algorithm used
 // for future replans (the snapshot does not record one).
 func Restore(r io.Reader, cfg Config) (*Engine, error) {
+	if cfg.Durability != nil && cfg.Durability.Dir != "" {
+		return nil, errors.New("serve: durable engines must be created with Open (Restore is the in-memory warm-restart path)")
+	}
+	e, err := decodeShell(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.start()
+	return e, nil
+}
+
+// decodeShell rebuilds an engine from a snapshot image but does not
+// start its feedback loop: Restore starts it immediately, while durable
+// recovery first replays the WAL tail on the still-single-threaded
+// shell. The snapshotted plan is installed verbatim (with its revision,
+// so monitoring sees continuity).
+func decodeShell(r io.Reader, cfg Config) (*Engine, error) {
 	algo, err := cfg.planFunc()
 	if err != nil {
 		return nil, err
@@ -204,10 +257,7 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 			us.exposures[model.ClassID(ew.Class)] = ts
 		}
 	}
-	// Publish the snapshotted plan verbatim (restoring its revision so
-	// monitoring sees continuity), then resume the feedback loop.
 	e.revision.Store(wire.Revision - 1)
 	e.installPlan(strat, model.TimeStep(wire.From), wire.Revenue)
-	e.start()
 	return e, nil
 }

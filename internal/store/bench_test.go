@@ -1,0 +1,170 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func benchRecords(n int) []Record {
+	rng := dist.NewRNG(9)
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	return recs
+}
+
+// BenchmarkWALAppend measures append throughput per fsync policy. The
+// batch policy is the engine's default: appends share one fsync per
+// barrier, so the hot path is encode + buffered write.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, pol := range []SyncPolicy{SyncBatch, SyncNone, SyncAlways} {
+		b.Run(pol.String(), func(b *testing.B) {
+			s, err := Open(b.TempDir(), Options{SyncPolicy: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			recs := benchRecords(1024)
+			b.SetBytes(eventSize + frameHeader)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Append(recs[i%len(recs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := s.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// buildLog writes an n-record log (with rotation) into dir and returns it.
+func buildLog(b testing.TB, dir string, n int) {
+	s, err := Open(dir, Options{SegmentBytes: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range benchRecords(n) {
+		if _, err := s.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRecovery measures Open + full replay as a function of log
+// length — the crash-recovery latency curve.
+func BenchmarkRecovery(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			dir := b.TempDir()
+			buildLog(b, dir, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := Open(dir, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cnt := 0
+				if _, err := s.Replay(0, func(LSN, Record) error { cnt++; return nil }); err != nil {
+					b.Fatal(err)
+				}
+				if cnt != n {
+					b.Fatalf("replayed %d, want %d", cnt, n)
+				}
+				s.Kill() // skip the close-time fsync; recovery is the read path
+			}
+		})
+	}
+}
+
+// TestStoreBenchReport emits BENCH_store.json (append throughput per
+// policy, recovery time vs log length) when BENCH_STORE_OUT is set; CI
+// uploads it as an artifact to track durability-path regressions.
+func TestStoreBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_STORE_OUT")
+	if out == "" {
+		t.Skip("BENCH_STORE_OUT not set")
+	}
+	type appendRow struct {
+		Policy       string  `json:"policy"`
+		Records      int     `json:"records"`
+		Seconds      float64 `json:"seconds"`
+		RecordsPerSs float64 `json:"records_per_sec"`
+	}
+	type recoveryRow struct {
+		Records  int     `json:"records"`
+		Segments int     `json:"segments"`
+		Seconds  float64 `json:"seconds"`
+	}
+	report := struct {
+		GeneratedBy string        `json:"generated_by"`
+		Append      []appendRow   `json:"wal_append"`
+		Recovery    []recoveryRow `json:"recovery"`
+	}{GeneratedBy: "go test -run TestStoreBenchReport ./internal/store"}
+
+	const appendN = 200_000
+	for _, pol := range []SyncPolicy{SyncBatch, SyncNone} {
+		s, err := Open(t.TempDir(), Options{SyncPolicy: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := benchRecords(1024)
+		start := time.Now()
+		for i := 0; i < appendN; i++ {
+			if _, err := s.Append(recs[i%len(recs)]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		el := time.Since(start).Seconds()
+		s.Close()
+		report.Append = append(report.Append, appendRow{
+			Policy: pol.String(), Records: appendN, Seconds: el, RecordsPerSs: float64(appendN) / el,
+		})
+	}
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		dir := t.TempDir()
+		buildLog(t, dir, n)
+		start := time.Now()
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Replay(0, func(LSN, Record) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		el := time.Since(start).Seconds()
+		s.mu.Lock()
+		nseg := len(s.segs)
+		s.mu.Unlock()
+		s.Kill()
+		report.Recovery = append(report.Recovery, recoveryRow{Records: n, Segments: nseg, Seconds: el})
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,139 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// RecordType discriminates WAL records. The numeric values are part of
+// the on-disk format and must never be reused.
+type RecordType uint8
+
+const (
+	// RecEvent is one adoption-feedback event: user User was shown item
+	// Item at step T and did (Adopted) or did not buy it.
+	RecEvent RecordType = 1
+	// RecSetStock is an exogenous inventory override: item Item's
+	// remaining stock becomes Stock.
+	RecSetStock RecordType = 2
+	// RecAdvance moves the serving clock forward to step T.
+	RecAdvance RecordType = 3
+	// RecPlanSwap marks that a replan installed plan revision Revision.
+	// It is informational — recovery replans from the recovered state
+	// rather than trusting a logged plan — but lets offline tooling
+	// correlate log positions with plan generations.
+	RecPlanSwap RecordType = 4
+	// RecScalePrice multiplies item Item's price by Factor for every
+	// step in [T, horizon] (a mid-horizon price cut or hike).
+	RecScalePrice RecordType = 5
+)
+
+// Record is one logical WAL entry. Only the fields of its Type are
+// meaningful; the rest stay zero and are not encoded.
+type Record struct {
+	Type     RecordType
+	User     int32   // RecEvent
+	Item     int32   // RecEvent, RecSetStock, RecScalePrice
+	T        int32   // RecEvent: exposure step; RecAdvance: target; RecScalePrice: first scaled step
+	Adopted  bool    // RecEvent
+	Stock    int64   // RecSetStock
+	Revision int64   // RecPlanSwap
+	Factor   float64 // RecScalePrice
+}
+
+// Per-type payload sizes (type byte included); decode rejects any other
+// length, so a frame that passes the CRC but was written by a different
+// (future) format version still fails loudly instead of misparsing.
+const (
+	eventSize      = 1 + 4 + 4 + 4 + 1
+	setStockSize   = 1 + 4 + 8
+	advanceSize    = 1 + 4
+	planSwapSize   = 1 + 8
+	scalePriceSize = 1 + 4 + 4 + 8
+)
+
+// maxPayload bounds every record payload; the frame reader uses it to
+// reject torn or corrupt length prefixes before allocating.
+const maxPayload = 64
+
+// appendRecord encodes rec onto buf (little-endian, fixed width).
+func appendRecord(buf []byte, rec Record) ([]byte, error) {
+	buf = append(buf, byte(rec.Type))
+	switch rec.Type {
+	case RecEvent:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.User))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Item))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.T))
+		if rec.Adopted {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case RecSetStock:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Item))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Stock))
+	case RecAdvance:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.T))
+	case RecPlanSwap:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Revision))
+	case RecScalePrice:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.Item))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(rec.T))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rec.Factor))
+	default:
+		return nil, fmt.Errorf("store: unknown record type %d", rec.Type)
+	}
+	return buf, nil
+}
+
+// decodeRecord parses one payload produced by appendRecord.
+func decodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("store: empty record payload")
+	}
+	rec := Record{Type: RecordType(payload[0])}
+	body := payload[1:]
+	switch rec.Type {
+	case RecEvent:
+		if len(payload) != eventSize {
+			return Record{}, fmt.Errorf("store: event record has %d bytes, want %d", len(payload), eventSize)
+		}
+		rec.User = int32(binary.LittleEndian.Uint32(body[0:]))
+		rec.Item = int32(binary.LittleEndian.Uint32(body[4:]))
+		rec.T = int32(binary.LittleEndian.Uint32(body[8:]))
+		switch body[12] {
+		case 0:
+		case 1:
+			rec.Adopted = true
+		default:
+			return Record{}, fmt.Errorf("store: event record has adopted byte %d", body[12])
+		}
+	case RecSetStock:
+		if len(payload) != setStockSize {
+			return Record{}, fmt.Errorf("store: set-stock record has %d bytes, want %d", len(payload), setStockSize)
+		}
+		rec.Item = int32(binary.LittleEndian.Uint32(body[0:]))
+		rec.Stock = int64(binary.LittleEndian.Uint64(body[4:]))
+	case RecAdvance:
+		if len(payload) != advanceSize {
+			return Record{}, fmt.Errorf("store: advance record has %d bytes, want %d", len(payload), advanceSize)
+		}
+		rec.T = int32(binary.LittleEndian.Uint32(body[0:]))
+	case RecPlanSwap:
+		if len(payload) != planSwapSize {
+			return Record{}, fmt.Errorf("store: plan-swap record has %d bytes, want %d", len(payload), planSwapSize)
+		}
+		rec.Revision = int64(binary.LittleEndian.Uint64(body[0:]))
+	case RecScalePrice:
+		if len(payload) != scalePriceSize {
+			return Record{}, fmt.Errorf("store: scale-price record has %d bytes, want %d", len(payload), scalePriceSize)
+		}
+		rec.Item = int32(binary.LittleEndian.Uint32(body[0:]))
+		rec.T = int32(binary.LittleEndian.Uint32(body[4:]))
+		rec.Factor = math.Float64frombits(binary.LittleEndian.Uint64(body[8:]))
+	default:
+		return Record{}, fmt.Errorf("store: unknown record type %d", rec.Type)
+	}
+	return rec, nil
+}

@@ -1,0 +1,676 @@
+// Package store is the durable-state subsystem of the serving layer: a
+// length-prefixed, CRC32-checksummed, fsync-batched write-ahead log of
+// serving events with segment rotation, plus snapshot files and
+// snapshot-anchored log compaction. The serving engine appends every
+// state mutation before applying it, periodically writes a snapshot at
+// a log sequence number (LSN), and recovers after a crash by loading
+// the latest valid snapshot and replaying the log tail — tolerating a
+// torn final record, the signature of dying mid-append.
+//
+// Directory layout (one store per directory):
+//
+//	wal-<startLSN:16hex>.log   log segments, in LSN order
+//	snap-<lsn:16hex>.snap      snapshots; <lsn> is the first record NOT covered
+//	*.tmp                      in-flight atomic writes, discarded at Open
+//
+// The store knows nothing about snapshot contents — it hands out
+// readers and writers and keeps the snapshot/log bookkeeping coherent:
+// compaction only ever deletes segments fully covered by a retained
+// snapshot, and the two newest snapshots are retained so recovery can
+// fall back one generation if the latest turns out unreadable.
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// LSN is a log sequence number: the zero-based index of a record in the
+// store's logical log. The next record appended always receives the
+// current NextLSN; snapshots are stamped with the NextLSN at capture
+// time, so a snapshot at LSN s covers exactly records [0, s).
+type LSN uint64
+
+// SyncPolicy selects when appended records are forced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncBatch (the default) fsyncs only at explicit Sync calls — the
+	// engine's flush barriers, snapshots, and Close — and on the
+	// SyncInterval ticker. Appends between sync points share one fsync
+	// (group commit); a crash loses at most the records since the last
+	// sync point.
+	SyncBatch SyncPolicy = iota
+	// SyncAlways fsyncs after every append. Nothing acknowledged is ever
+	// lost, at the cost of one fsync per record.
+	SyncAlways
+	// SyncNone never fsyncs; records reach the kernel on Sync (buffer
+	// flush) but stable storage only when the OS decides. Survives
+	// process crashes (kill -9), not machine crashes.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	case SyncNone:
+		return "none"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the -wal-sync flag spellings to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch", "":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	case "none":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("store: unknown sync policy %q (want always, batch, or none)", s)
+}
+
+// Options tunes a store. The zero value is a sane default: batched
+// fsync with no background ticker and 4 MiB segments.
+type Options struct {
+	// SyncPolicy selects the fsync cadence (default SyncBatch).
+	SyncPolicy SyncPolicy
+	// SyncInterval, with SyncBatch, adds a background ticker that syncs
+	// the log at least this often even if no barrier does. 0 disables.
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (≤ 0 means 4 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed (or crash-killed)
+// store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is a write-ahead log plus snapshot directory. Append, Sync, and
+// WriteSnapshot are safe for concurrent use; Replay is meant for the
+// single-threaded recovery phase before serving starts.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	segs     []segment // all segments, sorted; last is active
+	snaps    []LSN     // snapshot LSNs, ascending
+	lock     *os.File  // flock'd LOCK file pinning single-process ownership
+	f        *os.File  // active segment
+	w        *bufio.Writer
+	size     int64 // bytes written to the active segment
+	next     LSN   // LSN of the next record to append
+	torn     bool  // Open truncated a torn tail
+	closed   bool
+	appendBf []byte // reusable payload-encoding buffer
+	frameBf  []byte // reusable frame-encoding buffer
+
+	errMu    sync.Mutex
+	firstErr error // first durability failure (append, sync, ticker)
+
+	snapMu sync.Mutex // serializes snapshot writes (not appends)
+
+	tick     *time.Ticker
+	tickStop chan struct{}
+	tickWG   sync.WaitGroup
+}
+
+// Open opens (creating if necessary) the store rooted at dir. It scans
+// the directory, discards leftover temp files, truncates a torn tail
+// off the last segment — the residue of a crash mid-append — and
+// positions the log for appending. TornTail reports whether truncation
+// happened.
+func Open(dir string, opts Options) (st *Store, retErr error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// One process per data directory: two appenders interleaving frames
+	// in the same active segment would corrupt acknowledged-durable
+	// records. flock releases automatically on process death (kill -9
+	// included), so a crashed owner never wedges recovery.
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if retErr != nil {
+			lock.Close()
+		}
+	}()
+	segs, snaps, err := listDir(dir, true)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, segs: segs, snaps: snaps, lock: lock}
+
+	// Scan the last segment to find the append position. A segment so
+	// short it lacks even a header is the residue of a crash between
+	// file creation and the header write: drop it and fall back.
+	for len(s.segs) > 0 {
+		last := &s.segs[len(s.segs)-1]
+		count, validEnd, torn, err := scanSegment(last.path, nil)
+		if err != nil {
+			var headerErr bool
+			if fi, statErr := os.Stat(last.path); statErr == nil && fi.Size() < segHeaderLen {
+				headerErr = true
+			}
+			if headerErr {
+				os.Remove(last.path)
+				s.segs = s.segs[:len(s.segs)-1]
+				s.torn = true
+				continue
+			}
+			return nil, err
+		}
+		if torn {
+			if err := os.Truncate(last.path, validEnd); err != nil {
+				return nil, fmt.Errorf("store: truncating torn tail of %s: %w", last, err)
+			}
+			s.torn = true
+		}
+		last.count = count
+		s.next = last.start + LSN(count)
+		s.size = validEnd
+		break
+	}
+	// A snapshot may be stamped past the surviving log end: snapshots
+	// cover appended-but-unsynced records, so a crash can lose a WAL
+	// tail the (fsynced) snapshot already captured. Resuming below the
+	// snapshot would hand out LSNs it claims to cover — fresh durable
+	// records would then be silently skipped by the next recovery's
+	// tail replay, and new checkpoints would sort as older than the
+	// stale one. Fast-forward past the newest snapshot instead; the gap
+	// lives between segments and is never replayed (recovery starts at
+	// that snapshot or newer).
+	if n := len(s.snaps); n > 0 && s.snaps[n-1] > s.next {
+		s.next = s.snaps[n-1]
+	}
+	switch {
+	case len(s.segs) == 0:
+		// Fresh directory, or every segment was compacted away.
+		if err := s.createSegmentLocked(s.next); err != nil {
+			return nil, err
+		}
+	case s.next > s.segs[len(s.segs)-1].start+LSN(s.segs[len(s.segs)-1].count):
+		// Fast-forwarded past the last segment's end: seal it and start
+		// a fresh segment at the resumed LSN (a segment's record LSNs are
+		// start+index, so appends cannot continue in the old file).
+		if err := s.createSegmentLocked(s.next); err != nil {
+			return nil, err
+		}
+	default:
+		f, err := os.OpenFile(s.segs[len(s.segs)-1].path, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		s.f = f
+		s.w = bufio.NewWriter(f)
+	}
+	// SyncAlways needs no ticker (every append is already durable); the
+	// other policies do — batch to bound the fsync window, none to at
+	// least push user-space buffers to the kernel so kill -9 cannot
+	// shed them.
+	if opts.SyncPolicy != SyncAlways && opts.SyncInterval > 0 {
+		s.tick = time.NewTicker(opts.SyncInterval)
+		s.tickStop = make(chan struct{})
+		s.tickWG.Add(1)
+		go func() {
+			defer s.tickWG.Done()
+			for {
+				select {
+				case <-s.tick.C:
+					if err := s.Sync(); err != nil && !errors.Is(err, ErrClosed) {
+						s.recordErr(err)
+					}
+				case <-s.tickStop:
+					return
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// recordErr keeps the first durability failure for Err. Failed fsyncs
+// are especially treacherous — the kernel may mark dirty pages clean,
+// so a later Sync can "succeed" after records were already lost —
+// which is why the first error is sticky rather than latest-wins.
+func (s *Store) recordErr(err error) {
+	s.errMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// Err returns the first durability failure the store has hit (nil if
+// none), including errors from the background sync ticker that no
+// caller was around to see.
+func (s *Store) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.firstErr
+}
+
+// DirHasState reports whether dir holds recoverable store state — any
+// snapshot, or any log segment with at least one record. It lets a
+// daemon decide between recovery and a cold boot without building an
+// instance first.
+func DirHasState(dir string) bool {
+	segs, snaps, err := listDir(dir, false)
+	if err != nil {
+		return false
+	}
+	if len(snaps) > 0 {
+		return true
+	}
+	for _, sg := range segs {
+		if fi, err := os.Stat(sg.path); err == nil && fi.Size() > segHeaderLen {
+			return true
+		}
+	}
+	return false
+}
+
+// HasState reports whether the store holds anything to recover from:
+// at least one snapshot or one logged record.
+func (s *Store) HasState() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.snaps) > 0 || s.next > 0 ||
+		(len(s.segs) > 0 && s.segs[0].start > 0)
+}
+
+// TornTail reports whether Open had to truncate a torn final record —
+// evidence the previous process died mid-append.
+func (s *Store) TornTail() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.torn
+}
+
+// NextLSN returns the LSN the next appended record will receive; it is
+// also the correct stamp for a snapshot capturing all applied state.
+func (s *Store) NextLSN() LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// createSegmentLocked opens a fresh active segment starting at lsn.
+// Caller holds s.mu (or is Open, pre-concurrency).
+func (s *Store) createSegmentLocked(lsn LSN) error {
+	path := filepath.Join(s.dir, segName(lsn))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if err := writeSegHeader(w, lsn); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = append(s.segs, segment{start: lsn, path: path, count: 0})
+	s.f, s.w, s.size = f, w, segHeaderLen
+	return syncDir(s.dir)
+}
+
+// Append encodes rec, frames it, and writes it to the active segment,
+// rotating first if the segment is full. With SyncAlways the record is
+// on stable storage when Append returns; otherwise it is durable after
+// the next Sync. Returns the record's LSN.
+func (s *Store) Append(rec Record) (LSN, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if s.size >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	payload, err := appendRecord(s.appendBf[:0], rec)
+	if err != nil {
+		return 0, err
+	}
+	s.appendBf = payload
+	frame := appendFrame(s.frameBf[:0], payload)
+	s.frameBf = frame
+	if _, err := s.w.Write(frame); err != nil {
+		err = fmt.Errorf("store: append: %w", err)
+		s.recordErr(err)
+		return 0, err
+	}
+	s.size += int64(len(frame))
+	lsn := s.next
+	s.next++
+	s.segs[len(s.segs)-1].count++
+	if s.opts.SyncPolicy == SyncAlways {
+		if err := s.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment (flush + fsync) and opens a new
+// one starting at the current next LSN.
+func (s *Store) rotateLocked() error {
+	if err := s.syncLocked(); err != nil {
+		return err
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("store: rotate: %w", err)
+	}
+	return s.createSegmentLocked(s.next)
+}
+
+// Sync flushes buffered appends to the OS and — unless the policy is
+// SyncNone — forces them to stable storage. It is the group-commit
+// point of the SyncBatch policy.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if err := s.w.Flush(); err != nil {
+		err = fmt.Errorf("store: sync: %w", err)
+		s.recordErr(err)
+		return err
+	}
+	if s.opts.SyncPolicy == SyncNone {
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		err = fmt.Errorf("store: sync: %w", err)
+		s.recordErr(err)
+		return err
+	}
+	return nil
+}
+
+// Close seals the log: buffered appends are flushed and synced, the
+// active segment is closed, and further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.stopTicker()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.syncLocked()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.lock.Close() // releases the flock
+	return err
+}
+
+// Kill simulates dying by kill -9: the file descriptor is closed
+// WITHOUT flushing the user-space append buffer, so records since the
+// last Sync that were still buffered in the process are lost — exactly
+// what a real SIGKILL loses. For crash testing.
+func (s *Store) Kill() {
+	s.stopTicker()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.f.Close()
+	// A real kill -9 releases the flock via process death; here the
+	// process lives on, so drop it explicitly or recovery would block.
+	s.lock.Close()
+}
+
+func (s *Store) stopTicker() {
+	if s.tick == nil {
+		return
+	}
+	s.mu.Lock()
+	stop := s.tickStop
+	s.tickStop = nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	s.tick.Stop()
+	close(stop)
+	s.tickWG.Wait()
+}
+
+// Snapshots returns the retained snapshot LSNs in ascending order.
+func (s *Store) Snapshots() []LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]LSN(nil), s.snaps...)
+}
+
+// OpenSnapshot opens the snapshot stamped with lsn for reading.
+func (s *Store) OpenSnapshot(lsn LSN) (io.ReadCloser, error) {
+	return os.Open(filepath.Join(s.dir, snapName(lsn)))
+}
+
+// WriteSnapshot atomically writes a snapshot covering records [0, lsn):
+// the write callback streams the image into a temp file, which is
+// fsynced and renamed into place. Afterwards the two newest snapshots
+// are retained (older ones deleted) and every sealed segment whose
+// records all fall below the oldest retained snapshot is compacted
+// away — the log-truncation half of snapshot recovery.
+//
+// Appends proceed concurrently; only other snapshot writes serialize.
+func (s *Store) WriteSnapshot(lsn LSN, write func(io.Writer) error) error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if lsn > s.next {
+		next := s.next
+		s.mu.Unlock()
+		return fmt.Errorf("store: snapshot LSN %d beyond log end %d", lsn, next)
+	}
+	s.mu.Unlock()
+
+	final := filepath.Join(s.dir, snapName(lsn))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Record the snapshot (idempotent if re-stamping the same LSN).
+	found := false
+	for _, have := range s.snaps {
+		if have == lsn {
+			found = true
+			break
+		}
+	}
+	if !found {
+		s.snaps = append(s.snaps, lsn)
+		for i := len(s.snaps) - 1; i > 0 && s.snaps[i] < s.snaps[i-1]; i-- {
+			s.snaps[i], s.snaps[i-1] = s.snaps[i-1], s.snaps[i]
+		}
+	}
+	// Retain the two newest snapshots so recovery can fall back one
+	// generation; delete the rest.
+	const retain = 2
+	for len(s.snaps) > retain {
+		old := s.snaps[0]
+		if err := os.Remove(filepath.Join(s.dir, snapName(old))); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("store: compact snapshot: %w", err)
+		}
+		s.snaps = s.snaps[1:]
+	}
+	// Compact: drop sealed segments fully covered by the oldest retained
+	// snapshot. A segment's range ends where the next segment starts, so
+	// the active (last) segment is never a candidate.
+	floor := s.snaps[0]
+	for len(s.segs) >= 2 && s.segs[1].start <= floor {
+		if err := os.Remove(s.segs[0].path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("store: compact segment: %w", err)
+		}
+		s.segs = s.segs[1:]
+	}
+	return nil
+}
+
+// ReplayStats summarizes a Replay pass.
+type ReplayStats struct {
+	// Records is how many records were delivered to the callback.
+	Records int64
+	// Torn reports that the scan ended at a torn final record (possible
+	// only when replaying a directory not yet cleaned by Open).
+	Torn bool
+}
+
+// Replay streams every record with LSN ≥ from, in order, to fn. It
+// verifies segment-chain continuity and checksums along the way:
+// corruption anywhere except a torn final record is an error, as is a
+// gap left by over-eager external deletion. fn errors abort the replay.
+func (s *Store) Replay(from LSN, fn func(LSN, Record) error) (ReplayStats, error) {
+	s.mu.Lock()
+	if err := s.w.Flush(); err != nil { // make buffered appends visible to the scan
+		s.mu.Unlock()
+		return ReplayStats{}, fmt.Errorf("store: replay: %w", err)
+	}
+	segs := append([]segment(nil), s.segs...)
+	s.mu.Unlock()
+
+	var stats ReplayStats
+	if len(segs) == 0 {
+		return stats, nil
+	}
+	if from < segs[0].start {
+		return stats, fmt.Errorf("store: replay from LSN %d but log starts at %d (compacted past it)", from, segs[0].start)
+	}
+	for i, sg := range segs {
+		last := i == len(segs)-1
+		if !last && segs[i+1].start <= from {
+			continue // fully below the replay horizon
+		}
+		count, _, torn, err := scanSegment(sg.path, func(lsn LSN, rec Record) error {
+			if lsn < from {
+				return nil
+			}
+			if err := fn(lsn, rec); err != nil {
+				return err
+			}
+			stats.Records++
+			return nil
+		})
+		if err != nil {
+			return stats, err
+		}
+		if torn {
+			if !last {
+				return stats, fmt.Errorf("store: segment %s is corrupt mid-log (torn frame before the final segment)", sg)
+			}
+			stats.Torn = true
+		}
+		if !last {
+			if got, want := sg.start+LSN(count), segs[i+1].start; got != want {
+				return stats, fmt.Errorf("store: segment %s ends at LSN %d but %s starts at %d", sg, got, segs[i+1], want)
+			}
+		}
+	}
+	return stats, nil
+}
+
+// lockDir takes the directory's advisory flock (LOCK file). The lock
+// lives as long as the returned file descriptor — closed explicitly on
+// Close/Kill, or by the kernel when the process dies.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data dir %s is locked by another process: %w", dir, err)
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it survive a
+// machine crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,701 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// randRecord draws a structurally valid record of a random type.
+func randRecord(rng *dist.RNG) Record {
+	switch rng.Intn(5) {
+	case 0:
+		return Record{Type: RecEvent, User: int32(rng.Intn(1000)), Item: int32(rng.Intn(50)),
+			T: int32(1 + rng.Intn(10)), Adopted: rng.Intn(2) == 0}
+	case 1:
+		return Record{Type: RecSetStock, Item: int32(rng.Intn(50)), Stock: int64(rng.Intn(100))}
+	case 2:
+		return Record{Type: RecAdvance, T: int32(1 + rng.Intn(10))}
+	case 3:
+		return Record{Type: RecPlanSwap, Revision: int64(rng.Intn(1 << 20))}
+	default:
+		return Record{Type: RecScalePrice, Item: int32(rng.Intn(50)), T: int32(1 + rng.Intn(10)),
+			Factor: 0.25 + rng.Float64()}
+	}
+}
+
+func appendAll(t *testing.T, s *Store, recs []Record) {
+	t.Helper()
+	for i, rec := range recs {
+		lsn, err := s.Append(rec)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if want := s.NextLSN() - 1; lsn != want {
+			t.Fatalf("append %d returned LSN %d, NextLSN-1 is %d", i, lsn, want)
+		}
+	}
+}
+
+func replayAll(t *testing.T, s *Store, from LSN) []Record {
+	t.Helper()
+	var got []Record
+	stats, err := s.Replay(from, func(lsn LSN, rec Record) error {
+		if want := from + LSN(len(got)); lsn != want {
+			t.Fatalf("replay delivered LSN %d, want %d", lsn, want)
+		}
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.Records != int64(len(got)) {
+		t.Fatalf("stats.Records = %d, callback saw %d", stats.Records, len(got))
+	}
+	return got
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(1)
+	recs := make([]Record, 500)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	appendAll(t, s, recs)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.TornTail() {
+		t.Fatal("clean close reported a torn tail")
+	}
+	if got := s2.NextLSN(); got != 500 {
+		t.Fatalf("NextLSN after reopen = %d, want 500", got)
+	}
+	got := replayAll(t, s2, 0)
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(2)
+	recs := make([]Record, 300)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	appendAll(t, s, recs)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := listDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(segs))
+	}
+	s2, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := replayAll(t, s2, 0)
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// Replaying from a mid-log LSN skips earlier segments but stays exact.
+	tail := replayAll(t, s2, 123)
+	if len(tail) != len(recs)-123 {
+		t.Fatalf("tail replay returned %d records, want %d", len(tail), len(recs)-123)
+	}
+	for i := range tail {
+		if tail[i] != recs[123+i] {
+			t.Fatalf("tail record %d mismatch", i)
+		}
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(3)
+	recs := make([]Record, 50)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	appendAll(t, s, recs)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+
+	// Tear the final record: chop a few bytes off the segment.
+	segs, _, err := listDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := segs[len(segs)-1].path
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open over torn tail: %v", err)
+	}
+	defer s2.Close()
+	if !s2.TornTail() {
+		t.Fatal("torn tail not reported")
+	}
+	if got := s2.NextLSN(); got != 49 {
+		t.Fatalf("NextLSN after torn-tail truncation = %d, want 49", got)
+	}
+	got := replayAll(t, s2, 0)
+	if len(got) != 49 {
+		t.Fatalf("replayed %d records, want 49 (final record torn)", len(got))
+	}
+	// The log must accept appends again right where it was cut.
+	if lsn, err := s2.Append(recs[49]); err != nil || lsn != 49 {
+		t.Fatalf("append after truncation: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestKillLosesUnsyncedBufferOnly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(4)
+	synced := make([]Record, 20)
+	for i := range synced {
+		synced[i] = randRecord(rng)
+	}
+	appendAll(t, s, synced)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// These stay in the user-space buffer: a kill -9 must lose them.
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(randRecord(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Kill()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := replayAll(t, s2, 0)
+	if len(got) != len(synced) {
+		t.Fatalf("recovered %d records, want exactly the %d synced ones", len(got), len(synced))
+	}
+	if _, err := s2.Append(randRecord(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.NextLSN(); got != 21 {
+		t.Fatalf("NextLSN = %d, want 21", got)
+	}
+}
+
+func TestSyncAlwaysSurvivesKill(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SyncPolicy: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(5)
+	recs := make([]Record, 10)
+	for i := range recs {
+		recs[i] = randRecord(rng)
+	}
+	appendAll(t, s, recs)
+	s.Kill() // no Sync: SyncAlways must have made each append durable
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := replayAll(t, s2, 0); len(got) != len(recs) {
+		t.Fatalf("recovered %d records under SyncAlways, want %d", len(got), len(recs))
+	}
+}
+
+func TestSnapshotRetentionAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := dist.NewRNG(6)
+	var all []Record
+	writeSnap := func() LSN {
+		lsn := s.NextLSN()
+		err := s.WriteSnapshot(lsn, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "state@%d", lsn)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lsn
+	}
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 40; i++ {
+			rec := randRecord(rng)
+			all = append(all, rec)
+			if _, err := s.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		writeSnap()
+	}
+	snaps := s.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("retained %d snapshots, want 2", len(snaps))
+	}
+	if snaps[0] != 120 || snaps[1] != 160 {
+		t.Fatalf("retained snapshots %v, want [120 160]", snaps)
+	}
+	// Compaction must have deleted segments fully below LSN 120 ...
+	segs, _, err := listDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs[0].start > 120 {
+		t.Fatalf("compaction deleted segment containing LSN 120: first segment starts at %d", segs[0].start)
+	}
+	if len(segs) > 1 && segs[1].start <= 120 {
+		t.Fatalf("segment fully below snapshot floor survived compaction: %v", segs)
+	}
+	// ... while replay from either retained snapshot still works exactly.
+	for _, from := range snaps {
+		got := replayAll(t, s, from)
+		want := all[from:]
+		if len(got) != len(want) {
+			t.Fatalf("replay from %d: %d records, want %d", from, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("replay from %d: record %d mismatch", from, i)
+			}
+		}
+	}
+	// Snapshot contents round-trip.
+	rc, err := s.OpenSnapshot(snaps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || string(data) != "state@160" {
+		t.Fatalf("snapshot contents = %q, err=%v", data, err)
+	}
+	// Replay from before the compaction floor must fail loudly, not
+	// silently skip lost records.
+	if _, err := s.Replay(0, func(LSN, Record) error { return nil }); err == nil {
+		t.Fatal("replay from LSN 0 succeeded despite compaction")
+	}
+}
+
+func TestSnapshotWriterErrorLeavesNoFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	boom := errors.New("boom")
+	if err := s.WriteSnapshot(0, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("WriteSnapshot error = %v, want wrapped boom", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.Contains(ent.Name(), "snap") {
+			t.Fatalf("failed snapshot left file %s", ent.Name())
+		}
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if _, err := s.Append(randRecord(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := listDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need ≥ 3 segments, got %d", len(segs))
+	}
+	// Flip a payload byte in the middle of an interior segment.
+	path := segs[1].path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err) // Open only repairs the tail; interior damage surfaces at Replay
+	}
+	defer s2.Close()
+	if _, err := s2.Replay(0, func(LSN, Record) error { return nil }); err == nil {
+		t.Fatal("mid-log corruption not detected by replay")
+	}
+}
+
+func TestOpenDiscardsTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snap-0000000000000010.snap.tmp"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.HasState() {
+		t.Fatal("temp files must not count as state")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap-0000000000000010.snap.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp file survived Open")
+	}
+}
+
+// TestOpenExcludesSecondProcess: the directory flock must reject a
+// second concurrent owner — two appenders interleaving frames in one
+// segment would corrupt acknowledged-durable records — and release on
+// both Close and Kill (a real kill -9 releases it via process death).
+func TestOpenExcludesSecondProcess(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second Open on a held dir: %v, want lock error", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	s2.Kill()
+	s3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopen after Kill: %v", err)
+	}
+	s3.Close()
+}
+
+// TestDirHasStateDoesNotTouchTempFiles: the read-only probe must not
+// clean up *.tmp files — that could unlink a live store's in-flight
+// atomic snapshot write out from under its rename.
+func TestDirHasStateDoesNotTouchTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tmp := filepath.Join(dir, "snap-00000000000000aa.snap.tmp")
+	if err := os.WriteFile(tmp, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	DirHasState(dir)
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("DirHasState removed a live temp file: %v", err)
+	}
+}
+
+func TestDirHasState(t *testing.T) {
+	dir := t.TempDir()
+	if DirHasState(dir) {
+		t.Fatal("empty dir reported state")
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DirHasState(dir) {
+		t.Fatal("empty log reported state")
+	}
+	if _, err := s.Append(Record{Type: RecAdvance, T: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !DirHasState(dir) {
+		t.Fatal("logged record not reported as state")
+	}
+}
+
+// TestSnapshotAheadOfLogFastForwardsLSN: a snapshot may cover appends
+// that were never fsynced — a crash then leaves the snapshot (durable)
+// ahead of the log end. Open must resume LSNs past the snapshot;
+// otherwise fresh records would reuse covered LSNs and be silently
+// skipped by the next recovery's tail replay.
+func TestSnapshotAheadOfLogFastForwardsLSN(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := dist.NewRNG(8)
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append(randRecord(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Five more appends stay in the user-space buffer; the snapshot is
+	// stamped with their LSNs anyway (it captures applied state).
+	for i := 0; i < 5; i++ {
+		if _, err := s.Append(randRecord(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteSnapshot(15, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "state@15")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill() // the 5 unsynced records die with the process
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.NextLSN(); got != 15 {
+		t.Fatalf("NextLSN = %d, want 15 (fast-forwarded past the snapshot)", got)
+	}
+	// New appends land at 15+ and are visible to a replay anchored at
+	// the snapshot.
+	want := randRecord(rng)
+	if lsn, err := s2.Append(want); err != nil || lsn != 15 {
+		t.Fatalf("append after fast-forward: lsn=%d err=%v", lsn, err)
+	}
+	var got []Record
+	if _, err := s2.Replay(15, func(lsn LSN, rec Record) error {
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("replay from snapshot saw %v, want exactly the post-recovery record", got)
+	}
+	// A later snapshot stamps past the old one, so retention keeps the
+	// truly newest state.
+	if err := s2.WriteSnapshot(s2.NextLSN(), func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "state@16")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snaps := s2.Snapshots()
+	if snaps[len(snaps)-1] != 16 {
+		t.Fatalf("newest snapshot %v, want 16", snaps)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(Record{Type: RecAdvance, T: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("sync after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestSnapshotReplayEqualsPureReplay is the compaction-correctness
+// property: folding random record sequences through (snapshot at k,
+// replay k..n) must reach the same state as replaying everything —
+// for a state machine that consumes records the way recovery does.
+func TestSnapshotReplayEqualsPureReplay(t *testing.T) {
+	type state struct {
+		Stock   [8]int64
+		Now     int32
+		Adopted map[int64]bool
+		Expos   int
+	}
+	newState := func() *state { return &state{Now: 1, Adopted: map[int64]bool{}} }
+	applyRec := func(st *state, rec Record) {
+		switch rec.Type {
+		case RecEvent:
+			st.Expos++
+			key := int64(rec.User)<<16 | int64(rec.Item%8)
+			if rec.Adopted && !st.Adopted[key] {
+				st.Adopted[key] = true
+				if st.Stock[rec.Item%8] > 0 {
+					st.Stock[rec.Item%8]--
+				}
+			}
+		case RecSetStock:
+			st.Stock[rec.Item%8] = rec.Stock
+		case RecAdvance:
+			if rec.T > st.Now {
+				st.Now = rec.T
+			}
+		case RecScalePrice, RecPlanSwap:
+		}
+	}
+	equal := func(a, b *state) bool {
+		if a.Stock != b.Stock || a.Now != b.Now || a.Expos != b.Expos || len(a.Adopted) != len(b.Adopted) {
+			return false
+		}
+		for k := range a.Adopted {
+			if !b.Adopted[k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for trial := 0; trial < 20; trial++ {
+		rng := dist.NewRNG(100 + uint64(trial))
+		n := 50 + rng.Intn(200)
+		cut := rng.Intn(n + 1)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = randRecord(rng)
+		}
+
+		// Pure replay.
+		pure := newState()
+		for _, rec := range recs {
+			applyRec(pure, rec)
+		}
+
+		// Snapshot at cut + replay of the tail, through a real store with
+		// rotation and compaction in play.
+		dir := t.TempDir()
+		s, err := Open(dir, Options{SegmentBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid := newState()
+		for i, rec := range recs {
+			if i == cut {
+				lsn := s.NextLSN()
+				if err := s.WriteSnapshot(lsn, func(w io.Writer) error {
+					_, err := fmt.Fprintf(w, "%d", lsn)
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+			if i < cut {
+				applyRec(mid, rec) // state as of the snapshot
+			}
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		s.Kill()
+
+		s2, err := Open(dir, Options{SegmentBytes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps := s2.Snapshots()
+		if len(snaps) == 0 {
+			t.Fatal("snapshot missing after reopen")
+		}
+		from := snaps[len(snaps)-1]
+		if from != LSN(cut) {
+			t.Fatalf("trial %d: snapshot at LSN %d, want %d", trial, from, cut)
+		}
+		recovered := mid // start from snapshot-time state
+		if _, err := s2.Replay(from, func(_ LSN, rec Record) error {
+			applyRec(recovered, rec)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s2.Close()
+		if !equal(pure, recovered) {
+			t.Fatalf("trial %d (n=%d cut=%d): snapshot+replay diverged from pure replay\npure: %+v\nrec:  %+v",
+				trial, n, cut, pure, recovered)
+		}
+	}
+}

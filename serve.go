@@ -27,6 +27,11 @@ type (
 	ServeRecommendation = serve.Recommendation
 	// ServeStats is the engine's point-in-time summary.
 	ServeStats = serve.Stats
+	// ServeDurability configures an engine's durable state: a
+	// write-ahead log + snapshot directory (internal/store) with
+	// log-then-apply semantics and crash recovery. Set it on
+	// ServeConfig.Durability and boot with OpenServeEngine.
+	ServeDurability = serve.Durability
 	// PlannerFeedback is the observation bundle a replan conditions on.
 	PlannerFeedback = planner.Feedback
 )
@@ -34,6 +39,17 @@ type (
 // NewServeEngine plans an initial strategy for in and starts serving.
 func NewServeEngine(in *Instance, cfg ServeConfig) (*ServeEngine, error) {
 	return serve.NewEngine(in, cfg)
+}
+
+// OpenServeEngine is the durability-aware constructor: with
+// cfg.Durability set it recovers the engine from the data directory
+// when recoverable state exists (in may be nil) and boots fresh from
+// in otherwise, stamping a base snapshot; without durability it equals
+// NewServeEngine. Durable engines write every state mutation to the
+// WAL before applying it and survive kill -9 up to the last synced
+// barrier.
+func OpenServeEngine(in *Instance, cfg ServeConfig) (*ServeEngine, error) {
+	return serve.Open(in, cfg)
 }
 
 // RestoreServeEngine rebuilds an engine from a Snapshot image, serving
