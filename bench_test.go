@@ -28,7 +28,7 @@ func benchCfg() experiments.Config {
 	return experiments.Config{Scale: 0.003, Seed: 42, Perms: 3}
 }
 
-func benchDataset(b *testing.B) *dataset.Dataset {
+func benchDataset(b testing.TB) *dataset.Dataset {
 	b.Helper()
 	ds, err := dataset.AmazonLike(dataset.Config{Seed: 42, Scale: 0.01})
 	if err != nil {

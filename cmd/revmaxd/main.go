@@ -86,6 +86,7 @@ func run(args []string, stdout io.Writer) error {
 	loadInstance := fs.String("load-instance", "", "load the instance from a JSON file instead of generating one")
 	snapshot := fs.String("snapshot", "", "legacy snapshot file: restore from it at boot if present, write it on shutdown (mutually exclusive with -data-dir)")
 	replanEvery := fs.Int("replan-every", 32, "adoptions per background replan")
+	warmStart := fs.Bool("warm-start", false, "seed each replan with the previous plan's still-feasible triples (lower replan latency; plans may differ from cold solves)")
 	shards := fs.Int("shards", 0, "user-store shard count (0 = next pow2 ≥ GOMAXPROCS)")
 	dataDir := fs.String("data-dir", "", "durable state directory (write-ahead log + snapshots); recovery happens from here on boot")
 	walSync := fs.String("wal-sync", "batch", "WAL fsync policy: always | batch | none")
@@ -113,6 +114,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg := serve.Config{
 		Algorithm:   *algoName,
 		Solver:      solver.Options{Perms: *perms, Seed: *seed + 1},
+		WarmStart:   *warmStart,
 		Shards:      *shards,
 		ReplanEvery: *replanEvery,
 	}

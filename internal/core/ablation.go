@@ -17,55 +17,53 @@ import (
 func GGreedySingleHeap(in *model.Instance) Result {
 	st := newState(in)
 	var heap pqueue.Max
-	// Track live entries per (user, class) so stale-root recomputation
-	// can refresh exactly the affected group, mirroring Algorithm 1's
-	// per-pair refresh at single-heap granularity.
-	type ucKey struct {
-		u model.UserID
-		c model.ClassID
-	}
-	groups := make(map[ucKey][]*pqueue.Entry)
-	for u := 0; u < in.NumUsers; u++ {
-		for _, c := range in.UserCandidates(model.UserID(u)) {
-			e := &pqueue.Entry{
-				Triple: c.Triple,
-				Q:      c.Q,
-				Key:    in.Price(c.I, c.T) * c.Q,
-				Flag:   0,
-			}
-			heap.Push(e)
-			k := ucKey{c.U, in.Class(c.I)}
-			groups[k] = append(groups[k], e)
+	// Track live entries per (user, class) revenue group so stale-root
+	// recomputation can refresh exactly the affected group, mirroring
+	// Algorithm 1's per-pair refresh at single-heap granularity. Groups
+	// are the instance's dense group IDs.
+	flat := in.Candidates()
+	entries := make([]pqueue.Entry, len(flat))
+	groups := make([][]*pqueue.Entry, in.NumGroups())
+	for id := range flat {
+		c := &flat[id]
+		cid := model.CandID(id)
+		entries[id] = pqueue.Entry{
+			Triple: c.Triple,
+			ID:     cid,
+			Q:      c.Q,
+			Key:    in.Price(c.I, c.T) * c.Q,
+			Flag:   0,
 		}
+		heap.Push(&entries[id])
+		g := in.GroupOf(cid)
+		groups[g] = append(groups[g], &entries[id])
 	}
 
 	limit := maxSelections(in)
 	selections, recomputations := 0, 0
-	for st.s.Len() < limit && !heap.Empty() {
+	for st.len() < limit && !heap.Empty() {
 		e := heap.Peek()
 		if e.Key <= Eps {
 			break
 		}
-		z := e.Triple
-		if st.check(z) != violationNone {
+		if st.check(e.ID) != violationNone {
 			heap.Pop()
 			continue
 		}
-		k := ucKey{z.U, in.Class(z.I)}
-		fresh := st.ev.GroupSize(z.U, in.Class(z.I))
+		fresh := st.ev.GroupSizeID(e.ID)
 		if e.Flag < fresh {
-			for _, sib := range groups[k] {
-				if st.s.Contains(sib.Triple) {
+			for _, sib := range groups[in.GroupOf(e.ID)] {
+				if st.p.Contains(sib.ID) {
 					continue
 				}
-				sib.Key = st.ev.MarginalGain(sib.Triple, sib.Q)
+				sib.Key = st.ev.MarginalGainID(sib.ID)
 				sib.Flag = fresh
 				recomputations++
 				heap.Fix(sib)
 			}
 			continue
 		}
-		st.add(z, e.Q)
+		st.add(e.ID)
 		selections++
 		heap.Pop()
 	}
@@ -80,59 +78,57 @@ func GGreedySingleHeap(in *model.Instance) Result {
 // for measuring lazy forward's savings.
 func GGreedyEager(in *model.Instance) Result {
 	st := newState(in)
-	heap := pqueue.NewTwoLevel()
-	type ucKey struct {
-		u model.UserID
-		c model.ClassID
-	}
-	groups := make(map[ucKey][]*pqueue.Entry)
-	for u := 0; u < in.NumUsers; u++ {
-		for _, c := range in.UserCandidates(model.UserID(u)) {
-			e := &pqueue.Entry{
-				Triple: c.Triple,
-				Q:      c.Q,
-				Key:    in.Price(c.I, c.T) * c.Q,
-			}
-			heap.Add(e)
-			k := ucKey{c.U, in.Class(c.I)}
-			groups[k] = append(groups[k], e)
+	heap := pqueue.NewTwoLevelDense(in.NumPairs(), pairCaps(in))
+	flat := in.Candidates()
+	entries := make([]pqueue.Entry, len(flat))
+	groups := make([][]*pqueue.Entry, in.NumGroups())
+	for id := range flat {
+		c := &flat[id]
+		cid := model.CandID(id)
+		entries[id] = pqueue.Entry{
+			Triple: c.Triple,
+			ID:     cid,
+			Pair:   in.PairOf(cid),
+			Q:      c.Q,
+			Key:    in.Price(c.I, c.T) * c.Q,
 		}
+		heap.Add(&entries[id])
+		g := in.GroupOf(cid)
+		groups[g] = append(groups[g], &entries[id])
 	}
 	heap.Build()
 
 	limit := maxSelections(in)
 	selections, recomputations := 0, 0
-	for st.s.Len() < limit && !heap.Empty() {
+	for st.len() < limit && !heap.Empty() {
 		e := heap.PeekMax()
 		if e == nil || e.Key <= Eps {
 			break
 		}
-		z := e.Triple
-		switch st.check(z) {
+		switch st.check(e.ID) {
 		case violationDisplay:
 			heap.DeleteEntry(e)
 			continue
 		case violationCapacity:
-			heap.DeletePair(z.U, z.I)
+			heap.DeletePairOf(e)
 			continue
 		}
-		st.add(z, e.Q)
+		st.add(e.ID)
 		selections++
 		heap.DeleteMax()
 		// Eager refresh: immediately recompute every sibling of the
 		// selected triple's group, across all of the user's lower heaps.
-		k := ucKey{z.U, in.Class(z.I)}
-		touched := make(map[model.ItemID]bool)
-		for _, sib := range groups[k] {
-			if st.s.Contains(sib.Triple) {
+		touched := make(map[int32]*pqueue.Entry)
+		for _, sib := range groups[in.GroupOf(e.ID)] {
+			if st.p.Contains(sib.ID) {
 				continue
 			}
-			sib.Key = st.ev.MarginalGain(sib.Triple, sib.Q)
+			sib.Key = st.ev.MarginalGainID(sib.ID)
 			recomputations++
-			touched[sib.Triple.I] = true
+			touched[sib.Pair] = sib
 		}
-		for i := range touched {
-			heap.FixPair(z.U, i)
+		for _, sib := range touched {
+			heap.FixPairOf(sib)
 		}
 	}
 	return st.result(selections, recomputations)

@@ -24,9 +24,12 @@ func TopRA(in *model.Instance, rating RatingFn) Result {
 	return res
 }
 
-// TopRACtx is TopRA with cancellation, checked once per user.
+// TopRACtx is TopRA with cancellation, checked once per user. TopRA is
+// the one algorithm still running on the map-based loose state: its
+// strategy repeats the top-rated items at every time step including
+// q=0 ones, which have no CandID.
 func TopRACtx(ctx context.Context, in *model.Instance, rating RatingFn) (Result, error) {
-	st := newState(in)
+	st := newLooseState(in)
 	for u := 0; u < in.NumUsers; u++ {
 		if err := ctx.Err(); err != nil {
 			return st.result(st.s.Len(), 0), err
@@ -74,22 +77,26 @@ func TopRE(in *model.Instance) Result {
 // TopRECtx is TopRE with cancellation, checked once per (step, user).
 func TopRECtx(ctx context.Context, in *model.Instance) (Result, error) {
 	st := newState(in)
+	type scored struct {
+		id model.CandID
+		i  model.ItemID
+		v  float64
+	}
+	var xs []scored // reused across (step, user) iterations
 	for t := model.TimeStep(1); int(t) <= in.T; t++ {
 		for u := 0; u < in.NumUsers; u++ {
 			if err := ctx.Err(); err != nil {
-				return st.result(st.s.Len(), 0), err
+				return st.result(st.len(), 0), err
 			}
 			uid := model.UserID(u)
-			type scored struct {
-				i model.ItemID
-				v float64
-			}
-			var xs []scored
-			for _, c := range in.UserCandidates(uid) {
+			xs = xs[:0]
+			lo, hi := in.UserCandSpan(uid)
+			for id := lo; id < hi; id++ {
+				c := in.CandAt(id)
 				if c.T != t {
 					continue
 				}
-				xs = append(xs, scored{c.I, in.Price(c.I, t) * c.Q})
+				xs = append(xs, scored{id, c.I, in.Price(c.I, t) * c.Q})
 			}
 			sort.Slice(xs, func(a, b int) bool {
 				if xs[a].v != xs[b].v {
@@ -102,16 +109,15 @@ func TopRECtx(ctx context.Context, in *model.Instance) (Result, error) {
 				if picked >= in.K {
 					break
 				}
-				z := model.Triple{U: uid, I: x.i, T: t}
-				if st.check(z) != violationNone {
+				if st.check(x.id) != violationNone {
 					continue
 				}
-				st.add(z, in.Q(uid, x.i, t))
+				st.add(x.id)
 				picked++
 			}
 		}
 	}
-	return st.result(st.s.Len(), 0), nil
+	return st.result(st.len(), 0), nil
 }
 
 // candidateItems returns the distinct items among u's candidates.

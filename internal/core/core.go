@@ -38,8 +38,15 @@ type ProgressFn func(Progress)
 
 // Result is the output of a RevMax algorithm run.
 type Result struct {
+	// Strategy is the map-based view of the selected plan, materialized
+	// at the end of the run for downstream consumers (serving snapshots,
+	// codecs, metrics). Hot paths should prefer Plan.
 	Strategy *model.Strategy
-	Revenue  float64 // Rev(Strategy) under the true model
+	// Plan is the flat candidate-indexed representation the algorithm
+	// inner loops actually ran on. It is nil for algorithms whose output
+	// can contain non-candidate triples (TopRA's q=0 repeats).
+	Plan    *model.Plan
+	Revenue float64 // Rev(Strategy) under the true model
 
 	// Selections counts triples added; Recomputations counts lazy-forward
 	// marginal-revenue recomputations (a measure of how much work lazy
@@ -52,31 +59,23 @@ type Result struct {
 	Curve []float64
 }
 
-// displayKey identifies a (user, time) display slot.
-type displayKey struct {
-	u model.UserID
-	t model.TimeStep
-}
-
-// state carries everything a greedy run mutates: the growing strategy,
-// the incremental revenue evaluator, and the constraint counters
-// (Algorithm 1's auxiliary variables).
+// state carries everything a greedy run mutates: the growing plan (which
+// is also Algorithm 1's constraint counters — display and distinct-user
+// counts live inside it as O(1) arrays) and the incremental revenue
+// evaluator. All hot-path operations address candidates by CandID; no
+// maps, no per-op allocation.
 type state struct {
-	in        *model.Instance
-	ev        *revenue.Evaluator
-	s         *model.Strategy
-	display   map[displayKey]int
-	itemUsers []map[model.UserID]struct{}
-	curve     []float64
+	in    *model.Instance
+	ev    *revenue.Evaluator
+	p     *model.Plan
+	curve []float64
 }
 
 func newState(in *model.Instance) *state {
 	return &state{
-		in:        in,
-		ev:        revenue.NewEvaluator(in),
-		s:         model.NewStrategy(),
-		display:   make(map[displayKey]int),
-		itemUsers: make([]map[model.UserID]struct{}, in.NumItems()),
+		in: in,
+		ev: revenue.NewEvaluator(in),
+		p:  in.NewPlan(),
 	}
 }
 
@@ -89,10 +88,76 @@ const (
 	violationCapacity
 )
 
-// check reports whether z can be added to the current strategy. Both
-// violation kinds are permanent once they occur (strategies only grow),
+// check reports whether candidate id can be added to the current plan.
+// Both violation kinds are permanent once they occur (plans only grow),
 // which is what lets the heaps drop infeasible entries for good.
-func (st *state) check(z model.Triple) violation {
+func (st *state) check(id model.CandID) violation {
+	switch st.p.Check(id) {
+	case model.PlanDisplay:
+		return violationDisplay
+	case model.PlanCapacity:
+		return violationCapacity
+	}
+	return violationNone
+}
+
+// add commits candidate id to the plan and returns the realized gain.
+func (st *state) add(id model.CandID) float64 {
+	st.p.Add(id)
+	delta := st.ev.AddID(id)
+	st.curve = append(st.curve, st.ev.Total())
+	return delta
+}
+
+// remove undoes an add (used by the exhaustive search).
+func (st *state) remove(id model.CandID) {
+	st.p.Remove(id)
+	st.ev.RemoveID(id)
+}
+
+func (st *state) len() int { return st.p.Len() }
+
+func (st *state) result(selections, recomputations int) Result {
+	return Result{
+		Strategy:       st.p.Strategy(),
+		Plan:           st.p,
+		Revenue:        st.ev.Total(),
+		Selections:     selections,
+		Recomputations: recomputations,
+		Curve:          st.curve,
+	}
+}
+
+// displayKey identifies a (user, time) display slot of the loose state.
+type displayKey struct {
+	u model.UserID
+	t model.TimeStep
+}
+
+// looseState is the map-based fallback state for algorithms whose
+// strategies may contain non-candidate triples — today only the TopRA
+// baseline, which repeats its top-rated items at every time step
+// including q=0 ones. Semantics match state exactly.
+type looseState struct {
+	in        *model.Instance
+	ev        *revenue.Evaluator
+	s         *model.Strategy
+	display   map[displayKey]int
+	itemUsers []map[model.UserID]struct{}
+	curve     []float64
+}
+
+func newLooseState(in *model.Instance) *looseState {
+	return &looseState{
+		in:        in,
+		ev:        revenue.NewEvaluator(in),
+		s:         model.NewStrategy(),
+		display:   make(map[displayKey]int),
+		itemUsers: make([]map[model.UserID]struct{}, in.NumItems()),
+	}
+}
+
+func (st *looseState) check(z model.Triple) violation {
 	if st.s.Contains(z) {
 		return violationDisplay // already chosen; treat as unusable slot
 	}
@@ -111,8 +176,7 @@ func (st *state) check(z model.Triple) violation {
 	return violationNone
 }
 
-// add commits z to the strategy and returns the realized marginal gain.
-func (st *state) add(z model.Triple, q float64) float64 {
+func (st *looseState) add(z model.Triple, q float64) float64 {
 	st.s.Add(z)
 	st.display[displayKey{z.U, z.T}]++
 	users := st.itemUsers[z.I]
@@ -126,7 +190,7 @@ func (st *state) add(z model.Triple, q float64) float64 {
 	return delta
 }
 
-func (st *state) result(selections, recomputations int) Result {
+func (st *looseState) result(selections, recomputations int) Result {
 	return Result{
 		Strategy:       st.s,
 		Revenue:        st.ev.Total(),
@@ -139,4 +203,15 @@ func (st *state) result(selections, recomputations int) Result {
 // maxSelections is the k·T·|U| bound of Algorithm 1, line 11.
 func maxSelections(in *model.Instance) int {
 	return in.K * in.T * in.NumUsers
+}
+
+// pairCaps returns each (user, item) pair's candidate count — the
+// lower-heap capacities handed to the dense two-level heap so its
+// storage is one bulk allocation.
+func pairCaps(in *model.Instance) []int32 {
+	caps := make([]int32, in.NumPairs())
+	for p := range caps {
+		caps[p] = int32(in.PairCandCount(int32(p)))
+	}
+	return caps
 }

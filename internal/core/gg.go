@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sort"
 
 	"repro/internal/model"
 	"repro/internal/pqueue"
@@ -23,8 +24,63 @@ func GGreedy(in *model.Instance) Result {
 // GGreedy.
 func GGreedyCtx(ctx context.Context, in *model.Instance, progress ProgressFn) (Result, error) {
 	st := newState(in)
-	sel, rec, err := gGreedyWindow(ctx, st, 1, model.TimeStep(in.T), progress)
+	sel, rec, err := gGreedyWindow(ctx, st, 1, model.TimeStep(in.T), progress, false)
 	return st.result(sel, rec), err
+}
+
+// GGreedyWarm runs Global Greedy warm-started from a previous plan's
+// triples (receding-horizon replanning: the previous solution is mostly
+// still good after one adoption batch). See GGreedyWarmCtx.
+func GGreedyWarm(in *model.Instance, warm []model.Triple) Result {
+	res, _ := GGreedyWarmCtx(context.Background(), in, warm, nil)
+	return res
+}
+
+// GGreedyWarmCtx seeds the greedy state with the still-feasible triples
+// of warm — dropping triples invalidated since the seed plan was
+// computed: no longer candidates of the instance (class adopted, stock
+// depleted, zero residual probability after saturation folding),
+// constraint-violating against the seeds already placed, or no longer
+// contributing positive marginal revenue under current prices and
+// saturation (repriced to nothing, or cannibalized by the seeds before
+// it) — and then resumes the lazy-forward scan from that state instead
+// of an empty strategy. Seeds are applied in canonical triple order and
+// cost one group evaluation each (the realized add delta doubles as the
+// profitability check), so equal (instance, warm) inputs give
+// byte-identical outputs. Result.Curve covers the seeds and the scan.
+//
+// A warm-started solve generally differs from a cold solve: the greedy
+// commits to the seed before scanning. Callers that need cold-solve
+// byte-identity (scenario goldens) must not pass warm seeds.
+func GGreedyWarmCtx(ctx context.Context, in *model.Instance, warm []model.Triple, progress ProgressFn) (Result, error) {
+	st := newState(in)
+	ws := append([]model.Triple(nil), warm...)
+	sort.Slice(ws, func(a, b int) bool { return ws[a].Less(ws[b]) })
+	seeded := 0
+	for _, z := range ws {
+		id, ok := in.CandIDOf(z)
+		if !ok {
+			continue // invalidated: no longer a candidate of the residual
+		}
+		if st.check(id) != violationNone {
+			continue // invalidated: display slot or item capacity gone
+		}
+		if st.add(id) <= Eps {
+			// Invalidated: no longer pays under current prices/saturation.
+			// One group evaluation per kept seed (the common case), two
+			// per dropped one.
+			st.remove(id)
+			continue
+		}
+		seeded++
+	}
+	// Upper-bound initialization: against the seeded state, exact initial
+	// marginals would cost a full group evaluation per candidate — more
+	// than the seeds saved. The saturation-free key p·q is a true upper
+	// bound on any marginal gain, so the lazy-forward flag discipline
+	// recomputes exactly the candidates that reach the heap root.
+	sel, rec, err := gGreedyWindow(ctx, st, 1, model.TimeStep(in.T), progress, true)
+	return st.result(seeded+sel, rec), err
 }
 
 // GGreedyStaged runs Global Greedy with prices revealed in sub-horizons
@@ -46,7 +102,7 @@ func GGreedyStagedCtx(ctx context.Context, in *model.Instance, progress Progress
 	for _, c := range cuts {
 		hi := model.TimeStep(c)
 		if hi >= lo {
-			s, r, err := gGreedyWindow(ctx, st, lo, hi, progress)
+			s, r, err := gGreedyWindow(ctx, st, lo, hi, progress, false)
 			sel += s
 			rec += r
 			if err != nil {
@@ -56,7 +112,7 @@ func GGreedyStagedCtx(ctx context.Context, in *model.Instance, progress Progress
 		}
 	}
 	if int(lo) <= in.T {
-		s, r, err := gGreedyWindow(ctx, st, lo, model.TimeStep(in.T), progress)
+		s, r, err := gGreedyWindow(ctx, st, lo, model.TimeStep(in.T), progress, false)
 		sel += s
 		rec += r
 		if err != nil {
@@ -71,30 +127,58 @@ func GGreedyStagedCtx(ctx context.Context, in *model.Instance, progress Progress
 // ctx is checked once per main-loop iteration — each iteration performs
 // at least one heap operation, so cancellation is seen within one
 // selection attempt.
-func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progress ProgressFn) (selections, recomputations int, err error) {
+//
+// upperBoundInit selects the initial-key policy. false: exact marginals
+// against the current state — line 8 of Algorithm 1, and what the
+// staged variants' byte-identical outputs are pinned to (for an empty
+// state the exact marginal IS p·q, via the evaluator's empty-group fast
+// path, so cold runs pay nothing). true (warm starts): the
+// saturation-free upper bound p·q with a zero freshness stamp, so
+// seeded groups don't force a full group evaluation per candidate up
+// front — the lazy-forward discipline recomputes exactly the entries
+// that reach the root.
+func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progress ProgressFn, upperBoundInit bool) (selections, recomputations int, err error) {
 	in := st.in
-	heap := pqueue.NewTwoLevel()
-	for u := 0; u < in.NumUsers; u++ {
-		for _, c := range in.UserCandidates(model.UserID(u)) {
-			if c.T < lo || c.T > hi {
+	heap := pqueue.NewTwoLevelDense(in.NumPairs(), pairCaps(in))
+	// Heap entries are bulk-allocated in one backing array; the capacity
+	// covers the whole window so appends never reallocate (entry pointers
+	// must stay stable once handed to the heap).
+	flat := in.Candidates()
+	entries := make([]pqueue.Entry, 0, len(flat))
+	for id := range flat {
+		c := &flat[id]
+		if c.T < lo || c.T > hi {
+			continue
+		}
+		cid := model.CandID(id)
+		key, flag := 0.0, 0
+		if upperBoundInit {
+			// Seeded state: skip candidates it already rules out — plans
+			// only grow, so a full display slot or consumed capacity never
+			// frees up. With a plan-sized seed this prunes most of the
+			// candidate space before it ever touches the heap.
+			if st.check(cid) != violationNone {
 				continue
 			}
-			// Initial keys use the marginal against the current state: for
-			// a fresh run this is p(i,t)·q(u,i,t), exactly line 8 of
-			// Algorithm 1; for staged runs it accounts for the frozen
-			// earlier windows.
-			heap.Add(&pqueue.Entry{
-				Triple: c.Triple,
-				Q:      c.Q,
-				Key:    st.ev.MarginalGain(c.Triple, c.Q),
-				Flag:   st.ev.GroupSize(c.U, in.Class(c.I)),
-			})
+			key = in.Price(c.I, c.T) * c.Q
+		} else {
+			key = st.ev.MarginalGainID(cid)
+			flag = st.ev.GroupSizeID(cid)
 		}
+		entries = append(entries, pqueue.Entry{
+			Triple: c.Triple,
+			ID:     cid,
+			Pair:   in.PairOf(cid),
+			Q:      c.Q,
+			Key:    key,
+			Flag:   flag,
+		})
+		heap.Add(&entries[len(entries)-1])
 	}
 	heap.Build()
 
 	limit := maxSelections(in)
-	for st.s.Len() < limit && !heap.Empty() {
+	for st.len() < limit && !heap.Empty() {
 		if err := ctx.Err(); err != nil {
 			return selections, recomputations, err
 		}
@@ -102,35 +186,34 @@ func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progre
 		if e == nil || e.Key <= Eps {
 			break // no remaining triple has positive marginal revenue
 		}
-		z := e.Triple
-		switch st.check(z) {
+		switch st.check(e.ID) {
 		case violationDisplay:
 			heap.DeleteEntry(e)
 			continue
 		case violationCapacity:
 			// The whole (user, item) pair can never become feasible again:
 			// the item is at capacity and this user is not a recipient.
-			heap.DeletePair(z.U, z.I)
+			heap.DeletePairOf(e)
 			continue
 		}
-		fresh := st.ev.GroupSize(z.U, in.Class(z.I))
+		fresh := st.ev.GroupSizeID(e.ID)
 		if e.Flag < fresh {
 			// Stale root: recompute every sibling in the lower heap
 			// (Algorithm 1, lines 15–19), stamp them fresh, re-heapify.
-			for _, sib := range heap.PairEntries(z.U, z.I) {
-				sib.Key = st.ev.MarginalGain(sib.Triple, sib.Q)
+			for _, sib := range heap.PairEntriesOf(e) {
+				sib.Key = st.ev.MarginalGainID(sib.ID)
 				sib.Flag = fresh
 				recomputations++
 			}
-			heap.FixPair(z.U, z.I)
+			heap.FixPairOf(e)
 			continue
 		}
 		// Fresh root: select it (lines 20–23).
-		st.add(z, e.Q)
+		st.add(e.ID)
 		selections++
 		heap.DeleteMax()
 		if progress != nil {
-			progress(Progress{Done: st.s.Len(), Total: limit, Best: st.ev.Total()})
+			progress(Progress{Done: st.len(), Total: limit, Best: st.ev.Total()})
 		}
 	}
 	return selections, recomputations, nil
@@ -150,45 +233,34 @@ func NaiveGreedy(in *model.Instance) Result {
 // selection scan.
 func NaiveGreedyCtx(ctx context.Context, in *model.Instance) (Result, error) {
 	st := newState(in)
-	type cand struct {
-		z    model.Triple
-		q    float64
-		dead bool
-	}
-	var cands []cand
-	for u := 0; u < in.NumUsers; u++ {
-		for _, c := range in.UserCandidates(model.UserID(u)) {
-			cands = append(cands, cand{z: c.Triple, q: c.Q})
-		}
-	}
+	dead := make([]bool, in.NumCands())
 	limit := maxSelections(in)
 	selections := 0
-	for st.s.Len() < limit {
+	for st.len() < limit {
 		if err := ctx.Err(); err != nil {
 			return st.result(selections, 0), err
 		}
-		best := -1
+		best := model.CandID(-1)
 		bestGain := Eps
-		for i := range cands {
-			c := &cands[i]
-			if c.dead {
+		for id := model.CandID(0); int(id) < len(dead); id++ {
+			if dead[id] {
 				continue
 			}
-			if st.check(c.z) != violationNone {
-				c.dead = true
+			if st.check(id) != violationNone {
+				dead[id] = true
 				continue
 			}
-			g := st.ev.MarginalGain(c.z, c.q)
+			g := st.ev.MarginalGainID(id)
 			if g > bestGain {
 				bestGain = g
-				best = i
+				best = id
 			}
 		}
 		if best < 0 {
 			break
 		}
-		st.add(cands[best].z, cands[best].q)
-		cands[best].dead = true
+		st.add(best)
+		dead[best] = true
 		selections++
 	}
 	return st.result(selections, 0), nil
@@ -216,10 +288,22 @@ func GlobalNoCtx(ctx context.Context, in *model.Instance, progress ProgressFn) (
 }
 
 // scoreOn re-scores a result's strategy under instance in's true model.
+// The blind instance shares the true instance's candidate index
+// (ShallowCloneWithBeta), so the plan's CandIDs carry over directly;
+// ascending-ID iteration is the canonical order the map-era path used.
 func scoreOn(in *model.Instance, res Result) Result {
 	st := newState(in)
-	for _, z := range res.Strategy.Triples() {
-		st.add(z, in.Q(z.U, z.I, z.T))
+	if res.Plan != nil {
+		res.Plan.Each(func(id model.CandID) bool {
+			st.add(id)
+			return true
+		})
+	} else {
+		for _, z := range res.Strategy.Triples() {
+			if id, ok := in.CandIDOf(z); ok {
+				st.add(id)
+			}
+		}
 	}
 	out := st.result(res.Selections, res.Recomputations)
 	return out

@@ -1,0 +1,454 @@
+package core
+
+// This file pins the pre-flat-plan implementation of the greedy
+// algorithms: a self-contained copy of the original map-based strategy
+// state and (user, class)-keyed incremental evaluator, exactly as they
+// existed before the dense CandID/Plan refactor. The equivalence test
+// below runs both implementations on random instances and requires
+// byte-identical outputs — strategies, revenue bits, and operation
+// counts — so any drift introduced by the flat representation is caught
+// here, independent of the solver-level golden files.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/pqueue"
+	"repro/internal/testgen"
+)
+
+// --- legacy revenue evaluator (map-based) --------------------------------
+
+type lgGroupKey struct {
+	u model.UserID
+	c model.ClassID
+}
+
+type lgEntry struct {
+	z model.Triple
+	q float64
+}
+
+type lgGroup struct {
+	entries []lgEntry
+	revenue float64
+}
+
+func (g *lgGroup) insert(e lgEntry) {
+	i := sort.Search(len(g.entries), func(k int) bool {
+		ek := g.entries[k]
+		if ek.z.T != e.z.T {
+			return ek.z.T > e.z.T
+		}
+		return ek.z.I >= e.z.I
+	})
+	g.entries = append(g.entries, lgEntry{})
+	copy(g.entries[i+1:], g.entries[i:])
+	g.entries[i] = e
+}
+
+func lgMemoryOf(entries []lgEntry, t model.TimeStep) float64 {
+	m := 0.0
+	for _, e := range entries {
+		if e.z.T < t {
+			m += 1 / float64(t-e.z.T)
+		}
+	}
+	return m
+}
+
+func lgDynamicProb(in *model.Instance, entries []lgEntry, idx int) float64 {
+	e := entries[idx]
+	t := e.z.T
+	beta := in.Beta(e.z.I)
+	mem := lgMemoryOf(entries, t)
+	p := e.q
+	if mem > 0 {
+		p *= math.Pow(beta, mem)
+	}
+	for _, o := range entries {
+		if o.z == e.z {
+			continue
+		}
+		switch {
+		case o.z.T < t:
+			p *= 1 - o.q
+		case o.z.T == t && o.z.I != e.z.I:
+			p *= 1 - o.q
+		}
+	}
+	return p
+}
+
+func lgGroupRevenue(in *model.Instance, entries []lgEntry) float64 {
+	rev := 0.0
+	for idx, e := range entries {
+		rev += in.Price(e.z.I, e.z.T) * lgDynamicProb(in, entries, idx)
+	}
+	return rev
+}
+
+type lgEvaluator struct {
+	in     *model.Instance
+	groups map[lgGroupKey]*lgGroup
+	total  float64
+	size   int
+}
+
+func newLgEvaluator(in *model.Instance) *lgEvaluator {
+	return &lgEvaluator{in: in, groups: make(map[lgGroupKey]*lgGroup)}
+}
+
+func (ev *lgEvaluator) groupSize(u model.UserID, c model.ClassID) int {
+	g := ev.groups[lgGroupKey{u, c}]
+	if g == nil {
+		return 0
+	}
+	return len(g.entries)
+}
+
+func (ev *lgEvaluator) marginalGain(z model.Triple, q float64) float64 {
+	key := lgGroupKey{z.U, ev.in.Class(z.I)}
+	g := ev.groups[key]
+	if g == nil {
+		return ev.in.Price(z.I, z.T) * q
+	}
+	tmp := make([]lgEntry, len(g.entries), len(g.entries)+1)
+	copy(tmp, g.entries)
+	tmp = append(tmp, lgEntry{z, q})
+	return lgGroupRevenue(ev.in, tmp) - g.revenue
+}
+
+func (ev *lgEvaluator) add(z model.Triple, q float64) float64 {
+	key := lgGroupKey{z.U, ev.in.Class(z.I)}
+	g := ev.groups[key]
+	if g == nil {
+		g = &lgGroup{}
+		ev.groups[key] = g
+	}
+	old := g.revenue
+	g.insert(lgEntry{z, q})
+	g.revenue = lgGroupRevenue(ev.in, g.entries)
+	delta := g.revenue - old
+	ev.total += delta
+	ev.size++
+	return delta
+}
+
+// --- legacy greedy state (map-based strategy + constraint counters) ------
+
+type lgDisplayKey struct {
+	u model.UserID
+	t model.TimeStep
+}
+
+type lgState struct {
+	in        *model.Instance
+	ev        *lgEvaluator
+	set       map[model.Triple]struct{}
+	display   map[lgDisplayKey]int
+	itemUsers []map[model.UserID]struct{}
+	curve     []float64
+}
+
+func newLgState(in *model.Instance) *lgState {
+	return &lgState{
+		in:        in,
+		ev:        newLgEvaluator(in),
+		set:       make(map[model.Triple]struct{}),
+		display:   make(map[lgDisplayKey]int),
+		itemUsers: make([]map[model.UserID]struct{}, in.NumItems()),
+	}
+}
+
+func (st *lgState) check(z model.Triple) violation {
+	if _, ok := st.set[z]; ok {
+		return violationDisplay
+	}
+	if st.display[lgDisplayKey{z.U, z.T}] >= st.in.K {
+		return violationDisplay
+	}
+	users := st.itemUsers[z.I]
+	if users != nil {
+		if _, ok := users[z.U]; ok {
+			return violationNone
+		}
+	}
+	if len(users) >= st.in.Capacity(z.I) {
+		return violationCapacity
+	}
+	return violationNone
+}
+
+func (st *lgState) add(z model.Triple, q float64) {
+	st.set[z] = struct{}{}
+	st.display[lgDisplayKey{z.U, z.T}]++
+	users := st.itemUsers[z.I]
+	if users == nil {
+		users = make(map[model.UserID]struct{})
+		st.itemUsers[z.I] = users
+	}
+	users[z.U] = struct{}{}
+	st.ev.add(z, q)
+	st.curve = append(st.curve, st.ev.total)
+}
+
+// lgResult mirrors Result with the strategy flattened to canonical order.
+type lgResult struct {
+	triples        []model.Triple
+	revenue        float64
+	selections     int
+	recomputations int
+	curve          []float64
+}
+
+func (st *lgState) result(selections, recomputations int) lgResult {
+	out := make([]model.Triple, 0, len(st.set))
+	for z := range st.set {
+		out = append(out, z)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Less(out[b]) })
+	return lgResult{
+		triples:        out,
+		revenue:        st.ev.total,
+		selections:     selections,
+		recomputations: recomputations,
+		curve:          st.curve,
+	}
+}
+
+// --- legacy algorithm drivers -------------------------------------------
+
+func lgGGreedyWindow(st *lgState, lo, hi model.TimeStep) (selections, recomputations int) {
+	in := st.in
+	heap := pqueue.NewTwoLevel()
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if c.T < lo || c.T > hi {
+				continue
+			}
+			heap.Add(&pqueue.Entry{
+				Triple: c.Triple,
+				Q:      c.Q,
+				Key:    st.ev.marginalGain(c.Triple, c.Q),
+				Flag:   st.ev.groupSize(c.U, in.Class(c.I)),
+			})
+		}
+	}
+	heap.Build()
+
+	limit := maxSelections(in)
+	for len(st.set) < limit && !heap.Empty() {
+		e := heap.PeekMax()
+		if e == nil || e.Key <= Eps {
+			break
+		}
+		z := e.Triple
+		switch st.check(z) {
+		case violationDisplay:
+			heap.DeleteEntry(e)
+			continue
+		case violationCapacity:
+			heap.DeletePair(z.U, z.I)
+			continue
+		}
+		fresh := st.ev.groupSize(z.U, in.Class(z.I))
+		if e.Flag < fresh {
+			for _, sib := range heap.PairEntries(z.U, z.I) {
+				sib.Key = st.ev.marginalGain(sib.Triple, sib.Q)
+				sib.Flag = fresh
+				recomputations++
+			}
+			heap.FixPair(z.U, z.I)
+			continue
+		}
+		st.add(z, e.Q)
+		selections++
+		heap.DeleteMax()
+	}
+	return selections, recomputations
+}
+
+func lgGGreedy(in *model.Instance) lgResult {
+	st := newLgState(in)
+	sel, rec := lgGGreedyWindow(st, 1, model.TimeStep(in.T))
+	return st.result(sel, rec)
+}
+
+func lgLocalRound(st *lgState, t model.TimeStep) (selections, recomputations int) {
+	in := st.in
+	var heap pqueue.Max
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			if c.T != t {
+				continue
+			}
+			heap.Push(&pqueue.Entry{
+				Triple: c.Triple,
+				Q:      c.Q,
+				Key:    st.ev.marginalGain(c.Triple, c.Q),
+				Flag:   st.ev.groupSize(c.U, in.Class(c.I)),
+			})
+		}
+	}
+	for !heap.Empty() {
+		e := heap.Peek()
+		if e.Key <= Eps {
+			break
+		}
+		z := e.Triple
+		if st.check(z) != violationNone {
+			heap.Pop()
+			continue
+		}
+		fresh := st.ev.groupSize(z.U, in.Class(z.I))
+		if e.Flag < fresh {
+			e.Key = st.ev.marginalGain(z, e.Q)
+			e.Flag = fresh
+			recomputations++
+			heap.Fix(e)
+			continue
+		}
+		st.add(z, e.Q)
+		selections++
+		heap.Pop()
+	}
+	return selections, recomputations
+}
+
+func lgSLGreedy(in *model.Instance) lgResult {
+	st := newLgState(in)
+	sel, rec := 0, 0
+	for t := model.TimeStep(1); int(t) <= in.T; t++ {
+		s, r := lgLocalRound(st, t)
+		sel += s
+		rec += r
+	}
+	return st.result(sel, rec)
+}
+
+func lgRLGreedy(in *model.Instance, n int, seed uint64) lgResult {
+	perms := samplePermutations(in.T, n, seed)
+	var best lgResult
+	for idx, perm := range perms {
+		st := newLgState(in)
+		sel, rec := 0, 0
+		for _, t := range perm {
+			s, r := lgLocalRound(st, model.TimeStep(t))
+			sel += s
+			rec += r
+		}
+		res := st.result(sel, rec)
+		if idx == 0 || res.revenue > best.revenue {
+			best = res
+		}
+	}
+	return best
+}
+
+func lgNaiveGreedy(in *model.Instance) lgResult {
+	st := newLgState(in)
+	type cand struct {
+		z    model.Triple
+		q    float64
+		dead bool
+	}
+	var cands []cand
+	for u := 0; u < in.NumUsers; u++ {
+		for _, c := range in.UserCandidates(model.UserID(u)) {
+			cands = append(cands, cand{z: c.Triple, q: c.Q})
+		}
+	}
+	limit := maxSelections(in)
+	selections := 0
+	for len(st.set) < limit {
+		best := -1
+		bestGain := Eps
+		for i := range cands {
+			c := &cands[i]
+			if c.dead {
+				continue
+			}
+			if st.check(c.z) != violationNone {
+				c.dead = true
+				continue
+			}
+			g := st.ev.marginalGain(c.z, c.q)
+			if g > bestGain {
+				bestGain = g
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		st.add(cands[best].z, cands[best].q)
+		cands[best].dead = true
+		selections++
+	}
+	return st.result(selections, 0)
+}
+
+// --- equivalence test ----------------------------------------------------
+
+func legacyEquivInstances(tb testing.TB) []*model.Instance {
+	tb.Helper()
+	params := []testgen.Params{
+		{Users: 25, Items: 8, Classes: 3, T: 4, K: 2, MaxCap: 4, CandProb: 0.4, MinPrice: 5, MaxPrice: 80},
+		{Users: 40, Items: 12, Classes: 5, T: 6, K: 2, MaxCap: 3, CandProb: 0.3, MinPrice: 1, MaxPrice: 100},
+		{Users: 12, Items: 6, Classes: 2, T: 3, K: 3, MaxCap: 6, CandProb: 0.6, MinPrice: 10, MaxPrice: 20},
+	}
+	var out []*model.Instance
+	for seed, p := range params {
+		in := testgen.Random(dist.NewRNG(uint64(100+seed)), p)
+		if err := in.Validate(); err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+func assertLegacyEqual(t *testing.T, algo string, inIdx int, got Result, want lgResult) {
+	t.Helper()
+	gotTriples := got.Strategy.Triples()
+	if len(gotTriples) != len(want.triples) {
+		t.Fatalf("%s[%d]: %d triples, legacy %d", algo, inIdx, len(gotTriples), len(want.triples))
+	}
+	for i := range gotTriples {
+		if gotTriples[i] != want.triples[i] {
+			t.Fatalf("%s[%d]: triple %d = %v, legacy %v", algo, inIdx, i, gotTriples[i], want.triples[i])
+		}
+	}
+	if got.Revenue != want.revenue {
+		t.Fatalf("%s[%d]: revenue %.17g, legacy %.17g", algo, inIdx, got.Revenue, want.revenue)
+	}
+	if got.Selections != want.selections || got.Recomputations != want.recomputations {
+		t.Fatalf("%s[%d]: counters (%d,%d), legacy (%d,%d)", algo, inIdx,
+			got.Selections, got.Recomputations, want.selections, want.recomputations)
+	}
+	if len(got.Curve) != len(want.curve) {
+		t.Fatalf("%s[%d]: curve length %d, legacy %d", algo, inIdx, len(got.Curve), len(want.curve))
+	}
+	for i := range got.Curve {
+		if got.Curve[i] != want.curve[i] {
+			t.Fatalf("%s[%d]: curve[%d] = %.17g, legacy %.17g", algo, inIdx, i, got.Curve[i], want.curve[i])
+		}
+	}
+}
+
+// TestLegacyReferenceEquivalence requires the current implementation to
+// reproduce the legacy map-based implementation bit for bit: identical
+// strategies, revenue, selection/recomputation counters, and revenue
+// curves on random instances.
+func TestLegacyReferenceEquivalence(t *testing.T) {
+	for idx, in := range legacyEquivInstances(t) {
+		assertLegacyEqual(t, "g-greedy", idx, GGreedy(in), lgGGreedy(in))
+		assertLegacyEqual(t, "sl-greedy", idx, SLGreedy(in), lgSLGreedy(in))
+		assertLegacyEqual(t, "rl-greedy", idx, RLGreedy(in, 4, 17), lgRLGreedy(in, 4, 17))
+		assertLegacyEqual(t, "naive-greedy", idx, NaiveGreedy(in), lgNaiveGreedy(in))
+	}
+}

@@ -158,18 +158,30 @@ func windowsOf(T int, cuts []int) [][]int {
 func localRound(ctx context.Context, st *state, t model.TimeStep) (selections, recomputations int, err error) {
 	in := st.in
 	var heap pqueue.Max
-	for u := 0; u < in.NumUsers; u++ {
-		for _, c := range in.UserCandidates(model.UserID(u)) {
-			if c.T != t {
-				continue
-			}
-			heap.Push(&pqueue.Entry{
-				Triple: c.Triple,
-				Q:      c.Q,
-				Key:    st.ev.MarginalGain(c.Triple, c.Q),
-				Flag:   st.ev.GroupSize(c.U, in.Class(c.I)),
-			})
+	// Count the step's candidates first so the entries live in one
+	// bulk-allocated backing array (pointers must stay stable).
+	flat := in.Candidates()
+	n := 0
+	for id := range flat {
+		if flat[id].T == t {
+			n++
 		}
+	}
+	entries := make([]pqueue.Entry, 0, n)
+	for id := range flat {
+		c := &flat[id]
+		if c.T != t {
+			continue
+		}
+		cid := model.CandID(id)
+		entries = append(entries, pqueue.Entry{
+			Triple: c.Triple,
+			ID:     cid,
+			Q:      c.Q,
+			Key:    st.ev.MarginalGainID(cid),
+			Flag:   st.ev.GroupSizeID(cid),
+		})
+		heap.Push(&entries[len(entries)-1])
 	}
 	for !heap.Empty() {
 		if err := ctx.Err(); err != nil {
@@ -179,20 +191,19 @@ func localRound(ctx context.Context, st *state, t model.TimeStep) (selections, r
 		if e.Key <= Eps {
 			break
 		}
-		z := e.Triple
-		if st.check(z) != violationNone {
+		if st.check(e.ID) != violationNone {
 			heap.Pop()
 			continue
 		}
-		fresh := st.ev.GroupSize(z.U, in.Class(z.I))
+		fresh := st.ev.GroupSizeID(e.ID)
 		if e.Flag < fresh {
-			e.Key = st.ev.MarginalGain(z, e.Q)
+			e.Key = st.ev.MarginalGainID(e.ID)
 			e.Flag = fresh
 			recomputations++
 			heap.Fix(e)
 			continue
 		}
-		st.add(z, e.Q)
+		st.add(e.ID)
 		selections++
 		heap.Pop()
 	}

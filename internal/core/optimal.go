@@ -25,22 +25,19 @@ func Optimal(in *model.Instance) (Result, error) {
 // ctx every few thousand explored subsets and aborts with ctx.Err()
 // (the exponential search is exactly where a deadline matters most).
 func OptimalCtx(ctx context.Context, in *model.Instance) (Result, error) {
-	var cands []model.Candidate
-	for u := 0; u < in.NumUsers; u++ {
-		cands = append(cands, in.UserCandidates(model.UserID(u))...)
-	}
-	if len(cands) > maxExhaustiveCandidates {
-		return Result{}, fmt.Errorf("core: %d candidates exceed exhaustive limit %d", len(cands), maxExhaustiveCandidates)
+	n := in.NumCands()
+	if n > maxExhaustiveCandidates {
+		return Result{}, fmt.Errorf("core: %d candidates exceed exhaustive limit %d", n, maxExhaustiveCandidates)
 	}
 
 	st := newState(in)
-	best := model.NewStrategy()
+	best := in.NewPlan()
 	bestRev := 0.0
 	nodes := 0
 	canceled := false
 
-	var dfs func(idx int)
-	dfs = func(idx int) {
+	var dfs func(id model.CandID)
+	dfs = func(id model.CandID) {
 		if canceled {
 			return
 		}
@@ -48,33 +45,21 @@ func OptimalCtx(ctx context.Context, in *model.Instance) (Result, error) {
 			canceled = true
 			return
 		}
-		if idx == len(cands) {
+		if int(id) == n {
 			if r := st.ev.Total(); r > bestRev {
 				bestRev = r
-				best = st.s.Clone()
+				best = st.p.Clone()
 			}
 			return
 		}
-		c := cands[idx]
 		// Branch 1: skip.
-		dfs(idx + 1)
-		// Branch 2: take, if valid.
-		if st.check(c.Triple) == violationNone {
-			// Record whether this user already used a capacity slot so we
-			// can undo precisely.
-			users := st.itemUsers[c.I]
-			hadUser := false
-			if users != nil {
-				_, hadUser = users[c.U]
-			}
-			st.add(c.Triple, c.Q)
-			dfs(idx + 1)
-			st.s.Remove(c.Triple)
-			st.display[displayKey{c.U, c.T}]--
-			if !hadUser {
-				delete(st.itemUsers[c.I], c.U)
-			}
-			st.ev.Remove(c.Triple)
+		dfs(id + 1)
+		// Branch 2: take, if valid. The plan's counters make the undo an
+		// exact O(1) reversal (no recipient-set bookkeeping needed).
+		if st.check(id) == violationNone {
+			st.add(id)
+			dfs(id + 1)
+			st.remove(id)
 		}
 	}
 	dfs(0)
@@ -82,5 +67,6 @@ func OptimalCtx(ctx context.Context, in *model.Instance) (Result, error) {
 		return Result{}, ctx.Err()
 	}
 
-	return Result{Strategy: best, Revenue: revenue.Revenue(in, best), Selections: best.Len()}, nil
+	s := best.Strategy()
+	return Result{Strategy: s, Plan: best, Revenue: revenue.Revenue(in, s), Selections: best.Len()}, nil
 }

@@ -5,6 +5,12 @@ package model
 // (mid-horizon price cuts, capacity shocks) never leaks into the
 // original. Scenario engines rely on this to hand each closed-loop
 // trajectory its own mutable world.
+//
+// The clone gets its own flat candidate array (so mutating a clone's
+// candidates never leaks), while the positional index arrays — slot,
+// pair, group, and inverted indexes, which depend only on the candidate
+// triples and the item→class assignment — are shared: they are immutable
+// after FinishCandidates and identical between original and clone.
 func (in *Instance) Clone() *Instance {
 	c := &Instance{
 		NumUsers:   in.NumUsers,
@@ -18,8 +24,18 @@ func (in *Instance) Clone() *Instance {
 	for i, ps := range in.prices {
 		c.prices[i] = append([]float64(nil), ps...)
 	}
-	for u, cs := range in.cands {
-		c.cands[u] = append([]Candidate(nil), cs...)
+	if in.ix != nil {
+		nix := *in.ix
+		nix.flat = append([]Candidate(nil), in.ix.flat...)
+		c.ix = &nix
+		for u := range in.cands {
+			lo, hi := nix.userStart[u], nix.userStart[u+1]
+			c.cands[u] = nix.flat[lo:hi:hi]
+		}
+	} else {
+		for u, cs := range in.cands {
+			c.cands[u] = append([]Candidate(nil), cs...)
+		}
 	}
 	for cl, items := range in.classItems {
 		c.classItems[cl] = append([]ItemID(nil), items...)
@@ -47,6 +63,7 @@ func (in *Instance) ClonePrices() *Instance {
 		prices:     prices,
 		cands:      in.cands,
 		classItems: in.classItems,
+		ix:         in.ix,
 	}
 }
 
@@ -61,6 +78,9 @@ func (in *Instance) ShallowCloneWithBeta(beta float64) *Instance {
 	for i := range items {
 		items[i].Beta = beta
 	}
+	// Sharing ix is sound: beta is not part of the index, and CandIDs must
+	// stay aligned so GlobalNo's blind-selection plan can be re-scored on
+	// the true instance by ID.
 	return &Instance{
 		NumUsers:   in.NumUsers,
 		T:          in.T,
@@ -69,5 +89,6 @@ func (in *Instance) ShallowCloneWithBeta(beta float64) *Instance {
 		prices:     in.prices,
 		cands:      in.cands,
 		classItems: in.classItems,
+		ix:         in.ix,
 	}
 }

@@ -1,0 +1,50 @@
+package model_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// ExampleInstance_NewPlan walks the flat plan representation end to
+// end: build an instance, resolve candidates to dense CandIDs, and
+// maintain a constraint-checked plan with O(1) set operations.
+func ExampleInstance_NewPlan() {
+	// Two users, two items (same competition class), two steps, K=1.
+	in := model.NewInstance(2, 2, 2, 1)
+	in.SetItem(0, 0, 0.8, 1) // class 0, β=0.8, capacity 1
+	in.SetItem(1, 0, 0.8, 2)
+	for i := model.ItemID(0); i < 2; i++ {
+		for t := model.TimeStep(1); t <= 2; t++ {
+			in.SetPrice(i, t, 10)
+		}
+	}
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.AddCandidate(0, 1, 1, 0.4)
+	in.AddCandidate(1, 0, 2, 0.3)
+	in.FinishCandidates() // assigns CandIDs, builds the flat indexes
+
+	p := in.NewPlan()
+	id, _ := in.CandIDOf(model.Triple{U: 0, I: 0, T: 1})
+	if p.Check(id) == model.PlanOK {
+		p.Add(id)
+	}
+	// User 0's display slot at t=1 is now full (K=1): the competing
+	// candidate is rejected before it can invalidate the plan.
+	other, _ := in.CandIDOf(model.Triple{U: 0, I: 1, T: 1})
+	fmt.Println("slot full:", p.Check(other) == model.PlanDisplay)
+
+	// Item 0 has capacity 1 and user 0 holds it: user 1 is refused.
+	blocked, _ := in.CandIDOf(model.Triple{U: 1, I: 0, T: 2})
+	fmt.Println("capacity:", p.Check(blocked) == model.PlanCapacity)
+
+	fmt.Println("len:", p.Len(), "valid:", p.Valid() == nil)
+	for _, z := range p.Triples() { // canonical order, no sorting
+		fmt.Println("planned:", z)
+	}
+	// Output:
+	// slot full: true
+	// capacity: true
+	// len: 1 valid: true
+	// planned: (u0,i0,t1)
+}

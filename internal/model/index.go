@@ -1,0 +1,366 @@
+package model
+
+import "sort"
+
+// CandID is a dense, stable index of one candidate triple within an
+// Instance: after FinishCandidates, every candidate has an ID in
+// [0, NumCands()), assigned in canonical (user, item, time) order. IDs
+// are the currency of the hot path: the flat Plan representation, the
+// dense revenue evaluator, and the greedy inner loops all address
+// candidates by CandID, turning per-operation map lookups into array
+// reads.
+type CandID int32
+
+// index is the flat candidate-indexed view of an instance, built once by
+// FinishCandidates and immutable afterwards. Every slice is derived
+// purely from the candidate set and the item→class assignment, so clones
+// that preserve both may share it.
+//
+// Three families of dense sub-indexes exist besides the flat candidate
+// array itself:
+//
+//   - slots: one per distinct (user, time) pair with ≥1 candidate — the
+//     unit of the display constraint (≤ K per slot);
+//   - pairs: one per distinct (user, item) pair with ≥1 candidate — the
+//     unit of the capacity constraint (distinct users per item);
+//   - groups: one per distinct (user, class) pair with ≥1 candidate —
+//     the independence unit of the revenue decomposition.
+type index struct {
+	flat      []Candidate // all candidates in canonical (u, i, t) order
+	userStart []int32     // len NumUsers+1; user u owns flat[userStart[u]:userStart[u+1]]
+
+	slotOf   []int32    // per CandID: its (user, time) slot
+	slotTime []TimeStep // per slot: the time step
+	// userSlotStart[u]..userSlotStart[u+1] are user u's slots, ascending
+	// by time.
+	userSlotStart []int32
+	// byTime lists every candidate ordered by (user, time, item); user
+	// u's span is byTime[userStart[u]:userStart[u+1]], and slotStart
+	// gives per-slot boundaries within it.
+	byTime    []CandID
+	slotStart []int32 // len numSlots+1, offsets into byTime
+
+	pairOf    []int32  // per CandID: its (user, item) pair
+	pairItem  []ItemID // per pair: the item
+	pairStart []int32  // len numPairs+1; pair p's candidates are flat[pairStart[p]:pairStart[p+1]]
+	numPairs  int
+
+	groupOf []int32 // per CandID: its (user, class) group
+	// userGroupStart[u]..userGroupStart[u+1] are user u's groups,
+	// ascending by dense class rank.
+	userGroupStart []int32
+	groupClass     []ClassID // per group: the class
+	// groupList holds every candidate grouped by group, each group's run
+	// sorted by (time, item) — exactly the entry order the incremental
+	// revenue evaluator maintains.
+	groupList  []CandID
+	groupStart []int32 // len numGroups+1, offsets into groupList
+
+	itemList  []CandID // per item: candidate IDs ascending; CSR via itemStart
+	itemStart []int32  // len numItems+1
+
+	// classRank maps a ClassID to its dense rank (sorted ClassID order);
+	// used only to resolve (user, class)→group lookups.
+	classRank map[ClassID]int32
+}
+
+// buildIndex constructs the flat index from the (already sorted) per-user
+// candidate lists. Called by FinishCandidates.
+func (in *Instance) buildIndex() {
+	n := 0
+	for u := range in.cands {
+		n += len(in.cands[u])
+		for _, c := range in.cands[u] {
+			if int(c.I) < 0 || int(c.I) >= in.NumItems() || c.T < 1 || int(c.T) > in.T {
+				// Malformed candidate: leave the instance unindexed so
+				// Validate can report the error instead of panicking here.
+				in.ix = nil
+				return
+			}
+		}
+	}
+	ix := &index{
+		flat:           make([]Candidate, 0, n),
+		userStart:      make([]int32, in.NumUsers+1),
+		slotOf:         make([]int32, n),
+		byTime:         make([]CandID, n),
+		userSlotStart:  make([]int32, in.NumUsers+1),
+		pairOf:         make([]int32, n),
+		groupOf:        make([]int32, n),
+		userGroupStart: make([]int32, in.NumUsers+1),
+		itemStart:      make([]int32, in.NumItems()+1),
+	}
+
+	// Flatten; re-point the per-user lists at capacity-clamped subslices
+	// of the flat array so UserCandidates stays zero-copy while a later
+	// AddCandidate on a clone can never scribble over shared storage.
+	for u := range in.cands {
+		ix.userStart[u] = int32(len(ix.flat))
+		ix.flat = append(ix.flat, in.cands[u]...)
+	}
+	ix.userStart[in.NumUsers] = int32(n)
+	for u := range in.cands {
+		lo, hi := ix.userStart[u], ix.userStart[u+1]
+		in.cands[u] = ix.flat[lo:hi:hi]
+	}
+
+	// Dense class ranks in sorted ClassID order.
+	classes := make([]ClassID, 0, len(in.classItems))
+	for c := range in.classItems {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
+	ix.classRank = make(map[ClassID]int32, len(classes))
+	for r, c := range classes {
+		ix.classRank[c] = int32(r)
+	}
+
+	// Per-user scratch, reset between users.
+	tSlot := make([]int32, in.T+1)            // time step → slot id (+1), 0 = absent
+	classGroup := make([]int32, len(classes)) // class rank → group id (+1), 0 = absent
+
+	for u := 0; u < in.NumUsers; u++ {
+		lo, hi := ix.userStart[u], ix.userStart[u+1]
+		cs := ix.flat[lo:hi]
+		ix.userGroupStart[u] = int32(len(ix.groupClass))
+		ix.userSlotStart[u] = int32(len(ix.slotTime))
+		if len(cs) == 0 {
+			continue
+		}
+
+		// Slots: ascending time. Mark present steps, then assign.
+		for _, c := range cs {
+			tSlot[c.T] = 1
+		}
+		for t := 1; t <= in.T; t++ {
+			if tSlot[t] != 0 {
+				tSlot[t] = int32(len(ix.slotTime)) + 1
+				ix.slotTime = append(ix.slotTime, TimeStep(t))
+				ix.slotStart = append(ix.slotStart, 0)
+			}
+		}
+
+		// Pairs: contiguous runs of equal item in the (i, t)-sorted span.
+		// Groups: ascending class rank among the user's classes.
+		prevItem := ItemID(-1)
+		for k, c := range cs {
+			id := lo + int32(k)
+			if c.I != prevItem {
+				ix.pairItem = append(ix.pairItem, c.I)
+				ix.pairStart = append(ix.pairStart, id)
+				ix.numPairs++
+				prevItem = c.I
+			}
+			ix.pairOf[id] = int32(ix.numPairs - 1)
+			sid := tSlot[c.T] - 1
+			ix.slotOf[id] = sid
+			ix.slotStart[sid]++ // count for now; offsets below
+			cr := ix.classRank[in.Items[c.I].Class]
+			if classGroup[cr] == 0 {
+				classGroup[cr] = 1
+			}
+		}
+		for r := range classes {
+			if classGroup[r] != 0 {
+				classGroup[r] = int32(len(ix.groupClass)) + 1
+				ix.groupClass = append(ix.groupClass, classes[r])
+			}
+		}
+		for k, c := range cs {
+			id := lo + int32(k)
+			ix.groupOf[id] = classGroup[ix.classRank[in.Items[c.I].Class]] - 1
+		}
+
+		// Reset scratch (only entries this user touched).
+		for _, c := range cs {
+			tSlot[c.T] = 0
+			classGroup[ix.classRank[in.Items[c.I].Class]] = 0
+		}
+	}
+	ix.userGroupStart[in.NumUsers] = int32(len(ix.groupClass))
+	ix.userSlotStart[in.NumUsers] = int32(len(ix.slotTime))
+	ix.pairStart = append(ix.pairStart, int32(n))
+
+	// slotStart currently holds per-slot counts; prefix-sum into offsets,
+	// then place candidate IDs. Candidates are visited in flat (u, i, t)
+	// order and slots are time-ordered per user, so each slot's run comes
+	// out sorted by item and each user's byTime span sorted by (t, i).
+	ix.slotStart = append(ix.slotStart, 0)
+	sum := int32(0)
+	for s := 0; s < len(ix.slotTime); s++ {
+		cnt := ix.slotStart[s]
+		ix.slotStart[s] = sum
+		sum += cnt
+	}
+	ix.slotStart[len(ix.slotTime)] = sum
+	cursor := make([]int32, len(ix.slotTime))
+	copy(cursor, ix.slotStart[:len(ix.slotTime)])
+	for id := range ix.flat {
+		s := ix.slotOf[id]
+		ix.byTime[cursor[s]] = CandID(id)
+		cursor[s]++
+	}
+
+	// Group runs sorted by (t, i): walk byTime per user (already (t, i)
+	// ordered) and bucket by group with a counting pass.
+	ix.groupStart = make([]int32, len(ix.groupClass)+1)
+	for id := range ix.flat {
+		ix.groupStart[ix.groupOf[id]+1]++
+	}
+	for g := 1; g <= len(ix.groupClass); g++ {
+		ix.groupStart[g] += ix.groupStart[g-1]
+	}
+	ix.groupList = make([]CandID, n)
+	gcursor := make([]int32, len(ix.groupClass))
+	copy(gcursor, ix.groupStart[:len(ix.groupClass)])
+	for _, id := range ix.byTime {
+		g := ix.groupOf[id]
+		ix.groupList[gcursor[g]] = id
+		gcursor[g]++
+	}
+
+	// Per-item inverted index (ascending CandID).
+	for id := range ix.flat {
+		ix.itemStart[ix.flat[id].I+1]++
+	}
+	for i := 1; i <= in.NumItems(); i++ {
+		ix.itemStart[i] += ix.itemStart[i-1]
+	}
+	ix.itemList = make([]CandID, n)
+	icursor := make([]int32, in.NumItems())
+	copy(icursor, ix.itemStart[:in.NumItems()])
+	for id := range ix.flat {
+		i := ix.flat[id].I
+		ix.itemList[icursor[i]] = CandID(id)
+		icursor[i]++
+	}
+
+	in.ix = ix
+}
+
+// Indexed reports whether FinishCandidates has built the flat candidate
+// index (required by the CandID-based API below).
+func (in *Instance) Indexed() bool { return in.ix != nil }
+
+// NumCands returns the number of candidates (the CandID space size).
+// Zero before FinishCandidates.
+func (in *Instance) NumCands() int {
+	if in.ix == nil {
+		return 0
+	}
+	return len(in.ix.flat)
+}
+
+// Candidates returns all candidates in canonical (user, item, time)
+// order, indexed by CandID. Callers must not mutate the slice.
+func (in *Instance) Candidates() []Candidate { return in.ix.flat }
+
+// CandAt returns the candidate with the given ID.
+func (in *Instance) CandAt(id CandID) Candidate { return in.ix.flat[id] }
+
+// CandIDOf resolves a triple to its CandID via binary search within the
+// user's span; ok is false when the triple is not a candidate.
+func (in *Instance) CandIDOf(z Triple) (CandID, bool) {
+	if in.ix == nil || int(z.U) < 0 || int(z.U) >= in.NumUsers {
+		return 0, false
+	}
+	lo, hi := in.ix.userStart[z.U], in.ix.userStart[z.U+1]
+	cs := in.ix.flat[lo:hi]
+	k := sort.Search(len(cs), func(i int) bool { return !cs[i].Triple.Less(z) })
+	if k < len(cs) && cs[k].Triple == z {
+		return CandID(int(lo) + k), true
+	}
+	return 0, false
+}
+
+// UserCandSpan returns the half-open CandID range [lo, hi) of user u's
+// candidates.
+func (in *Instance) UserCandSpan(u UserID) (lo, hi CandID) {
+	return CandID(in.ix.userStart[u]), CandID(in.ix.userStart[u+1])
+}
+
+// UserCandIDsByTime returns user u's candidate IDs ordered by (time,
+// item) — the order serving-plan emission wants. Callers must not
+// mutate the slice.
+func (in *Instance) UserCandIDsByTime(u UserID) []CandID {
+	return in.ix.byTime[in.ix.userStart[u]:in.ix.userStart[u+1]]
+}
+
+// ItemCandIDs returns item i's candidate IDs in ascending order — the
+// per-item inverted index driving warm-start invalidation on stock and
+// price events. Callers must not mutate the slice.
+func (in *Instance) ItemCandIDs(i ItemID) []CandID {
+	return in.ix.itemList[in.ix.itemStart[i]:in.ix.itemStart[i+1]]
+}
+
+// NumSlots returns the number of (user, time) display slots with ≥1
+// candidate.
+func (in *Instance) NumSlots() int { return len(in.ix.slotTime) }
+
+// SlotOf returns the display slot of candidate id.
+func (in *Instance) SlotOf(id CandID) int32 { return in.ix.slotOf[id] }
+
+// SlotTime returns the time step of slot s.
+func (in *Instance) SlotTime(s int32) TimeStep { return in.ix.slotTime[s] }
+
+// UserSlotSpan returns the half-open slot range [lo, hi) of user u,
+// ascending by time.
+func (in *Instance) UserSlotSpan(u UserID) (lo, hi int32) {
+	return in.ix.userSlotStart[u], in.ix.userSlotStart[u+1]
+}
+
+// SlotCandIDs returns the candidate IDs of slot s, ascending by item.
+// Callers must not mutate the slice.
+func (in *Instance) SlotCandIDs(s int32) []CandID {
+	return in.ix.byTime[in.ix.slotStart[s]:in.ix.slotStart[s+1]]
+}
+
+// NumPairs returns the number of (user, item) capacity pairs with ≥1
+// candidate.
+func (in *Instance) NumPairs() int { return in.ix.numPairs }
+
+// PairOf returns the capacity pair of candidate id.
+func (in *Instance) PairOf(id CandID) int32 { return in.ix.pairOf[id] }
+
+// PairItem returns the item of pair p.
+func (in *Instance) PairItem(p int32) ItemID { return in.ix.pairItem[p] }
+
+// PairCandCount returns the number of candidates of pair p — a pair's
+// candidates occupy one contiguous run of the flat array.
+func (in *Instance) PairCandCount(p int32) int {
+	return int(in.ix.pairStart[p+1] - in.ix.pairStart[p])
+}
+
+// NumGroups returns the number of (user, class) revenue groups with ≥1
+// candidate.
+func (in *Instance) NumGroups() int {
+	if in.ix == nil {
+		return 0
+	}
+	return len(in.ix.groupClass)
+}
+
+// GroupOf returns the revenue group of candidate id.
+func (in *Instance) GroupOf(id CandID) int32 { return in.ix.groupOf[id] }
+
+// GroupID resolves (user, class) to its dense group ID; ok is false when
+// the user has no candidates in the class. The scan is over the user's
+// distinct classes, which is small (≤ the class count).
+func (in *Instance) GroupID(u UserID, c ClassID) (int32, bool) {
+	if in.ix == nil || int(u) < 0 || int(u) >= in.NumUsers {
+		return 0, false
+	}
+	for g := in.ix.userGroupStart[u]; g < in.ix.userGroupStart[u+1]; g++ {
+		if in.ix.groupClass[g] == c {
+			return g, true
+		}
+	}
+	return 0, false
+}
+
+// GroupCandIDs returns the candidate IDs of group g sorted by (time,
+// item) — the incremental evaluator's entry order. Callers must not
+// mutate the slice.
+func (in *Instance) GroupCandIDs(g int32) []CandID {
+	return in.ix.groupList[in.ix.groupStart[g]:in.ix.groupStart[g+1]]
+}

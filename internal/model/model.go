@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // UserID identifies a user. Users are dense integers in [0, NumUsers).
@@ -76,10 +77,22 @@ type Instance struct {
 	prices [][]float64
 
 	// cands holds, per user, that user's candidates sorted by (item, time).
+	// After FinishCandidates each per-user slice aliases the flat index's
+	// candidate array.
 	cands [][]Candidate
 
 	// classItems[c] lists the items of class c (for diagnostics).
 	classItems map[ClassID][]ItemID
+
+	// ix is the flat candidate index (CandID space); built by
+	// FinishCandidates, shared by clones that preserve the candidate set
+	// and the item→class assignment.
+	ix *index
+
+	// checkPool recycles CheckValid scratch state so validation is
+	// allocation-free after warmup. Lazily populated; safe for concurrent
+	// CheckValid calls.
+	checkPool sync.Pool
 }
 
 // NewInstance allocates an instance with the given shape. Prices default
@@ -140,9 +153,13 @@ func (in *Instance) AddCandidate(u UserID, i ItemID, t TimeStep, q float64) {
 	in.cands[u] = append(in.cands[u], Candidate{Triple{u, i, t}, q})
 }
 
-// FinishCandidates sorts each user's candidate list by (item, time) and
-// rebuilds the class index. It must be called after the last AddCandidate
-// and before handing the instance to an algorithm.
+// FinishCandidates sorts each user's candidate list by (item, time),
+// rebuilds the class index, and builds the flat CandID index (dense
+// candidate IDs plus the per-user / per-item / per-(user,time) inverted
+// indexes the Plan representation and the greedy hot paths run on). It
+// must be called after the last AddCandidate and before handing the
+// instance to an algorithm; call it again if candidates or item classes
+// change afterwards.
 func (in *Instance) FinishCandidates() {
 	for u := range in.cands {
 		cs := in.cands[u]
@@ -153,6 +170,7 @@ func (in *Instance) FinishCandidates() {
 		c := in.Items[i].Class
 		in.classItems[c] = append(in.classItems[c], ItemID(i))
 	}
+	in.buildIndex()
 }
 
 // UserCandidates returns user u's candidates (sorted by item, then time).
@@ -249,8 +267,19 @@ func (in *Instance) Validate() error {
 
 // Strategy is a set of recommendation triples. The zero value is ready to
 // use. Strategies are not safe for concurrent mutation.
+//
+// Strategy is the compatibility representation: algorithm inner loops
+// now run on the flat, candidate-indexed Plan and convert to a Strategy
+// at the boundary (Plan.Strategy), so downstream consumers — serving
+// snapshots, codecs, metrics — keep working unchanged.
 type Strategy struct {
 	set map[Triple]struct{}
+	// sorted caches the canonical triple order; nil when absent. It is
+	// written only on mutation paths (Add/Remove clear it) and at
+	// construction (Plan.Strategy pre-populates it), never by Triples:
+	// published strategies are read concurrently (serving snapshots,
+	// stats), so the read path must stay pure.
+	sorted []Triple
 }
 
 // NewStrategy returns an empty strategy.
@@ -270,11 +299,20 @@ func (s *Strategy) Add(z Triple) {
 	if s.set == nil {
 		s.set = make(map[Triple]struct{})
 	}
+	if _, ok := s.set[z]; ok {
+		return
+	}
 	s.set[z] = struct{}{}
+	s.sorted = nil
 }
 
 // Remove deletes a triple; it is a no-op if absent.
-func (s *Strategy) Remove(z Triple) { delete(s.set, z) }
+func (s *Strategy) Remove(z Triple) {
+	if _, ok := s.set[z]; ok {
+		delete(s.set, z)
+		s.sorted = nil
+	}
+}
 
 // Contains reports whether z is in the strategy.
 func (s *Strategy) Contains(z Triple) bool {
@@ -286,7 +324,14 @@ func (s *Strategy) Contains(z Triple) bool {
 func (s *Strategy) Len() int { return len(s.set) }
 
 // Triples returns the triples in canonical (user, item, time) order.
+// Callers receive a fresh copy they may mutate freely. Strategies built
+// from a Plan carry their canonical order pre-cached, making this a
+// copy rather than a sort; hand-built strategies sort on every call
+// (caching here would race concurrent readers of a published strategy).
 func (s *Strategy) Triples() []Triple {
+	if s.sorted != nil {
+		return append([]Triple(nil), s.sorted...)
+	}
 	out := make([]Triple, 0, len(s.set))
 	for z := range s.set {
 		out = append(out, z)
@@ -314,10 +359,100 @@ func (e *ValidationError) Error() string {
 	return fmt.Sprintf("model: invalid strategy at %v: %s", e.Triple, e.Reason)
 }
 
+// checkScratch is pooled CheckValid state: dense counters over the
+// instance's slot/pair/item spaces plus touch lists so resetting costs
+// O(strategy), not O(index).
+type checkScratch struct {
+	slotCount    []int32
+	pairCount    []int32
+	itemUsers    []int32
+	touchedSlots []int32
+	touchedPairs []int32
+	touchedItems []int32
+}
+
+func (sc *checkScratch) reset() {
+	for _, s := range sc.touchedSlots {
+		sc.slotCount[s] = 0
+	}
+	for _, p := range sc.touchedPairs {
+		sc.pairCount[p] = 0
+	}
+	for _, i := range sc.touchedItems {
+		sc.itemUsers[i] = 0
+	}
+	sc.touchedSlots = sc.touchedSlots[:0]
+	sc.touchedPairs = sc.touchedPairs[:0]
+	sc.touchedItems = sc.touchedItems[:0]
+}
+
 // CheckValid verifies the display constraint (≤ K items per user per time
 // step) and the capacity constraint (≤ qᵢ distinct users per item, over
 // the whole horizon) for strategy s on instance in (§3.1, "valid").
+//
+// When every triple of s is a candidate of the (indexed) instance — true
+// for every algorithm output except TopRA's q=0 repeats — the check runs
+// over the dense CandID counters with zero allocation after pool warmup.
+// Strategies containing non-candidate triples fall back to the map-based
+// path.
 func (in *Instance) CheckValid(s *Strategy) error {
+	if in.ix == nil {
+		return in.checkValidSlow(s)
+	}
+	sc, _ := in.checkPool.Get().(*checkScratch)
+	if sc == nil {
+		sc = &checkScratch{
+			slotCount: make([]int32, len(in.ix.slotTime)),
+			pairCount: make([]int32, in.ix.numPairs),
+			itemUsers: make([]int32, in.NumItems()),
+		}
+	}
+	err, ok := in.checkValidDense(s, sc)
+	sc.reset()
+	in.checkPool.Put(sc)
+	if !ok {
+		return in.checkValidSlow(s)
+	}
+	return err
+}
+
+// checkValidDense runs the allocation-free validation; ok is false when
+// some triple is not a candidate, in which case the caller falls back.
+func (in *Instance) checkValidDense(s *Strategy, sc *checkScratch) (error, bool) {
+	ix := in.ix
+	for z := range s.set {
+		id, found := in.CandIDOf(z)
+		if !found {
+			return nil, false
+		}
+		slot := ix.slotOf[id]
+		if sc.slotCount[slot] == 0 {
+			sc.touchedSlots = append(sc.touchedSlots, slot)
+		}
+		sc.slotCount[slot]++
+		if int(sc.slotCount[slot]) > in.K {
+			return &ValidationError{z, fmt.Sprintf("display limit %d exceeded for user %d at t=%d", in.K, z.U, z.T)}, true
+		}
+		pair := ix.pairOf[id]
+		sc.pairCount[pair]++
+		if sc.pairCount[pair] == 1 {
+			sc.touchedPairs = append(sc.touchedPairs, pair)
+			item := ix.pairItem[pair]
+			if sc.itemUsers[item] == 0 {
+				sc.touchedItems = append(sc.touchedItems, int32(item))
+			}
+			sc.itemUsers[item]++
+			if int(sc.itemUsers[item]) > in.Capacity(item) {
+				return &ValidationError{z, fmt.Sprintf("capacity %d exceeded for item %d", in.Capacity(z.I), z.I)}, true
+			}
+		}
+	}
+	return nil, true
+}
+
+// checkValidSlow is the pre-index validation path, kept for strategies
+// containing non-candidate triples and unindexed instances.
+func (in *Instance) checkValidSlow(s *Strategy) error {
 	display := make(map[[2]int32]int)
 	users := make(map[ItemID]map[UserID]struct{})
 	for z := range s.set {

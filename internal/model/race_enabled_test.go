@@ -1,0 +1,7 @@
+//go:build race
+
+package model_test
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation adds allocations that invalidate alloc-count tests.
+const raceEnabled = true

@@ -1,0 +1,63 @@
+package planner_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/solver"
+	"repro/internal/testgen"
+)
+
+func warmPlannerInstance(tb testing.TB) *model.Instance {
+	tb.Helper()
+	in := testgen.Random(dist.NewRNG(21), testgen.Params{
+		Users: 25, Items: 8, Classes: 3, T: 4, K: 2,
+		MaxCap: 4, CandProb: 0.4, MinPrice: 5, MaxPrice: 60,
+	})
+	if err := in.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return in
+}
+
+// TestNewNamedWarmRollout: a warm-start planner completes a full
+// closed-loop rollout, and two identical rollouts are byte-identical —
+// warm seeding must not introduce nondeterminism.
+func TestNewNamedWarmRollout(t *testing.T) {
+	in := warmPlannerInstance(t)
+	run := func() planner.RolloutResult {
+		p, err := planner.NewNamedWarm(in, solver.Options{Algorithm: "g-greedy"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.Rollout(dist.NewRNG(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("warm rollouts diverged: %+v vs %+v", a, b)
+	}
+	if a.Issued == 0 {
+		t.Fatal("warm rollout issued nothing")
+	}
+	if a.Revenue < 0 {
+		t.Fatalf("negative rollout revenue %v", a.Revenue)
+	}
+}
+
+// TestNewNamedWarmRejectsBadOptions mirrors NewNamed's up-front
+// validation contract.
+func TestNewNamedWarmRejectsBadOptions(t *testing.T) {
+	in := warmPlannerInstance(t)
+	if _, err := planner.NewNamedWarm(in, solver.Options{Algorithm: "no-such-algo"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := planner.NewNamedWarm(in, solver.Options{Algorithm: "top-rating"}); err == nil {
+		t.Fatal("top-rating without a Rating predictor accepted")
+	}
+}

@@ -20,9 +20,11 @@ import (
 // Algorithm 1 (line 9).
 type Entry struct {
 	Triple model.Triple
-	Q      float64 // primitive adoption probability, cached
-	Key    float64 // cached marginal revenue (may be stale)
-	Flag   int     // lazy-forward freshness stamp
+	ID     model.CandID // dense candidate ID (hot-path addressing)
+	Pair   int32        // dense (user, item) pair ID; required in dense two-level heaps
+	Q      float64      // primitive adoption probability, cached
+	Key    float64      // cached marginal revenue (may be stale)
+	Flag   int          // lazy-forward freshness stamp
 
 	pos int // index within its heap
 }
@@ -129,19 +131,27 @@ type PairKey struct {
 	I model.ItemID
 }
 
-// lower is one per-(user,item) heap plus its position in the upper heap.
+// lower is one per-(user,item) heap plus its position in the upper heap
+// and a cached copy of its root key: upper-heap sift comparisons read
+// the cache instead of chasing two pointers into the lower heap's root
+// entry. Every lower-heap mutation must refreshRoot before the upper
+// heap is touched.
 type lower struct {
 	key  PairKey
 	heap Max
+	root float64
 	pos  int // index within the upper heap
 }
 
-func (lo *lower) rootKey() float64 {
+func (lo *lower) refreshRoot() {
 	if lo.heap.Empty() {
-		return negInf
+		lo.root = negInf
+		return
 	}
-	return lo.heap.Peek().Key
+	lo.root = lo.heap.Peek().Key
 }
+
+func (lo *lower) rootKey() float64 { return lo.root }
 
 const negInf = -1e308
 
@@ -151,28 +161,88 @@ const negInf = -1e308
 // maximum.
 type TwoLevel struct {
 	lowers map[PairKey]*lower
-	upper  []*lower
-	count  int
+	// dense, when non-nil, replaces the pair map: lower heaps live in one
+	// bulk-allocated array indexed by Entry.Pair (the instance's dense
+	// (user, item) pair IDs), so every pair lookup is an array read and
+	// the per-pair allocations disappear. Built by NewTwoLevelDense;
+	// entries added to a dense heap must carry their Pair.
+	dense []lower
+	upper []*lower
+	count int
 }
 
-// NewTwoLevel returns an empty two-level heap.
+// NewTwoLevel returns an empty two-level heap keyed by (user, item)
+// pairs through a map. Prefer NewTwoLevelDense when a dense pair
+// numbering is available.
 func NewTwoLevel() *TwoLevel {
 	return &TwoLevel{lowers: make(map[PairKey]*lower)}
+}
+
+// NewTwoLevelDense returns an empty two-level heap whose lower heaps are
+// addressed by the dense pair IDs [0, numPairs) carried in Entry.Pair.
+// caps, when non-nil, gives each pair's maximum entry count (len =
+// numPairs): lower-heap storage is then carved out of one bulk backing
+// array and Pushes never allocate. The heap is populate-then-consume:
+// Add all entries, Build, then select; re-adding to a pair dropped by
+// DeletePairOf is not supported in dense mode.
+func NewTwoLevelDense(numPairs int, caps []int32) *TwoLevel {
+	t := &TwoLevel{dense: make([]lower, numPairs)}
+	if caps != nil {
+		total := 0
+		for _, c := range caps {
+			total += int(c)
+		}
+		backing := make([]*Entry, total)
+		off := 0
+		for i := range t.dense {
+			end := off + int(caps[i])
+			t.dense[i].heap.es = backing[off:off:end]
+			off = end
+		}
+	}
+	for i := range t.dense {
+		t.dense[i].pos = -1
+	}
+	return t
 }
 
 // Add inserts an entry into its (user, item) lower heap. Add may be used
 // both before and after Build; before Build the upper heap is not yet
 // ordered.
 func (t *TwoLevel) Add(e *Entry) {
-	key := PairKey{e.Triple.U, e.Triple.I}
-	lo := t.lowers[key]
-	if lo == nil {
-		lo = &lower{key: key, pos: len(t.upper)}
-		t.lowers[key] = lo
-		t.upper = append(t.upper, lo)
+	var lo *lower
+	if t.dense != nil {
+		lo = &t.dense[e.Pair]
+		if lo.pos < 0 {
+			lo.key = PairKey{e.Triple.U, e.Triple.I}
+			lo.pos = len(t.upper)
+			t.upper = append(t.upper, lo)
+		}
+	} else {
+		key := PairKey{e.Triple.U, e.Triple.I}
+		lo = t.lowers[key]
+		if lo == nil {
+			lo = &lower{key: key, pos: len(t.upper)}
+			t.lowers[key] = lo
+			t.upper = append(t.upper, lo)
+		}
 	}
 	lo.heap.Push(e)
+	lo.refreshRoot()
 	t.count++
+}
+
+// lowerOf resolves an entry's lower heap in either addressing mode; nil
+// when the pair has been deleted (or never added).
+func (t *TwoLevel) lowerOf(e *Entry) *lower {
+	if t.dense != nil {
+		lo := &t.dense[e.Pair]
+		if lo.pos < 0 {
+			return nil
+		}
+		return lo
+	}
+	return t.lowers[PairKey{e.Triple.U, e.Triple.I}]
 }
 
 // Build heapifies the upper heap over all lower roots (Algorithm 1,
@@ -211,6 +281,7 @@ func (t *TwoLevel) DeleteMax() *Entry {
 	}
 	top := t.upper[0]
 	top.heap.Pop()
+	top.refreshRoot()
 	t.count--
 	if top.heap.Empty() {
 		t.removeUpper(0)
@@ -223,6 +294,7 @@ func (t *TwoLevel) DeleteMax() *Entry {
 // PairEntries returns the entries of the (u, i) lower heap so the caller
 // can recompute their keys (Algorithm 1, lines 16–18). Returns nil when
 // the pair has been deleted. After mutating keys call FixPair.
+// Map-addressed; dense-mode callers use PairEntriesOf.
 func (t *TwoLevel) PairEntries(u model.UserID, i model.ItemID) []*Entry {
 	lo := t.lowers[PairKey{u, i}]
 	if lo == nil {
@@ -231,10 +303,29 @@ func (t *TwoLevel) PairEntries(u model.UserID, i model.ItemID) []*Entry {
 	return lo.heap.Entries()
 }
 
+// PairEntriesOf is PairEntries addressed through an entry (array read in
+// dense mode).
+func (t *TwoLevel) PairEntriesOf(e *Entry) []*Entry {
+	lo := t.lowerOf(e)
+	if lo == nil {
+		return nil
+	}
+	return lo.heap.Entries()
+}
+
 // FixPair re-heapifies the (u, i) lower heap after its keys changed and
 // repositions it in the upper heap (the Decrease-Key of line 19).
+// Map-addressed; dense-mode callers use FixPairOf.
 func (t *TwoLevel) FixPair(u model.UserID, i model.ItemID) {
-	lo := t.lowers[PairKey{u, i}]
+	t.fixLower(t.lowers[PairKey{u, i}])
+}
+
+// FixPairOf is FixPair addressed through an entry.
+func (t *TwoLevel) FixPairOf(e *Entry) {
+	t.fixLower(t.lowerOf(e))
+}
+
+func (t *TwoLevel) fixLower(lo *lower) {
 	if lo == nil {
 		return
 	}
@@ -242,13 +333,14 @@ func (t *TwoLevel) FixPair(u model.UserID, i model.ItemID) {
 	for j := len(es)/2 - 1; j >= 0; j-- {
 		lo.heap.siftDown(j)
 	}
+	lo.refreshRoot()
 	t.fixUpper(lo.pos)
 }
 
 // DeleteEntry removes a single entry from its lower heap (used when a
 // specific triple becomes permanently infeasible).
 func (t *TwoLevel) DeleteEntry(e *Entry) {
-	lo := t.lowers[PairKey{e.Triple.U, e.Triple.I}]
+	lo := t.lowerOf(e)
 	if lo == nil || e.pos < 0 {
 		return
 	}
@@ -267,6 +359,7 @@ func (t *TwoLevel) DeleteEntry(e *Entry) {
 	}
 	e.pos = -1
 	t.count--
+	lo.refreshRoot()
 	if h.Empty() {
 		t.removeUpper(lo.pos)
 	} else {
@@ -276,8 +369,17 @@ func (t *TwoLevel) DeleteEntry(e *Entry) {
 
 // DeletePair removes the whole (u, i) lower heap from consideration
 // (Algorithm 1, line 26: an infeasible pair is dropped wholesale).
+// Map-addressed; dense-mode callers use DeletePairOf.
 func (t *TwoLevel) DeletePair(u model.UserID, i model.ItemID) {
-	lo := t.lowers[PairKey{u, i}]
+	t.deleteLower(t.lowers[PairKey{u, i}])
+}
+
+// DeletePairOf is DeletePair addressed through an entry.
+func (t *TwoLevel) DeletePairOf(e *Entry) {
+	t.deleteLower(t.lowerOf(e))
+}
+
+func (t *TwoLevel) deleteLower(lo *lower) {
 	if lo == nil {
 		return
 	}
@@ -290,7 +392,9 @@ func (t *TwoLevel) removeUpper(i int) {
 	last := len(t.upper) - 1
 	t.swapUpper(i, last)
 	t.upper = t.upper[:last]
-	delete(t.lowers, lo.key)
+	if t.dense == nil {
+		delete(t.lowers, lo.key)
+	}
 	lo.pos = -1
 	if i < last {
 		t.fixUpper(i)

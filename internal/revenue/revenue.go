@@ -116,16 +116,51 @@ func groupRevenue(in *model.Instance, entries []entry) float64 {
 // Evaluator incrementally maintains Rev(S) as triples are added to and
 // removed from a strategy. The zero value is not usable; construct with
 // NewEvaluator.
+//
+// Groups live in a dense array indexed by the instance's (user, class)
+// group IDs — no map lookups on the hot path — and MarginalGain works
+// in a reused scratch buffer, so the per-call allocation of the old
+// map-based evaluator is gone. Triples outside every indexed group
+// (possible only on unindexed instances or for hypothetical users) fall
+// back to a lazily allocated overflow map. Not safe for concurrent use.
 type Evaluator struct {
-	in     *model.Instance
-	groups map[groupKey]*group
-	total  float64
-	size   int
+	in      *model.Instance
+	groups  []group             // dense, indexed by model group ID
+	extra   map[groupKey]*group // overflow for unindexed (user, class) pairs
+	scratch []entry             // reused by MarginalGain
+	total   float64
+	size    int
 }
 
 // NewEvaluator returns an evaluator for the empty strategy on instance in.
+// Group entry storage is carved out of one backing array sized by each
+// group's selection bound, so the per-group grow-allocations of the
+// map era disappear; a group overflowing its bound (possible only via
+// non-candidate triples) falls back to ordinary append growth.
 func NewEvaluator(in *model.Instance) *Evaluator {
-	return &Evaluator{in: in, groups: make(map[groupKey]*group)}
+	ev := &Evaluator{in: in, groups: make([]group, in.NumGroups())}
+	if n := len(ev.groups); n > 0 {
+		// A group can hold at most min(its candidate count, K·T) entries:
+		// the display constraint caps a user at K·T selections total.
+		bound := in.K * in.T
+		total := 0
+		caps := make([]int, n)
+		for g := range caps {
+			sz := len(in.GroupCandIDs(int32(g)))
+			if sz > bound {
+				sz = bound
+			}
+			caps[g] = sz
+			total += sz
+		}
+		backing := make([]entry, total)
+		off := 0
+		for g := range ev.groups {
+			ev.groups[g].entries = backing[off : off : off+caps[g]]
+			off += caps[g]
+		}
+	}
+	return ev
 }
 
 // Instance returns the underlying instance.
@@ -137,43 +172,80 @@ func (ev *Evaluator) Total() float64 { return ev.total }
 // Len returns |S|.
 func (ev *Evaluator) Len() int { return ev.size }
 
+// groupAt resolves the (user, class) group for a triple; create controls
+// whether a missing overflow group is allocated. nil means "no group and
+// none created".
+func (ev *Evaluator) groupAt(u model.UserID, c model.ClassID, create bool) *group {
+	if gid, ok := ev.in.GroupID(u, c); ok {
+		return &ev.groups[gid]
+	}
+	g := ev.extra[groupKey{u, c}]
+	if g == nil && create {
+		g = &group{}
+		if ev.extra == nil {
+			ev.extra = make(map[groupKey]*group)
+		}
+		ev.extra[groupKey{u, c}] = g
+	}
+	return g
+}
+
 // GroupSize returns the number of chosen triples in the (user, class)
 // group of triple z. This is the |set(u, C(i))| used by lazy forward.
 func (ev *Evaluator) GroupSize(u model.UserID, c model.ClassID) int {
-	g := ev.groups[groupKey{u, c}]
+	g := ev.groupAt(u, c, false)
 	if g == nil {
 		return 0
 	}
 	return len(g.entries)
 }
 
-// MarginalGain returns Rev(S ∪ {z}) − Rev(S) (Definition 3) without
-// mutating the evaluator. q is the primitive adoption probability of z.
-func (ev *Evaluator) MarginalGain(z model.Triple, q float64) float64 {
-	key := groupKey{z.U, ev.in.Class(z.I)}
-	g := ev.groups[key]
-	if g == nil {
+// GroupSizeID is GroupSize addressed by candidate ID: a direct array
+// read, no class lookup or scan.
+func (ev *Evaluator) GroupSizeID(id model.CandID) int {
+	return len(ev.groups[ev.in.GroupOf(id)].entries)
+}
+
+// marginalInto computes the gain of adding e to g using the shared
+// scratch buffer (no allocation once warm). The arithmetic — entry
+// order, operation sequence — is exactly the map-era computation, so
+// results are bit-identical.
+func (ev *Evaluator) marginalInto(g *group, e entry) float64 {
+	if len(g.entries) == 0 {
 		// Singleton group: gain is just p·q (no saturation, no competition).
-		return ev.in.Price(z.I, z.T) * q
+		return ev.in.Price(e.z.I, e.z.T) * e.q
 	}
-	tmp := make([]entry, len(g.entries), len(g.entries)+1)
+	need := len(g.entries) + 1
+	if cap(ev.scratch) < need {
+		ev.scratch = make([]entry, 0, need*2)
+	}
+	tmp := ev.scratch[:len(g.entries)]
 	copy(tmp, g.entries)
-	tmp = append(tmp, entry{z, q})
+	tmp = append(tmp, e)
 	return groupRevenue(ev.in, tmp) - g.revenue
 }
 
-// Add inserts z into the strategy and returns the realized marginal gain.
-// Adding a triple that is already present is a programming error and
-// corrupts the total; callers guard with their own membership tracking.
-func (ev *Evaluator) Add(z model.Triple, q float64) float64 {
-	key := groupKey{z.U, ev.in.Class(z.I)}
-	g := ev.groups[key]
+// MarginalGain returns Rev(S ∪ {z}) − Rev(S) (Definition 3) without
+// mutating the evaluator. q is the primitive adoption probability of z.
+func (ev *Evaluator) MarginalGain(z model.Triple, q float64) float64 {
+	g := ev.groupAt(z.U, ev.in.Class(z.I), false)
 	if g == nil {
-		g = &group{}
-		ev.groups[key] = g
+		return ev.in.Price(z.I, z.T) * q
 	}
+	return ev.marginalInto(g, entry{z, q})
+}
+
+// MarginalGainID is MarginalGain addressed by candidate ID; the
+// candidate's primitive probability comes from the instance.
+func (ev *Evaluator) MarginalGainID(id model.CandID) float64 {
+	c := ev.in.CandAt(id)
+	return ev.marginalInto(&ev.groups[ev.in.GroupOf(id)], entry{c.Triple, c.Q})
+}
+
+// addTo inserts e into g and returns the realized gain.
+func (ev *Evaluator) addTo(g *group, e entry) float64 {
 	old := g.revenue
-	g.insert(entry{z, q})
+	g.insert(e)
 	g.revenue = groupRevenue(ev.in, g.entries)
 	delta := g.revenue - old
 	ev.total += delta
@@ -181,12 +253,21 @@ func (ev *Evaluator) Add(z model.Triple, q float64) float64 {
 	return delta
 }
 
-// Remove deletes z from the strategy and returns the revenue change
-// (usually negative of some earlier gain). It returns 0 and does nothing
-// if z is not present.
-func (ev *Evaluator) Remove(z model.Triple) float64 {
-	key := groupKey{z.U, ev.in.Class(z.I)}
-	g := ev.groups[key]
+// Add inserts z into the strategy and returns the realized marginal gain.
+// Adding a triple that is already present is a programming error and
+// corrupts the total; callers guard with their own membership tracking.
+func (ev *Evaluator) Add(z model.Triple, q float64) float64 {
+	return ev.addTo(ev.groupAt(z.U, ev.in.Class(z.I), true), entry{z, q})
+}
+
+// AddID is Add addressed by candidate ID.
+func (ev *Evaluator) AddID(id model.CandID) float64 {
+	c := ev.in.CandAt(id)
+	return ev.addTo(&ev.groups[ev.in.GroupOf(id)], entry{c.Triple, c.Q})
+}
+
+// removeFrom deletes z from g and returns the revenue change.
+func (ev *Evaluator) removeFrom(g *group, z model.Triple) float64 {
 	if g == nil || !g.remove(z) {
 		return 0
 	}
@@ -196,6 +277,19 @@ func (ev *Evaluator) Remove(z model.Triple) float64 {
 	ev.total += delta
 	ev.size--
 	return delta
+}
+
+// Remove deletes z from the strategy and returns the revenue change
+// (usually negative of some earlier gain). It returns 0 and does nothing
+// if z is not present.
+func (ev *Evaluator) Remove(z model.Triple) float64 {
+	return ev.removeFrom(ev.groupAt(z.U, ev.in.Class(z.I), false), z)
+}
+
+// RemoveID is Remove addressed by candidate ID.
+func (ev *Evaluator) RemoveID(id model.CandID) float64 {
+	c := ev.in.CandAt(id)
+	return ev.removeFrom(&ev.groups[ev.in.GroupOf(id)], c.Triple)
 }
 
 // Revenue computes Rev(S) (Definition 2) for an explicit strategy from
@@ -308,8 +402,21 @@ func EffectiveRevenue(in *model.Instance, s *model.Strategy, oracle CapacityOrac
 		sort.Slice(rs, func(a, b int) bool { return rs[a].t < rs[b].t })
 	}
 
+	// Sum in sorted group order: float addition is not associative, so
+	// map-order iteration would make the last bits vary run to run.
+	keys := make([]groupKey, 0, len(groups))
+	for key := range groups {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].u != keys[b].u {
+			return keys[a].u < keys[b].u
+		}
+		return keys[a].c < keys[b].c
+	})
 	total := 0.0
-	for key, g := range groups {
+	for _, key := range keys {
+		g := groups[key]
 		for idx, e := range g {
 			qs := dynamicProb(in, g, idx)
 			if qs == 0 {
@@ -350,9 +457,17 @@ func capacityFactor(in *model.Instance, recs []itemRec, u model.UserID, z model.
 	if len(surv) < capQ {
 		return 1
 	}
+	// Feed the oracle in sorted user order: the Poisson-binomial DP (and
+	// a Monte-Carlo oracle's draws) are order-sensitive at the last bit,
+	// and map iteration order varies run to run.
+	uids := make([]model.UserID, 0, len(surv))
+	for u := range surv {
+		uids = append(uids, u)
+	}
+	sort.Slice(uids, func(a, b int) bool { return uids[a] < uids[b] })
 	probs := make([]float64, 0, len(surv))
-	for _, sv := range surv {
-		probs = append(probs, 1-sv)
+	for _, u := range uids {
+		probs = append(probs, 1-surv[u])
 	}
 	return oracle.TailAtMost(probs, capQ-1)
 }

@@ -60,6 +60,14 @@ type Config struct {
 	// Deprecated: solver.Register a named Algorithm and set Algorithm
 	// instead, which keeps the config serializable.
 	Planner planner.Algorithm
+	// WarmStart enables incremental replanning: each replan seeds the
+	// solver with the previous plan's still-feasible triples
+	// (Options.Warm) instead of solving from scratch, cutting replan
+	// latency when feedback batches invalidate only a small part of the
+	// plan. Warm-started plans generally differ from cold ones — leave
+	// it off when byte-identity with open-loop solves matters (the
+	// scenario goldens do). Ignored when Planner is set.
+	WarmStart bool
 	// Shards overrides the shard count (rounded up to a power of two).
 	// 0 means next pow2 ≥ GOMAXPROCS.
 	Shards int
@@ -90,9 +98,11 @@ func (c *Config) withDefaults() Config {
 // Planner override verbatim, otherwise the named registry algorithm
 // (resolved once here, so an unknown name fails engine construction
 // with solver.Lookup's actionable error instead of failing a replan).
-func (c Config) planFunc() (planner.Algorithm, error) {
+// With WarmStart set it additionally resolves the warm-seeded variant
+// used by replans.
+func (c Config) planFunc() (planner.Algorithm, planner.WarmAlgorithm, error) {
 	if c.Planner != nil {
-		return c.Planner, nil
+		return c.Planner, nil, nil
 	}
 	opts := c.Solver
 	if c.Algorithm != "" {
@@ -100,9 +110,15 @@ func (c Config) planFunc() (planner.Algorithm, error) {
 	}
 	algo, err := planner.Named(opts)
 	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+		return nil, nil, fmt.Errorf("serve: %w", err)
 	}
-	return algo, nil
+	var warm planner.WarmAlgorithm
+	if c.WarmStart {
+		if warm, err = planner.NamedWarm(opts); err != nil {
+			return nil, nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	return algo, warm, nil
 }
 
 // Event is one piece of adoption feedback: user U was shown item I at
@@ -161,6 +177,13 @@ type Engine struct {
 	in   *model.Instance
 	cfg  Config
 	algo planner.Algorithm // resolved once from cfg by planFunc
+	// warmAlgo, when non-nil (Config.WarmStart), replaces algo for
+	// replans and is seeded with warmPrev — the live plan's triples.
+	// warmPrev is written by installPlan and read by replanWith; both
+	// run either on single-threaded boot paths or on the (serialized)
+	// replan goroutine, never concurrently.
+	warmAlgo planner.WarmAlgorithm
+	warmPrev []model.Triple
 
 	shards []shard
 	mask   uint32
@@ -222,7 +245,7 @@ func NewEngine(in *model.Instance, cfg Config) (*Engine, error) {
 // first. Both NewEngine and Open build on it; boot invariants live in
 // exactly one place.
 func newUnstartedEngine(in *model.Instance, cfg Config) (*Engine, error) {
-	algo, err := cfg.planFunc()
+	algo, warm, err := cfg.planFunc()
 	if err != nil {
 		return nil, err
 	}
@@ -231,6 +254,7 @@ func newUnstartedEngine(in *model.Instance, cfg Config) (*Engine, error) {
 	}
 	e := newEngineShell(in, cfg)
 	e.algo = algo
+	e.warmAlgo = warm
 	s := algo(in)
 	e.installPlan(s, 1, revenue.Revenue(in, s))
 	return e, nil
@@ -260,10 +284,16 @@ func newEngineShell(in *model.Instance, cfg Config) *Engine {
 	return e
 }
 
-// installPlan indexes s and publishes it as the live plan.
+// installPlan indexes s and publishes it as the live plan. Warm-start
+// engines also snapshot the plan's triples as the next replan's seed —
+// installPlan runs on single-threaded boot/recovery paths or on the
+// serialized replan goroutine, the same contexts that read warmPrev.
 func (e *Engine) installPlan(s *model.Strategy, from model.TimeStep, rev float64) {
 	n := e.revision.Add(1)
 	e.plan.Store(buildPlan(e.in, s, n, from, rev))
+	if e.warmAlgo != nil {
+		e.warmPrev = s.Triples()
+	}
 }
 
 // start launches the feedback loop.
@@ -848,10 +878,18 @@ func (e *Engine) collectFeedback() planner.Feedback {
 
 // replanWith recomputes the strategy on the residual instance induced
 // by fb and swaps the live plan. Lookups keep hitting the old plan
-// until the single atomic store below.
+// until the single atomic store below. Warm-start engines seed the
+// solve with the previous plan's triples: seeds invalidated by the
+// feedback (adopted classes, depleted stock, price moves) drop out
+// inside the solver, the rest carry over without being re-derived.
 func (e *Engine) replanWith(fb planner.Feedback) {
 	residual := planner.Residual(e.in, fb)
-	s := e.algo(residual)
+	var s *model.Strategy
+	if e.warmAlgo != nil {
+		s = e.warmAlgo(residual, e.warmPrev)
+	} else {
+		s = e.algo(residual)
+	}
 	rev := revenue.Revenue(residual, s)
 	e.installPlan(s, fb.Now, rev)
 	// Plan-swap marker: recovery replans from recovered state rather

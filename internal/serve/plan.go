@@ -40,6 +40,11 @@ type plan struct {
 // the *original* instance, not the residual one, because the serving
 // path re-applies the observed saturation memory per request; storing
 // residual q's would double-count it.
+//
+// When the strategy has a flat representation on in (every triple a
+// candidate — true for all solver outputs), entries are emitted straight
+// from the instance's time-ordered candidate index: no per-user sorting
+// and one array read per entry instead of a binary-searched Q lookup.
 func buildPlan(in *model.Instance, s *model.Strategy, revision int64, from model.TimeStep, revenue float64) *plan {
 	p := &plan{
 		revision:    revision,
@@ -47,6 +52,34 @@ func buildPlan(in *model.Instance, s *model.Strategy, revision int64, from model
 		perUser:     make([][]planEntry, in.NumUsers),
 		revenue:     revenue,
 		plannedFrom: from,
+	}
+	if fp, ok := in.PlanOf(s); ok {
+		prev := model.UserID(-1)
+		fp.Each(func(id model.CandID) bool {
+			c := in.CandAt(id)
+			if c.U != prev {
+				// First entry of this user: walk the user's candidates in
+				// (time, item) order and emit the chosen ones, so the
+				// per-user slice comes out pre-sorted.
+				prev = c.U
+				for _, tid := range in.UserCandIDsByTime(c.U) {
+					if !fp.Contains(tid) {
+						continue
+					}
+					tc := in.CandAt(tid)
+					p.perUser[tc.U] = append(p.perUser[tc.U], planEntry{
+						t:     tc.T,
+						item:  tc.I,
+						class: in.Class(tc.I),
+						beta:  in.Beta(tc.I),
+						q:     tc.Q,
+						price: in.Price(tc.I, tc.T),
+					})
+				}
+			}
+			return true
+		})
+		return p
 	}
 	for _, z := range s.Triples() {
 		if int(z.U) < 0 || int(z.U) >= in.NumUsers {

@@ -73,11 +73,16 @@ func TestSnapshotRestoreUnderConcurrentTraffic(t *testing.T) {
 		}
 	})
 	worker(func(k int) {
+		// Consecutive ops pair up — same item, same step range, factors
+		// 0.9 then 1/0.9 — so prices never drift more than one factor
+		// from their start no matter how many iterations run (unpaired
+		// ranges would compound one factor exponentially and overflow
+		// prices to +Inf on long runs).
 		factor := 0.9
-		if k%2 == 0 {
+		if k%2 == 1 {
 			factor = 1.0 / 0.9
 		}
-		if err := e.ScalePrice(model.ItemID(k%in.NumItems()), model.TimeStep(1+k%in.T), factor); err != nil {
+		if err := e.ScalePrice(model.ItemID((k/2)%in.NumItems()), model.TimeStep(1+(k/2)%in.T), factor); err != nil {
 			t.Error(err)
 			stop.Store(true)
 		}

@@ -195,7 +195,7 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 // shell. The snapshotted plan is installed verbatim (with its revision,
 // so monitoring sees continuity).
 func decodeShell(r io.Reader, cfg Config) (*Engine, error) {
-	algo, err := cfg.planFunc()
+	algo, warm, err := cfg.planFunc()
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +232,7 @@ func decodeShell(r io.Reader, cfg Config) (*Engine, error) {
 
 	e := newEngineShell(in, cfg)
 	e.algo = algo
+	e.warmAlgo = warm
 	e.now.Store(int64(wire.Now))
 	e.adoptions.Store(wire.Adoptions)
 	e.exposures.Store(wire.Exposures)

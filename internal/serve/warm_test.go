@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestWarmStartEngineInvariants runs a warm-start engine through
+// adoption feedback, clock advances, and a stock shock, and checks the
+// serving invariants hold on every replanned plan: plans stay valid,
+// adopted classes and depleted items are never recommended with
+// positive probability, and replans actually happen.
+func TestWarmStartEngineInvariants(t *testing.T) {
+	in := testInstance(t, 60, 8, 4, 2, 44)
+	e := newTestEngine(t, in, Config{WarmStart: true, ReplanEvery: 4, Shards: 2})
+
+	adopted := map[model.UserID]model.ClassID{}
+	// Feed adoptions across users/items and force coverage with flushes.
+	for k := 0; k < 24; k++ {
+		u := model.UserID(k % in.NumUsers)
+		i := model.ItemID(k % in.NumItems())
+		ev := Event{User: u, Item: i, T: 1, Adopted: k%3 == 0}
+		if err := e.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Adopted {
+			if _, dup := adopted[u]; !dup {
+				adopted[u] = in.Class(i)
+			}
+		}
+	}
+	e.Flush()
+	if err := e.SetStock(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetNow(2); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+
+	st := e.Stats()
+	if st.Replans == 0 {
+		t.Fatal("warm-start engine never replanned")
+	}
+	if err := in.CheckValid(e.Strategy()); err != nil {
+		t.Fatalf("warm-start plan invalid: %v", err)
+	}
+	// Adopted classes must serve with zero probability; the depleted item
+	// must serve with zero probability everywhere.
+	for u, c := range adopted {
+		for tt := model.TimeStep(2); int(tt) <= in.T; tt++ {
+			recs, err := e.Recommend(u, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range recs {
+				if in.Class(r.Item) == c && r.Prob != 0 {
+					t.Fatalf("user %d class %d adopted but served prob %v", u, c, r.Prob)
+				}
+				if r.Item == 0 && r.Prob != 0 {
+					t.Fatalf("item 0 is out of stock but served prob %v", r.Prob)
+				}
+			}
+		}
+	}
+	e.Close()
+}
+
+// TestWarmStartSurvivesSnapshotRestore: a warm-start engine restored
+// from a snapshot keeps warm replanning (the restored plan seeds the
+// next replan) without violating plan validity.
+func TestWarmStartSurvivesSnapshotRestore(t *testing.T) {
+	in := testInstance(t, 40, 6, 3, 2, 45)
+	e := newTestEngine(t, in, Config{WarmStart: true, ReplanEvery: 2})
+	for k := 0; k < 8; k++ {
+		if err := e.Feed(Event{User: model.UserID(k % in.NumUsers), Item: model.ItemID(k % in.NumItems()), T: 1, Adopted: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Flush()
+
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(&buf, Config{WarmStart: true, ReplanEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	before := r.Stats().Replans
+	for k := 0; k < 6; k++ {
+		if err := r.Feed(Event{User: model.UserID((k + 3) % in.NumUsers), Item: model.ItemID(k % in.NumItems()), T: 1, Adopted: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	if r.Stats().Replans <= before {
+		t.Fatal("restored warm-start engine never replanned")
+	}
+	if err := r.Instance().CheckValid(r.Strategy()); err != nil {
+		t.Fatalf("restored warm-start plan invalid: %v", err)
+	}
+	e.Close()
+}

@@ -32,6 +32,9 @@ const (
 
 func init() {
 	Register(Func(NameGGreedy, func(ctx context.Context, in *model.Instance, o Options) (Result, error) {
+		if len(o.Warm) > 0 {
+			return core.GGreedyWarmCtx(ctx, in, o.Warm, o.progressFor(NameGGreedy))
+		}
 		return core.GGreedyCtx(ctx, in, o.progressFor(NameGGreedy))
 	}))
 	Register(Func(NameGGreedyNo, func(ctx context.Context, in *model.Instance, o Options) (Result, error) {
@@ -108,6 +111,11 @@ func solveLocalSearch(ctx context.Context, in *model.Instance, o Options) (Resul
 		Strategy:   res.Strategy,
 		Revenue:    res.Value,
 		Selections: res.Strategy.Len(),
+	}
+	// Local search works on the ground set of candidates, so its output
+	// always has a flat representation.
+	if p, ok := in.PlanOf(res.Strategy); ok {
+		out.Plan = p
 	}
 	return out, err
 }

@@ -88,6 +88,16 @@ type Options struct {
 	// which errors without one.
 	Rating core.RatingFn
 
+	// Warm seeds supporting algorithms (currently g-greedy) with a
+	// previous plan's triples for incremental replanning: still-feasible
+	// seeds are re-validated and re-scored on the instance, invalidated
+	// ones (adopted class, depleted stock, repriced below profitability)
+	// are dropped, and the lazy-forward scan resumes from the seeded
+	// state. Algorithms without warm support ignore it. Warm-started
+	// solves generally differ from cold solves — leave nil when cold
+	// byte-identity matters (fixed-seed goldens).
+	Warm []model.Triple
+
 	// Progress, when non-nil, receives in-flight reports from long
 	// algorithms (per permutation for the RL-Greedy family, per
 	// selection for the greedy scans) with Progress.Algorithm set to the

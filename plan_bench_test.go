@@ -1,0 +1,289 @@
+// Benchmarks for the flat candidate-indexed plan representation and
+// incremental warm-start replanning, plus the BENCH_plan.json CI
+// artifact comparing the old map-based representation against the new
+// flat one on the same workloads.
+package revmax_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/testgen"
+)
+
+// legacyCheckValid is the pre-flat-index implementation of
+// Instance.CheckValid, kept here verbatim as the "old" side of the
+// old-vs-new comparison (the live implementation now runs on dense
+// CandID counters with pooled scratch).
+func legacyCheckValid(in *model.Instance, triples []model.Triple) error {
+	display := make(map[[2]int32]int)
+	users := make(map[model.ItemID]map[model.UserID]struct{})
+	for _, z := range triples {
+		key := [2]int32{int32(z.U), int32(z.T)}
+		display[key]++
+		if display[key] > in.K {
+			return fmt.Errorf("display limit exceeded at %v", z)
+		}
+		m := users[z.I]
+		if m == nil {
+			m = make(map[model.UserID]struct{})
+			users[z.I] = m
+		}
+		m[z.U] = struct{}{}
+		if len(m) > in.Capacity(z.I) {
+			return fmt.Errorf("capacity exceeded at %v", z)
+		}
+	}
+	return nil
+}
+
+// planOpsFixture: a solved plan plus its strategy view and triple list,
+// the shared workload for representation benchmarks.
+type planOpsFixture struct {
+	in      *model.Instance
+	plan    *model.Plan
+	strat   *model.Strategy
+	triples []model.Triple
+	ids     []model.CandID
+}
+
+func newPlanOpsFixture(tb testing.TB) *planOpsFixture {
+	tb.Helper()
+	ds := benchDataset(tb)
+	res := core.GGreedy(ds.Instance)
+	if res.Plan == nil || res.Plan.Len() == 0 {
+		tb.Fatal("solve produced no plan")
+	}
+	f := &planOpsFixture{
+		in:      ds.Instance,
+		plan:    res.Plan,
+		strat:   res.Strategy,
+		triples: res.Strategy.Triples(),
+	}
+	f.plan.Each(func(id model.CandID) bool {
+		f.ids = append(f.ids, id)
+		return true
+	})
+	return f
+}
+
+// BenchmarkPlanOps compares the hot-path set operations of the flat
+// Plan against the map-based Strategy: membership, add/remove churn,
+// and full validation.
+func BenchmarkPlanOps(b *testing.B) {
+	f := newPlanOpsFixture(b)
+	n := len(f.ids)
+
+	b.Run("contains/plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !f.plan.Contains(f.ids[i%n]) {
+				b.Fatal("missing id")
+			}
+		}
+	})
+	b.Run("contains/strategy-map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !f.strat.Contains(f.triples[i%n]) {
+				b.Fatal("missing triple")
+			}
+		}
+	})
+	b.Run("add-remove/plan", func(b *testing.B) {
+		p := f.in.NewPlan()
+		for i := 0; i < b.N; i++ {
+			id := f.ids[i%n]
+			p.Add(id)
+			p.Remove(id)
+		}
+	})
+	b.Run("add-remove/strategy-map", func(b *testing.B) {
+		s := model.NewStrategy()
+		for i := 0; i < b.N; i++ {
+			z := f.triples[i%n]
+			s.Add(z)
+			s.Remove(z)
+		}
+	})
+	b.Run("checkvalid/flat", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := f.in.CheckValid(f.strat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("checkvalid/legacy-maps", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := legacyCheckValid(f.in, f.triples); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("valid/plan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := f.plan.Valid(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// warmReplanFixture builds the receding-horizon workload: a planned
+// horizon, one batch of adoption/stock feedback, and the residual
+// instance the replanner must solve.
+type warmReplanFixture struct {
+	residual *model.Instance
+	seeds    []model.Triple
+}
+
+func newWarmReplanFixture(tb testing.TB) *warmReplanFixture {
+	tb.Helper()
+	// Closed-loop archetype shape: many users, tight display budget —
+	// the workload the serving engine replans under (larger than the
+	// micro-bench dataset so the solve is selection-bound, as at scale).
+	in := testgen.Random(dist.NewRNG(3), testgen.Params{
+		Users: 800, Items: 60, Classes: 12, T: 6, K: 2,
+		MaxCap: 8, CandProb: 0.15, MinPrice: 5, MaxPrice: 90,
+	})
+	if err := in.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	cold := core.GGreedy(in)
+	seeds := cold.Strategy.Triples()
+	if len(seeds) == 0 {
+		tb.Fatal("cold solve selected nothing")
+	}
+
+	// Feedback batch: every 20th planned user adopted their first
+	// planned item's class; one item lost its stock.
+	fb := planner.Feedback{
+		AdoptedClass: map[model.UserID]map[model.ClassID]bool{},
+		Stock:        make([]int, in.NumItems()),
+		Now:          2,
+	}
+	for i := range fb.Stock {
+		fb.Stock[i] = in.Capacity(model.ItemID(i))
+	}
+	for k, z := range seeds {
+		if k%20 == 0 {
+			if fb.AdoptedClass[z.U] == nil {
+				fb.AdoptedClass[z.U] = map[model.ClassID]bool{}
+			}
+			fb.AdoptedClass[z.U][in.Class(z.I)] = true
+		}
+	}
+	fb.Stock[seeds[0].I] = 0
+	return &warmReplanFixture{
+		residual: planner.Residual(in, fb),
+		seeds:    seeds,
+	}
+}
+
+// BenchmarkWarmReplan measures one receding-horizon replan solved cold
+// (from scratch) versus warm-started from the previous plan — the p99
+// lever for the serving engine's background replans.
+func BenchmarkWarmReplan(b *testing.B) {
+	f := newWarmReplanFixture(b)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := core.GGreedy(f.residual)
+			if res.Strategy.Len() == 0 {
+				b.Fatal("empty replan")
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res := core.GGreedyWarm(f.residual, f.seeds)
+			if res.Strategy.Len() == 0 {
+				b.Fatal("empty replan")
+			}
+		}
+	})
+}
+
+// TestPlanBenchReport, gated on BENCH_PLAN_OUT, measures the
+// representation and replanning workloads with testing.Benchmark and
+// writes BENCH_plan.json — the CI artifact for the planning-path bench
+// trajectory — plus an old-vs-new comparison table in the job log.
+func TestPlanBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_PLAN_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PLAN_OUT=<path> to write the plan benchmark report")
+	}
+	f := newPlanOpsFixture(t)
+	wf := newWarmReplanFixture(t)
+	n := len(f.ids)
+
+	measure := func(fn func(i int)) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn(i)
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	containsPlan := measure(func(i int) { f.plan.Contains(f.ids[i%n]) })
+	containsMap := measure(func(i int) { f.strat.Contains(f.triples[i%n]) })
+	scratch := f.in.NewPlan()
+	scratchStrat := model.NewStrategy()
+	addRemovePlan := measure(func(i int) { scratch.Add(f.ids[i%n]); scratch.Remove(f.ids[i%n]) })
+	addRemoveMap := measure(func(i int) { scratchStrat.Add(f.triples[i%n]); scratchStrat.Remove(f.triples[i%n]) })
+	checkFlat := measure(func(i int) { _ = f.in.CheckValid(f.strat) })
+	checkLegacy := measure(func(i int) { _ = legacyCheckValid(f.in, f.triples) })
+	replanCold := measure(func(i int) { core.GGreedy(wf.residual) })
+	replanWarm := measure(func(i int) { core.GGreedyWarm(wf.residual, wf.seeds) })
+	solveCold := measure(func(i int) { core.GGreedy(f.in) })
+
+	type row struct {
+		name         string
+		oldNs, newNs float64
+	}
+	rows := []row{
+		{"contains (map triple → plan bitset)", containsMap, containsPlan},
+		{"add+remove (map → plan counters)", addRemoveMap, addRemovePlan},
+		{"CheckValid (fresh maps → pooled dense)", checkLegacy, checkFlat},
+		{"replan (cold solve → warm-start)", replanCold, replanWarm},
+	}
+	t.Log("old-vs-new (flat plan representation):")
+	for _, r := range rows {
+		t.Logf("  %-42s %10.0f ns → %10.0f ns (%.2fx)", r.name, r.oldNs, r.newNs, r.oldNs/r.newNs)
+	}
+
+	report := map[string]any{
+		"benchmark":            "PlanRepresentation",
+		"candidates":           f.in.NumCands(),
+		"planned_triples":      len(f.ids),
+		"contains_plan_ns":     containsPlan,
+		"contains_map_ns":      containsMap,
+		"add_remove_plan_ns":   addRemovePlan,
+		"add_remove_map_ns":    addRemoveMap,
+		"checkvalid_flat_ns":   checkFlat,
+		"checkvalid_legacy_ns": checkLegacy,
+		"replan_cold_ns":       replanCold,
+		"replan_warm_ns":       replanWarm,
+		"replan_speedup":       replanCold / replanWarm,
+		"ggreedy_solve_ns":     solveCold,
+	}
+	fh, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

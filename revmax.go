@@ -53,6 +53,14 @@ type (
 	Triple = model.Triple
 	// Candidate couples a triple with its primitive adoption probability.
 	Candidate = model.Candidate
+	// CandID is a dense, stable candidate index assigned by
+	// Instance.FinishCandidates — the currency of the flat hot path.
+	CandID = model.CandID
+	// Plan is the flat candidate-indexed strategy representation: a
+	// bitset over CandID with O(1) constraint-checked set operations.
+	// Construct with Instance.NewPlan; convert with Plan.Strategy and
+	// Instance.PlanOf.
+	Plan = model.Plan
 	// UserID identifies a user.
 	UserID = model.UserID
 	// ItemID identifies an item.
