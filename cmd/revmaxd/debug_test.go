@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TestDebugHandler drives the -debug-addr mux: pprof index, the
+// exposition-conformant /metrics mirror, and a /debug/traces payload
+// containing the boot plan trace.
+func TestDebugHandler(t *testing.T) {
+	engine, err := serve.NewEngine(daemonInstance(t), serve.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	srv := httptest.NewServer(debugHandler(engine))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: code %d, body %.120q", code, body)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics code %d", code)
+	}
+	if _, err := obs.ParseExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics fails conformance: %v", err)
+	}
+	for _, want := range []string{"revmaxd_solve_seconds", "revmaxd_plan_revision", "revmaxd_uptime_seconds"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+	code, body = get("/debug/traces")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces code %d", code)
+	}
+	var payload struct {
+		Enabled bool           `json:"enabled"`
+		Traces  []obs.SpanData `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/debug/traces is not JSON: %v\n%s", err, body)
+	}
+	if !payload.Enabled || len(payload.Traces) == 0 {
+		t.Fatalf("expected an enabled tracer with the boot plan trace, got %+v", payload)
+	}
+	found := false
+	for _, tr := range payload.Traces {
+		if tr.Name == "plan" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no plan trace in payload: %s", body)
+	}
+}

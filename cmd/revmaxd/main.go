@@ -15,10 +15,16 @@
 // behavior is declared by flags, no code changes needed.
 //
 // Endpoints: /v1/recommend, /v1/recommend/batch, /v1/adopt, /v1/advance,
-// /v1/stats, /healthz, /metrics.
+// /v1/stats, /healthz, /metrics (Prometheus text exposition),
+// /debug/traces (recent plan/replan traces, JSON).
 //
 //	curl 'localhost:8372/v1/recommend?user=7&t=1'
 //	curl -d '{"user":7,"item":3,"t":1,"adopted":true}' localhost:8372/v1/adopt
+//
+// With -debug-addr a second listener serves the Go pprof suite
+// (/debug/pprof/) plus mirrors of /metrics and /debug/traces — keep it
+// on localhost or a management network; it is separate from -addr
+// precisely so the public API surface never exposes profiling.
 //
 // Durability. With -data-dir, every state mutation is appended to a
 // CRC-checksummed write-ahead log before it is applied, background
@@ -89,6 +95,7 @@ func run(args []string, stdout io.Writer) error {
 	warmStart := fs.Bool("warm-start", false, "seed each replan with the previous plan's still-feasible triples (lower replan latency; plans may differ from cold solves)")
 	shards := fs.Int("shards", 0, "user-store shard count (0 = next pow2 ≥ GOMAXPROCS)")
 	dataDir := fs.String("data-dir", "", "durable state directory (write-ahead log + snapshots); recovery happens from here on boot")
+	debugAddr := fs.String("debug-addr", "", "listen address for the debug server (pprof, /metrics, /debug/traces); empty disables")
 	walSync := fs.String("wal-sync", "batch", "WAL fsync policy: always | batch | none")
 	snapInterval := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot + log compaction period with -data-dir (0 disables; a final snapshot is still written on shutdown)")
 	if err := fs.Parse(args); err != nil {
@@ -152,6 +159,15 @@ func run(args []string, stdout io.Writer) error {
 	go func() { errc <- server.ListenAndServe() }()
 	fmt.Fprintf(stdout, "revmaxd: listening on %s\n", *addr)
 
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		debugServer = &http.Server{Addr: *debugAddr, Handler: debugHandler(engine)}
+		// Debug-listener failures are fatal like main-listener ones: an
+		// operator who asked for pprof should not silently run without it.
+		go func() { errc <- debugServer.ListenAndServe() }()
+		fmt.Fprintf(stdout, "revmaxd: debug server (pprof, /metrics, /debug/traces) on %s\n", *debugAddr)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	var serveErr error
@@ -169,6 +185,11 @@ func run(args []string, stdout io.Writer) error {
 	defer cancel()
 	if err := server.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "revmaxd: shutdown: %v\n", err)
+	}
+	if debugServer != nil {
+		if err := debugServer.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "revmaxd: debug shutdown: %v\n", err)
+		}
 	}
 	if err := drainAndStop(engine, *snapshot, stdout); err != nil {
 		return err

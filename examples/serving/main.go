@@ -148,7 +148,8 @@ func main() {
 	fmt.Printf("\n/metrics excerpt:\n")
 	for _, line := range bytes.Split(metrics.Bytes(), []byte("\n")) {
 		if bytes.HasPrefix(line, []byte("revmaxd_qps_avg")) ||
-			bytes.HasPrefix(line, []byte("revmaxd_latency")) ||
+			bytes.HasPrefix(line, []byte("revmaxd_latency_seconds_sum")) ||
+			bytes.HasPrefix(line, []byte("revmaxd_latency_seconds_count")) ||
 			bytes.HasPrefix(line, []byte("revmaxd_replans_total")) ||
 			bytes.HasPrefix(line, []byte("revmaxd_plan_revenue")) {
 			fmt.Printf("  %s\n", line)

@@ -57,6 +57,32 @@ type Result struct {
 	// Curve records Rev(S) after each selection, in selection order — the
 	// revenue-vs-|S| growth data behind Figure 4.
 	Curve []float64
+
+	// Stats is the phase breakdown of the run, feeding the observability
+	// layer (solve spans, per-phase counters). Zero-valued for algorithms
+	// that do not report it.
+	Stats SolveStats
+}
+
+// SolveStats is the per-solve phase breakdown the G-Greedy family
+// reports: how much candidate-scan versus selection work the solve did,
+// and what a warm start salvaged. Counters accumulate across windows for
+// the staged variant.
+type SolveStats struct {
+	// Considered counts candidates that entered the heap (after any
+	// seeded-state feasibility pruning).
+	Considered int
+	// HeapPops counts main-loop iterations — every inspection of the heap
+	// root, whether it selected, recomputed, or discarded.
+	HeapPops int
+	// WarmKept and WarmDropped count warm-start seeds retained in versus
+	// invalidated from the previous plan. Zero for cold solves.
+	WarmKept    int
+	WarmDropped int
+	// ScanNanos and SelectNanos split the solve wall time into the
+	// candidate-scan/heap-build phase and the selection loop.
+	ScanNanos   int64
+	SelectNanos int64
 }
 
 // state carries everything a greedy run mutates: the growing plan (which
@@ -69,6 +95,7 @@ type state struct {
 	ev    *revenue.Evaluator
 	p     *model.Plan
 	curve []float64
+	stats SolveStats
 }
 
 func newState(in *model.Instance) *state {
@@ -125,6 +152,7 @@ func (st *state) result(selections, recomputations int) Result {
 		Selections:     selections,
 		Recomputations: recomputations,
 		Curve:          st.curve,
+		Stats:          st.stats,
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sort"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/pqueue"
@@ -74,6 +75,8 @@ func GGreedyWarmCtx(ctx context.Context, in *model.Instance, warm []model.Triple
 		}
 		seeded++
 	}
+	st.stats.WarmKept = seeded
+	st.stats.WarmDropped = len(ws) - seeded
 	// Upper-bound initialization: against the seeded state, exact initial
 	// marginals would cost a full group evaluation per candidate — more
 	// than the seeds saved. The saturation-free key p·q is a true upper
@@ -139,6 +142,7 @@ func GGreedyStagedCtx(ctx context.Context, in *model.Instance, progress Progress
 // that reach the root.
 func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progress ProgressFn, upperBoundInit bool) (selections, recomputations int, err error) {
 	in := st.in
+	scanStart := time.Now()
 	heap := pqueue.NewTwoLevelDense(in.NumPairs(), pairCaps(in))
 	// Heap entries are bulk-allocated in one backing array; the capacity
 	// covers the whole window so appends never reallocate (entry pointers
@@ -176,12 +180,17 @@ func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progre
 		heap.Add(&entries[len(entries)-1])
 	}
 	heap.Build()
+	st.stats.Considered += len(entries)
+	selectStart := time.Now()
+	st.stats.ScanNanos += selectStart.Sub(scanStart).Nanoseconds()
+	defer func() { st.stats.SelectNanos += time.Since(selectStart).Nanoseconds() }()
 
 	limit := maxSelections(in)
 	for st.len() < limit && !heap.Empty() {
 		if err := ctx.Err(); err != nil {
 			return selections, recomputations, err
 		}
+		st.stats.HeapPops++
 		e := heap.PeekMax()
 		if e == nil || e.Key <= Eps {
 			break // no remaining triple has positive marginal revenue
@@ -306,5 +315,6 @@ func scoreOn(in *model.Instance, res Result) Result {
 		}
 	}
 	out := st.result(res.Selections, res.Recomputations)
+	out.Stats = res.Stats
 	return out
 }

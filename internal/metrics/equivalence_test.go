@@ -1,0 +1,78 @@
+package metrics_test
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/solver"
+	"repro/internal/testgen"
+)
+
+// TestProfileFlatLooseEquivalence pins the index-based fast path to the
+// map-based reference across random instances and algorithms: every
+// field must match exactly, except CapacityUtilization, where the two
+// paths sum floats in different orders (index order vs map order) and
+// may differ by rounding.
+func TestProfileFlatLooseEquivalence(t *testing.T) {
+	rng := dist.NewRNG(7)
+	algos := []string{"g-greedy", "rl-greedy", "top-revenue"}
+	for trial := 0; trial < 6; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		for _, algo := range algos {
+			res, err := solver.Solve(context.Background(), in, solver.Options{Algorithm: algo, Seed: 11})
+			if err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+			flat, ok := metrics.ProfileFlatForTest(in, res.Strategy)
+			if !ok {
+				t.Fatalf("%s output has no flat representation", algo)
+			}
+			loose := metrics.ProfileLooseForTest(in, res.Strategy)
+			if math.Abs(flat.CapacityUtilization-loose.CapacityUtilization) > 1e-12 {
+				t.Fatalf("trial %d %s: capacity utilization %v (flat) vs %v (loose)",
+					trial, algo, flat.CapacityUtilization, loose.CapacityUtilization)
+			}
+			flat.CapacityUtilization, loose.CapacityUtilization = 0, 0
+			if !reflect.DeepEqual(flat, loose) {
+				t.Fatalf("trial %d %s: flat profile diverges from loose:\nflat:  %+v\nloose: %+v",
+					trial, algo, flat, loose)
+			}
+			// Profile must dispatch to the flat path for these strategies:
+			// same report as the forced flat computation.
+			got := metrics.Profile(in, res.Strategy)
+			got.CapacityUtilization = 0
+			if !reflect.DeepEqual(got, flat) {
+				t.Fatalf("trial %d %s: Profile dispatch diverges from flat path", trial, algo)
+			}
+		}
+	}
+	// A strategy with an out-of-candidate triple exercises the fallback
+	// through the public API without error.
+	in := testgen.Random(rng, testgen.Default())
+	var stray model.Triple
+	found := false
+	for u := 0; u < in.NumUsers && !found; u++ {
+		for i := 0; i < in.NumItems() && !found; i++ {
+			z := model.Triple{U: model.UserID(u), I: model.ItemID(i), T: 1}
+			if _, ok := in.CandIDOf(z); !ok {
+				stray, found = z, true
+			}
+		}
+	}
+	if !found {
+		t.Skip("dense instance: no out-of-candidate triple available")
+	}
+	s := model.StrategyOf(stray)
+	if _, ok := metrics.ProfileFlatForTest(in, s); ok {
+		t.Fatal("stray triple unexpectedly has a flat representation")
+	}
+	r := metrics.Profile(in, s)
+	if r.Size != 1 || r.UserCoverage == 0 {
+		t.Fatalf("fallback profile wrong: %+v", r)
+	}
+}

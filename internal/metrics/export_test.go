@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"repro/internal/model"
+	"repro/internal/revenue"
+)
+
+// profileWith computes a Report through a forced code path, for the
+// flat/loose equivalence test.
+func profileWith(in *model.Instance, s *model.Strategy, flat bool) (Report, bool) {
+	r := Report{
+		Size:            s.Len(),
+		Revenue:         revenue.Revenue(in, s),
+		RepeatHistogram: make([]int, in.T),
+	}
+	if r.Size > 0 {
+		r.RevenuePerRec = r.Revenue / float64(r.Size)
+	}
+	if slots := in.K * in.T * in.NumUsers; slots > 0 {
+		r.DisplayUtilization = float64(r.Size) / float64(slots)
+	}
+	if flat {
+		p, ok := in.PlanOf(s)
+		if !ok {
+			return r, false
+		}
+		profileFlat(in, p, &r)
+	} else {
+		profileLoose(in, s, &r)
+	}
+	return r, true
+}
+
+// ProfileFlatForTest forces the index-based path; ok is false when the
+// strategy has no flat representation.
+func ProfileFlatForTest(in *model.Instance, s *model.Strategy) (Report, bool) {
+	return profileWith(in, s, true)
+}
+
+// ProfileLooseForTest forces the map-based fallback.
+func ProfileLooseForTest(in *model.Instance, s *model.Strategy) Report {
+	r, _ := profileWith(in, s, false)
+	return r
+}

@@ -44,6 +44,13 @@ type Report struct {
 }
 
 // Profile computes the report for strategy s on instance in.
+//
+// Strategies with a flat representation on in (every triple a candidate
+// — true for all solver outputs) are profiled through the candidate
+// index with dense counter arrays: no per-triple map insertions, no
+// per-call map allocations. Strategies with out-of-candidate triples
+// (e.g. the TopRA baseline's q=0 repeats) fall back to the map-based
+// path, which makes no candidacy assumptions.
 func Profile(in *model.Instance, s *model.Strategy) Report {
 	r := Report{
 		Size:            s.Len(),
@@ -53,7 +60,82 @@ func Profile(in *model.Instance, s *model.Strategy) Report {
 	if r.Size > 0 {
 		r.RevenuePerRec = r.Revenue / float64(r.Size)
 	}
+	if slots := in.K * in.T * in.NumUsers; slots > 0 {
+		r.DisplayUtilization = float64(r.Size) / float64(slots)
+	}
+	if p, ok := in.PlanOf(s); ok {
+		profileFlat(in, p, &r)
+	} else {
+		profileLoose(in, s, &r)
+	}
+	return r
+}
 
+// profileFlat fills the occupancy statistics through the flat candidate
+// index. Plan.Each visits CandIDs ascending — canonical (user, item,
+// time) order — so each user's candidates are contiguous and each
+// (user, item) pair's first touch happens inside that user's run, which
+// is what lets one pass attribute pairs and groups to users without any
+// per-user structures.
+func profileFlat(in *model.Instance, p *model.Plan, r *Report) {
+	pairCount := make([]int32, in.NumPairs()) // recs per (user, item) pair
+	groupSeen := make([]bool, in.NumGroups()) // (user, class) groups touched
+	itemUsers := make([]int32, in.NumItems()) // distinct users per item
+	touched := make([]int32, 0, p.Len())      // pairs with ≥1 rec, first-touch order
+
+	usersCovered, pairsTotal, groupsTotal := 0, 0, 0
+	prev := model.UserID(-1)
+	p.Each(func(id model.CandID) bool {
+		c := in.CandAt(id)
+		if c.U != prev {
+			prev = c.U
+			usersCovered++
+		}
+		pr := in.PairOf(id)
+		if pairCount[pr] == 0 {
+			touched = append(touched, pr)
+			itemUsers[in.PairItem(pr)]++
+			pairsTotal++
+		}
+		pairCount[pr]++
+		if g := in.GroupOf(id); !groupSeen[g] {
+			groupSeen[g] = true
+			groupsTotal++
+		}
+		return true
+	})
+
+	for _, pr := range touched {
+		if c := int(pairCount[pr]); c >= 1 && c <= in.T {
+			r.RepeatHistogram[c-1]++
+		}
+	}
+
+	itemsTouched := 0
+	capSum := 0.0
+	for i, n := range itemUsers {
+		if n == 0 {
+			continue
+		}
+		itemsTouched++
+		if capQ := in.Capacity(model.ItemID(i)); capQ > 0 {
+			capSum += float64(n) / float64(capQ)
+		}
+	}
+	if itemsTouched > 0 {
+		r.CapacityUtilization = capSum / float64(itemsTouched)
+		r.ItemCoverage = float64(itemsTouched) / float64(in.NumItems())
+	}
+	if usersCovered > 0 {
+		r.UserCoverage = float64(usersCovered) / float64(in.NumUsers)
+		r.MeanItemsPerUser = float64(pairsTotal) / float64(usersCovered)
+		r.MeanClassesPerUser = float64(groupsTotal) / float64(usersCovered)
+	}
+}
+
+// profileLoose is the map-based fallback for strategies containing
+// triples outside the instance's candidate set.
+func profileLoose(in *model.Instance, s *model.Strategy, r *Report) {
 	pairCounts := make(map[[2]int32]int)
 	itemUsers := make(map[model.ItemID]map[model.UserID]bool)
 	userItems := make(map[model.UserID]map[model.ItemID]bool)
@@ -77,11 +159,6 @@ func Profile(in *model.Instance, s *model.Strategy) Report {
 		}
 	}
 
-	slots := in.K * in.T * in.NumUsers
-	if slots > 0 {
-		r.DisplayUtilization = float64(r.Size) / float64(slots)
-	}
-
 	if len(itemUsers) > 0 {
 		sum := 0.0
 		for i, users := range itemUsers {
@@ -102,5 +179,4 @@ func Profile(in *model.Instance, s *model.Strategy) Report {
 		r.MeanItemsPerUser = float64(items) / float64(len(userItems))
 		r.MeanClassesPerUser = float64(classes) / float64(len(userItems))
 	}
-	return r
 }

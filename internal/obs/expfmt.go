@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ExpositionSample is one parsed sample line.
+type ExpositionSample struct {
+	Name   string // full sample name, including _bucket/_sum/_count suffixes
+	Labels map[string]string
+	Value  float64
+}
+
+// ExpositionFamily is one parsed metric family.
+type ExpositionFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ExpositionSample
+}
+
+// ParseExposition parses and validates a Prometheus text-format scrape.
+// It is the conformance checker behind the /metrics tests: beyond
+// syntax, it enforces the format's structural invariants —
+//
+//   - every sample belongs to a family announced by a # TYPE line;
+//   - a family's lines are contiguous (no interleaving);
+//   - no duplicate series (same name and label set twice);
+//   - histograms expose only _bucket/_sum/_count samples, every bucket
+//     carries an le label, bucket counts are cumulative (non-decreasing
+//     with ascending le), an le="+Inf" bucket exists, and its value
+//     equals _count;
+//   - counter and histogram-count values are non-negative.
+//
+// It returns the families by name.
+func ParseExposition(r io.Reader) (map[string]*ExpositionFamily, error) {
+	fams := make(map[string]*ExpositionFamily)
+	var cur *ExpositionFamily
+	done := make(map[string]bool) // families whose block has ended
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseCommentLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+			}
+			if kind == "" {
+				continue // a plain comment
+			}
+			f := fams[name]
+			if f == nil {
+				f = &ExpositionFamily{Name: name}
+				fams[name] = f
+			}
+			switch kind {
+			case "HELP":
+				if f.Help != "" {
+					return nil, fmt.Errorf("obs: line %d: duplicate HELP for %q", lineNo, name)
+				}
+				f.Help = rest
+			case "TYPE":
+				if f.Type != "" {
+					return nil, fmt.Errorf("obs: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				if len(f.Samples) > 0 {
+					return nil, fmt.Errorf("obs: line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				f.Type = rest
+			}
+			if cur != nil && cur.Name != name {
+				done[cur.Name] = true
+			}
+			if done[name] {
+				return nil, fmt.Errorf("obs: line %d: family %q is not contiguous", lineNo, name)
+			}
+			cur = f
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		famName := s.Name
+		if cur != nil && cur.Type == "histogram" && famName != cur.Name {
+			famName = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(famName,
+				"_bucket"), "_sum"), "_count")
+		}
+		f := fams[famName]
+		if f == nil || f.Type == "" {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no preceding # TYPE", lineNo, s.Name)
+		}
+		if cur == nil || cur.Name != famName {
+			return nil, fmt.Errorf("obs: line %d: sample %q outside its family block", lineNo, s.Name)
+		}
+		if f.Type == "histogram" {
+			suffix := strings.TrimPrefix(s.Name, famName)
+			switch suffix {
+			case "_bucket", "_sum", "_count":
+			default:
+				return nil, fmt.Errorf("obs: line %d: histogram %q has non-histogram sample %q", lineNo, famName, s.Name)
+			}
+			if suffix == "_bucket" {
+				if _, ok := s.Labels["le"]; !ok {
+					return nil, fmt.Errorf("obs: line %d: bucket sample of %q without le label", lineNo, famName)
+				}
+			}
+		}
+		key := s.Name + renderLabelMap(s.Labels)
+		for _, have := range f.Samples {
+			if have.Name+renderLabelMap(have.Labels) == key {
+				return nil, fmt.Errorf("obs: line %d: duplicate series %s", lineNo, key)
+			}
+		}
+		if (f.Type == "counter" || strings.HasSuffix(s.Name, "_count") || strings.HasSuffix(s.Name, "_bucket")) && s.Value < 0 {
+			return nil, fmt.Errorf("obs: line %d: negative value %v on %s", lineNo, s.Value, s.Name)
+		}
+		f.Samples = append(f.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := checkHistogramFamily(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// checkHistogramFamily validates cumulative-bucket invariants for every
+// series (label set) of a histogram family.
+func checkHistogramFamily(f *ExpositionFamily) error {
+	type hseries struct {
+		les    []float64
+		counts map[float64]float64
+		count  float64
+		hasCnt bool
+	}
+	byKey := make(map[string]*hseries)
+	get := func(labels map[string]string) *hseries {
+		noLE := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				noLE[k] = v
+			}
+		}
+		key := renderLabelMap(noLE)
+		h := byKey[key]
+		if h == nil {
+			h = &hseries{counts: make(map[float64]float64)}
+			byKey[key] = h
+		}
+		return h
+	}
+	for _, s := range f.Samples {
+		h := get(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, err := parseLE(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("obs: histogram %q: %w", f.Name, err)
+			}
+			h.les = append(h.les, le)
+			h.counts[le] = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			h.count, h.hasCnt = s.Value, true
+		}
+	}
+	for key, h := range byKey {
+		if len(h.les) == 0 {
+			return fmt.Errorf("obs: histogram %q series %s has no buckets", f.Name, key)
+		}
+		sort.Float64s(h.les)
+		inf := h.les[len(h.les)-1]
+		if !isInf(inf) {
+			return fmt.Errorf("obs: histogram %q series %s lacks an le=\"+Inf\" bucket", f.Name, key)
+		}
+		prev := -1.0
+		for _, le := range h.les {
+			if h.counts[le] < prev {
+				return fmt.Errorf("obs: histogram %q series %s buckets are not cumulative at le=%v", f.Name, key, le)
+			}
+			prev = h.counts[le]
+		}
+		if !h.hasCnt {
+			return fmt.Errorf("obs: histogram %q series %s lacks a _count sample", f.Name, key)
+		}
+		if h.counts[inf] != h.count {
+			return fmt.Errorf("obs: histogram %q series %s: +Inf bucket %v != _count %v", f.Name, key, h.counts[inf], h.count)
+		}
+	}
+	return nil
+}
+
+func isInf(v float64) bool { return math.IsInf(v, 1) }
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le value %q", s)
+	}
+	return v, nil
+}
+
+// parseCommentLine handles "# HELP name text" / "# TYPE name kind";
+// other comments return kind "".
+func parseCommentLine(line string) (kind, name, rest string, err error) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 || fields[0] != "#" {
+		return "", "", "", nil
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return "", "", "", fmt.Errorf("malformed HELP line %q", line)
+		}
+		rest = ""
+		if len(fields) == 4 {
+			rest = fields[3]
+		}
+		return "HELP", fields[2], rest, nil
+	case "TYPE":
+		if len(fields) < 4 {
+			return "", "", "", fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", "", fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		return "TYPE", fields[2], fields[3], nil
+	}
+	return "", "", "", nil
+}
+
+// parseSampleLine parses `name{labels} value` (labels optional).
+func parseSampleLine(line string) (ExpositionSample, error) {
+	s := ExpositionSample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		end := strings.IndexByte(rest, '}')
+		if end < i {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], s.Labels); err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	} else {
+		j := strings.IndexByte(rest, ' ')
+		if j < 0 {
+			return s, fmt.Errorf("sample line %q has no value", line)
+		}
+		s.Name = rest[:j]
+		rest = rest[j:]
+	}
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad sample value in %q", line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(block string, out map[string]string) error {
+	for len(block) > 0 {
+		eq := strings.IndexByte(block, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair %q", block)
+		}
+		key := strings.TrimSpace(block[:eq])
+		rest := block[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i == len(rest) {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("duplicate label %q", key)
+		}
+		out[key] = val.String()
+		block = strings.TrimPrefix(strings.TrimSpace(rest[i+1:]), ",")
+		block = strings.TrimSpace(block)
+	}
+	return nil
+}
+
+func validMetricName(n string) bool {
+	if n == "" {
+		return false
+	}
+	for i, c := range n {
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabelMap renders labels sorted by key, for series identity.
+func renderLabelMap(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	ls := make([]Label, 0, len(m))
+	for k, v := range m {
+		ls = append(ls, Label{k, v})
+	}
+	return renderLabels(ls)
+}

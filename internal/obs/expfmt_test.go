@@ -1,0 +1,139 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func parse(t *testing.T, text string) map[string]*obs.ExpositionFamily {
+	t.Helper()
+	fams, err := obs.ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v", err)
+	}
+	return fams
+}
+
+func TestParseExpositionValid(t *testing.T) {
+	fams := parse(t, `# HELP req_total requests
+# TYPE req_total counter
+req_total{path="/v1/recommend"} 10
+req_total{path="/metrics"} 2
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 3
+lat_seconds_bucket{le="1"} 5
+lat_seconds_bucket{le="+Inf"} 6
+lat_seconds_sum 7.5
+lat_seconds_count 6
+# HELP temp current temperature
+# TYPE temp gauge
+temp -3.25
+`)
+	if len(fams) != 3 {
+		t.Fatalf("families = %d, want 3", len(fams))
+	}
+	req := fams["req_total"]
+	if req.Type != "counter" || req.Help != "requests" || len(req.Samples) != 2 {
+		t.Fatalf("req_total = %+v", req)
+	}
+	if req.Samples[0].Labels["path"] != "/v1/recommend" || req.Samples[0].Value != 10 {
+		t.Fatalf("sample = %+v", req.Samples[0])
+	}
+	lat := fams["lat_seconds"]
+	if lat.Type != "histogram" || len(lat.Samples) != 5 {
+		t.Fatalf("lat_seconds = %+v", lat)
+	}
+	if fams["temp"].Samples[0].Value != -3.25 {
+		t.Fatalf("temp = %+v", fams["temp"].Samples[0])
+	}
+}
+
+func TestParseExpositionEscapes(t *testing.T) {
+	fams := parse(t, `# TYPE weird_total counter
+weird_total{msg="a\"b\\c\nd"} 1
+`)
+	got := fams["weird_total"].Samples[0].Labels["msg"]
+	if got != "a\"b\\c\nd" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+}
+
+func TestParseExpositionInvalid(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "orphan_total 1\n",
+		"non-contiguous family": `# TYPE a_total counter
+a_total 1
+# TYPE b_total counter
+b_total 1
+# TYPE a_total counter
+`,
+		"duplicate series": `# TYPE a_total counter
+a_total 1
+a_total 2
+`,
+		"negative counter": `# TYPE a_total counter
+a_total -1
+`,
+		"histogram with stray sample": `# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_sum 1
+h_count 1
+h_other 5
+`,
+		"bucket without le": `# TYPE h histogram
+h_bucket 1
+`,
+		"non-cumulative buckets": `# TYPE h histogram
+h_bucket{le="0.1"} 5
+h_bucket{le="1"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`,
+		"missing +Inf bucket": `# TYPE h histogram
+h_bucket{le="0.1"} 1
+h_sum 0.05
+h_count 1
+`,
+		"+Inf bucket != count": `# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 5
+`,
+		"histogram without count": `# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_sum 1
+`,
+		"bad value":          "# TYPE a_total counter\na_total abc\n",
+		"bad metric name":    "# TYPE 9bad counter\n9bad 1\n",
+		"unterminated label": `# TYPE a_total counter` + "\n" + `a_total{x="y 1` + "\n",
+		"unknown type":       "# TYPE a_total funnel\n",
+		"duplicate TYPE":     "# TYPE a_total counter\n# TYPE a_total counter\n",
+		"TYPE after samples": `# TYPE a_total counter
+a_total 1
+# HELP a_total help
+# TYPE a_total counter
+`,
+	}
+	for name, text := range cases {
+		if _, err := obs.ParseExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+// TestParseExpositionAcceptsComments: plain comments and blank lines are
+// skipped, and HELP may arrive without samples.
+func TestParseExpositionAcceptsComments(t *testing.T) {
+	fams := parse(t, `# a plain comment
+
+# HELP lonely_total described but empty
+# TYPE lonely_total counter
+`)
+	if fams["lonely_total"].Help != "described but empty" {
+		t.Fatalf("fams = %+v", fams["lonely_total"])
+	}
+}

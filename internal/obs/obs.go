@@ -1,0 +1,425 @@
+// Package obs is the zero-dependency observability subsystem shared by
+// the solver, the serving engine, and the durable store: a metric
+// registry of lock-free counters, gauges, and histograms rendered in
+// the Prometheus text exposition format (proper cumulative
+// _bucket/_sum/_count histograms, # HELP/# TYPE lines, label support),
+// plus a lightweight span tracer keeping a ring buffer of recent
+// traces for the /debug/traces endpoint.
+//
+// Design constraints, in order:
+//
+//   - Hot-path writes (Counter.Inc, Histogram.Observe) are single
+//     atomic operations plus a branch-free binary search — no locks, no
+//     allocation, safe from any number of goroutines.
+//   - A disabled (or nil) Tracer costs nothing: Start returns a nil
+//     *Span, and every Span method is a nil-receiver no-op, so
+//     instrumented code paths never branch on "is tracing on".
+//   - Registration is idempotent: asking for an existing (name, labels)
+//     series returns the same handle, so packages can register their
+//     families independently against a shared registry. Conflicting
+//     re-registration (kind, help, or bucket mismatch) panics, exactly
+//     like a duplicate solver.Register — these are init-time bugs.
+//
+// The package depends only on the standard library.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is a metric family's type, matching the Prometheus # TYPE names.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Label is one metric label pair. Series are identified by their name
+// plus the sorted label set.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use and allocation-free.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1 and returns the new value (handy for sampling decisions).
+func (c *Counter) Inc() int64 { return c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the exposition to stay a counter).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits in
+// one atomic word.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d via a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with cumulative Prometheus
+// exposition. Observe is lock-free: one binary search over the bucket
+// bounds plus three atomic operations.
+type Histogram struct {
+	bounds []float64      // finite upper bounds, strictly ascending
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound ≥ v is the Prometheus le-bucket v belongs to.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile returns the value at quantile p ∈ (0, 1] as the upper bound
+// of the bucket the rank falls into (error bounded by the bucket
+// width). Observations in the +Inf bucket report the largest finite
+// bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	var counts []int64
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		counts = append(counts, c)
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp to last finite bound
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// GeometricBuckets returns n strictly ascending bucket bounds start,
+// start·factor, start·factor², ... — the standard shape for latency
+// histograms spanning several orders of magnitude.
+func GeometricBuckets(start, factor float64, n int) []float64 {
+	bs := make([]float64, n)
+	v := start
+	for i := range bs {
+		bs[i] = v
+		v *= factor
+	}
+	return bs
+}
+
+// LatencyBuckets is the canonical latency bucket layout used across the
+// system: 250ns · 1.5^i in seconds, spanning ~250ns to ~10s in 43
+// buckets — the same geometry the serving meter has always used, so
+// percentile error stays bounded by the 1.5× bucket width.
+func LatencyBuckets() []float64 {
+	var bs []float64
+	for b := 250e-9; b < 10.0; b *= 1.5 {
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+// series is one (label set, value) of a family.
+type series struct {
+	labels string // rendered, sorted label block ("" or `{k="v",...}`)
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // scrape-computed value (counterFunc/gaugeFunc)
+}
+
+// family is one metric name: its kind, help text, and series.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	bounds []float64 // histograms only
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry is a set of metric families with Prometheus text exposition.
+// Registration and scraping take a mutex; the returned metric handles
+// are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels canonicalizes a label set: sorted by key, values
+// escaped. Empty input renders as "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(a, b int) bool { return ls[a].Key < ls[b].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+// lookup returns (creating if needed) the family and the series for
+// (name, labels), panicking on conflicting re-registration.
+func (r *Registry) lookup(name, help string, kind Kind, bounds []float64, labels []Label) *series {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, byKey: make(map[string]*series)}
+		r.families[name] = f
+	} else {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %v (was %v)", name, kind, f.kind))
+		}
+		if f.help != help {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different help", name))
+		}
+		if kind == KindHistogram && !equalBounds(f.bounds, bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+		}
+	}
+	if s := f.byKey[key]; s != nil {
+		return s
+	}
+	s := &series{labels: key}
+	switch kind {
+	case KindCounter:
+		s.c = &Counter{}
+	case KindGauge:
+		s.g = &Gauge{}
+	case KindHistogram:
+		s.h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Int64, len(bounds)+1)}
+	}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, KindCounter, nil, labels).c
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, KindGauge, nil, labels).g
+}
+
+// Histogram registers (or returns the existing) histogram series with
+// the given finite, strictly ascending bucket upper bounds (a +Inf
+// bucket is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q registered with no buckets", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	return r.lookup(name, help, KindHistogram, bounds, labels).h
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time —
+// for values that already live elsewhere (queue depths, plan age,
+// derived rates). fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, KindGauge, nil, labels).fn = fn
+}
+
+// CounterFunc registers a counter whose value is read at scrape time
+// from an existing monotonic source (an engine atomic that also feeds
+// snapshots). fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.lookup(name, help, KindCounter, nil, labels).fn = fn
+}
+
+// formatValue renders a sample value: integers without a decimal point,
+// everything else in shortest-roundtrip form, infinities in the
+// Prometheus spelling.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the text exposition format:
+// families sorted by name, each with its # HELP and # TYPE line,
+// histograms as cumulative _bucket/_sum/_count series. The registry
+// mutex is held for the whole render (scrapes are rare; metric writes
+// never take it), so scrape-time fns must not call registry methods.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		f := r.families[n]
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			switch f.kind {
+			case KindCounter, KindGauge:
+				v := 0.0
+				switch {
+				case s.fn != nil:
+					v = s.fn()
+				case s.c != nil:
+					v = float64(s.c.Value())
+				case s.g != nil:
+					v = s.g.Value()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(v))
+			case KindHistogram:
+				writeHistogram(&b, f.name, s)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// the le label merged into any existing labels, then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.h
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLE(s.labels, formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLE(s.labels, "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatValue(h.Sum()))
+	// _count is the cumulative bucket total, not h.count: a scrape racing
+	// an Observe must still satisfy +Inf bucket == _count.
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, cum)
+}
+
+// mergeLE appends the le label to a rendered label block.
+func mergeLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}

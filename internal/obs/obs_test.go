@@ -1,0 +1,222 @@
+package obs_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := obs.NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	if got := c.Inc(); got != 1 {
+		t.Fatalf("Inc = %d, want 1", got)
+	}
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1.25)
+	if got := g.Value(); got != 1.25 {
+		t.Fatalf("gauge = %v, want 1.25", got)
+	}
+
+	// Idempotent registration returns the same handle.
+	if r.Counter("test_total", "a counter") != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestRegistryConflictPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := obs.NewRegistry()
+	r.Counter("a_total", "help")
+	mustPanic("kind mismatch", func() { r.Gauge("a_total", "help") })
+	mustPanic("help mismatch", func() { r.Counter("a_total", "other help") })
+	r.Histogram("h_seconds", "help", []float64{1, 2})
+	mustPanic("bucket mismatch", func() { r.Histogram("h_seconds", "help", []float64{1, 3}) })
+	mustPanic("empty buckets", func() { r.Histogram("h2_seconds", "help", nil) })
+	mustPanic("unsorted buckets", func() { r.Histogram("h3_seconds", "help", []float64{2, 1}) })
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.001, 0.01, 0.1, 1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // le=0.01 bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05) // le=0.1 bucket
+	}
+	h.Observe(50) // +Inf bucket
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	wantSum := 90*0.005 + 9*0.05 + 50
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("Sum = %v, want %v", got, wantSum)
+	}
+	if got := h.Quantile(0.5); got != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	if got := h.Quantile(0.95); got != 0.1 {
+		t.Fatalf("p95 = %v, want 0.1", got)
+	}
+	// Rank lands in the +Inf bucket: clamp to the largest finite bound.
+	if got := h.Quantile(1.0); got != 1 {
+		t.Fatalf("p100 = %v, want 1", got)
+	}
+}
+
+func TestGeometricAndLatencyBuckets(t *testing.T) {
+	bs := obs.GeometricBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(bs) != len(want) {
+		t.Fatalf("len = %d, want %d", len(bs), len(want))
+	}
+	for i := range bs {
+		if bs[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, bs[i], want[i])
+		}
+	}
+	lb := obs.LatencyBuckets()
+	if lb[0] != 250e-9 {
+		t.Fatalf("first latency bucket = %v, want 250ns", lb[0])
+	}
+	for i := 1; i < len(lb); i++ {
+		if lb[i] <= lb[i-1] {
+			t.Fatalf("latency buckets not ascending at %d", i)
+		}
+	}
+	if last := lb[len(lb)-1]; last < 5 || last >= 10 {
+		t.Fatalf("last latency bucket = %vs, want within [5s, 10s)", last)
+	}
+}
+
+// TestExpositionGolden pins the exact exposition output: family order,
+// HELP/TYPE lines, label rendering and escaping, cumulative histogram
+// series, and value formatting.
+func TestExpositionGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("zz_total", "last family").Add(7)
+	r.Gauge("app_temp", "escaped \\ help\nwith newline").Set(1.5)
+	r.Counter("labeled_total", "labeled", obs.Label{Key: "b", Value: "2"}, obs.Label{Key: "a", Value: `q"v\n`}).Add(3)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.25, 0.5})
+	h.Observe(0.1)
+	h.Observe(0.3)
+	h.Observe(9)
+	r.GaugeFunc("fn_gauge", "computed", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_temp escaped \\ help\nwith newline
+# TYPE app_temp gauge
+app_temp 1.5
+# HELP fn_gauge computed
+# TYPE fn_gauge gauge
+fn_gauge 42
+# HELP labeled_total labeled
+# TYPE labeled_total counter
+labeled_total{a="q\"v\\n",b="2"} 3
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.25"} 1
+lat_seconds_bucket{le="0.5"} 2
+lat_seconds_bucket{le="+Inf"} 3
+lat_seconds_sum 9.4
+lat_seconds_count 3
+# HELP zz_total last family
+# TYPE zz_total counter
+zz_total 7
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	// And the golden output passes the conformance parser.
+	if _, err := obs.ParseExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("golden output fails conformance: %v", err)
+	}
+}
+
+// TestRegistryConcurrency hammers counters, gauges, and histograms from
+// many goroutines — alongside concurrent registration and scrapes — and
+// asserts the exact final totals. Run under -race in CI.
+func TestRegistryConcurrency(t *testing.T) {
+	r := obs.NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Same series from every goroutine: registration must be
+			// idempotent and the handles lock-free.
+			c := r.Counter("hammer_total", "hammered counter")
+			h := r.Histogram("hammer_seconds", "hammered histogram", obs.LatencyBuckets())
+			gauge := r.Gauge("hammer_gauge", "hammered gauge")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) * 1e-6)
+				gauge.Add(1)
+				if i%500 == 0 {
+					// Concurrent scrape while writes are in flight.
+					var b strings.Builder
+					if err := r.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+					if _, err := obs.ParseExposition(strings.NewReader(b.String())); err != nil {
+						t.Errorf("mid-flight scrape fails conformance: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := r.Counter("hammer_total", "hammered counter").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("hammer_seconds", "hammered histogram", obs.LatencyBuckets()).Count(); got != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("hammer_gauge", "hammered gauge").Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %v, want %d", got, goroutines*perG)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_seconds", "bench", obs.LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer records spans of recent operations into a fixed-capacity ring
+// buffer of completed root traces — enough to answer "what did the
+// last N replans spend their time on" over /debug/traces without any
+// external collector.
+//
+// A disabled tracer is free: Start returns nil, and every *Span method
+// is a nil-receiver no-op, so instrumented code needs no enabled-checks
+// and a disabled path performs zero allocations.
+type Tracer struct {
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	ring []*Span // completed root spans, oldest first once full
+	next int
+	full bool
+}
+
+// NewTracer returns an enabled tracer retaining the last capacity
+// completed root traces (capacity ≤ 0 means 64).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	t := &Tracer{ring: make([]*Span, capacity)}
+	t.enabled.Store(true)
+	return t
+}
+
+// SetEnabled switches tracing on or off. Spans already started complete
+// normally; new Start calls return nil while disabled.
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether Start currently produces spans. A nil tracer
+// is permanently disabled.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Start begins a root span. It returns nil — a no-op span — when the
+// tracer is nil or disabled.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	return &Span{tracer: t, name: name, start: time.Now()}
+}
+
+// publish stores a completed root span in the ring.
+func (t *Tracer) publish(s *Span) {
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.full = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// Span is one timed operation, optionally with attributes and child
+// spans. A span is owned by one goroutine at a time (ownership may be
+// handed off, e.g. loop → replan goroutine); it is not safe for
+// concurrent mutation. All methods are nil-receiver no-ops.
+type Span struct {
+	tracer   *Tracer // root spans only
+	name     string
+	start    time.Time
+	duration time.Duration
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	val any
+}
+
+// Child starts a sub-span beginning now. End it before (or at) the
+// parent's End.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// ChildSpan attaches an already-completed sub-span with an explicit
+// start and duration — for phases reconstructed after the fact from
+// accumulated timings (e.g. a solver's internal phase counters).
+func (s *Span) ChildSpan(name string, start time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.children = append(s.children, &Span{name: name, start: start, duration: d})
+}
+
+// SetInt attaches an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s != nil {
+		s.attrs = append(s.attrs, attr{key, v})
+	}
+}
+
+// SetFloat attaches a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s != nil {
+		s.attrs = append(s.attrs, attr{key, v})
+	}
+}
+
+// SetStr attaches a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s != nil {
+		s.attrs = append(s.attrs, attr{key, v})
+	}
+}
+
+// End completes the span. Ending a root span publishes the whole trace
+// to the tracer's ring; the span must not be mutated afterwards.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.duration == 0 {
+		s.duration = time.Since(s.start)
+	}
+	if s.tracer != nil {
+		s.tracer.publish(s)
+	}
+}
+
+// SpanData is the exported (JSON-ready) form of a completed span.
+type SpanData struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationNS int64          `json:"duration_ns"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanData     `json:"children,omitempty"`
+}
+
+func (s *Span) data() SpanData {
+	d := SpanData{Name: s.name, Start: s.start, DurationNS: s.duration.Nanoseconds()}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			d.Attrs[a.key] = a.val
+		}
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, c.data())
+	}
+	return d
+}
+
+// Traces returns the retained completed traces, oldest first. Safe to
+// call concurrently with tracing; a nil tracer returns nil.
+func (t *Tracer) Traces() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	var roots []*Span
+	if t.full {
+		roots = append(roots, t.ring[t.next:]...)
+	}
+	roots = append(roots, t.ring[:t.next]...)
+	t.mu.Unlock()
+	out := make([]SpanData, 0, len(roots))
+	for _, r := range roots {
+		if r != nil {
+			out = append(out, r.data())
+		}
+	}
+	return out
+}
+
+// traceDump is the JSON envelope served at /debug/traces.
+type traceDump struct {
+	Enabled bool       `json:"enabled"`
+	Traces  []SpanData `json:"traces"`
+}
+
+// WriteJSON renders the retained traces as a JSON document
+// {"enabled": ..., "traces": [...]}, oldest trace first.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceDump{Enabled: t.Enabled(), Traces: t.Traces()})
+}

@@ -1,0 +1,179 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestTracerSpansAndRing(t *testing.T) {
+	tr := obs.NewTracer(4)
+	for i := 0; i < 6; i++ {
+		sp := tr.Start("replan")
+		sp.SetInt("revision", int64(i))
+		c := sp.Child("solve")
+		c.SetStr("algorithm", "g-greedy")
+		c.ChildSpan("selection", time.Now(), 5*time.Millisecond)
+		c.End()
+		sp.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("ring kept %d traces, want 4 (capacity)", len(traces))
+	}
+	// Oldest-first: revisions 2..5 survive.
+	for i, d := range traces {
+		if d.Name != "replan" {
+			t.Fatalf("trace %d name = %q", i, d.Name)
+		}
+		if got := d.Attrs["revision"]; got != int64(i+2) {
+			t.Fatalf("trace %d revision = %v, want %d", i, got, i+2)
+		}
+		if len(d.Children) != 1 || d.Children[0].Name != "solve" {
+			t.Fatalf("trace %d children = %+v", i, d.Children)
+		}
+		solve := d.Children[0]
+		if solve.Attrs["algorithm"] != "g-greedy" {
+			t.Fatalf("solve attrs = %v", solve.Attrs)
+		}
+		if len(solve.Children) != 1 || solve.Children[0].Name != "selection" {
+			t.Fatalf("solve children = %+v", solve.Children)
+		}
+		if solve.Children[0].DurationNS != int64(5*time.Millisecond) {
+			t.Fatalf("selection duration = %d", solve.Children[0].DurationNS)
+		}
+		if d.DurationNS < 0 {
+			t.Fatalf("trace %d has negative duration", i)
+		}
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := obs.NewTracer(2)
+	sp := tr.Start("plan")
+	sp.SetFloat("revenue", 12.5)
+	sp.End()
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Enabled bool `json:"enabled"`
+		Traces  []struct {
+			Name       string         `json:"name"`
+			DurationNS int64          `json:"duration_ns"`
+			Attrs      map[string]any `json:"attrs"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &dump); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if !dump.Enabled || len(dump.Traces) != 1 || dump.Traces[0].Name != "plan" {
+		t.Fatalf("dump = %+v", dump)
+	}
+	if dump.Traces[0].Attrs["revenue"] != 12.5 {
+		t.Fatalf("attrs = %v", dump.Traces[0].Attrs)
+	}
+}
+
+func TestTracerDisabledAndNil(t *testing.T) {
+	tr := obs.NewTracer(4)
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Fatal("tracer still enabled")
+	}
+	if sp := tr.Start("x"); sp != nil {
+		t.Fatal("disabled Start returned a span")
+	}
+	var nilTr *obs.Tracer
+	if nilTr.Enabled() {
+		t.Fatal("nil tracer claims enabled")
+	}
+	if sp := nilTr.Start("x"); sp != nil {
+		t.Fatal("nil Start returned a span")
+	}
+	if got := nilTr.Traces(); got != nil {
+		t.Fatalf("nil Traces = %v", got)
+	}
+
+	// Every Span method must be a nil-receiver no-op.
+	var sp *obs.Span
+	sp.SetInt("k", 1)
+	sp.SetFloat("k", 1)
+	sp.SetStr("k", "v")
+	sp.ChildSpan("c", time.Now(), time.Second)
+	c := sp.Child("c")
+	if c != nil {
+		t.Fatal("nil span Child returned non-nil")
+	}
+	c.End()
+	sp.End()
+}
+
+// TestDisabledTracerZeroAlloc is the acceptance gate: a disabled (or
+// nil) tracer must add zero allocations to an instrumented path.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	tr := obs.NewTracer(4)
+	tr.SetEnabled(false)
+	instrumented := func(tr *obs.Tracer) {
+		sp := tr.Start("replan")
+		sp.SetInt("revision", 1)
+		c := sp.Child("solve")
+		c.SetStr("algorithm", "g-greedy")
+		c.ChildSpan("selection", time.Time{}, time.Millisecond)
+		c.End()
+		sp.End()
+	}
+	if n := testing.AllocsPerRun(1000, func() { instrumented(tr) }); n != 0 {
+		t.Fatalf("disabled tracer allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { instrumented(nil) }); n != 0 {
+		t.Fatalf("nil tracer allocates %v per op, want 0", n)
+	}
+}
+
+// TestTracerConcurrency drives many concurrent root spans (each span
+// owned by its goroutine) against concurrent Traces/WriteJSON readers.
+// Run under -race in CI.
+func TestTracerConcurrency(t *testing.T) {
+	tr := obs.NewTracer(32)
+	const goroutines = 8
+	const perG = 500
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := tr.Start("op")
+				sp.SetInt("g", int64(g))
+				c := sp.Child("phase")
+				c.End()
+				sp.End()
+				if i%100 == 0 {
+					_ = tr.Traces()
+				}
+				if i%250 == 0 {
+					tr.SetEnabled(i%500 == 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.SetEnabled(true)
+	sp := tr.Start("final")
+	sp.End()
+	traces := tr.Traces()
+	if len(traces) == 0 || len(traces) > 32 {
+		t.Fatalf("ring holds %d traces, want 1..32", len(traces))
+	}
+	if traces[len(traces)-1].Name != "final" {
+		t.Fatalf("newest trace = %q, want final", traces[len(traces)-1].Name)
+	}
+}

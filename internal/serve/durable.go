@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -36,8 +37,8 @@ type Durability struct {
 	SnapshotInterval time.Duration
 }
 
-func (d *Durability) storeOptions() store.Options {
-	return store.Options{SyncPolicy: d.Sync, SyncInterval: d.SyncInterval, SegmentBytes: d.SegmentBytes}
+func (d *Durability) storeOptions(reg *obs.Registry) store.Options {
+	return store.Options{SyncPolicy: d.Sync, SyncInterval: d.SyncInterval, SegmentBytes: d.SegmentBytes, Metrics: reg}
 }
 
 // Open is the durable-engine constructor and recovery entry point.
@@ -61,7 +62,15 @@ func Open(in *model.Instance, cfg Config) (*Engine, error) {
 		}
 		return NewEngine(in, cfg)
 	}
-	st, err := store.Open(d.Dir, d.storeOptions())
+	// Build the observability pair before the store so WAL metrics land
+	// on the same registry the engine serves over /metrics.
+	if cfg.obsReg == nil {
+		cfg.obsReg = obs.NewRegistry()
+	}
+	if cfg.obsTracer == nil {
+		cfg.obsTracer = obs.NewTracer(64)
+	}
+	st, err := store.Open(d.Dir, d.storeOptions(cfg.obsReg))
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -135,8 +144,9 @@ func recoverFrom(st *store.Store, lsn store.LSN, cfg Config) (*Engine, error) {
 	if stats.Records > 0 {
 		// The tail moved state past the snapshotted plan; replan once at
 		// boot so the served plan reflects what was recovered. The replan
-		// is synchronous — the engine never serves a stale plan.
-		e.replanWith(e.collectFeedback())
+		// is synchronous — the engine never serves a stale plan — and
+		// traced, so /debug/traces shows the recovery replan right away.
+		e.replanWith(e.collectFeedback(), e.met.tracer.Start("replan"))
 	}
 	e.start()
 	return e, nil

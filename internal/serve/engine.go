@@ -25,6 +25,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/revenue"
 	"repro/internal/solver"
@@ -81,6 +83,13 @@ type Config struct {
 	// the directory; NewEngine rejects a durable config. nil keeps the
 	// engine purely in-memory with byte-identical behavior.
 	Durability *Durability
+
+	// obsReg/obsTracer carry a pre-built observability registry and
+	// tracer into engine construction — Open creates them before the
+	// store so WAL metrics land on the same registry the engine exposes.
+	// nil (the normal case for NewEngine) allocates fresh ones.
+	obsReg    *obs.Registry
+	obsTracer *obs.Tracer
 }
 
 func (c *Config) withDefaults() Config {
@@ -94,31 +103,25 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-// planFunc resolves the configured planning algorithm: the deprecated
-// Planner override verbatim, otherwise the named registry algorithm
-// (resolved once here, so an unknown name fails engine construction
-// with solver.Lookup's actionable error instead of failing a replan).
-// With WarmStart set it additionally resolves the warm-seeded variant
-// used by replans.
-func (c Config) planFunc() (planner.Algorithm, planner.WarmAlgorithm, error) {
+// planSetup resolves the configured planning algorithm: the deprecated
+// Planner override verbatim, otherwise the named registry algorithm's
+// options, validated once here — an unknown name or a missing required
+// option fails engine construction with solver's actionable error
+// instead of failing a replan. Registry configs return (nil, opts);
+// the engine dispatches solver.Solve itself so every solve can carry a
+// trace span and report its phase counters to the meter.
+func (c Config) planSetup() (planner.Algorithm, solver.Options, error) {
 	if c.Planner != nil {
-		return c.Planner, nil, nil
+		return c.Planner, solver.Options{}, nil
 	}
 	opts := c.Solver
 	if c.Algorithm != "" {
 		opts.Algorithm = c.Algorithm
 	}
-	algo, err := planner.Named(opts)
-	if err != nil {
-		return nil, nil, fmt.Errorf("serve: %w", err)
+	if err := solver.ValidateOptions(opts); err != nil {
+		return nil, solver.Options{}, fmt.Errorf("serve: %w", err)
 	}
-	var warm planner.WarmAlgorithm
-	if c.WarmStart {
-		if warm, err = planner.NamedWarm(opts); err != nil {
-			return nil, nil, fmt.Errorf("serve: %w", err)
-		}
-	}
-	return algo, warm, nil
+	return nil, opts, nil
 }
 
 // Event is one piece of adoption feedback: user U was shown item I at
@@ -174,15 +177,18 @@ type priceOp struct {
 // Engine is the online serving engine. All exported methods are safe for
 // concurrent use.
 type Engine struct {
-	in   *model.Instance
-	cfg  Config
-	algo planner.Algorithm // resolved once from cfg by planFunc
-	// warmAlgo, when non-nil (Config.WarmStart), replaces algo for
-	// replans and is seeded with warmPrev — the live plan's triples.
-	// warmPrev is written by installPlan and read by replanWith; both
-	// run either on single-threaded boot paths or on the (serialized)
-	// replan goroutine, never concurrently.
-	warmAlgo planner.WarmAlgorithm
+	in  *model.Instance
+	cfg Config
+	// custom is the deprecated Config.Planner override; nil for registry
+	// configs, which solve through opts (resolved once by planSetup).
+	custom planner.Algorithm
+	opts   solver.Options
+	// warm (Config.WarmStart on a registry config) seeds each replan's
+	// solve with warmPrev — the live plan's triples. warmPrev is written
+	// by installPlan and read by solve; both run either on
+	// single-threaded boot paths or on the (serialized) replan
+	// goroutine, never concurrently.
+	warm     bool
 	warmPrev []model.Triple
 
 	shards []shard
@@ -245,7 +251,7 @@ func NewEngine(in *model.Instance, cfg Config) (*Engine, error) {
 // first. Both NewEngine and Open build on it; boot invariants live in
 // exactly one place.
 func newUnstartedEngine(in *model.Instance, cfg Config) (*Engine, error) {
-	algo, warm, err := cfg.planFunc()
+	custom, opts, err := cfg.planSetup()
 	if err != nil {
 		return nil, err
 	}
@@ -253,11 +259,41 @@ func newUnstartedEngine(in *model.Instance, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	e := newEngineShell(in, cfg)
-	e.algo = algo
-	e.warmAlgo = warm
-	s := algo(in)
-	e.installPlan(s, 1, revenue.Revenue(in, s))
+	e.custom = custom
+	e.opts = opts
+	e.warm = cfg.WarmStart && custom == nil
+	span := e.met.tracer.Start("plan")
+	s, rev := e.solve(in, span)
+	span.SetFloat("revenue", rev)
+	span.End()
+	e.installPlan(s, 1, rev)
 	return e, nil
+}
+
+// solve runs the configured planning algorithm on residual and returns
+// the strategy with its revenue under residual. It replicates
+// planner.Named's error-swallowing contract — a solve failure degrades
+// to an empty plan rather than killing the replan loop — while feeding
+// the meter's solve telemetry and attaching a "solve" child to span
+// (nil span: no tracing, zero cost).
+func (e *Engine) solve(residual *model.Instance, span *obs.Span) (*model.Strategy, float64) {
+	if e.custom != nil {
+		s := e.custom(residual)
+		return s, revenue.Revenue(residual, s)
+	}
+	o := e.opts
+	if e.warm {
+		o.Warm = e.warmPrev
+	}
+	o.Span = span
+	start := time.Now()
+	res, err := solver.Solve(context.Background(), residual, o)
+	e.met.observeSolve(res, err, time.Since(start))
+	s := res.Strategy
+	if err != nil || s == nil {
+		s = model.NewStrategy()
+	}
+	return s, revenue.Revenue(residual, s)
 }
 
 // newEngineShell allocates an engine with store state but no plan and no
@@ -272,7 +308,7 @@ func newEngineShell(in *model.Instance, cfg Config) *Engine {
 		mask:     uint32(n - 1),
 		stock:    make([]atomic.Int64, in.NumItems()),
 		feedback: make(chan feedbackMsg, cfg.QueueDepth),
-		met:      newMeter(),
+		met:      newMeter(cfg.obsReg, cfg.obsTracer),
 	}
 	for i := range e.shards {
 		e.shards[i].users = make(map[model.UserID]*userState)
@@ -281,6 +317,10 @@ func newEngineShell(in *model.Instance, cfg Config) *Engine {
 		e.stock[i].Store(int64(in.Capacity(model.ItemID(i))))
 	}
 	e.now.Store(1)
+	// Scrape-time gauge/counter functions bind to this engine; when a
+	// registry is reused across shells (recovery retries), the last shell
+	// built — the one that actually serves — wins the binding.
+	registerEngineMetrics(e)
 	return e
 }
 
@@ -291,7 +331,7 @@ func newEngineShell(in *model.Instance, cfg Config) *Engine {
 func (e *Engine) installPlan(s *model.Strategy, from model.TimeStep, rev float64) {
 	n := e.revision.Add(1)
 	e.plan.Store(buildPlan(e.in, s, n, from, rev))
-	if e.warmAlgo != nil {
+	if e.warm {
 		e.warmPrev = s.Triples()
 	}
 }
@@ -335,11 +375,21 @@ func (e *Engine) SetNow(t model.TimeStep) error {
 // realized exposures. The slice is freshly allocated; order is by item
 // ID. The lookup is O(log |plan_u| + k).
 func (e *Engine) Recommend(u model.UserID, t model.TimeStep) ([]Recommendation, error) {
-	start := time.Now()
+	// Latency is sampled 1-in-(mask+1): the sampling decision rides the
+	// existing counter load, so the untimed fast path adds no clock reads
+	// — what keeps instrumented overhead inside the ≤3% budget.
+	m := e.met
+	timed := m.recommends.Value()&latencySampleMask == 0
+	var start time.Time
+	if timed {
+		start = time.Now()
+	}
 	out, err := e.recommendOne(e.plan.Load(), u, t)
 	if err == nil {
-		e.met.recommends.Add(1)
-		e.met.observe(time.Since(start))
+		m.recommends.Inc()
+		if timed {
+			m.lat.Observe(time.Since(start).Seconds())
+		}
 	}
 	return out, err
 }
@@ -426,7 +476,7 @@ func (e *Engine) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]Rec
 		sh.mu.RUnlock()
 	}
 	e.met.batchUsers.Add(int64(len(users)))
-	e.met.observeBatch(time.Since(start))
+	e.met.blat.Observe(time.Since(start).Seconds())
 	return out, nil
 }
 
@@ -446,7 +496,7 @@ func (e *Engine) Feed(ev Event) error {
 		return errors.New("serve: engine closed")
 	}
 	e.feedback <- feedbackMsg{ev: ev}
-	e.met.feeds.Add(1)
+	e.met.feeds.Inc()
 	return nil
 }
 
@@ -687,26 +737,42 @@ func (e *Engine) loop() {
 		// records, which must mirror application order — preserves both
 		// in-memory state and replay determinism.
 		pendingPrice []priceOp
+		// waitStart stamps the first uncovered replan trigger, feeding the
+		// replan trace's queue-wait child span (tracing only).
+		waitStart time.Time
 	)
+	trigger := func() {
+		if waitStart.IsZero() && e.met.tracer.Enabled() {
+			waitStart = time.Now()
+		}
+	}
 	applyPrices := func() {
 		for _, op := range pendingPrice {
 			e.walAppend(store.Record{Type: store.RecScalePrice, Item: int32(op.item), T: int32(op.from), Factor: op.factor})
 			e.scalePrices(op.item, op.from, op.factor)
 			force = true
+			trigger()
 		}
 		pendingPrice = nil
 	}
 	start := func() {
 		dirty, force = 0, false
+		span := e.met.tracer.Start("replan")
+		if !waitStart.IsZero() {
+			span.ChildSpan("queue-wait", waitStart, time.Since(waitStart))
+			waitStart = time.Time{}
+		}
 		// Collect the feedback view here, on the loop goroutine, so no
 		// apply can interleave between the stock reads and the shard walk
 		// — the replan really does work on a frozen, consistent view.
 		// The copy is cheap next to planning, which runs off-loop.
+		csp := span.Child("snapshot")
 		fb := e.collectFeedback()
+		csp.End()
 		done := make(chan struct{})
 		inFlight = done
 		go func() {
-			e.replanWith(fb)
+			e.replanWith(fb, span)
 			close(done)
 		}()
 	}
@@ -742,7 +808,7 @@ func (e *Engine) loop() {
 				}
 				applyPrices()
 				if dirty > 0 || force {
-					e.replanWith(e.collectFeedback())
+					e.replanWith(e.collectFeedback(), e.met.tracer.Start("replan"))
 				}
 				e.walSync()
 				for _, w := range waiters {
@@ -769,10 +835,12 @@ func (e *Engine) loop() {
 			case msg.advance > 0:
 				e.walAppend(store.Record{Type: store.RecAdvance, T: int32(msg.advance)})
 				force = true
+				trigger()
 			case msg.stock != nil:
 				e.walAppend(store.Record{Type: store.RecSetStock, Item: int32(msg.stock.item), Stock: msg.stock.n})
 				e.stock[msg.stock.item].Store(msg.stock.n)
 				force = true
+				trigger()
 			case msg.price != nil:
 				pendingPrice = append(pendingPrice, *msg.price)
 				if inFlight == nil {
@@ -783,6 +851,7 @@ func (e *Engine) loop() {
 					Item: int32(msg.ev.Item), T: int32(msg.ev.T), Adopted: msg.ev.Adopted})
 				if e.apply(msg.ev) {
 					dirty++
+					trigger()
 				}
 			}
 			progress()
@@ -882,21 +951,29 @@ func (e *Engine) collectFeedback() planner.Feedback {
 // solve with the previous plan's triples: seeds invalidated by the
 // feedback (adopted classes, depleted stock, price moves) drop out
 // inside the solver, the rest carry over without being re-derived.
-func (e *Engine) replanWith(fb planner.Feedback) {
+//
+// span, when non-nil, is the replan's root trace span: replanWith adds
+// residual/swap phase children (the solve attaches its own) and ends
+// it. The caller must not touch span afterwards.
+func (e *Engine) replanWith(fb planner.Feedback, span *obs.Span) {
+	start := time.Now()
+	rsp := span.Child("residual")
 	residual := planner.Residual(e.in, fb)
-	var s *model.Strategy
-	if e.warmAlgo != nil {
-		s = e.warmAlgo(residual, e.warmPrev)
-	} else {
-		s = e.algo(residual)
-	}
-	rev := revenue.Revenue(residual, s)
+	rsp.End()
+	s, rev := e.solve(residual, span)
+	ssp := span.Child("swap")
 	e.installPlan(s, fb.Now, rev)
 	// Plan-swap marker: recovery replans from recovered state rather
 	// than trusting logged plans, but the marker lets offline tooling
 	// correlate log positions with plan generations.
 	e.walAppend(store.Record{Type: store.RecPlanSwap, Revision: e.revision.Load()})
+	ssp.End()
 	e.replans.Add(1)
+	e.met.replanSec.Observe(time.Since(start).Seconds())
+	span.SetInt("revision", e.revision.Load())
+	span.SetInt("triples", int64(s.Len()))
+	span.SetFloat("revenue", rev)
+	span.End()
 }
 
 // Strategy returns the live plan's strategy (do not mutate).
@@ -954,12 +1031,21 @@ func (e *Engine) Stats() Stats {
 		Replans:        e.replans.Load(),
 		Adoptions:      e.adoptions.Load(),
 		Exposures:      e.exposures.Load(),
-		Recommends:     e.met.recommends.Load(),
-		BatchUsers:     e.met.batchUsers.Load(),
+		Recommends:     e.met.recommends.Value(),
+		BatchUsers:     e.met.batchUsers.Value(),
 		UptimeSeconds:  time.Since(e.met.start).Seconds(),
-		P50Micros:      e.met.percentile(0.50).Microseconds(),
-		P99Micros:      e.met.percentile(0.99).Microseconds(),
-		BatchP50Micros: e.met.batchPercentile(0.50).Microseconds(),
-		BatchP99Micros: e.met.batchPercentile(0.99).Microseconds(),
+		P50Micros:      int64(e.met.lat.Quantile(0.50) * 1e6),
+		P99Micros:      int64(e.met.lat.Quantile(0.99) * 1e6),
+		BatchP50Micros: int64(e.met.blat.Quantile(0.50) * 1e6),
+		BatchP99Micros: int64(e.met.blat.Quantile(0.99) * 1e6),
 	}
 }
+
+// Metrics returns the engine's metric registry — the exposition source
+// behind /metrics, shared with the durable store when one is attached.
+// External collectors may register additional families on it.
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
+
+// Tracer returns the engine's span tracer (the ring behind
+// /debug/traces). Use SetEnabled to toggle tracing at runtime.
+func (e *Engine) Tracer() *obs.Tracer { return e.met.tracer }

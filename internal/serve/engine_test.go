@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -507,13 +508,21 @@ func TestStatsAndMetricsRender(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"revmaxd_recommend_total 30",
+		"# TYPE revmaxd_recommend_total counter",
 		"revmaxd_plan_revision",
-		"revmaxd_latency_seconds{quantile=\"0.99\"}",
+		"# TYPE revmaxd_latency_seconds histogram",
+		"revmaxd_latency_seconds_bucket{le=\"+Inf\"}",
+		"revmaxd_latency_seconds_count",
+		"revmaxd_solve_seconds_bucket",
 		"revmaxd_qps_avg",
 	} {
 		if !bytes.Contains([]byte(out), []byte(want)) {
 			t.Fatalf("metrics output missing %q:\n%s", want, out)
 		}
+	}
+	// The scrape must be exposition-format conformant end to end.
+	if _, err := obs.ParseExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("scrape fails conformance: %v\n%s", err, out)
 	}
 }
 

@@ -17,7 +17,8 @@ import (
 //	POST /v1/adopt                 {"user":U,"item":I,"t":T,"adopted":B}
 //	POST /v1/advance               {"now":T} — move the serving clock
 //	GET  /v1/stats                 engine summary (JSON)
-//	GET  /metrics                  plaintext telemetry
+//	GET  /metrics                  Prometheus text exposition
+//	GET  /debug/traces             recent replan traces (JSON)
 //
 // Handler is stateless glue; all synchronization lives in the Engine,
 // so the handler is safe under any number of server goroutines.
@@ -92,6 +93,10 @@ func Handler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		e.writeMetrics(w)
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = e.Tracer().WriteJSON(w)
 	})
 	return mux
 }

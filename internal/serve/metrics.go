@@ -1,155 +1,246 @@
 package serve
 
 import (
-	"fmt"
 	"io"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/solver"
 )
 
-// latencyBuckets are the upper bounds (in nanoseconds) of the meter's
-// geometric latency histogram: 250ns · 1.5^i, spanning ~250ns to ~10s in
-// 43 buckets. Percentiles are read as the upper bound of the bucket the
-// rank falls into, which bounds the error at the bucket's 1.5× width —
-// plenty for p50/p99 served over /metrics.
-var latencyBuckets = func() []int64 {
-	var bs []int64
-	for b := float64(250); b < 1e10; b *= 1.5 {
-		bs = append(bs, int64(b))
-	}
-	return bs
-}()
+// latencySampleMask samples single-lookup latency 1-in-(mask+1): the
+// sampling decision rides the recommend counter that the path loads
+// anyway, so 7 out of 8 lookups skip both time.Now calls and the
+// histogram observe entirely. mask must be 2^n - 1.
+const latencySampleMask = 7
 
-// meter aggregates serving telemetry with lock-free counters on the hot
-// path; only /metrics scrapes take its mutex (to compute deltas between
-// scrapes for windowed QPS).
-type meter struct {
-	start time.Time
+// qpsWindow is the sliding window revmaxd_qps_window is computed over,
+// and qpsMinGap the minimum spacing between retained samples — the
+// window is a property of the meter, not of scrape cadence, so any
+// number of concurrent scrapers observe the same well-defined rate.
+const (
+	qpsWindow = 10 * time.Second
+	qpsMinGap = 500 * time.Millisecond
+)
 
-	recommends atomic.Int64 // single-user lookups served
-	batchUsers atomic.Int64 // users served through batch lookups
-	feeds      atomic.Int64 // feedback events accepted
-
-	hist  [64]atomic.Int64 // single-lookup latency histogram (latencyBuckets)
-	bhist [64]atomic.Int64 // whole-batch-call latency histogram, kept separate
-	// so batch calls don't skew the per-lookup percentiles
-
-	mu          sync.Mutex // guards the scrape-delta state below
-	lastScrape  time.Time
-	lastServed  int64
-	lastScraped bool
+// qpsSample is one (time, cumulative lookups served) point on the QPS
+// sample ring.
+type qpsSample struct {
+	at     time.Time
+	served int64
 }
 
-func newMeter() *meter { return &meter{start: time.Now()} }
+// meter aggregates serving telemetry on an obs.Registry: lock-free
+// counters and histograms on the hot path, gauge functions evaluated at
+// scrape time, and a span tracer feeding /debug/traces.
+type meter struct {
+	start  time.Time
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
-// observe records one served single lookup's latency.
-func (m *meter) observe(d time.Duration) { record(&m.hist, d) }
+	recommends *obs.Counter // single-user lookups served
+	batchUsers *obs.Counter // users served through batch lookups
+	feeds      *obs.Counter // feedback events accepted
 
-// observeBatch records one whole batch call's latency.
-func (m *meter) observeBatch(d time.Duration) { record(&m.bhist, d) }
+	lat  *obs.Histogram // sampled single-lookup latency
+	blat *obs.Histogram // whole-batch-call latency, kept separate
+	// so batch calls don't skew the per-lookup percentiles
 
-func record(hist *[64]atomic.Int64, d time.Duration) {
-	n := d.Nanoseconds()
-	for i, b := range latencyBuckets {
-		if n <= b {
-			hist[i].Add(1)
-			return
-		}
+	replanSec *obs.Histogram // whole replan: residual + solve + swap
+	solveSec  *obs.Histogram // solver time alone (initial plan + replans)
+
+	solveSelections     *obs.Counter
+	solveRecomputations *obs.Counter
+	solveHeapPops       *obs.Counter
+	solveScanned        *obs.Counter
+	warmKept            *obs.Counter
+	warmDropped         *obs.Counter
+	solveFailures       *obs.Counter
+
+	// qmu guards the QPS sample ring; only scrapes touch it.
+	qmu        sync.Mutex
+	qpsSamples []qpsSample
+}
+
+// newMeter builds a meter on reg/tracer, allocating fresh ones when nil
+// (the in-memory NewEngine path; Open passes the pair it created before
+// the store so WAL metrics share the registry).
+func newMeter(reg *obs.Registry, tracer *obs.Tracer) *meter {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
-	hist[len(latencyBuckets)-1].Add(1)
+	if tracer == nil {
+		tracer = obs.NewTracer(64)
+	}
+	lb := obs.LatencyBuckets()
+	return &meter{
+		start:  time.Now(),
+		reg:    reg,
+		tracer: tracer,
+		recommends: reg.Counter("revmaxd_recommend_total",
+			"Single-user recommendation lookups served."),
+		batchUsers: reg.Counter("revmaxd_recommend_batch_users_total",
+			"Users served through batch lookups."),
+		feeds: reg.Counter("revmaxd_feedback_total",
+			"Feedback events accepted."),
+		lat: reg.Histogram("revmaxd_latency_seconds",
+			"Single-lookup latency (sampled 1-in-8).", lb),
+		blat: reg.Histogram("revmaxd_batch_latency_seconds",
+			"Whole-batch-call latency.", lb),
+		replanSec: reg.Histogram("revmaxd_replan_seconds",
+			"End-to-end replan time: residual build, solve, plan swap.", lb),
+		solveSec: reg.Histogram("revmaxd_solve_seconds",
+			"Solver time per solve (initial plan and replans).", lb),
+		solveSelections: reg.Counter("revmaxd_solve_selections_total",
+			"Triples selected across all solves."),
+		solveRecomputations: reg.Counter("revmaxd_solve_recomputations_total",
+			"Lazy marginal-gain re-evaluations across all solves."),
+		solveHeapPops: reg.Counter("revmaxd_solve_heap_pops_total",
+			"Candidate-heap pops across all solves."),
+		solveScanned: reg.Counter("revmaxd_solve_candidates_scanned_total",
+			"Candidates scanned when building solve heaps."),
+		warmKept: reg.Counter("revmaxd_warm_seeds_kept_total",
+			"Warm-start seed triples still feasible and kept."),
+		warmDropped: reg.Counter("revmaxd_warm_seeds_dropped_total",
+			"Warm-start seed triples invalidated and dropped."),
+		solveFailures: reg.Counter("revmaxd_solve_failures_total",
+			"Solves that errored or returned no strategy (plan degraded to empty)."),
+	}
+}
+
+// observeSolve feeds one solver.Solve outcome into the meter.
+func (m *meter) observeSolve(res solver.Result, err error, d time.Duration) {
+	m.solveSec.Observe(d.Seconds())
+	m.solveSelections.Add(int64(res.Selections))
+	m.solveRecomputations.Add(int64(res.Recomputations))
+	st := res.Stats
+	m.solveHeapPops.Add(int64(st.HeapPops))
+	m.solveScanned.Add(int64(st.Considered))
+	m.warmKept.Add(int64(st.WarmKept))
+	m.warmDropped.Add(int64(st.WarmDropped))
+	if err != nil || res.Strategy == nil {
+		m.solveFailures.Inc()
+	}
 }
 
 // served is the total number of user lookups (single + batch).
-func (m *meter) served() int64 { return m.recommends.Load() + m.batchUsers.Load() }
+func (m *meter) served() int64 { return m.recommends.Value() + m.batchUsers.Value() }
 
-// percentile returns the single-lookup latency at quantile p ∈ (0, 1].
-func (m *meter) percentile(p float64) time.Duration { return quantile(&m.hist, p) }
-
-// batchPercentile returns the batch-call latency at quantile p.
-func (m *meter) batchPercentile(p float64) time.Duration { return quantile(&m.bhist, p) }
-
-// quantile reads a histogram's value at quantile p (upper bucket bound).
-func quantile(hist *[64]atomic.Int64, p float64) time.Duration {
-	var counts [64]int64
-	var total int64
-	for i := range latencyBuckets {
-		counts[i] = hist[i].Load()
-		total += counts[i]
+// windowRate returns lookups per second over the trailing qpsWindow,
+// maintaining the sample ring. Unlike a scrape-delta scheme, the result
+// does not depend on who scraped last: concurrent or irregular scrapers
+// all see the rate over the same window. 0 until two samples span a
+// positive interval.
+func (m *meter) windowRate(now time.Time, served int64) float64 {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	// Drop old samples, but keep the newest one at or beyond the window
+	// edge as the baseline so the rate always covers ~qpsWindow.
+	for len(m.qpsSamples) >= 2 && now.Sub(m.qpsSamples[1].at) >= qpsWindow {
+		m.qpsSamples = m.qpsSamples[1:]
 	}
-	if total == 0 {
+	if n := len(m.qpsSamples); n == 0 || now.Sub(m.qpsSamples[n-1].at) >= qpsMinGap {
+		m.qpsSamples = append(m.qpsSamples, qpsSample{at: now, served: served})
+	}
+	base := m.qpsSamples[0]
+	dt := now.Sub(base.at).Seconds()
+	if dt <= 0 {
 		return 0
 	}
-	rank := int64(p * float64(total))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range counts[:len(latencyBuckets)] {
-		seen += c
-		if seen >= rank {
-			return time.Duration(latencyBuckets[i])
-		}
-	}
-	return time.Duration(latencyBuckets[len(latencyBuckets)-1])
+	return float64(served-base.served) / dt
 }
 
-// qps returns (average QPS since start, QPS since the previous scrape).
-// The windowed figure is 0 on the first scrape.
-func (m *meter) qps() (avg, window float64) {
-	// now/served are captured inside the mutex so concurrent scrapes
-	// can't interleave and produce a negative window or a stale baseline.
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	now := time.Now()
-	served := m.served()
-	up := now.Sub(m.start).Seconds()
-	if up > 0 {
-		avg = float64(served) / up
-	}
-	if m.lastScraped {
-		if dt := now.Sub(m.lastScrape).Seconds(); dt > 0 {
-			window = float64(served-m.lastServed) / dt
-		}
-	}
-	m.lastScrape, m.lastServed, m.lastScraped = now, served, true
-	return avg, window
-}
-
-// writeMetrics renders the engine's telemetry in Prometheus-style
-// plaintext exposition format.
-func (e *Engine) writeMetrics(w io.Writer) {
+// registerEngineMetrics installs the engine-state gauge and counter
+// functions on the meter's registry. The functions run at scrape time
+// while the registry renders (its mutex held), so they must read engine
+// atomics and meter state only — never call back into the registry.
+func registerEngineMetrics(e *Engine) {
 	m := e.met
-	avg, window := m.qps()
-	p := e.plan.Load()
-	fmt.Fprintf(w, "# HELP revmaxd_uptime_seconds Seconds since the engine started.\n")
-	fmt.Fprintf(w, "revmaxd_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
-	fmt.Fprintf(w, "# HELP revmaxd_recommend_total Single-user recommendation lookups served.\n")
-	fmt.Fprintf(w, "revmaxd_recommend_total %d\n", m.recommends.Load())
-	fmt.Fprintf(w, "# HELP revmaxd_recommend_batch_users_total Users served through batch lookups.\n")
-	fmt.Fprintf(w, "revmaxd_recommend_batch_users_total %d\n", m.batchUsers.Load())
-	fmt.Fprintf(w, "# HELP revmaxd_qps_avg Average lookups per second since start.\n")
-	fmt.Fprintf(w, "revmaxd_qps_avg %.3f\n", avg)
-	fmt.Fprintf(w, "# HELP revmaxd_qps_window Lookups per second since the previous scrape.\n")
-	fmt.Fprintf(w, "revmaxd_qps_window %.3f\n", window)
-	fmt.Fprintf(w, "# HELP revmaxd_latency_seconds Single-lookup latency quantiles (histogram upper bounds).\n")
-	fmt.Fprintf(w, "revmaxd_latency_seconds{quantile=\"0.5\"} %.9f\n", m.percentile(0.50).Seconds())
-	fmt.Fprintf(w, "revmaxd_latency_seconds{quantile=\"0.99\"} %.9f\n", m.percentile(0.99).Seconds())
-	fmt.Fprintf(w, "# HELP revmaxd_batch_latency_seconds Whole-batch-call latency quantiles.\n")
-	fmt.Fprintf(w, "revmaxd_batch_latency_seconds{quantile=\"0.5\"} %.9f\n", m.batchPercentile(0.50).Seconds())
-	fmt.Fprintf(w, "revmaxd_batch_latency_seconds{quantile=\"0.99\"} %.9f\n", m.batchPercentile(0.99).Seconds())
-	fmt.Fprintf(w, "# HELP revmaxd_feedback_total Feedback events accepted.\n")
-	fmt.Fprintf(w, "revmaxd_feedback_total %d\n", m.feeds.Load())
-	fmt.Fprintf(w, "# HELP revmaxd_adoptions_total Adoptions applied to the store.\n")
-	fmt.Fprintf(w, "revmaxd_adoptions_total %d\n", e.adoptions.Load())
-	fmt.Fprintf(w, "# HELP revmaxd_replans_total Background receding-horizon replans completed.\n")
-	fmt.Fprintf(w, "revmaxd_replans_total %d\n", e.replans.Load())
-	fmt.Fprintf(w, "# HELP revmaxd_plan_revision Revision of the live plan.\n")
-	fmt.Fprintf(w, "revmaxd_plan_revision %d\n", p.revision)
-	fmt.Fprintf(w, "# HELP revmaxd_plan_revenue Expected residual revenue of the live plan.\n")
-	fmt.Fprintf(w, "revmaxd_plan_revenue %.6f\n", p.revenue)
-	fmt.Fprintf(w, "# HELP revmaxd_plan_triples Recommendation triples in the live plan.\n")
-	fmt.Fprintf(w, "revmaxd_plan_triples %d\n", p.strategy.Len())
-	fmt.Fprintf(w, "# HELP revmaxd_clock Current engine time step.\n")
-	fmt.Fprintf(w, "revmaxd_clock %d\n", e.Now())
+	reg := m.reg
+	reg.GaugeFunc("revmaxd_uptime_seconds",
+		"Seconds since the engine started.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	reg.GaugeFunc("revmaxd_qps_avg",
+		"Average lookups per second since start.",
+		func() float64 {
+			if up := time.Since(m.start).Seconds(); up > 0 {
+				return float64(m.served()) / up
+			}
+			return 0
+		})
+	reg.GaugeFunc("revmaxd_qps_window",
+		"Lookups per second over the trailing 10s window.",
+		func() float64 { return m.windowRate(time.Now(), m.served()) })
+	reg.GaugeFunc("revmaxd_plan_revision",
+		"Revision of the live plan.",
+		func() float64 {
+			if p := e.plan.Load(); p != nil {
+				return float64(p.revision)
+			}
+			return 0
+		})
+	reg.GaugeFunc("revmaxd_plan_revenue",
+		"Expected residual revenue of the live plan.",
+		func() float64 {
+			if p := e.plan.Load(); p != nil {
+				return p.revenue
+			}
+			return 0
+		})
+	reg.GaugeFunc("revmaxd_plan_triples",
+		"Recommendation triples in the live plan.",
+		func() float64 {
+			if p := e.plan.Load(); p != nil {
+				return float64(p.strategy.Len())
+			}
+			return 0
+		})
+	reg.GaugeFunc("revmaxd_plan_staleness_seconds",
+		"Seconds since the live plan was installed.",
+		func() float64 {
+			if p := e.plan.Load(); p != nil && !p.installedAt.IsZero() {
+				return time.Since(p.installedAt).Seconds()
+			}
+			return 0
+		})
+	reg.GaugeFunc("revmaxd_clock",
+		"Current engine time step.",
+		func() float64 { return float64(e.now.Load()) })
+	reg.GaugeFunc("revmaxd_feedback_queue_depth",
+		"Feedback events queued but not yet applied.",
+		func() float64 { return float64(len(e.feedback)) })
+	reg.GaugeFunc("revmaxd_warm_hit_rate",
+		"Fraction of warm-start seeds kept across all solves (0 when cold).",
+		func() float64 {
+			kept, dropped := m.warmKept.Value(), m.warmDropped.Value()
+			if total := kept + dropped; total > 0 {
+				return float64(kept) / float64(total)
+			}
+			return 0
+		})
+	reg.GaugeFunc("revmaxd_wal_degraded",
+		"1 when the engine has hit a durability error (see /v1/stats), else 0.",
+		func() float64 {
+			if e.Err() != nil {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("revmaxd_adoptions_total",
+		"Adoptions applied to the store.",
+		func() float64 { return float64(e.adoptions.Load()) })
+	reg.CounterFunc("revmaxd_exposures_total",
+		"Exposure events applied to the store.",
+		func() float64 { return float64(e.exposures.Load()) })
+	reg.CounterFunc("revmaxd_replans_total",
+		"Background receding-horizon replans completed.",
+		func() float64 { return float64(e.replans.Load()) })
+}
+
+// writeMetrics renders the engine's full registry — serve, solver, and
+// (for durable engines) store families — in Prometheus text exposition
+// format.
+func (e *Engine) writeMetrics(w io.Writer) {
+	e.met.reg.WritePrometheus(w)
 }

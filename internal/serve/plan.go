@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sort"
+	"time"
 
 	"repro/internal/model"
 )
@@ -34,6 +35,9 @@ type plan struct {
 	// plannedFrom is the first time step the plan conditions on (the
 	// engine clock when the plan was computed).
 	plannedFrom model.TimeStep
+	// installedAt is when the plan was published — the base of the
+	// revmaxd_plan_staleness_seconds gauge.
+	installedAt time.Time
 }
 
 // buildPlan indexes s for serving. Primitive probabilities are read from
@@ -52,6 +56,7 @@ func buildPlan(in *model.Instance, s *model.Strategy, revision int64, from model
 		perUser:     make([][]planEntry, in.NumUsers),
 		revenue:     revenue,
 		plannedFrom: from,
+		installedAt: time.Now(),
 	}
 	if fp, ok := in.PlanOf(s); ok {
 		prev := model.UserID(-1)

@@ -195,7 +195,7 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 // shell. The snapshotted plan is installed verbatim (with its revision,
 // so monitoring sees continuity).
 func decodeShell(r io.Reader, cfg Config) (*Engine, error) {
-	algo, warm, err := cfg.planFunc()
+	custom, opts, err := cfg.planSetup()
 	if err != nil {
 		return nil, err
 	}
@@ -231,8 +231,9 @@ func decodeShell(r io.Reader, cfg Config) (*Engine, error) {
 	}
 
 	e := newEngineShell(in, cfg)
-	e.algo = algo
-	e.warmAlgo = warm
+	e.custom = custom
+	e.opts = opts
+	e.warm = cfg.WarmStart && custom == nil
 	e.now.Store(int64(wire.Now))
 	e.adoptions.Store(wire.Adoptions)
 	e.exposures.Store(wire.Exposures)

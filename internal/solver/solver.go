@@ -32,9 +32,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/revenue"
 )
 
@@ -104,6 +106,13 @@ type Options struct {
 	// resolved registry name. Must be fast; may be called from the
 	// solving goroutine only (parallel runs serialize calls).
 	Progress ProgressFn
+
+	// Span, when non-nil, is the parent trace span this solve runs
+	// under: Solve attaches a "solve" child annotated with the resolved
+	// algorithm, phase timings (candidate scan vs selection), and the
+	// solve counters from Result.Stats. A nil Span (the default) costs
+	// nothing — obs spans are nil-receiver no-ops.
+	Span *obs.Span
 }
 
 // withDefaults fills the documented zero-value defaults.
@@ -300,5 +309,43 @@ func Solve(ctx context.Context, in *model.Instance, opts Options) (Result, error
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
-	return a.Solve(ctx, in, opts)
+	sp := opts.Span.Child("solve")
+	if sp == nil {
+		return a.Solve(ctx, in, opts)
+	}
+	sp.SetStr("algorithm", a.Name())
+	start := time.Now()
+	res, err := a.Solve(ctx, in, opts)
+	annotateSolveSpan(sp, start, res, err)
+	sp.End()
+	return res, err
+}
+
+// annotateSolveSpan records the solve's outcome and phase breakdown on
+// its trace span: attributes from Result.Stats plus reconstructed
+// candidate-scan and selection child spans when the algorithm reported
+// phase timings.
+func annotateSolveSpan(sp *obs.Span, start time.Time, res Result, err error) {
+	sp.SetInt("selections", int64(res.Selections))
+	sp.SetInt("recomputations", int64(res.Recomputations))
+	sp.SetFloat("revenue", res.Revenue)
+	st := res.Stats
+	if st.Considered > 0 {
+		sp.SetInt("candidates_scanned", int64(st.Considered))
+	}
+	if st.HeapPops > 0 {
+		sp.SetInt("heap_pops", int64(st.HeapPops))
+	}
+	if st.WarmKept > 0 || st.WarmDropped > 0 {
+		sp.SetInt("warm_kept", int64(st.WarmKept))
+		sp.SetInt("warm_dropped", int64(st.WarmDropped))
+	}
+	if err != nil {
+		sp.SetStr("error", err.Error())
+	}
+	if st.ScanNanos > 0 || st.SelectNanos > 0 {
+		scan := time.Duration(st.ScanNanos)
+		sp.ChildSpan("candidate-scan", start, scan)
+		sp.ChildSpan("selection", start.Add(scan), time.Duration(st.SelectNanos))
+	}
 }

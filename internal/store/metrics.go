@@ -1,0 +1,73 @@
+package store
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// storeMetrics holds the store's observability handles. A nil
+// *storeMetrics (no registry configured) makes every observation a
+// no-op, so the WAL hot path carries no obs dependency unless asked.
+type storeMetrics struct {
+	appendSec     *obs.Histogram // encode+write time, excluding fsync
+	fsyncSec      *obs.Histogram
+	rotations     *obs.Counter
+	snapshotSec   *obs.Histogram
+	replaySec     *obs.Gauge // last recovery replay duration
+	replayRecords *obs.Gauge // records replayed by the last recovery
+}
+
+// newStoreMetrics registers the store's metric families on reg; nil reg
+// returns nil (metrics disabled).
+func newStoreMetrics(reg *obs.Registry) *storeMetrics {
+	if reg == nil {
+		return nil
+	}
+	lb := obs.LatencyBuckets()
+	return &storeMetrics{
+		appendSec: reg.Histogram("revmaxd_wal_append_seconds",
+			"Time to encode and buffer one WAL record, excluding fsync.", lb),
+		fsyncSec: reg.Histogram("revmaxd_wal_fsync_seconds",
+			"Time per WAL fsync (flush to stable storage).", lb),
+		rotations: reg.Counter("revmaxd_wal_segment_rotations_total",
+			"WAL segment rotations since process start."),
+		snapshotSec: reg.Histogram("revmaxd_snapshot_write_seconds",
+			"Time to write, fsync, and install one snapshot.", lb),
+		replaySec: reg.Gauge("revmaxd_recovery_replay_seconds",
+			"Duration of the last WAL replay pass (crash recovery or reload)."),
+		replayRecords: reg.Gauge("revmaxd_recovery_replayed_records",
+			"Records replayed by the last WAL replay pass."),
+	}
+}
+
+func (m *storeMetrics) observeAppend(start time.Time) {
+	if m != nil {
+		m.appendSec.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (m *storeMetrics) observeFsync(start time.Time) {
+	if m != nil {
+		m.fsyncSec.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (m *storeMetrics) observeRotation() {
+	if m != nil {
+		m.rotations.Inc()
+	}
+}
+
+func (m *storeMetrics) observeSnapshot(start time.Time) {
+	if m != nil {
+		m.snapshotSec.Observe(time.Since(start).Seconds())
+	}
+}
+
+func (m *storeMetrics) observeReplay(start time.Time, records int64) {
+	if m != nil {
+		m.replaySec.Set(time.Since(start).Seconds())
+		m.replayRecords.Set(float64(records))
+	}
+}

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestStoreMetrics drives a store with a registry attached through
+// append, fsync, rotation, snapshot, and replay, and asserts every WAL
+// metric family shows up in a conformance-clean scrape.
+func TestStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{
+		SyncPolicy:   SyncAlways,
+		SegmentBytes: 256, // force rotations
+		Metrics:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 32; i++ {
+		if _, err := s.Append(Record{Type: RecEvent, User: int32(i), Item: 1, T: 1, Adopted: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.WriteSnapshot(4, func(w io.Writer) error {
+		_, err := w.Write([]byte("snapshot"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Replay(4, func(LSN, Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	fams, err := obs.ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("scrape fails conformance: %v\n%s", err, out)
+	}
+	for name, typ := range map[string]string{
+		"revmaxd_wal_append_seconds":          "histogram",
+		"revmaxd_wal_fsync_seconds":           "histogram",
+		"revmaxd_wal_segment_rotations_total": "counter",
+		"revmaxd_snapshot_write_seconds":      "histogram",
+		"revmaxd_recovery_replay_seconds":     "gauge",
+		"revmaxd_recovery_replayed_records":   "gauge",
+	} {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("metric family %s missing from scrape", name)
+		}
+		if f.Type != typ {
+			t.Fatalf("%s type = %s, want %s", name, f.Type, typ)
+		}
+	}
+	if got := reg.Histogram("revmaxd_wal_append_seconds", "Time to encode and buffer one WAL record, excluding fsync.", obs.LatencyBuckets()).Count(); got != 32 {
+		t.Fatalf("append observations = %d, want 32", got)
+	}
+	if got := reg.Histogram("revmaxd_wal_fsync_seconds", "Time per WAL fsync (flush to stable storage).", obs.LatencyBuckets()).Count(); got < 32 {
+		t.Fatalf("fsync observations = %d, want >= 32", got)
+	}
+	if got := reg.Counter("revmaxd_wal_segment_rotations_total", "WAL segment rotations since process start.").Value(); got == 0 {
+		t.Fatal("no segment rotations recorded despite tiny segments")
+	}
+	if got := reg.Gauge("revmaxd_recovery_replayed_records", "Records replayed by the last WAL replay pass.").Value(); got != 28 {
+		t.Fatalf("replayed records = %v, want 28", got)
+	}
+}

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // LSN is a log sequence number: the zero-based index of a record in the
@@ -93,6 +95,11 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size
 	// (≤ 0 means 4 MiB).
 	SegmentBytes int64
+	// Metrics, when non-nil, is the registry the store publishes its WAL
+	// and snapshot metrics on (append/fsync latency histograms, segment
+	// rotations, snapshot write duration, recovery replay time). nil
+	// disables store metrics entirely.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -112,6 +119,7 @@ var ErrClosed = errors.New("store: closed")
 type Store struct {
 	dir  string
 	opts Options
+	met  *storeMetrics // nil when Options.Metrics is nil
 
 	mu       sync.Mutex
 	segs     []segment // all segments, sorted; last is active
@@ -163,7 +171,8 @@ func Open(dir string, opts Options) (st *Store, retErr error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	s := &Store{dir: dir, opts: opts, segs: segs, snaps: snaps, lock: lock}
+	s := &Store{dir: dir, opts: opts, segs: segs, snaps: snaps, lock: lock,
+		met: newStoreMetrics(opts.Metrics)}
 
 	// Scan the last segment to find the append position. A segment so
 	// short it lacks even a header is the residue of a crash between
@@ -359,6 +368,10 @@ func (s *Store) Append(rec Record) (LSN, error) {
 			return 0, err
 		}
 	}
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
 	payload, err := appendRecord(s.appendBf[:0], rec)
 	if err != nil {
 		return 0, err
@@ -375,6 +388,9 @@ func (s *Store) Append(rec Record) (LSN, error) {
 	lsn := s.next
 	s.next++
 	s.segs[len(s.segs)-1].count++
+	// Observed before any SyncAlways fsync: append latency is the
+	// encode+buffer cost, fsync latency is its own histogram.
+	s.met.observeAppend(start)
 	if s.opts.SyncPolicy == SyncAlways {
 		if err := s.syncLocked(); err != nil {
 			return 0, err
@@ -392,6 +408,7 @@ func (s *Store) rotateLocked() error {
 	if err := s.f.Close(); err != nil {
 		return fmt.Errorf("store: rotate: %w", err)
 	}
+	s.met.observeRotation()
 	return s.createSegmentLocked(s.next)
 }
 
@@ -416,11 +433,16 @@ func (s *Store) syncLocked() error {
 	if s.opts.SyncPolicy == SyncNone {
 		return nil
 	}
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
 	if err := s.f.Sync(); err != nil {
 		err = fmt.Errorf("store: sync: %w", err)
 		s.recordErr(err)
 		return err
 	}
+	s.met.observeFsync(start)
 	return nil
 }
 
@@ -499,6 +521,9 @@ func (s *Store) OpenSnapshot(lsn LSN) (io.ReadCloser, error) {
 func (s *Store) WriteSnapshot(lsn LSN, write func(io.Writer) error) error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
+	if s.met != nil {
+		defer s.met.observeSnapshot(time.Now())
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -597,7 +622,11 @@ type ReplayStats struct {
 // verifies segment-chain continuity and checksums along the way:
 // corruption anywhere except a torn final record is an error, as is a
 // gap left by over-eager external deletion. fn errors abort the replay.
-func (s *Store) Replay(from LSN, fn func(LSN, Record) error) (ReplayStats, error) {
+func (s *Store) Replay(from LSN, fn func(LSN, Record) error) (stats ReplayStats, err error) {
+	if s.met != nil {
+		start := time.Now()
+		defer func() { s.met.observeReplay(start, stats.Records) }()
+	}
 	s.mu.Lock()
 	if err := s.w.Flush(); err != nil { // make buffered appends visible to the scan
 		s.mu.Unlock()
@@ -606,7 +635,6 @@ func (s *Store) Replay(from LSN, fn func(LSN, Record) error) (ReplayStats, error
 	segs := append([]segment(nil), s.segs...)
 	s.mu.Unlock()
 
-	var stats ReplayStats
 	if len(segs) == 0 {
 		return stats, nil
 	}
