@@ -50,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -89,6 +90,8 @@ func run(args []string, stdout io.Writer) error {
 	users := fs.Int("users", 2000, "user count (synthetic dataset only)")
 	algoName := fs.String("algo", "GG", "planning algorithm: any solver-registry name or alias")
 	perms := fs.Int("perms", 5, "RL-Greedy permutations")
+	workers := fs.Int("workers", 0, "parallel-algorithm workers (g-greedy-parallel, rl-greedy-parallel; 0 = GOMAXPROCS)")
+	cuts := fs.String("cuts", "", "staged variants: comma-separated sub-horizon cut-offs, e.g. 2,4")
 	loadInstance := fs.String("load-instance", "", "load the instance from a JSON file instead of generating one")
 	snapshot := fs.String("snapshot", "", "legacy snapshot file: restore from it at boot if present, write it on shutdown (mutually exclusive with -data-dir)")
 	replanEvery := fs.Int("replan-every", 32, "adoptions per background replan")
@@ -118,9 +121,13 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cutList, err := parseCuts(*cuts)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
 		Algorithm:   *algoName,
-		Solver:      solver.Options{Perms: *perms, Seed: *seed + 1},
+		Solver:      solver.Options{Perms: *perms, Seed: *seed + 1, Workers: *workers, Cuts: cutList},
 		WarmStart:   *warmStart,
 		Shards:      *shards,
 		ReplanEvery: *replanEvery,
@@ -307,4 +314,20 @@ func writeSnapshot(engine *serve.Engine, path string) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// parseCuts parses "2,4" into []int{2, 4}, mirroring the revmax CLI.
+func parseCuts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("invalid -cuts entry %q (want positive integers, e.g. 2,4)", part)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }

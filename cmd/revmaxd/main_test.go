@@ -10,6 +10,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/model"
 	"repro/internal/serve"
+	"repro/internal/solver"
 	"repro/internal/testgen"
 )
 
@@ -171,5 +172,67 @@ func TestBootRecoversAfterKill(t *testing.T) {
 	}
 	if _, err := restarted.Recommend(0, restarted.Now()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBadCutsFailFast: a malformed -cuts list fails before dataset
+// generation or port binding, mirroring the revmax CLI.
+func TestBadCutsFailFast(t *testing.T) {
+	for _, bad := range []string{"0", "x", "2,,4", "-1"} {
+		err := run([]string{"-cuts", bad}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "-cuts") {
+			t.Fatalf("-cuts %q not rejected: %v", bad, err)
+		}
+	}
+}
+
+// TestParseCuts pins the -cuts grammar shared with the revmax CLI.
+func TestParseCuts(t *testing.T) {
+	got, err := parseCuts(" 2, 4 ")
+	if err != nil || len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Fatalf("parseCuts(\" 2, 4 \") = %v, %v", got, err)
+	}
+	if got, err := parseCuts(""); err != nil || got != nil {
+		t.Fatalf("parseCuts(\"\") = %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestWorkersAndCutsFlagsDocumented: the daemon exposes the parallel
+// and staged solver knobs like the batch CLI does.
+func TestWorkersAndCutsFlagsDocumented(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); !errors.Is(err, flag.ErrHelp) {
+		t.Fatal(err)
+	}
+	for _, flagName := range []string{"-workers", "-cuts"} {
+		if !strings.Contains(buf.String(), flagName) {
+			t.Fatalf("usage output missing %s:\n%s", flagName, buf.String())
+		}
+	}
+}
+
+// TestParallelPlannerMatchesSequential boots an engine with
+// g-greedy-parallel and verifies the initial plan is identical to the
+// sequential g-greedy engine's — the registry contract, end to end
+// through the daemon's config plumbing.
+func TestParallelPlannerMatchesSequential(t *testing.T) {
+	in := daemonInstance(t)
+	seqEng, err := serve.Open(in, serve.Config{Algorithm: "g-greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seqEng.Close()
+	parEng, err := serve.Open(in, serve.Config{
+		Algorithm: "g-greedy-parallel",
+		Solver:    solver.Options{Workers: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parEng.Close()
+	seqStats, parStats := seqEng.Stats(), parEng.Stats()
+	if parStats.PlanRevenue != seqStats.PlanRevenue || parStats.PlannedTriples != seqStats.PlannedTriples {
+		t.Fatalf("parallel plan (rev %v, %d triples) != sequential (rev %v, %d triples)",
+			parStats.PlanRevenue, parStats.PlannedTriples, seqStats.PlanRevenue, seqStats.PlannedTriples)
 	}
 }

@@ -46,6 +46,7 @@ func ExampleList() {
 	// Output:
 	// g-greedy
 	// g-greedy-no
+	// g-greedy-parallel
 	// g-greedy-staged
 	// local-search
 	// naive-greedy

@@ -55,11 +55,26 @@ func GGreedyWarm(in *model.Instance, warm []model.Triple) Result {
 // byte-identity (scenario goldens) must not pass warm seeds.
 func GGreedyWarmCtx(ctx context.Context, in *model.Instance, warm []model.Triple, progress ProgressFn) (Result, error) {
 	st := newState(in)
+	seeded := seedWarm(st, warm)
+	// Upper-bound initialization: against the seeded state, exact initial
+	// marginals would cost a full group evaluation per candidate — more
+	// than the seeds saved. The saturation-free key p·q is a true upper
+	// bound on any marginal gain, so the lazy-forward flag discipline
+	// recomputes exactly the candidates that reach the heap root.
+	sel, rec, err := gGreedyWindow(ctx, st, 1, model.TimeStep(in.T), progress, true)
+	return st.result(seeded+sel, rec), err
+}
+
+// seedWarm applies a warm plan's still-feasible triples to st in
+// canonical order and returns how many were kept. Shared by the
+// sequential and parallel warm-started solvers, so both commit to
+// byte-identical seeded states for equal (instance, warm) inputs.
+func seedWarm(st *state, warm []model.Triple) int {
 	ws := append([]model.Triple(nil), warm...)
 	sort.Slice(ws, func(a, b int) bool { return ws[a].Less(ws[b]) })
 	seeded := 0
 	for _, z := range ws {
-		id, ok := in.CandIDOf(z)
+		id, ok := st.in.CandIDOf(z)
 		if !ok {
 			continue // invalidated: no longer a candidate of the residual
 		}
@@ -77,13 +92,7 @@ func GGreedyWarmCtx(ctx context.Context, in *model.Instance, warm []model.Triple
 	}
 	st.stats.WarmKept = seeded
 	st.stats.WarmDropped = len(ws) - seeded
-	// Upper-bound initialization: against the seeded state, exact initial
-	// marginals would cost a full group evaluation per candidate — more
-	// than the seeds saved. The saturation-free key p·q is a true upper
-	// bound on any marginal gain, so the lazy-forward flag discipline
-	// recomputes exactly the candidates that reach the heap root.
-	sel, rec, err := gGreedyWindow(ctx, st, 1, model.TimeStep(in.T), progress, true)
-	return st.result(seeded+sel, rec), err
+	return seeded
 }
 
 // GGreedyStaged runs Global Greedy with prices revealed in sub-horizons
@@ -148,6 +157,16 @@ func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progre
 	// covers the whole window so appends never reallocate (entry pointers
 	// must stay stable once handed to the heap).
 	flat := in.Candidates()
+	// Cold scan on an empty state: every exact marginal is the
+	// saturation-free p·q (the evaluator's empty-group fast path), so the
+	// bulk branch-free key kernel fills all keys word-machine style and
+	// the per-candidate evaluator calls disappear. Bit-identical by
+	// construction; the zero flag equals every empty group's size.
+	var coldKeys []float64
+	if !upperBoundInit && st.ev.Len() == 0 && len(flat) > 0 {
+		coldKeys = make([]float64, len(flat))
+		in.UpperBoundKeys(0, model.CandID(len(flat)), coldKeys)
+	}
 	entries := make([]pqueue.Entry, 0, len(flat))
 	for id := range flat {
 		c := &flat[id]
@@ -156,7 +175,8 @@ func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progre
 		}
 		cid := model.CandID(id)
 		key, flag := 0.0, 0
-		if upperBoundInit {
+		switch {
+		case upperBoundInit:
 			// Seeded state: skip candidates it already rules out — plans
 			// only grow, so a full display slot or consumed capacity never
 			// frees up. With a plan-sized seed this prunes most of the
@@ -165,7 +185,9 @@ func gGreedyWindow(ctx context.Context, st *state, lo, hi model.TimeStep, progre
 				continue
 			}
 			key = in.Price(c.I, c.T) * c.Q
-		} else {
+		case coldKeys != nil:
+			key = coldKeys[id]
+		default:
 			key = st.ev.MarginalGainID(cid)
 			flag = st.ev.GroupSizeID(cid)
 		}

@@ -1,0 +1,162 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// TestGGreedyParallelByteIdenticalAcrossWorkers is the determinism
+// regression for the parallel G-Greedy scan: for several seeds, the
+// parallel solve must return the exact same output — triple for triple,
+// curve value for curve value — as the sequential solve, for workers
+// in {1, 2, 8} and the GOMAXPROCS default. Any scheduler-dependent
+// selection would show up here immediately (and under -race, any
+// cross-partition read/write pair).
+func TestGGreedyParallelByteIdenticalAcrossWorkers(t *testing.T) {
+	rng := dist.NewRNG(51)
+	workerCounts := []int{1, 2, 8, runtime.GOMAXPROCS(0), 0}
+	for _, seed := range []uint64{1, 7, 1234, 99999} {
+		p := testgen.Default()
+		in := testgen.Random(rng, p)
+		_ = seed
+		seq := core.GGreedy(in)
+		want := fmt.Sprint(seq.Strategy.Triples())
+		for _, workers := range workerCounts {
+			par := core.GGreedyParallel(in, workers)
+			if got := fmt.Sprint(par.Strategy.Triples()); got != want {
+				t.Fatalf("workers %d: strategy diverged from sequential:\n got %s\nwant %s",
+					workers, got, want)
+			}
+			if par.Revenue != seq.Revenue {
+				t.Fatalf("workers %d: revenue %v != sequential %v", workers, par.Revenue, seq.Revenue)
+			}
+			if par.Selections != seq.Selections {
+				t.Fatalf("workers %d: selections %d != %d", workers, par.Selections, seq.Selections)
+			}
+			if len(par.Curve) != len(seq.Curve) {
+				t.Fatalf("workers %d: curve length %d != %d", workers, len(par.Curve), len(seq.Curve))
+			}
+			for i := range par.Curve {
+				if par.Curve[i] != seq.Curve[i] {
+					t.Fatalf("workers %d: curve[%d] = %v != %v", workers, i, par.Curve[i], seq.Curve[i])
+				}
+			}
+			if err := in.CheckValid(par.Strategy); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestGGreedyParallelWarmByteIdentical pins the warm-started parallel
+// scan to the warm-started sequential scan across worker counts,
+// including seeds that are partially invalidated against the instance.
+func TestGGreedyParallelWarmByteIdentical(t *testing.T) {
+	rng := dist.NewRNG(52)
+	for trial := 0; trial < 4; trial++ {
+		in := testgen.Random(rng, testgen.Default())
+		// Build a warm plan from a cold solve, then keep an arbitrary
+		// two-thirds of it to force both kept and dropped seeds.
+		full := core.GGreedy(in).Strategy.Triples()
+		warm := make([]model.Triple, 0, len(full))
+		for i, z := range full {
+			if i%3 != 0 {
+				warm = append(warm, z)
+			}
+		}
+		seq := core.GGreedyWarm(in, warm)
+		want := fmt.Sprint(seq.Strategy.Triples())
+		for _, workers := range []int{1, 2, 8} {
+			par := core.GGreedyParallelWarm(in, warm, workers)
+			if got := fmt.Sprint(par.Strategy.Triples()); got != want {
+				t.Fatalf("trial %d workers %d: warm parallel diverged:\n got %s\nwant %s",
+					trial, workers, got, want)
+			}
+			if par.Revenue != seq.Revenue || par.Selections != seq.Selections {
+				t.Fatalf("trial %d workers %d: revenue/selections diverged", trial, workers)
+			}
+			if par.Stats.WarmKept != seq.Stats.WarmKept || par.Stats.WarmDropped != seq.Stats.WarmDropped {
+				t.Fatalf("trial %d workers %d: warm stats diverged", trial, workers)
+			}
+		}
+	}
+}
+
+// TestGGreedyParallelDeterministicAcrossRuns re-runs the same parallel
+// solve several times at a fixed worker count: scheduling jitter must
+// not leak into any output field, including the stats that depend only
+// on (instance, workers).
+func TestGGreedyParallelDeterministicAcrossRuns(t *testing.T) {
+	in := testgen.Random(dist.NewRNG(53), testgen.Default())
+	a := core.GGreedyParallel(in, 4)
+	sig := func(r core.Result) string {
+		return fmt.Sprint(r.Revenue, r.Selections, r.Recomputations, r.Stats.HeapPops, r.Strategy.Triples())
+	}
+	want := sig(a)
+	for i := 0; i < 5; i++ {
+		if got := sig(core.GGreedyParallel(in, 4)); got != want {
+			t.Fatalf("run %d: parallel G-Greedy not deterministic:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+// TestGGreedyParallelCancellation: a pre-cancelled context must abort
+// promptly with a valid partial strategy, like the sequential variant.
+func TestGGreedyParallelCancellation(t *testing.T) {
+	in := testgen.Random(dist.NewRNG(54), testgen.Default())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := core.GGreedyParallelCtx(ctx, in, 4, nil)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	if res.Strategy == nil {
+		t.Fatal("expected a (possibly empty) partial strategy")
+	}
+	if err := in.CheckValid(res.Strategy); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGGreedyParallelProgressMonotonic: progress reports stream from
+// the coordinator in selection order.
+func TestGGreedyParallelProgressMonotonic(t *testing.T) {
+	in := testgen.Random(dist.NewRNG(55), testgen.Default())
+	last := -1
+	_, err := core.GGreedyParallelCtx(context.Background(), in, 4, func(p core.Progress) {
+		if p.Done <= last {
+			t.Fatalf("progress went backwards: %d after %d", p.Done, last)
+		}
+		last = p.Done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last < 0 {
+		t.Fatal("no progress reported")
+	}
+}
+
+// TestGGreedyParallelTinyInstances drives the degenerate shapes: fewer
+// users than workers, single user, and an instance whose solve selects
+// nothing.
+func TestGGreedyParallelTinyInstances(t *testing.T) {
+	rng := dist.NewRNG(56)
+	p := testgen.Default()
+	p.Users = 2
+	in := testgen.Random(rng, p)
+	seq := core.GGreedy(in)
+	for _, workers := range []int{2, 16} {
+		par := core.GGreedyParallel(in, workers)
+		if fmt.Sprint(par.Strategy.Triples()) != fmt.Sprint(seq.Strategy.Triples()) {
+			t.Fatalf("workers %d: tiny instance diverged", workers)
+		}
+	}
+}

@@ -331,6 +331,13 @@ func (in *Instance) PairCandCount(p int32) int {
 	return int(in.ix.pairStart[p+1] - in.ix.pairStart[p])
 }
 
+// PairCandSpan returns the half-open CandID range [lo, hi) of pair p's
+// candidates — the contiguous flat-array run the word-level Plan
+// kernels count over.
+func (in *Instance) PairCandSpan(p int32) (lo, hi CandID) {
+	return CandID(in.ix.pairStart[p]), CandID(in.ix.pairStart[p+1])
+}
+
 // NumGroups returns the number of (user, class) revenue groups with ≥1
 // candidate.
 func (in *Instance) NumGroups() int {

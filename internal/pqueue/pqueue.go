@@ -29,8 +29,21 @@ type Entry struct {
 	pos int // index within its heap
 }
 
-// Max is a binary max-heap of entries keyed by Key. The zero value is an
-// empty, ready-to-use heap.
+// Beats reports whether e precedes o in the deterministic total order
+// all heaps in this package share: larger Key first, smaller candidate
+// ID on exact float ties. The tie-break makes every greedy selection a
+// unique global argmax, which is what lets the parallel G-Greedy solver
+// reproduce the sequential selection sequence byte-for-byte regardless
+// of worker count.
+func (e *Entry) Beats(o *Entry) bool {
+	if e.Key != o.Key {
+		return e.Key > o.Key
+	}
+	return e.ID < o.ID
+}
+
+// Max is a binary max-heap of entries ordered by (Key desc, ID asc).
+// The zero value is an empty, ready-to-use heap.
 type Max struct {
 	es []*Entry
 }
@@ -96,7 +109,7 @@ func (h *Max) siftUp(i int) bool {
 	moved := false
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.es[parent].Key >= h.es[i].Key {
+		if !h.es[i].Beats(h.es[parent]) {
 			break
 		}
 		h.swap(parent, i)
@@ -111,10 +124,10 @@ func (h *Max) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
-		if l < n && h.es[l].Key > h.es[best].Key {
+		if l < n && h.es[l].Beats(h.es[best]) {
 			best = l
 		}
-		if r < n && h.es[r].Key > h.es[best].Key {
+		if r < n && h.es[r].Beats(h.es[best]) {
 			best = r
 		}
 		if best == i {
@@ -132,26 +145,37 @@ type PairKey struct {
 }
 
 // lower is one per-(user,item) heap plus its position in the upper heap
-// and a cached copy of its root key: upper-heap sift comparisons read
-// the cache instead of chasing two pointers into the lower heap's root
-// entry. Every lower-heap mutation must refreshRoot before the upper
-// heap is touched.
+// and a cached copy of its root (key and candidate ID): upper-heap sift
+// comparisons read the cache instead of chasing two pointers into the
+// lower heap's root entry. Every lower-heap mutation must refreshRoot
+// before the upper heap is touched.
 type lower struct {
-	key  PairKey
-	heap Max
-	root float64
-	pos  int // index within the upper heap
+	key    PairKey
+	heap   Max
+	root   float64
+	rootID model.CandID
+	pos    int // index within the upper heap
 }
 
 func (lo *lower) refreshRoot() {
 	if lo.heap.Empty() {
 		lo.root = negInf
+		lo.rootID = 1<<31 - 1
 		return
 	}
-	lo.root = lo.heap.Peek().Key
+	top := lo.heap.Peek()
+	lo.root = top.Key
+	lo.rootID = top.ID
 }
 
-func (lo *lower) rootKey() float64 { return lo.root }
+// rootBeats orders lowers by their cached roots under the package's
+// deterministic total order (Key desc, ID asc).
+func (lo *lower) rootBeats(o *lower) bool {
+	if lo.root != o.root {
+		return lo.root > o.root
+	}
+	return lo.rootID < o.rootID
+}
 
 const negInf = -1e308
 
@@ -169,6 +193,7 @@ type TwoLevel struct {
 	dense []lower
 	upper []*lower
 	count int
+	built bool
 }
 
 // NewTwoLevel returns an empty two-level heap keyed by (user, item)
@@ -208,12 +233,19 @@ func NewTwoLevelDense(numPairs int, caps []int32) *TwoLevel {
 
 // Add inserts an entry into its (user, item) lower heap. Add may be used
 // both before and after Build; before Build the upper heap is not yet
-// ordered.
+// ordered, afterwards Add restores the upper-heap invariant itself.
 func (t *TwoLevel) Add(e *Entry) {
 	var lo *lower
 	if t.dense != nil {
 		lo = &t.dense[e.Pair]
 		if lo.pos < 0 {
+			if lo.heap.Len() > 0 {
+				// The pair was dropped wholesale by DeletePairOf with its
+				// entries still in place; reactivating it would resurrect
+				// those stale entries alongside e. This was documented as
+				// unsupported but used to fail silently.
+				panic("pqueue: Add to a dense pair dropped by DeletePairOf")
+			}
 			lo.key = PairKey{e.Triple.U, e.Triple.I}
 			lo.pos = len(t.upper)
 			t.upper = append(t.upper, lo)
@@ -230,6 +262,13 @@ func (t *TwoLevel) Add(e *Entry) {
 	lo.heap.Push(e)
 	lo.refreshRoot()
 	t.count++
+	if t.built {
+		// Post-Build insert: the lower's root may have grown (or the lower
+		// may be brand new at the tail of the upper array), so the upper
+		// heap must be re-sifted or PeekMax/DeleteMax can return a
+		// non-maximal entry.
+		t.fixUpper(lo.pos)
+	}
 }
 
 // lowerOf resolves an entry's lower heap in either addressing mode; nil
@@ -246,11 +285,12 @@ func (t *TwoLevel) lowerOf(e *Entry) *lower {
 }
 
 // Build heapifies the upper heap over all lower roots (Algorithm 1,
-// line 10).
+// line 10). Entries Added afterwards keep the invariant incrementally.
 func (t *TwoLevel) Build() {
 	for i := len(t.upper)/2 - 1; i >= 0; i-- {
 		t.siftDown(i)
 	}
+	t.built = true
 }
 
 // Len reports the total number of entries across all lower heaps.
@@ -420,7 +460,7 @@ func (t *TwoLevel) siftUp(i int) bool {
 	moved := false
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.upper[parent].rootKey() >= t.upper[i].rootKey() {
+		if !t.upper[i].rootBeats(t.upper[parent]) {
 			break
 		}
 		t.swapUpper(parent, i)
@@ -435,10 +475,10 @@ func (t *TwoLevel) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		best := i
-		if l < n && t.upper[l].rootKey() > t.upper[best].rootKey() {
+		if l < n && t.upper[l].rootBeats(t.upper[best]) {
 			best = l
 		}
-		if r < n && t.upper[r].rootKey() > t.upper[best].rootKey() {
+		if r < n && t.upper[r].rootBeats(t.upper[best]) {
 			best = r
 		}
 		if best == i {

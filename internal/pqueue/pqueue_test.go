@@ -274,3 +274,166 @@ func TestTwoLevelInterleavedOperations(t *testing.T) {
 		}
 	}
 }
+
+func denseEntry(u, i, tt int, pair int32, id model.CandID, key float64) *pqueue.Entry {
+	e := entry(u, i, tt, key)
+	e.Pair = pair
+	e.ID = id
+	return e
+}
+
+// Regression: a post-Build Add with a new global maximum must re-sift
+// the upper heap. Before the fix, Add only refreshed the lower's cached
+// root, so PeekMax/DeleteMax returned a non-maximal entry.
+func TestTwoLevelAddAfterBuildNewMaximumMapMode(t *testing.T) {
+	tl := pqueue.NewTwoLevel()
+	tl.Add(entry(0, 0, 1, 10))
+	tl.Add(entry(1, 0, 1, 50)) // upper root after Build
+	tl.Add(entry(2, 0, 1, 30))
+	tl.Build()
+	// New maximum into an existing non-root pair.
+	tl.Add(entry(0, 0, 2, 99))
+	if got := tl.PeekMax(); got == nil || got.Key != 99 {
+		t.Fatalf("PeekMax after post-Build Add = %v, want key 99", got)
+	}
+	// New maximum as a brand-new pair (appended at the upper tail).
+	tl.Add(entry(3, 0, 1, 200))
+	want := []float64{200, 99, 50, 30, 10}
+	for _, w := range want {
+		e := tl.DeleteMax()
+		if e == nil || e.Key != w {
+			t.Fatalf("DeleteMax = %v, want key %v", e, w)
+		}
+	}
+}
+
+func TestTwoLevelAddAfterBuildNewMaximumDenseMode(t *testing.T) {
+	tl := pqueue.NewTwoLevelDense(4, nil)
+	tl.Add(denseEntry(0, 0, 1, 0, 0, 10))
+	tl.Add(denseEntry(1, 0, 1, 1, 1, 50))
+	tl.Add(denseEntry(2, 0, 1, 2, 2, 30))
+	tl.Build()
+	tl.Add(denseEntry(0, 0, 2, 0, 3, 99))
+	if got := tl.PeekMax(); got == nil || got.Key != 99 {
+		t.Fatalf("PeekMax after post-Build Add = %v, want key 99", got)
+	}
+	tl.Add(denseEntry(3, 0, 1, 3, 4, 200))
+	want := []float64{200, 99, 50, 30, 10}
+	for _, w := range want {
+		e := tl.DeleteMax()
+		if e == nil || e.Key != w {
+			t.Fatalf("DeleteMax = %v, want key %v", e, w)
+		}
+	}
+}
+
+// Regression: dense-mode Add to a pair dropped wholesale by DeletePairOf
+// must panic instead of silently resurrecting the dropped entries.
+func TestTwoLevelDenseReAddDroppedPairPanics(t *testing.T) {
+	tl := pqueue.NewTwoLevelDense(2, nil)
+	a := denseEntry(0, 0, 1, 0, 0, 100)
+	b := denseEntry(0, 0, 2, 0, 1, 90)
+	c := denseEntry(0, 1, 1, 1, 2, 50)
+	tl.Add(a)
+	tl.Add(b)
+	tl.Add(c)
+	tl.Build()
+	tl.DeletePairOf(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add to a dropped dense pair did not panic")
+		}
+	}()
+	tl.Add(denseEntry(0, 0, 3, 0, 3, 1))
+}
+
+// Re-adding to a dense pair whose lower heap was fully drained entry by
+// entry (not dropped wholesale) stays supported: no stale entries exist.
+func TestTwoLevelDenseReAddDrainedPairOK(t *testing.T) {
+	tl := pqueue.NewTwoLevelDense(2, nil)
+	a := denseEntry(0, 0, 1, 0, 0, 100)
+	c := denseEntry(0, 1, 1, 1, 1, 50)
+	tl.Add(a)
+	tl.Add(c)
+	tl.Build()
+	tl.DeleteEntry(a) // drains pair 0, removing it from the upper heap
+	tl.Add(denseEntry(0, 0, 2, 0, 2, 75))
+	want := []float64{75, 50}
+	for _, w := range want {
+		e := tl.DeleteMax()
+		if e == nil || e.Key != w {
+			t.Fatalf("DeleteMax = %v, want key %v", e, w)
+		}
+	}
+}
+
+// Double deletes after DeletePairOf must hit the lowerOf nil guards and
+// stay no-ops in both addressing modes.
+func TestTwoLevelDoubleDeleteGuards(t *testing.T) {
+	build := func(denseMode bool) (*pqueue.TwoLevel, *pqueue.Entry, *pqueue.Entry) {
+		var tl *pqueue.TwoLevel
+		if denseMode {
+			tl = pqueue.NewTwoLevelDense(2, nil)
+		} else {
+			tl = pqueue.NewTwoLevel()
+		}
+		a := denseEntry(0, 0, 1, 0, 0, 100)
+		b := denseEntry(0, 0, 2, 0, 1, 90)
+		c := denseEntry(0, 1, 1, 1, 2, 50)
+		tl.Add(a)
+		tl.Add(b)
+		tl.Add(c)
+		tl.Build()
+		return tl, a, b
+	}
+	for _, denseMode := range []bool{false, true} {
+		tl, a, b := build(denseMode)
+		tl.DeletePairOf(a)
+		if tl.Len() != 1 {
+			t.Fatalf("dense=%v: Len after DeletePairOf = %d, want 1", denseMode, tl.Len())
+		}
+		tl.DeletePairOf(a) // repeat: nil lower, no-op
+		tl.DeleteEntry(a)  // entry of a dropped pair: no-op
+		tl.DeleteEntry(b)
+		if tl.Len() != 1 {
+			t.Fatalf("dense=%v: deletes after DeletePairOf changed Len to %d", denseMode, tl.Len())
+		}
+		if got := tl.DeleteMax(); got == nil || got.Key != 50 {
+			t.Fatalf("dense=%v: surviving max = %v, want 50", denseMode, got)
+		}
+		if !tl.Empty() {
+			t.Fatalf("dense=%v: heap not empty at end", denseMode)
+		}
+	}
+}
+
+// The deterministic total order: exact key ties break toward the
+// smaller candidate ID, in both the flat Max heap and the two-level
+// heap. This is what pins parallel G-Greedy to the sequential output.
+func TestDeterministicTieBreakByID(t *testing.T) {
+	var h pqueue.Max
+	ids := []model.CandID{7, 3, 9, 1, 5}
+	for _, id := range ids {
+		e := entry(0, int(id), 1, 42)
+		e.ID = id
+		h.Push(e)
+	}
+	for _, want := range []model.CandID{1, 3, 5, 7, 9} {
+		if got := h.Pop(); got.ID != want {
+			t.Fatalf("Max tie-break pop = %d, want %d", got.ID, want)
+		}
+	}
+
+	tl := pqueue.NewTwoLevelDense(3, nil)
+	tl.Add(denseEntry(0, 0, 1, 0, 4, 42))
+	tl.Add(denseEntry(0, 0, 2, 0, 2, 42))
+	tl.Add(denseEntry(1, 0, 1, 1, 0, 42))
+	tl.Add(denseEntry(2, 0, 1, 2, 3, 42))
+	tl.Build()
+	for _, want := range []model.CandID{0, 2, 3, 4} {
+		e := tl.DeleteMax()
+		if e == nil || e.ID != want {
+			t.Fatalf("TwoLevel tie-break DeleteMax = %v, want ID %d", e, want)
+		}
+	}
+}

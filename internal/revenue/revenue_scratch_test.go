@@ -1,0 +1,40 @@
+package revenue_test
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/revenue"
+	"repro/internal/testgen"
+)
+
+// TestMarginalGainIDScratchBitIdentical pins the scratch-arena path to
+// the evaluator's built-in path, bit for bit, across evolving strategy
+// states and arbitrary scratch reuse.
+func TestMarginalGainIDScratchBitIdentical(t *testing.T) {
+	in := testgen.Random(dist.NewRNG(21), testgen.Params{
+		Users: 25, Items: 8, Classes: 3, T: 5, K: 2,
+		MaxCap: 4, CandProb: 0.5, MinPrice: 1, MaxPrice: 60,
+	})
+	ev := revenue.NewEvaluator(in)
+	rng := dist.NewRNG(4)
+	var sc1, sc2 revenue.Scratch
+	n := in.NumCands()
+	added := make(map[model.CandID]bool)
+	for step := 0; step < 400; step++ {
+		id := model.CandID(rng.Intn(n))
+		want := ev.MarginalGainID(id)
+		if got := ev.MarginalGainIDScratch(id, &sc1); got != want {
+			t.Fatalf("step %d: scratch gain %v != %v", step, got, want)
+		}
+		// A second, differently-warmed scratch must agree too.
+		if got := ev.MarginalGainIDScratch(id, &sc2); got != want {
+			t.Fatalf("step %d: scratch2 gain %v != %v", step, got, want)
+		}
+		if step%3 == 0 && !added[id] {
+			ev.AddID(id)
+			added[id] = true
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package solver_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/solver"
+)
+
+// TestGGreedyParallelGoldenEquality enforces the registry-level
+// determinism contract on the golden file itself: the g-greedy-parallel
+// entry must equal the g-greedy entry in every field except the
+// algorithm name. The golden run uses Workers: 3, so this pins the
+// parallel path, not the sequential fallback.
+func TestGGreedyParallelGoldenEquality(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_algorithms.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var goldens []algoGolden
+	if err := json.Unmarshal(raw, &goldens); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]algoGolden{}
+	for _, g := range goldens {
+		byName[g.Algorithm] = g
+	}
+	seq, ok := byName[solver.NameGGreedy]
+	if !ok {
+		t.Fatalf("golden file missing %s", solver.NameGGreedy)
+	}
+	par, ok := byName[solver.NameGGreedyParallel]
+	if !ok {
+		t.Fatalf("golden file missing %s", solver.NameGGreedyParallel)
+	}
+	par.Algorithm = seq.Algorithm
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("g-greedy-parallel golden diverged from g-greedy:\n seq: %+v\n par: %+v", seq, par)
+	}
+}
+
+// TestGGreedyParallelScenarioEquivalence runs every scenario archetype's
+// instance through both G-Greedy variants and requires bit-equal
+// revenue and identical strategies for several worker counts. The
+// archetypes stress the shapes the fixed golden instance does not:
+// capacity crunches, saturation-heavy catalogs, price cliffs.
+func TestGGreedyParallelScenarioEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, sc := range scenario.Catalog() {
+		in, err := scenario.Build(sc, 17)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		seq, err := solver.Solve(ctx, in, solver.Options{Algorithm: solver.NameGGreedy})
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		want := fmt.Sprint(seq.Strategy.Triples())
+		for _, workers := range []int{1, 2, 8} {
+			par, err := solver.Solve(ctx, in, solver.Options{
+				Algorithm: solver.NameGGreedyParallel,
+				Workers:   workers,
+			})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", sc.Name, workers, err)
+			}
+			if par.Revenue != seq.Revenue {
+				t.Fatalf("%s workers=%d: revenue %v != sequential %v", sc.Name, workers, par.Revenue, seq.Revenue)
+			}
+			if got := fmt.Sprint(par.Strategy.Triples()); got != want {
+				t.Fatalf("%s workers=%d: strategy diverged:\n got %s\nwant %s", sc.Name, workers, got, want)
+			}
+			if par.Selections != seq.Selections {
+				t.Fatalf("%s workers=%d: selections %d != %d", sc.Name, workers, par.Selections, seq.Selections)
+			}
+		}
+	}
+}

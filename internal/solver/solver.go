@@ -71,7 +71,9 @@ type Options struct {
 	// Monte-Carlo capacity oracle). Fixed seed ⇒ deterministic output.
 	Seed uint64
 
-	// Workers is rl-greedy-parallel's concurrency (≤ 0 means GOMAXPROCS).
+	// Workers is the concurrency of the parallel algorithms:
+	// rl-greedy-parallel's simultaneous permutation runs and
+	// g-greedy-parallel's settle goroutines (≤ 0 means GOMAXPROCS).
 	Workers int
 
 	// Cuts are the sub-horizon cut-offs of the staged variants (§6.3):
@@ -90,7 +92,8 @@ type Options struct {
 	// which errors without one.
 	Rating core.RatingFn
 
-	// Warm seeds supporting algorithms (currently g-greedy) with a
+	// Warm seeds supporting algorithms (currently g-greedy and
+	// g-greedy-parallel) with a
 	// previous plan's triples for incremental replanning: still-feasible
 	// seeds are re-validated and re-scored on the instance, invalidated
 	// ones (adopted class, depleted stock, repriced below profitability)
@@ -347,5 +350,16 @@ func annotateSolveSpan(sp *obs.Span, start time.Time, res Result, err error) {
 		scan := time.Duration(st.ScanNanos)
 		sp.ChildSpan("candidate-scan", start, scan)
 		sp.ChildSpan("selection", start.Add(scan), time.Duration(st.SelectNanos))
+	}
+	if st.Workers > 0 {
+		sp.SetInt("workers", int64(st.Workers))
+	}
+	// Per-partition settle time of a parallel solve. The spans share the
+	// selection phase's start: settling interleaves with coordination, so
+	// only the durations are meaningful, not the offsets.
+	for i, nanos := range st.WorkerSettleNanos {
+		if nanos > 0 {
+			sp.ChildSpan(fmt.Sprintf("settle-partition-%d", i), start.Add(time.Duration(st.ScanNanos)), time.Duration(nanos))
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -211,6 +212,80 @@ func BenchmarkWarmReplan(b *testing.B) {
 	})
 }
 
+// parallelSolveInstance is the selection-bound workload for the
+// sequential-vs-parallel solve comparison: enough users that the
+// partitioned scan has real spans to cut, enough candidates that the
+// lazy-forward selection loop dominates the build phase.
+func parallelSolveInstance(tb testing.TB) *model.Instance {
+	tb.Helper()
+	in := testgen.Random(dist.NewRNG(7), testgen.Params{
+		Users: 400, Items: 60, Classes: 6, T: 8, K: 3,
+		MaxCap: 30, CandProb: 0.3, MinPrice: 1, MaxPrice: 100,
+	})
+	if err := in.Validate(); err != nil {
+		tb.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkGGreedyParallel sweeps the worker count on the same
+// instance; workers=1 is the sequential in-line fallback, so the sweep
+// is the parallel scan's overhead/speedup curve. Output is
+// byte-identical at every point — only wall clock may differ.
+func BenchmarkGGreedyParallel(b *testing.B) {
+	in := parallelSolveInstance(b)
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.GGreedy(in)
+		}
+	})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.GGreedyParallel(in, w)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanWordOps compares the word-at-a-time Plan kernels against
+// their scalar per-candidate equivalents on a solved plan.
+func BenchmarkPlanWordOps(b *testing.B) {
+	f := newPlanOpsFixture(b)
+	n := model.CandID(f.in.NumCands())
+	b.Run("count-range/words", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if f.plan.CountRange(0, n) != f.plan.Len() {
+				b.Fatal("count mismatch")
+			}
+		}
+	})
+	b.Run("count-range/scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count := 0
+			for id := model.CandID(0); id < n; id++ {
+				if f.plan.Contains(id) {
+					count++
+				}
+			}
+			if count != f.plan.Len() {
+				b.Fatal("count mismatch")
+			}
+		}
+	})
+	b.Run("distinct-recipients/words", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.plan.DistinctRecipients(f.triples[i%len(f.triples)].I)
+		}
+	})
+	b.Run("upper-bound-keys/kernel", func(b *testing.B) {
+		dst := make([]float64, n)
+		for i := 0; i < b.N; i++ {
+			f.in.UpperBoundKeys(0, n, dst)
+		}
+	})
+}
+
 // TestPlanBenchReport, gated on BENCH_PLAN_OUT, measures the
 // representation and replanning workloads with testing.Benchmark and
 // writes BENCH_plan.json — the CI artifact for the planning-path bench
@@ -245,6 +320,31 @@ func TestPlanBenchReport(t *testing.T) {
 	replanWarm := measure(func(i int) { core.GGreedyWarm(wf.residual, wf.seeds) })
 	solveCold := measure(func(i int) { core.GGreedy(f.in) })
 
+	n64 := model.CandID(f.in.NumCands())
+	countWords := measure(func(i int) { f.plan.CountRange(0, n64) })
+	countScalar := measure(func(i int) {
+		count := 0
+		for id := model.CandID(0); id < n64; id++ {
+			if f.plan.Contains(id) {
+				count++
+			}
+		}
+		_ = count
+	})
+
+	// Sequential vs parallel solve on the selection-bound instance. The
+	// parallel scan is byte-identical to the sequential one at every
+	// worker count, so this table is pure wall clock; cpus records how
+	// many cores the host actually had — worker counts beyond it measure
+	// scheduling overhead, not parallelism.
+	pin := parallelSolveInstance(t)
+	solveSeq := measure(func(i int) { core.GGreedy(pin) })
+	parallelNs := map[string]float64{}
+	workerCounts := []int{1, 2, 4, 8}
+	for _, w := range workerCounts {
+		parallelNs[fmt.Sprintf("solve_parallel_%dw_ns", w)] = measure(func(i int) { core.GGreedyParallel(pin, w) })
+	}
+
 	type row struct {
 		name         string
 		oldNs, newNs float64
@@ -254,10 +354,17 @@ func TestPlanBenchReport(t *testing.T) {
 		{"add+remove (map → plan counters)", addRemoveMap, addRemovePlan},
 		{"CheckValid (fresh maps → pooled dense)", checkLegacy, checkFlat},
 		{"replan (cold solve → warm-start)", replanCold, replanWarm},
+		{"count selected (scalar loop → word popcount)", countScalar, countWords},
 	}
 	t.Log("old-vs-new (flat plan representation):")
 	for _, r := range rows {
-		t.Logf("  %-42s %10.0f ns → %10.0f ns (%.2fx)", r.name, r.oldNs, r.newNs, r.oldNs/r.newNs)
+		t.Logf("  %-46s %10.0f ns → %10.0f ns (%.2fx)", r.name, r.oldNs, r.newNs, r.oldNs/r.newNs)
+	}
+	t.Logf("sequential-vs-parallel G-Greedy (cands=%d, cpus=%d):", pin.NumCands(), runtime.NumCPU())
+	t.Logf("  %-14s %12.0f ns", "sequential", solveSeq)
+	for _, w := range workerCounts {
+		ns := parallelNs[fmt.Sprintf("solve_parallel_%dw_ns", w)]
+		t.Logf("  %-14s %12.0f ns (%.2fx vs sequential)", fmt.Sprintf("workers=%d", w), ns, solveSeq/ns)
 	}
 
 	report := map[string]any{
@@ -274,6 +381,15 @@ func TestPlanBenchReport(t *testing.T) {
 		"replan_warm_ns":       replanWarm,
 		"replan_speedup":       replanCold / replanWarm,
 		"ggreedy_solve_ns":     solveCold,
+		"count_words_ns":       countWords,
+		"count_scalar_ns":      countScalar,
+		"count_words_speedup":  countScalar / countWords,
+		"cpus":                 runtime.NumCPU(),
+		"solve_seq_ns":         solveSeq,
+		"parallel_speedup_8w":  solveSeq / parallelNs["solve_parallel_8w_ns"],
+	}
+	for k, v := range parallelNs {
+		report[k] = v
 	}
 	fh, err := os.Create(out)
 	if err != nil {
