@@ -1,0 +1,56 @@
+package revmax_test
+
+import (
+	"fmt"
+
+	revmax "repro"
+)
+
+// ExampleCluster serves the ExampleSolve catalog from a 2-shard
+// cluster: users are striped across shard engines, recommendations
+// route to the owning shard, and adoptions draw down the cross-shard
+// stock ledger the coordinator reconciles at flush barriers. The
+// answers are byte-identical to a single engine on the same instance.
+func ExampleCluster() {
+	in := revmax.NewInstance(2, 2, 1, 1) // 2 users, 2 items, T=1, k=1
+	in.SetItem(0, 0, 1, 2)               // item 0: class 0, no saturation, capacity 2
+	in.SetItem(1, 1, 1, 2)
+	in.SetPrice(0, 1, 40)
+	in.SetPrice(1, 1, 10)
+	in.AddCandidate(0, 0, 1, 0.5)
+	in.AddCandidate(0, 1, 1, 0.9)
+	in.AddCandidate(1, 1, 1, 0.25)
+	in.FinishCandidates()
+
+	cl, err := revmax.NewCluster(in, revmax.ClusterConfig{Shards: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+
+	for u := 0; u < 2; u++ {
+		recs, err := cl.Recommend(revmax.UserID(u), 1)
+		if err != nil {
+			panic(err)
+		}
+		for _, rec := range recs {
+			fmt.Printf("user %d: item %d at price %.0f (p=%.2f)\n", u, rec.Item, rec.Price, rec.Prob)
+		}
+	}
+
+	// User 0 adopts item 0; the flush barrier reconciles the shard's
+	// optimistic reservation against the coordinator's ledger.
+	if err := cl.Feed(revmax.ServeEvent{User: 0, Item: 0, T: 1, Adopted: true}); err != nil {
+		panic(err)
+	}
+	cl.Flush()
+	n, err := cl.Stock(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("item 0 stock after adoption: %d\n", n)
+	// Output:
+	// user 0: item 0 at price 40 (p=0.50)
+	// user 1: item 1 at price 10 (p=0.25)
+	// item 0 stock after adoption: 1
+}

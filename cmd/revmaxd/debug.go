@@ -3,29 +3,22 @@ package main
 import (
 	"net/http"
 	"net/http/pprof"
-
-	"repro/internal/serve"
 )
 
 // debugHandler is the management-plane mux served on -debug-addr: the
-// Go pprof suite plus mirrors of the engine's /metrics and
-// /debug/traces. The handlers are wired explicitly instead of leaning
-// on net/http/pprof's DefaultServeMux side effects, so the main API
+// Go pprof suite plus mirrors of the API handler's /metrics and
+// /debug/traces (single-engine or cluster-aggregated, whichever is
+// serving). The handlers are wired explicitly instead of leaning on
+// net/http/pprof's DefaultServeMux side effects, so the main API
 // listener can never accidentally expose profiling.
-func debugHandler(e *serve.Engine) http.Handler {
+func debugHandler(api http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		_ = e.Tracer().WriteJSON(w)
-	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = e.Metrics().WritePrometheus(w)
-	})
+	mux.Handle("GET /debug/traces", api)
+	mux.Handle("GET /metrics", api)
 	return mux
 }

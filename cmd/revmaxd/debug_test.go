@@ -21,7 +21,7 @@ func TestDebugHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer engine.Close()
-	srv := httptest.NewServer(debugHandler(engine))
+	srv := httptest.NewServer(debugHandler(serve.Handler(engine)))
 	defer srv.Close()
 
 	get := func(path string) (int, string) {

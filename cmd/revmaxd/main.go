@@ -38,6 +38,14 @@
 // The legacy -snapshot flag is the in-memory warm-restart path (write
 // one image on shutdown, restore it on boot); it is mutually exclusive
 // with -data-dir, which strictly supersedes it.
+//
+// Scale-out. With -shards N (N ≥ 2) the daemon stripes its users across
+// N engine shards behind a cross-shard stock/quota coordinator
+// (internal/cluster): same endpoints, same answers — /v1/stats
+// aggregates the fleet and /metrics carries a shard label per series.
+// Under -data-dir each shard logs to shard-<k>/ and the coordinator
+// ledger to coord/, and boot recovers all of them. The shard count is
+// part of the durable layout, so reboots must keep the same -shards.
 package main
 
 import (
@@ -50,11 +58,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/model"
@@ -62,6 +72,16 @@ import (
 	"repro/internal/solver"
 	"repro/internal/store"
 )
+
+// serving is the daemon-lifecycle surface shared by a single
+// serve.Engine and a sharded cluster.Cluster: everything run and
+// drainAndStop need after boot.
+type serving interface {
+	Stats() serve.Stats
+	Sync() error
+	Err() error
+	Close()
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -96,7 +116,8 @@ func run(args []string, stdout io.Writer) error {
 	snapshot := fs.String("snapshot", "", "legacy snapshot file: restore from it at boot if present, write it on shutdown (mutually exclusive with -data-dir)")
 	replanEvery := fs.Int("replan-every", 32, "adoptions per background replan")
 	warmStart := fs.Bool("warm-start", false, "seed each replan with the previous plan's still-feasible triples (lower replan latency; plans may differ from cold solves)")
-	shards := fs.Int("shards", 0, "user-store shard count (0 = next pow2 ≥ GOMAXPROCS)")
+	shards := fs.Int("shards", 1, "engine shard count: 1 serves from a single engine, ≥ 2 stripes users across a sharded cluster with a cross-shard stock/quota coordinator")
+	stripes := fs.Int("stripes", 0, "per-engine user-store lock-stripe count (0 = next pow2 ≥ GOMAXPROCS)")
 	dataDir := fs.String("data-dir", "", "durable state directory (write-ahead log + snapshots); recovery happens from here on boot")
 	debugAddr := fs.String("debug-addr", "", "listen address for the debug server (pprof, /metrics, /debug/traces); empty disables")
 	walSync := fs.String("wal-sync", "batch", "WAL fsync policy: always | batch | none")
@@ -117,6 +138,12 @@ func run(args []string, stdout io.Writer) error {
 	if *dataDir != "" && *snapshot != "" {
 		return errors.New("-snapshot and -data-dir are mutually exclusive (the data dir already snapshots on shutdown)")
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards %d out of range (want ≥ 1)", *shards)
+	}
+	if *shards >= 2 && *snapshot != "" {
+		return errors.New("-snapshot is the single-engine warm-restart path; sharded clusters persist through -data-dir")
+	}
 	policy, err := store.ParseSyncPolicy(*walSync)
 	if err != nil {
 		return err
@@ -125,15 +152,10 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := serve.Config{
-		Algorithm:   *algoName,
-		Solver:      solver.Options{Perms: *perms, Seed: *seed + 1, Workers: *workers, Cuts: cutList},
-		WarmStart:   *warmStart,
-		Shards:      *shards,
-		ReplanEvery: *replanEvery,
-	}
+	opts := solver.Options{Perms: *perms, Seed: *seed + 1, Workers: *workers, Cuts: cutList}
+	var durability *serve.Durability
 	if *dataDir != "" {
-		cfg.Durability = &serve.Durability{
+		durability = &serve.Durability{
 			Dir:  *dataDir,
 			Sync: policy,
 			// HTTP clients have no flush verb, so nothing would ever drive
@@ -146,19 +168,49 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	engine, err := bootEngine(cfg, *snapshot, *loadInstance, *dsName, *scale, *seed, *users, stdout)
-	if err != nil {
-		return err
+	var (
+		svc     serving
+		handler http.Handler
+	)
+	if *shards >= 2 {
+		ccfg := cluster.Config{
+			Shards:        *shards,
+			Algorithm:     *algoName,
+			Solver:        opts,
+			WarmStart:     *warmStart,
+			EngineStripes: *stripes,
+			ReplanEvery:   *replanEvery,
+			Durability:    durability,
+		}
+		cl, err := bootCluster(ccfg, *loadInstance, *dsName, *scale, *seed, *users, stdout)
+		if err != nil {
+			return err
+		}
+		svc, handler = cl, cluster.Handler(cl)
+	} else {
+		cfg := serve.Config{
+			Algorithm:   *algoName,
+			Solver:      opts,
+			WarmStart:   *warmStart,
+			Shards:      *stripes,
+			ReplanEvery: *replanEvery,
+			Durability:  durability,
+		}
+		engine, err := bootEngine(cfg, *snapshot, *loadInstance, *dsName, *scale, *seed, *users, stdout)
+		if err != nil {
+			return err
+		}
+		svc, handler = engine, serve.Handler(engine)
 	}
-	defer engine.Close()
+	defer svc.Close()
 
-	st := engine.Stats()
+	st := svc.Stats()
 	fmt.Fprintf(stdout, "revmaxd: %d users, %d items, T=%d, k=%d; plan rev %d with %d triples (expected revenue %.2f), %d shards, algo %s\n",
 		st.Users, st.Items, st.Horizon, st.K, st.PlanRevision, st.PlannedTriples, st.PlanRevenue, st.Shards, *algoName)
 
 	server := &http.Server{
 		Addr:         *addr,
-		Handler:      serve.Handler(engine),
+		Handler:      handler,
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 30 * time.Second,
 	}
@@ -168,7 +220,7 @@ func run(args []string, stdout io.Writer) error {
 
 	var debugServer *http.Server
 	if *debugAddr != "" {
-		debugServer = &http.Server{Addr: *debugAddr, Handler: debugHandler(engine)}
+		debugServer = &http.Server{Addr: *debugAddr, Handler: debugHandler(handler)}
 		// Debug-listener failures are fatal like main-listener ones: an
 		// operator who asked for pprof should not silently run without it.
 		go func() { errc <- debugServer.ListenAndServe() }()
@@ -198,7 +250,7 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(os.Stderr, "revmaxd: debug shutdown: %v\n", err)
 		}
 	}
-	if err := drainAndStop(engine, *snapshot, stdout); err != nil {
+	if err := drainAndStop(svc, *snapshot, stdout); err != nil {
 		return err
 	}
 	return serveErr
@@ -206,28 +258,35 @@ func run(args []string, stdout io.Writer) error {
 
 // drainAndStop is the graceful-shutdown tail, run after the HTTP
 // listener stops accepting: it drains the adoption-feedback queue
-// (every accepted event applied and replanned over), forces the WAL to
-// stable storage, writes the legacy snapshot file if requested, and
-// closes the engine — which, for durable engines, seals a final
-// snapshot and compacts the log so the next boot recovers warm. It
-// returns the first durability error, so a daemon that silently lost
-// its log exits non-zero instead of pretending the state is safe.
-func drainAndStop(engine *serve.Engine, snapshotPath string, stdout io.Writer) error {
-	syncErr := engine.Sync()
+// (every accepted event applied and replanned over — cluster-wide when
+// sharded), forces the WAL to stable storage, writes the legacy
+// snapshot file if requested, and closes the serving side — which, when
+// durable, seals final snapshots and compacts the logs so the next boot
+// recovers warm. It returns the first durability error, so a daemon
+// that silently lost its log exits non-zero instead of pretending the
+// state is safe.
+func drainAndStop(svc serving, snapshotPath string, stdout io.Writer) error {
+	syncErr := svc.Sync()
 	if snapshotPath != "" {
+		// Flag validation only lets -snapshot through in single-engine
+		// mode, so the assertion is structural, not reachable by users.
+		engine, ok := svc.(*serve.Engine)
+		if !ok {
+			return errors.New("legacy snapshots are single-engine only")
+		}
 		if err := writeSnapshot(engine, snapshotPath); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "revmaxd: snapshot written to %s\n", snapshotPath)
 	}
-	engine.Close()
+	svc.Close()
 	if syncErr != nil {
 		return fmt.Errorf("draining state on shutdown: %w", syncErr)
 	}
-	if err := engine.Err(); err != nil {
+	if err := svc.Err(); err != nil {
 		return fmt.Errorf("sealing durable state on shutdown: %w", err)
 	}
-	if st := engine.Stats(); st.Durable {
+	if st := svc.Stats(); st.Durable {
 		fmt.Fprintf(stdout, "revmaxd: durable state sealed at wal lsn %d\n", st.WALNextLSN)
 	}
 	return nil
@@ -280,6 +339,33 @@ func bootEngine(cfg serve.Config, snapshot, loadInstance, dsName string, scale f
 		return nil, err
 	}
 	return serve.NewEngine(in, cfg)
+}
+
+// bootCluster is bootEngine's sharded twin: recover the whole fleet
+// (shards + coordinator ledger) when the data dir holds state,
+// otherwise build the instance and boot fresh. The legacy snapshot file
+// has no cluster form, so there is no restore branch.
+func bootCluster(cfg cluster.Config, loadInstance, dsName string, scale float64, seed uint64, users int, stdout io.Writer) (*cluster.Cluster, error) {
+	if d := cfg.Durability; d != nil && d.Dir != "" && store.DirHasState(filepath.Join(d.Dir, "coord")) {
+		cl, err := cluster.Open(nil, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("recover %s: %w", d.Dir, err)
+		}
+		fmt.Fprintf(stdout, "revmaxd: recovered %d-shard durable cluster from %s\n", cl.Shards(), d.Dir)
+		return cl, nil
+	}
+	in, err := buildInstance(loadInstance, dsName, scale, seed, users)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.Open(in, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if d := cfg.Durability; d != nil && d.Dir != "" {
+		fmt.Fprintf(stdout, "revmaxd: %d-shard durable cluster initialized in %s\n", cl.Shards(), d.Dir)
+	}
+	return cl, nil
 }
 
 func buildInstance(loadInstance, dsName string, scale float64, seed uint64, users int) (*model.Instance, error) {

@@ -2,13 +2,19 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/solver"
 	"repro/internal/testgen"
@@ -234,5 +240,117 @@ func TestParallelPlannerMatchesSequential(t *testing.T) {
 	if parStats.PlanRevenue != seqStats.PlanRevenue || parStats.PlannedTriples != seqStats.PlannedTriples {
 		t.Fatalf("parallel plan (rev %v, %d triples) != sequential (rev %v, %d triples)",
 			parStats.PlanRevenue, parStats.PlannedTriples, seqStats.PlanRevenue, seqStats.PlannedTriples)
+	}
+}
+
+// TestShardsFlagFailFast: an out-of-range -shards and the
+// -shards/-snapshot conflict both fail before dataset generation or
+// port binding.
+func TestShardsFlagFailFast(t *testing.T) {
+	for _, bad := range []string{"0", "-3"} {
+		err := run([]string{"-shards", bad}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), "-shards") {
+			t.Fatalf("-shards %s not rejected: %v", bad, err)
+		}
+	}
+	err := run([]string{"-shards", "2", "-snapshot", "x.snap"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "single-engine") {
+		t.Fatalf("-shards 2 with -snapshot not rejected: %v", err)
+	}
+}
+
+// TestClusterServesSharded is the daemon-level sharded e2e: boot a
+// 3-shard cluster the way run does, serve it over HTTP, and check that
+// recommendations route, /v1/stats aggregates the fleet, and /metrics
+// is a conformant exposition carrying per-shard labels.
+func TestClusterServesSharded(t *testing.T) {
+	cl, err := cluster.Open(daemonInstance(t), cluster.Config{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cluster.Handler(cl))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/recommend?user=7&t=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/recommend code %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Users   int `json:"users"`
+		Cluster struct {
+			Shards int `json:"shards"`
+		} `json:"cluster"`
+		PerShard []struct {
+			Users int `json:"users"`
+		} `json:"per_shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Users != 40 || stats.Cluster.Shards != 3 || len(stats.PerShard) != 3 {
+		t.Fatalf("aggregated stats wrong: %+v", stats)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if _, err := obs.ParseExposition(bytes.NewReader(metrics)); err != nil {
+		t.Fatalf("merged /metrics fails conformance: %v", err)
+	}
+	if !strings.Contains(string(metrics), `shard="2"`) {
+		t.Fatal("merged /metrics missing per-shard labels")
+	}
+
+	var out bytes.Buffer
+	if err := drainAndStop(cl, "", &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterBootRecoversDurable drives bootCluster's two paths over
+// one directory: fresh durable boot, graceful drain, then a second boot
+// that must recover the fleet instead of re-generating the world.
+func TestClusterBootRecoversDurable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := cluster.Config{Shards: 2, Durability: &serve.Durability{Dir: dir}}
+	cl, err := cluster.Open(daemonInstance(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		ev := serve.Event{User: model.UserID(k % 40), Item: model.ItemID(k % 8), T: 1, Adopted: k%5 == 0}
+		if err := cl.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out bytes.Buffer
+	if err := drainAndStop(cl, "", &out); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted, err := bootCluster(cfg, "", "", 0, 0, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Close()
+	if !strings.Contains(out.String(), "recovered 2-shard durable cluster") {
+		t.Fatalf("restart did not recover the cluster: %q", out.String())
+	}
+	if got := restarted.Stats().Exposures; got != 10 {
+		t.Fatalf("recovered cluster sees %d exposures, want 10", got)
 	}
 }

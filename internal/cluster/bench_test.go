@@ -1,0 +1,177 @@
+// Benchmarks for the sharded serving path and the BENCH_cluster.json CI
+// artifact: RecommendBatch fan-out at 1/2/4 shards against a single
+// engine, and the coordinator's reservation-reconcile barrier overhead.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+const benchUsers = 512
+
+func benchUserIDs(n int) []model.UserID {
+	users := make([]model.UserID, n)
+	for u := range users {
+		users[u] = model.UserID(u)
+	}
+	return users
+}
+
+func benchEngine(tb testing.TB) *serve.Engine {
+	tb.Helper()
+	in := testInstance(tb, benchUsers, 99)
+	eng, err := serve.Open(in, serve.Config{ReplanEvery: 1 << 30})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(eng.Close)
+	return eng
+}
+
+func benchCluster(tb testing.TB, shards int) *Cluster {
+	tb.Helper()
+	in := testInstance(tb, benchUsers, 99)
+	cl, err := New(in, Config{Shards: shards, ReplanEvery: 1 << 30})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(cl.Close)
+	return cl
+}
+
+// BenchmarkClusterRecommendBatch measures a full-population batch
+// through the router's scatter/gather against the same batch on one
+// engine — the per-request cost of sharding (goroutine fan-out plus
+// input-order merge) and its concurrency payoff.
+func BenchmarkClusterRecommendBatch(b *testing.B) {
+	users := benchUserIDs(benchUsers)
+	b.Run("engine", func(b *testing.B) {
+		eng := benchEngine(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.RecommendBatch(users, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			cl := benchCluster(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cl.RecommendBatch(users, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterReconcile measures the flush barrier: drain every
+// shard's feedback queue, reconcile optimistic stock views against the
+// coordinator ledger, and (with no adoptions pending) skip the replan —
+// the fixed per-barrier overhead the coordinator adds over a
+// single-engine Flush.
+func BenchmarkClusterReconcile(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			cl := benchCluster(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cl.Flush()
+			}
+		})
+		b.Run(fmt.Sprintf("shards-%d-feed", n), func(b *testing.B) {
+			cl := benchCluster(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// A non-adopting event exercises the queue drain inside the
+				// barrier without draining stock or triggering a replan.
+				if err := cl.Feed(serve.Event{User: model.UserID(i % benchUsers), Item: 0, T: 1}); err != nil {
+					b.Fatal(err)
+				}
+				cl.Flush()
+			}
+		})
+	}
+}
+
+// TestClusterBenchReport, gated on BENCH_CLUSTER_OUT, measures the
+// sharded serving workloads with testing.Benchmark and writes
+// BENCH_cluster.json — the CI artifact for the scale-out trajectory —
+// plus a single-vs-sharded table in the job log.
+func TestClusterBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_CLUSTER_OUT")
+	if out == "" {
+		t.Skip("set BENCH_CLUSTER_OUT=<path> to write the cluster benchmark report")
+	}
+	users := benchUserIDs(benchUsers)
+
+	measure := func(fn func(i int)) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn(i)
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	eng := benchEngine(t)
+	engineBatch := measure(func(i int) {
+		if _, err := eng.RecommendBatch(users, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	shardCounts := []int{1, 2, 4}
+	batchNs := map[int]float64{}
+	reconcileNs := map[int]float64{}
+	for _, n := range shardCounts {
+		cl := benchCluster(t, n)
+		batchNs[n] = measure(func(i int) {
+			if _, err := cl.RecommendBatch(users, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+		reconcileNs[n] = measure(func(i int) { cl.Flush() })
+	}
+
+	t.Logf("RecommendBatch, %d users (cpus=%d):", benchUsers, runtime.NumCPU())
+	t.Logf("  %-12s %12.0f ns", "engine", engineBatch)
+	for _, n := range shardCounts {
+		t.Logf("  %-12s %12.0f ns (%.2fx vs engine), reconcile barrier %8.0f ns",
+			fmt.Sprintf("shards=%d", n), batchNs[n], engineBatch/batchNs[n], reconcileNs[n])
+	}
+
+	report := map[string]any{
+		"benchmark":                  "ClusterServing",
+		"users":                      benchUsers,
+		"cpus":                       runtime.NumCPU(),
+		"recommend_batch_engine_ns":  engineBatch,
+		"cluster_speedup_4shards":    engineBatch / batchNs[4],
+		"recommend_batch_1shards_ns": batchNs[1],
+		"recommend_batch_2shards_ns": batchNs[2],
+		"recommend_batch_4shards_ns": batchNs[4],
+		"reconcile_1shards_ns":       reconcileNs[1],
+		"reconcile_2shards_ns":       reconcileNs[2],
+		"reconcile_4shards_ns":       reconcileNs[4],
+	}
+	fh, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,1028 @@
+// Package cluster scales online serving past one engine: it partitions
+// the user base across N serve.Engine shards — each with its own
+// lock-striped user store, feedback loop, write-ahead log, and
+// observability registry — behind a router that fans requests to the
+// owning shard, while a coordinator owns the only cross-shard state
+// (per-item stock and distinct-user display quotas) and keeps the
+// whole fleet on one globally consistent plan.
+//
+// The partitioning leans on REVMAX's structure: every constraint of
+// the model except item capacity is user-local (display slots per user
+// per step, one adoption per competition class per user, saturation
+// memory per user), so shards serve and absorb feedback with no
+// cross-talk at all. The two couplings that remain — remaining stock,
+// and the ≤ qᵢ distinct users an item may be shown to — are owned by
+// the coordinator: stock flows to shards as optimistic reservations
+// reconciled at flush barriers (see coord.go), and quotas are enforced
+// by planning globally.
+//
+// Planning is coordinator-driven: at each flush barrier that saw new
+// adoptions or an exogenous change, the coordinator gathers every
+// shard's feedback into one global view, solves the global residual
+// instance ONCE with the configured algorithm, and installs per-shard
+// slices of the resulting strategy. Shard engines are configured with
+// a planner closure that returns their current slice, so engine-local
+// replans (boot recovery, advance-forced replans) are cheap fetches of
+// coordinator output rather than independent solves. The payoff is
+// exact equivalence: a cluster of any shard count runs the same
+// algorithm-invocation sequence on the same residual instances as a
+// single engine and therefore produces byte-identical outcomes —
+// which internal/scenario asserts across the whole archetype catalog.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/planner"
+	"repro/internal/revenue"
+	"repro/internal/serve"
+	"repro/internal/solver"
+	"repro/internal/store"
+)
+
+// Config tunes a Cluster. Planning fields mirror serve.Config — they
+// configure the coordinator's global solves; shard engines never solve.
+type Config struct {
+	// Shards is the number of serve.Engine shards the user base is
+	// striped across. Must be ≥ 1 and ≤ the instance's user count (an
+	// empty shard would serve nobody and skew reconciliation).
+	Shards int
+	// Algorithm names the registered solver for coordinated replans
+	// (empty falls back like serve.Config.Algorithm).
+	Algorithm string
+	// Solver carries the named algorithm's options.
+	Solver solver.Options
+	// Planner, when non-nil, bypasses the registry with a custom global
+	// planning function (same contract as serve.Config.Planner).
+	Planner planner.Algorithm
+	// WarmStart seeds each coordinated replan with the previous global
+	// plan's triples.
+	WarmStart bool
+	// EngineStripes is each shard engine's internal lock-stripe count
+	// (serve.Config.Shards; 0 = next pow2 ≥ GOMAXPROCS).
+	EngineStripes int
+	// ReplanEvery is passed through to shard engines. Engine-local
+	// replans only re-fetch the shard's slice, so this mostly controls
+	// how often engines refresh conditional probabilities mid-barrier.
+	ReplanEvery int
+	// QueueDepth is each shard's feedback-queue buffer.
+	QueueDepth int
+	// Durability, when non-nil with a Dir, makes the whole cluster
+	// durable: Dir becomes the cluster root, shard k logs under
+	// shard-<k>/ and the coordinator ledger under coord/. Durable
+	// clusters are created with Open; New rejects a durable config.
+	Durability *serve.Durability
+}
+
+// engineConfig builds shard k's serve.Config: the cluster's planning
+// is replaced by a closure handing out the shard's current slice.
+func (c *Cluster) engineConfig(k int) serve.Config {
+	cfg := serve.Config{
+		Planner:     func(*model.Instance) *model.Strategy { return c.sliceFor(k) },
+		Shards:      c.cfg.EngineStripes,
+		ReplanEvery: c.cfg.ReplanEvery,
+		QueueDepth:  c.cfg.QueueDepth,
+	}
+	if d := c.cfg.Durability; d != nil && d.Dir != "" {
+		sd := *d
+		sd.Dir = filepath.Join(d.Dir, fmt.Sprintf("shard-%d", k))
+		cfg.Durability = &sd
+	}
+	return cfg
+}
+
+// Cluster is a user-sharded fleet of serving engines behind one
+// router. All exported methods are safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	n      int
+	global *model.Instance
+
+	// custom/opts/warm mirror serve.Engine's resolved planning config,
+	// but for the coordinator's global solves.
+	custom   planner.Algorithm
+	opts     solver.Options
+	warm     bool
+	warmPrev []model.Triple
+
+	// engMu guards the engines slice itself (RecoverShard swaps an
+	// entry); the engines are internally thread-safe. Lock order:
+	// mu before engMu.
+	engMu   sync.RWMutex
+	engines []*serve.Engine
+
+	// strat is the live global strategy; slices[k] is shard k's portion
+	// re-keyed to local user IDs, read by the shard's planner closure.
+	strat   atomic.Pointer[model.Strategy]
+	slices  []atomic.Pointer[model.Strategy]
+	revBits atomic.Uint64 // global plan revenue, float64 bits
+
+	co *coordinator
+
+	// mu serializes the barrier protocol (flush, reconcile, replan) and
+	// exogenous mutations of shared state (stock overrides, price
+	// rescales, recovery, close).
+	mu     sync.Mutex
+	closed bool
+
+	// dirty marks adoptions fed since the last coordinated replan;
+	// force marks exogenous changes (advance, stock, price) that
+	// invalidate the plan regardless. Both are consumed at barriers.
+	dirty atomic.Bool
+	force atomic.Bool
+
+	clock   atomic.Int64
+	replans atomic.Int64
+	errMu   sync.Mutex
+	err     error
+}
+
+// New builds an in-memory cluster: it solves the initial global plan,
+// carves the instance into per-shard sub-instances, and starts one
+// engine per shard. The instance must be finished and valid; the
+// cluster takes ownership.
+func New(in *model.Instance, cfg Config) (*Cluster, error) {
+	if cfg.Durability != nil && cfg.Durability.Dir != "" {
+		return nil, errors.New("cluster: durable clusters must be created with Open (New never recovers existing state)")
+	}
+	return boot(in, cfg)
+}
+
+// Open is the durable-cluster constructor and recovery entry point:
+// with no Durability it is exactly New; with one it either recovers
+// every shard and the coordinator ledger from the cluster root, or
+// boots fresh from in, laying out shard-<k>/ and coord/ directories.
+func Open(in *model.Instance, cfg Config) (*Cluster, error) {
+	d := cfg.Durability
+	if d == nil || d.Dir == "" {
+		if in == nil {
+			return nil, errors.New("cluster: nil instance and no durable state configured")
+		}
+		return boot(in, cfg)
+	}
+	if store.DirHasState(filepath.Join(d.Dir, "coord")) {
+		return recoverCluster(cfg)
+	}
+	if in == nil {
+		return nil, fmt.Errorf("cluster: data dir %q holds no recoverable state and no instance was provided", d.Dir)
+	}
+	return boot(in, cfg)
+}
+
+// newShell resolves the planning config and allocates the cluster
+// skeleton shared by fresh boot and recovery.
+func newShell(cfg Config, items int, capacity func(int) int64) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: shard count %d out of range (want ≥ 1)", cfg.Shards)
+	}
+	custom := cfg.Planner
+	opts := cfg.Solver
+	if custom == nil {
+		if cfg.Algorithm != "" {
+			opts.Algorithm = cfg.Algorithm
+		}
+		if err := solver.ValidateOptions(opts); err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		n:      cfg.Shards,
+		custom: custom,
+		opts:   opts,
+		warm:   cfg.WarmStart && custom == nil,
+		slices: make([]atomic.Pointer[model.Strategy], cfg.Shards),
+		co:     newCoordinator(cfg.Shards, items, capacity),
+	}
+	c.clock.Store(1)
+	return c, nil
+}
+
+// boot is the cold-start path: initial global solve, then one engine
+// per shard (durable engines stamp base snapshots under their dirs).
+func boot(in *model.Instance, cfg Config) (*Cluster, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Shards > in.NumUsers {
+		return nil, fmt.Errorf("cluster: shard count %d exceeds user count %d (an empty shard would serve nobody)", cfg.Shards, in.NumUsers)
+	}
+	c, err := newShell(cfg, in.NumItems(), func(i int) int64 {
+		return int64(in.Capacity(model.ItemID(i)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.global = in
+	// Initial plan mirrors a single engine's boot: solve the raw
+	// instance (not a residual) so the first strategy matches what
+	// serve.NewEngine would install. The quota trim is a no-op for
+	// valid solver output (same-pointer fast path).
+	s := c.solveGlobal(in)
+	s, denied := admitQuota(in, s)
+	if denied > 0 {
+		c.co.denials.Add(int64(denied))
+	}
+	c.installGlobal(in, s)
+	c.engines = make([]*serve.Engine, c.n)
+	for k := 0; k < c.n; k++ {
+		sub := subInstance(in, c.n, k)
+		eng, err := serve.Open(sub, c.engineConfig(k))
+		if err != nil {
+			c.closeEngines()
+			return nil, fmt.Errorf("cluster: shard %d: %w", k, err)
+		}
+		c.engines[k] = eng
+	}
+	if err := c.openCoordStore(); err != nil {
+		c.closeEngines()
+		return nil, err
+	}
+	if err := c.co.snapshot(); err != nil {
+		c.closeEngines()
+		return nil, fmt.Errorf("cluster: coordinator base snapshot: %w", err)
+	}
+	return c, nil
+}
+
+// recoverCluster rebuilds a durable cluster after a full-process
+// crash: every shard engine recovers from its own directory, the
+// global instance is reassembled from the shards' sub-instances, the
+// coordinator ledger is replayed, and one forced coordinated replan
+// puts the fleet back on a single fresh plan before Open returns.
+//
+// The ledger is exact when the crash hit a barrier-consistent window
+// (graceful close, or kill between barriers with no un-reconciled
+// drawdowns); in a torn window it is conservative — the first
+// reconcile measures each recovered shard's view against the recovered
+// remainder, so stock can only be released late, never over-granted.
+func recoverCluster(cfg Config) (*Cluster, error) {
+	d := cfg.Durability
+	engines := make([]*serve.Engine, cfg.Shards)
+	closeAll := func() {
+		for _, e := range engines {
+			if e != nil {
+				e.Close()
+			}
+		}
+	}
+	// The shell (and with it the planner closures and coordinator) needs
+	// the item count, which lives in the shard snapshots; recover shard
+	// engines first against a placeholder closure via a late-bound ref.
+	var c *Cluster
+	ref := &c
+	for k := 0; k < cfg.Shards; k++ {
+		k := k
+		ecfg := serve.Config{
+			Planner: func(*model.Instance) *model.Strategy {
+				if cl := *ref; cl != nil {
+					return cl.sliceFor(k)
+				}
+				return model.NewStrategy()
+			},
+			Shards:      cfg.EngineStripes,
+			ReplanEvery: cfg.ReplanEvery,
+			QueueDepth:  cfg.QueueDepth,
+		}
+		sd := *d
+		sd.Dir = filepath.Join(d.Dir, fmt.Sprintf("shard-%d", k))
+		ecfg.Durability = &sd
+		eng, err := serve.Open(nil, ecfg)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("cluster: recover shard %d: %w", k, err)
+		}
+		engines[k] = eng
+	}
+	subs := make([]*model.Instance, cfg.Shards)
+	for k, e := range engines {
+		subs[k] = e.Instance()
+	}
+	global, err := assembleGlobal(subs)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	shell, err := newShell(cfg, global.NumItems(), func(i int) int64 {
+		return int64(global.Capacity(model.ItemID(i)))
+	})
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	shell.global = global
+	shell.engines = engines
+	if err := shell.openCoordStore(); err != nil {
+		closeAll()
+		return nil, err
+	}
+	if shell.co.st.HasState() {
+		if err := shell.co.recoverLedger(); err != nil {
+			closeAll()
+			shell.co.st.Close()
+			return nil, err
+		}
+	}
+	// Resume the clock at the furthest point any shard reached; lagging
+	// shards (killed before logging an advance) are pulled forward by
+	// the coordinated replan below.
+	clock := model.TimeStep(1)
+	for _, e := range engines {
+		if now := e.Now(); now > clock {
+			clock = now
+		}
+	}
+	shell.clock.Store(int64(clock))
+	c = shell // arm the planner closures before the replan needs them
+	c.force.Store(true)
+	c.Flush()
+	if err := c.co.snapshot(); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("cluster: coordinator recovery snapshot: %w", err)
+	}
+	return c, nil
+}
+
+// openCoordStore opens the coordinator's durable ledger (no-op for
+// in-memory clusters), placing its WAL metrics on the coordinator's
+// registry.
+func (c *Cluster) openCoordStore() error {
+	d := c.cfg.Durability
+	if d == nil || d.Dir == "" {
+		return nil
+	}
+	st, err := store.Open(filepath.Join(d.Dir, "coord"), store.Options{
+		SyncPolicy:   d.Sync,
+		SyncInterval: d.SyncInterval,
+		SegmentBytes: d.SegmentBytes,
+		Metrics:      c.co.reg,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: coordinator store: %w", err)
+	}
+	c.co.st = st
+	return nil
+}
+
+func (c *Cluster) closeEngines() {
+	for _, e := range c.engines {
+		if e != nil {
+			e.Close()
+		}
+	}
+}
+
+// sliceFor returns shard k's portion of the live global strategy (an
+// empty strategy before the first install — only reachable during
+// recovery boot, before the forced coordinated replan).
+func (c *Cluster) sliceFor(k int) *model.Strategy {
+	if s := c.slices[k].Load(); s != nil {
+		return s
+	}
+	return model.NewStrategy()
+}
+
+// Shards returns the cluster's shard count.
+func (c *Cluster) Shards() int { return c.n }
+
+// Instance returns the assembled global instance. Read-only.
+func (c *Cluster) Instance() *model.Instance { return c.global }
+
+// Now returns the cluster clock.
+func (c *Cluster) Now() model.TimeStep { return model.TimeStep(c.clock.Load()) }
+
+// Strategy returns the live global strategy.
+func (c *Cluster) Strategy() *model.Strategy { return c.strat.Load() }
+
+// owner validates u and returns its shard and local ID.
+func (c *Cluster) owner(u model.UserID) (int, model.UserID, error) {
+	if int(u) < 0 || int(u) >= c.global.NumUsers {
+		return 0, 0, fmt.Errorf("cluster: unknown user %d", u)
+	}
+	return shardOf(u, c.n), localID(u, c.n), nil
+}
+
+// Recommend routes the lookup to u's owning shard.
+func (c *Cluster) Recommend(u model.UserID, t model.TimeStep) ([]serve.Recommendation, error) {
+	k, lu, err := c.owner(u)
+	if err != nil {
+		return nil, err
+	}
+	c.engMu.RLock()
+	eng := c.engines[k]
+	c.engMu.RUnlock()
+	return eng.Recommend(lu, t)
+}
+
+// RecommendBatch fans the batch out to the owning shards — one
+// sub-batch per shard, served concurrently — and merges the results
+// back into input order.
+func (c *Cluster) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]serve.Recommendation, error) {
+	groups := make([][]int, c.n)          // input positions per shard
+	locals := make([][]model.UserID, c.n) // local IDs per shard, aligned
+	for pos, u := range users {
+		k, lu, err := c.owner(u)
+		if err != nil {
+			return nil, err
+		}
+		groups[k] = append(groups[k], pos)
+		locals[k] = append(locals[k], lu)
+	}
+	out := make([][]serve.Recommendation, len(users))
+	errs := make([]error, c.n)
+	c.engMu.RLock()
+	var wg sync.WaitGroup
+	for k := 0; k < c.n; k++ {
+		if len(groups[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int, eng *serve.Engine) {
+			defer wg.Done()
+			recs, err := eng.RecommendBatch(locals[k], t)
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			for i, pos := range groups[k] {
+				out[pos] = recs[i]
+			}
+		}(k, c.engines[k])
+	}
+	wg.Wait()
+	c.engMu.RUnlock()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Feed routes one adoption-feedback event to the owning shard, which
+// draws its local stock reservation down; an adoption also marks the
+// cluster dirty so the next barrier runs a coordinated replan. The
+// dirty mark happens before the enqueue, so a Flush that observes the
+// event also observes the mark.
+func (c *Cluster) Feed(ev serve.Event) error {
+	k, lu, err := c.owner(ev.User)
+	if err != nil {
+		return err
+	}
+	if ev.Adopted {
+		c.dirty.Store(true)
+	}
+	ev.User = lu
+	c.engMu.RLock()
+	eng := c.engines[k]
+	c.engMu.RUnlock()
+	return eng.Feed(ev)
+}
+
+// SetNow advances the cluster clock on every shard and schedules a
+// coordinated replan at the next barrier (the residual horizon
+// changed).
+func (c *Cluster) SetNow(t model.TimeStep) error {
+	if t < 1 || int(t) > c.global.T {
+		return fmt.Errorf("cluster: time step %d outside horizon [1,%d]", t, c.global.T)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int64(t) < c.clock.Load() {
+		return fmt.Errorf("cluster: clock may not move backwards (%d < %d)", t, c.clock.Load())
+	}
+	c.engMu.RLock()
+	for _, e := range c.engines {
+		if err := e.SetNow(t); err != nil {
+			c.engMu.RUnlock()
+			return err
+		}
+	}
+	c.engMu.RUnlock()
+	c.clock.Store(int64(t))
+	c.force.Store(true)
+	return nil
+}
+
+// SetStock overrides item i's remaining stock cluster-wide — an
+// exogenous inventory event. The override becomes the authoritative
+// remainder, is logged to the coordinator ledger, and is granted to
+// every shard (through each shard's WAL); un-reconciled local
+// drawdowns are erased, exactly like a single engine's override
+// erasing its drawdown history. Negative n clamps to zero.
+func (c *Cluster) SetStock(i model.ItemID, n int) error {
+	if int(i) < 0 || int(i) >= c.global.NumItems() {
+		return fmt.Errorf("cluster: unknown item %d", i)
+	}
+	if n < 0 {
+		n = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("cluster: closed")
+	}
+	c.co.stock[i] = int64(n)
+	c.co.logStock(int(i), int64(n))
+	c.engMu.RLock()
+	for k, e := range c.engines {
+		if err := e.SetStock(i, n); err != nil {
+			c.engMu.RUnlock()
+			return err
+		}
+		c.co.pushed[k][i] = int64(n)
+	}
+	c.engMu.RUnlock()
+	c.co.updateGauges()
+	c.force.Store(true)
+	return nil
+}
+
+// Stock returns item i's authoritative remaining stock — the
+// coordinator's remainder, which reflects every adoption reconciled so
+// far (shard-local drawdowns since the last barrier are not yet
+// subtracted; Flush first for an up-to-date reading).
+func (c *Cluster) Stock(i model.ItemID) (int, error) {
+	if int(i) < 0 || int(i) >= c.global.NumItems() {
+		return 0, fmt.Errorf("cluster: unknown item %d", i)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int(c.co.stock[i]), nil
+}
+
+// ScalePrice multiplies item i's price by factor from step `from` on,
+// on the global instance and every shard, and schedules a coordinated
+// replan.
+func (c *Cluster) ScalePrice(i model.ItemID, from model.TimeStep, factor float64) error {
+	if int(i) < 0 || int(i) >= c.global.NumItems() {
+		return fmt.Errorf("cluster: unknown item %d", i)
+	}
+	if from < 1 {
+		from = 1
+	}
+	if int(from) > c.global.T {
+		return fmt.Errorf("cluster: time step %d outside horizon [1,%d]", from, c.global.T)
+	}
+	if factor <= 0 || math.IsInf(factor, 0) || math.IsNaN(factor) {
+		return fmt.Errorf("cluster: price factor %v out of range (want finite > 0)", factor)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("cluster: closed")
+	}
+	c.engMu.RLock()
+	for _, e := range c.engines {
+		if err := e.ScalePrice(i, from, factor); err != nil {
+			c.engMu.RUnlock()
+			return err
+		}
+	}
+	c.engMu.RUnlock()
+	// Mirror the rescale on the global instance the coordinator plans
+	// from (engines apply theirs through their feedback loops; the next
+	// barrier flush orders both before the solve).
+	for t := from; int(t) <= c.global.T; t++ {
+		c.global.SetPrice(i, t, c.global.Price(i, t)*factor)
+	}
+	c.force.Store(true)
+	return nil
+}
+
+// Flush is the cluster-wide barrier: every event fed before the call
+// is applied on its shard, stock reservations are reconciled through
+// the coordinator, and — if any adoption or exogenous change occurred
+// since the last barrier — one coordinated global replan installs
+// fresh plan slices on every shard. On return the fleet serves one
+// consistent plan and, for durable clusters, everything flushed has
+// been fsynced (shard WALs and coordinator ledger).
+func (c *Cluster) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushLocked()
+}
+
+func (c *Cluster) flushLocked() {
+	if c.closed {
+		return
+	}
+	// Barrier 1: drain every shard's queue so reconciliation and
+	// feedback gathering see all events fed before Flush.
+	c.flushEngines()
+	granted := c.reconcileLocked()
+	dirty := c.dirty.Swap(false)
+	force := c.force.Swap(false)
+	if dirty || force {
+		c.replanLocked()
+		// Advance every engine to the cluster clock; equal-time advances
+		// are allowed and force the engine to fetch its fresh slice.
+		clock := model.TimeStep(c.clock.Load())
+		c.engMu.RLock()
+		for _, e := range c.engines {
+			_ = e.SetNow(clock)
+		}
+		c.engMu.RUnlock()
+		// Barrier 2: wait for grants, advances, and slice installs.
+		c.flushEngines()
+	} else if granted {
+		// No replan, but reconciliation re-granted stock views; apply
+		// them before returning.
+		c.flushEngines()
+	}
+	c.syncEngines()
+	c.co.sync()
+	c.setErr(c.co.err)
+}
+
+func (c *Cluster) flushEngines() {
+	c.engMu.RLock()
+	defer c.engMu.RUnlock()
+	for _, e := range c.engines {
+		e.Flush()
+	}
+}
+
+func (c *Cluster) syncEngines() {
+	c.engMu.RLock()
+	defer c.engMu.RUnlock()
+	for _, e := range c.engines {
+		if err := e.Sync(); err != nil {
+			c.setErr(err)
+		}
+	}
+}
+
+// reconcileLocked settles the optimistic stock reservations: each
+// shard's drawdown since its last grant is charged against the
+// authoritative remainder (floored at zero — the same clamp a single
+// engine applies), changed remainders are logged to the coordinator
+// ledger, and any shard whose view diverged from the new remainder is
+// re-granted. Returns whether any grant was pushed (the caller owes an
+// engine flush to apply it).
+func (c *Cluster) reconcileLocked() bool {
+	co := c.co
+	granted := false
+	c.engMu.RLock()
+	defer c.engMu.RUnlock()
+	views := make([]int64, c.n)
+	for i := range co.stock {
+		item := model.ItemID(i)
+		var draw int64
+		for k, e := range c.engines {
+			v, err := e.Stock(item)
+			if err != nil {
+				// Unreachable for in-range items; treat as no drawdown.
+				views[k] = co.pushed[k][i]
+				continue
+			}
+			views[k] = int64(v)
+			if d := co.pushed[k][i] - int64(v); d > 0 {
+				draw += d
+			}
+		}
+		if draw > 0 {
+			r := co.stock[i] - draw
+			if r < 0 {
+				r = 0
+			}
+			co.stock[i] = r
+			co.logStock(i, r)
+		}
+		for k, e := range c.engines {
+			if views[k] == co.stock[i] {
+				co.pushed[k][i] = views[k]
+				continue
+			}
+			if err := e.SetStock(item, int(co.stock[i])); err != nil {
+				c.setErr(err)
+				continue
+			}
+			co.pushed[k][i] = co.stock[i]
+			co.regrants.Inc()
+			granted = true
+		}
+	}
+	co.reconciles.Inc()
+	co.updateGauges()
+	return granted
+}
+
+// replanLocked runs one coordinated global replan: gather every
+// shard's feedback, merge into the global view (stock from the
+// coordinator ledger, clock from the cluster), solve the residual
+// instance once, trim any quota violation, and install the slices.
+func (c *Cluster) replanLocked() {
+	fb, err := c.gatherFeedback()
+	if err != nil {
+		// A shard died mid-barrier (explicit Kill). Leave the old plan
+		// standing; recovery re-forces a replan.
+		c.setErr(err)
+		c.dirty.Store(true)
+		return
+	}
+	residual := planner.Residual(c.global, fb)
+	s := c.solveGlobal(residual)
+	s, denied := admitQuota(residual, s)
+	if denied > 0 {
+		c.co.denials.Add(int64(denied))
+	}
+	c.installGlobal(residual, s)
+}
+
+// gatherFeedback merges the shards' consistent feedback exports into
+// one global view. User keys are re-keyed shard-local → global; the
+// key sets are disjoint by construction, so merging is pure re-keying.
+// Stock comes from the coordinator (just reconciled), Now from the
+// cluster clock.
+func (c *Cluster) gatherFeedback() (planner.Feedback, error) {
+	out := planner.Feedback{
+		AdoptedClass: make(map[model.UserID]map[model.ClassID]bool),
+		Exposures:    make(map[model.UserID]map[model.ClassID][]model.TimeStep),
+		Stock:        make([]int, len(c.co.stock)),
+		Now:          model.TimeStep(c.clock.Load()),
+	}
+	for i, r := range c.co.stock {
+		out.Stock[i] = int(r)
+	}
+	c.engMu.RLock()
+	defer c.engMu.RUnlock()
+	for k, e := range c.engines {
+		fb, err := e.Feedback()
+		if err != nil {
+			return planner.Feedback{}, fmt.Errorf("cluster: shard %d: %w", k, err)
+		}
+		for lu, classes := range fb.AdoptedClass {
+			out.AdoptedClass[globalID(k, lu, c.n)] = classes
+		}
+		for lu, exp := range fb.Exposures {
+			out.Exposures[globalID(k, lu, c.n)] = exp
+		}
+	}
+	return out, nil
+}
+
+// solveGlobal runs the configured algorithm on the global residual —
+// the single planning invocation per coordinated replan.
+func (c *Cluster) solveGlobal(residual *model.Instance) *model.Strategy {
+	c.replans.Add(1)
+	c.co.replansC.Inc()
+	if c.custom != nil {
+		s := c.custom(residual)
+		if s == nil {
+			s = model.NewStrategy()
+		}
+		return s
+	}
+	o := c.opts
+	if c.warm {
+		o.Warm = c.warmPrev
+	}
+	res, err := solver.Solve(context.Background(), residual, o)
+	s := res.Strategy
+	if err != nil || s == nil {
+		s = model.NewStrategy()
+	}
+	return s
+}
+
+// admitQuota enforces the cluster-wide constraints on a freshly solved
+// strategy: ≤ K displays per user per step and ≤ capacity distinct
+// users per item. Registered solvers always emit valid strategies, so
+// the fast path is a validity check and zero copies; a hostile custom
+// planner gets deterministically trimmed (triples admitted in
+// canonical order) with the number of denials reported.
+func admitQuota(in *model.Instance, s *model.Strategy) (*model.Strategy, int) {
+	if in.CheckValid(s) == nil {
+		return s, 0
+	}
+	display := make(map[[2]int32]int)
+	users := make(map[model.ItemID]map[model.UserID]struct{})
+	out := model.NewStrategy()
+	denied := 0
+	for _, z := range s.Triples() {
+		key := [2]int32{int32(z.U), int32(z.T)}
+		if display[key]+1 > in.K {
+			denied++
+			continue
+		}
+		m := users[z.I]
+		if m == nil {
+			m = make(map[model.UserID]struct{})
+			users[z.I] = m
+		}
+		if _, seen := m[z.U]; !seen && len(m)+1 > in.Capacity(z.I) {
+			denied++
+			continue
+		}
+		display[key]++
+		m[z.U] = struct{}{}
+		out.Add(z)
+	}
+	return out, denied
+}
+
+// installGlobal publishes s as the live global plan: revenue is
+// evaluated against the residual it was solved on, the strategy is
+// sliced by owning shard, and the slices are swapped in for the
+// engines' planner closures to pick up.
+func (c *Cluster) installGlobal(residual *model.Instance, s *model.Strategy) {
+	c.revBits.Store(math.Float64bits(revenue.Revenue(residual, s)))
+	c.strat.Store(s)
+	if c.warm {
+		c.warmPrev = s.Triples()
+	}
+	for k, sl := range sliceStrategy(s, c.n) {
+		c.slices[k].Store(sl)
+	}
+}
+
+// Sync flushes the cluster and reports the first durability error any
+// shard or the coordinator has hit.
+func (c *Cluster) Sync() error {
+	c.Flush()
+	return c.Err()
+}
+
+// Err returns the first write-ahead-log, snapshot, or barrier failure
+// the cluster has encountered (nil if none).
+func (c *Cluster) Err() error {
+	c.errMu.Lock()
+	err := c.err
+	c.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	c.engMu.RLock()
+	defer c.engMu.RUnlock()
+	for _, e := range c.engines {
+		if err := e.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) setErr(err error) {
+	if err == nil {
+		return
+	}
+	c.errMu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// Checkpoint writes a consistent snapshot of every shard and the
+// coordinator ledger, compacting their logs.
+func (c *Cluster) Checkpoint() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("cluster: closed")
+	}
+	c.engMu.RLock()
+	for _, e := range c.engines {
+		if err := e.Checkpoint(); err != nil {
+			c.engMu.RUnlock()
+			return err
+		}
+	}
+	c.engMu.RUnlock()
+	if err := c.co.snapshot(); err != nil {
+		return fmt.Errorf("cluster: coordinator checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Kill simulates kill -9 of the whole cluster process: every shard
+// engine and the coordinator ledger are cut off mid-stream with no
+// draining, no final snapshots, and no fsync beyond what barriers
+// already forced. Recover with Open on the same directory.
+func (c *Cluster) Kill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.engMu.RLock()
+	for _, e := range c.engines {
+		e.Kill()
+	}
+	c.engMu.RUnlock()
+	if c.co.st != nil {
+		c.co.st.Kill()
+	}
+}
+
+// KillShard simulates kill -9 of shard k: its queue is dropped on the
+// floor and its store is cut off mid-stream, exactly like
+// serve.Engine.Kill. The rest of the fleet keeps serving; recover the
+// victim with RecoverShard.
+func (c *Cluster) KillShard(k int) error {
+	if k < 0 || k >= c.n {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", k, c.n)
+	}
+	c.engMu.RLock()
+	eng := c.engines[k]
+	c.engMu.RUnlock()
+	eng.Kill()
+	return nil
+}
+
+// RecoverShard re-opens a killed shard from its durable directory and
+// swaps it back into the router. The recovered engine replays its WAL
+// — including every reservation grant the coordinator logged through
+// it — so its stock view and user state are exactly the pre-crash
+// flushed state; its boot replan fetches the current plan slice from
+// the (still live) coordinator.
+func (c *Cluster) RecoverShard(k int) error {
+	if k < 0 || k >= c.n {
+		return fmt.Errorf("cluster: shard %d out of range [0,%d)", k, c.n)
+	}
+	d := c.cfg.Durability
+	if d == nil || d.Dir == "" {
+		return errors.New("cluster: RecoverShard needs a durable cluster")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("cluster: closed")
+	}
+	eng, err := serve.Open(nil, c.engineConfig(k))
+	if err != nil {
+		return fmt.Errorf("cluster: recover shard %d: %w", k, err)
+	}
+	c.engMu.Lock()
+	c.engines[k] = eng
+	c.engMu.Unlock()
+	// The recovered view equals the last grant the shard logged; align
+	// the coordinator's baseline with it so the next reconcile charges
+	// only post-recovery drawdowns.
+	for i := range c.co.pushed[k] {
+		if v, err := eng.Stock(model.ItemID(i)); err == nil {
+			c.co.pushed[k][i] = int64(v)
+		}
+	}
+	c.co.updateGauges()
+	return nil
+}
+
+// Stats returns the cluster-wide serving summary: per-shard samples
+// merged with serve.MergeStats, with the cluster's own view of the
+// plan substituted for the summed per-shard fields (one global plan,
+// not n independent ones).
+func (c *Cluster) Stats() serve.Stats {
+	st := serve.MergeStats(c.StatsSamples()...)
+	st.Shards = c.n
+	st.Now = int(c.clock.Load())
+	st.Replans = c.replans.Load()
+	st.PlanRevenue = math.Float64frombits(c.revBits.Load())
+	if s := c.strat.Load(); s != nil {
+		st.PlannedTriples = s.Len()
+	}
+	return st
+}
+
+// StatsSamples returns each shard's mergeable stats sample, indexed by
+// shard.
+func (c *Cluster) StatsSamples() []serve.StatsSample {
+	c.engMu.RLock()
+	defer c.engMu.RUnlock()
+	out := make([]serve.StatsSample, len(c.engines))
+	for k, e := range c.engines {
+		out[k] = e.StatsSample()
+	}
+	return out
+}
+
+// Close flushes outstanding work (one final coordinated replan if
+// needed), closes every shard engine (each writes its final snapshot),
+// and seals the coordinator ledger.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.flushLocked()
+	c.closed = true
+	c.closeEngines()
+	if c.co.st != nil {
+		if err := c.co.snapshot(); err != nil {
+			c.setErr(fmt.Errorf("cluster: final coordinator snapshot: %w", err))
+		}
+		if err := c.co.st.Close(); err != nil {
+			c.setErr(err)
+		}
+	}
+}

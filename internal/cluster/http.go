@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// CoordinatorStats is the coordinator's own summary, exposed alongside
+// the merged serving stats.
+type CoordinatorStats struct {
+	Shards                  int   `json:"shards"`
+	ReconcileRounds         int64 `json:"reconcile_rounds"`
+	Regrants                int64 `json:"regrants"`
+	QuotaDenials            int64 `json:"quota_denials"`
+	OutstandingReservations int64 `json:"outstanding_reservations"`
+	StockRemaining          int64 `json:"stock_remaining"`
+	Replans                 int64 `json:"replans"`
+}
+
+// CoordinatorStats returns the coordinator's current counters.
+func (c *Cluster) CoordinatorStats() CoordinatorStats {
+	return CoordinatorStats{
+		Shards:                  c.n,
+		ReconcileRounds:         c.co.reconciles.Value(),
+		Regrants:                c.co.regrants.Value(),
+		QuotaDenials:            c.co.denials.Value(),
+		OutstandingReservations: int64(c.co.outstanding.Value()),
+		StockRemaining:          int64(c.co.remaining.Value()),
+		Replans:                 c.replans.Load(),
+	}
+}
+
+// statsResponse is the /v1/stats payload: the merged fleet-wide
+// serve.Stats inlined at the top level (field-compatible with a
+// single-engine daemon's response — dashboards keyed on .adoptions or
+// .plan_revenue read both), plus the coordinator's summary and the raw
+// per-shard stats.
+type statsResponse struct {
+	serve.Stats
+	Cluster  CoordinatorStats `json:"cluster"`
+	PerShard []serve.Stats    `json:"per_shard"`
+}
+
+// Handler returns the HTTP/JSON API over c — the same endpoints as
+// serve.Handler, routed through the cluster:
+//
+//	GET  /healthz                  liveness probe
+//	GET  /v1/recommend?user=U&t=T  one user's recommendations at T
+//	POST /v1/recommend/batch       {"users":[...],"t":T}
+//	POST /v1/adopt                 {"user":U,"item":I,"t":T,"adopted":B}
+//	POST /v1/advance               {"now":T} — move the cluster clock
+//	GET  /v1/stats                 merged + per-shard summary (JSON)
+//	GET  /metrics                  merged Prometheus exposition
+//	GET  /debug/traces             per-shard replan traces (JSON array)
+func Handler(c *Cluster) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		user, err1 := strconv.Atoi(r.URL.Query().Get("user"))
+		t, err2 := strconv.Atoi(r.URL.Query().Get("t"))
+		if err1 != nil || err2 != nil {
+			httpError(w, http.StatusBadRequest, "user and t must be integers")
+			return
+		}
+		recs, err := c.Recommend(model.UserID(user), model.TimeStep(t))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, recommendResponse{User: model.UserID(user), T: model.TimeStep(t), Items: recs})
+	})
+	mux.HandleFunc("POST /v1/recommend/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
+			return
+		}
+		results, err := c.RecommendBatch(req.Users, req.T)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp := batchResponse{T: req.T, Results: make([]recommendResponse, len(req.Users))}
+		for i, u := range req.Users {
+			resp.Results[i] = recommendResponse{User: u, T: req.T, Items: results[i]}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/adopt", func(w http.ResponseWriter, r *http.Request) {
+		var ev serve.Event
+		if err := json.NewDecoder(r.Body).Decode(&ev); err != nil {
+			httpError(w, http.StatusBadRequest, "bad adoption event: "+err.Error())
+			return
+		}
+		if err := c.Feed(ev); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, map[string]bool{"queued": true})
+	})
+	mux.HandleFunc("POST /v1/advance", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Now model.TimeStep `json:"now"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad advance request: "+err.Error())
+			return
+		}
+		if err := c.SetNow(req.Now); err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, map[string]int{"now": int(c.Now())})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		samples := c.StatsSamples()
+		per := make([]serve.Stats, len(samples))
+		for k, s := range samples {
+			per[k] = s.Stats
+		}
+		writeJSON(w, statsResponse{Stats: c.Stats(), Cluster: c.CoordinatorStats(), PerShard: per})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = c.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		c.engMu.RLock()
+		defer c.engMu.RUnlock()
+		fmt.Fprint(w, "[")
+		for k, e := range c.engines {
+			if k > 0 {
+				fmt.Fprint(w, ",")
+			}
+			_ = e.Tracer().WriteJSON(w)
+		}
+		fmt.Fprintln(w, "]")
+	})
+	return mux
+}
+
+type recommendResponse struct {
+	User  model.UserID           `json:"user"`
+	T     model.TimeStep         `json:"t"`
+	Items []serve.Recommendation `json:"items"`
+}
+
+type batchRequest struct {
+	Users []model.UserID `json:"users"`
+	T     model.TimeStep `json:"t"`
+}
+
+type batchResponse struct {
+	T       model.TimeStep      `json:"t"`
+	Results []recommendResponse `json:"results"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

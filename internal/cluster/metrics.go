@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// WriteMetrics renders the cluster's merged Prometheus exposition: the
+// coordinator's families (unlabeled — there is one coordinator) plus
+// every shard engine's families with a shard="<k>" label injected on
+// each sample, so per-shard serving and WAL series stay distinguishable
+// after the merge. Each family is emitted exactly once — coordinator
+// samples first, then shards in order — keeping the output valid under
+// obs.ParseExposition (contiguous families, no duplicate series,
+// histogram invariants intact per labeled series).
+func (c *Cluster) WriteMetrics(w io.Writer) error {
+	type source struct {
+		reg   *obs.Registry
+		shard string // "" for the coordinator
+	}
+	srcs := []source{{c.co.reg, ""}}
+	c.engMu.RLock()
+	for k, e := range c.engines {
+		srcs = append(srcs, source{e.Metrics(), strconv.Itoa(k)})
+	}
+	c.engMu.RUnlock()
+
+	merged := make(map[string]*obs.ExpositionFamily)
+	var order []string
+	for _, src := range srcs {
+		var buf bytes.Buffer
+		if err := src.reg.WritePrometheus(&buf); err != nil {
+			return err
+		}
+		fams, err := obs.ParseExposition(&buf)
+		if err != nil {
+			return fmt.Errorf("cluster: shard %q exposition: %w", src.shard, err)
+		}
+		names := make([]string, 0, len(fams))
+		for name := range fams {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f := fams[name]
+			m := merged[name]
+			if m == nil {
+				m = &obs.ExpositionFamily{Name: name, Help: f.Help, Type: f.Type}
+				merged[name] = m
+				order = append(order, name)
+			}
+			for _, s := range f.Samples {
+				if src.shard != "" {
+					labels := make(map[string]string, len(s.Labels)+1)
+					for k, v := range s.Labels {
+						labels[k] = v
+					}
+					labels["shard"] = src.shard
+					s.Labels = labels
+				}
+				m.Samples = append(m.Samples, s)
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := merged[name]
+		if f.Help != "" {
+			// Help round-trips raw: the parser stores the escaped text as
+			// it appeared, so re-emitting it verbatim preserves escapes.
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, renderSampleLabels(s.Labels), formatMetricValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderSampleLabels renders a parsed label map back to exposition
+// syntax: keys sorted, values re-escaped (the parser unescaped them).
+func renderSampleLabels(m map[string]string) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(m[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatMetricValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

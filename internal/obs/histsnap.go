@@ -1,0 +1,96 @@
+package obs
+
+// HistogramSnapshot is a point-in-time copy of a Histogram's buckets —
+// the mergeable form of a latency distribution. Percentiles of a fleet
+// must be computed from merged bucket counts, never by averaging
+// per-member percentiles (averaged percentiles are not percentiles of
+// anything); snapshots make the correct aggregation cheap: copy each
+// member's buckets, Merge, Quantile.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"` // finite upper bounds, strictly ascending
+	Counts []int64   `json:"counts"` // len(Bounds)+1; last is the +Inf bucket
+	Sum    float64   `json:"sum"`    // sum of observed values
+}
+
+// Snapshot copies the histogram's current buckets. Concurrent Observe
+// calls may land between bucket reads — each observation is either
+// fully present or fully absent per bucket, which is the same
+// consistency a Prometheus scrape sees.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Count returns the total number of observations in the snapshot.
+func (s HistogramSnapshot) Count() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge returns the element-wise sum of s and o. An empty snapshot (no
+// bounds) merges as the identity from either side. Snapshots with
+// different bucket layouts cannot be merged meaningfully; the receiver
+// wins and o is dropped — callers merging across a fleet built from one
+// bucket layout (the intended use) never hit this.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	if len(s.Bounds) == 0 {
+		return o
+	}
+	if len(o.Bounds) == 0 {
+		return s
+	}
+	if len(o.Bounds) != len(s.Bounds) {
+		return s
+	}
+	for i, b := range s.Bounds {
+		if o.Bounds[i] != b {
+			return s
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]int64, len(s.Counts)),
+		Sum:    s.Sum + o.Sum,
+	}
+	copy(out.Counts, s.Counts)
+	for i, c := range o.Counts {
+		out.Counts[i] += c
+	}
+	return out
+}
+
+// Quantile returns the value at quantile p ∈ (0, 1] under the same
+// contract as Histogram.Quantile: the upper bound of the bucket the
+// rank falls into, +Inf observations clamped to the largest finite
+// bound, 0 when empty.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	total := s.Count()
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range s.Counts {
+		seen += c
+		if seen >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

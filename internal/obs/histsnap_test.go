@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func snapHistogram(t *testing.T, bounds []float64, values ...float64) HistogramSnapshot {
+	t.Helper()
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "test", bounds)
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+// TestSnapshotMatchesLiveHistogram: a snapshot answers the same
+// quantiles as the histogram it was copied from.
+func TestSnapshotMatchesLiveHistogram(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "test", bounds)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 50) // spread across buckets incl. +Inf
+	}
+	s := h.Snapshot()
+	if s.Count() != 100 {
+		t.Fatalf("snapshot count %d, want 100", s.Count())
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 1} {
+		if got, want := s.Quantile(p), h.Quantile(p); got != want {
+			t.Errorf("Quantile(%v): snapshot %v, live %v", p, got, want)
+		}
+	}
+	if got, want := s.Sum, h.Sum(); got != want {
+		t.Errorf("snapshot sum %v, live %v", got, want)
+	}
+}
+
+// TestMergeIsBucketwiseSum: merged quantiles come from the union of
+// observations, and merging with an empty snapshot is the identity from
+// either side.
+func TestMergeIsBucketwiseSum(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	a := snapHistogram(t, bounds, 0.5, 0.5, 0.5)
+	b := snapHistogram(t, bounds, 3, 3, 3)
+	m := a.Merge(b)
+	if m.Count() != 6 {
+		t.Fatalf("merged count %d, want 6", m.Count())
+	}
+	if got := m.Quantile(0.5); got != 1 {
+		t.Errorf("merged p50 = %v, want 1 (three observations ≤ 1)", got)
+	}
+	if got := m.Quantile(1); got != 4 {
+		t.Errorf("merged p100 = %v, want 4", got)
+	}
+	if m.Sum != a.Sum+b.Sum {
+		t.Errorf("merged sum %v, want %v", m.Sum, a.Sum+b.Sum)
+	}
+	var empty HistogramSnapshot
+	if got := empty.Merge(a); got.Count() != a.Count() {
+		t.Error("empty.Merge(a) lost observations")
+	}
+	if got := a.Merge(empty); got.Count() != a.Count() {
+		t.Error("a.Merge(empty) lost observations")
+	}
+}
+
+// TestMergeRejectsForeignLayout: snapshots with different bucket layouts
+// cannot be combined; the receiver survives unchanged.
+func TestMergeRejectsForeignLayout(t *testing.T) {
+	a := snapHistogram(t, []float64{1, 2}, 0.5)
+	b := snapHistogram(t, []float64{1, 3}, 0.5)
+	if got := a.Merge(b); got.Count() != 1 || got.Bounds[1] != 2 {
+		t.Errorf("foreign-layout merge altered receiver: %+v", got)
+	}
+}
+
+// TestMergedPercentileIsNotAveragedPercentile is the reason this type
+// exists: two shards with wildly different latency profiles have a
+// fleet p99 equal to the p99 of the union — which the average of the
+// two per-shard p99s gets wrong.
+func TestMergedPercentileIsNotAveragedPercentile(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1, 10}
+	// Shard A: 99 fast requests. Shard B: 99 slow ones.
+	fast := make([]float64, 99)
+	slow := make([]float64, 99)
+	for i := range fast {
+		fast[i], slow[i] = 0.0005, 5
+	}
+	a := snapHistogram(t, bounds, fast...)
+	b := snapHistogram(t, bounds, slow...)
+	merged := a.Merge(b).Quantile(0.99)
+	averaged := (a.Quantile(0.99) + b.Quantile(0.99)) / 2
+	if merged != 10 {
+		t.Errorf("union p99 = %v, want 10 (the slow half dominates the tail)", merged)
+	}
+	if merged == averaged {
+		t.Errorf("averaged per-shard p99 (%v) happened to equal the union p99 — fixture no longer demonstrates the distinction", averaged)
+	}
+	if math.Abs(averaged-5.0005) > 1e-9 {
+		t.Errorf("averaged p99 = %v, want ≈5.0005", averaged)
+	}
+}
+
+// TestQuantileEdgeCases pins the empty- and single-bucket contracts.
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty snapshot quantile = %v, want 0", got)
+	}
+	s := snapHistogram(t, []float64{1}, 100, 100)
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("+Inf observations must clamp to the largest finite bound, got %v", got)
+	}
+}

@@ -1,0 +1,131 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestClusterEquivalence is the acceptance gate of the sharding
+// subsystem: for every catalog archetype, a closed-loop run served by a
+// user-sharded cluster must produce canonical Outcome JSON
+// byte-identical to the single-engine run at every shard count. The
+// coordinated-replan protocol is what makes this possible — one global
+// solve per barrier, sliced to shards — so any drift in routing,
+// reservation reconciliation, slice installation, or clock propagation
+// cascades into different recommendations and a byte diff.
+func TestClusterEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence matrix is not short")
+	}
+	for _, sc := range Catalog() {
+		sc := crashSuiteScenario(sc)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			const seed = uint64(1)
+			base, err := Runner{}.Run(sc, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseJSON, err := base.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := base.Invariants.CapacityViolations + base.Invariants.DisplayViolations + base.Invariants.AdoptedClassRecs; v != 0 {
+				t.Fatalf("single-engine baseline reports %d invariant violations", v)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				shards := shards
+				t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+					t.Parallel()
+					sharded, err := Runner{Shards: shards}.Run(sc, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					shardedJSON, err := sharded.CanonicalJSON()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(baseJSON, shardedJSON) {
+						t.Fatalf("%d-shard outcome diverged from single engine\nsingle:\n%s\nsharded:\n%s",
+							shards, baseJSON, shardedJSON)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestClusterCrashEquivalence extends the gate with fault injection:
+// kill -9 one deterministically chosen shard at a pseudo-random step of
+// every trajectory, recover it from its WAL against the live
+// coordinator, and the outcome must still match the undisturbed
+// single-engine run byte for byte.
+func TestClusterCrashEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash equivalence matrix is not short")
+	}
+	for _, sc := range Catalog() {
+		sc := crashSuiteScenario(sc)
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			const seed = uint64(2)
+			base, err := Runner{}.Run(sc, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseJSON, err := base.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4} {
+				shards := shards
+				t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+					t.Parallel()
+					crashed, err := Runner{
+						Shards:       shards,
+						DataDir:      t.TempDir(),
+						CrashRecover: true,
+					}.Run(sc, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					crashedJSON, err := crashed.CanonicalJSON()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(baseJSON, crashedJSON) {
+						t.Fatalf("%d-shard crash-recovered outcome diverged from uninterrupted single engine\nsingle:\n%s\nsharded+crash:\n%s",
+							shards, baseJSON, crashedJSON)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestClusterDurableWithoutCrash isolates the cluster durability layer:
+// running sharded trajectories on durable shards and a durable
+// coordinator ledger (no crash) must not perturb outcomes either.
+func TestClusterDurableWithoutCrash(t *testing.T) {
+	sc := crashSuiteScenario(FlashSale())
+	base, err := Runner{Shards: 3}.Run(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable, err := Runner{Shards: 3, DataDir: t.TempDir()}.Run(sc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := base.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := durable.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bj, dj) {
+		t.Fatalf("durable sharded (no-crash) outcome diverged from in-memory sharded run\nin-memory:\n%s\ndurable:\n%s", bj, dj)
+	}
+}

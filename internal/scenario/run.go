@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/model"
 	"repro/internal/planner"
@@ -42,9 +43,44 @@ type Runner struct {
 	// CrashRecover, with DataDir set, kills each trajectory's engine at
 	// a deterministic pseudo-random step boundary — after checkpointing
 	// roughly halfway there — and recovers it from disk before
-	// continuing the trajectory.
+	// continuing the trajectory. With Shards ≥ 2 the kill hits one
+	// deterministically chosen victim shard instead of the whole
+	// engine, exercising the cluster's single-shard recovery path.
 	CrashRecover bool
+	// Shards, when ≥ 2, runs every closed-loop trajectory on a
+	// user-sharded cluster (internal/cluster) of that many engines
+	// behind the coordinator, instead of a single serve.Engine. The
+	// coordinated-replan protocol makes the two modes byte-identical:
+	// equal (scenario, seed) pairs produce equal canonical Outcomes at
+	// any shard count — the equivalence CI asserts. 0 or 1 keeps the
+	// single-engine path.
+	Shards int
 }
+
+// sharded reports whether closed-loop trajectories run on a cluster.
+func (r Runner) sharded() bool { return r.Shards >= 2 }
+
+// engineLike is the closed-loop surface the trajectory drives; both
+// serve.Engine (single) and cluster.Cluster (sharded) satisfy it, which
+// is what lets one harness assert the two are byte-identical.
+type engineLike interface {
+	RecommendBatch(users []model.UserID, t model.TimeStep) ([][]serve.Recommendation, error)
+	Feed(ev serve.Event) error
+	Flush()
+	SetNow(t model.TimeStep) error
+	SetStock(i model.ItemID, n int) error
+	ScalePrice(i model.ItemID, from model.TimeStep, factor float64) error
+	Stock(i model.ItemID) (int, error)
+	Strategy() *model.Strategy
+	Stats() serve.Stats
+	Checkpoint() error
+	Close()
+}
+
+// crashFn kills the serving side at a step barrier and returns whatever
+// continues the trajectory: a freshly recovered engine in single mode, or
+// the same cluster after its victim shard is killed and recovered.
+type crashFn func(cur engineLike) (engineLike, error)
 
 // engineConfig builds the serving config for one closed-loop
 // trajectory; with DataDir set the engine is durable.
@@ -64,6 +100,33 @@ func (r Runner) engineConfig(sc Scenario, algo planner.Algorithm, seed uint64, k
 		}
 	}
 	return cfg
+}
+
+// clusterConfig is engineConfig's sharded twin: same planning policy
+// and per-trajectory durable root, but the barrier replan happens in
+// the coordinator and the 4 lock stripes live inside each shard engine.
+func (r Runner) clusterConfig(sc Scenario, algo planner.Algorithm, seed uint64, k int) cluster.Config {
+	cfg := cluster.Config{
+		Shards:        r.Shards,
+		Planner:       algo,
+		EngineStripes: 4,
+		ReplanEvery:   1 << 30,
+	}
+	if r.DataDir != "" {
+		cfg.Durability = &serve.Durability{
+			Dir:          filepath.Join(r.DataDir, fmt.Sprintf("%s-seed%d-traj%d", sc.Name, seed, k)),
+			SegmentBytes: 4096,
+		}
+	}
+	return cfg
+}
+
+// victimShard picks which shard trajectory k's crash kills — the same
+// pseudo-random mix as crashPlan so (scenario, seed, k) fully determines
+// the fault, independent of everything else.
+func (r Runner) victimShard(sc Scenario, seed uint64, k int) int {
+	h := instanceSeed(sc.Name+"#victim", seed) + uint64(k)*0x9E3779B97F4A7C15
+	return int(h % uint64(r.Shards))
 }
 
 // crashPlan returns the step after whose barrier trajectory k is killed
@@ -217,23 +280,14 @@ func (r Runner) closedLoop(sc Scenario, seed uint64, algo planner.Algorithm, pri
 		// applied mid-run must not leak into the pristine instance or
 		// sibling trajectories.
 		world := pristine.Clone()
-		cfg := r.engineConfig(sc, algo, seed, k)
-		if d := cfg.Durability; d != nil {
-			// A reused DataDir must not resurrect a previous run's sealed
-			// state: serve.Open prefers recovery over the fresh clone, so a
-			// leftover directory would silently replay a finished world.
-			if err := os.RemoveAll(d.Dir); err != nil {
-				return fmt.Errorf("scenario %q: clearing trajectory dir: %w", sc.Name, err)
-			}
-		}
-		eng, err := serve.Open(world, cfg)
+		eng, crash, err := r.openServing(sc, algo, seed, k, world)
 		if err != nil {
 			return fmt.Errorf("scenario %q: %w", sc.Name, err)
 		}
 		if k == 0 {
 			out.ClosedLoop.PlannedRevenue = revenue.Revenue(world, eng.Strategy())
 		}
-		tr, eng, err := r.trajectory(sc, seed, k, cfg, eng, world, users, prices, shocks, out)
+		tr, eng, err := r.trajectory(sc, seed, k, eng, crash, world, users, prices, shocks, out)
 		if err != nil {
 			eng.Close()
 			return fmt.Errorf("scenario %q trajectory %d: %w", sc.Name, k, err)
@@ -258,6 +312,59 @@ func (r Runner) closedLoop(sc Scenario, seed uint64, algo planner.Algorithm, pri
 	return nil
 }
 
+// openServing boots trajectory k's serving side — a single engine, or a
+// cluster when Runner.Shards ≥ 2 — and pairs it with the matching crash
+// action for the crash-injection harness. Any stale durable state at the
+// trajectory's directory is cleared first: Open prefers recovery over
+// the fresh clone, so a leftover directory would silently replay a
+// finished world.
+func (r Runner) openServing(sc Scenario, algo planner.Algorithm, seed uint64, k int,
+	world *model.Instance) (engineLike, crashFn, error) {
+	if r.sharded() {
+		ccfg := r.clusterConfig(sc, algo, seed, k)
+		if d := ccfg.Durability; d != nil {
+			if err := os.RemoveAll(d.Dir); err != nil {
+				return nil, nil, fmt.Errorf("clearing trajectory dir: %w", err)
+			}
+		}
+		cl, err := cluster.Open(world, ccfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		victim := r.victimShard(sc, seed, k)
+		crash := func(cur engineLike) (engineLike, error) {
+			cl := cur.(*cluster.Cluster)
+			// One shard dies, the rest of the fleet keeps serving: recovery
+			// replays the shard's WAL and re-baselines its reservations
+			// against the live coordinator.
+			if err := cl.KillShard(victim); err != nil {
+				return cur, err
+			}
+			return cl, cl.RecoverShard(victim)
+		}
+		return cl, crash, nil
+	}
+	cfg := r.engineConfig(sc, algo, seed, k)
+	if d := cfg.Durability; d != nil {
+		if err := os.RemoveAll(d.Dir); err != nil {
+			return nil, nil, fmt.Errorf("clearing trajectory dir: %w", err)
+		}
+	}
+	eng, err := serve.Open(world, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	crash := func(cur engineLike) (engineLike, error) {
+		cur.(*serve.Engine).Kill()
+		recovered, err := serve.Open(nil, cfg)
+		if err != nil {
+			return cur, err
+		}
+		return recovered, nil
+	}
+	return eng, crash, nil
+}
+
 // trajResult is one closed-loop rollout's tally.
 type trajResult struct {
 	revenue   float64
@@ -276,14 +383,16 @@ type trajResult struct {
 // replans varies run to run — only their count (reported under Timing)
 // is affected, never the plan the next step is served from.
 //
-// Under crash injection the engine is killed at the crashPlan step's
-// barrier and recovered from disk; the harness (RNG, ledger, adoption
-// record) plays the surviving world, so any divergence in the returned
-// tally is recovery infidelity. The possibly-replaced engine is
-// returned so the caller reads stats from the one that finished.
-func (r Runner) trajectory(sc Scenario, seed uint64, k int, cfg serve.Config, eng *serve.Engine,
+// Under crash injection the crash action runs at the crashPlan step's
+// barrier: kill-9 plus full recovery from disk for a single engine, a
+// victim-shard kill and recovery for a cluster. The harness (RNG,
+// ledger, adoption record) plays the surviving world, so any divergence
+// in the returned tally is recovery infidelity. The possibly-replaced
+// serving side is returned so the caller reads stats from the one that
+// finished.
+func (r Runner) trajectory(sc Scenario, seed uint64, k int, eng engineLike, crash crashFn,
 	world *model.Instance, users []model.UserID,
-	prices [][]float64, shocks map[model.TimeStep][]Mutation, out *Outcome) (trajResult, *serve.Engine, error) {
+	prices [][]float64, shocks map[model.TimeStep][]Mutation, out *Outcome) (trajResult, engineLike, error) {
 	rng := dist.NewRNG(instanceSeed(sc.Name, seed)*0x2545F4914F6CDD1D + uint64(k) + 1)
 	stock := make([]int, world.NumItems())
 	for i := range stock {
@@ -409,14 +518,14 @@ func (r Runner) trajectory(sc Scenario, seed uint64, k int, cfg serve.Config, en
 			}
 		}
 		if t == crashAt {
-			// kill -9 and rise from disk: the recovered engine must carry
-			// this trajectory to the same outcome the unbroken one reaches.
-			eng.Kill()
-			recovered, err := serve.Open(nil, cfg)
+			// kill -9 and rise from disk: the recovered serving side must
+			// carry this trajectory to the same outcome the unbroken one
+			// reaches.
+			swapped, err := crash(eng)
 			if err != nil {
 				return res, eng, fmt.Errorf("crash recovery at step %d: %w", t, err)
 			}
-			eng = recovered
+			eng = swapped
 		}
 		if int(t) < world.T {
 			next := t + 1

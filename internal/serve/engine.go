@@ -150,11 +150,12 @@ type Recommendation struct {
 // and shards).
 type feedbackMsg struct {
 	ev      Event
-	flush   chan struct{}  // non-nil: barrier; closed once covered by a replan
-	advance model.TimeStep // > 0: clock advanced to this step; replan forced
-	snap    chan snapState // non-nil: capture store state between applies
-	stock   *stockSet      // non-nil: exogenous inventory override
-	price   *priceOp       // non-nil: exogenous price rescale
+	flush   chan struct{}         // non-nil: barrier; closed once covered by a replan
+	advance model.TimeStep        // > 0: clock advanced to this step; replan forced
+	snap    chan snapState        // non-nil: capture store state between applies
+	stock   *stockSet             // non-nil: exogenous inventory override
+	price   *priceOp              // non-nil: exogenous price rescale
+	fb      chan planner.Feedback // non-nil: export a consistent feedback view
 }
 
 // stockSet is an exogenous stock override (supplier shortfall, warehouse
@@ -825,6 +826,9 @@ func (e *Engine) loop() {
 				if msg.snap != nil {
 					msg.snap <- snapState{}
 				}
+				if msg.fb != nil {
+					msg.fb <- planner.Feedback{}
+				}
 				continue
 			}
 			switch {
@@ -832,6 +836,8 @@ func (e *Engine) loop() {
 				waiters = append(waiters, msg.flush)
 			case msg.snap != nil:
 				msg.snap <- e.captureState()
+			case msg.fb != nil:
+				msg.fb <- e.collectFeedback()
 			case msg.advance > 0:
 				e.walAppend(store.Record{Type: store.RecAdvance, T: int32(msg.advance)})
 				force = true
@@ -943,6 +949,37 @@ func (e *Engine) collectFeedback() planner.Feedback {
 		sh.mu.RUnlock()
 	}
 	return fb
+}
+
+// Feedback exports a consistent copy of the engine's applied feedback
+// state — adopted classes, exposure times, remaining stock, and the
+// serving clock — in the planner's Feedback shape. The capture runs on
+// the feedback loop between event applications, so no adoption is ever
+// half-visible across stock and user state; call Flush first if
+// queued-but-unapplied events must be included. It is the state-export
+// hook a cross-engine coordinator replans from.
+func (e *Engine) Feedback() (planner.Feedback, error) {
+	e.closeMu.RLock()
+	if e.closed.Load() {
+		e.closeMu.RUnlock()
+		// The loop may still be draining buffered events after Close; wait
+		// for it so no apply is in flight mid-capture.
+		e.wg.Wait()
+		if e.killed.Load() {
+			return planner.Feedback{}, errors.New("serve: engine killed")
+		}
+		return e.collectFeedback(), nil
+	}
+	ch := make(chan planner.Feedback, 1)
+	e.feedback <- feedbackMsg{fb: ch}
+	e.closeMu.RUnlock()
+	fb := <-ch
+	if fb.Now == 0 {
+		// The loop answered in crash-discard mode (a live engine's clock is
+		// always ≥ 1).
+		return planner.Feedback{}, errors.New("serve: engine killed")
+	}
+	return fb, nil
 }
 
 // replanWith recomputes the strategy on the residual instance induced

@@ -1,0 +1,81 @@
+package serve
+
+import "repro/internal/obs"
+
+// StatsSample is the mergeable form of an engine's Stats: the summary
+// counters plus the raw latency bucket snapshots the percentiles were
+// computed from. Multi-engine deployments aggregate by merging samples
+// with MergeStats — never by combining the Stats structs directly,
+// whose percentile fields are end products that cannot be averaged.
+type StatsSample struct {
+	Stats        Stats                 `json:"stats"`
+	Latency      obs.HistogramSnapshot `json:"latency"`
+	BatchLatency obs.HistogramSnapshot `json:"batch_latency"`
+}
+
+// StatsSample captures the engine's current summary together with its
+// latency histograms in mergeable bucket form.
+func (e *Engine) StatsSample() StatsSample {
+	return StatsSample{
+		Stats:        e.Stats(),
+		Latency:      e.met.lat.Snapshot(),
+		BatchLatency: e.met.blat.Snapshot(),
+	}
+}
+
+// MergeStats aggregates per-engine samples into one fleet-wide Stats:
+// throughput counters sum, shape fields describing the shared catalog
+// (items, horizon, K) take the maximum (they agree across shards of one
+// cluster), Users sums (shards partition the user base), and the
+// latency percentiles are recomputed from the merged bucket counts —
+// the p99 of the union of observations, not an average of per-shard
+// p99s. Durable is true only when every member is durable; WALNextLSN
+// sums the members' log positions (total records logged fleet-wide).
+// Returns the zero Stats for an empty sample set.
+func MergeStats(samples ...StatsSample) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	var out Stats
+	var lat, blat obs.HistogramSnapshot
+	out.Durable = true
+	for _, s := range samples {
+		st := s.Stats
+		out.Users += st.Users
+		out.Shards += st.Shards
+		out.Adoptions += st.Adoptions
+		out.Exposures += st.Exposures
+		out.Recommends += st.Recommends
+		out.BatchUsers += st.BatchUsers
+		out.Replans += st.Replans
+		out.PlanRevenue += st.PlanRevenue
+		out.PlannedTriples += st.PlannedTriples
+		out.WALNextLSN += st.WALNextLSN
+		out.Durable = out.Durable && st.Durable
+		if st.Items > out.Items {
+			out.Items = st.Items
+		}
+		if st.Horizon > out.Horizon {
+			out.Horizon = st.Horizon
+		}
+		if st.K > out.K {
+			out.K = st.K
+		}
+		if st.Now > out.Now {
+			out.Now = st.Now
+		}
+		if st.PlanRevision > out.PlanRevision {
+			out.PlanRevision = st.PlanRevision
+		}
+		if st.UptimeSeconds > out.UptimeSeconds {
+			out.UptimeSeconds = st.UptimeSeconds
+		}
+		lat = lat.Merge(s.Latency)
+		blat = blat.Merge(s.BatchLatency)
+	}
+	out.P50Micros = int64(lat.Quantile(0.50) * 1e6)
+	out.P99Micros = int64(lat.Quantile(0.99) * 1e6)
+	out.BatchP50Micros = int64(blat.Quantile(0.50) * 1e6)
+	out.BatchP99Micros = int64(blat.Quantile(0.99) * 1e6)
+	return out
+}

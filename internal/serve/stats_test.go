@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func snap(bounds []float64, values ...float64) obs.HistogramSnapshot {
+	r := obs.NewRegistry()
+	h := r.Histogram("h_seconds", "test", bounds)
+	for _, v := range values {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+// TestMergeStats pins the aggregation rules: throughput counters sum,
+// catalog-shape fields take the maximum, Durable ANDs, and the
+// percentiles are recomputed from merged buckets — the p99 of the union
+// of observations, not an average of per-shard p99s.
+func TestMergeStats(t *testing.T) {
+	bounds := []float64{0.0001, 0.001, 0.01, 0.1, 1}
+	// Shard a answers fast, shard b slow: the merged p99 must land in
+	// the slow shard's bucket, while averaging the two per-shard p99s
+	// would split the difference.
+	fast := make([]float64, 99)
+	slow := make([]float64, 99)
+	for i := range fast {
+		fast[i], slow[i] = 0.00005, 0.5
+	}
+	a := StatsSample{
+		Stats: Stats{
+			Users: 10, Shards: 4, Adoptions: 3, Exposures: 30, Recommends: 100,
+			BatchUsers: 50, Replans: 2, WALNextLSN: 7, Durable: true,
+			Items: 8, Horizon: 5, K: 2, Now: 3, PlanRevision: 4, UptimeSeconds: 9,
+		},
+		Latency: snap(bounds, fast...),
+	}
+	b := StatsSample{
+		Stats: Stats{
+			Users: 15, Shards: 4, Adoptions: 5, Exposures: 40, Recommends: 200,
+			BatchUsers: 60, Replans: 3, WALNextLSN: 11, Durable: true,
+			Items: 8, Horizon: 5, K: 2, Now: 3, PlanRevision: 6, UptimeSeconds: 4,
+		},
+		Latency: snap(bounds, slow...),
+	}
+
+	m := MergeStats(a, b)
+	if m.Users != 25 || m.Adoptions != 8 || m.Exposures != 70 || m.Recommends != 300 {
+		t.Errorf("counters did not sum: %+v", m)
+	}
+	if m.Items != 8 || m.Horizon != 5 || m.K != 2 || m.Now != 3 || m.PlanRevision != 6 {
+		t.Errorf("shape fields did not take the max: %+v", m)
+	}
+	if m.WALNextLSN != 18 {
+		t.Errorf("WALNextLSN = %d, want 18", m.WALNextLSN)
+	}
+	if !m.Durable {
+		t.Error("all-durable fleet merged as non-durable")
+	}
+
+	unionP99 := int64(a.Latency.Merge(b.Latency).Quantile(0.99) * 1e6)
+	if m.P99Micros != unionP99 {
+		t.Errorf("merged p99 %dµs != union-of-buckets p99 %dµs", m.P99Micros, unionP99)
+	}
+	averagedP99 := (int64(a.Latency.Quantile(0.99)*1e6) + int64(b.Latency.Quantile(0.99)*1e6)) / 2
+	if m.P99Micros == averagedP99 {
+		t.Errorf("merged p99 %dµs equals the averaged per-shard p99 — fixture no longer distinguishes the two", m.P99Micros)
+	}
+	if m.P99Micros != 1e6 {
+		t.Errorf("merged p99 = %dµs, want 1s bucket (slow shard dominates the tail)", m.P99Micros)
+	}
+}
+
+// TestMergeStatsDurabilityAnd: one volatile member makes the fleet
+// non-durable.
+func TestMergeStatsDurabilityAnd(t *testing.T) {
+	a := StatsSample{Stats: Stats{Durable: true}}
+	b := StatsSample{Stats: Stats{Durable: false}}
+	if MergeStats(a, b).Durable {
+		t.Error("fleet with a volatile member reported durable")
+	}
+	if (MergeStats()) != (Stats{}) {
+		t.Error("empty merge is not the zero Stats")
+	}
+}
+
+// TestEngineStatsSampleRoundTrip: an engine's sample carries the same
+// summary as Stats() and buckets that reproduce its percentiles, so a
+// one-engine "fleet" merges to the engine's own numbers.
+func TestEngineStatsSampleRoundTrip(t *testing.T) {
+	eng := newTestEngine(t, testInstance(t, 12, 6, 4, 2, 11), Config{})
+	users := eng.Instance().NumUsers
+	for u := 0; u < users; u++ {
+		if _, err := eng.Recommend(0, eng.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := eng.StatsSample()
+	m := MergeStats(s)
+	if m.Recommends != s.Stats.Recommends || m.Users != s.Stats.Users {
+		t.Errorf("single-sample merge changed counters: %+v vs %+v", m, s.Stats)
+	}
+	if m.P50Micros != s.Stats.P50Micros || m.P99Micros != s.Stats.P99Micros {
+		t.Errorf("single-sample merge changed percentiles: p50 %d vs %d, p99 %d vs %d",
+			m.P50Micros, s.Stats.P50Micros, m.P99Micros, s.Stats.P99Micros)
+	}
+}

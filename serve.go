@@ -4,6 +4,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/cluster"
 	"repro/internal/planner"
 	"repro/internal/serve"
 )
@@ -68,3 +69,40 @@ func ServeHandler(e *ServeEngine) http.Handler { return serve.Handler(e) }
 func ResidualInstance(in *Instance, fb PlannerFeedback) *Instance {
 	return planner.Residual(in, fb)
 }
+
+// Sharded serving facade — the scale-out subsystem: N engine shards
+// partitioning the user base behind a router, with cross-shard stock
+// and distinct-user display quotas owned by a coordinator that replans
+// globally at flush barriers. Sharded serving is byte-identical to a
+// single engine on the same instance. See internal/cluster.
+type (
+	// Cluster is a user-sharded fleet of serving engines behind one
+	// router and stock/quota coordinator.
+	Cluster = cluster.Cluster
+	// ClusterConfig tunes a Cluster: shard count, the coordinator's
+	// planning algorithm, and the durable cluster root.
+	ClusterConfig = cluster.Config
+	// ClusterCoordinatorStats summarizes the coordinator's reservation
+	// ledger: reconcile rounds, re-grants, quota denials, outstanding
+	// reservations, remaining stock.
+	ClusterCoordinatorStats = cluster.CoordinatorStats
+)
+
+// NewCluster partitions in across cfg.Shards engines and starts
+// serving. Durable configs must use OpenCluster.
+func NewCluster(in *Instance, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.New(in, cfg)
+}
+
+// OpenCluster is the durability-aware cluster constructor: with
+// cfg.Durability set it recovers every shard and the coordinator ledger
+// from the cluster root when state exists (in may be nil) and boots
+// fresh otherwise; without durability it equals NewCluster.
+func OpenCluster(in *Instance, cfg ClusterConfig) (*Cluster, error) {
+	return cluster.Open(in, cfg)
+}
+
+// ClusterHandler returns the HTTP/JSON API over c: the ServeHandler
+// routes plus fleet-aggregated /v1/stats and a merged /metrics
+// exposition with a shard label per series.
+func ClusterHandler(c *Cluster) http.Handler { return cluster.Handler(c) }
