@@ -46,6 +46,12 @@
 // Under -data-dir each shard logs to shard-<k>/ and the coordinator
 // ledger to coord/, and boot recovers all of them. The shard count is
 // part of the durable layout, so reboots must keep the same -shards.
+//
+// Cluster barriers run themselves: every -replan-every adoptions and
+// every /v1/advance trigger a coordinated reconcile+replan, and
+// -flush-interval adds a wall-clock floor so a trickle of adoptions
+// below the cadence still reaches the coordinator's stock ledger and
+// the planner within that period.
 package main
 
 import (
@@ -122,6 +128,7 @@ func run(args []string, stdout io.Writer) error {
 	debugAddr := fs.String("debug-addr", "", "listen address for the debug server (pprof, /metrics, /debug/traces); empty disables")
 	walSync := fs.String("wal-sync", "batch", "WAL fsync policy: always | batch | none")
 	snapInterval := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot + log compaction period with -data-dir (0 disables; a final snapshot is still written on shutdown)")
+	flushInterval := fs.Duration("flush-interval", time.Second, "sharded mode: maximum wall-clock delay before buffered adoptions reach a coordinated reconcile/replan barrier (0 disables the ticker; adoption-count and advance barriers still fire)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fmt.Fprint(stdout, usage.String())
@@ -143,6 +150,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *shards >= 2 && *snapshot != "" {
 		return errors.New("-snapshot is the single-engine warm-restart path; sharded clusters persist through -data-dir")
+	}
+	if *flushInterval < 0 {
+		return fmt.Errorf("-flush-interval %v out of range (want ≥ 0; 0 disables the periodic barrier)", *flushInterval)
 	}
 	policy, err := store.ParseSyncPolicy(*walSync)
 	if err != nil {
@@ -169,8 +179,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var (
-		svc     serving
-		handler http.Handler
+		svc        serving
+		handler    http.Handler
+		stopTicker func()
 	)
 	if *shards >= 2 {
 		ccfg := cluster.Config{
@@ -185,6 +196,9 @@ func run(args []string, stdout io.Writer) error {
 		cl, err := bootCluster(ccfg, *loadInstance, *dsName, *scale, *seed, *users, stdout)
 		if err != nil {
 			return err
+		}
+		if *flushInterval > 0 {
+			stopTicker = startFlushTicker(cl, *flushInterval)
 		}
 		svc, handler = cl, cluster.Handler(cl)
 	} else {
@@ -250,10 +264,42 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(os.Stderr, "revmaxd: debug shutdown: %v\n", err)
 		}
 	}
+	if stopTicker != nil {
+		stopTicker()
+	}
 	if err := drainAndStop(svc, *snapshot, stdout); err != nil {
 		return err
 	}
 	return serveErr
+}
+
+// startFlushTicker drives the cluster's coordinated barrier on a
+// wall-clock cadence, bounding how stale the coordinator's stock
+// ledger and the served plan can get when adoption traffic trickles in
+// below the -replan-every count trigger. Flush is a no-op when nothing
+// is dirty, so an idle cluster pays only a mutex round-trip per tick.
+// The returned stop function waits for the driver to exit and must be
+// called before drainAndStop so no barrier races the final seal.
+func startFlushTicker(cl *cluster.Cluster, every time.Duration) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				cl.Flush()
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
 }
 
 // drainAndStop is the graceful-shutdown tail, run after the HTTP

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dist"
@@ -256,6 +257,51 @@ func TestShardsFlagFailFast(t *testing.T) {
 	err := run([]string{"-shards", "2", "-snapshot", "x.snap"}, &bytes.Buffer{})
 	if err == nil || !strings.Contains(err.Error(), "single-engine") {
 		t.Fatalf("-shards 2 with -snapshot not rejected: %v", err)
+	}
+}
+
+// TestFlushIntervalFailFast: a negative -flush-interval fails before
+// dataset generation or port binding; 0 (ticker disabled) is legal.
+func TestFlushIntervalFailFast(t *testing.T) {
+	err := run([]string{"-flush-interval", "-1s"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-flush-interval") {
+		t.Fatalf("negative -flush-interval not rejected: %v", err)
+	}
+}
+
+// TestFlushTickerDrivesClusterBarrier: the daemon's periodic flush
+// ticker alone — no /v1/advance, no ReplanEvery cadence, no explicit
+// Flush — must carry a fed adoption through a coordinated barrier.
+func TestFlushTickerDrivesClusterBarrier(t *testing.T) {
+	cl, err := cluster.Open(daemonInstance(t), cluster.Config{Shards: 2, ReplanEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	stop := startFlushTicker(cl, 5*time.Millisecond)
+	defer stop()
+	in := cl.Instance()
+	var fed bool
+	for u := 0; u < in.NumUsers && !fed; u++ {
+		for _, cand := range in.UserCandidates(model.UserID(u)) {
+			if cand.T == 1 {
+				if err := cl.Feed(serve.Event{User: model.UserID(u), Item: cand.I, T: 1, Adopted: true}); err != nil {
+					t.Fatal(err)
+				}
+				fed = true
+				break
+			}
+		}
+	}
+	if !fed {
+		t.Fatal("instance has no step-1 candidate")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.CoordinatorStats().Replans < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("flush ticker never drove a coordinated replan")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+)
+
+// firstCandidates returns up to n (user, item) pairs with a candidate
+// at step 1, one per user — material for adoption events that actually
+// draw stock down.
+func firstCandidates(tb testing.TB, in *model.Instance, n int) []serve.Event {
+	tb.Helper()
+	var out []serve.Event
+	for u := 0; u < in.NumUsers && len(out) < n; u++ {
+		for _, cand := range in.UserCandidates(model.UserID(u)) {
+			if cand.T == 1 {
+				out = append(out, serve.Event{User: model.UserID(u), Item: cand.I, T: 1, Adopted: true})
+				break
+			}
+		}
+	}
+	if len(out) < n {
+		tb.Fatalf("instance too sparse: found %d step-1 candidates, need %d", len(out), n)
+	}
+	return out
+}
+
+// TestFeedDrivesCoordinatedReplan is the self-driving barrier contract:
+// a cluster that only ever receives adoptions — no Flush, no SetNow, the
+// way an HTTP daemon runs — must still reconcile stock and replan once
+// the adoption count reaches ReplanEvery, like a single engine's
+// feedback loop would.
+func TestFeedDrivesCoordinatedReplan(t *testing.T) {
+	in := testInstance(t, 24, 13)
+	const cadence = 4
+	cl, err := New(in, Config{Shards: 2, ReplanEvery: cadence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if got := cl.CoordinatorStats().Replans; got != 1 {
+		t.Fatalf("boot replans = %d, want 1", got)
+	}
+	for _, ev := range firstCandidates(t, in, cadence) {
+		if err := cl.Feed(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The barrier runs on the background flusher; poll, never Flush.
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.CoordinatorStats().Replans < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("no coordinated replan after ReplanEvery adoptions without an explicit Flush")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := cl.CoordinatorStats().ReconcileRounds; got == 0 {
+		t.Error("replan ran but stock was never reconciled")
+	}
+}
+
+// TestAdvanceRunsBarrierSynchronously pins SetNow's contract: when the
+// clock moves, the coordinated barrier (reconcile + replan) has already
+// run by the time the call returns — an /v1/advance caller reads fresh
+// cross-shard stock with no Flush of its own.
+func TestAdvanceRunsBarrierSynchronously(t *testing.T) {
+	in := testInstance(t, 24, 17)
+	cl, err := New(in.Clone(), Config{Shards: 2, ReplanEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ev := firstCandidates(t, in, 1)[0]
+	if err := cl.Feed(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.SetNow(2); err != nil {
+		t.Fatal(err)
+	}
+	// No Flush: SetNow itself owed the barrier.
+	if got := cl.CoordinatorStats().Replans; got != 2 {
+		t.Errorf("replans after advance = %d, want 2 (boot + advance barrier)", got)
+	}
+	n, err := cl.Stock(ev.Item)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := in.Capacity(ev.Item) - 1; n != want {
+		t.Errorf("item %d stock after advance = %d, want reconciled %d", ev.Item, n, want)
+	}
+}
+
+// TestKilledShardBarrierErrorNotSticky: a barrier that runs while one
+// shard is killed but not yet recovered must not poison the cluster's
+// sticky error — the condition is transient, and a daemon draining
+// after a successful RecoverShard would otherwise exit non-zero as if
+// durable state were lost.
+func TestKilledShardBarrierErrorNotSticky(t *testing.T) {
+	in := testInstance(t, 24, 19)
+	cfg := Config{Shards: 3, ReplanEvery: 1 << 30, Durability: &serve.Durability{Dir: t.TempDir()}}
+	cl, err := Open(in.Clone(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// An adoption on a shard that stays alive, so the barrier has a
+	// replan to attempt while the victim is down.
+	const victim = 1
+	var ev serve.Event
+	for _, cand := range firstCandidates(t, in, in.NumUsers/2) {
+		if shardOf(cand.User, cfg.Shards) != victim {
+			ev = cand
+			break
+		}
+	}
+	if !ev.Adopted {
+		t.Fatal("no step-1 candidate on a surviving shard")
+	}
+	if err := cl.Feed(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.KillShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	cl.Flush() // gathers feedback from a killed shard: transient, no replan
+	if err := cl.Err(); err != nil {
+		t.Fatalf("barrier over a killed shard recorded a sticky error: %v", err)
+	}
+	if err := cl.RecoverShard(victim); err != nil {
+		t.Fatal(err)
+	}
+	before := cl.CoordinatorStats().Replans
+	cl.Flush() // barrier stayed armed: this one must replan
+	if got := cl.CoordinatorStats().Replans; got != before+1 {
+		t.Errorf("post-recovery flush ran %d replans, want 1 (barrier should have stayed armed)", got-before)
+	}
+	if err := cl.Err(); err != nil {
+		t.Fatalf("healthy recovered cluster still reports an error: %v", err)
+	}
+}
+
+// TestScalePriceInstanceRace: Instance() snapshots must be safe to read
+// concurrently with exogenous repricing (ScalePrice publishes fresh
+// copies instead of mutating in place). Run under -race to make the
+// guarantee mean something.
+func TestScalePriceInstanceRace(t *testing.T) {
+	in := testInstance(t, 24, 23)
+	cl, err := New(in.Clone(), Config{Shards: 2, ReplanEvery: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const item = model.ItemID(0)
+	want := cl.Instance().Price(item, 1)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := cl.Instance()
+				for ts := 1; ts <= snap.T; ts++ {
+					_ = snap.Price(item, model.TimeStep(ts))
+				}
+			}
+		}
+	}()
+	const doublings = 8
+	for i := 0; i < doublings; i++ {
+		if err := cl.ScalePrice(item, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	<-done
+	want *= 1 << doublings
+	if got := cl.Instance().Price(item, 1); got != want {
+		t.Errorf("price after %d doublings = %v, want %v", doublings, got, want)
+	}
+}

@@ -101,9 +101,13 @@ func (c *Cluster) engineConfig(k int) serve.Config {
 // Cluster is a user-sharded fleet of serving engines behind one
 // router. All exported methods are safe for concurrent use.
 type Cluster struct {
-	cfg    Config
-	n      int
-	global *model.Instance
+	cfg Config
+	n   int
+	// global is the assembled cluster-wide instance. ScalePrice
+	// publishes a freshly cloned instance with the rescaled price table
+	// instead of mutating in place, so Instance() callers can read
+	// concurrently with exogenous repricing without synchronization.
+	global atomic.Pointer[model.Instance]
 
 	// custom/opts/warm mirror serve.Engine's resolved planning config,
 	// but for the coordinator's global solves.
@@ -137,6 +141,21 @@ type Cluster struct {
 	// invalidate the plan regardless. Both are consumed at barriers.
 	dirty atomic.Bool
 	force atomic.Bool
+
+	// replanEvery is the resolved adoption cadence of the self-driving
+	// barrier (Config.ReplanEvery, defaulted like serve.Config);
+	// pendingAdopt counts adoptions not yet covered by a coordinated
+	// replan. When the count reaches the cadence, Feed schedules an
+	// asynchronous flush on the flusher goroutine — the cluster analogue
+	// of the engine loop replanning every ReplanEvery adoptions, so a
+	// daemon that only ever feeds adoptions still reconciles stock and
+	// replans without any external Flush driver.
+	replanEvery  int
+	pendingAdopt atomic.Int64
+	flushCh      chan struct{}
+	quitCh       chan struct{}
+	flushWG      sync.WaitGroup
+	stopOnce     sync.Once
 
 	clock   atomic.Int64
 	replans atomic.Int64
@@ -193,16 +212,59 @@ func newShell(cfg Config, items int, capacity func(int) int64) (*Cluster, error)
 		}
 	}
 	c := &Cluster{
-		cfg:    cfg,
-		n:      cfg.Shards,
-		custom: custom,
-		opts:   opts,
-		warm:   cfg.WarmStart && custom == nil,
-		slices: make([]atomic.Pointer[model.Strategy], cfg.Shards),
-		co:     newCoordinator(cfg.Shards, items, capacity),
+		cfg:         cfg,
+		n:           cfg.Shards,
+		custom:      custom,
+		opts:        opts,
+		warm:        cfg.WarmStart && custom == nil,
+		replanEvery: cfg.ReplanEvery,
+		flushCh:     make(chan struct{}, 1),
+		quitCh:      make(chan struct{}),
+		slices:      make([]atomic.Pointer[model.Strategy], cfg.Shards),
+		co:          newCoordinator(cfg.Shards, items, capacity),
+	}
+	if c.replanEvery <= 0 {
+		c.replanEvery = 32 // serve.Config's default cadence
 	}
 	c.clock.Store(1)
 	return c, nil
+}
+
+// startFlusher arms the background barrier driver: a goroutine that
+// runs Flush whenever one is scheduled (adoption cadence reached, or an
+// exogenous stock/price change with no caller around to barrier).
+// Started once boot or recovery succeeds; stopped by Close/Kill.
+func (c *Cluster) startFlusher() {
+	c.flushWG.Add(1)
+	go func() {
+		defer c.flushWG.Done()
+		for {
+			select {
+			case <-c.quitCh:
+				return
+			case <-c.flushCh:
+				c.Flush()
+			}
+		}
+	}()
+}
+
+// scheduleFlush requests an asynchronous barrier; requests arriving
+// while one is already pending coalesce (the flush that runs covers
+// them all).
+func (c *Cluster) scheduleFlush() {
+	select {
+	case c.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// stopFlusher retires the barrier driver. Callers must NOT hold c.mu:
+// the flusher may be mid-Flush waiting on it, and stopFlusher waits for
+// the flusher.
+func (c *Cluster) stopFlusher() {
+	c.stopOnce.Do(func() { close(c.quitCh) })
+	c.flushWG.Wait()
 }
 
 // boot is the cold-start path: initial global solve, then one engine
@@ -220,7 +282,7 @@ func boot(in *model.Instance, cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.global = in
+	c.global.Store(in)
 	// Initial plan mirrors a single engine's boot: solve the raw
 	// instance (not a residual) so the first strategy matches what
 	// serve.NewEngine would install. The quota trim is a no-op for
@@ -249,6 +311,7 @@ func boot(in *model.Instance, cfg Config) (*Cluster, error) {
 		c.closeEngines()
 		return nil, fmt.Errorf("cluster: coordinator base snapshot: %w", err)
 	}
+	c.startFlusher()
 	return c, nil
 }
 
@@ -317,7 +380,7 @@ func recoverCluster(cfg Config) (*Cluster, error) {
 		closeAll()
 		return nil, err
 	}
-	shell.global = global
+	shell.global.Store(global)
 	shell.engines = engines
 	if err := shell.openCoordStore(); err != nil {
 		closeAll()
@@ -347,6 +410,7 @@ func recoverCluster(cfg Config) (*Cluster, error) {
 		c.Close()
 		return nil, fmt.Errorf("cluster: coordinator recovery snapshot: %w", err)
 	}
+	c.startFlusher()
 	return c, nil
 }
 
@@ -392,8 +456,14 @@ func (c *Cluster) sliceFor(k int) *model.Strategy {
 // Shards returns the cluster's shard count.
 func (c *Cluster) Shards() int { return c.n }
 
-// Instance returns the assembled global instance. Read-only.
-func (c *Cluster) Instance() *model.Instance { return c.global }
+// Instance returns the current global-instance snapshot. Treat it as
+// immutable: exogenous repricing (ScalePrice) publishes a fresh copy
+// rather than mutating it, so the snapshot is safe to read concurrently
+// — it just stops reflecting price changes made after the call.
+func (c *Cluster) Instance() *model.Instance { return c.global.Load() }
+
+// inst is the internal shorthand for the live global instance.
+func (c *Cluster) inst() *model.Instance { return c.global.Load() }
 
 // Now returns the cluster clock.
 func (c *Cluster) Now() model.TimeStep { return model.TimeStep(c.clock.Load()) }
@@ -403,7 +473,7 @@ func (c *Cluster) Strategy() *model.Strategy { return c.strat.Load() }
 
 // owner validates u and returns its shard and local ID.
 func (c *Cluster) owner(u model.UserID) (int, model.UserID, error) {
-	if int(u) < 0 || int(u) >= c.global.NumUsers {
+	if int(u) < 0 || int(u) >= c.inst().NumUsers {
 		return 0, 0, fmt.Errorf("cluster: unknown user %d", u)
 	}
 	return shardOf(u, c.n), localID(u, c.n), nil
@@ -470,7 +540,12 @@ func (c *Cluster) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]se
 // draws its local stock reservation down; an adoption also marks the
 // cluster dirty so the next barrier runs a coordinated replan. The
 // dirty mark happens before the enqueue, so a Flush that observes the
-// event also observes the mark.
+// event also observes the mark — and is re-asserted after the enqueue,
+// so a concurrent Flush that consumed the first mark before the event
+// reached the shard still leaves a replan armed for the barrier that
+// first sees it. Every ReplanEvery-th adoption schedules a barrier of
+// its own, the self-driving cadence a single engine's feedback loop
+// has built in.
 func (c *Cluster) Feed(ev serve.Event) error {
 	k, lu, err := c.owner(ev.User)
 	if err != nil {
@@ -483,15 +558,27 @@ func (c *Cluster) Feed(ev serve.Event) error {
 	c.engMu.RLock()
 	eng := c.engines[k]
 	c.engMu.RUnlock()
-	return eng.Feed(ev)
+	if err := eng.Feed(ev); err != nil {
+		return err
+	}
+	if ev.Adopted {
+		c.dirty.Store(true)
+		if c.pendingAdopt.Add(1) >= int64(c.replanEvery) {
+			c.scheduleFlush()
+		}
+	}
+	return nil
 }
 
-// SetNow advances the cluster clock on every shard and schedules a
-// coordinated replan at the next barrier (the residual horizon
-// changed).
+// SetNow advances the cluster clock on every shard and runs the
+// coordinated barrier before returning: the residual horizon changed,
+// so reservations are reconciled and a fresh global plan is installed
+// — the cluster-wide analogue of a single engine's forced replan on
+// advance, made synchronous so an /v1/advance caller is served from the
+// new plan as soon as the call returns.
 func (c *Cluster) SetNow(t model.TimeStep) error {
-	if t < 1 || int(t) > c.global.T {
-		return fmt.Errorf("cluster: time step %d outside horizon [1,%d]", t, c.global.T)
+	if t < 1 || int(t) > c.inst().T {
+		return fmt.Errorf("cluster: time step %d outside horizon [1,%d]", t, c.inst().T)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -508,6 +595,7 @@ func (c *Cluster) SetNow(t model.TimeStep) error {
 	c.engMu.RUnlock()
 	c.clock.Store(int64(t))
 	c.force.Store(true)
+	c.flushLocked()
 	return nil
 }
 
@@ -518,7 +606,7 @@ func (c *Cluster) SetNow(t model.TimeStep) error {
 // drawdowns are erased, exactly like a single engine's override
 // erasing its drawdown history. Negative n clamps to zero.
 func (c *Cluster) SetStock(i model.ItemID, n int) error {
-	if int(i) < 0 || int(i) >= c.global.NumItems() {
+	if int(i) < 0 || int(i) >= c.inst().NumItems() {
 		return fmt.Errorf("cluster: unknown item %d", i)
 	}
 	if n < 0 {
@@ -542,6 +630,7 @@ func (c *Cluster) SetStock(i model.ItemID, n int) error {
 	c.engMu.RUnlock()
 	c.co.updateGauges()
 	c.force.Store(true)
+	c.scheduleFlush()
 	return nil
 }
 
@@ -550,7 +639,7 @@ func (c *Cluster) SetStock(i model.ItemID, n int) error {
 // far (shard-local drawdowns since the last barrier are not yet
 // subtracted; Flush first for an up-to-date reading).
 func (c *Cluster) Stock(i model.ItemID) (int, error) {
-	if int(i) < 0 || int(i) >= c.global.NumItems() {
+	if int(i) < 0 || int(i) >= c.inst().NumItems() {
 		return 0, fmt.Errorf("cluster: unknown item %d", i)
 	}
 	c.mu.Lock()
@@ -562,14 +651,14 @@ func (c *Cluster) Stock(i model.ItemID) (int, error) {
 // on the global instance and every shard, and schedules a coordinated
 // replan.
 func (c *Cluster) ScalePrice(i model.ItemID, from model.TimeStep, factor float64) error {
-	if int(i) < 0 || int(i) >= c.global.NumItems() {
+	if int(i) < 0 || int(i) >= c.inst().NumItems() {
 		return fmt.Errorf("cluster: unknown item %d", i)
 	}
 	if from < 1 {
 		from = 1
 	}
-	if int(from) > c.global.T {
-		return fmt.Errorf("cluster: time step %d outside horizon [1,%d]", from, c.global.T)
+	if int(from) > c.inst().T {
+		return fmt.Errorf("cluster: time step %d outside horizon [1,%d]", from, c.inst().T)
 	}
 	if factor <= 0 || math.IsInf(factor, 0) || math.IsNaN(factor) {
 		return fmt.Errorf("cluster: price factor %v out of range (want finite > 0)", factor)
@@ -589,11 +678,16 @@ func (c *Cluster) ScalePrice(i model.ItemID, from model.TimeStep, factor float64
 	c.engMu.RUnlock()
 	// Mirror the rescale on the global instance the coordinator plans
 	// from (engines apply theirs through their feedback loops; the next
-	// barrier flush orders both before the solve).
-	for t := from; int(t) <= c.global.T; t++ {
-		c.global.SetPrice(i, t, c.global.Price(i, t)*factor)
+	// barrier flush orders both before the solve). Copy-on-write: the
+	// rescaled table is built on a clone and published atomically, so
+	// Instance() readers never race the price writes.
+	fresh := c.inst().Clone()
+	for t := from; int(t) <= fresh.T; t++ {
+		fresh.SetPrice(i, t, fresh.Price(i, t)*factor)
 	}
+	c.global.Store(fresh)
 	c.force.Store(true)
+	c.scheduleFlush()
 	return nil
 }
 
@@ -604,6 +698,12 @@ func (c *Cluster) ScalePrice(i model.ItemID, from model.TimeStep, factor float64
 // fresh plan slices on every shard. On return the fleet serves one
 // consistent plan and, for durable clusters, everything flushed has
 // been fsynced (shard WALs and coordinator ledger).
+//
+// Callers rarely need to drive it: the cluster barriers itself — every
+// ReplanEvery-th adoption schedules one, exogenous stock/price changes
+// schedule one, and SetNow runs one synchronously. Explicit Flush
+// remains the deterministic synchronization point for tests and
+// snapshots.
 func (c *Cluster) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -617,10 +717,19 @@ func (c *Cluster) flushLocked() {
 	// Barrier 1: drain every shard's queue so reconciliation and
 	// feedback gathering see all events fed before Flush.
 	c.flushEngines()
-	granted := c.reconcileLocked()
+	granted, charged := c.reconcileLocked()
 	dirty := c.dirty.Swap(false)
 	force := c.force.Swap(false)
+	// A charged drawdown means adoptions happened since the last
+	// barrier even if their dirty mark was consumed by a racing flush
+	// (Feed marks before it enqueues): the barrier that first observes
+	// an adoption's effects owes the coordinated replan a single engine
+	// would have run.
+	if charged {
+		dirty = true
+	}
 	if dirty || force {
+		c.pendingAdopt.Store(0)
 		c.replanLocked()
 		// Advance every engine to the cluster clock; equal-time advances
 		// are allowed and force the engine to fetch its fresh slice.
@@ -666,10 +775,10 @@ func (c *Cluster) syncEngines() {
 // engine applies), changed remainders are logged to the coordinator
 // ledger, and any shard whose view diverged from the new remainder is
 // re-granted. Returns whether any grant was pushed (the caller owes an
-// engine flush to apply it).
-func (c *Cluster) reconcileLocked() bool {
+// engine flush to apply it) and whether any drawdown was charged (the
+// caller owes a coordinated replan covering the adoptions behind it).
+func (c *Cluster) reconcileLocked() (granted, charged bool) {
 	co := c.co
-	granted := false
 	c.engMu.RLock()
 	defer c.engMu.RUnlock()
 	views := make([]int64, c.n)
@@ -689,6 +798,7 @@ func (c *Cluster) reconcileLocked() bool {
 			}
 		}
 		if draw > 0 {
+			charged = true
 			r := co.stock[i] - draw
 			if r < 0 {
 				r = 0
@@ -702,7 +812,13 @@ func (c *Cluster) reconcileLocked() bool {
 				continue
 			}
 			if err := e.SetStock(item, int(co.stock[i])); err != nil {
-				c.setErr(err)
+				// A killed shard can't accept grants mid-barrier; the
+				// condition is transient — RecoverShard re-baselines the
+				// shard's view against the ledger — so it is not recorded
+				// as a cluster failure.
+				if !errors.Is(err, serve.ErrClosed) {
+					c.setErr(err)
+				}
 				continue
 			}
 			co.pushed[k][i] = co.stock[i]
@@ -712,7 +828,7 @@ func (c *Cluster) reconcileLocked() bool {
 	}
 	co.reconciles.Inc()
 	co.updateGauges()
-	return granted
+	return granted, charged
 }
 
 // replanLocked runs one coordinated global replan: gather every
@@ -722,13 +838,19 @@ func (c *Cluster) reconcileLocked() bool {
 func (c *Cluster) replanLocked() {
 	fb, err := c.gatherFeedback()
 	if err != nil {
-		// A shard died mid-barrier (explicit Kill). Leave the old plan
-		// standing; recovery re-forces a replan.
-		c.setErr(err)
+		// A shard died mid-barrier (explicit KillShard). Leave the old
+		// plan standing and keep the barrier armed so the first
+		// post-recovery flush replans. The killed-shard condition is
+		// transient — RecoverShard brings the shard back — so it must
+		// not poison the sticky cluster error that drainAndStop treats
+		// as lost durable state; anything else is recorded.
+		if !errors.Is(err, serve.ErrKilled) && !errors.Is(err, serve.ErrClosed) {
+			c.setErr(err)
+		}
 		c.dirty.Store(true)
 		return
 	}
-	residual := planner.Residual(c.global, fb)
+	residual := planner.Residual(c.inst(), fb)
 	s := c.solveGlobal(residual)
 	s, denied := admitQuota(residual, s)
 	if denied > 0 {
@@ -908,6 +1030,7 @@ func (c *Cluster) Checkpoint() error {
 // draining, no final snapshots, and no fsync beyond what barriers
 // already forced. Recover with Open on the same directory.
 func (c *Cluster) Kill() {
+	c.stopFlusher()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -1007,8 +1130,10 @@ func (c *Cluster) StatsSamples() []serve.StatsSample {
 
 // Close flushes outstanding work (one final coordinated replan if
 // needed), closes every shard engine (each writes its final snapshot),
-// and seals the coordinator ledger.
+// and seals the coordinator ledger. The background flusher is retired
+// first — it must not race the teardown for the barrier mutex.
 func (c *Cluster) Close() {
+	c.stopFlusher()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {

@@ -53,7 +53,11 @@ type statsResponse struct {
 //	GET  /v1/recommend?user=U&t=T  one user's recommendations at T
 //	POST /v1/recommend/batch       {"users":[...],"t":T}
 //	POST /v1/adopt                 {"user":U,"item":I,"t":T,"adopted":B}
-//	POST /v1/advance               {"now":T} — move the cluster clock
+//	POST /v1/advance               {"now":T} — move the cluster clock and
+//	                               run the coordinated barrier before
+//	                               replying, so the first recommendation
+//	                               at the new step sees a reconciled,
+//	                               replanned fleet
 //	GET  /v1/stats                 merged + per-shard summary (JSON)
 //	GET  /metrics                  merged Prometheus exposition
 //	GET  /debug/traces             per-shard replan traces (JSON array)

@@ -124,6 +124,18 @@ func (c Config) planSetup() (planner.Algorithm, solver.Options, error) {
 	return nil, opts, nil
 }
 
+// ErrClosed is returned by mutating calls (Feed, SetStock, ScalePrice)
+// on an engine that has been closed or killed; errors.Is distinguishes
+// this expected lifecycle condition from real failures.
+var ErrClosed = errors.New("serve: engine closed")
+
+// ErrKilled is returned by state-export calls (Feedback, Snapshot) on a
+// killed engine: a simulated kill -9 drops the in-memory state on the
+// floor, so there is nothing consistent left to export. Callers
+// coordinating across engines (internal/cluster) treat it as transient
+// — recovery brings the engine back.
+var ErrKilled = errors.New("serve: engine killed")
+
 // Event is one piece of adoption feedback: user U was shown item I at
 // time T and either adopted it or not. Non-adoption events still matter
 // — they accrue saturation memory, exactly like Planner.Observe's
@@ -494,7 +506,7 @@ func (e *Engine) Feed(ev Event) error {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.closed.Load() {
-		return errors.New("serve: engine closed")
+		return ErrClosed
 	}
 	e.feedback <- feedbackMsg{ev: ev}
 	e.met.feeds.Inc()
@@ -558,7 +570,7 @@ func (e *Engine) SetStock(i model.ItemID, n int) error {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.closed.Load() {
-		return errors.New("serve: engine closed")
+		return ErrClosed
 	}
 	e.feedback <- feedbackMsg{stock: &stockSet{item: i, n: int64(n)}}
 	return nil
@@ -587,7 +599,7 @@ func (e *Engine) ScalePrice(i model.ItemID, from model.TimeStep, factor float64)
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.closed.Load() {
-		return errors.New("serve: engine closed")
+		return ErrClosed
 	}
 	e.feedback <- feedbackMsg{price: &priceOp{item: i, from: from, factor: factor}}
 	return nil
@@ -966,7 +978,7 @@ func (e *Engine) Feedback() (planner.Feedback, error) {
 		// for it so no apply is in flight mid-capture.
 		e.wg.Wait()
 		if e.killed.Load() {
-			return planner.Feedback{}, errors.New("serve: engine killed")
+			return planner.Feedback{}, ErrKilled
 		}
 		return e.collectFeedback(), nil
 	}
@@ -977,7 +989,7 @@ func (e *Engine) Feedback() (planner.Feedback, error) {
 	if fb.Now == 0 {
 		// The loop answered in crash-discard mode (a live engine's clock is
 		// always ≥ 1).
-		return planner.Feedback{}, errors.New("serve: engine killed")
+		return planner.Feedback{}, ErrKilled
 	}
 	return fb, nil
 }

@@ -138,7 +138,7 @@ func (e *Engine) capture() (snapState, error) {
 		// wait for it to exit so no apply is in flight mid-capture.
 		e.wg.Wait()
 		if e.killed.Load() {
-			return snapState{}, errors.New("serve: engine killed")
+			return snapState{}, ErrKilled
 		}
 		return e.captureState(), nil
 	}
@@ -148,7 +148,7 @@ func (e *Engine) capture() (snapState, error) {
 	st := <-ch
 	if st.wire == nil {
 		// The loop answered in crash-discard mode.
-		return snapState{}, errors.New("serve: engine killed")
+		return snapState{}, ErrKilled
 	}
 	return st, nil
 }
