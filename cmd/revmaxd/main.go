@@ -15,8 +15,17 @@
 // behavior is declared by flags, no code changes needed.
 //
 // Endpoints: /v1/recommend, /v1/recommend/batch, /v1/adopt, /v1/advance,
-// /v1/stats, /healthz, /metrics (Prometheus text exposition),
-// /debug/traces (recent plan/replan traces, JSON).
+// /v1/stats, /healthz (liveness + SLO verdicts, JSON), /metrics
+// (Prometheus text exposition), /debug/traces (recent trace timelines,
+// JSON). Request endpoints honor an X-Trace-Id header (16 hex digits)
+// for cross-service correlation.
+//
+// Observability. Structured logs go to stderr (-log-format text|json):
+// replan/barrier summaries, slow sampled requests (-slow-ms threshold),
+// and SLO breach/recovery transitions from the built-in watchdog, whose
+// verdicts are also exported as revmaxd_slo_* metrics and summarized in
+// /healthz. Log records carry trace_id/span_id when the work was
+// traced, and shard=<k> in sharded mode.
 //
 //	curl 'localhost:8372/v1/recommend?user=7&t=1'
 //	curl -d '{"user":7,"item":3,"t":1,"adopted":true}' localhost:8372/v1/adopt
@@ -74,6 +83,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/dataset"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/solver"
 	"repro/internal/store"
@@ -129,6 +139,8 @@ func run(args []string, stdout io.Writer) error {
 	walSync := fs.String("wal-sync", "batch", "WAL fsync policy: always | batch | none")
 	snapInterval := fs.Duration("snapshot-interval", 5*time.Minute, "background snapshot + log compaction period with -data-dir (0 disables; a final snapshot is still written on shutdown)")
 	flushInterval := fs.Duration("flush-interval", time.Second, "sharded mode: maximum wall-clock delay before buffered adoptions reach a coordinated reconcile/replan barrier (0 disables the ticker; adoption-count and advance barriers still fire)")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text | json")
+	slowMS := fs.Int("slow-ms", 0, "log sampled requests slower than this many milliseconds (0 disables slow-request logging)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fmt.Fprint(stdout, usage.String())
@@ -153,6 +165,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *flushInterval < 0 {
 		return fmt.Errorf("-flush-interval %v out of range (want ≥ 0; 0 disables the periodic barrier)", *flushInterval)
+	}
+	if *slowMS < 0 {
+		return fmt.Errorf("-slow-ms %d out of range (want ≥ 0; 0 disables slow-request logging)", *slowMS)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		return err
 	}
 	policy, err := store.ParseSyncPolicy(*walSync)
 	if err != nil {
@@ -192,6 +211,8 @@ func run(args []string, stdout io.Writer) error {
 			EngineStripes: *stripes,
 			ReplanEvery:   *replanEvery,
 			Durability:    durability,
+			Logger:        logger,
+			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
 		}
 		cl, err := bootCluster(ccfg, *loadInstance, *dsName, *scale, *seed, *users, stdout)
 		if err != nil {
@@ -203,12 +224,14 @@ func run(args []string, stdout io.Writer) error {
 		svc, handler = cl, cluster.Handler(cl)
 	} else {
 		cfg := serve.Config{
-			Algorithm:   *algoName,
-			Solver:      opts,
-			WarmStart:   *warmStart,
-			Shards:      *stripes,
-			ReplanEvery: *replanEvery,
-			Durability:  durability,
+			Algorithm:     *algoName,
+			Solver:        opts,
+			WarmStart:     *warmStart,
+			Shards:        *stripes,
+			ReplanEvery:   *replanEvery,
+			Durability:    durability,
+			Logger:        logger,
+			SlowThreshold: time.Duration(*slowMS) * time.Millisecond,
 		}
 		engine, err := bootEngine(cfg, *snapshot, *loadInstance, *dsName, *scale, *seed, *users, stdout)
 		if err != nil {

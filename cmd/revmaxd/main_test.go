@@ -269,6 +269,19 @@ func TestFlushIntervalFailFast(t *testing.T) {
 	}
 }
 
+// TestObservabilityFlagsFailFast: a bad -log-format or a negative
+// -slow-ms fails before dataset generation or port binding.
+func TestObservabilityFlagsFailFast(t *testing.T) {
+	err := run([]string{"-log-format", "xml"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "log format") {
+		t.Fatalf("-log-format xml not rejected: %v", err)
+	}
+	err = run([]string{"-slow-ms", "-5"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-slow-ms") {
+		t.Fatalf("negative -slow-ms not rejected: %v", err)
+	}
+}
+
 // TestFlushTickerDrivesClusterBarrier: the daemon's periodic flush
 // ticker alone — no /v1/advance, no ReplanEvery cadence, no explicit
 // Flush — must carry a fed adoption through a coordinated barrier.

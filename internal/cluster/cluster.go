@@ -34,18 +34,28 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/revenue"
 	"repro/internal/serve"
 	"repro/internal/solver"
 	"repro/internal/store"
 )
+
+// coordTraceOrigin is the coordinator tracer's ID origin (top 16 bits
+// of every minted span ID). Shard k's engine tracer uses origin k+1, so
+// coordinator and shard spans merged into one /debug/traces view never
+// collide; 0xFFFF keeps the coordinator clear of any realistic shard
+// count.
+const coordTraceOrigin = 0xFFFF
 
 // Config tunes a Cluster. Planning fields mirror serve.Config — they
 // configure the coordinator's global solves; shard engines never solve.
@@ -79,16 +89,36 @@ type Config struct {
 	// shard-<k>/ and the coordinator ledger under coord/. Durable
 	// clusters are created with Open; New rejects a durable config.
 	Durability *serve.Durability
+	// Logger, when non-nil, receives the cluster's structured log
+	// records (barrier summaries, SLO breaches); shard engines log
+	// through the same logger with a shard=<k> attribute. nil disables
+	// logging entirely.
+	Logger *slog.Logger
+	// SlowThreshold is passed to every shard engine: sampled requests
+	// at or above it emit a slow-request log record. 0 disables.
+	SlowThreshold time.Duration
+	// SLO tunes both the per-shard engine watchdogs and the cluster's
+	// own coordinator-level watchdog (barrier duration, cluster-wide
+	// error rate, global plan staleness). Zero value = defaults on.
+	SLO serve.SLOConfig
 }
 
 // engineConfig builds shard k's serve.Config: the cluster's planning
-// is replaced by a closure handing out the shard's current slice.
+// is replaced by a closure handing out the shard's current slice, and
+// the observability plane is threaded through — shard k's tracer mints
+// span IDs with origin k+1 so its spans correlate collision-free with
+// the coordinator's in the merged /debug/traces view, and its logger
+// carries a shard=<k> attribute.
 func (c *Cluster) engineConfig(k int) serve.Config {
 	cfg := serve.Config{
-		Planner:     func(*model.Instance) *model.Strategy { return c.sliceFor(k) },
-		Shards:      c.cfg.EngineStripes,
-		ReplanEvery: c.cfg.ReplanEvery,
-		QueueDepth:  c.cfg.QueueDepth,
+		Planner:       func(*model.Instance) *model.Strategy { return c.sliceFor(k) },
+		Shards:        c.cfg.EngineStripes,
+		ReplanEvery:   c.cfg.ReplanEvery,
+		QueueDepth:    c.cfg.QueueDepth,
+		Logger:        shardLogger(c.cfg.Logger, k),
+		SlowThreshold: c.cfg.SlowThreshold,
+		SLO:           c.cfg.SLO,
+		TraceOrigin:   uint16(k + 1),
 	}
 	if d := c.cfg.Durability; d != nil && d.Dir != "" {
 		sd := *d
@@ -96,6 +126,15 @@ func (c *Cluster) engineConfig(k int) serve.Config {
 		cfg.Durability = &sd
 	}
 	return cfg
+}
+
+// shardLogger decorates the cluster logger with the shard index every
+// record from that engine will carry (nil in, nil out).
+func shardLogger(l *slog.Logger, k int) *slog.Logger {
+	if l == nil {
+		return nil
+	}
+	return l.With("shard", k)
 }
 
 // Cluster is a user-sharded fleet of serving engines behind one
@@ -129,6 +168,16 @@ type Cluster struct {
 	revBits atomic.Uint64 // global plan revenue, float64 bits
 
 	co *coordinator
+
+	// tracer records coordinator-side spans (barrier, gather, solve,
+	// install) under origin coordTraceOrigin; shard engines join its
+	// traces remotely. logger and slo are the cluster-level halves of
+	// the observability plane; lastReplan (unix nanos) feeds the global
+	// plan-staleness objective.
+	tracer     *obs.Tracer
+	logger     *slog.Logger
+	slo        *obs.SLOWatchdog
+	lastReplan atomic.Int64
 
 	// mu serializes the barrier protocol (flush, reconcile, replan) and
 	// exogenous mutations of shared state (stock overrides, price
@@ -222,7 +271,11 @@ func newShell(cfg Config, items int, capacity func(int) int64) (*Cluster, error)
 		quitCh:      make(chan struct{}),
 		slices:      make([]atomic.Pointer[model.Strategy], cfg.Shards),
 		co:          newCoordinator(cfg.Shards, items, capacity),
+		logger:      cfg.Logger,
+		tracer:      obs.NewTracer(64),
 	}
+	c.tracer.SetOrigin(coordTraceOrigin)
+	c.slo = newClusterSLO(c)
 	if c.replanEvery <= 0 {
 		c.replanEvery = 32 // serve.Config's default cadence
 	}
@@ -233,8 +286,10 @@ func newShell(cfg Config, items int, capacity func(int) int64) (*Cluster, error)
 // startFlusher arms the background barrier driver: a goroutine that
 // runs Flush whenever one is scheduled (adoption cadence reached, or an
 // exogenous stock/price change with no caller around to barrier).
-// Started once boot or recovery succeeds; stopped by Close/Kill.
+// Started once boot or recovery succeeds; stopped by Close/Kill. The
+// cluster SLO watchdog rides the same lifecycle.
 func (c *Cluster) startFlusher() {
+	c.slo.Start(c.cfg.SLO.WithDefaults().Interval)
 	c.flushWG.Add(1)
 	go func() {
 		defer c.flushWG.Done()
@@ -287,7 +342,7 @@ func boot(in *model.Instance, cfg Config) (*Cluster, error) {
 	// instance (not a residual) so the first strategy matches what
 	// serve.NewEngine would install. The quota trim is a no-op for
 	// valid solver output (same-pointer fast path).
-	s := c.solveGlobal(in)
+	s := c.solveGlobal(in, nil)
 	s, denied := admitQuota(in, s)
 	if denied > 0 {
 		c.co.denials.Add(int64(denied))
@@ -350,9 +405,13 @@ func recoverCluster(cfg Config) (*Cluster, error) {
 				}
 				return model.NewStrategy()
 			},
-			Shards:      cfg.EngineStripes,
-			ReplanEvery: cfg.ReplanEvery,
-			QueueDepth:  cfg.QueueDepth,
+			Shards:        cfg.EngineStripes,
+			ReplanEvery:   cfg.ReplanEvery,
+			QueueDepth:    cfg.QueueDepth,
+			Logger:        shardLogger(cfg.Logger, k),
+			SlowThreshold: cfg.SlowThreshold,
+			SLO:           cfg.SLO,
+			TraceOrigin:   uint16(k + 1),
 		}
 		sd := *d
 		sd.Dir = filepath.Join(d.Dir, fmt.Sprintf("shard-%d", k))
@@ -456,6 +515,14 @@ func (c *Cluster) sliceFor(k int) *model.Strategy {
 // Shards returns the cluster's shard count.
 func (c *Cluster) Shards() int { return c.n }
 
+// Tracer returns the coordinator's span tracer — barrier and replan
+// phases land here; per-request spans land on the shard engines'
+// tracers and are merged by Traces.
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// SLO returns the cluster-level watchdog (nil when Config.SLO.Disable).
+func (c *Cluster) SLO() *obs.SLOWatchdog { return c.slo }
+
 // Instance returns the current global-instance snapshot. Treat it as
 // immutable: exogenous repricing (ScalePrice) publishes a fresh copy
 // rather than mutating it, so the snapshot is safe to read concurrently
@@ -481,6 +548,14 @@ func (c *Cluster) owner(u model.UserID) (int, model.UserID, error) {
 
 // Recommend routes the lookup to u's owning shard.
 func (c *Cluster) Recommend(u model.UserID, t model.TimeStep) ([]serve.Recommendation, error) {
+	return c.RecommendCtx(context.Background(), u, t)
+}
+
+// RecommendCtx is Recommend with trace propagation: a span or trace ref
+// carried by ctx makes the owning shard's lookup span join that trace.
+// Routing is single-shard and synchronous, so a carried *Span is passed
+// through as-is (the shard attaches a child on the caller's goroutine).
+func (c *Cluster) RecommendCtx(ctx context.Context, u model.UserID, t model.TimeStep) ([]serve.Recommendation, error) {
 	k, lu, err := c.owner(u)
 	if err != nil {
 		return nil, err
@@ -488,13 +563,26 @@ func (c *Cluster) Recommend(u model.UserID, t model.TimeStep) ([]serve.Recommend
 	c.engMu.RLock()
 	eng := c.engines[k]
 	c.engMu.RUnlock()
-	return eng.Recommend(lu, t)
+	return eng.RecommendCtx(ctx, lu, t)
 }
 
 // RecommendBatch fans the batch out to the owning shards — one
 // sub-batch per shard, served concurrently — and merges the results
 // back into input order.
 func (c *Cluster) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]serve.Recommendation, error) {
+	return c.RecommendBatchCtx(context.Background(), users, t)
+}
+
+// RecommendBatchCtx is RecommendBatch with trace propagation. The
+// fan-out runs one goroutine per shard, so a carried *Span is demoted
+// to a goroutine-shareable TraceRef (Span.Child may not be called
+// concurrently): each shard opens its own remote span under the
+// caller's trace rather than attaching children to the caller's span.
+func (c *Cluster) RecommendBatchCtx(ctx context.Context, users []model.UserID, t model.TimeStep) ([][]serve.Recommendation, error) {
+	fanCtx := context.Background()
+	if ref := obs.TraceRefFromContext(ctx); ref.TraceID != 0 {
+		fanCtx = obs.ContextWithTraceRef(fanCtx, ref)
+	}
 	groups := make([][]int, c.n)          // input positions per shard
 	locals := make([][]model.UserID, c.n) // local IDs per shard, aligned
 	for pos, u := range users {
@@ -516,7 +604,7 @@ func (c *Cluster) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]se
 		wg.Add(1)
 		go func(k int, eng *serve.Engine) {
 			defer wg.Done()
-			recs, err := eng.RecommendBatch(locals[k], t)
+			recs, err := eng.RecommendBatchCtx(fanCtx, locals[k], t)
 			if err != nil {
 				errs[k] = err
 				return
@@ -547,6 +635,12 @@ func (c *Cluster) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]se
 // its own, the self-driving cadence a single engine's feedback loop
 // has built in.
 func (c *Cluster) Feed(ev serve.Event) error {
+	return c.FeedCtx(context.Background(), ev)
+}
+
+// FeedCtx is Feed with trace propagation to the owning shard (same
+// single-shard, same-goroutine contract as RecommendCtx).
+func (c *Cluster) FeedCtx(ctx context.Context, ev serve.Event) error {
 	k, lu, err := c.owner(ev.User)
 	if err != nil {
 		return err
@@ -558,7 +652,7 @@ func (c *Cluster) Feed(ev serve.Event) error {
 	c.engMu.RLock()
 	eng := c.engines[k]
 	c.engMu.RUnlock()
-	if err := eng.Feed(ev); err != nil {
+	if err := eng.FeedCtx(ctx, ev); err != nil {
 		return err
 	}
 	if ev.Adopted {
@@ -577,6 +671,13 @@ func (c *Cluster) Feed(ev serve.Event) error {
 // advance, made synchronous so an /v1/advance caller is served from the
 // new plan as soon as the call returns.
 func (c *Cluster) SetNow(t model.TimeStep) error {
+	return c.SetNowCtx(context.Background(), t)
+}
+
+// SetNowCtx is SetNow under a caller's trace: when ctx carries a span
+// or trace ref (an /v1/advance with X-Trace-Id), the coordinated
+// barrier's "barrier" span joins that trace instead of opening its own.
+func (c *Cluster) SetNowCtx(ctx context.Context, t model.TimeStep) error {
 	if t < 1 || int(t) > c.inst().T {
 		return fmt.Errorf("cluster: time step %d outside horizon [1,%d]", t, c.inst().T)
 	}
@@ -595,7 +696,7 @@ func (c *Cluster) SetNow(t model.TimeStep) error {
 	c.engMu.RUnlock()
 	c.clock.Store(int64(t))
 	c.force.Store(true)
-	c.flushLocked()
+	c.flushLocked(obs.TraceRefFromContext(ctx))
 	return nil
 }
 
@@ -707,17 +808,31 @@ func (c *Cluster) ScalePrice(i model.ItemID, from model.TimeStep, factor float64
 func (c *Cluster) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.flushLocked()
+	c.flushLocked(obs.TraceRef{})
 }
 
-func (c *Cluster) flushLocked() {
+// flushLocked runs one barrier under a coordinator trace: a root span
+// named "barrier" (joining ref's trace when the barrier was caused by a
+// traced request, e.g. an /v1/advance carrying X-Trace-Id) with drain,
+// reconcile, gather/merge/solve/trim/slice, and install children. Every
+// shard's replan span joins the same trace remotely, so the merged
+// /debug/traces view shows one coordinated timeline. Barriers that find
+// no work drop their span unpublished — the 1s background ticks of an
+// idle cluster never reach the ring, the histogram, or the log.
+func (c *Cluster) flushLocked(ref obs.TraceRef) {
 	if c.closed {
 		return
 	}
+	t0 := time.Now()
+	sp := c.tracer.StartRemote("barrier", ref.TraceID, ref.ParentID)
 	// Barrier 1: drain every shard's queue so reconciliation and
 	// feedback gathering see all events fed before Flush.
+	drain := sp.Child("drain")
 	c.flushEngines()
+	drain.End()
+	rec := sp.Child("reconcile")
 	granted, charged := c.reconcileLocked()
+	rec.End()
 	dirty := c.dirty.Swap(false)
 	force := c.force.Swap(false)
 	// A charged drawdown means adoptions happened since the last
@@ -728,19 +843,26 @@ func (c *Cluster) flushLocked() {
 	if charged {
 		dirty = true
 	}
-	if dirty || force {
+	replanned := dirty || force
+	if replanned {
 		c.pendingAdopt.Store(0)
-		c.replanLocked()
+		c.replanLocked(sp)
 		// Advance every engine to the cluster clock; equal-time advances
-		// are allowed and force the engine to fetch its fresh slice.
+		// are allowed and force the engine to fetch its fresh slice. The
+		// trace rides along as a goroutine-shareable ref: each shard's
+		// forced replan opens its own remote span under the install span.
 		clock := model.TimeStep(c.clock.Load())
+		install := sp.Child("install")
+		ctx := obs.ContextWithTraceRef(context.Background(),
+			obs.TraceRef{TraceID: sp.TraceID(), ParentID: install.SpanID()})
 		c.engMu.RLock()
 		for _, e := range c.engines {
-			_ = e.SetNow(clock)
+			_ = e.SetNowCtx(ctx, clock)
 		}
 		c.engMu.RUnlock()
 		// Barrier 2: wait for grants, advances, and slice installs.
 		c.flushEngines()
+		install.End()
 	} else if granted {
 		// No replan, but reconciliation re-granted stock views; apply
 		// them before returning.
@@ -749,6 +871,22 @@ func (c *Cluster) flushLocked() {
 	c.syncEngines()
 	c.co.sync()
 	c.setErr(c.co.err)
+	if !replanned && !granted {
+		sp.Drop()
+		return
+	}
+	d := time.Since(t0)
+	c.co.barrierSec.Observe(d.Seconds())
+	sp.SetInt("shards", int64(c.n))
+	if replanned {
+		sp.SetInt("replanned", 1)
+	}
+	sp.End()
+	if c.logger != nil {
+		obs.WithTrace(c.logger, sp).Info("barrier complete",
+			"replanned", replanned, "granted", granted,
+			"duration_ms", d.Milliseconds(), "shards", c.n)
+	}
 }
 
 func (c *Cluster) flushEngines() {
@@ -835,8 +973,11 @@ func (c *Cluster) reconcileLocked() (granted, charged bool) {
 // shard's feedback, merge into the global view (stock from the
 // coordinator ledger, clock from the cluster), solve the residual
 // instance once, trim any quota violation, and install the slices.
-func (c *Cluster) replanLocked() {
+// Each phase is recorded as a child of the caller's barrier span.
+func (c *Cluster) replanLocked(sp *obs.Span) {
+	gather := sp.Child("gather")
 	fb, err := c.gatherFeedback()
+	gather.End()
 	if err != nil {
 		// A shard died mid-barrier (explicit KillShard). Leave the old
 		// plan standing and keep the barrier armed so the first
@@ -850,13 +991,25 @@ func (c *Cluster) replanLocked() {
 		c.dirty.Store(true)
 		return
 	}
+	merge := sp.Child("merge")
 	residual := planner.Residual(c.inst(), fb)
-	s := c.solveGlobal(residual)
+	merge.End()
+	s := c.solveGlobal(residual, sp)
+	trim := sp.Child("trim")
 	s, denied := admitQuota(residual, s)
+	trim.End()
 	if denied > 0 {
 		c.co.denials.Add(int64(denied))
 	}
+	slice := sp.Child("slice")
 	c.installGlobal(residual, s)
+	slice.End()
+	if c.logger != nil {
+		obs.WithTrace(c.logger, sp).Info("coordinated replan",
+			"revenue", math.Float64frombits(c.revBits.Load()),
+			"triples", s.Len(), "denied", denied,
+			"now", c.clock.Load())
+	}
 }
 
 // gatherFeedback merges the shards' consistent feedback exports into
@@ -892,8 +1045,9 @@ func (c *Cluster) gatherFeedback() (planner.Feedback, error) {
 }
 
 // solveGlobal runs the configured algorithm on the global residual —
-// the single planning invocation per coordinated replan.
-func (c *Cluster) solveGlobal(residual *model.Instance) *model.Strategy {
+// the single planning invocation per coordinated replan. A non-nil sp
+// receives the solver's own "solve" child span with phase breakdown.
+func (c *Cluster) solveGlobal(residual *model.Instance, sp *obs.Span) *model.Strategy {
 	c.replans.Add(1)
 	c.co.replansC.Inc()
 	if c.custom != nil {
@@ -904,6 +1058,7 @@ func (c *Cluster) solveGlobal(residual *model.Instance) *model.Strategy {
 		return s
 	}
 	o := c.opts
+	o.Span = sp
 	if c.warm {
 		o.Warm = c.warmPrev
 	}
@@ -958,6 +1113,7 @@ func admitQuota(in *model.Instance, s *model.Strategy) (*model.Strategy, int) {
 func (c *Cluster) installGlobal(residual *model.Instance, s *model.Strategy) {
 	c.revBits.Store(math.Float64bits(revenue.Revenue(residual, s)))
 	c.strat.Store(s)
+	c.lastReplan.Store(time.Now().UnixNano())
 	if c.warm {
 		c.warmPrev = s.Triples()
 	}
@@ -1030,6 +1186,7 @@ func (c *Cluster) Checkpoint() error {
 // draining, no final snapshots, and no fsync beyond what barriers
 // already forced. Recover with Open on the same directory.
 func (c *Cluster) Kill() {
+	c.slo.Stop()
 	c.stopFlusher()
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -1133,13 +1290,14 @@ func (c *Cluster) StatsSamples() []serve.StatsSample {
 // and seals the coordinator ledger. The background flusher is retired
 // first — it must not race the teardown for the barrier mutex.
 func (c *Cluster) Close() {
+	c.slo.Stop()
 	c.stopFlusher()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return
 	}
-	c.flushLocked()
+	c.flushLocked(obs.TraceRef{})
 	c.closed = true
 	c.closeEngines()
 	if c.co.st != nil {

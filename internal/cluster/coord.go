@@ -68,6 +68,7 @@ type coordinator struct {
 	replansC    *obs.Counter
 	outstanding *obs.Gauge
 	remaining   *obs.Gauge
+	barrierSec  *obs.Histogram
 }
 
 func newCoordinator(n, items int, capacity func(int) int64) *coordinator {
@@ -89,6 +90,9 @@ func newCoordinator(n, items int, capacity func(int) int64) *coordinator {
 			"Stock units reserved across shards beyond the authoritative remainder (grant optimism)."),
 		remaining: reg.Gauge("revmaxd_cluster_stock_remaining",
 			"Authoritative remaining stock summed over items."),
+		barrierSec: reg.Histogram("revmaxd_cluster_barrier_seconds",
+			"Coordinated flush-barrier duration (drain, reconcile, replan, install). No-op ticks are not observed.",
+			obs.LatencyBuckets()),
 	}
 	for i := range co.stock {
 		co.stock[i] = capacity(i)

@@ -1,12 +1,13 @@
 package cluster
 
 import (
+	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -46,10 +47,32 @@ type statsResponse struct {
 	PerShard []serve.Stats    `json:"per_shard"`
 }
 
+// traceContext is the cluster's X-Trace-Id entry point, mirroring the
+// engine handler's: a valid header opens a root span on the coordinator
+// tracer continuing the caller's trace, echoes the normalized ID back,
+// and threads the span through the routed call. Requests without the
+// header pay one header lookup.
+func traceContext(tr *obs.Tracer, w http.ResponseWriter, r *http.Request, op string) (context.Context, *obs.Span) {
+	h := r.Header.Get("X-Trace-Id")
+	if h == "" {
+		return r.Context(), nil
+	}
+	tid, err := obs.ParseTraceID(h)
+	if err != nil || tid == 0 {
+		return r.Context(), nil
+	}
+	sp := tr.StartRemote(op, tid, 0)
+	if sp == nil { // tracing disabled
+		return r.Context(), nil
+	}
+	w.Header().Set("X-Trace-Id", obs.FormatTraceID(tid))
+	return obs.ContextWithSpan(r.Context(), sp), sp
+}
+
 // Handler returns the HTTP/JSON API over c — the same endpoints as
 // serve.Handler, routed through the cluster:
 //
-//	GET  /healthz                  liveness probe
+//	GET  /healthz                  liveness + cluster SLO verdicts (JSON)
 //	GET  /v1/recommend?user=U&t=T  one user's recommendations at T
 //	POST /v1/recommend/batch       {"users":[...],"t":T}
 //	POST /v1/adopt                 {"user":U,"item":I,"t":T,"adopted":B}
@@ -60,12 +83,18 @@ type statsResponse struct {
 //	                               replanned fleet
 //	GET  /v1/stats                 merged + per-shard summary (JSON)
 //	GET  /metrics                  merged Prometheus exposition
-//	GET  /debug/traces             per-shard replan traces (JSON array)
+//	GET  /debug/traces             merged trace timelines (one JSON doc,
+//	                               spans labeled coord / shard index,
+//	                               grouped by trace ID)
+//
+// Request endpoints honor an X-Trace-Id header (16 hex digits): the
+// request — and, for /v1/advance, the coordinated barrier it forces —
+// is traced under that ID across the coordinator and every shard it
+// touches.
 func Handler(c *Cluster) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		writeJSON(w, clusterHealth(c))
 	})
 	mux.HandleFunc("GET /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
 		user, err1 := strconv.Atoi(r.URL.Query().Get("user"))
@@ -74,7 +103,9 @@ func Handler(c *Cluster) http.Handler {
 			httpError(w, http.StatusBadRequest, "user and t must be integers")
 			return
 		}
-		recs, err := c.Recommend(model.UserID(user), model.TimeStep(t))
+		ctx, sp := traceContext(c.tracer, w, r, "http.recommend")
+		recs, err := c.RecommendCtx(ctx, model.UserID(user), model.TimeStep(t))
+		sp.End()
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
@@ -87,7 +118,9 @@ func Handler(c *Cluster) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
 			return
 		}
-		results, err := c.RecommendBatch(req.Users, req.T)
+		ctx, sp := traceContext(c.tracer, w, r, "http.recommend-batch")
+		results, err := c.RecommendBatchCtx(ctx, req.Users, req.T)
+		sp.End()
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
@@ -104,7 +137,10 @@ func Handler(c *Cluster) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad adoption event: "+err.Error())
 			return
 		}
-		if err := c.Feed(ev); err != nil {
+		ctx, sp := traceContext(c.tracer, w, r, "http.adopt")
+		err := c.FeedCtx(ctx, ev)
+		sp.End()
+		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -120,7 +156,10 @@ func Handler(c *Cluster) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad advance request: "+err.Error())
 			return
 		}
-		if err := c.SetNow(req.Now); err != nil {
+		ctx, sp := traceContext(c.tracer, w, r, "http.advance")
+		err := c.SetNowCtx(ctx, req.Now)
+		sp.End()
+		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -140,16 +179,7 @@ func Handler(c *Cluster) http.Handler {
 	})
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		c.engMu.RLock()
-		defer c.engMu.RUnlock()
-		fmt.Fprint(w, "[")
-		for k, e := range c.engines {
-			if k > 0 {
-				fmt.Fprint(w, ",")
-			}
-			_ = e.Tracer().WriteJSON(w)
-		}
-		fmt.Fprintln(w, "]")
+		_ = c.WriteTraces(w)
 	})
 	return mux
 }

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// newClusterSLO builds the coordinator-level watchdog on the
+// coordinator's registry (its families are the unlabeled ones in the
+// merged /metrics). It watches the couplings no single shard can see:
+// barrier duration, staleness of the one global plan, the fleet-wide
+// error rate, and the merged p99 of recommendation latency across all
+// shards. Per-shard watchdogs run independently inside each engine.
+// Returns nil when disabled; every watchdog method is nil-safe.
+func newClusterSLO(c *Cluster) *obs.SLOWatchdog {
+	if c.cfg.SLO.Disable {
+		return nil
+	}
+	cfg := c.cfg.SLO.WithDefaults()
+	w := obs.NewSLOWatchdog(c.co.reg, c.logger)
+	w.Add(obs.WindowQuantileObjective("barrier_p99", c.co.barrierSec, 0.99, cfg.ReplanP99.Seconds()))
+	w.Add(obs.GaugeObjective("plan_staleness", cfg.PlanStaleness.Seconds(), func() float64 {
+		if ns := c.lastReplan.Load(); ns > 0 {
+			return time.Since(time.Unix(0, ns)).Seconds()
+		}
+		return 0
+	}))
+	w.Add(obs.WindowRateObjective("error_rate", cfg.ErrorRate,
+		func() int64 { return sumShardStats(c).RequestErrors },
+		func() int64 {
+			st := sumShardStats(c)
+			return st.Recommends + st.BatchUsers + st.RequestErrors
+		}))
+	// The merged recommend p99 has no single histogram to window over;
+	// the probe keeps the previous merged snapshot and quantiles the
+	// delta — the same rolling window WindowQuantileObjective computes,
+	// over the union of every shard's observations. The closure's state
+	// is guarded by the watchdog's evaluation lock.
+	var prev obs.HistogramSnapshot
+	w.Add(obs.NewObjective("recommend_p99", cfg.RecommendP99.Seconds(), func() float64 {
+		var cur obs.HistogramSnapshot
+		for _, s := range c.StatsSamples() {
+			cur = cur.Merge(s.Latency)
+		}
+		win := cur.Delta(prev)
+		prev = cur
+		return win.Quantile(0.99)
+	}))
+	return w
+}
+
+// sumShardStats sums the counters the cluster objectives rate against.
+func sumShardStats(c *Cluster) serve.Stats {
+	return serve.MergeStats(c.StatsSamples()...)
+}
+
+// healthResponse is the cluster /healthz payload, shape-compatible with
+// a single engine's: always HTTP 200, status "degraded" plus the
+// failing objectives when the cluster watchdog or durability is
+// unhappy. Only the coordinator-level objectives are listed; per-shard
+// verdicts live on each shard's own registry in /metrics.
+type healthResponse struct {
+	Status string          `json:"status"` // "ok" | "degraded"
+	SLOs   []obs.SLOStatus `json:"slos,omitempty"`
+	Error  string          `json:"error,omitempty"` // first durability error
+}
+
+func clusterHealth(c *Cluster) healthResponse {
+	h := healthResponse{Status: "ok"}
+	if wd := c.slo; wd != nil {
+		h.SLOs = wd.Status()
+		if !wd.Healthy() {
+			h.Status = "degraded"
+		}
+	}
+	if err := c.Err(); err != nil {
+		h.Status = "degraded"
+		h.Error = err.Error()
+	}
+	return h
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Logging convention: components hold a *slog.Logger that may be nil,
+// and guard every emission with a nil check — the off path is a single
+// pointer comparison, no slog machinery. Shard identity is baked in
+// once with Logger.With("shard", k); per-record trace correlation is
+// attached at the call site via WithTrace, so every line about a traced
+// operation greps to its /debug/traces timeline by trace_id.
+
+// NewLogger returns a logger writing one record per line to w in the
+// given format: "text" (logfmt-style, the default for "") or "json".
+// Unknown formats are an error so a daemon flag typo fails loudly
+// instead of silently logging in the wrong shape.
+func NewLogger(w io.Writer, format string) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// WithTrace returns l extended with trace_id/span_id attributes taken
+// from s. A nil logger stays nil and a nil span returns l unchanged, so
+// call sites need no guards beyond the usual nil-logger check.
+func WithTrace(l *slog.Logger, s *Span) *slog.Logger {
+	if l == nil || s == nil {
+		return l
+	}
+	return l.With("trace_id", FormatTraceID(s.traceID), "span_id", FormatTraceID(s.spanID))
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// SLO watchdog: an in-process evaluator of service-level objectives
+// computed from the metrics the process already keeps. Each objective
+// is a probe over a rolling window (the interval between evaluations)
+// plus a threshold the probed value must stay at or under. The watchdog
+// runs the probes on a ticker, publishes the verdicts as revmaxd_slo_*
+// metric families, logs breach/recovery transitions, and feeds the
+// degraded-vs-ok section of /healthz — the gate the open-world load
+// harness drives against.
+
+// Objective is one service-level objective: a named probe producing the
+// current window's value, healthy while value ≤ threshold.
+type Objective struct {
+	Name      string
+	Threshold float64
+	probe     func() float64
+}
+
+// NewObjective builds an objective from an arbitrary probe. The probe
+// is called once per evaluation, always from the watchdog's goroutine
+// (or the caller of Evaluate), never concurrently with itself — it may
+// keep private state for windowing.
+func NewObjective(name string, threshold float64, probe func() float64) Objective {
+	return Objective{Name: name, Threshold: threshold, probe: probe}
+}
+
+// WindowQuantileObjective probes the p-quantile of h restricted to the
+// observations that arrived since the previous evaluation, via
+// snapshot deltas. An empty window probes as 0 (healthy): no traffic is
+// not a latency breach.
+func WindowQuantileObjective(name string, h *Histogram, p, threshold float64) Objective {
+	var prev HistogramSnapshot
+	return NewObjective(name, threshold, func() float64 {
+		cur := h.Snapshot()
+		win := cur.Delta(prev)
+		prev = cur
+		if win.Count() == 0 {
+			return 0
+		}
+		return win.Quantile(p)
+	})
+}
+
+// WindowRateObjective probes Δnum/Δden across the window — e.g. errors
+// per request. A window with no denominator growth probes as 0.
+func WindowRateObjective(name string, threshold float64, num, den func() int64) Objective {
+	var prevNum, prevDen int64
+	return NewObjective(name, threshold, func() float64 {
+		n, d := num(), den()
+		dn, dd := n-prevNum, d-prevDen
+		prevNum, prevDen = n, d
+		if dd <= 0 || dn <= 0 {
+			return 0
+		}
+		return float64(dn) / float64(dd)
+	})
+}
+
+// GaugeObjective probes an instantaneous value — e.g. seconds since the
+// last installed plan.
+func GaugeObjective(name string, threshold float64, fn func() float64) Objective {
+	return NewObjective(name, threshold, fn)
+}
+
+// Delta returns the observations in s that are not in prev — the
+// rolling-window histogram between two snapshots of the same series.
+// Mismatched layouts (or an empty prev) return s unchanged; counts
+// never go negative even if prev is from a different life of the
+// counter.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Bounds) != len(s.Bounds) {
+		return s
+	}
+	for i, b := range s.Bounds {
+		if prev.Bounds[i] != b {
+			return s
+		}
+	}
+	out := HistogramSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]int64, len(s.Counts)),
+		Sum:    s.Sum - prev.Sum,
+	}
+	for i, c := range s.Counts {
+		if d := c - prev.Counts[i]; d > 0 {
+			out.Counts[i] = d
+		}
+	}
+	return out
+}
+
+// SLOStatus is one objective's latest verdict, as rendered in /healthz.
+type SLOStatus struct {
+	Name      string  `json:"name"`
+	OK        bool    `json:"ok"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	Breaches  int64   `json:"breaches"`
+}
+
+type sloState struct {
+	obj      Objective
+	okG      *Gauge
+	valueG   *Gauge
+	thresh   *Gauge
+	breaches *Counter
+	lastOK   bool
+	lastVal  float64
+}
+
+// SLOWatchdog evaluates a set of objectives on a ticker and publishes
+// the results. All methods are safe on a nil watchdog (no-ops /
+// healthy), so components can make the whole subsystem optional with a
+// single nil field.
+type SLOWatchdog struct {
+	reg    *Registry
+	logger *slog.Logger
+	evals  *Counter
+
+	mu        sync.Mutex
+	objs      []*sloState
+	evaluated bool
+	running   bool
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// NewSLOWatchdog builds a watchdog registering its verdict metrics
+// (revmaxd_slo_ok/value/threshold/breaches_total, one series per
+// objective, plus revmaxd_slo_evaluations_total) in reg. logger may be
+// nil to disable breach logging.
+func NewSLOWatchdog(reg *Registry, logger *slog.Logger) *SLOWatchdog {
+	return &SLOWatchdog{
+		reg:    reg,
+		logger: logger,
+		evals:  reg.Counter("revmaxd_slo_evaluations_total", "SLO watchdog evaluation ticks."),
+	}
+}
+
+// Add registers an objective. Call before Start; objectives start out
+// healthy until the first evaluation.
+func (w *SLOWatchdog) Add(obj Objective) {
+	if w == nil {
+		return
+	}
+	l := Label{Key: "slo", Value: obj.Name}
+	st := &sloState{
+		obj:      obj,
+		okG:      w.reg.Gauge("revmaxd_slo_ok", "1 while the objective is met, 0 while breached.", l),
+		valueG:   w.reg.Gauge("revmaxd_slo_value", "Last evaluated value of the objective.", l),
+		thresh:   w.reg.Gauge("revmaxd_slo_threshold", "Configured threshold the value must stay at or under.", l),
+		breaches: w.reg.Counter("revmaxd_slo_breaches_total", "Evaluations that found the objective violated.", l),
+		lastOK:   true,
+	}
+	st.okG.Set(1)
+	st.thresh.Set(obj.Threshold)
+	w.mu.Lock()
+	w.objs = append(w.objs, st)
+	w.mu.Unlock()
+}
+
+// Evaluate runs every probe once and updates verdicts, metrics, and
+// transition logs. The ticker calls it; tests and handlers may call it
+// directly — probes window against the previous call, whoever made it.
+func (w *SLOWatchdog) Evaluate() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evals.Inc()
+	w.evaluated = true
+	for _, st := range w.objs {
+		v := st.obj.probe()
+		ok := v <= st.obj.Threshold
+		st.lastVal = v
+		st.valueG.Set(v)
+		if ok {
+			st.okG.Set(1)
+		} else {
+			st.okG.Set(0)
+			st.breaches.Inc()
+		}
+		if ok != st.lastOK && w.logger != nil {
+			if ok {
+				w.logger.Info("slo recovered", "slo", st.obj.Name, "value", v, "threshold", st.obj.Threshold)
+			} else {
+				w.logger.Warn("slo breach", "slo", st.obj.Name, "value", v, "threshold", st.obj.Threshold)
+			}
+		}
+		st.lastOK = ok
+	}
+}
+
+// Status returns every objective's latest verdict in Add order.
+func (w *SLOWatchdog) Status() []SLOStatus {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]SLOStatus, len(w.objs))
+	for i, st := range w.objs {
+		out[i] = SLOStatus{
+			Name:      st.obj.Name,
+			OK:        st.lastOK,
+			Value:     st.lastVal,
+			Threshold: st.obj.Threshold,
+			Breaches:  st.breaches.Value(),
+		}
+	}
+	return out
+}
+
+// Healthy reports whether every objective met its threshold at the last
+// evaluation. A watchdog that has never evaluated (or a nil watchdog)
+// is healthy.
+func (w *SLOWatchdog) Healthy() bool {
+	if w == nil {
+		return true
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, st := range w.objs {
+		if !st.lastOK {
+			return false
+		}
+	}
+	return true
+}
+
+// Start launches the evaluation ticker. Repeated Starts and a
+// non-positive interval are no-ops.
+func (w *SLOWatchdog) Start(interval time.Duration) {
+	if w == nil || interval <= 0 {
+		return
+	}
+	w.mu.Lock()
+	if w.running {
+		w.mu.Unlock()
+		return
+	}
+	w.running = true
+	w.stop = make(chan struct{})
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case <-t.C:
+				w.Evaluate()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker and waits for the in-flight evaluation, if
+// any. Idempotent and safe on a never-started or nil watchdog.
+func (w *SLOWatchdog) Stop() {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if !w.running {
+		w.mu.Unlock()
+		return
+	}
+	w.running = false
+	close(w.stop)
+	w.mu.Unlock()
+	w.wg.Wait()
+}

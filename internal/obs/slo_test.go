@@ -1,0 +1,190 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestSnapshotDelta(t *testing.T) {
+	h := obs.NewRegistry().Histogram("d_seconds", "h", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(5)
+	prev := h.Snapshot()
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(20)
+	win := h.Snapshot().Delta(prev)
+	if win.Count() != 3 {
+		t.Fatalf("window count = %d, want 3", win.Count())
+	}
+	if got := win.Quantile(0.5); got != 1 {
+		t.Fatalf("window p50 = %v, want 1 (two 0.5s land in the ≤1 bucket)", got)
+	}
+	if win.Sum != 21 {
+		t.Fatalf("window sum = %v, want 21", win.Sum)
+	}
+	// Mismatched layouts: Delta degrades to the current snapshot.
+	if got := h.Snapshot().Delta(obs.HistogramSnapshot{Bounds: []float64{1}}); got.Count() != 5 {
+		t.Fatalf("mismatched delta count = %d, want full 5", got.Count())
+	}
+}
+
+func TestSLOWatchdogVerdictsAndMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	lat := reg.Histogram("req_seconds", "h", []float64{0.01, 0.1, 1})
+	var errs, total int64
+
+	var logBuf bytes.Buffer
+	logger, err := obs.NewLogger(&logBuf, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewSLOWatchdog(reg, logger)
+	w.Add(obs.WindowQuantileObjective("recommend_p99", lat, 0.99, 0.1))
+	w.Add(obs.WindowRateObjective("error_rate", 0.01,
+		func() int64 { return errs }, func() int64 { return total }))
+	w.Add(obs.GaugeObjective("staleness", 60, func() float64 { return 5 }))
+
+	if !w.Healthy() {
+		t.Fatal("watchdog unhealthy before first evaluation")
+	}
+
+	// Healthy window.
+	lat.Observe(0.005)
+	total = 100
+	w.Evaluate()
+	if !w.Healthy() {
+		t.Fatalf("healthy window judged degraded: %+v", w.Status())
+	}
+
+	// Breach p99 and error rate in the second window.
+	for i := 0; i < 50; i++ {
+		lat.Observe(0.5)
+	}
+	errs, total = 10, 200
+	w.Evaluate()
+	if w.Healthy() {
+		t.Fatal("breached window judged healthy")
+	}
+	st := w.Status()
+	if len(st) != 3 {
+		t.Fatalf("status has %d objectives", len(st))
+	}
+	if st[0].OK || st[0].Value != 1 {
+		t.Fatalf("p99 status = %+v (window p99 should hit the ≤1 bucket)", st[0])
+	}
+	if st[1].OK || st[1].Value != 0.1 {
+		t.Fatalf("error_rate status = %+v, want value 0.1", st[1])
+	}
+	if !st[2].OK {
+		t.Fatalf("gauge objective breached: %+v", st[2])
+	}
+	if st[0].Breaches != 1 {
+		t.Fatalf("p99 breaches = %d, want 1", st[0].Breaches)
+	}
+
+	// Breach logs are JSON records with the slo attribute.
+	var rec map[string]any
+	line, _, _ := strings.Cut(logBuf.String(), "\n")
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("breach log is not JSON: %v\n%s", err, logBuf.String())
+	}
+	if rec["msg"] != "slo breach" || rec["slo"] != "recommend_p99" {
+		t.Fatalf("breach record = %v", rec)
+	}
+
+	// Quiet third window: everything recovers, and the recovery is logged.
+	errs, total = 10, 300
+	w.Evaluate()
+	if !w.Healthy() {
+		t.Fatalf("recovered window still degraded: %+v", w.Status())
+	}
+	if !strings.Contains(logBuf.String(), "slo recovered") {
+		t.Fatalf("no recovery log in:\n%s", logBuf.String())
+	}
+
+	// The verdicts surface as revmaxd_slo_* families.
+	var expo bytes.Buffer
+	if err := reg.WritePrometheus(&expo); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseExposition(strings.NewReader(expo.String()))
+	if err != nil {
+		t.Fatalf("exposition does not re-parse: %v", err)
+	}
+	for _, name := range []string{"revmaxd_slo_ok", "revmaxd_slo_value", "revmaxd_slo_threshold", "revmaxd_slo_breaches_total", "revmaxd_slo_evaluations_total"} {
+		if fams[name] == nil {
+			t.Fatalf("family %s missing from exposition", name)
+		}
+	}
+	if got := len(fams["revmaxd_slo_ok"].Samples); got != 3 {
+		t.Fatalf("revmaxd_slo_ok has %d series, want 3", got)
+	}
+	var found bool
+	for _, s := range fams["revmaxd_slo_breaches_total"].Samples {
+		if s.Labels["slo"] == "error_rate" && s.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("error_rate breach counter missing: %+v", fams["revmaxd_slo_breaches_total"].Samples)
+	}
+}
+
+func TestSLOWatchdogNilAndLifecycle(t *testing.T) {
+	var w *obs.SLOWatchdog
+	w.Add(obs.GaugeObjective("x", 1, func() float64 { return 0 }))
+	w.Evaluate()
+	w.Start(0)
+	w.Stop()
+	if !w.Healthy() || w.Status() != nil {
+		t.Fatal("nil watchdog not a healthy no-op")
+	}
+
+	real := obs.NewSLOWatchdog(obs.NewRegistry(), nil)
+	real.Add(obs.GaugeObjective("x", 1, func() float64 { return 0 }))
+	real.Start(time.Hour)
+	real.Start(time.Hour) // double start is a no-op
+	real.Stop()
+	real.Stop() // idempotent
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var b bytes.Buffer
+	for _, f := range []string{"", "text", "json"} {
+		l, err := obs.NewLogger(&b, f)
+		if err != nil || l == nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+	}
+	if _, err := obs.NewLogger(&b, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+
+	b.Reset()
+	l, _ := obs.NewLogger(&b, "json")
+	tr := obs.NewTracer(2)
+	sp := tr.Start("op")
+	obs.WithTrace(l, sp).Info("slow request", "user", 7)
+	sp.Drop()
+	var rec map[string]any
+	if err := json.Unmarshal(b.Bytes(), &rec); err != nil {
+		t.Fatalf("bad json record: %v\n%s", err, b.String())
+	}
+	if rec["trace_id"] != obs.FormatTraceID(sp.TraceID()) {
+		t.Fatalf("record trace_id = %v, want %s", rec["trace_id"], obs.FormatTraceID(sp.TraceID()))
+	}
+
+	// Nil-safety: both arms return something callers can guard on.
+	if obs.WithTrace(nil, sp) != nil {
+		t.Fatal("nil logger grew a value")
+	}
+	if obs.WithTrace(l, nil) != l {
+		t.Fatal("nil span changed the logger")
+	}
+}

@@ -1,0 +1,196 @@
+package obs_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSpanEndOnceOnly is the regression test for the double-publish
+// bug: a root span whose End ran twice (defer + explicit call) used to
+// be inserted into the ring twice, duplicating the trace.
+func TestSpanEndOnceOnly(t *testing.T) {
+	tr := obs.NewTracer(8)
+	sp := tr.Start("op")
+	sp.End()
+	sp.End()
+	sp.End()
+	if got := len(tr.Traces()); got != 1 {
+		t.Fatalf("ring holds %d copies after triple End, want 1", got)
+	}
+
+	// Drop ends without publishing, and a later End stays a no-op.
+	dropped := tr.Start("boring")
+	dropped.Drop()
+	dropped.End()
+	if got := len(tr.Traces()); got != 1 {
+		t.Fatalf("ring holds %d traces after Drop+End, want 1", got)
+	}
+}
+
+func TestTraceAndSpanIDs(t *testing.T) {
+	tr := obs.NewTracer(8)
+	root := tr.Start("barrier")
+	if root.TraceID() == 0 || root.TraceID() != root.SpanID() {
+		t.Fatalf("root ids: trace=%d span=%d, want equal and nonzero", root.TraceID(), root.SpanID())
+	}
+	child := root.Child("solve")
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace = %d, want %d", child.TraceID(), root.TraceID())
+	}
+	if child.SpanID() == 0 || child.SpanID() == root.SpanID() {
+		t.Fatalf("child span id = %d collides with root %d", child.SpanID(), root.SpanID())
+	}
+	grand := child.Child("select")
+	grand.End()
+	child.End()
+	root.End()
+
+	d := tr.Traces()[0]
+	if d.TraceID == "" || d.SpanID != d.TraceID || d.ParentID != "" {
+		t.Fatalf("root data ids = %+v", d)
+	}
+	if len(d.Children) != 1 || d.Children[0].ParentID != d.SpanID {
+		t.Fatalf("child parent = %q, want %q", d.Children[0].ParentID, d.SpanID)
+	}
+	gc := d.Children[0].Children[0]
+	if gc.ParentID != d.Children[0].SpanID || gc.TraceID != d.TraceID {
+		t.Fatalf("grandchild ids = %+v", gc)
+	}
+
+	// Second root opens a fresh trace.
+	other := tr.Start("next")
+	if other.TraceID() == root.TraceID() {
+		t.Fatal("two roots share a trace id")
+	}
+	other.End()
+}
+
+func TestStartRemoteJoinsTrace(t *testing.T) {
+	coord := obs.NewTracer(8)
+	coord.SetOrigin(0xFFFF)
+	shard := obs.NewTracer(8)
+	shard.SetOrigin(1)
+
+	root := coord.Start("barrier")
+	remote := shard.StartRemote("replan", root.TraceID(), root.SpanID())
+	if remote.TraceID() != root.TraceID() {
+		t.Fatalf("remote trace = %d, want %d", remote.TraceID(), root.TraceID())
+	}
+	if remote.SpanID() == root.SpanID() {
+		t.Fatal("remote span id collides with coordinator root (origins must separate them)")
+	}
+	remote.End()
+	root.End()
+
+	rd := shard.Traces()[0]
+	cd := coord.Traces()[0]
+	if rd.TraceID != cd.TraceID {
+		t.Fatalf("rendered trace ids differ: shard %q coord %q", rd.TraceID, cd.TraceID)
+	}
+	if rd.ParentID != cd.SpanID {
+		t.Fatalf("remote parent = %q, want coordinator span %q", rd.ParentID, cd.SpanID)
+	}
+	if rd.SpanID[:4] != "0001" || cd.SpanID[:4] != "ffff" {
+		t.Fatalf("origin prefixes: shard %q coord %q", rd.SpanID, cd.SpanID)
+	}
+
+	// Zero trace id falls back to opening a new trace.
+	fresh := shard.StartRemote("replan", 0, 0)
+	if fresh.TraceID() == 0 {
+		t.Fatal("zero-id StartRemote did not open a trace")
+	}
+	fresh.Drop()
+}
+
+func TestFormatParseTraceID(t *testing.T) {
+	const id = uint64(0xFFFF_0000_0000_002A)
+	s := obs.FormatTraceID(id)
+	if s != "ffff00000000002a" {
+		t.Fatalf("format = %q", s)
+	}
+	back, err := obs.ParseTraceID(s)
+	if err != nil || back != id {
+		t.Fatalf("parse = %d, %v", back, err)
+	}
+	if _, err := obs.ParseTraceID("not-hex"); err == nil {
+		t.Fatal("bad id parsed")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := obs.NewTracer(4)
+	sp := tr.Start("op")
+	ctx := obs.ContextWithSpan(context.Background(), sp)
+	if got := obs.SpanFromContext(ctx); got != sp {
+		t.Fatalf("SpanFromContext = %p, want %p", got, sp)
+	}
+	ref := obs.TraceRefFromContext(ctx)
+	if ref.TraceID != sp.TraceID() || ref.ParentID != sp.SpanID() {
+		t.Fatalf("ref from span ctx = %+v", ref)
+	}
+
+	// A nil span leaves the context untouched.
+	if obs.ContextWithSpan(context.Background(), nil) != context.Background() {
+		t.Fatal("nil span changed the context")
+	}
+	if obs.SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context produced a span")
+	}
+
+	// TraceRef carries identity without a mutable span.
+	rctx := obs.ContextWithTraceRef(context.Background(), obs.TraceRef{TraceID: 7, ParentID: 9})
+	if got := obs.TraceRefFromContext(rctx); got.TraceID != 7 || got.ParentID != 9 {
+		t.Fatalf("ref round-trip = %+v", got)
+	}
+	if obs.ContextWithTraceRef(context.Background(), obs.TraceRef{}) != context.Background() {
+		t.Fatal("zero ref changed the context")
+	}
+	sp.Drop()
+}
+
+// TestTracerConcurrentSampling hammers ID allocation, remote joins, and
+// ring reads from many goroutines — the shape of sampled request
+// tracing in serve. Run under -race in CI.
+func TestTracerConcurrentSampling(t *testing.T) {
+	tr := obs.NewTracer(64)
+	tr.SetOrigin(3)
+	const goroutines = 8
+	const perG = 400
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				switch i % 3 {
+				case 0: // sampled request span
+					sp := tr.Start("recommend")
+					sp.SetInt("user", int64(i))
+					sp.Child("plan-lookup").End()
+					sp.End()
+				case 1: // remote join, as a shard under a barrier
+					sp := tr.StartRemote("replan", uint64(g*perG+i+1), 42)
+					sp.End()
+				case 2: // unsampled: reader side
+					_ = tr.Traces()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	seen := make(map[string]bool)
+	for _, d := range tr.Traces() {
+		if d.SpanID == "" {
+			t.Fatalf("span without id: %+v", d)
+		}
+		if seen[d.SpanID] {
+			t.Fatalf("duplicate span id %q", d.SpanID)
+		}
+		seen[d.SpanID] = true
+	}
+}

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,11 +16,19 @@ import (
 // last N replans spend their time on" over /debug/traces without any
 // external collector.
 //
+// Every span carries a TraceID/SpanID/ParentID triple minted from the
+// tracer's atomic counter (no randomness, no wall-clock), so spans
+// recorded by different tracers — the cluster coordinator and its shard
+// engines — correlate into one timeline when they share a TraceID.
+// SetOrigin keeps IDs collision-free across tracers in one process.
+//
 // A disabled tracer is free: Start returns nil, and every *Span method
 // is a nil-receiver no-op, so instrumented code needs no enabled-checks
 // and a disabled path performs zero allocations.
 type Tracer struct {
 	enabled atomic.Bool
+	ids     atomic.Uint64 // low 48 bits of minted IDs
+	origin  atomic.Uint64 // high 16 bits of minted IDs, pre-shifted
 
 	mu   sync.Mutex
 	ring []*Span // completed root spans, oldest first once full
@@ -44,13 +55,50 @@ func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
 // is permanently disabled.
 func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 
-// Start begins a root span. It returns nil — a no-op span — when the
-// tracer is nil or disabled.
+// SetOrigin stamps origin into the top 16 bits of every ID this tracer
+// mints from now on. Tracers whose rings are merged into one view (the
+// cluster coordinator and its shards) must use distinct origins so
+// their locally-sequential IDs never collide.
+func (t *Tracer) SetOrigin(origin uint16) {
+	if t != nil {
+		t.origin.Store(uint64(origin) << 48)
+	}
+}
+
+// nextID mints a process-unique span identifier: the tracer's origin in
+// the high 16 bits, a per-tracer sequence number in the low 48.
+func (t *Tracer) nextID() uint64 {
+	return t.origin.Load() | (t.ids.Add(1) & (1<<48 - 1))
+}
+
+// Start begins a root span opening a new trace: its SpanID doubles as
+// the TraceID. It returns nil — a no-op span — when the tracer is nil
+// or disabled.
 func (t *Tracer) Start(name string) *Span {
 	if t == nil || !t.enabled.Load() {
 		return nil
 	}
-	return &Span{tracer: t, name: name, start: time.Now()}
+	id := t.nextID()
+	return &Span{tracer: t, root: true, name: name, start: time.Now(), traceID: id, spanID: id}
+}
+
+// StartRemote begins a root span continuing a trace started elsewhere —
+// another process, or another tracer in this one (a shard engine
+// joining the coordinator's barrier trace). The span is published to
+// this tracer's ring but keeps the caller-supplied TraceID, with
+// parentID (0 if unknown) naming the remote span that caused it.
+// A zero traceID falls back to Start.
+func (t *Tracer) StartRemote(name string, traceID, parentID uint64) *Span {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	if traceID == 0 {
+		return t.Start(name)
+	}
+	return &Span{
+		tracer: t, root: true, name: name, start: time.Now(),
+		traceID: traceID, spanID: t.nextID(), parentID: parentID,
+	}
 }
 
 // publish stores a completed root span in the ring.
@@ -69,10 +117,15 @@ func (t *Tracer) publish(s *Span) {
 // handed off, e.g. loop → replan goroutine); it is not safe for
 // concurrent mutation. All methods are nil-receiver no-ops.
 type Span struct {
-	tracer   *Tracer // root spans only
+	tracer   *Tracer
+	root     bool // publish to the ring on End
+	ended    bool
 	name     string
 	start    time.Time
 	duration time.Duration
+	traceID  uint64
+	spanID   uint64
+	parentID uint64 // 0 for trace-opening roots
 	attrs    []attr
 	children []*Span
 }
@@ -82,13 +135,32 @@ type attr struct {
 	val any
 }
 
+// TraceID returns the trace this span belongs to (0 for a nil span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's own identifier (0 for a nil span).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.spanID
+}
+
 // Child starts a sub-span beginning now. End it before (or at) the
 // parent's End.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	c := &Span{name: name, start: time.Now()}
+	c := &Span{tracer: s.tracer, name: name, start: time.Now(), traceID: s.traceID, parentID: s.spanID}
+	if s.tracer != nil {
+		c.spanID = s.tracer.nextID()
+	}
 	s.children = append(s.children, c)
 	return c
 }
@@ -100,7 +172,11 @@ func (s *Span) ChildSpan(name string, start time.Time, d time.Duration) {
 	if s == nil {
 		return
 	}
-	s.children = append(s.children, &Span{name: name, start: start, duration: d})
+	c := &Span{name: name, start: start, duration: d, ended: true, traceID: s.traceID, parentID: s.spanID}
+	if s.tracer != nil {
+		c.spanID = s.tracer.nextID()
+	}
+	s.children = append(s.children, c)
 }
 
 // SetInt attaches an integer attribute.
@@ -125,30 +201,70 @@ func (s *Span) SetStr(key, v string) {
 }
 
 // End completes the span. Ending a root span publishes the whole trace
-// to the tracer's ring; the span must not be mutated afterwards.
+// to the tracer's ring; the span must not be mutated afterwards. End is
+// once-only: extra calls (a defensive defer plus an explicit End on the
+// happy path) are no-ops and never re-publish.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.ended {
 		return
 	}
+	s.ended = true
 	if s.duration == 0 {
 		s.duration = time.Since(s.start)
 	}
-	if s.tracer != nil {
+	if s.root && s.tracer != nil {
 		s.tracer.publish(s)
 	}
 }
 
+// Drop completes the span without publishing it — for operations that
+// turn out to be uninteresting after the span was opened (e.g. a
+// periodic barrier tick that found no work). A dropped span is ended;
+// a later End is a no-op.
+func (s *Span) Drop() {
+	if s == nil {
+		return
+	}
+	s.ended = true
+}
+
 // SpanData is the exported (JSON-ready) form of a completed span.
+// IDs render as 16-digit lowercase hex, the X-Trace-Id wire format.
 type SpanData struct {
 	Name       string         `json:"name"`
+	TraceID    string         `json:"trace_id,omitempty"`
+	SpanID     string         `json:"span_id,omitempty"`
+	ParentID   string         `json:"parent_id,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationNS int64          `json:"duration_ns"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
 	Children   []SpanData     `json:"children,omitempty"`
 }
 
+// FormatTraceID renders a trace or span ID in the wire format used by
+// the X-Trace-Id header and /debug/traces: 16 lowercase hex digits.
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseTraceID parses a hex trace ID as produced by FormatTraceID.
+func ParseTraceID(s string) (uint64, error) {
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad trace id %q: %w", s, err)
+	}
+	return id, nil
+}
+
 func (s *Span) data() SpanData {
 	d := SpanData{Name: s.name, Start: s.start, DurationNS: s.duration.Nanoseconds()}
+	if s.traceID != 0 {
+		d.TraceID = FormatTraceID(s.traceID)
+	}
+	if s.spanID != 0 {
+		d.SpanID = FormatTraceID(s.spanID)
+	}
+	if s.parentID != 0 {
+		d.ParentID = FormatTraceID(s.parentID)
+	}
 	if len(s.attrs) > 0 {
 		d.Attrs = make(map[string]any, len(s.attrs))
 		for _, a := range s.attrs {
@@ -195,4 +311,55 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(traceDump{Enabled: t.Enabled(), Traces: t.Traces()})
+}
+
+// TraceRef is a goroutine-shareable reference to a live trace: just the
+// IDs, no mutable span. Fan-out paths (a cluster batch hitting several
+// shard engines) put a TraceRef in the context instead of the parent
+// *Span, because Span.Child mutates the parent and may not be called
+// from concurrent goroutines; each callee opens its own remote span via
+// StartRemote.
+type TraceRef struct {
+	TraceID  uint64
+	ParentID uint64
+}
+
+type spanCtxKey struct{}
+type refCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the current span. Callees
+// on the same goroutine attach children to it via SpanFromContext. A
+// nil span returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// ContextWithTraceRef returns ctx carrying a trace reference for
+// cross-goroutine or cross-tracer propagation. A zero ref returns ctx
+// unchanged.
+func ContextWithTraceRef(ctx context.Context, ref TraceRef) context.Context {
+	if ref.TraceID == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, refCtxKey{}, ref)
+}
+
+// TraceRefFromContext extracts trace identity from ctx: from the
+// carried span if one is present, else from a carried TraceRef, else
+// the zero TraceRef.
+func TraceRefFromContext(ctx context.Context) TraceRef {
+	if s := SpanFromContext(ctx); s != nil {
+		return TraceRef{TraceID: s.traceID, ParentID: s.spanID}
+	}
+	ref, _ := ctx.Value(refCtxKey{}).(TraceRef)
+	return ref
 }

@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,22 @@ type Config struct {
 	// the directory; NewEngine rejects a durable config. nil keeps the
 	// engine purely in-memory with byte-identical behavior.
 	Durability *Durability
+	// Logger, when non-nil, receives structured operational records
+	// (slow requests, replan summaries, SLO breaches) with trace_id
+	// attributes correlating them to /debug/traces. nil disables logging
+	// at the cost of one pointer check per emission site.
+	Logger *slog.Logger
+	// SlowThreshold, when > 0 with a Logger, logs latency-sampled
+	// requests that exceed it. Only sampled requests are candidates, so
+	// the unsampled fast path stays untouched.
+	SlowThreshold time.Duration
+	// SLO tunes the in-process SLO watchdog; the zero value enables it
+	// with defaults (see SLOConfig).
+	SLO SLOConfig
+	// TraceOrigin, when nonzero, is stamped into the top 16 bits of
+	// every trace/span ID this engine's tracer mints. A cluster gives
+	// each shard a distinct origin so merged traces never collide.
+	TraceOrigin uint16
 
 	// obsReg/obsTracer carry a pre-built observability registry and
 	// tracer into engine construction — Open creates them before the
@@ -100,6 +117,7 @@ func (c *Config) withDefaults() Config {
 	if out.QueueDepth <= 0 {
 		out.QueueDepth = 4096
 	}
+	out.SLO = out.SLO.WithDefaults()
 	return out
 }
 
@@ -164,6 +182,7 @@ type feedbackMsg struct {
 	ev      Event
 	flush   chan struct{}         // non-nil: barrier; closed once covered by a replan
 	advance model.TimeStep        // > 0: clock advanced to this step; replan forced
+	trace   obs.TraceRef          // with advance: trace the forced replan joins
 	snap    chan snapState        // non-nil: capture store state between applies
 	stock   *stockSet             // non-nil: exogenous inventory override
 	price   *priceOp              // non-nil: exogenous price rescale
@@ -239,6 +258,11 @@ type Engine struct {
 	revision  atomic.Int64
 
 	met *meter
+	// logger (Config.Logger) may be nil; every emission site guards on
+	// it so the logging-off fast path is one pointer compare.
+	logger *slog.Logger
+	// slo is the in-process SLO watchdog, nil when Config.SLO.Disable.
+	slo *obs.SLOWatchdog
 }
 
 // NewEngine plans an initial strategy for in with the configured
@@ -322,6 +346,10 @@ func newEngineShell(in *model.Instance, cfg Config) *Engine {
 		stock:    make([]atomic.Int64, in.NumItems()),
 		feedback: make(chan feedbackMsg, cfg.QueueDepth),
 		met:      newMeter(cfg.obsReg, cfg.obsTracer),
+		logger:   cfg.Logger,
+	}
+	if cfg.TraceOrigin != 0 {
+		e.met.tracer.SetOrigin(cfg.TraceOrigin)
 	}
 	for i := range e.shards {
 		e.shards[i].users = make(map[model.UserID]*userState)
@@ -334,6 +362,7 @@ func newEngineShell(in *model.Instance, cfg Config) *Engine {
 	// registry is reused across shells (recovery retries), the last shell
 	// built — the one that actually serves — wins the binding.
 	registerEngineMetrics(e)
+	e.slo = newEngineSLO(e)
 	return e
 }
 
@@ -349,10 +378,11 @@ func (e *Engine) installPlan(s *model.Strategy, from model.TimeStep, rev float64
 	}
 }
 
-// start launches the feedback loop.
+// start launches the feedback loop and the SLO watchdog ticker.
 func (e *Engine) start() {
 	e.wg.Add(1)
 	go e.loop()
+	e.slo.Start(e.cfg.SLO.Interval)
 }
 
 // Instance returns the engine's (full-horizon) instance. Read-only.
@@ -365,6 +395,14 @@ func (e *Engine) Now() model.TimeStep { return model.TimeStep(e.now.Load()) }
 // and requests an asynchronous replan, since the residual horizon
 // changed. Past feedback is unaffected.
 func (e *Engine) SetNow(t model.TimeStep) error {
+	return e.SetNowCtx(context.Background(), t)
+}
+
+// SetNowCtx is SetNow carrying trace context: when ctx holds a span or
+// TraceRef (a cluster barrier, an X-Trace-Id'd /v1/advance), the replan
+// this advance triggers joins that trace as a remote span, so a
+// coordinator's barrier and every shard's replan share one TraceID.
+func (e *Engine) SetNowCtx(ctx context.Context, t model.TimeStep) error {
 	if t < 1 || int(t) > e.in.T {
 		return fmt.Errorf("serve: time step %d outside horizon [1,%d]", t, e.in.T)
 	}
@@ -377,7 +415,7 @@ func (e *Engine) SetNow(t model.TimeStep) error {
 			break
 		}
 	}
-	e.requestAdvance(t)
+	e.requestAdvance(t, obs.TraceRefFromContext(ctx))
 	return nil
 }
 
@@ -388,23 +426,73 @@ func (e *Engine) SetNow(t model.TimeStep) error {
 // realized exposures. The slice is freshly allocated; order is by item
 // ID. The lookup is O(log |plan_u| + k).
 func (e *Engine) Recommend(u model.UserID, t model.TimeStep) ([]Recommendation, error) {
+	return e.RecommendCtx(context.Background(), u, t)
+}
+
+// RecommendCtx is Recommend carrying trace context: a span or TraceRef
+// in ctx (an X-Trace-Id'd request) always gets a span; otherwise the
+// request is head-sampled 1-in-(traceSampleMask+1). The unsampled path
+// never touches the tracer and stays zero-alloc.
+func (e *Engine) RecommendCtx(ctx context.Context, u model.UserID, t model.TimeStep) ([]Recommendation, error) {
 	// Latency is sampled 1-in-(mask+1): the sampling decision rides the
 	// existing counter load, so the untimed fast path adds no clock reads
-	// — what keeps instrumented overhead inside the ≤3% budget.
+	// — what keeps instrumented overhead inside the ≤3% budget. The trace
+	// sampling decision rides the same load.
 	m := e.met
-	timed := m.recommends.Value()&latencySampleMask == 0
+	n := m.recommends.Value()
+	timed := n&latencySampleMask == 0
 	var start time.Time
 	if timed {
 		start = time.Now()
 	}
+	sp := e.requestSpan(ctx, "recommend", n)
 	out, err := e.recommendOne(e.plan.Load(), u, t)
 	if err == nil {
 		m.recommends.Inc()
 		if timed {
-			m.lat.Observe(time.Since(start).Seconds())
+			d := time.Since(start)
+			m.lat.Observe(d.Seconds())
+			if e.logger != nil && e.cfg.SlowThreshold > 0 && d >= e.cfg.SlowThreshold {
+				e.logSlow("recommend", d, sp, int64(u), int64(t))
+			}
 		}
+	} else {
+		m.errors.Inc()
+	}
+	if sp != nil {
+		sp.SetInt("user", int64(u))
+		sp.SetInt("t", int64(t))
+		if err != nil {
+			sp.SetStr("error", err.Error())
+		}
+		sp.End()
 	}
 	return out, err
+}
+
+// requestSpan opens a span for one request: always when ctx carries
+// trace identity (a parent span on this goroutine, or a TraceRef from
+// an X-Trace-Id header or a fan-out), else head-sampled using the
+// counter value n the caller already loaded. Returns nil — and touches
+// nothing — on the unsampled path.
+func (e *Engine) requestSpan(ctx context.Context, name string, n int64) *obs.Span {
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		return parent.Child(name)
+	}
+	if ref := obs.TraceRefFromContext(ctx); ref.TraceID != 0 {
+		return e.met.tracer.StartRemote(name, ref.TraceID, ref.ParentID)
+	}
+	if n&traceSampleMask == 0 {
+		return e.met.tracer.Start(name)
+	}
+	return nil
+}
+
+// logSlow emits one slow-request record; callers pre-check logger,
+// threshold, and duration so this stays off the request fast path.
+func (e *Engine) logSlow(op string, d time.Duration, sp *obs.Span, user, t int64) {
+	obs.WithTrace(e.logger, sp).Warn("slow request",
+		"op", op, "user", user, "t", t, "duration_ms", float64(d.Microseconds())/1e3)
 }
 
 func (e *Engine) validate(u model.UserID, t model.TimeStep) error {
@@ -458,9 +546,25 @@ func (e *Engine) fill(sh *shard, u model.UserID, t model.TimeStep, entries []pla
 // taken exactly once for its whole group. Results align with the input
 // order; a nil slice means the user has no planned recommendations at t.
 func (e *Engine) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]Recommendation, error) {
+	return e.RecommendBatchCtx(context.Background(), users, t)
+}
+
+// RecommendBatchCtx is RecommendBatch carrying trace context, with the
+// same span policy as RecommendCtx: context-carried traces always span,
+// bare calls are head-sampled.
+func (e *Engine) RecommendBatchCtx(ctx context.Context, users []model.UserID, t model.TimeStep) ([][]Recommendation, error) {
 	start := time.Now()
+	sp := e.requestSpan(ctx, "recommend-batch", e.met.batchUsers.Value())
+	fail := func(err error) ([][]Recommendation, error) {
+		e.met.errors.Inc()
+		if sp != nil {
+			sp.SetStr("error", err.Error())
+			sp.End()
+		}
+		return nil, err
+	}
 	if t < 1 || int(t) > e.in.T {
-		return nil, fmt.Errorf("serve: time step %d outside horizon [1,%d]", t, e.in.T)
+		return fail(fmt.Errorf("serve: time step %d outside horizon [1,%d]", t, e.in.T))
 	}
 	p := e.plan.Load()
 	out := make([][]Recommendation, len(users))
@@ -469,7 +573,7 @@ func (e *Engine) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]Rec
 	groups := make([][]int, len(e.shards))
 	for pos, u := range users {
 		if int(u) < 0 || int(u) >= e.in.NumUsers {
-			return nil, fmt.Errorf("serve: unknown user %d", u)
+			return fail(fmt.Errorf("serve: unknown user %d", u))
 		}
 		si := shardIndex(u, e.mask)
 		groups[si] = append(groups[si], pos)
@@ -489,7 +593,18 @@ func (e *Engine) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]Rec
 		sh.mu.RUnlock()
 	}
 	e.met.batchUsers.Add(int64(len(users)))
-	e.met.blat.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	e.met.blat.Observe(d.Seconds())
+	if e.logger != nil && e.cfg.SlowThreshold > 0 && d >= e.cfg.SlowThreshold {
+		obs.WithTrace(e.logger, sp).Warn("slow request",
+			"op", "recommend-batch", "users", len(users), "t", int64(t),
+			"duration_ms", float64(d.Microseconds())/1e3)
+	}
+	if sp != nil {
+		sp.SetInt("users", int64(len(users)))
+		sp.SetInt("t", int64(t))
+		sp.End()
+	}
 	return out, nil
 }
 
@@ -497,6 +612,30 @@ func (e *Engine) RecommendBatch(users []model.UserID, t model.TimeStep) ([][]Rec
 // full; it returns an error if the engine is closed or the event is out
 // of range.
 func (e *Engine) Feed(ev Event) error {
+	return e.FeedCtx(context.Background(), ev)
+}
+
+// FeedCtx is Feed carrying trace context; the span covers validation
+// and the enqueue (the asynchronous apply is traced by the replan it
+// eventually triggers).
+func (e *Engine) FeedCtx(ctx context.Context, ev Event) error {
+	sp := e.requestSpan(ctx, "feed", e.met.feeds.Value())
+	err := e.feed(ev)
+	if err != nil && !errors.Is(err, ErrClosed) {
+		e.met.errors.Inc()
+	}
+	if sp != nil {
+		sp.SetInt("user", int64(ev.User))
+		sp.SetInt("item", int64(ev.Item))
+		if err != nil {
+			sp.SetStr("error", err.Error())
+		}
+		sp.End()
+	}
+	return err
+}
+
+func (e *Engine) feed(ev Event) error {
 	if err := e.validate(ev.User, ev.T); err != nil {
 		return err
 	}
@@ -536,14 +675,15 @@ func (e *Engine) Flush() {
 // requestAdvance tells the feedback loop the clock moved to t, so it
 // can log the advance and force a replan. The send blocks only while
 // the queue is full — and the loop drains continuously even during a
-// replan, so the wait is bounded by apply time, not plan time.
-func (e *Engine) requestAdvance(t model.TimeStep) {
+// replan, so the wait is bounded by apply time, not plan time. trace,
+// when nonzero, names the trace the forced replan should join.
+func (e *Engine) requestAdvance(t model.TimeStep, trace obs.TraceRef) {
 	e.closeMu.RLock()
 	defer e.closeMu.RUnlock()
 	if e.closed.Load() {
 		return
 	}
-	e.feedback <- feedbackMsg{advance: t}
+	e.feedback <- feedbackMsg{advance: t, trace: trace}
 }
 
 // Stock returns item i's remaining stock as last applied by the
@@ -679,6 +819,7 @@ func (e *Engine) walSync() {
 // seals the store, so the next Open recovers warm without replay. The
 // engine still serves lookups afterwards, but Feed returns an error.
 func (e *Engine) Close() {
+	e.slo.Stop()
 	e.stopSnapshotter()
 	e.closeMu.Lock()
 	if !e.closed.CompareAndSwap(false, true) {
@@ -704,6 +845,7 @@ func (e *Engine) Close() {
 // SIGKILL would — records WAL-synced before the kill survive, everything
 // later is lost. The engine is unusable afterwards; recover with Open.
 func (e *Engine) Kill() {
+	e.slo.Stop()
 	e.stopSnapshotter()
 	e.killed.Store(true)
 	e.closeMu.Lock()
@@ -753,6 +895,10 @@ func (e *Engine) loop() {
 		// waitStart stamps the first uncovered replan trigger, feeding the
 		// replan trace's queue-wait child span (tracing only).
 		waitStart time.Time
+		// pendingTrace is the trace the next replan should join — set by a
+		// clock advance that carried trace context (a cluster barrier, a
+		// traced /v1/advance) and consumed by the next started replan.
+		pendingTrace obs.TraceRef
 	)
 	trigger := func() {
 		if waitStart.IsZero() && e.met.tracer.Enabled() {
@@ -770,7 +916,10 @@ func (e *Engine) loop() {
 	}
 	start := func() {
 		dirty, force = 0, false
-		span := e.met.tracer.Start("replan")
+		// StartRemote joins the pending trace when one is set and opens a
+		// fresh local trace otherwise (zero TraceID falls back to Start).
+		span := e.met.tracer.StartRemote("replan", pendingTrace.TraceID, pendingTrace.ParentID)
+		pendingTrace = obs.TraceRef{}
 		if !waitStart.IsZero() {
 			span.ChildSpan("queue-wait", waitStart, time.Since(waitStart))
 			waitStart = time.Time{}
@@ -821,7 +970,8 @@ func (e *Engine) loop() {
 				}
 				applyPrices()
 				if dirty > 0 || force {
-					e.replanWith(e.collectFeedback(), e.met.tracer.Start("replan"))
+					e.replanWith(e.collectFeedback(),
+						e.met.tracer.StartRemote("replan", pendingTrace.TraceID, pendingTrace.ParentID))
 				}
 				e.walSync()
 				for _, w := range waiters {
@@ -853,6 +1003,9 @@ func (e *Engine) loop() {
 			case msg.advance > 0:
 				e.walAppend(store.Record{Type: store.RecAdvance, T: int32(msg.advance)})
 				force = true
+				if msg.trace.TraceID != 0 {
+					pendingTrace = msg.trace
+				}
 				trigger()
 			case msg.stock != nil:
 				e.walAppend(store.Record{Type: store.RecSetStock, Item: int32(msg.stock.item), Stock: msg.stock.n})
@@ -1018,11 +1171,17 @@ func (e *Engine) replanWith(fb planner.Feedback, span *obs.Span) {
 	e.walAppend(store.Record{Type: store.RecPlanSwap, Revision: e.revision.Load()})
 	ssp.End()
 	e.replans.Add(1)
-	e.met.replanSec.Observe(time.Since(start).Seconds())
+	d := time.Since(start)
+	e.met.replanSec.Observe(d.Seconds())
 	span.SetInt("revision", e.revision.Load())
 	span.SetInt("triples", int64(s.Len()))
 	span.SetFloat("revenue", rev)
 	span.End()
+	if e.logger != nil {
+		obs.WithTrace(e.logger, span).Info("replan complete",
+			"revision", e.revision.Load(), "triples", s.Len(), "revenue", rev,
+			"now", int64(fb.Now), "duration_ms", float64(d.Microseconds())/1e3)
+	}
 }
 
 // Strategy returns the live plan's strategy (do not mutate).
@@ -1044,6 +1203,7 @@ type Stats struct {
 	Exposures      int64   `json:"exposures"`
 	Recommends     int64   `json:"recommends"`
 	BatchUsers     int64   `json:"batch_users"`
+	RequestErrors  int64   `json:"request_errors"`
 	UptimeSeconds  float64 `json:"uptime_seconds"`
 	P50Micros      int64   `json:"p50_micros"`
 	P99Micros      int64   `json:"p99_micros"`
@@ -1082,6 +1242,7 @@ func (e *Engine) Stats() Stats {
 		Exposures:      e.exposures.Load(),
 		Recommends:     e.met.recommends.Value(),
 		BatchUsers:     e.met.batchUsers.Value(),
+		RequestErrors:  e.met.errors.Value(),
 		UptimeSeconds:  time.Since(e.met.start).Seconds(),
 		P50Micros:      int64(e.met.lat.Quantile(0.50) * 1e6),
 		P99Micros:      int64(e.met.lat.Quantile(0.99) * 1e6),
@@ -1098,3 +1259,7 @@ func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
 // Tracer returns the engine's span tracer (the ring behind
 // /debug/traces). Use SetEnabled to toggle tracing at runtime.
 func (e *Engine) Tracer() *obs.Tracer { return e.met.tracer }
+
+// SLO returns the engine's SLO watchdog (nil when disabled); its
+// Status feeds the degraded-vs-ok section of /healthz.
+func (e *Engine) SLO() *obs.SLOWatchdog { return e.slo }

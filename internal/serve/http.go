@@ -1,32 +1,59 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
+
+// traceContext reads the request's X-Trace-Id header (16 hex digits, as
+// rendered in /debug/traces and log records) and, when present and
+// valid, opens a root span on tr continuing that trace and returns a
+// context carrying it, echoing the normalized ID back on the response.
+// Requests without the header — the overwhelming majority — pay one
+// header lookup and keep the engine's head-sampling policy.
+func traceContext(tr *obs.Tracer, w http.ResponseWriter, r *http.Request, op string) (context.Context, *obs.Span) {
+	h := r.Header.Get("X-Trace-Id")
+	if h == "" {
+		return r.Context(), nil
+	}
+	tid, err := obs.ParseTraceID(h)
+	if err != nil || tid == 0 {
+		return r.Context(), nil
+	}
+	sp := tr.StartRemote(op, tid, 0)
+	if sp == nil { // tracing disabled
+		return r.Context(), nil
+	}
+	w.Header().Set("X-Trace-Id", obs.FormatTraceID(tid))
+	return obs.ContextWithSpan(r.Context(), sp), sp
+}
 
 // Handler returns the HTTP/JSON API over e:
 //
-//	GET  /healthz                  liveness probe
+//	GET  /healthz                  liveness + SLO verdicts (JSON)
 //	GET  /v1/recommend?user=U&t=T  one user's recommendations at T
 //	POST /v1/recommend/batch       {"users":[...],"t":T}
 //	POST /v1/adopt                 {"user":U,"item":I,"t":T,"adopted":B}
 //	POST /v1/advance               {"now":T} — move the serving clock
 //	GET  /v1/stats                 engine summary (JSON)
 //	GET  /metrics                  Prometheus text exposition
-//	GET  /debug/traces             recent replan traces (JSON)
+//	GET  /debug/traces             recent traces (JSON)
+//
+// Request endpoints honor an X-Trace-Id header (16 hex digits): the
+// request is traced unconditionally under that trace ID, correlating
+// the /debug/traces timeline and log records with the caller's trace.
 //
 // Handler is stateless glue; all synchronization lives in the Engine,
 // so the handler is safe under any number of server goroutines.
 func Handler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		writeJSON(w, engineHealth(e))
 	})
 	mux.HandleFunc("GET /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
 		user, err1 := strconv.Atoi(r.URL.Query().Get("user"))
@@ -35,7 +62,9 @@ func Handler(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "user and t must be integers")
 			return
 		}
-		recs, err := e.Recommend(model.UserID(user), model.TimeStep(t))
+		ctx, sp := traceContext(e.Tracer(), w, r, "http.recommend")
+		recs, err := e.RecommendCtx(ctx, model.UserID(user), model.TimeStep(t))
+		sp.End()
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
@@ -48,7 +77,9 @@ func Handler(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad batch request: "+err.Error())
 			return
 		}
-		results, err := e.RecommendBatch(req.Users, req.T)
+		ctx, sp := traceContext(e.Tracer(), w, r, "http.recommend-batch")
+		results, err := e.RecommendBatchCtx(ctx, req.Users, req.T)
+		sp.End()
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
@@ -65,7 +96,10 @@ func Handler(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad adoption event: "+err.Error())
 			return
 		}
-		if err := e.Feed(ev); err != nil {
+		ctx, sp := traceContext(e.Tracer(), w, r, "http.adopt")
+		err := e.FeedCtx(ctx, ev)
+		sp.End()
+		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -81,7 +115,10 @@ func Handler(e *Engine) http.Handler {
 			httpError(w, http.StatusBadRequest, "bad advance request: "+err.Error())
 			return
 		}
-		if err := e.SetNow(req.Now); err != nil {
+		ctx, sp := traceContext(e.Tracer(), w, r, "http.advance")
+		err := e.SetNowCtx(ctx, req.Now)
+		sp.End()
+		if err != nil {
 			httpError(w, http.StatusBadRequest, err.Error())
 			return
 		}

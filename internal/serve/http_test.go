@@ -6,7 +6,6 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 	"testing"
 
 	"repro/internal/model"
@@ -48,10 +47,44 @@ func post(t *testing.T, url string, payload any) (int, []byte) {
 }
 
 func TestHTTPHealthz(t *testing.T) {
-	_, srv := newTestServer(t)
+	e, srv := newTestServer(t)
 	code, body := get(t, srv.URL+"/healthz")
-	if code != http.StatusOK || !strings.HasPrefix(string(body), "ok") {
+	if code != http.StatusOK {
 		t.Fatalf("healthz: %d %q", code, body)
+	}
+	var h healthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || h.Error != "" {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if len(h.SLOs) != 4 {
+		t.Fatalf("healthz lists %d SLOs, want 4: %s", len(h.SLOs), body)
+	}
+	for _, s := range h.SLOs {
+		if !s.OK {
+			t.Fatalf("objective %s degraded on a fresh engine: %+v", s.Name, s)
+		}
+	}
+
+	// Degrade an objective (breach the error-rate window) and check the
+	// section flips; liveness stays HTTP 200 either way.
+	for i := 0; i < 10; i++ {
+		if _, err := e.Recommend(model.UserID(1e9), 1); err == nil {
+			t.Fatal("expected error")
+		}
+	}
+	e.SLO().Evaluate()
+	code, body = get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded healthz: %d", code)
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("healthz after breach = %s", body)
 	}
 }
 
@@ -174,4 +207,78 @@ func TestHTTPBatchAdoptStatsMetrics(t *testing.T) {
 func itoa(n int) string {
 	b, _ := json.Marshal(n)
 	return string(b)
+}
+
+// TestHTTPTraceHeader drives requests carrying X-Trace-Id and checks
+// they are traced unconditionally under the caller's trace ID — the
+// recommend as a child span, the advance-triggered replan as a remote
+// span joining the same trace — and that the ID is echoed back.
+func TestHTTPTraceHeader(t *testing.T) {
+	e, srv := newTestServer(t)
+	const traceID = "00000000000000ab"
+
+	do := func(method, path string, payload any) *http.Response {
+		t.Helper()
+		var body io.Reader
+		if payload != nil {
+			b, _ := json.Marshal(payload)
+			body = bytes.NewReader(b)
+		}
+		req, err := http.NewRequest(method, srv.URL+path, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Trace-Id", traceID)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s %s: %d", method, path, resp.StatusCode)
+		}
+		return resp
+	}
+
+	resp := do("GET", "/v1/recommend?user=3&t=1", nil)
+	if got := resp.Header.Get("X-Trace-Id"); got != traceID {
+		t.Fatalf("echoed trace id = %q, want %q", got, traceID)
+	}
+	do("POST", "/v1/advance", map[string]int{"now": 2})
+	e.Flush() // wait for the advance-forced replan to land in the ring
+
+	var httpSpan, replan bool
+	for _, d := range e.Tracer().Traces() {
+		if d.TraceID != traceID {
+			continue
+		}
+		switch d.Name {
+		case "http.recommend":
+			if len(d.Children) != 1 || d.Children[0].Name != "recommend" {
+				t.Fatalf("http.recommend children = %+v", d.Children)
+			}
+			httpSpan = true
+		case "replan":
+			if d.ParentID == "" {
+				t.Fatal("replan joined the trace without a remote parent")
+			}
+			replan = true
+		}
+	}
+	if !httpSpan || !replan {
+		t.Fatalf("trace %s incomplete: httpSpan=%v replan=%v\n%+v",
+			traceID, httpSpan, replan, e.Tracer().Traces())
+	}
+
+	// A malformed header is ignored, not an error.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/recommend?user=3&t=1", nil)
+	req.Header.Set("X-Trace-Id", "not-hex")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusOK || r2.Header.Get("X-Trace-Id") != "" {
+		t.Fatalf("malformed trace header: %d %q", r2.StatusCode, r2.Header.Get("X-Trace-Id"))
+	}
 }

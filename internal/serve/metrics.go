@@ -15,6 +15,13 @@ import (
 // histogram observe entirely. mask must be 2^n - 1.
 const latencySampleMask = 7
 
+// traceSampleMask head-samples request trace spans 1-in-(mask+1),
+// riding the same counter load as latency sampling. Much sparser than
+// latency sampling: a span allocates, so it must stay off the zero-
+// alloc unsampled path, and the ring only holds the last 64 traces
+// anyway. mask must be 2^n - 1.
+const traceSampleMask = 1023
+
 // qpsWindow is the sliding window revmaxd_qps_window is computed over,
 // and qpsMinGap the minimum spacing between retained samples — the
 // window is a property of the meter, not of scrape cadence, so any
@@ -42,6 +49,7 @@ type meter struct {
 	recommends *obs.Counter // single-user lookups served
 	batchUsers *obs.Counter // users served through batch lookups
 	feeds      *obs.Counter // feedback events accepted
+	errors     *obs.Counter // requests rejected with an error
 
 	lat  *obs.Histogram // sampled single-lookup latency
 	blat *obs.Histogram // whole-batch-call latency, kept separate
@@ -84,6 +92,8 @@ func newMeter(reg *obs.Registry, tracer *obs.Tracer) *meter {
 			"Users served through batch lookups."),
 		feeds: reg.Counter("revmaxd_feedback_total",
 			"Feedback events accepted."),
+		errors: reg.Counter("revmaxd_request_errors_total",
+			"Requests rejected with an error (unknown user/item, bad time step)."),
 		lat: reg.Histogram("revmaxd_latency_seconds",
 			"Single-lookup latency (sampled 1-in-8).", lb),
 		blat: reg.Histogram("revmaxd_batch_latency_seconds",

@@ -47,6 +47,7 @@ func MergeStats(samples ...StatsSample) Stats {
 		out.Exposures += st.Exposures
 		out.Recommends += st.Recommends
 		out.BatchUsers += st.BatchUsers
+		out.RequestErrors += st.RequestErrors
 		out.Replans += st.Replans
 		out.PlanRevenue += st.PlanRevenue
 		out.PlannedTriples += st.PlannedTriples

@@ -7,12 +7,15 @@ package revmax_test
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"os"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/solver"
@@ -82,6 +85,35 @@ func BenchmarkObsOverhead(b *testing.B) {
 			child.SetInt("n", int64(i))
 			child.End()
 			sp.End()
+		}
+	})
+	b.Run("slog-json-record", func(b *testing.B) {
+		l, err := obs.NewLogger(io.Discard, "json")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			l.Info("slow request", "op", "recommend", "user", i, "t", 3, "duration_ms", 1.5)
+		}
+	})
+	b.Run("slog-text-record", func(b *testing.B) {
+		l, err := obs.NewLogger(io.Discard, "text")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			l.Info("slow request", "op", "recommend", "user", i, "t", 3, "duration_ms", 1.5)
+		}
+	})
+	b.Run("slog-off-guard", func(b *testing.B) {
+		// The engine's emission sites gate every record on a nil check,
+		// so a daemon without -slow-ms pays only this branch.
+		var l *slog.Logger
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if l != nil {
+				l.Info("slow request", "op", "recommend", "user", i)
+			}
 		}
 	})
 
@@ -237,21 +269,111 @@ func TestObsBenchReport(t *testing.T) {
 		t.Errorf("disabled tracer allocates %.1f per op, want 0", allocs)
 	}
 
+	// Per-span cost with tracing on vs off, for the report: the enabled
+	// number is what a head-sampled request pays, the disabled one is the
+	// floor every other request sees if tracing is switched off entirely.
+	en := obs.NewTracer(8)
+	spanNs := prim(func(i int) {
+		sp := en.Start("op")
+		child := sp.Child("phase")
+		child.SetInt("n", int64(i))
+		child.End()
+		sp.End()
+	})
+	disabledNs := prim(func(i int) {
+		sp := dis.Start("op")
+		child := sp.Child("phase")
+		child.SetInt("n", int64(i))
+		child.End()
+		sp.End()
+	})
+
+	// Structured-logging record cost at the slow-request emission shape,
+	// and the nil-logger guard a daemon without -slow-ms pays instead.
+	jsonLog, err := obs.NewLogger(io.Discard, "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	textLog, err := obs.NewLogger(io.Discard, "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slogJSONNs := prim(func(i int) {
+		jsonLog.Info("slow request", "op", "recommend", "user", i, "t", 3, "duration_ms", 1.5)
+	})
+	slogTextNs := prim(func(i int) {
+		textLog.Info("slow request", "op", "recommend", "user", i, "t", 3, "duration_ms", 1.5)
+	})
+	var offLog *slog.Logger
+	slogOffNs := prim(func(i int) {
+		if offLog != nil {
+			offLog.Info("slow request", "op", "recommend", "user", i)
+		}
+	})
+
+	// The unsampled serving path must be allocation-free even with the
+	// tracer enabled. A (u,t) with no planned entries isolates the
+	// instrumentation (the lookup returns nil without filling a slice);
+	// a fresh engine's counter starts at 0, AllocsPerRun's untimed
+	// warmup call consumes the n=0 head sample, and the 800 measured
+	// calls run at n ∈ [1,800] — never hitting the 1-in-1024 trace
+	// sample, while the 1-in-8 latency samples they do hit are atomic
+	// clock-and-observe with no allocation.
+	var emptyU model.UserID
+	var emptyT model.TimeStep
+	foundEmpty := false
+	for u := 0; u < in.NumUsers && !foundEmpty; u++ {
+		for tt := 1; tt <= in.T && !foundEmpty; tt++ {
+			recs, err := engine.Recommend(model.UserID(u), model.TimeStep(tt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(recs) == 0 {
+				emptyU, emptyT = model.UserID(u), model.TimeStep(tt)
+				foundEmpty = true
+			}
+		}
+	}
+	unsampledAllocs := 0.0
+	if !foundEmpty {
+		t.Log("every (u,t) has planned entries; skipping unsampled-path alloc check")
+	} else {
+		fresh, err := serve.NewEngine(in, serve.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fresh.Close()
+		unsampledAllocs = testing.AllocsPerRun(800, func() {
+			if _, err := fresh.Recommend(emptyU, emptyT); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if unsampledAllocs != 0 {
+			t.Errorf("unsampled recommend path allocates %.2f per op, want 0", unsampledAllocs)
+		}
+	}
+
 	report := map[string]any{
-		"benchmark":               "ObsOverhead",
-		"ggreedy_plain_ns":        plainNs,
-		"ggreedy_traced_ns":       tracedNs,
-		"solve_overhead_frac":     solveOverhead,
-		"counter_inc_ns":          incNs,
-		"counter_load_ns":         loadNs,
-		"histogram_observe_ns":    histNs,
-		"time_now_ns":             nowNs,
-		"recommend_ns":            recommendNs,
-		"recommend_obs_old_ns":    oldObsPerRecommend,
-		"recommend_obs_new_ns":    newObsPerRecommend,
-		"recommend_overhead_frac": recOverhead,
-		"disabled_tracer_allocs":  allocs,
-		"overhead_budget_frac":    0.03,
+		"benchmark":                  "ObsOverhead",
+		"ggreedy_plain_ns":           plainNs,
+		"ggreedy_traced_ns":          tracedNs,
+		"solve_overhead_frac":        solveOverhead,
+		"counter_inc_ns":             incNs,
+		"counter_load_ns":            loadNs,
+		"histogram_observe_ns":       histNs,
+		"time_now_ns":                nowNs,
+		"recommend_ns":               recommendNs,
+		"recommend_obs_old_ns":       oldObsPerRecommend,
+		"recommend_obs_new_ns":       newObsPerRecommend,
+		"recommend_overhead_frac":    recOverhead,
+		"disabled_tracer_allocs":     allocs,
+		"tracer_span_ns":             spanNs,
+		"tracer_disabled_ns":         disabledNs,
+		"slog_json_record_ns":        slogJSONNs,
+		"slog_text_record_ns":        slogTextNs,
+		"slog_off_guard_ns":          slogOffNs,
+		"unsampled_recommend_allocs": unsampledAllocs,
+		"overhead_budget_frac":       0.03,
 	}
 	fh, err := os.Create(out)
 	if err != nil {
