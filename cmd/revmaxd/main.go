@@ -132,6 +132,7 @@ func run(args []string, stdout io.Writer) error {
 	snapshot := fs.String("snapshot", "", "legacy snapshot file: restore from it at boot if present, write it on shutdown (mutually exclusive with -data-dir)")
 	replanEvery := fs.Int("replan-every", 32, "adoptions per background replan")
 	warmStart := fs.Bool("warm-start", false, "seed each replan with the previous plan's still-feasible triples (lower replan latency; plans may differ from cold solves)")
+	incremental := fs.Bool("incremental", false, "replan through a persistent solver session with delta-driven invalidation: byte-identical plans, replan latency flat in the event rate (requires a G-Greedy -algo, composes with -warm-start)")
 	shards := fs.Int("shards", 1, "engine shard count: 1 serves from a single engine, ≥ 2 stripes users across a sharded cluster with a cross-shard stock/quota coordinator")
 	stripes := fs.Int("stripes", 0, "per-engine user-store lock-stripe count (0 = next pow2 ≥ GOMAXPROCS)")
 	dataDir := fs.String("data-dir", "", "durable state directory (write-ahead log + snapshots); recovery happens from here on boot")
@@ -208,6 +209,7 @@ func run(args []string, stdout io.Writer) error {
 			Algorithm:     *algoName,
 			Solver:        opts,
 			WarmStart:     *warmStart,
+			Incremental:   *incremental,
 			EngineStripes: *stripes,
 			ReplanEvery:   *replanEvery,
 			Durability:    durability,
@@ -227,6 +229,7 @@ func run(args []string, stdout io.Writer) error {
 			Algorithm:     *algoName,
 			Solver:        opts,
 			WarmStart:     *warmStart,
+			Incremental:   *incremental,
 			Shards:        *stripes,
 			ReplanEvery:   *replanEvery,
 			Durability:    durability,

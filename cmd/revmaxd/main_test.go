@@ -71,6 +71,16 @@ func TestBadWALSyncPolicyFailsFast(t *testing.T) {
 	}
 }
 
+// TestIncrementalRequiresGGreedy: -incremental reaches the serving
+// layer's config validation, which demands a registry G-Greedy
+// algorithm (the persistent session replays its exact selection loop).
+func TestIncrementalRequiresGGreedy(t *testing.T) {
+	err := run([]string{"-dataset", "synthetic", "-users", "40", "-algo", "rl-greedy", "-incremental"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "Incremental") {
+		t.Fatalf("-incremental with rl-greedy not rejected: %v", err)
+	}
+}
+
 // TestSnapshotAndDataDirConflict: the legacy warm-restart file and the
 // durable data dir cannot be combined.
 func TestSnapshotAndDataDirConflict(t *testing.T) {

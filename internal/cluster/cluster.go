@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/planner"
@@ -56,6 +57,12 @@ import (
 // collide; 0xFFFF keeps the coordinator clear of any realistic shard
 // count.
 const coordTraceOrigin = 0xFFFF
+
+// maxExposuresPerClass caps the exposure history the coordinator
+// session retains per (user, class) — the same cap every shard engine
+// applies to its own history and feedback exports, so the session's
+// reconciled view matches the merged barrier feedback exactly.
+const maxExposuresPerClass = 64
 
 // Config tunes a Cluster. Planning fields mirror serve.Config — they
 // configure the coordinator's global solves; shard engines never solve.
@@ -75,6 +82,16 @@ type Config struct {
 	// WarmStart seeds each coordinated replan with the previous global
 	// plan's triples.
 	WarmStart bool
+	// Incremental keeps a persistent solver session on the coordinator:
+	// instead of rebuilding the global residual instance at every
+	// barrier, the merged shard feedback is diffed into the session's
+	// journal and only the candidates it invalidated are re-keyed
+	// before the solve. Output stays byte-identical to the
+	// non-incremental coordinator (cold or warm per WarmStart).
+	// Requires a registry G-Greedy algorithm ("g-greedy" or
+	// "g-greedy-parallel"); incompatible with a custom Planner. Shard
+	// engines are unaffected — they never solve.
+	Incremental bool
 	// EngineStripes is each shard engine's internal lock-stripe count
 	// (serve.Config.Shards; 0 = next pow2 ≥ GOMAXPROCS).
 	EngineStripes int
@@ -154,6 +171,15 @@ type Cluster struct {
 	opts     solver.Options
 	warm     bool
 	warmPrev []model.Triple
+
+	// incr (Config.Incremental) routes coordinated replans through a
+	// persistent core.Session. sess is bootstrapped lazily at the first
+	// incremental replan (fresh boot and crash recovery alike — the
+	// recovered shell starts with a nil session and rebuilds it from
+	// the first barrier's merged feedback) and is guarded by mu: the
+	// barrier protocol serializes every solve and exogenous mutation.
+	incr bool
+	sess *core.Session
 
 	// engMu guards the engines slice itself (RecoverShard swaps an
 	// entry); the engines are internally thread-safe. Lock order:
@@ -260,12 +286,26 @@ func newShell(cfg Config, items int, capacity func(int) int64) (*Cluster, error)
 			return nil, fmt.Errorf("cluster: %w", err)
 		}
 	}
+	if cfg.Incremental {
+		if custom != nil {
+			return nil, errors.New("cluster: Incremental is incompatible with a custom Planner (needs a registry G-Greedy algorithm)")
+		}
+		a, err := solver.Lookup(opts.Algorithm)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		if n := a.Name(); n != solver.NameGGreedy && n != solver.NameGGreedyParallel {
+			return nil, fmt.Errorf("cluster: Incremental requires %q or %q, not %q",
+				solver.NameGGreedy, solver.NameGGreedyParallel, n)
+		}
+	}
 	c := &Cluster{
 		cfg:         cfg,
 		n:           cfg.Shards,
 		custom:      custom,
 		opts:        opts,
 		warm:        cfg.WarmStart && custom == nil,
+		incr:        cfg.Incremental,
 		replanEvery: cfg.ReplanEvery,
 		flushCh:     make(chan struct{}, 1),
 		quitCh:      make(chan struct{}),
@@ -787,6 +827,12 @@ func (c *Cluster) ScalePrice(i model.ItemID, from model.TimeStep, factor float64
 		fresh.SetPrice(i, t, fresh.Price(i, t)*factor)
 	}
 	c.global.Store(fresh)
+	if c.sess != nil {
+		// The session plans from its own instance clone; mirror the
+		// rescale there (same per-step multiply, so the session's price
+		// table stays bit-identical to the published global's).
+		c.sess.ScalePrice(i, from, factor)
+	}
 	c.force.Store(true)
 	c.scheduleFlush()
 	return nil
@@ -992,9 +1038,36 @@ func (c *Cluster) replanLocked(sp *obs.Span) {
 		return
 	}
 	merge := sp.Child("merge")
-	residual := planner.Residual(c.inst(), fb)
+	var residual *model.Instance
+	if c.incr {
+		// Incremental coordinator: the merged barrier view is diffed
+		// into the persistent session — LoadFeedback touches only the
+		// groups that changed since the last barrier, so the "merge"
+		// phase degenerates from a full residual rebuild into a delta
+		// reconcile plus lazy key refresh of the invalidated candidates.
+		if c.sess == nil {
+			c.sess = core.NewSession(c.inst(), core.SessionConfig{
+				Seeded:       c.warm,
+				MaxExposures: maxExposuresPerClass,
+			})
+			planner.SyncSession(c.sess, fb)
+			if c.warm && len(c.warmPrev) > 0 {
+				c.sess.SeedTriples(c.warmPrev)
+			}
+		} else {
+			planner.SyncSession(c.sess, fb)
+		}
+		residual = c.sess.Instance()
+	} else {
+		residual = planner.Residual(c.inst(), fb)
+	}
 	merge.End()
 	s := c.solveGlobal(residual, sp)
+	if c.sess != nil {
+		st := c.sess.LastStats()
+		sp.SetInt("dirty_cands", int64(st.DirtyCands))
+		sp.SetInt("restored_pairs", int64(st.RestoredPairs))
+	}
 	trim := sp.Child("trim")
 	s, denied := admitQuota(residual, s)
 	trim.End()
@@ -1059,7 +1132,11 @@ func (c *Cluster) solveGlobal(residual *model.Instance, sp *obs.Span) *model.Str
 	}
 	o := c.opts
 	o.Span = sp
-	if c.warm {
+	if c.sess != nil {
+		// Incremental replan: the session carries the residual view,
+		// the persistent heap, and (Seeded mode) its own warm seed.
+		o.Session = c.sess
+	} else if c.warm {
 		o.Warm = c.warmPrev
 	}
 	res, err := solver.Solve(context.Background(), residual, o)

@@ -1,0 +1,910 @@
+package core
+
+import (
+	"context"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/pqueue"
+	"repro/internal/revenue"
+)
+
+// SessionConfig tunes a persistent incremental solver session.
+type SessionConfig struct {
+	// Seeded selects warm-started replans: each Solve seeds the greedy
+	// with the previous solve's plan (GGreedyWarm semantics) instead of
+	// selecting from scratch (GGreedy semantics). Matches the serving
+	// engine's WarmStart switch.
+	Seeded bool
+	// MaxExposures bounds each (user, class) exposure list, evicting the
+	// oldest exposure once the cap is reached — it must equal the bound
+	// the feeding layer applies (serve uses 64) or saturation memories
+	// diverge. 0 means unbounded.
+	MaxExposures int
+}
+
+// SessionStats describes the incremental work of the last Solve — the
+// observability counters behind the BENCH_plan.json dirty-candidate
+// gates.
+type SessionStats struct {
+	// DirtyCands counts candidates whose cached upper-bound key was
+	// recomputed because a journaled event invalidated it (the CandID
+	// fan-out of the event journal through the inverted indexes). Clean
+	// candidates keep their cached bounds verbatim.
+	DirtyCands int
+	// RestoredPairs / RestoredEntries count the (user, item) lower heaps
+	// rebuilt to their pristine upper bounds before the scan and the
+	// entries re-linked into them: pairs of groups holding a dirty seeded
+	// candidate or a dropped warm seed, pairs whose membership changed
+	// (an aliveness flip), and violation-dropped pairs woken by a
+	// capacity or plan change. Every other dirty candidate is repaired in
+	// place with a point heap update, and every untouched pair keeps its
+	// entries — and their lazily corrected keys — verbatim across solves.
+	RestoredPairs   int
+	RestoredEntries int
+	// NumCands is the session's total candidate count, the denominator
+	// for dirty/restored ratios.
+	NumCands int
+}
+
+// Session is a persistent incremental G-Greedy solver: it keeps the
+// dense two-level heap, the candidate-indexed Plan, and the revenue
+// evaluator alive across replans, and accepts a journal of feedback
+// deltas (exposures/adoptions, stock overrides, price rescales, clock
+// advances) between solves. Each event is mapped through the instance's
+// inverted indexes — per-(user,class) group, per-item, per-time-step —
+// to the exact set of dirty CandIDs; at the next Solve only those
+// candidates get their upper-bound keys recomputed, only heap pairs of
+// groups the journal (or a dropped seed) actually invalidated are
+// rebuilt, and the lazily corrected keys of every untouched pair carry
+// over — they remain valid upper bounds while the seeded plan keeps
+// covering the group content they were evaluated against. The output is
+// byte-identical
+// to solving planner.Residual(base, feedback) from scratch with GGreedy
+// (unseeded) or GGreedyWarm on the previous plan (Seeded):
+//
+//   - The session's private instance clone carries the residual's
+//     exact per-candidate q′ (saturation-folded via the same
+//     model.Discount/SaturationMemory kernels) and capacities, so every
+//     marginal gain and tie-break agrees bit-for-bit.
+//   - Dead candidates (past horizon, adopted class, depleted stock,
+//     zero q′) are absent from the heap, like the residual; alive
+//     candidates carry the same p·q′ upper-bound init with a zero
+//     lazy-forward flag.
+//   - Entries the residual solve would never have admitted (infeasible
+//     against the seeded plan) are deleted when they surface at the
+//     heap root, which cannot change the selection sequence.
+//
+// A Session is bound to one goroutine at a time; it is not safe for
+// concurrent use.
+type Session struct {
+	cfg SessionConfig
+	in  *model.Instance // private clone; q′/capacity/prices mutate in place
+
+	st   *state
+	heap *pqueue.TwoLevel
+	// entries is the CandID-indexed entry storage; pointers into it are
+	// stable for the session's lifetime (the heap holds them).
+	entries []pqueue.Entry
+
+	// Feedback state, mirrored from the feeding layer's event order.
+	now       model.TimeStep
+	adopted   []bool             // per group: class adopted by the user
+	exposures [][]model.TimeStep // per group: realized exposure times
+	// adoptedX dedups adoptions for (user, class) pairs without any
+	// candidate group — they still consume stock exactly once, like the
+	// serving engine's per-user adopted set.
+	adoptedX map[uint64]bool
+	stock    []int // per item; the capacity source of truth
+
+	// stateGroups lists groups holding any adopted/exposure state, so
+	// LoadFeedback can diff for regressions (crash recovery) without an
+	// all-groups sweep.
+	stateGroups []int32
+	groupMarked []bool
+
+	// Candidate caches: primitive q before saturation folding, the
+	// cached upper-bound key p·q′, and the aliveness predicate (alive ⟺
+	// present in the residual instance).
+	baseQ  []float64
+	ubKey  []float64
+	alive  []bool
+	byStep [][]model.CandID // per time step: candidates at that step
+
+	// Journal fan-out: dirty candidates since the last Solve, and items
+	// whose capacity must be re-synced onto the instance (deferred past
+	// the plan unwind — Plan.Remove compares against live capacities).
+	dirtySeen []bool
+	dirtyList []model.CandID
+	itemSeen  []bool
+	itemList  []model.ItemID
+	// touchedPairs accumulates pairs that must be rebuilt to pristine
+	// upper bounds before the next scan. Pairs stay out of this set by
+	// default: a key the scan lazily corrected remains a valid upper
+	// bound across solves as long as the entry's group plan content never
+	// shrinks and no group member is re-keyed, so only pairs of groups
+	// with a dirty candidate or a dropped seed (tracked per group through
+	// groupTouched) and woken violation-dropped pairs are rebuilt.
+	pairSeen     []bool
+	touchedPairs []int32
+	groupTouched []bool
+	touchedGrps  []int32
+	// restoreAll forces a wholesale pristine rebuild of every pair at the
+	// next Solve: unseeded replans (group contents restart empty, so no
+	// correction survives) and externally re-seeded sessions (SeedTriples
+	// breaks the content-superset invariant the corrections rely on).
+	restoreAll bool
+	// Violation-dropped heap state parks here instead of being rebuilt
+	// every solve. A pair dropped for item capacity stays infeasible while
+	// the item's capacity never rises and no seed on the item drops; an
+	// entry dropped for a full display slot stays infeasible until one of
+	// its user's seeds drops. capDeferred / dispDeferred list the dropped
+	// pairs per item / per user, and wakeItem / wakeUser move them back
+	// into touchedPairs exactly when such a change occurs.
+	capDeferred  [][]int32
+	capDefMark   []bool
+	dispDeferred [][]int32
+	dispDefMark  []bool
+
+	// prev is the previous solve's plan in ascending CandID order — the
+	// next warm seed (Seeded). inPrev is its membership bitmap: a dirty
+	// candidate inside the seeded plan voids its whole group's corrected
+	// keys (their gains were evaluated against its old value), while a
+	// dirty candidate outside it is invalidated in place. unwind is the
+	// scratch for tearing the live plan down without clobbering prev, so
+	// SeedTriples can override the seed of a session with a live plan.
+	prev    []model.CandID
+	inPrev  []bool
+	unwind  []model.CandID
+	scratch []*pqueue.Entry
+
+	last SessionStats
+}
+
+// NewSession builds a session over a finished instance. The instance is
+// cloned — the caller's copy is never mutated — and the initial state
+// has no feedback: clock at 1, full stock, no exposures or adoptions,
+// every positive-q candidate alive in the heap under its p·q bound.
+func NewSession(in *model.Instance, cfg SessionConfig) *Session {
+	if !in.Indexed() {
+		panic("core: NewSession before FinishCandidates")
+	}
+	cl := in.Clone()
+	n := cl.NumCands()
+	s := &Session{
+		cfg:          cfg,
+		in:           cl,
+		st:           newState(cl),
+		heap:         pqueue.NewTwoLevelDense(cl.NumPairs(), pairCaps(cl)),
+		entries:      make([]pqueue.Entry, n),
+		now:          1,
+		adopted:      make([]bool, cl.NumGroups()),
+		exposures:    make([][]model.TimeStep, cl.NumGroups()),
+		stock:        make([]int, cl.NumItems()),
+		groupMarked:  make([]bool, cl.NumGroups()),
+		baseQ:        make([]float64, n),
+		ubKey:        make([]float64, n),
+		alive:        make([]bool, n),
+		byStep:       make([][]model.CandID, cl.T+1),
+		dirtySeen:    make([]bool, n),
+		inPrev:       make([]bool, n),
+		itemSeen:     make([]bool, cl.NumItems()),
+		pairSeen:     make([]bool, cl.NumPairs()),
+		groupTouched: make([]bool, cl.NumGroups()),
+		capDeferred:  make([][]int32, cl.NumItems()),
+		capDefMark:   make([]bool, cl.NumPairs()),
+		dispDeferred: make([][]int32, cl.NumUsers),
+		dispDefMark:  make([]bool, cl.NumPairs()),
+	}
+	for i := range s.stock {
+		s.stock[i] = cl.Capacity(model.ItemID(i))
+	}
+	maxPair := 0
+	for p := 0; p < cl.NumPairs(); p++ {
+		if c := cl.PairCandCount(int32(p)); c > maxPair {
+			maxPair = c
+		}
+	}
+	s.scratch = make([]*pqueue.Entry, 0, maxPair)
+	flat := cl.Candidates()
+	for id := range flat {
+		c := &flat[id]
+		cid := model.CandID(id)
+		s.baseQ[id] = c.Q
+		s.byStep[c.T] = append(s.byStep[c.T], cid)
+		key := cl.Price(c.I, c.T) * c.Q
+		s.ubKey[id] = key
+		s.entries[id] = pqueue.Entry{
+			Triple: c.Triple,
+			ID:     cid,
+			Pair:   cl.PairOf(cid),
+			Q:      c.Q,
+			Key:    key,
+		}
+		if c.Q > 0 && s.stock[c.I] > 0 {
+			s.alive[id] = true
+			s.heap.Add(&s.entries[id])
+		}
+	}
+	s.heap.Build()
+	s.last.NumCands = n
+	return s
+}
+
+// Instance returns the session's private residual-equivalent instance:
+// per-candidate q′ with realized saturation folded in, capacities at
+// remaining stock, current prices. Callers may read it (revenue
+// accounting, admission checks) but must not mutate it. Candidate IDs
+// are the base instance's — the clone preserves the CandID space.
+func (s *Session) Instance() *model.Instance { return s.in }
+
+// Now returns the session clock (the first unexecuted time step).
+func (s *Session) Now() model.TimeStep { return s.now }
+
+// LastStats reports the incremental work of the most recent Solve.
+func (s *Session) LastStats() SessionStats { return s.last }
+
+// markDirty records one candidate as dirty and refreshes its cached
+// bounds immediately. Invalidation runs eagerly on the event path — by
+// the time Solve starts, every cached q′/aliveness/upper bound is
+// already current — so replan latency stays flat in the event rate: the
+// per-event work (saturation kernels, point heap updates) is paid as
+// each event is journaled, exactly where the serving layer absorbs it.
+// The refresh runs on every call, not just the first: a candidate
+// dirtied twice has moved twice.
+func (s *Session) markDirty(id model.CandID) {
+	if !s.dirtySeen[id] {
+		s.dirtySeen[id] = true
+		s.dirtyList = append(s.dirtyList, id)
+	}
+	s.refresh(id)
+}
+
+// touchPair queues one (user, item) lower heap for a pristine rebuild.
+func (s *Session) touchPair(p int32) {
+	if !s.pairSeen[p] {
+		s.pairSeen[p] = true
+		s.touchedPairs = append(s.touchedPairs, p)
+	}
+}
+
+// touchGroup queues every pair of one (user, class) group for a
+// pristine rebuild. Each pair belongs to exactly one group, so this
+// invalidates precisely the corrected keys whose upper-bound status the
+// group's change voids: marginal gains depend only on the candidate's
+// own group content and values.
+func (s *Session) touchGroup(g int32) {
+	if s.groupTouched[g] {
+		return
+	}
+	s.groupTouched[g] = true
+	s.touchedGrps = append(s.touchedGrps, g)
+	for _, id := range s.in.GroupCandIDs(g) {
+		s.touchPair(s.in.PairOf(id))
+	}
+}
+
+// wakeItem re-queues the pairs dropped while item i was at capacity.
+func (s *Session) wakeItem(i model.ItemID) {
+	ps := s.capDeferred[i]
+	if len(ps) == 0 {
+		return
+	}
+	for _, p := range ps {
+		s.capDefMark[p] = false
+		s.touchPair(p)
+	}
+	s.capDeferred[i] = ps[:0]
+}
+
+// wakeUser re-queues the pairs holding entries dropped while one of
+// user u's display slots was full.
+func (s *Session) wakeUser(u model.UserID) {
+	ps := s.dispDeferred[u]
+	if len(ps) == 0 {
+		return
+	}
+	for _, p := range ps {
+		s.dispDefMark[p] = false
+		s.touchPair(p)
+	}
+	s.dispDeferred[u] = ps[:0]
+}
+
+// dropSeed handles a warm seed that failed re-validation: the previous
+// plan shrinks at the seed's group, item, and display slots, so the
+// group's corrected keys lose their upper-bound guarantee and parked
+// violation-dropped pairs on the seed's item and user may be feasible
+// again.
+func (s *Session) dropSeed(id model.CandID) {
+	c := s.in.CandAt(id)
+	s.touchGroup(s.in.GroupOf(id))
+	s.wakeItem(c.I)
+	s.wakeUser(c.U)
+}
+
+// markItem queues one item for a capacity re-sync at the next Solve.
+func (s *Session) markItem(i model.ItemID) {
+	if !s.itemSeen[i] {
+		s.itemSeen[i] = true
+		s.itemList = append(s.itemList, i)
+	}
+}
+
+// markGroupState records that group g now holds feedback state.
+func (s *Session) markGroupState(g int32) {
+	if !s.groupMarked[g] {
+		s.groupMarked[g] = true
+		s.stateGroups = append(s.stateGroups, g)
+	}
+}
+
+// dirtyGroupAfter marks group g's candidates at steps strictly after
+// tau dirty (a tau of 0 marks the whole group: memory and adoption
+// changes reach every step).
+func (s *Session) dirtyGroupAfter(g int32, tau model.TimeStep) {
+	for _, id := range s.in.GroupCandIDs(g) {
+		if s.in.CandAt(id).T > tau {
+			s.markDirty(id)
+		}
+	}
+}
+
+// setStock is the shared stock mutation: records the new level, queues
+// the capacity sync, and — when positivity flips either way — dirties
+// every candidate of the item (their aliveness changed).
+func (s *Session) setStock(i model.ItemID, n int) {
+	old := s.stock[i]
+	if old == n {
+		return
+	}
+	s.stock[i] = n
+	s.markItem(i)
+	if (old > 0) != (n > 0) {
+		for _, id := range s.in.ItemCandIDs(i) {
+			s.markDirty(id)
+		}
+	}
+}
+
+// Observe journals one realized recommendation outcome — the AdoptDelta
+// of the event journal, mirroring serve.Engine's apply: the exposure
+// always accrues saturation memory (evicting the oldest beyond
+// MaxExposures), and a first adoption in the class marks the class
+// adopted and consumes one unit of stock (floored at zero).
+func (s *Session) Observe(u model.UserID, i model.ItemID, t model.TimeStep, adopted bool) {
+	c := s.in.Class(i)
+	g, hasG := s.in.GroupID(u, c)
+	if hasG {
+		ts := s.exposures[g]
+		if s.cfg.MaxExposures > 0 && len(ts) >= s.cfg.MaxExposures {
+			// Eviction shifts every remembered time: memory can move in
+			// either direction at any step after the dropped exposure, so
+			// the whole group is dirty.
+			evicted := ts[0]
+			copy(ts, ts[1:])
+			ts[len(ts)-1] = t
+			s.dirtyGroupAfter(g, min(evicted, t))
+		} else {
+			s.exposures[g] = append(ts, t)
+			s.dirtyGroupAfter(g, t)
+		}
+		s.markGroupState(g)
+	}
+	if !adopted {
+		return
+	}
+	already := false
+	if hasG {
+		already = s.adopted[g]
+		s.adopted[g] = true
+	} else {
+		k := groupXKey(u, c)
+		already = s.adoptedX[k]
+		if s.adoptedX == nil {
+			s.adoptedX = make(map[uint64]bool)
+		}
+		s.adoptedX[k] = true
+	}
+	if already {
+		return
+	}
+	if hasG {
+		s.dirtyGroupAfter(g, 0)
+	}
+	if s.stock[i] > 0 {
+		s.setStock(i, s.stock[i]-1)
+	}
+}
+
+// AdoptClass journals an adoption flag alone — no exposure, no stock
+// side effect. It is the bootstrap path for loading an externally
+// accounted feedback view (LoadFeedback), where stock arrives
+// separately.
+func (s *Session) AdoptClass(u model.UserID, c model.ClassID) {
+	if g, ok := s.in.GroupID(u, c); ok {
+		if !s.adopted[g] {
+			s.adopted[g] = true
+			s.dirtyGroupAfter(g, 0)
+		}
+		s.markGroupState(g)
+	} else {
+		if s.adoptedX == nil {
+			s.adoptedX = make(map[uint64]bool)
+		}
+		s.adoptedX[groupXKey(u, c)] = true
+	}
+}
+
+// SetExposures journals a verbatim replacement of one (user, class)
+// exposure list — the bootstrap/reconcile path. The list is copied; a
+// list equal to the current one is a no-op (no dirtying).
+func (s *Session) SetExposures(u model.UserID, c model.ClassID, ts []model.TimeStep) {
+	g, ok := s.in.GroupID(u, c)
+	if !ok {
+		return
+	}
+	if timesEqual(s.exposures[g], ts) {
+		return
+	}
+	s.exposures[g] = append(s.exposures[g][:0:0], ts...)
+	s.dirtyGroupAfter(g, 0)
+	s.markGroupState(g)
+}
+
+// SetStock journals an exogenous stock override (the StockDelta).
+func (s *Session) SetStock(i model.ItemID, n int) {
+	s.setStock(i, n)
+}
+
+// ScalePrice journals a price rescale (the PriceDelta): item i's price
+// is multiplied by factor from step `from` through the horizon end,
+// with the same float evaluation order as serve.Engine's scalePrices so
+// both instances stay bit-identical.
+func (s *Session) ScalePrice(i model.ItemID, from model.TimeStep, factor float64) {
+	if from < 1 {
+		from = 1
+	}
+	for t := from; int(t) <= s.in.T; t++ {
+		s.in.SetPrice(i, t, s.in.Price(i, t)*factor)
+	}
+	for _, id := range s.in.ItemCandIDs(i) {
+		if s.in.CandAt(id).T >= from {
+			s.markDirty(id)
+		}
+	}
+}
+
+// Advance journals a clock move: candidates at steps that leave (or
+// re-enter, defensively) the residual horizon are dirtied through the
+// per-step index.
+func (s *Session) Advance(t model.TimeStep) {
+	if t < 1 {
+		t = 1
+	}
+	if t == s.now {
+		return
+	}
+	lo, hi := s.now, t
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// The clock moves first: markDirty refreshes eagerly against it.
+	s.now = t
+	for step := lo; step < hi; step++ {
+		if int(step) < len(s.byStep) {
+			for _, id := range s.byStep[step] {
+				s.markDirty(id)
+			}
+		}
+	}
+}
+
+// SeedTriples primes the next Seeded Solve with an externally supplied
+// warm plan (a recovered engine's last installed plan). It replaces the
+// internal previous-plan seed; triples that are not candidates are
+// ignored, matching GGreedyWarm's CandIDOf filter.
+func (s *Session) SeedTriples(warm []model.Triple) {
+	// The externally supplied plan need not extend the plan the cached
+	// corrections were computed under, so none of them can be trusted.
+	s.restoreAll = true
+	for _, id := range s.prev {
+		s.inPrev[id] = false
+	}
+	s.prev = s.prev[:0]
+	for _, z := range warm {
+		if id, ok := s.in.CandIDOf(z); ok {
+			s.prev = append(s.prev, id)
+		}
+	}
+	sort.Slice(s.prev, func(a, b int) bool { return s.prev[a] < s.prev[b] })
+	for _, id := range s.prev {
+		s.inPrev[id] = true
+	}
+}
+
+// LoadFeedback reconciles the session against a complete external
+// feedback view (planner.Feedback's fields), diffing instead of
+// rebuilding: only (user, class) groups whose adopted flag or exposure
+// list actually changed — in either direction, so a crash-recovered
+// view that lost events also converges — dirty their candidates, and
+// only items whose stock moved re-sync. stock may be nil (untouched).
+func (s *Session) LoadFeedback(
+	adopted map[model.UserID]map[model.ClassID]bool,
+	exposures map[model.UserID]map[model.ClassID][]model.TimeStep,
+	stock []int,
+	now model.TimeStep,
+) {
+	// Regression pass: state the session holds that the view no longer
+	// does must be cleared (kill -9 recovery can lose applied events).
+	for _, g := range s.stateGroups {
+		u, c, ok := s.groupUC(g)
+		if !ok {
+			continue
+		}
+		if s.adopted[g] && !adopted[u][c] {
+			s.adopted[g] = false
+			s.dirtyGroupAfter(g, 0)
+		}
+		if len(s.exposures[g]) > 0 {
+			if ts := exposures[u][c]; !timesEqual(s.exposures[g], ts) {
+				s.exposures[g] = append(s.exposures[g][:0:0], ts...)
+				s.dirtyGroupAfter(g, 0)
+			}
+		}
+	}
+	// Forward pass: adopt the view's state where it differs.
+	s.adoptedX = nil
+	for u, cs := range adopted {
+		for c, v := range cs {
+			if v {
+				s.AdoptClass(u, c)
+			}
+		}
+	}
+	for u, cs := range exposures {
+		for c, ts := range cs {
+			s.SetExposures(u, c, ts)
+		}
+	}
+	if stock != nil {
+		for i := range stock {
+			if s.stock[i] != stock[i] {
+				s.setStock(model.ItemID(i), stock[i])
+			}
+		}
+	}
+	s.Advance(now)
+}
+
+// groupUC resolves a group back to its (user, class) through the
+// group's first candidate.
+func (s *Session) groupUC(g int32) (model.UserID, model.ClassID, bool) {
+	ids := s.in.GroupCandIDs(g)
+	if len(ids) == 0 {
+		return 0, 0, false
+	}
+	c := s.in.CandAt(ids[0])
+	return c.U, s.in.Class(c.I), true
+}
+
+// Solve replans from the seeded persistent state. See SolveCtx.
+func (s *Session) Solve() Result {
+	res, _ := s.SolveCtx(context.Background(), nil)
+	return res
+}
+
+// SolveCtx runs one incremental replan: unwind the previous plan,
+// apply the journal's dirty set (recompute q′/aliveness/upper bounds
+// for exactly the invalidated CandIDs), re-seed (Seeded mode), rebuild
+// only the invalidated heap pairs, and run the standard lazy-forward
+// scan from the restored state. The result is byte-identical to
+// GGreedyWarmCtx (Seeded) or GGreedyCtx (unseeded) on the equivalent
+// residual instance. ctx is checked once per scan iteration; a
+// canceled solve returns the partial result with ctx's error, and the
+// session remains consistent for further events and solves.
+func (s *Session) SolveCtx(ctx context.Context, progress ProgressFn) (Result, error) {
+	st := s.st
+
+	// 1. Unwind the previous plan to the empty state. This must precede
+	// the capacity sync: Plan.Remove balances its over-capacity counters
+	// against the capacities seen at Add time. The unwind set is collected
+	// apart from prev, which may hold an externally supplied seed.
+	if st.p.Len() > 0 {
+		ids := s.unwind[:0]
+		st.p.Each(func(id model.CandID) bool {
+			ids = append(ids, id)
+			return true
+		})
+		s.unwind = ids
+		for _, id := range s.unwind {
+			st.p.Remove(id)
+			st.ev.RemoveID(id)
+		}
+	}
+	st.ev.ResetTotal()
+	st.curve = nil
+	st.stats = SolveStats{}
+
+	// 2. Fold the journal's bookkeeping in. The dirty candidates' bounds
+	// and heap entries were already repaired eagerly as each event was
+	// journaled; what remains is deferred capacity sync (a raise wakes
+	// the pairs parked while the item was saturated) and the stats.
+	for _, i := range s.itemList {
+		s.itemSeen[i] = false
+		cap := s.stock[i]
+		if cap < 0 {
+			cap = 0
+		}
+		if cap > s.in.Capacity(i) {
+			s.wakeItem(i)
+		}
+		s.in.SetItem(i, s.in.Class(i), s.in.Beta(i), cap)
+	}
+	s.itemList = s.itemList[:0]
+	s.last = SessionStats{DirtyCands: len(s.dirtyList), NumCands: len(s.entries)}
+	for _, id := range s.dirtyList {
+		s.dirtySeen[id] = false
+	}
+	s.dirtyList = s.dirtyList[:0]
+
+	// 3. Seed, before the heap restore so that dropped seeds can still
+	// invalidate their group's corrected keys and wake parked pairs on
+	// their item and user. Seeded mode replays seedWarm exactly
+	// (canonical order, feasibility and profitability re-checks, the
+	// dropped-seed curve blip); unseeded mode starts every group's
+	// content from empty, which voids every cached correction, so the
+	// whole heap is rebuilt pristine.
+	seeded := 0
+	if s.cfg.Seeded {
+		for _, id := range s.prev {
+			if !s.alive[id] {
+				s.dropSeed(id) // not a residual candidate anymore
+				continue
+			}
+			if st.check(id) != violationNone {
+				s.dropSeed(id) // display slot or capacity gone
+				continue
+			}
+			if st.add(id) <= Eps {
+				st.remove(id)
+				s.dropSeed(id)
+				continue
+			}
+			seeded++
+		}
+		st.stats.WarmKept = seeded
+		st.stats.WarmDropped = len(s.prev) - seeded
+	} else {
+		s.restoreAll = true
+	}
+	for _, id := range s.prev {
+		s.inPrev[id] = false
+	}
+	s.prev = s.prev[:0]
+
+	// 4. Restore: every queued pair is rebuilt pristine — alive
+	// candidates return under their cached p·q′ upper bound with a zero
+	// flag, dead ones drop out. Every other pair keeps its entries and
+	// corrected keys verbatim: content-superset seeding keeps them valid
+	// upper bounds, and the (Key desc, ID asc) total order makes pop
+	// order independent of heap shape, so reuse cannot perturb the
+	// selection sequence.
+	if s.restoreAll {
+		s.restoreAll = false
+		for i := range s.capDeferred {
+			for _, p := range s.capDeferred[i] {
+				s.capDefMark[p] = false
+			}
+			s.capDeferred[i] = s.capDeferred[i][:0]
+		}
+		for u := range s.dispDeferred {
+			for _, p := range s.dispDeferred[u] {
+				s.dispDefMark[p] = false
+			}
+			s.dispDeferred[u] = s.dispDeferred[u][:0]
+		}
+		for _, p := range s.touchedPairs {
+			s.pairSeen[p] = false
+		}
+		s.touchedPairs = s.touchedPairs[:0]
+		for p := 0; p < s.in.NumPairs(); p++ {
+			s.restorePair(int32(p))
+		}
+	} else {
+		for _, p := range s.touchedPairs {
+			s.pairSeen[p] = false
+			s.restorePair(p)
+		}
+		s.touchedPairs = s.touchedPairs[:0]
+	}
+	for _, g := range s.touchedGrps {
+		s.groupTouched[g] = false
+	}
+	s.touchedGrps = s.touchedGrps[:0]
+	st.stats.Considered = s.heap.Len()
+
+	// 5. The lazy-forward scan, identical to gGreedyWindow's selection
+	// loop plus touched-pair tracking for the next restore.
+	sel, rec, err := s.scan(ctx, progress)
+
+	res := st.result(seeded+sel, rec)
+	// The session's plan stays live across solves; hand callers a copy.
+	res.Plan = st.p.Clone()
+	prev := s.prev[:0]
+	st.p.Each(func(id model.CandID) bool {
+		prev = append(prev, id)
+		return true
+	})
+	s.prev = prev
+	for _, id := range s.prev {
+		s.inPrev[id] = true
+	}
+	return res, err
+}
+
+// refresh recomputes one dirty candidate — saturation-folded q′, the
+// aliveness predicate (exactly planner.Residual's membership test), the
+// cached p·q′ upper bound, the instance's in-place q′ — and repairs the
+// heap around the change with the cheapest sound invalidation:
+//
+//   - A dirty member of the seeded plan voids its whole group's
+//     corrected keys (their gains were evaluated against group content
+//     holding its old value), so the group's pairs rebuild pristine.
+//   - An aliveness flip changes pair membership, so the pair rebuilds.
+//   - Everything else is repaired in place: the fresh p·q′ bounds the
+//     new gain on its own, so the entry's key is lifted to it when it
+//     rose and kept otherwise (a stored key at least p·q′ still
+//     dominates the gain), and a negative lazy-forward flag — always
+//     below the non-negative group size — forces an exact recompute
+//     before the entry can be selected.
+func (s *Session) refresh(id model.CandID) {
+	c := s.in.CandAt(id)
+	g := s.in.GroupOf(id)
+	q := s.baseQ[id]
+	if q > 0 {
+		q = model.Discount(q, s.in.Beta(c.I), model.SaturationMemory(s.exposures[g], c.T))
+	}
+	s.in.SetCandQ(id, q)
+	ub := s.in.Price(c.I, c.T) * q
+	s.ubKey[id] = ub
+	alive := c.T >= s.now && !s.adopted[g] && s.stock[c.I] > 0 && q > 0
+	wasAlive := s.alive[id]
+	s.alive[id] = alive
+	if s.inPrev[id] {
+		s.touchGroup(g)
+		return
+	}
+	if alive != wasAlive {
+		s.touchPair(s.in.PairOf(id))
+		return
+	}
+	if !alive {
+		return
+	}
+	e := &s.entries[id]
+	if e.Key < ub {
+		if !s.heap.UpdateKey(e, ub, -1) {
+			// Not in an active lower heap (consumed as a seed, or its pair
+			// is parked): the fields are ignored until a restore resets
+			// them, so writing them through is harmless.
+			e.Key, e.Flag = ub, -1
+		}
+	} else {
+		// Key order unchanged, so the in-heap mutation is invariant-safe.
+		e.Flag = -1
+	}
+}
+
+// restorePair rebuilds one (user, item) lower heap to its pristine
+// state: every alive candidate under its cached p·q′ upper bound with a
+// zero lazy-forward flag, dead candidates dropped.
+func (s *Session) restorePair(p int32) {
+	lo, hi := s.in.PairCandSpan(p)
+	if lo == hi {
+		return
+	}
+	buf := s.scratch[:0]
+	for id := lo; id < hi; id++ {
+		if !s.alive[id] {
+			continue
+		}
+		e := &s.entries[id]
+		e.Key = s.ubKey[id]
+		e.Flag = 0
+		e.Q = s.in.CandAt(id).Q
+		buf = append(buf, e)
+	}
+	s.heap.RestorePair(p, buf)
+	s.last.RestoredPairs++
+	s.last.RestoredEntries += len(buf)
+}
+
+func (s *Session) scan(ctx context.Context, progress ProgressFn) (selections, recomputations int, err error) {
+	st, heap := s.st, s.heap
+	limit := maxSelections(s.in)
+	for st.len() < limit && !heap.Empty() {
+		if err := ctx.Err(); err != nil {
+			return selections, recomputations, err
+		}
+		st.stats.HeapPops++
+		e := heap.PeekMax()
+		if e == nil || e.Key <= Eps {
+			break
+		}
+		switch st.check(e.ID) {
+		case violationDisplay:
+			// The (user, t) display slot stays full until one of the
+			// user's seeds drops; park the pair until then instead of
+			// rebuilding and re-discarding it every solve.
+			if !s.dispDefMark[e.Pair] {
+				s.dispDefMark[e.Pair] = true
+				s.dispDeferred[e.Triple.U] = append(s.dispDeferred[e.Triple.U], e.Pair)
+			}
+			heap.DeleteEntry(e)
+			continue
+		case violationCapacity:
+			// The item stays at capacity until its capacity rises or one
+			// of its seeds drops; park the whole pair until then.
+			if !s.capDefMark[e.Pair] {
+				s.capDefMark[e.Pair] = true
+				s.capDeferred[e.Triple.I] = append(s.capDeferred[e.Triple.I], e.Pair)
+			}
+			heap.DeletePairOf(e)
+			continue
+		}
+		fresh := st.ev.GroupSizeID(e.ID)
+		if e.Flag < fresh {
+			// The corrected keys stay in place across solves: they remain
+			// valid upper bounds while the group's content only grows.
+			for _, sib := range heap.PairEntriesOf(e) {
+				sib.Key = st.ev.MarginalGainID(sib.ID)
+				sib.Flag = fresh
+				recomputations++
+			}
+			heap.FixPairOf(e)
+			continue
+		}
+		// Selection consumes the entry without dirtying its siblings: a
+		// re-seeded plan re-covers it next solve, and dropSeed restores
+		// its group's pairs if the seed fails re-validation (an unseeded
+		// session rebuilds the whole heap anyway).
+		st.add(e.ID)
+		selections++
+		heap.DeleteMax()
+		if progress != nil {
+			progress(Progress{Done: st.len(), Total: limit, Best: st.ev.Total()})
+		}
+	}
+	return selections, recomputations, nil
+}
+
+// Revenue returns the true-model revenue of strategy s under the
+// session's residual-equivalent instance — bit-identical to scoring the
+// same strategy on planner.Residual of the base instance.
+func (s *Session) Revenue(strat *model.Strategy) float64 {
+	return revenue.Revenue(s.in, strat)
+}
+
+func groupXKey(u model.UserID, c model.ClassID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(c))
+}
+
+func timesEqual(a, b []model.TimeStep) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b model.TimeStep) model.TimeStep {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,461 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/testgen"
+)
+
+// refWorld is the from-scratch reference a Session is checked against:
+// a price-evolved clone of the base instance plus the Feedback-shaped
+// state a serving engine would accumulate, with the engine's exact
+// event semantics (exposure cap with drop-oldest eviction, adopt-once
+// per (user, class), stock floored at zero). residual() rebuilds
+// planner.Residual's construction verbatim — duplicated here because
+// core cannot import planner (planner imports core).
+type refWorld struct {
+	base      *model.Instance
+	adopted   map[model.UserID]map[model.ClassID]bool
+	exposures map[model.UserID]map[model.ClassID][]model.TimeStep
+	stock     []int
+	now       model.TimeStep
+	maxExp    int
+}
+
+func newRefWorld(in *model.Instance, maxExp int) *refWorld {
+	w := &refWorld{
+		base:      in.Clone(),
+		adopted:   map[model.UserID]map[model.ClassID]bool{},
+		exposures: map[model.UserID]map[model.ClassID][]model.TimeStep{},
+		stock:     make([]int, in.NumItems()),
+		now:       1,
+		maxExp:    maxExp,
+	}
+	for i := range w.stock {
+		w.stock[i] = in.Capacity(model.ItemID(i))
+	}
+	return w
+}
+
+func (w *refWorld) observe(u model.UserID, i model.ItemID, t model.TimeStep, adopted bool) {
+	c := w.base.Class(i)
+	um := w.exposures[u]
+	if um == nil {
+		um = map[model.ClassID][]model.TimeStep{}
+		w.exposures[u] = um
+	}
+	ts := um[c]
+	if w.maxExp > 0 && len(ts) >= w.maxExp {
+		copy(ts, ts[1:])
+		ts[len(ts)-1] = t
+	} else {
+		ts = append(ts, t)
+	}
+	um[c] = ts
+	if !adopted {
+		return
+	}
+	am := w.adopted[u]
+	if am == nil {
+		am = map[model.ClassID]bool{}
+		w.adopted[u] = am
+	}
+	if am[c] {
+		return
+	}
+	am[c] = true
+	if w.stock[i] > 0 {
+		w.stock[i]--
+	}
+}
+
+func (w *refWorld) setStock(i model.ItemID, n int) { w.stock[i] = n }
+
+func (w *refWorld) scalePrice(i model.ItemID, from model.TimeStep, factor float64) {
+	if from < 1 {
+		from = 1
+	}
+	for t := from; int(t) <= w.base.T; t++ {
+		w.base.SetPrice(i, t, w.base.Price(i, t)*factor)
+	}
+}
+
+func (w *refWorld) advance(t model.TimeStep) {
+	if t < 1 {
+		t = 1
+	}
+	w.now = t
+}
+
+// residual replicates planner.Residual(base, feedback) exactly, using
+// the same shared saturation kernels so the floats agree bit-for-bit.
+func (w *refWorld) residual() *model.Instance {
+	now := w.now
+	if now < 1 {
+		now = 1
+	}
+	in := w.base
+	res := model.NewInstance(in.NumUsers, in.NumItems(), in.T, in.K)
+	for i := 0; i < in.NumItems(); i++ {
+		id := model.ItemID(i)
+		cap := w.stock[i]
+		if cap < 0 {
+			cap = 0
+		}
+		res.SetItem(id, in.Class(id), in.Beta(id), cap)
+		for t := 1; t <= in.T; t++ {
+			res.SetPrice(id, model.TimeStep(t), in.Price(id, model.TimeStep(t)))
+		}
+	}
+	for u := 0; u < in.NumUsers; u++ {
+		uid := model.UserID(u)
+		for _, cand := range in.UserCandidates(uid) {
+			if cand.T < now {
+				continue
+			}
+			c := in.Class(cand.I)
+			if w.adopted[uid][c] {
+				continue
+			}
+			if w.stock[cand.I] <= 0 {
+				continue
+			}
+			q := model.Discount(cand.Q, in.Beta(cand.I), model.SaturationMemory(w.exposures[uid][c], cand.T))
+			if q > 0 {
+				res.AddCandidate(uid, cand.I, cand.T, q)
+			}
+		}
+	}
+	res.FinishCandidates()
+	return res
+}
+
+// randomEvent applies one random feedback event to the session and the
+// reference world identically.
+func randomEvent(rng *dist.RNG, sess *Session, w *refWorld) {
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3, 4, 5:
+		id := model.CandID(rng.Intn(w.base.NumCands()))
+		c := w.base.CandAt(id)
+		ad := rng.Intn(3) == 0
+		sess.Observe(c.U, c.I, c.T, ad)
+		w.observe(c.U, c.I, c.T, ad)
+	case 6:
+		i := model.ItemID(rng.Intn(w.base.NumItems()))
+		n := rng.Intn(6) - 1 // -1..4: exercises depletion and revival
+		sess.SetStock(i, n)
+		w.setStock(i, n)
+	case 7:
+		i := model.ItemID(rng.Intn(w.base.NumItems()))
+		from := model.TimeStep(1 + rng.Intn(w.base.T))
+		factor := rng.Uniform(0.25, 1.75)
+		if rng.Intn(8) == 0 {
+			factor = 0 // reprice to worthless
+		}
+		sess.ScalePrice(i, from, factor)
+		w.scalePrice(i, from, factor)
+	case 8:
+		t := w.now + model.TimeStep(1+rng.Intn(2))
+		sess.Advance(t)
+		w.advance(t)
+	case 9:
+		// Re-observation of an already-exposed candidate (saturation
+		// stacking on one group).
+		id := model.CandID(rng.Intn(w.base.NumCands()))
+		c := w.base.CandAt(id)
+		sess.Observe(c.U, c.I, c.T, false)
+		w.observe(c.U, c.I, c.T, false)
+	}
+}
+
+// assertSameSolve demands byte-identical output: triples, revenue bits,
+// curve bits, selection count, and warm seed accounting.
+func assertSameSolve(t *testing.T, tag string, got, want Result) {
+	t.Helper()
+	gt, wt := got.Strategy.Triples(), want.Strategy.Triples()
+	if len(gt) != len(wt) {
+		t.Fatalf("%s: plan sizes differ: session %d vs scratch %d", tag, len(gt), len(wt))
+	}
+	for i := range gt {
+		if gt[i] != wt[i] {
+			t.Fatalf("%s: plans diverge at %d: session %v vs scratch %v", tag, i, gt[i], wt[i])
+		}
+	}
+	if math.Float64bits(got.Revenue) != math.Float64bits(want.Revenue) {
+		t.Fatalf("%s: revenue bits differ: session %.17g vs scratch %.17g", tag, got.Revenue, want.Revenue)
+	}
+	if len(got.Curve) != len(want.Curve) {
+		t.Fatalf("%s: curve lengths differ: session %d vs scratch %d", tag, len(got.Curve), len(want.Curve))
+	}
+	for i := range got.Curve {
+		if math.Float64bits(got.Curve[i]) != math.Float64bits(want.Curve[i]) {
+			t.Fatalf("%s: curves diverge at %d: session %.17g vs scratch %.17g", tag, i, got.Curve[i], want.Curve[i])
+		}
+	}
+	if got.Selections != want.Selections {
+		t.Fatalf("%s: selections differ: session %d vs scratch %d", tag, got.Selections, want.Selections)
+	}
+	if got.Stats.WarmKept != want.Stats.WarmKept || got.Stats.WarmDropped != want.Stats.WarmDropped {
+		t.Fatalf("%s: warm accounting differs: session %d/%d vs scratch %d/%d",
+			tag, got.Stats.WarmKept, got.Stats.WarmDropped, want.Stats.WarmKept, want.Stats.WarmDropped)
+	}
+}
+
+// TestSessionUnseededMatchesCold: an unseeded session replan after any
+// event journal is byte-identical to a cold GGreedy on the from-scratch
+// residual instance.
+func TestSessionUnseededMatchesCold(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 29} {
+		in := warmInstance(t, seed)
+		sess := NewSession(in, SessionConfig{MaxExposures: 3})
+		w := newRefWorld(in, 3)
+		rng := dist.NewRNG(seed * 977)
+		for round := 0; round < 18; round++ {
+			for e, n := 0, rng.Intn(7); e < n; e++ {
+				randomEvent(rng, sess, w)
+			}
+			got := sess.Solve()
+			want := GGreedy(w.residual())
+			assertSameSolve(t, "unseeded", got, want)
+		}
+	}
+}
+
+// TestSessionSeededMatchesWarm: a seeded session replan is
+// byte-identical to GGreedyWarm on the from-scratch residual, seeded
+// with the previous round's plan — the exact serving-engine warm-start
+// loop, replayed incrementally.
+func TestSessionSeededMatchesWarm(t *testing.T) {
+	for _, seed := range []uint64{5, 17, 41} {
+		in := warmInstance(t, seed)
+		sess := NewSession(in, SessionConfig{Seeded: true, MaxExposures: 3})
+		w := newRefWorld(in, 3)
+		rng := dist.NewRNG(seed*1303 + 7)
+		var prev []model.Triple
+		for round := 0; round < 18; round++ {
+			for e, n := 0, rng.Intn(7); e < n; e++ {
+				randomEvent(rng, sess, w)
+			}
+			got := sess.Solve()
+			want := GGreedyWarm(w.residual(), prev)
+			assertSameSolve(t, "seeded", got, want)
+			if res := w.residual(); res.CheckValid(got.Strategy) != nil {
+				t.Fatalf("session plan invalid on residual: %v", res.CheckValid(got.Strategy))
+			}
+			prev = want.Strategy.Triples()
+		}
+	}
+}
+
+// TestSessionEmptyJournalFixpoint: with no events between replans, a
+// seeded session keeps returning the identical plan, and the dirty
+// counter stays at zero — the invariant behind the <5%-touched gate.
+func TestSessionEmptyJournalFixpoint(t *testing.T) {
+	in := warmInstance(t, 23)
+	sess := NewSession(in, SessionConfig{Seeded: true, MaxExposures: 3})
+	first := sess.Solve()
+	for round := 0; round < 3; round++ {
+		again := sess.Solve()
+		if sess.LastStats().DirtyCands != 0 {
+			t.Fatalf("empty journal dirtied %d candidates", sess.LastStats().DirtyCands)
+		}
+		gt, wt := again.Strategy.Triples(), first.Strategy.Triples()
+		if len(gt) != len(wt) {
+			t.Fatalf("fixpoint drifted: %d vs %d selections", len(gt), len(wt))
+		}
+		for i := range gt {
+			if gt[i] != wt[i] {
+				t.Fatalf("fixpoint drifted at %d: %v vs %v", i, gt[i], wt[i])
+			}
+		}
+		if math.Float64bits(again.Revenue) != math.Float64bits(first.Revenue) {
+			t.Fatalf("fixpoint revenue drifted: %.17g vs %.17g", again.Revenue, first.Revenue)
+		}
+	}
+}
+
+// TestSessionLoadFeedbackReconciles: LoadFeedback diffs the session
+// against an external Feedback view in both directions — a session that
+// has applied MORE events than the view (the kill-9 shape: applied but
+// unlogged tail) must roll back and match a scratch solve of the view.
+func TestSessionLoadFeedbackReconciles(t *testing.T) {
+	in := warmInstance(t, 31)
+	sess := NewSession(in, SessionConfig{Seeded: true, MaxExposures: 3})
+	w := newRefWorld(in, 3)
+	rng := dist.NewRNG(4242)
+
+	// Durable prefix: both sides see it.
+	for e := 0; e < 12; e++ {
+		randomEvent(rng, sess, w)
+	}
+	prev := sess.Solve().Strategy.Triples()
+
+	// Lost tail: only the session sees these (they died with the crash).
+	lost := newRefWorld(in, 3) // sink for the reference side of the tail
+	lost.base = w.base         // share the price state so scaling stays aligned
+	lost.stock = w.stock
+	lost.now = w.now
+	for e := 0; e < 9; e++ {
+		randomEvent(rng, sess, lost)
+	}
+	// Price rescales and stock writes are durable in the real engine
+	// (WAL'd synchronously), so the reference world legitimately kept
+	// them via the shared base/stock; exposures/adoptions in `lost` are
+	// the discarded part.
+
+	// Recovery: reconcile against the durable view and re-seed with the
+	// last installed plan.
+	sess.LoadFeedback(w.adopted, w.exposures, w.stock, w.now)
+	sess.SeedTriples(prev)
+	got := sess.Solve()
+	want := GGreedyWarm(w.residual(), prev)
+	assertSameSolve(t, "reconcile", got, want)
+
+	// And the session keeps working incrementally after the reconcile.
+	for e := 0; e < 6; e++ {
+		randomEvent(rng, sess, w)
+	}
+	got = sess.Solve()
+	want = GGreedyWarm(w.residual(), want.Strategy.Triples())
+	assertSameSolve(t, "post-reconcile", got, want)
+}
+
+// TestSessionSeedTriplesBootstrap: a fresh session seeded with an
+// externally supplied warm plan behaves exactly like GGreedyWarm — the
+// engine-restart bootstrap path.
+func TestSessionSeedTriplesBootstrap(t *testing.T) {
+	in := warmInstance(t, 37)
+	seeds := GGreedy(in).Strategy.Triples()
+	sess := NewSession(in, SessionConfig{Seeded: true, MaxExposures: 3})
+	sess.SeedTriples(seeds)
+	got := sess.Solve()
+	want := GGreedyWarm(in, seeds)
+	assertSameSolve(t, "bootstrap", got, want)
+}
+
+// TestSessionCancel: a canceled incremental solve returns ctx's error
+// and leaves the session consistent — the next solve still matches the
+// from-scratch reference.
+func TestSessionCancel(t *testing.T) {
+	in := warmInstance(t, 43)
+	sess := NewSession(in, SessionConfig{Seeded: true, MaxExposures: 3})
+	w := newRefWorld(in, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.SolveCtx(ctx, nil); err == nil {
+		t.Fatal("canceled solve returned nil error")
+	}
+	got := sess.Solve()
+	want := GGreedyWarm(w.residual(), nil)
+	assertSameSolve(t, "post-cancel", got, want)
+}
+
+// FuzzSessionInvalidation drives random event journals (observation /
+// adoption / stock / price / clock interleavings) into a session and
+// checks the two safety properties of CandID-level invalidation:
+//
+//  1. The dirty set is a superset of the candidates whose cached
+//     upper-bound key or aliveness actually changed — a candidate the
+//     journal should have invalidated but didn't would silently serve a
+//     stale bound.
+//  2. The incremental solve is byte-identical to a from-scratch solve
+//     of the equivalent residual instance (seeded and unseeded modes
+//     both derive from the same session pipeline; seeded is fuzzed as
+//     the strictly harder case, with plan unwind and re-seeding).
+func FuzzSessionInvalidation(f *testing.F) {
+	f.Add(uint64(1), []byte{0x00, 0x41, 0x9c, 0x07})
+	f.Add(uint64(9), []byte{0xff, 0x13, 0x22, 0x31, 0x40, 0x55, 0x68, 0x77})
+	f.Add(uint64(12), []byte{0x60, 0x61, 0x62, 0x63, 0x64, 0x70, 0x80})
+	f.Fuzz(func(t *testing.T, seed uint64, journal []byte) {
+		if len(journal) > 256 {
+			journal = journal[:256]
+		}
+		in := testgen.Random(dist.NewRNG(seed%64+1), testgen.Params{
+			Users: 12, Items: 6, Classes: 3, T: 4, K: 2,
+			MaxCap: 3, CandProb: 0.5, MinPrice: 1, MaxPrice: 50,
+		})
+		if err := in.Validate(); err != nil || in.NumCands() == 0 {
+			t.Skip()
+		}
+		sess := NewSession(in, SessionConfig{Seeded: true, MaxExposures: 2})
+		w := newRefWorld(in, 2)
+		var prev []model.Triple
+		pos := 0
+		next := func() byte {
+			if pos >= len(journal) {
+				return 0
+			}
+			b := journal[pos]
+			pos++
+			return b
+		}
+		for pos < len(journal) {
+			for n := int(next()%5) + 1; n > 0 && pos < len(journal); n-- {
+				b := next()
+				switch b % 8 {
+				case 0, 1, 2, 3:
+					id := model.CandID(int(next()) % in.NumCands())
+					c := in.CandAt(id)
+					ad := b%8 == 0
+					sess.Observe(c.U, c.I, c.T, ad)
+					w.observe(c.U, c.I, c.T, ad)
+				case 4:
+					i := model.ItemID(int(next()) % in.NumItems())
+					n := int(next())%5 - 1
+					sess.SetStock(i, n)
+					w.setStock(i, n)
+				case 5:
+					i := model.ItemID(int(next()) % in.NumItems())
+					from := model.TimeStep(int(next())%in.T + 1)
+					factor := float64(int(next())%8) / 4.0 // 0..1.75 in quarters
+					sess.ScalePrice(i, from, factor)
+					w.scalePrice(i, from, factor)
+				case 6:
+					t := w.now + model.TimeStep(int(next())%2+1)
+					sess.Advance(t)
+					w.advance(t)
+				case 7:
+					// burst of exposures on one group
+					id := model.CandID(int(next()) % in.NumCands())
+					c := in.CandAt(id)
+					for k := 0; k < 3; k++ {
+						sess.Observe(c.U, c.I, c.T, false)
+						w.observe(c.U, c.I, c.T, false)
+					}
+				}
+			}
+			assertDirtySuperset(t, sess)
+			got := sess.Solve()
+			want := GGreedyWarm(w.residual(), prev)
+			assertSameSolve(t, "fuzz", got, want)
+			prev = want.Strategy.Triples()
+		}
+	})
+}
+
+// assertDirtySuperset recomputes every candidate's upper bound and
+// aliveness from the session's feedback state and fails if any changed
+// value is not covered by the pending dirty set. Runs with internal
+// access, before Solve consumes the journal.
+func assertDirtySuperset(t *testing.T, s *Session) {
+	t.Helper()
+	for id := 0; id < len(s.entries); id++ {
+		cid := model.CandID(id)
+		c := s.in.CandAt(cid)
+		g := s.in.GroupOf(cid)
+		q := s.baseQ[id]
+		if q > 0 {
+			q = model.Discount(q, s.in.Beta(c.I), model.SaturationMemory(s.exposures[g], c.T))
+		}
+		key := s.in.Price(c.I, c.T) * q
+		alive := c.T >= s.now && !s.adopted[g] && s.stock[c.I] > 0 && q > 0
+		if (math.Float64bits(key) != math.Float64bits(s.ubKey[id]) || alive != s.alive[id]) && !s.dirtySeen[id] {
+			t.Fatalf("cand %d (%v) stale but not dirty: key %.17g→%.17g alive %v→%v",
+				id, c.Triple, s.ubKey[id], key, s.alive[id], alive)
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package planner
 
 import (
-	"math"
-
 	"repro/internal/model"
 )
 
@@ -34,26 +32,16 @@ type Feedback struct {
 
 // SaturationMemory returns the saturation memory of Eq. 1 accrued by
 // the given exposure times at time t: Σ 1/(t−τ) over exposures τ < t.
-// It is the single implementation shared by open-loop planning,
-// step-wise replanning, and online serving — change the memory kernel
-// here and every consumer moves together.
+// The kernel lives in model (shared with core's incremental sessions);
+// this wrapper keeps the planner-facing name stable.
 func SaturationMemory(exposures []model.TimeStep, t model.TimeStep) float64 {
-	mem := 0.0
-	for _, tau := range exposures {
-		if tau < t {
-			mem += 1 / float64(t-tau)
-		}
-	}
-	return mem
+	return model.SaturationMemory(exposures, t)
 }
 
 // Discount applies the saturation discount β^mem to a primitive
 // adoption probability.
 func Discount(q, beta, mem float64) float64 {
-	if mem > 0 {
-		return q * math.Pow(beta, mem)
-	}
-	return q
+	return model.Discount(q, beta, mem)
 }
 
 // Residual builds the remaining-horizon instance induced by fb on in:

@@ -407,6 +407,87 @@ func (t *TwoLevel) DeleteEntry(e *Entry) {
 	}
 }
 
+// Contains reports whether e currently sits in an active lower heap of
+// t — i.e. PeekMax/DeleteMax could eventually surface it. Entries
+// popped by DeleteMax, removed by DeleteEntry, or orphaned in a pair
+// dropped by DeletePairOf are not contained. Persistent sessions use
+// this to decide between an in-place UpdateKey and a RestorePair.
+func (t *TwoLevel) Contains(e *Entry) bool {
+	lo := t.lowerOf(e)
+	if lo == nil {
+		return false
+	}
+	return e.pos >= 0 && e.pos < lo.heap.Len() && lo.heap.es[e.pos] == e
+}
+
+// UpdateKey overwrites e's cached key and lazy-forward flag in place and
+// restores both heap levels' invariants — the O(log T + log |pairs|)
+// point update behind delta-driven incremental replanning (only dirty
+// candidates pay it; clean entries are never touched). Reports false
+// without mutating anything when e is not currently in an active lower
+// heap (caller falls back to RestorePair).
+func (t *TwoLevel) UpdateKey(e *Entry, key float64, flag int) bool {
+	lo := t.lowerOf(e)
+	if lo == nil || e.pos < 0 || e.pos >= lo.heap.Len() || lo.heap.es[e.pos] != e {
+		return false
+	}
+	e.Key = key
+	e.Flag = flag
+	lo.heap.Fix(e)
+	lo.refreshRoot()
+	if t.built {
+		t.fixUpper(lo.pos)
+	}
+	return true
+}
+
+// RestorePair rebuilds dense pair p's lower heap to hold exactly es
+// (whose Keys the caller has already set), replacing whatever the pair
+// held before — including nothing: unlike Add, RestorePair may
+// reactivate a pair dropped wholesale by DeletePairOf, because it
+// replaces every entry rather than resurrecting stale ones. An empty es
+// deactivates the pair. Entry storage reuses the pair's carved backing
+// window, so len(es) must not exceed the pair's construction-time cap.
+// Dense mode only.
+func (t *TwoLevel) RestorePair(p int32, es []*Entry) {
+	if t.dense == nil {
+		panic("pqueue: RestorePair requires a dense two-level heap")
+	}
+	lo := &t.dense[p]
+	oldActive := 0
+	if lo.pos >= 0 {
+		oldActive = lo.heap.Len()
+	}
+	h := &lo.heap
+	h.es = h.es[:0]
+	for k, e := range es {
+		e.pos = k
+		h.es = append(h.es, e)
+	}
+	for j := len(h.es)/2 - 1; j >= 0; j-- {
+		h.siftDown(j)
+	}
+	lo.refreshRoot()
+	t.count += len(es) - oldActive
+	switch {
+	case len(es) == 0:
+		if lo.pos >= 0 {
+			t.removeUpper(lo.pos)
+		}
+	case lo.pos < 0:
+		lo.key = PairKey{es[0].Triple.U, es[0].Triple.I}
+		lo.pos = len(t.upper)
+		t.upper = append(t.upper, lo)
+		if t.built {
+			t.fixUpper(lo.pos)
+		}
+	default:
+		if t.built {
+			t.fixUpper(lo.pos)
+		}
+	}
+}
+
 // DeletePair removes the whole (u, i) lower heap from consideration
 // (Algorithm 1, line 26: an infeasible pair is dropped wholesale).
 // Map-addressed; dense-mode callers use DeletePairOf.

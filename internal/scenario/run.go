@@ -55,6 +55,23 @@ type Runner struct {
 	// any shard count — the equivalence CI asserts. 0 or 1 keeps the
 	// single-engine path.
 	Shards int
+	// WarmStart, Workers, and Incremental configure the closed-loop
+	// serving side's registry planning path. Setting any of them moves
+	// trajectory engines (and clusters) off the Planner-closure shortcut
+	// onto a registry config — Scenario.Algorithm plus these options —
+	// which is required for Incremental (the persistent-session replan
+	// path demands a registry G-Greedy algorithm). The open-loop path
+	// and the planning seed are unchanged, so runs differing only in
+	// Incremental stay byte-comparable.
+	WarmStart   bool
+	Workers     int
+	Incremental bool
+}
+
+// registryMode reports whether closed-loop planning goes through the
+// solver registry instead of a Planner closure.
+func (r Runner) registryMode() bool {
+	return (r.WarmStart || r.Workers > 0 || r.Incremental) && r.Algorithm == nil
 }
 
 // sharded reports whether closed-loop trajectories run on a cluster.
@@ -93,6 +110,16 @@ func (r Runner) engineConfig(sc Scenario, algo planner.Algorithm, seed uint64, k
 		// independent of feedback-queue timing.
 		ReplanEvery: 1 << 30,
 	}
+	if r.registryMode() {
+		cfg.Planner = nil
+		cfg.Algorithm = sc.Algorithm
+		cfg.Solver = solver.Options{
+			Seed:    instanceSeed(sc.Name, seed) ^ 0x5F5E,
+			Workers: r.Workers,
+		}
+		cfg.WarmStart = r.WarmStart
+		cfg.Incremental = r.Incremental
+	}
 	if r.DataDir != "" {
 		cfg.Durability = &serve.Durability{
 			Dir:          filepath.Join(r.DataDir, fmt.Sprintf("%s-seed%d-traj%d", sc.Name, seed, k)),
@@ -111,6 +138,16 @@ func (r Runner) clusterConfig(sc Scenario, algo planner.Algorithm, seed uint64, 
 		Planner:       algo,
 		EngineStripes: 4,
 		ReplanEvery:   1 << 30,
+	}
+	if r.registryMode() {
+		cfg.Planner = nil
+		cfg.Algorithm = sc.Algorithm
+		cfg.Solver = solver.Options{
+			Seed:    instanceSeed(sc.Name, seed) ^ 0x5F5E,
+			Workers: r.Workers,
+		}
+		cfg.WarmStart = r.WarmStart
+		cfg.Incremental = r.Incremental
 	}
 	if r.DataDir != "" {
 		cfg.Durability = &serve.Durability{

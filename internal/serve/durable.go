@@ -146,7 +146,7 @@ func recoverFrom(st *store.Store, lsn store.LSN, cfg Config) (*Engine, error) {
 		// boot so the served plan reflects what was recovered. The replan
 		// is synchronous — the engine never serves a stale plan — and
 		// traced, so /debug/traces shows the recovery replan right away.
-		e.replanWith(e.collectFeedback(), e.met.tracer.Start("replan"))
+		e.replanWith(e.collectFeedback(), nil, e.met.tracer.Start("replan"))
 	}
 	e.start()
 	return e, nil

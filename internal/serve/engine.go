@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/planner"
@@ -71,6 +72,19 @@ type Config struct {
 	// it off when byte-identity with open-loop solves matters (the
 	// scenario goldens do). Ignored when Planner is set.
 	WarmStart bool
+	// Incremental replans through a persistent core.Session instead of
+	// rebuilding the residual instance from a full feedback snapshot:
+	// the solver's heap, plan, and evaluator survive across replans, the
+	// loop journals only the since-last-replan deltas (events, stock
+	// overrides, price rescales), and each replan recomputes upper
+	// bounds for exactly the candidates those deltas invalidated.
+	// Output is byte-identical to the non-incremental path — cold
+	// solves without WarmStart, warm-started solves with it — so the
+	// switch is a pure latency/throughput trade. Requires a registry
+	// G-Greedy algorithm ("g-greedy" or "g-greedy-parallel");
+	// construction fails otherwise, and Planner overrides are
+	// incompatible.
+	Incremental bool
 	// Shards overrides the shard count (rounded up to a power of two).
 	// 0 means next pow2 ≥ GOMAXPROCS.
 	Shards int
@@ -130,6 +144,9 @@ func (c *Config) withDefaults() Config {
 // trace span and report its phase counters to the meter.
 func (c Config) planSetup() (planner.Algorithm, solver.Options, error) {
 	if c.Planner != nil {
+		if c.Incremental {
+			return nil, solver.Options{}, errors.New("serve: Incremental is incompatible with a custom Planner (needs a registry G-Greedy algorithm)")
+		}
 		return c.Planner, solver.Options{}, nil
 	}
 	opts := c.Solver
@@ -138,6 +155,16 @@ func (c Config) planSetup() (planner.Algorithm, solver.Options, error) {
 	}
 	if err := solver.ValidateOptions(opts); err != nil {
 		return nil, solver.Options{}, fmt.Errorf("serve: %w", err)
+	}
+	if c.Incremental {
+		a, err := solver.Lookup(opts.Algorithm)
+		if err != nil {
+			return nil, solver.Options{}, fmt.Errorf("serve: %w", err)
+		}
+		if n := a.Name(); n != solver.NameGGreedy && n != solver.NameGGreedyParallel {
+			return nil, solver.Options{}, fmt.Errorf("serve: Incremental requires %q or %q, not %q",
+				solver.NameGGreedy, solver.NameGGreedyParallel, n)
+		}
 	}
 	return nil, opts, nil
 }
@@ -196,6 +223,29 @@ type stockSet struct {
 	n    int64
 }
 
+// sessEvent is one journaled feedback delta for the incremental
+// session: an adoption/exposure event, a stock override, or a price
+// rescale, recorded by the feedback loop at the exact point the
+// corresponding in-memory mutation happens, so replaying the journal
+// into the session reproduces the same state sequence. Clock advances
+// are not journaled — the replan stamps the session with the clock
+// value captured when it starts, mirroring collectFeedback's Now.
+type sessEvent struct {
+	kind   uint8
+	user   model.UserID
+	item   model.ItemID
+	t      model.TimeStep
+	adopt  bool
+	n      int
+	factor float64
+}
+
+const (
+	sessObserve = uint8(iota)
+	sessStock
+	sessPrice
+)
+
 // priceOp is an exogenous price rescale (competitor undercut,
 // promotion): item's price is multiplied by factor from step `from`
 // through the end of the horizon. It mutates the engine's instance, so
@@ -222,6 +272,17 @@ type Engine struct {
 	// goroutine, never concurrently.
 	warm     bool
 	warmPrev []model.Triple
+
+	// incr (Config.Incremental) replans through a persistent solver
+	// session. sess and sessUp belong to the replan goroutine (at most
+	// one runs at a time; the loop only reads sessUp after observing the
+	// previous replan's completion channel, which orders the accesses).
+	// sessDelta is the loop-owned journal of feedback deltas since the
+	// last replan capture; the loop hands it to the replan wholesale.
+	incr      bool
+	sess      *core.Session
+	sessUp    bool
+	sessDelta []sessEvent
 
 	shards []shard
 	mask   uint32
@@ -299,6 +360,7 @@ func newUnstartedEngine(in *model.Instance, cfg Config) (*Engine, error) {
 	e.custom = custom
 	e.opts = opts
 	e.warm = cfg.WarmStart && custom == nil
+	e.incr = cfg.Incremental
 	span := e.met.tracer.Start("plan")
 	s, rev := e.solve(in, span)
 	span.SetFloat("revenue", rev)
@@ -319,7 +381,11 @@ func (e *Engine) solve(residual *model.Instance, span *obs.Span) (*model.Strateg
 		return s, revenue.Revenue(residual, s)
 	}
 	o := e.opts
-	if e.warm {
+	if e.sess != nil {
+		// Incremental replan: the session carries the residual instance,
+		// the seeded heap state, and (Seeded mode) its own warm seed.
+		o.Session = e.sess
+	} else if e.warm {
 		o.Warm = e.warmPrev
 	}
 	o.Span = span
@@ -909,10 +975,31 @@ func (e *Engine) loop() {
 		for _, op := range pendingPrice {
 			e.walAppend(store.Record{Type: store.RecScalePrice, Item: int32(op.item), T: int32(op.from), Factor: op.factor})
 			e.scalePrices(op.item, op.from, op.factor)
+			if e.incr {
+				e.sessDelta = append(e.sessDelta, sessEvent{kind: sessPrice, item: op.item, t: op.from, factor: op.factor})
+			}
 			force = true
 			trigger()
 		}
 		pendingPrice = nil
+	}
+	// capture freezes the state the next replan conditions on. On the
+	// incremental path with a live session, that is just the delta
+	// journal plus the clock — the expensive full-feedback snapshot
+	// (stock walk + every shard's user maps) is skipped entirely. Before
+	// the session exists (first replan, recovery), the full view
+	// bootstraps it and subsumes whatever the journal holds.
+	capture := func(span *obs.Span) (planner.Feedback, []sessEvent) {
+		if e.incr && e.sessUp {
+			delta := e.sessDelta
+			e.sessDelta = nil
+			return planner.Feedback{Now: e.Now()}, delta
+		}
+		csp := span.Child("snapshot")
+		fb := e.collectFeedback()
+		csp.End()
+		e.sessDelta = nil // subsumed by the full view
+		return fb, nil
 	}
 	start := func() {
 		dirty, force = 0, false
@@ -928,13 +1015,11 @@ func (e *Engine) loop() {
 		// apply can interleave between the stock reads and the shard walk
 		// — the replan really does work on a frozen, consistent view.
 		// The copy is cheap next to planning, which runs off-loop.
-		csp := span.Child("snapshot")
-		fb := e.collectFeedback()
-		csp.End()
+		fb, delta := capture(span)
 		done := make(chan struct{})
 		inFlight = done
 		go func() {
-			e.replanWith(fb, span)
+			e.replanWith(fb, delta, span)
 			close(done)
 		}()
 	}
@@ -970,8 +1055,9 @@ func (e *Engine) loop() {
 				}
 				applyPrices()
 				if dirty > 0 || force {
-					e.replanWith(e.collectFeedback(),
-						e.met.tracer.StartRemote("replan", pendingTrace.TraceID, pendingTrace.ParentID))
+					span := e.met.tracer.StartRemote("replan", pendingTrace.TraceID, pendingTrace.ParentID)
+					fb, delta := capture(span)
+					e.replanWith(fb, delta, span)
 				}
 				e.walSync()
 				for _, w := range waiters {
@@ -1010,6 +1096,9 @@ func (e *Engine) loop() {
 			case msg.stock != nil:
 				e.walAppend(store.Record{Type: store.RecSetStock, Item: int32(msg.stock.item), Stock: msg.stock.n})
 				e.stock[msg.stock.item].Store(msg.stock.n)
+				if e.incr {
+					e.sessDelta = append(e.sessDelta, sessEvent{kind: sessStock, item: msg.stock.item, n: int(msg.stock.n)})
+				}
 				force = true
 				trigger()
 			case msg.price != nil:
@@ -1020,6 +1109,10 @@ func (e *Engine) loop() {
 			default:
 				e.walAppend(store.Record{Type: store.RecEvent, User: int32(msg.ev.User),
 					Item: int32(msg.ev.Item), T: int32(msg.ev.T), Adopted: msg.ev.Adopted})
+				if e.incr {
+					e.sessDelta = append(e.sessDelta, sessEvent{kind: sessObserve, user: msg.ev.User,
+						item: msg.ev.Item, t: msg.ev.T, adopt: msg.ev.Adopted})
+				}
 				if e.apply(msg.ev) {
 					dirty++
 					trigger()
@@ -1147,22 +1240,66 @@ func (e *Engine) Feedback() (planner.Feedback, error) {
 	return fb, nil
 }
 
-// replanWith recomputes the strategy on the residual instance induced
-// by fb and swaps the live plan. Lookups keep hitting the old plan
-// until the single atomic store below. Warm-start engines seed the
-// solve with the previous plan's triples: seeds invalidated by the
-// feedback (adopted classes, depleted stock, price moves) drop out
-// inside the solver, the rest carry over without being re-derived.
+// replanWith recomputes the strategy on the residual state induced by
+// fb (plus, for incremental engines, the delta journal) and swaps the
+// live plan. Lookups keep hitting the old plan until the single atomic
+// store below. Warm-start engines seed the solve with the previous
+// plan's triples: seeds invalidated by the feedback (adopted classes,
+// depleted stock, price moves) drop out inside the solver, the rest
+// carry over without being re-derived.
+//
+// Incremental engines route the solve through a persistent
+// core.Session instead of building a residual instance: the first
+// replan (and the first after recovery) bootstraps the session from
+// the full feedback view, every later one folds in only the journaled
+// deltas — the event → dirty-CandID mapping replaces both the
+// snapshot copy and the residual rebuild. The session belongs to this
+// goroutine: replans are serialized (one in flight, the loop's
+// completion channel orders handoffs), so no locking is needed.
 //
 // span, when non-nil, is the replan's root trace span: replanWith adds
 // residual/swap phase children (the solve attaches its own) and ends
 // it. The caller must not touch span afterwards.
-func (e *Engine) replanWith(fb planner.Feedback, span *obs.Span) {
+func (e *Engine) replanWith(fb planner.Feedback, delta []sessEvent, span *obs.Span) {
 	start := time.Now()
-	rsp := span.Child("residual")
-	residual := planner.Residual(e.in, fb)
-	rsp.End()
-	s, rev := e.solve(residual, span)
+	var s *model.Strategy
+	var rev float64
+	if e.incr {
+		rsp := span.Child("delta-sync")
+		if e.sess == nil {
+			e.sess = core.NewSession(e.in, core.SessionConfig{
+				Seeded:       e.warm,
+				MaxExposures: maxExposuresPerClass,
+			})
+			planner.SyncSession(e.sess, fb)
+			if e.warm && len(e.warmPrev) > 0 {
+				e.sess.SeedTriples(e.warmPrev)
+			}
+		} else {
+			for _, d := range delta {
+				switch d.kind {
+				case sessObserve:
+					e.sess.Observe(d.user, d.item, d.t, d.adopt)
+				case sessStock:
+					e.sess.SetStock(d.item, d.n)
+				case sessPrice:
+					e.sess.ScalePrice(d.item, d.t, d.factor)
+				}
+			}
+			e.sess.Advance(fb.Now)
+		}
+		rsp.End()
+		s, rev = e.solve(e.sess.Instance(), span)
+		st := e.sess.LastStats()
+		span.SetInt("dirty_cands", int64(st.DirtyCands))
+		span.SetInt("restored_pairs", int64(st.RestoredPairs))
+		e.sessUp = true
+	} else {
+		rsp := span.Child("residual")
+		residual := planner.Residual(e.in, fb)
+		rsp.End()
+		s, rev = e.solve(residual, span)
+	}
 	ssp := span.Child("swap")
 	e.installPlan(s, fb.Now, rev)
 	// Plan-swap marker: recovery replans from recovered state rather

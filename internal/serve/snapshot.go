@@ -234,6 +234,7 @@ func decodeShell(r io.Reader, cfg Config) (*Engine, error) {
 	e.custom = custom
 	e.opts = opts
 	e.warm = cfg.WarmStart && custom == nil
+	e.incr = cfg.Incremental
 	e.now.Store(int64(wire.Now))
 	e.adoptions.Store(wire.Adoptions)
 	e.exposures.Store(wire.Exposures)

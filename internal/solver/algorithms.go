@@ -33,12 +33,23 @@ const (
 
 func init() {
 	Register(Func(NameGGreedy, func(ctx context.Context, in *model.Instance, o Options) (Result, error) {
+		if o.Session != nil {
+			return o.Session.SolveCtx(ctx, o.progressFor(NameGGreedy))
+		}
 		if len(o.Warm) > 0 {
 			return core.GGreedyWarmCtx(ctx, in, o.Warm, o.progressFor(NameGGreedy))
 		}
 		return core.GGreedyCtx(ctx, in, o.progressFor(NameGGreedy))
 	}))
 	Register(Func(NameGGreedyParallel, func(ctx context.Context, in *model.Instance, o Options) (Result, error) {
+		// A session solve subsumes the partitioned settle: partitions with
+		// zero dirty candidates keep their heap pairs verbatim, so the
+		// incremental sequential scan does strictly less work than
+		// re-settling, with byte-identical output (the parallel variants
+		// are themselves byte-identical to the sequential ones).
+		if o.Session != nil {
+			return o.Session.SolveCtx(ctx, o.progressFor(NameGGreedyParallel))
+		}
 		if len(o.Warm) > 0 {
 			return core.GGreedyParallelWarmCtx(ctx, in, o.Warm, o.Workers, o.progressFor(NameGGreedyParallel))
 		}

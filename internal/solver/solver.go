@@ -103,6 +103,20 @@ type Options struct {
 	// byte-identity matters (fixed-seed goldens).
 	Warm []model.Triple
 
+	// Session, when non-nil, routes the solve through a persistent
+	// incremental core.Session instead of a from-scratch scan: the
+	// session already holds the instance, heap, plan, and evaluator
+	// from the previous replan, and only journal-dirtied candidates are
+	// recomputed. Only the G-Greedy family ("g-greedy" and
+	// "g-greedy-parallel") consumes it — the session's output is
+	// byte-identical to those algorithms on the equivalent residual
+	// instance, so the parallel variant delegates too (clean partitions
+	// reuse their heap pairs verbatim, subsuming the settle skip).
+	// Other algorithms ignore it. When set, the in argument to Solve is
+	// ignored in favor of Session.Instance(), and Warm is ignored — the
+	// session carries its own seed (SessionConfig.Seeded).
+	Session *core.Session
+
 	// Progress, when non-nil, receives in-flight reports from long
 	// algorithms (per permutation for the RL-Greedy family, per
 	// selection for the greedy scans) with Progress.Algorithm set to the

@@ -10,6 +10,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -140,6 +141,8 @@ func BenchmarkPlanOps(b *testing.B) {
 // horizon, one batch of adoption/stock feedback, and the residual
 // instance the replanner must solve.
 type warmReplanFixture struct {
+	in       *model.Instance
+	fb       planner.Feedback
 	residual *model.Instance
 	seeds    []model.Triple
 }
@@ -166,6 +169,7 @@ func newWarmReplanFixture(tb testing.TB) *warmReplanFixture {
 	// planned item's class; one item lost its stock.
 	fb := planner.Feedback{
 		AdoptedClass: map[model.UserID]map[model.ClassID]bool{},
+		Exposures:    map[model.UserID]map[model.ClassID][]model.TimeStep{},
 		Stock:        make([]int, in.NumItems()),
 		Now:          2,
 	}
@@ -182,9 +186,56 @@ func newWarmReplanFixture(tb testing.TB) *warmReplanFixture {
 	}
 	fb.Stock[seeds[0].I] = 0
 	return &warmReplanFixture{
+		in:       in,
+		fb:       fb,
 		residual: planner.Residual(in, fb),
 		seeds:    seeds,
 	}
+}
+
+// incrStreamEvent is the j-th exposure of the deterministic event
+// stream the incremental-replan benchmarks feed: a non-adopting
+// observation, the steady-state event class of a serving engine (it
+// invalidates the observed group's future saturation discounts without
+// consuming stock, so the workload never degenerates over b.N).
+func incrStreamEvent(in *model.Instance, j int) (model.UserID, model.ItemID, model.TimeStep) {
+	u := model.UserID((j * 131) % in.NumUsers)
+	i := model.ItemID((j * 17) % in.NumItems())
+	t := model.TimeStep(2 + j%(in.T-1))
+	return u, i, t
+}
+
+// newBenchSession builds the persistent-session side of the replan
+// comparison: bootstrapped from the fixture's feedback batch, seeded
+// with the previous plan, and primed with one solve so every timed
+// replan starts from steady state.
+func newBenchSession(tb testing.TB, f *warmReplanFixture) *core.Session {
+	tb.Helper()
+	sess := core.NewSession(f.in, core.SessionConfig{Seeded: true, MaxExposures: 64})
+	planner.SyncSession(sess, f.fb)
+	sess.SeedTriples(f.seeds)
+	if sess.Solve().Strategy.Len() == 0 {
+		tb.Fatal("empty session prime solve")
+	}
+	return sess
+}
+
+// mirrorExposure applies incrStreamEvent(j) to a Feedback view the way
+// the serving engine's exposure history does (append, capped at 64
+// with drop-oldest) — the full-rebuild baseline's side of the stream.
+func mirrorExposure(fb *planner.Feedback, in *model.Instance, j int) {
+	u, i, t := incrStreamEvent(in, j)
+	c := in.Class(i)
+	m := fb.Exposures[u]
+	if m == nil {
+		m = map[model.ClassID][]model.TimeStep{}
+		fb.Exposures[u] = m
+	}
+	ts := append(m[c], t)
+	if len(ts) > 64 {
+		ts = ts[1:]
+	}
+	m[c] = ts
 }
 
 // BenchmarkWarmReplan measures one receding-horizon replan solved cold
@@ -210,6 +261,82 @@ func BenchmarkWarmReplan(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkIncrementalReplan sweeps events-per-replan on the
+// persistent solver session: each iteration journals N exposure events
+// (untimed — invalidation runs eagerly on the event path, where the
+// serving layer absorbs it at feed time) and then replans, so the
+// measured cost is the barrier Solve alone: deferred capacity sync,
+// seeded re-validation, restoring the few invalidated heap pairs, and
+// the lazy-forward scan — the serving engine's steady-state replan
+// latency under Config.Incremental. The warm-full case is the PR-5-era
+// baseline on the identical event stream: rebuild the residual instance
+// from the full feedback view, then warm-start solve.
+func BenchmarkIncrementalReplan(b *testing.B) {
+	for _, ev := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("events-%d", ev), func(b *testing.B) {
+			f := newWarmReplanFixture(b)
+			sess := newBenchSession(b, f)
+			j := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for k := 0; k < ev; k++ {
+					u, it, t := incrStreamEvent(f.in, j)
+					sess.Observe(u, it, t, false)
+					j++
+				}
+				b.StartTimer()
+				if sess.Solve().Strategy.Len() == 0 {
+					b.Fatal("empty replan")
+				}
+			}
+		})
+	}
+	b.Run("warm-full-16ev", func(b *testing.B) {
+		f := newWarmReplanFixture(b)
+		prev := f.seeds
+		j := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < 16; k++ {
+				mirrorExposure(&f.fb, f.in, j)
+				j++
+			}
+			res := core.GGreedyWarm(planner.Residual(f.in, f.fb), prev)
+			if res.Strategy.Len() == 0 {
+				b.Fatal("empty replan")
+			}
+			prev = res.Strategy.Triples()
+		}
+	})
+}
+
+// TestIncrementalReplanTouchesFewCandidates is the invalidation
+// sparseness gate: on the selection-bound replan workload, a replan
+// covering a single journaled event must recompute upper bounds for
+// fewer than 5% of the candidate space. A regression here means the
+// event→CandID fan-out through the inverted indexes got too coarse —
+// the incremental path would still be correct, but no longer
+// incremental.
+func TestIncrementalReplanTouchesFewCandidates(t *testing.T) {
+	f := newWarmReplanFixture(t)
+	sess := newBenchSession(t, f)
+	for j := 0; j < 32; j++ {
+		u, it, ts := incrStreamEvent(f.in, j)
+		sess.Observe(u, it, ts, false)
+		if sess.Solve().Strategy.Len() == 0 {
+			t.Fatal("empty replan")
+		}
+		st := sess.LastStats()
+		if frac := float64(st.DirtyCands) / float64(st.NumCands); frac >= 0.05 {
+			t.Fatalf("1-event replan %d touched %d/%d candidates (%.2f%%, want < 5%%)",
+				j, st.DirtyCands, st.NumCands, 100*frac)
+		}
+	}
 }
 
 // parallelSolveInstance is the selection-bound workload for the
@@ -332,6 +459,78 @@ func TestPlanBenchReport(t *testing.T) {
 		_ = count
 	})
 
+	// Incremental-session replans: sweep events-per-replan and record
+	// the replan (Solve) latency plus the dirty-candidate count of the
+	// last replan (the stream is steady-state, so the last replan is
+	// representative). Event journaling is untimed: invalidation runs
+	// eagerly as each event is applied, on the feed path — its per-event
+	// cost is reported separately as event_observe_ns. The warm-full
+	// baseline replays the identical 16-event stream through the
+	// PR-5-era path: full residual rebuild + warm solve.
+	type incrPoint struct {
+		ns    float64
+		dirty int
+	}
+	incrPoints := map[int]incrPoint{}
+	sessionCands := 0
+	for _, ev := range []int{1, 16, 256} {
+		ifx := newWarmReplanFixture(t)
+		sess := newBenchSession(t, ifx)
+		j := 0
+		step := func() {
+			for k := 0; k < ev; k++ {
+				u, it, ts := incrStreamEvent(ifx.in, j)
+				sess.Observe(u, it, ts, false)
+				j++
+			}
+		}
+		const warmup, iters = 30, 300
+		for i := 0; i < warmup; i++ {
+			step()
+			sess.Solve()
+		}
+		var total time.Duration
+		for i := 0; i < iters; i++ {
+			step()
+			t0 := time.Now()
+			sess.Solve()
+			total += time.Since(t0)
+		}
+		st := sess.LastStats()
+		incrPoints[ev] = incrPoint{ns: float64(total.Nanoseconds()) / iters, dirty: st.DirtyCands}
+		sessionCands = st.NumCands
+	}
+	efx := newWarmReplanFixture(t)
+	esess := newBenchSession(t, efx)
+	ej := 0
+	eventObserve := measure(func(i int) {
+		u, it, ts := incrStreamEvent(efx.in, ej)
+		esess.Observe(u, it, ts, false)
+		ej++
+	})
+	wifx := newWarmReplanFixture(t)
+	warmPrev := wifx.seeds
+	wj := 0
+	replanWarmFull := measure(func(i int) {
+		for k := 0; k < 16; k++ {
+			mirrorExposure(&wifx.fb, wifx.in, wj)
+			wj++
+		}
+		res := core.GGreedyWarm(planner.Residual(wifx.in, wifx.fb), warmPrev)
+		warmPrev = res.Strategy.Triples()
+	})
+	// Fail the step, not just the report, when invalidation loses its
+	// sparseness or the sweep loses its flatness: a 1-event replan must
+	// touch < 5% of the candidate space, and latency must stay within
+	// 1.3x from 1 to 256 events per replan.
+	if frac := float64(incrPoints[1].dirty) / float64(sessionCands); frac >= 0.05 {
+		t.Errorf("1-event incremental replan touched %d/%d candidates (%.2f%%, want < 5%%)",
+			incrPoints[1].dirty, sessionCands, 100*frac)
+	}
+	if ratio := incrPoints[256].ns / incrPoints[1].ns; ratio > 1.3 {
+		t.Errorf("incremental replan latency grew %.2fx from 1 to 256 events per replan (want ≤ 1.3x)", ratio)
+	}
+
 	// Sequential vs parallel solve on the selection-bound instance. The
 	// parallel scan is byte-identical to the sequential one at every
 	// worker count, so this table is pure wall clock; cpus records how
@@ -354,12 +553,21 @@ func TestPlanBenchReport(t *testing.T) {
 		{"add+remove (map → plan counters)", addRemoveMap, addRemovePlan},
 		{"CheckValid (fresh maps → pooled dense)", checkLegacy, checkFlat},
 		{"replan (cold solve → warm-start)", replanCold, replanWarm},
+		{"replan (warm full-rebuild → incremental session)", replanWarmFull, incrPoints[16].ns},
 		{"count selected (scalar loop → word popcount)", countScalar, countWords},
 	}
 	t.Log("old-vs-new (flat plan representation):")
 	for _, r := range rows {
 		t.Logf("  %-46s %10.0f ns → %10.0f ns (%.2fx)", r.name, r.oldNs, r.newNs, r.oldNs/r.newNs)
 	}
+	t.Logf("incremental session replan sweep (cands=%d):", sessionCands)
+	for _, ev := range []int{1, 16, 256} {
+		p := incrPoints[ev]
+		t.Logf("  %-14s %12.0f ns  dirty=%d (%.2f%%)",
+			fmt.Sprintf("events=%d", ev), p.ns, p.dirty, 100*float64(p.dirty)/float64(sessionCands))
+	}
+	t.Logf("  %-14s %12.0f ns  (incr 16ev: %.2fx faster)", "warm-full-16ev", replanWarmFull, replanWarmFull/incrPoints[16].ns)
+	t.Logf("  %-14s %12.0f ns  (eager invalidation, paid per event on the feed path)", "observe-event", eventObserve)
 	t.Logf("sequential-vs-parallel G-Greedy (cands=%d, cpus=%d):", pin.NumCands(), runtime.NumCPU())
 	t.Logf("  %-14s %12.0f ns", "sequential", solveSeq)
 	for _, w := range workerCounts {
@@ -368,25 +576,36 @@ func TestPlanBenchReport(t *testing.T) {
 	}
 
 	report := map[string]any{
-		"benchmark":            "PlanRepresentation",
-		"candidates":           f.in.NumCands(),
-		"planned_triples":      len(f.ids),
-		"contains_plan_ns":     containsPlan,
-		"contains_map_ns":      containsMap,
-		"add_remove_plan_ns":   addRemovePlan,
-		"add_remove_map_ns":    addRemoveMap,
-		"checkvalid_flat_ns":   checkFlat,
-		"checkvalid_legacy_ns": checkLegacy,
-		"replan_cold_ns":       replanCold,
-		"replan_warm_ns":       replanWarm,
-		"replan_speedup":       replanCold / replanWarm,
-		"ggreedy_solve_ns":     solveCold,
-		"count_words_ns":       countWords,
-		"count_scalar_ns":      countScalar,
-		"count_words_speedup":  countScalar / countWords,
-		"cpus":                 runtime.NumCPU(),
-		"solve_seq_ns":         solveSeq,
-		"parallel_speedup_8w":  solveSeq / parallelNs["solve_parallel_8w_ns"],
+		"benchmark":                "PlanRepresentation",
+		"candidates":               f.in.NumCands(),
+		"planned_triples":          len(f.ids),
+		"contains_plan_ns":         containsPlan,
+		"contains_map_ns":          containsMap,
+		"add_remove_plan_ns":       addRemovePlan,
+		"add_remove_map_ns":        addRemoveMap,
+		"checkvalid_flat_ns":       checkFlat,
+		"checkvalid_legacy_ns":     checkLegacy,
+		"replan_cold_ns":           replanCold,
+		"replan_warm_ns":           replanWarm,
+		"replan_speedup":           replanCold / replanWarm,
+		"replan_incr_1ev_ns":       incrPoints[1].ns,
+		"replan_incr_16ev_ns":      incrPoints[16].ns,
+		"replan_incr_256ev_ns":     incrPoints[256].ns,
+		"replan_warm_full_ns":      replanWarmFull,
+		"event_observe_ns":         eventObserve,
+		"incr_vs_warm_speedup":     replanWarmFull / incrPoints[16].ns,
+		"incr_latency_ratio_256v1": incrPoints[256].ns / incrPoints[1].ns,
+		"dirty_cands_1ev":          incrPoints[1].dirty,
+		"dirty_cands_16ev":         incrPoints[16].dirty,
+		"dirty_cands_256ev":        incrPoints[256].dirty,
+		"session_num_cands":        sessionCands,
+		"ggreedy_solve_ns":         solveCold,
+		"count_words_ns":           countWords,
+		"count_scalar_ns":          countScalar,
+		"count_words_speedup":      countScalar / countWords,
+		"cpus":                     runtime.NumCPU(),
+		"solve_seq_ns":             solveSeq,
+		"parallel_speedup_8w":      solveSeq / parallelNs["solve_parallel_8w_ns"],
 	}
 	for k, v := range parallelNs {
 		report[k] = v
